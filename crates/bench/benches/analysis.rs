@@ -1,0 +1,28 @@
+//! Table 1 path: witness mining throughput per API (spec + scenario
+//! witnesses → semantic library).
+
+use apiphany_benchmarks::{scenario_witnesses, Api};
+use apiphany_mining::{mine_types, MiningConfig};
+use apiphany_services::{Slack, Sqare, Stripe};
+use apiphany_spec::Service;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_mine_types");
+    group.sample_size(10);
+    for api in Api::ALL {
+        let lib = match api {
+            Api::Slack => Slack::new().library().clone(),
+            Api::Stripe => Stripe::new().library().clone(),
+            Api::Sqare => Sqare::new().library().clone(),
+        };
+        let witnesses = scenario_witnesses(api);
+        group.bench_function(api.name(), |b| {
+            b.iter(|| mine_types(&lib, &witnesses, &MiningConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Retrospective-execution throughput: candidates ranked per second
+//! (the paper reports cost computation takes ~1% of synthesis time).
+
+use apiphany_lang::parse_program;
+use apiphany_mining::{mine_types, parse_query, MiningConfig};
+use apiphany_re::{cost_of, CostParams, ReContext};
+use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_re(c: &mut Criterion) {
+    let witnesses = fig4_witnesses();
+    let semlib = mine_types(&fig7_library(), &witnesses, &MiningConfig::default());
+    let ctx = ReContext::new(&semlib, &witnesses);
+    let q = parse_query(&semlib, "{ channel_name: Channel.name } → [Profile.email]").unwrap();
+    let program = parse_program(
+        r"\channel_name → {
+            c ← c_list()
+            if c.name = channel_name
+            uid ← c_members(channel=c.id)
+            let u = u_info(user=uid)
+            return u.profile.email
+        }",
+    )
+    .unwrap();
+    c.bench_function("re_cost_15_rounds", |b| {
+        b.iter(|| cost_of(&ctx, &program, &q, &CostParams::default()))
+    });
+    c.bench_function("re_single_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            ctx.run(&program, &q, seed)
+        })
+    });
+}
+
+criterion_group!(benches, bench_re);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! TTN construction and path enumeration; mirrors the paper's solver
+//! comparison (§5: "the ILP solver is much more efficient" at enumerating
+//! many paths) as DFS vs branch-and-bound ILP on the Fig. 7 net.
+
+use apiphany_mining::{mine_types, parse_query, MiningConfig};
+use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+use apiphany_ttn::{build_ttn, enumerate_paths, query_markings, Backend, BuildOptions, SearchConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ttn(c: &mut Criterion) {
+    let semlib = mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default());
+    c.bench_function("build_ttn_fig7", |b| {
+        b.iter(|| build_ttn(&semlib, &BuildOptions::default()))
+    });
+
+    let net = build_ttn(&semlib, &BuildOptions::default());
+    let q = parse_query(&semlib, "{ channel_name: Channel.name } → [Profile.email]").unwrap();
+    let (init, fin) = query_markings(&net, &q).unwrap();
+    let mut group = c.benchmark_group("enumerate_paths_fig7_len6");
+    group.sample_size(10);
+    for backend in [Backend::Dfs, Backend::Ilp] {
+        group.bench_function(format!("{backend:?}"), |b| {
+            b.iter(|| {
+                let cfg = SearchConfig { max_len: 6, backend, ..SearchConfig::default() };
+                let mut n = 0u32;
+                enumerate_paths(&net, &init, &fin, &cfg, &mut |_| {
+                    n += 1;
+                    true
+                });
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ttn);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the paper's Fig. 13: benchmarks solved as a function of
+//! time, for APIphany and the two type-granularity ablations.
+
+use apiphany_benchmarks::{
+    benchmarks, default_analyze_config, default_run_config, prepare_api, report, run_benchmark,
+    variant, Api, CliOptions,
+};
+use apiphany_mining::Granularity;
+
+fn main() {
+    let opts = CliOptions::from_args();
+    let selected = opts.selected();
+    let cfg = default_run_config(opts.timeout_secs, opts.max_path_len);
+    let mut series: Vec<(String, Vec<Option<std::time::Duration>>)> = vec![
+        ("APIphany".into(), Vec::new()),
+        ("APIphany-Syn".into(), Vec::new()),
+        ("APIphany-Loc".into(), Vec::new()),
+    ];
+    let mut total = 0;
+    for api in Api::ALL {
+        if !selected.iter().any(|b| b.api == api) {
+            continue;
+        }
+        eprintln!("analyzing {} ...", api.name());
+        let prepared = prepare_api(api, &default_analyze_config());
+        let syn = variant(&prepared, Granularity::Syntactic);
+        let loc = variant(&prepared, Granularity::LocationOnly);
+        for bench in benchmarks().into_iter().filter(|b| b.api == api) {
+            if !selected.iter().any(|s| s.id == bench.id) {
+                continue;
+            }
+            total += 1;
+            eprintln!("  running {} under 3 variants", bench.id);
+            for (i, engine) in [&prepared.engine, &syn, &loc].into_iter().enumerate() {
+                let outcome = run_benchmark(engine, &bench, &cfg);
+                series[i].1.push(outcome.time_to_gold);
+            }
+        }
+    }
+    println!("{}", report::fig13(&series, total));
+}

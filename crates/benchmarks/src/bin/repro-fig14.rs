@@ -1,0 +1,29 @@
+//! Regenerates the paper's Fig. 14: number of benchmarks whose solution is
+//! reported within a given rank, with and without RE-based ranking.
+
+use apiphany_benchmarks::{
+    benchmarks, default_analyze_config, default_run_config, prepare_api, report, run_benchmark,
+    Api, CliOptions,
+};
+
+fn main() {
+    let opts = CliOptions::from_args();
+    let selected = opts.selected();
+    let cfg = default_run_config(opts.timeout_secs, opts.max_path_len);
+    let mut outcomes = Vec::new();
+    for api in Api::ALL {
+        if !selected.iter().any(|b| b.api == api) {
+            continue;
+        }
+        eprintln!("analyzing {} ...", api.name());
+        let prepared = prepare_api(api, &default_analyze_config());
+        for bench in benchmarks().into_iter().filter(|b| b.api == api) {
+            if !selected.iter().any(|s| s.id == bench.id) {
+                continue;
+            }
+            eprintln!("  running {}", bench.id);
+            outcomes.push(run_benchmark(&prepared.engine, &bench, &cfg));
+        }
+    }
+    println!("{}", report::fig14(&outcomes));
+}

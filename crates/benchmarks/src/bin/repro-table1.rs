@@ -1,0 +1,17 @@
+//! Regenerates the paper's Table 1: API sizes and analysis statistics.
+
+use apiphany_benchmarks::{default_analyze_config, prepare_api, report, Api, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_args();
+    let apis: Vec<Api> =
+        Api::ALL.into_iter().filter(|a| opts.api.is_none_or(|x| x == *a)).collect();
+    let mut prepared = Vec::new();
+    for api in &apis {
+        eprintln!("analyzing {} ...", api.name());
+        prepared.push((*api, prepare_api(*api, &default_analyze_config())));
+    }
+    let rows: Vec<(Api, &apiphany_benchmarks::Prepared)> =
+        prepared.iter().map(|(a, p)| (*a, p)).collect();
+    println!("{}", report::table1(&rows));
+}

@@ -1,0 +1,31 @@
+//! Regenerates the paper's Table 2/3: per-benchmark synthesis results.
+//!
+//! Use `--timeout 150 --max-len 8` for the paper's full setting.
+
+use apiphany_benchmarks::{
+    benchmarks, default_analyze_config, default_run_config, prepare_api, report, run_benchmark,
+    Api, CliOptions,
+};
+
+fn main() {
+    let opts = CliOptions::from_args();
+    let selected = opts.selected();
+    let cfg = default_run_config(opts.timeout_secs, opts.max_path_len);
+    let mut rows = Vec::new();
+    for api in Api::ALL {
+        if !selected.iter().any(|b| b.api == api) {
+            continue;
+        }
+        eprintln!("analyzing {} ...", api.name());
+        let prepared = prepare_api(api, &default_analyze_config());
+        for bench in benchmarks().into_iter().filter(|b| b.api == api) {
+            if !selected.iter().any(|s| s.id == bench.id) {
+                continue;
+            }
+            eprintln!("  running {} ({})", bench.id, bench.description);
+            let outcome = run_benchmark(&prepared.engine, &bench, &cfg);
+            rows.push((bench, outcome));
+        }
+    }
+    println!("{}", report::table2(&rows));
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 4 (qualitative): inferred semantic types
+//! for a sample of covered methods of each API.
+
+use apiphany_benchmarks::{default_analyze_config, prepare_api, report, Api, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_args();
+    for api in Api::ALL {
+        if opts.api.is_some_and(|a| a != api) {
+            continue;
+        }
+        eprintln!("analyzing {} ...", api.name());
+        let prepared = prepare_api(api, &default_analyze_config());
+        println!("{}", report::table4(prepared.engine.semlib(), 5));
+    }
+}

@@ -1,0 +1,538 @@
+//! The paper's 32 benchmarks (Table 2 / Appendix E), transcribed against
+//! the simulated services' vocabularies.
+//!
+//! Queries and gold solutions follow Appendix E; method and object names
+//! are those of the simulated specs (which mirror the real APIs'). Two
+//! systematic adaptations, documented in EXPERIMENTS.md: (1) golds whose
+//! final expression is already an array drop the paper's cosmetic trailing
+//! `return` (in `λ_A`, `return e` builds a singleton array — the paper's
+//! own Fig. 16 typing makes the printed form ill-typed there); (2) the
+//! lifted canonical representative is used where the paper's hand-written
+//! gold contains a benign `x ← e; return x` identity.
+
+/// Which API a benchmark targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Api {
+    /// The simulated Slack workspace.
+    Slack,
+    /// The simulated Stripe payment platform.
+    Stripe,
+    /// The simulated Sqare point-of-sale platform.
+    Sqare,
+}
+
+impl Api {
+    /// All three APIs, in paper order.
+    pub const ALL: [Api; 3] = [Api::Slack, Api::Stripe, Api::Sqare];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Api::Slack => "slack",
+            Api::Stripe => "stripe",
+            Api::Sqare => "sqare",
+        }
+    }
+}
+
+/// One benchmark: a type query plus its gold-standard solution.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Paper id, e.g. `"1.1"`.
+    pub id: &'static str,
+    /// Target API.
+    pub api: Api,
+    /// The paper's task description.
+    pub description: &'static str,
+    /// Whether the task creates/modifies/deletes objects (marked `†`).
+    pub effectful: bool,
+    /// The semantic type query.
+    pub query: &'static str,
+    /// The gold-standard solution in `λ_A` concrete syntax.
+    pub gold: &'static str,
+}
+
+/// All 32 benchmarks in paper order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        // ------------------------------------------------ Slack (8)
+        Benchmark {
+            id: "1.1",
+            api: Api::Slack,
+            description: "Retrieve emails of all members in a channel",
+            effectful: false,
+            query: "{ channel_name: objs_conversation.name } → [objs_user_profile.email]",
+            gold: r"\channel_name → {
+                let x0 = /conversations.list_GET()
+                x1 ← x0.channels
+                if x1.name = channel_name
+                let x2 = /conversations.members_GET(channel=x1.id)
+                x3 ← x2.members
+                let x4 = /users.profile.get_GET(user=x3)
+                return x4.profile.email
+            }",
+        },
+        Benchmark {
+            id: "1.2",
+            api: Api::Slack,
+            description: "Send a message to a user given their email",
+            effectful: true,
+            query: "{ email: objs_user_profile.email } → objs_message",
+            gold: r"\email → {
+                let x0 = /users.lookupByEmail_GET(email=email)
+                let x1 = /conversations.open_POST(users=x0.user.id)
+                let x2 = /chat.postMessage_POST(channel=x1.channel.id)
+                return x2.message
+            }",
+        },
+        Benchmark {
+            id: "1.3",
+            api: Api::Slack,
+            description: "Get the unread messages of a user",
+            effectful: false,
+            query: "{ user_id: objs_user.id } → [[objs_message]]",
+            gold: r"\user_id → {
+                let x0 = /users.conversations_GET(user=user_id)
+                x1 ← x0.channels
+                let x2 = /conversations.info_GET(channel=x1.id)
+                let x3 = /conversations.history_GET(channel=x2.channel.id, oldest=x2.channel.last_read)
+                return x3.messages
+            }",
+        },
+        Benchmark {
+            id: "1.4",
+            api: Api::Slack,
+            description: "Get all messages associated with a user",
+            effectful: false,
+            query: "{ user_id: objs_user.id, ts: objs_message.ts } → [objs_message]",
+            gold: r"\user_id ts → {
+                let x0 = /conversations.list_GET()
+                x1 ← x0.channels
+                let x2 = /conversations.history_GET(channel=x1.id, oldest=ts)
+                x3 ← x2.messages
+                if x3.user = user_id
+                return x3
+            }",
+        },
+        Benchmark {
+            id: "1.5",
+            api: Api::Slack,
+            description: "Create a channel and invite a list of users",
+            effectful: true,
+            query: "{ user_ids: [objs_user.id], channel_name: objs_conversation.name } → [objs_conversation]",
+            gold: r"\user_ids channel_name → {
+                let x0 = /conversations.create_POST(name=channel_name)
+                x1 ← user_ids
+                let x2 = /conversations.invite_POST(channel=x0.channel.id, users=x1)
+                return x2.channel
+            }",
+        },
+        Benchmark {
+            id: "1.6",
+            api: Api::Slack,
+            description: "Reply to a message and update it",
+            effectful: true,
+            query: "{ channel: objs_conversation.id, ts: objs_message.ts } → objs_message",
+            gold: r"\channel ts → {
+                let x1 = /chat.postMessage_POST(channel=channel, thread_ts=ts)
+                let x2 = /chat.update_POST(channel=channel, ts=x1.ts)
+                return x2.message
+            }",
+        },
+        Benchmark {
+            id: "1.7",
+            api: Api::Slack,
+            description: "Send a message to a channel with the given name",
+            effectful: true,
+            query: "{ channel: objs_conversation.name } → objs_message",
+            gold: r"\channel → {
+                let x0 = /conversations.list_GET()
+                x1 ← x0.channels
+                if x1.name = channel
+                let x2 = /chat.postMessage_POST(channel=x1.id)
+                return x2.message
+            }",
+        },
+        Benchmark {
+            id: "1.8",
+            api: Api::Slack,
+            description: "Get the unread messages of a channel",
+            effectful: false,
+            query: "{ channel_id: objs_conversation.id } → [[objs_message]]",
+            gold: r"\channel_id → {
+                let x2 = /conversations.info_GET(channel=channel_id)
+                let x3 = /conversations.history_GET(channel=channel_id, oldest=x2.channel.last_read)
+                return x3.messages
+            }",
+        },
+        // ------------------------------------------------ Stripe (13)
+        Benchmark {
+            id: "2.1",
+            api: Api::Stripe,
+            description: "Subscribe to a product for a customer",
+            effectful: true,
+            query: "{ customer_id: customer.id, product_id: product.id } → [subscription]",
+            gold: r"\customer_id product_id → {
+                let x1 = /v1/prices_GET(product=product_id)
+                x2 ← x1.data
+                let x3 = /v1/subscriptions_POST(customer=customer_id, items[0][price]=x2.id)
+                return x3
+            }",
+        },
+        Benchmark {
+            id: "2.2",
+            api: Api::Stripe,
+            description: "Subscribe to multiple items",
+            effectful: true,
+            query: "{ customer_id: customer.id, product_ids: [product.id] } → [subscription]",
+            gold: r"\customer_id product_ids → {
+                x0 ← product_ids
+                let x1 = /v1/prices_GET(product=x0)
+                x2 ← x1.data
+                let x3 = /v1/subscriptions_POST(customer=customer_id, items[0][price]=x2.id)
+                return x3
+            }",
+        },
+        Benchmark {
+            id: "2.3",
+            api: Api::Stripe,
+            description: "Create a product and invoice a customer",
+            effectful: true,
+            query: "{ product_name: product.name, customer_id: customer.id, currency: fee.currency, unit_amount: plan.amount } → invoiceitem",
+            gold: r"\product_name customer_id currency unit_amount → {
+                let x0 = /v1/products_POST(name=product_name)
+                let x1 = /v1/prices_POST(currency=currency, product=x0.id, unit_amount=unit_amount)
+                let x2 = /v1/invoiceitems_POST(customer=customer_id, price=x1.id)
+                return x2
+            }",
+        },
+        Benchmark {
+            id: "2.4",
+            api: Api::Stripe,
+            description: "Retrieve a customer by email",
+            effectful: false,
+            query: "{ email: customer.email } → customer",
+            gold: r"\email → {
+                let x0 = /v1/customers_GET()
+                x1 ← x0.data
+                if x1.email = email
+                return x1
+            }",
+        },
+        Benchmark {
+            id: "2.5",
+            api: Api::Stripe,
+            description: "Get a list of receipts for a customer",
+            effectful: false,
+            query: "{ customer_id: customer.id } → [charge]",
+            gold: r"\customer_id → {
+                let x1 = /v1/invoices_GET(customer=customer_id)
+                x2 ← x1.data
+                let x3 = /v1/charges/{charge}_GET(charge=x2.charge)
+                return x3
+            }",
+        },
+        Benchmark {
+            id: "2.6",
+            api: Api::Stripe,
+            description: "Get a refund for a subscription",
+            effectful: true,
+            query: "{ subscription: subscription.id } → refund",
+            gold: r"\subscription → {
+                let x0 = /v1/subscriptions/{subscription_exposed_id}_GET(subscription_exposed_id=subscription)
+                let x1 = /v1/invoices/{invoice}_GET(invoice=x0.latest_invoice)
+                let x2 = /v1/refunds_POST(charge=x1.charge)
+                return x2
+            }",
+        },
+        Benchmark {
+            id: "2.7",
+            api: Api::Stripe,
+            description: "Get the emails of all customers",
+            effectful: false,
+            query: "{ } → [customer.email]",
+            gold: r"\ → {
+                let x0 = /v1/customers_GET()
+                x1 ← x0.data
+                return x1.email
+            }",
+        },
+        Benchmark {
+            id: "2.8",
+            api: Api::Stripe,
+            description: "Get the emails of the subscribers of a product",
+            effectful: false,
+            query: "{ product_id: product.id } → [customer.email]",
+            gold: r"\product_id → {
+                let x1 = /v1/subscriptions_GET()
+                x2 ← x1.data
+                x3 ← x2.items.data
+                if x3.price.product = product_id
+                let x4 = /v1/customers/{customer}_GET(customer=x2.customer)
+                return x4.email
+            }",
+        },
+        Benchmark {
+            id: "2.9",
+            api: Api::Stripe,
+            description: "Get the last 4 digits of a customer's card",
+            effectful: false,
+            query: "{ customer_id: customer.id } → bank_account.last4",
+            gold: r"\customer_id → {
+                let x0 = /v1/customers/{customer}/sources_GET(customer=customer_id)
+                x1 ← x0.data
+                return x1.last4
+            }",
+        },
+        Benchmark {
+            id: "2.10",
+            api: Api::Stripe,
+            description: "Update payment methods for a user's subscriptions",
+            effectful: true,
+            query: "{ payment_method: payment_method, customer_id: customer.id } → [subscription]",
+            gold: r"\payment_method customer_id → {
+                let x0 = /v1/subscriptions_GET(customer=customer_id)
+                x1 ← x0.data
+                let x2 = /v1/subscriptions/{subscription_exposed_id}_POST(subscription_exposed_id=x1.id, default_payment_method=payment_method.id)
+                return x2
+            }",
+        },
+        Benchmark {
+            id: "2.11",
+            api: Api::Stripe,
+            description: "Delete the default payment source for a customer",
+            effectful: true,
+            query: "{ customer_id: customer.id } → payment_source",
+            gold: r"\customer_id → {
+                let x0 = /v1/customers/{customer}_GET(customer=customer_id)
+                let x1 = /v1/customers/{customer}/sources/{id}_DELETE(customer=customer_id, id=x0.default_source)
+                return x1
+            }",
+        },
+        Benchmark {
+            id: "2.12",
+            api: Api::Stripe,
+            description: "Save a card during payment",
+            effectful: true,
+            query: "{ cur: fee.currency, amt: plan.amount, pm: payment_method.id } → payment_intent",
+            gold: r"\cur amt pm → {
+                let x1 = /v1/customers_POST()
+                let x2 = /v1/payment_intents_POST(customer=x1.id, payment_method=pm, currency=cur, amount=amt)
+                let x3 = /v1/payment_intents/{intent}/confirm_POST(intent=x2.id)
+                return x3
+            }",
+        },
+        Benchmark {
+            id: "2.13",
+            api: Api::Stripe,
+            description: "Send an invoice to a customer",
+            effectful: true,
+            query: "{ customer_id: customer.id, price_id: plan.id } → invoice",
+            gold: r"\customer_id price_id → {
+                let x1 = /v1/invoiceitems_POST(customer=customer_id, price=price_id)
+                let x2 = /v1/invoices_POST(customer=x1.customer)
+                let x3 = /v1/invoices/{invoice}/send_POST(invoice=x2.id)
+                return x3
+            }",
+        },
+        // ------------------------------------------------ Sqare (11)
+        Benchmark {
+            id: "3.1",
+            api: Api::Sqare,
+            description: "List invoices that match a location id",
+            effectful: false,
+            query: "{ location_id: Location.id } → [Invoice]",
+            gold: r"\location_id → {
+                let x0 = /v2/invoices_GET(location_id=location_id)
+                x0.invoices
+            }",
+        },
+        Benchmark {
+            id: "3.2",
+            api: Api::Sqare,
+            description: "List subscriptions by location, customer, and plan",
+            effectful: false,
+            query: "{ customer_id: Customer.id, location_id: Location.id, plan_id: CatalogObject.id } → [Subscription]",
+            gold: r"\customer_id location_id plan_id → {
+                let x0 = /v2/subscriptions/search_POST()
+                x1 ← x0.subscriptions
+                if x1.customer_id = customer_id
+                if x1.location_id = location_id
+                if x1.plan_id = plan_id
+                return x1
+            }",
+        },
+        Benchmark {
+            id: "3.3",
+            api: Api::Sqare,
+            description: "Get all items a tax applies to",
+            effectful: false,
+            query: "{ tax_id: CatalogObject.id } → [CatalogObject]",
+            gold: r"\tax_id → {
+                let x0 = /v2/catalog/search_POST()
+                x1 ← x0.objects
+                x2 ← x1.item_data.tax_ids
+                if x2 = tax_id
+                return x1
+            }",
+        },
+        Benchmark {
+            id: "3.4",
+            api: Api::Sqare,
+            description: "Get a list of discounts in the catalog",
+            effectful: false,
+            query: "{ } → [CatalogDiscount]",
+            gold: r"\ → {
+                let x0 = /v2/catalog/list_GET()
+                x1 ← x0.objects
+                return x1.discount_data
+            }",
+        },
+        Benchmark {
+            id: "3.5",
+            api: Api::Sqare,
+            description: "Add order details to order",
+            effectful: true,
+            query: "{ location_id: Location.id, order_ids: [Order.id], updates: [OrderFulfillment] } → [Order]",
+            gold: r"\location_id order_ids updates → {
+                x0 ← order_ids
+                let x1 = /v2/orders/batch-retrieve_POST(location_id=location_id, order_ids[0]=x0)
+                x2 ← x1.orders
+                let x3 = {fulfillments=updates}
+                let x4 = /v2/orders/{order_id}_PUT(order_id=x2.id, order=x3)
+                return x4.order
+            }",
+        },
+        Benchmark {
+            id: "3.6",
+            api: Api::Sqare,
+            description: "Get payment notes of a payment",
+            effectful: false,
+            query: "{ } → [Payment.note]",
+            gold: r"\ → {
+                let x0 = /v2/payments_GET()
+                x1 ← x0.payments
+                return x1.note
+            }",
+        },
+        Benchmark {
+            id: "3.7",
+            api: Api::Sqare,
+            description: "Get order ids of current user's transactions",
+            effectful: false,
+            query: "{ location_id: Location.id } → [Order.id]",
+            gold: r"\location_id → {
+                let x0 = /v2/locations/{location_id}/transactions_GET(location_id=location_id)
+                x1 ← x0.transactions
+                return x1.order_id
+            }",
+        },
+        Benchmark {
+            id: "3.8",
+            api: Api::Sqare,
+            description: "Get order names from a transaction id",
+            effectful: false,
+            query: "{ location_id: Location.id, transaction_id: Order.id } → [Invoice.title]",
+            gold: r"\location_id transaction_id → {
+                let x0 = /v2/orders/batch-retrieve_POST(location_id=location_id, order_ids[0]=transaction_id)
+                x1 ← x0.orders
+                x2 ← x1.line_items
+                return x2.name
+            }",
+        },
+        Benchmark {
+            id: "3.9",
+            api: Api::Sqare,
+            description: "Find customers by name",
+            effectful: false,
+            query: "{ name: Customer.given_name } → Customer",
+            gold: r"\name → {
+                let x0 = /v2/customers_GET()
+                x1 ← x0.customers
+                if x1.given_name = name
+                return x1
+            }",
+        },
+        Benchmark {
+            id: "3.10",
+            api: Api::Sqare,
+            description: "Delete catalog items with names",
+            effectful: true,
+            query: "{ item_type: CatalogObject.type, names: [CatalogItem.name] } → [CatalogObject.id]",
+            gold: r"\item_type names → {
+                let x0 = /v2/catalog/search_POST(object_types[0]=item_type)
+                x1 ← x0.objects
+                x2 ← names
+                if x1.item_data.name = x2
+                let x3 = /v2/catalog/object/{object_id}_DELETE(object_id=x1.id)
+                x3.deleted_object_ids
+            }",
+        },
+        Benchmark {
+            id: "3.11",
+            api: Api::Sqare,
+            description: "Delete all catalog items",
+            effectful: true,
+            query: "{ } → [CatalogObject.id]",
+            gold: r"\ → {
+                let x0 = /v2/catalog/list_GET()
+                x1 ← x0.objects
+                let x2 = /v2/catalog/object/{object_id}_DELETE(object_id=x1.id)
+                x2.deleted_object_ids
+            }",
+        },
+    ]
+}
+
+/// Looks up a benchmark by paper id.
+pub fn benchmark(id: &str) -> Option<Benchmark> {
+    benchmarks().into_iter().find(|b| b.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_32_benchmarks() {
+        let all = benchmarks();
+        assert_eq!(all.len(), 32);
+        assert_eq!(all.iter().filter(|b| b.api == Api::Slack).count(), 8);
+        assert_eq!(all.iter().filter(|b| b.api == Api::Stripe).count(), 13);
+        assert_eq!(all.iter().filter(|b| b.api == Api::Sqare).count(), 11);
+        // 15 effectful tasks, as in Table 2's daggers.
+        assert_eq!(all.iter().filter(|b| b.effectful).count(), 15);
+    }
+
+    #[test]
+    fn all_golds_parse() {
+        for b in benchmarks() {
+            let p = apiphany_lang::parse_program(b.gold)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.id));
+            assert!(!p.body.eq(&apiphany_lang::Expr::Var("x".into())));
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_lookup_works() {
+        let all = benchmarks();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 32);
+        assert_eq!(benchmark("1.1").unwrap().api, Api::Slack);
+        assert!(benchmark("9.9").is_none());
+    }
+
+    #[test]
+    fn gold_sizes_are_nontrivial() {
+        // Table 2: solutions range from 4 to 17 AST nodes with up to three
+        // calls; check ours stay in a comparable band.
+        for b in benchmarks() {
+            let p = apiphany_lang::parse_program(b.gold).unwrap();
+            let m = p.metrics();
+            assert!(m.n_calls >= 1 && m.n_calls <= 3, "{}: {m:?}", b.id);
+            assert!(m.ast_nodes >= 3 && m.ast_nodes <= 20, "{}: {m:?}", b.id);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The paper's evaluation harness: the 32 benchmarks of Table 2, API
+//! preparation (analysis phase), benchmark running, ablation variants, and
+//! the report formatters for every table and figure of §7.
+//!
+//! The `repro-*` binaries regenerate the paper's artifacts:
+//!
+//! * `repro-table1` — API sizes and analysis statistics;
+//! * `repro-table2` — per-benchmark synthesis results (time, ranks);
+//! * `repro-fig13` — solved-vs-time for APIphany / -Syn / -Loc;
+//! * `repro-fig14` — rank CDFs with and without RE ranking;
+//! * `repro-table4` — qualitative mined-type inspection.
+//!
+//! All binaries accept `--timeout <secs>` (per benchmark), `--max-len <n>`
+//! (TTN path bound), and `--api slack|stripe|sqare` to restrict scope.
+
+mod defs;
+mod prep;
+pub mod report;
+mod run;
+
+pub use defs::{benchmark, benchmarks, Api, Benchmark};
+pub use prep::{
+    default_analyze_config, make_service, prepare_api, scenario_witnesses, variant, Prepared,
+};
+pub use run::{default_run_config, run_benchmark, BenchOutcome};
+
+/// Simple CLI options shared by the `repro-*` binaries.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Per-benchmark timeout in seconds.
+    pub timeout_secs: u64,
+    /// TTN path-length bound.
+    pub max_path_len: usize,
+    /// Restrict to one API.
+    pub api: Option<Api>,
+    /// Restrict to one benchmark id.
+    pub only: Option<String>,
+}
+
+impl Default for CliOptions {
+    fn default() -> CliOptions {
+        CliOptions { timeout_secs: 10, max_path_len: 7, api: None, only: None }
+    }
+}
+
+impl CliOptions {
+    /// Parses `--timeout N`, `--max-len N`, `--api NAME`, `--only ID` from
+    /// the process arguments; unknown arguments are ignored.
+    pub fn from_args() -> CliOptions {
+        let mut opts = CliOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--timeout" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.timeout_secs = v;
+                        i += 1;
+                    }
+                }
+                "--max-len" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.max_path_len = v;
+                        i += 1;
+                    }
+                }
+                "--api" => {
+                    opts.api = args.get(i + 1).and_then(|s| match s.as_str() {
+                        "slack" => Some(Api::Slack),
+                        "stripe" => Some(Api::Stripe),
+                        "sqare" => Some(Api::Sqare),
+                        _ => None,
+                    });
+                    i += 1;
+                }
+                "--only" => {
+                    opts.only = args.get(i + 1).cloned();
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The benchmarks selected by these options.
+    pub fn selected(&self) -> Vec<Benchmark> {
+        benchmarks()
+            .into_iter()
+            .filter(|b| self.api.is_none_or(|a| b.api == a))
+            .filter(|b| self.only.as_deref().is_none_or(|id| b.id == id))
+            .collect()
+    }
+}

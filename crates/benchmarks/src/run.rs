@@ -1,0 +1,95 @@
+//! Running benchmarks: one engine + one benchmark → the paper's Table 2
+//! row (solved?, time, `r_orig`, `r_RE`, #cands, `r_RE^TO`).
+
+use std::time::Duration;
+
+use apiphany_core::{Apiphany, RunConfig};
+use apiphany_lang::{parse_program, Metrics};
+
+use crate::defs::Benchmark;
+
+/// The measured outcome of one benchmark run (one Table 2 row).
+#[derive(Debug, Clone)]
+pub struct BenchOutcome {
+    /// Paper id.
+    pub id: String,
+    /// Gold solution size metrics (`AST`, `n_f`, `n_p`, `n_g`).
+    pub gold_metrics: Metrics,
+    /// Whether the gold solution was found within the budget.
+    pub solved: bool,
+    /// Time at which the gold candidate was generated.
+    pub time_to_gold: Option<Duration>,
+    /// 1-based generation rank of the gold (`r_orig`).
+    pub r_orig: Option<usize>,
+    /// RE rank when the gold was generated (`r_RE`).
+    pub r_re: Option<usize>,
+    /// RE rank at the end of the run (`r_RE^TO`).
+    pub r_to: Option<usize>,
+    /// Total distinct well-typed candidates generated (`# cands`).
+    pub n_candidates: usize,
+    /// Wall-clock duration of the run.
+    pub total_time: Duration,
+    /// Time spent in retrospective execution (cost computation).
+    pub re_time: Duration,
+}
+
+/// Runs one benchmark against an engine.
+///
+/// # Panics
+///
+/// Panics if the benchmark's gold solution does not parse (a bug in the
+/// benchmark table, caught by unit tests).
+pub fn run_benchmark(engine: &Apiphany, bench: &Benchmark, cfg: &RunConfig) -> BenchOutcome {
+    let gold = parse_program(bench.gold).expect("gold solutions parse");
+    let gold_metrics = gold.metrics();
+    let Ok(query) = engine.query(bench.query) else {
+        // Under coarse/fine ablation granularities a query type name can
+        // fail to resolve; that counts as unsolved.
+        return BenchOutcome {
+            id: bench.id.to_string(),
+            gold_metrics,
+            solved: false,
+            time_to_gold: None,
+            r_orig: None,
+            r_re: None,
+            r_to: None,
+            n_candidates: 0,
+            total_time: Duration::ZERO,
+            re_time: Duration::ZERO,
+        };
+    };
+    let result = engine.run(&query, cfg);
+    let ranks = result.ranks_of(&gold);
+    let time_to_gold = ranks.map(|(r_orig, _, _)| {
+        result
+            .ranked
+            .iter()
+            .find(|r| r.gen_index + 1 == r_orig)
+            .map(|r| r.elapsed)
+            .unwrap_or(result.total_time)
+    });
+    BenchOutcome {
+        id: bench.id.to_string(),
+        gold_metrics,
+        solved: ranks.is_some(),
+        time_to_gold,
+        r_orig: ranks.map(|(a, _, _)| a),
+        r_re: ranks.map(|(_, b, _)| b),
+        r_to: ranks.map(|(_, _, c)| c),
+        n_candidates: result.ranked.len(),
+        total_time: result.total_time,
+        re_time: result.re_time,
+    }
+}
+
+/// A compact default run configuration for the harness: like the paper's
+/// setup (150 s timeout, 15 RE rounds) but with a smaller default timeout
+/// so a full table run finishes on a laptop; pass `--timeout 150` to the
+/// binaries for the paper's setting.
+pub fn default_run_config(timeout_secs: u64, max_path_len: usize) -> RunConfig {
+    let mut cfg = RunConfig::default();
+    cfg.synthesis.timeout = Duration::from_secs(timeout_secs);
+    cfg.synthesis.max_path_len = max_path_len;
+    cfg.synthesis.max_candidates = 60_000;
+    cfg
+}

@@ -1,0 +1,56 @@
+//! Property tests: arbitrary values round-trip through the printer/parser.
+
+use apiphany_json::{parse, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN/Inf are not representable in JSON.
+        prop::num::f64::NORMAL.prop_map(Value::Float),
+        "[a-zA-Z0-9 _\\-\\\\\"\n\t\u{00e9}\u{4e16}]{0,20}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(|pairs| {
+                // Deduplicate keys: object equality treats objects as maps.
+                let mut seen = std::collections::BTreeSet::new();
+                let fields = pairs
+                    .into_iter()
+                    .filter(|(k, _)| seen.insert(k.clone()))
+                    .collect();
+                Value::Object(fields)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(v in arb_value()) {
+        let text = v.to_json();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_roundtrip(v in arb_value()) {
+        let text = v.to_json_pretty();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,80}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn node_count_positive(v in arb_value()) {
+        prop_assert!(v.node_count() >= 1);
+        prop_assert!(v.depth() >= 1);
+    }
+}

@@ -1,0 +1,448 @@
+//! ANF normalization and canonical forms for `λ_A` programs.
+//!
+//! The evaluation harness must decide whether a synthesized candidate *is*
+//! the benchmark's gold solution. Textual equality is too brittle (variable
+//! names and benign statement orderings differ), so we compare programs by
+//! a **canonical ANF form**:
+//!
+//! 1. flatten the program to A-Normal Form (every operand a variable,
+//!    aliases removed) — the same representation the synthesizer's
+//!    `Progs(π)` uses (paper Appendix B.3);
+//! 2. deterministically re-schedule statements respecting data
+//!    dependencies (greedy, smallest canonical key first);
+//! 3. number variables in schedule order.
+//!
+//! Two programs are [`alpha_eq`] iff their canonical forms are equal. The
+//! construction never equates programs with different dataflow; it may (in
+//! principle) fail to equate programs containing two *identical* duplicated
+//! statements whose results are used asymmetrically, which does not occur in
+//! synthesized or gold programs.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, Program};
+
+/// A canonicalized, alpha-renamed ANF program.
+///
+/// Variables are `usize` indices: parameters are `0..n_params`, and each
+/// statement that binds a value assigns the next index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AnfProgram {
+    /// Number of lambda parameters.
+    pub n_params: usize,
+    /// Statements in canonical schedule order.
+    pub stmts: Vec<AnfStmt>,
+    /// The variable returned by the program.
+    pub result: usize,
+}
+
+/// A canonical ANF statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AnfStmt {
+    /// `let dst = method(name=var, ...)` — args sorted by name.
+    Call {
+        /// Destination variable.
+        dst: usize,
+        /// Method name.
+        method: String,
+        /// Named arguments (sorted by name).
+        args: Vec<(String, usize)>,
+    },
+    /// `let dst = base.label`.
+    Proj {
+        /// Destination variable.
+        dst: usize,
+        /// Base variable.
+        base: usize,
+        /// Projected field.
+        label: String,
+    },
+    /// `let dst = {name=var, ...}` — fields sorted by name.
+    Record {
+        /// Destination variable.
+        dst: usize,
+        /// Record fields (sorted by name).
+        fields: Vec<(String, usize)>,
+    },
+    /// `let dst = return val`.
+    Ret {
+        /// Destination variable.
+        dst: usize,
+        /// The wrapped variable.
+        val: usize,
+    },
+    /// `dst ← src` (monadic binding over the array `src`).
+    Bind {
+        /// The iteration variable.
+        dst: usize,
+        /// The array being iterated.
+        src: usize,
+    },
+    /// `if lhs = rhs` — operands ordered with the smaller index first
+    /// (guard equality is symmetric).
+    Guard {
+        /// Smaller operand.
+        lhs: usize,
+        /// Larger operand.
+        rhs: usize,
+    },
+}
+
+/// Computes the canonical ANF form of a program.
+pub fn canonicalize(program: &Program) -> AnfProgram {
+    let flat = Flattener::run(program);
+    schedule(flat)
+}
+
+/// True iff two programs are equal modulo variable renaming and benign
+/// (dependency-respecting) statement reordering.
+///
+/// ```
+/// use apiphany_lang::{anf::alpha_eq, parse_program};
+/// let a = parse_program(r"\u → { let x = f(user=u) return x.id }").unwrap();
+/// let b = parse_program(r"\w → { let q = f(user=w) return q.id }").unwrap();
+/// assert!(alpha_eq(&a, &b));
+/// ```
+pub fn alpha_eq(a: &Program, b: &Program) -> bool {
+    canonicalize(a) == canonicalize(b)
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: flattening to named ANF.
+
+#[derive(Debug, Clone)]
+enum FlatRhs {
+    Call(String, Vec<(String, String)>),
+    Proj(String, String),
+    Record(Vec<(String, String)>),
+    Ret(String),
+}
+
+#[derive(Debug, Clone)]
+enum FlatStmt {
+    Let(String, FlatRhs),
+    Bind(String, String),
+    Guard(String, String),
+}
+
+struct FlatProgram {
+    params: Vec<String>,
+    stmts: Vec<FlatStmt>,
+    result: String,
+}
+
+struct Flattener {
+    stmts: Vec<FlatStmt>,
+    fresh: usize,
+}
+
+impl Flattener {
+    fn run(program: &Program) -> FlatProgram {
+        let mut f = Flattener { stmts: Vec::new(), fresh: 0 };
+        let mut env: HashMap<String, String> = HashMap::new();
+        for p in &program.params {
+            env.insert(p.clone(), format!("%p_{p}"));
+        }
+        let result = f.expr(&program.body, &env);
+        FlatProgram {
+            params: program.params.iter().map(|p| format!("%p_{p}")).collect(),
+            stmts: f.stmts,
+            result,
+        }
+    }
+
+    fn fresh(&mut self) -> String {
+        let name = format!("%t{}", self.fresh);
+        self.fresh += 1;
+        name
+    }
+
+    fn emit(&mut self, rhs: FlatRhs) -> String {
+        let dst = self.fresh();
+        self.stmts.push(FlatStmt::Let(dst.clone(), rhs));
+        dst
+    }
+
+    /// Flattens `e`, returning the variable holding its value.
+    fn expr(&mut self, e: &Expr, env: &HashMap<String, String>) -> String {
+        match e {
+            Expr::Var(x) => env.get(x).cloned().unwrap_or_else(|| format!("%free_{x}")),
+            Expr::Proj(base, label) => {
+                let b = self.expr(base, env);
+                self.emit(FlatRhs::Proj(b, label.clone()))
+            }
+            Expr::Call(method, args) => {
+                let flat_args: Vec<(String, String)> =
+                    args.iter().map(|(k, v)| (k.clone(), self.expr(v, env))).collect();
+                self.emit(FlatRhs::Call(method.clone(), flat_args))
+            }
+            Expr::Record(fields) => {
+                let flat: Vec<(String, String)> =
+                    fields.iter().map(|(k, v)| (k.clone(), self.expr(v, env))).collect();
+                self.emit(FlatRhs::Record(flat))
+            }
+            Expr::Return(inner) => {
+                let v = self.expr(inner, env);
+                self.emit(FlatRhs::Ret(v))
+            }
+            Expr::Let(x, rhs, body) => {
+                let v = self.expr(rhs, env);
+                let mut env2 = env.clone();
+                env2.insert(x.clone(), v);
+                self.expr(body, &env2)
+            }
+            Expr::Bind(x, rhs, body) => {
+                let src = self.expr(rhs, env);
+                let dst = self.fresh();
+                self.stmts.push(FlatStmt::Bind(dst.clone(), src));
+                let mut env2 = env.clone();
+                env2.insert(x.clone(), dst);
+                self.expr(body, &env2)
+            }
+            Expr::Guard(lhs, rhs, body) => {
+                let l = self.expr(lhs, env);
+                let r = self.expr(rhs, env);
+                self.stmts.push(FlatStmt::Guard(l, r));
+                self.expr(body, env)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2 + 3: canonical scheduling and renaming.
+
+/// A totally ordered key describing a ready statement with all of its
+/// operands already canonically numbered.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    kind: u8,
+    head: String,
+    operands: Vec<(String, usize)>,
+}
+
+fn schedule(flat: FlatProgram) -> AnfProgram {
+    // Canonical index assignment: params first.
+    let mut canon: HashMap<String, usize> = HashMap::new();
+    for (i, p) in flat.params.iter().enumerate() {
+        canon.insert(p.clone(), i);
+    }
+    let mut next = flat.params.len();
+
+    let uses = |s: &FlatStmt| -> Vec<String> {
+        match s {
+            FlatStmt::Let(_, FlatRhs::Call(_, args)) => {
+                args.iter().map(|(_, v)| v.clone()).collect()
+            }
+            FlatStmt::Let(_, FlatRhs::Proj(b, _)) => vec![b.clone()],
+            FlatStmt::Let(_, FlatRhs::Record(fs)) => fs.iter().map(|(_, v)| v.clone()).collect(),
+            FlatStmt::Let(_, FlatRhs::Ret(v)) => vec![v.clone()],
+            FlatStmt::Bind(_, src) => vec![src.clone()],
+            FlatStmt::Guard(l, r) => vec![l.clone(), r.clone()],
+        }
+    };
+
+    let mut remaining: Vec<FlatStmt> = flat.stmts;
+    let mut out: Vec<AnfStmt> = Vec::new();
+
+    while !remaining.is_empty() {
+        // Find all ready statements and compute their keys.
+        let mut best: Option<(Key, usize)> = None;
+        for (i, s) in remaining.iter().enumerate() {
+            if !uses(s).iter().all(|v| canon.contains_key(v)) {
+                continue;
+            }
+            let key = key_of(s, &canon);
+            match &best {
+                Some((bk, _)) if *bk <= key => {}
+                _ => best = Some((key, i)),
+            }
+        }
+        let (_, idx) = best.expect("dependency cycle in ANF statements (impossible)");
+        let stmt = remaining.remove(idx);
+        // Assign a canonical index to the bound variable (if any) and emit.
+        match stmt {
+            FlatStmt::Let(dst, rhs) => {
+                let d = next;
+                next += 1;
+                canon.insert(dst, d);
+                out.push(match rhs {
+                    FlatRhs::Call(m, args) => {
+                        let mut args: Vec<(String, usize)> =
+                            args.into_iter().map(|(k, v)| (k, canon[&v])).collect();
+                        args.sort();
+                        AnfStmt::Call { dst: d, method: m, args }
+                    }
+                    FlatRhs::Proj(b, l) => AnfStmt::Proj { dst: d, base: canon[&b], label: l },
+                    FlatRhs::Record(fs) => {
+                        let mut fields: Vec<(String, usize)> =
+                            fs.into_iter().map(|(k, v)| (k, canon[&v])).collect();
+                        fields.sort();
+                        AnfStmt::Record { dst: d, fields }
+                    }
+                    FlatRhs::Ret(v) => AnfStmt::Ret { dst: d, val: canon[&v] },
+                });
+            }
+            FlatStmt::Bind(dst, src) => {
+                let d = next;
+                next += 1;
+                let s = canon[&src];
+                canon.insert(dst, d);
+                out.push(AnfStmt::Bind { dst: d, src: s });
+            }
+            FlatStmt::Guard(l, r) => {
+                let (a, b) = (canon[&l], canon[&r]);
+                out.push(AnfStmt::Guard { lhs: a.min(b), rhs: a.max(b) });
+            }
+        }
+    }
+
+    let result = *canon
+        .get(&flat.result)
+        .unwrap_or(&usize::MAX); // free/unbound result: sentinel, never equal
+    AnfProgram { n_params: flat.params.len(), stmts: out, result }
+}
+
+fn key_of(s: &FlatStmt, canon: &HashMap<String, usize>) -> Key {
+    match s {
+        FlatStmt::Let(_, FlatRhs::Call(m, args)) => {
+            let mut operands: Vec<(String, usize)> =
+                args.iter().map(|(k, v)| (k.clone(), canon[v])).collect();
+            operands.sort();
+            Key { kind: 0, head: m.clone(), operands }
+        }
+        FlatStmt::Let(_, FlatRhs::Proj(b, l)) => {
+            Key { kind: 1, head: l.clone(), operands: vec![(String::new(), canon[b])] }
+        }
+        FlatStmt::Let(_, FlatRhs::Record(fs)) => {
+            let mut operands: Vec<(String, usize)> =
+                fs.iter().map(|(k, v)| (k.clone(), canon[v])).collect();
+            operands.sort();
+            Key { kind: 2, head: String::new(), operands }
+        }
+        FlatStmt::Let(_, FlatRhs::Ret(v)) => {
+            Key { kind: 3, head: String::new(), operands: vec![(String::new(), canon[v])] }
+        }
+        FlatStmt::Bind(_, src) => {
+            Key { kind: 4, head: String::new(), operands: vec![(String::new(), canon[src])] }
+        }
+        FlatStmt::Guard(l, r) => {
+            let (a, b) = (canon[l], canon[r]);
+            Key {
+                kind: 5,
+                head: String::new(),
+                operands: vec![(String::new(), a.min(b)), (String::new(), a.max(b))],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// Fig. 2 (compact form) vs Fig. 11-right (fully let-bound lifted form):
+    /// the same program written two ways must canonicalize identically.
+    #[test]
+    fn fig2_matches_fig11_lifted_form() {
+        let fig2 = parse_program(
+            r"\channel_name → {
+                c ← c_list()
+                if c.name = channel_name
+                uid ← c_members(channel=c.id)
+                let u = u_info(user=uid)
+                return u.profile.email
+            }",
+        )
+        .unwrap();
+        let fig11 = parse_program(
+            r"\channel_name → {
+                let x1 = c_list()
+                x1' ← x1
+                let x2 = x1'.name
+                if x2 = channel_name
+                let x3 = x1'.id
+                let x4 = c_members(channel=x3)
+                x4' ← x4
+                let x5 = u_info(user=x4')
+                let x6 = x5.profile
+                let x7 = x6.email
+                let x7' = return x7
+                x7'
+            }",
+        )
+        .unwrap();
+        assert!(alpha_eq(&fig2, &fig11));
+    }
+
+    #[test]
+    fn renaming_is_ignored() {
+        let a = parse_program(r"\u → { let x = f(user=u) return x.id }").unwrap();
+        let b = parse_program(r"\v → { let y = f(user=v) return y.id }").unwrap();
+        assert!(alpha_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_methods_differ() {
+        let a = parse_program(r"\u → { let x = f(user=u) return x.id }").unwrap();
+        let b = parse_program(r"\u → { let x = g(user=u) return x.id }").unwrap();
+        assert!(!alpha_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_dataflow_differs() {
+        // Projecting name-vs-id out of the same call.
+        let a = parse_program(r"\ → { let x = f() return x.name }").unwrap();
+        let b = parse_program(r"\ → { let x = f() return x.id }").unwrap();
+        assert!(!alpha_eq(&a, &b));
+    }
+
+    #[test]
+    fn guard_orientation_is_symmetric() {
+        let a = parse_program(r"\n → { x ← f() if x.name = n return x }").unwrap();
+        let b = parse_program(r"\n → { x ← f() if n = x.name return x }").unwrap();
+        assert!(alpha_eq(&a, &b));
+    }
+
+    #[test]
+    fn independent_statement_order_is_ignored() {
+        let a = parse_program(
+            r"\u c → { let x = f(user=u) let y = g(chan=c) let z = h(a=x.id, b=y.id) return z }",
+        )
+        .unwrap();
+        let b = parse_program(
+            r"\u c → { let y = g(chan=c) let x = f(user=u) let z = h(b=y.id, a=x.id) return z }",
+        )
+        .unwrap();
+        assert!(alpha_eq(&a, &b));
+    }
+
+    #[test]
+    fn param_order_matters() {
+        let a = parse_program(r"\u c → { let z = h(a=u, b=c) return z }").unwrap();
+        let b = parse_program(r"\c u → { let z = h(a=u, b=c) return z }").unwrap();
+        assert!(!alpha_eq(&a, &b));
+    }
+
+    #[test]
+    fn alias_lets_are_transparent() {
+        let a = parse_program(r"\u → { let v = u let x = f(user=v) return x }").unwrap();
+        let b = parse_program(r"\u → { let x = f(user=u) return x }").unwrap();
+        assert!(alpha_eq(&a, &b));
+    }
+
+    #[test]
+    fn bind_vs_let_differ() {
+        let a = parse_program(r"\u → { x ← f(user=u) return x }").unwrap();
+        let b = parse_program(r"\u → { let x = f(user=u) return x }").unwrap();
+        assert!(!alpha_eq(&a, &b));
+    }
+
+    #[test]
+    fn record_field_order_is_ignored() {
+        let a = parse_program(r"\u v → { let r = {a=u, b=v} return r }").unwrap();
+        let b = parse_program(r"\u v → { let r = {b=v, a=u} return r }").unwrap();
+        assert!(alpha_eq(&a, &b));
+    }
+}

@@ -1,0 +1,293 @@
+//! Lexer for the `λ_A` surface syntax.
+//!
+//! The token set covers the notation used in the paper's figures and
+//! Appendix E: `\x y → { ... }`, `let`, `←` / `<-`, `if`, `=`, `return`,
+//! REST-style method names (`/v1/prices_GET`,
+//! `/v2/orders/{order_id}_PUT`), and bracketed argument names
+//! (`items[0][price]`).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `\` introducing a lambda.
+    Lambda,
+    /// `→` or `->`.
+    Arrow,
+    /// `←` or `<-`.
+    BindArrow,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+    /// `.`
+    Dot,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `return`
+    Return,
+    /// An identifier, method name, or argument name.
+    Ident(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Lambda => f.write_str("\\"),
+            Token::Arrow => f.write_str("→"),
+            Token::BindArrow => f.write_str("←"),
+            Token::LBrace => f.write_str("{"),
+            Token::RBrace => f.write_str("}"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Equals => f.write_str("="),
+            Token::Dot => f.write_str("."),
+            Token::Let => f.write_str("let"),
+            Token::If => f.write_str("if"),
+            Token::Return => f.write_str("return"),
+            Token::Ident(s) => f.write_str(s),
+        }
+    }
+}
+
+/// A token plus its byte offset (for error reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset in the source where the token starts.
+    pub offset: usize,
+}
+
+/// A lexical error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+/// Is `c` a character that may *start* an identifier or method name?
+fn ident_start(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '/'
+}
+
+/// Is `c` a character that may *continue* a plain identifier?
+///
+/// `'` allows the paper's primed iterator variables (`x1'`).
+fn ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '\''
+}
+
+/// Is `c` a character that may continue a *method path* (one that started
+/// with `/`)? Method names like `/v2/orders/{order_id}_PUT` and
+/// `/users.profile.get_GET` contain slashes, dots, braces, and dashes.
+fn method_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '/' | '.' | '{' | '}' | '-')
+}
+
+/// Tokenizes `λ_A` source text.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on any character that cannot start a token.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let (offset, c) = chars[i];
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '\\' => {
+                tokens.push(Spanned { token: Token::Lambda, offset });
+                i += 1;
+            }
+            '→' => {
+                tokens.push(Spanned { token: Token::Arrow, offset });
+                i += 1;
+            }
+            '←' => {
+                tokens.push(Spanned { token: Token::BindArrow, offset });
+                i += 1;
+            }
+            '-' if matches!(chars.get(i + 1), Some((_, '>'))) => {
+                tokens.push(Spanned { token: Token::Arrow, offset });
+                i += 2;
+            }
+            '<' if matches!(chars.get(i + 1), Some((_, '-'))) => {
+                tokens.push(Spanned { token: Token::BindArrow, offset });
+                i += 2;
+            }
+            '{' => {
+                tokens.push(Spanned { token: Token::LBrace, offset });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Spanned { token: Token::RBrace, offset });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, offset });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, offset });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, offset });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Spanned { token: Token::Equals, offset });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Spanned { token: Token::Dot, offset });
+                i += 1;
+            }
+            c if ident_start(c) => {
+                let is_method = c == '/';
+                let mut text = String::new();
+                while i < chars.len() {
+                    let (_, c) = chars[i];
+                    let ok = if is_method { method_continue(c) } else { ident_continue(c) };
+                    if ok {
+                        text.push(c);
+                        i += 1;
+                    } else if !is_method && c == '[' {
+                        // Bracketed argument-name segments: items[0][price].
+                        let mut j = i + 1;
+                        let mut seg = String::from("[");
+                        let mut closed = false;
+                        while j < chars.len() {
+                            let (_, cj) = chars[j];
+                            seg.push(cj);
+                            j += 1;
+                            if cj == ']' {
+                                closed = true;
+                                break;
+                            }
+                            if !cj.is_ascii_alphanumeric() && cj != '_' {
+                                break;
+                            }
+                        }
+                        if closed {
+                            text.push_str(&seg);
+                            i = j;
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let token = match text.as_str() {
+                    "let" => Token::Let,
+                    "if" => Token::If,
+                    "return" => Token::Return,
+                    _ => Token::Ident(text),
+                };
+                tokens.push(Spanned { token, offset });
+            }
+            other => {
+                return Err(LexError {
+                    offset,
+                    message: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_lambda_header() {
+        assert_eq!(
+            toks(r"\channel_name → {"),
+            vec![
+                Token::Lambda,
+                Token::Ident("channel_name".into()),
+                Token::Arrow,
+                Token::LBrace
+            ]
+        );
+        assert_eq!(toks(r"\x -> {"), toks(r"\x → {"));
+    }
+
+    #[test]
+    fn lexes_bind_arrows() {
+        assert_eq!(toks("x <- y"), toks("x ← y"));
+    }
+
+    #[test]
+    fn lexes_method_paths() {
+        assert_eq!(
+            toks("/v2/orders/{order_id}_PUT(order_id=x)"),
+            vec![
+                Token::Ident("/v2/orders/{order_id}_PUT".into()),
+                Token::LParen,
+                Token::Ident("order_id".into()),
+                Token::Equals,
+                Token::Ident("x".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_bracketed_arg_names() {
+        assert_eq!(
+            toks("items[0][price]=z"),
+            vec![
+                Token::Ident("items[0][price]".into()),
+                Token::Equals,
+                Token::Ident("z".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_primed_vars_and_projection() {
+        assert_eq!(
+            toks("x1'.name"),
+            vec![Token::Ident("x1'".into()), Token::Dot, Token::Ident("name".into())]
+        );
+    }
+
+    #[test]
+    fn keywords() {
+        assert_eq!(toks("let if return"), vec![Token::Let, Token::If, Token::Return]);
+        // Keyword-prefixed identifiers are plain identifiers.
+        assert_eq!(toks("letter"), vec![Token::Ident("letter".into())]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("let x = €").is_err());
+    }
+}

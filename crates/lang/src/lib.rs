@@ -1,0 +1,46 @@
+//! The `λ_A` DSL (paper §3, Fig. 6): a functional language specialized for
+//! manipulating semi-structured data returned by REST APIs.
+//!
+//! The crate provides:
+//!
+//! * the abstract syntax ([`Expr`], [`Program`]) including the paper's
+//!   monadic binding `x ← e`, guards `if e₁ = e₂; e`, and `return e`;
+//! * a parser for the surface syntax used throughout the paper
+//!   ([`parse_program`]), able to read every "gold standard" solution from
+//!   the paper's Appendix E;
+//! * a pretty-printer matching the paper's notation;
+//! * ANF normalization and canonical alpha-renaming
+//!   ([`anf::AnfProgram`]), used by the evaluation harness to decide
+//!   whether a synthesized candidate *is* the gold solution.
+//!
+//! # Example
+//!
+//! ```
+//! use apiphany_lang::parse_program;
+//!
+//! let p = parse_program(
+//!     r"\channel_name → {
+//!         c ← conversations_list()
+//!         if c.name = channel_name
+//!         uid ← conversations_members(channel=c.id)
+//!         let u = users_info(user=uid)
+//!         return u.profile.email
+//!     }",
+//! )
+//! .unwrap();
+//! assert_eq!(p.params, vec!["channel_name"]);
+//! let m = p.metrics();
+//! assert_eq!(m.n_calls, 3);
+//! assert_eq!(m.n_guards, 1);
+//! ```
+
+pub mod anf;
+mod ast;
+mod compact;
+mod lexer;
+mod parser;
+mod pretty;
+
+pub use ast::{Expr, Metrics, Program};
+pub use compact::compact;
+pub use parser::{parse_expr, parse_program, ParseError};

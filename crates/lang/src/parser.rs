@@ -1,0 +1,325 @@
+//! Recursive-descent parser for the `λ_A` surface syntax.
+//!
+//! Grammar (statements are newline- or juxtaposition-separated, exactly as
+//! printed in the paper):
+//!
+//! ```text
+//! program := '\' ident* '→' '{' block '}'
+//! block   := stmt* tail
+//! stmt    := 'let' ident '=' expr
+//!          | ident '←' expr
+//!          | 'if' expr '=' expr
+//! tail    := 'return' expr | expr
+//! expr    := atom ('.' ident)*
+//! atom    := name '(' (argname '=' expr),* ')'     -- method call
+//!          | ident                                  -- variable
+//!          | '{' (argname '=' expr),* '}'           -- record literal
+//!          | 'return' expr                          -- e.g. let x = return y
+//! ```
+
+use std::fmt;
+
+use crate::ast::{Expr, Program};
+use crate::lexer::{lex, LexError, Spanned, Token};
+
+/// A parse error with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { offset: e.offset, message: e.message }
+    }
+}
+
+/// Parses a complete `λ_A` program (`\x y → { ... }`).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let prog = p.program()?;
+    p.expect_eof()?;
+    Ok(prog)
+}
+
+/// Parses a standalone expression (mostly useful in tests).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or_else(
+            || self.tokens.last().map_or(0, |s| s.offset + 1),
+            |s| s.offset,
+        )
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.offset(), message: message.into() }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, expected: &Token) -> Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected '{expected}', found {}",
+                self.peek().map_or("end of input".to_string(), |t| format!("'{t}'"))
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(_)) => match self.bump() {
+                Some(Token::Ident(s)) => Ok(s),
+                _ => unreachable!("peeked Ident"),
+            },
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing tokens after program"))
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.eat(&Token::Lambda)?;
+        let mut params = Vec::new();
+        while let Some(Token::Ident(_)) = self.peek() {
+            params.push(self.ident()?);
+        }
+        self.eat(&Token::Arrow)?;
+        self.eat(&Token::LBrace)?;
+        let body = self.block()?;
+        self.eat(&Token::RBrace)?;
+        Ok(Program { params, body })
+    }
+
+    /// Parses a statement block, desugaring the statement list into nested
+    /// `Let`/`Bind`/`Guard` expressions.
+    fn block(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Let) => {
+                self.bump();
+                let name = self.ident()?;
+                self.eat(&Token::Equals)?;
+                let rhs = self.expr()?;
+                let body = self.block()?;
+                Ok(Expr::Let(name, Box::new(rhs), Box::new(body)))
+            }
+            Some(Token::If) => {
+                self.bump();
+                let lhs = self.expr()?;
+                self.eat(&Token::Equals)?;
+                let rhs = self.expr()?;
+                let body = self.block()?;
+                Ok(Expr::Guard(Box::new(lhs), Box::new(rhs), Box::new(body)))
+            }
+            Some(Token::Return) => {
+                self.bump();
+                let e = self.expr()?;
+                Ok(Expr::Return(Box::new(e)))
+            }
+            Some(Token::Ident(_)) if self.peek2() == Some(&Token::BindArrow) => {
+                let name = self.ident()?;
+                self.eat(&Token::BindArrow)?;
+                let rhs = self.expr()?;
+                let body = self.block()?;
+                Ok(Expr::Bind(name, Box::new(rhs), Box::new(body)))
+            }
+            _ => self.expr(),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        while self.peek() == Some(&Token::Dot) {
+            self.bump();
+            let label = self.ident()?;
+            e = Expr::Proj(Box::new(e), label);
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Return) => {
+                self.bump();
+                let e = self.expr()?;
+                Ok(Expr::Return(Box::new(e)))
+            }
+            Some(Token::LBrace) => {
+                self.bump();
+                let fields = self.named_args(&Token::RBrace)?;
+                Ok(Expr::Record(fields))
+            }
+            Some(Token::Ident(_)) => {
+                let name = self.ident()?;
+                if self.peek() == Some(&Token::LParen) {
+                    self.bump();
+                    let args = self.named_args(&Token::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+
+    /// Parses `name = expr, ...` up to (and consuming) `close`.
+    fn named_args(&mut self, close: &Token) -> Result<Vec<(String, Expr)>, ParseError> {
+        let mut args = Vec::new();
+        if self.peek() == Some(close) {
+            self.bump();
+            return Ok(args);
+        }
+        loop {
+            let name = self.ident()?;
+            self.eat(&Token::Equals)?;
+            let value = self.expr()?;
+            args.push((name, value));
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(t) if &t == close => return Ok(args),
+                _ => return Err(self.err(format!("expected ',' or '{close}'"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig2() {
+        let p = parse_program(
+            r"\channel_name → {
+                c ← conversations_list()
+                if c.name = channel_name
+                uid ← conversations_members(channel=c.id)
+                let u = users_info(user=uid)
+                return u.profile.email
+            }",
+        )
+        .unwrap();
+        assert_eq!(p.params, vec!["channel_name"]);
+        match &p.body {
+            Expr::Bind(c, rhs, _) => {
+                assert_eq!(c, "c");
+                assert_eq!(**rhs, Expr::call("conversations_list", Vec::<(String, Expr)>::new()));
+            }
+            other => panic!("expected bind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_no_param_program() {
+        let p = parse_program(r"\ → { let x0 = c_list() return x0 }").unwrap();
+        assert!(p.params.is_empty());
+    }
+
+    #[test]
+    fn parses_record_literal_and_rest_paths() {
+        let p = parse_program(
+            r"\location_id order_ids updates → {
+                x0 ← order_ids
+                let x1 = /v2/orders/batch-retrieve_POST(location_id=location_id, order_ids[0]=x0)
+                x2 ← x1.orders
+                let x3 = {fulfillments=updates}
+                let x4 = /v2/orders/{order_id}_PUT(order_id=x2.id, order=x3)
+                return x4.order
+            }",
+        )
+        .unwrap();
+        assert_eq!(p.params.len(), 3);
+        assert_eq!(p.metrics().n_calls, 2);
+    }
+
+    #[test]
+    fn parses_let_return_statement() {
+        let p = parse_program(r"\x → { let y = return x y }").unwrap();
+        match &p.body {
+            Expr::Let(_, rhs, body) => {
+                assert!(matches!(**rhs, Expr::Return(_)));
+                assert_eq!(**body, Expr::var("y"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ascii_arrows_work() {
+        let a = parse_program("\\x -> { y <- x return y }").unwrap();
+        let b = parse_program("\\x → { y ← x return y }").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_program(r"\x → {").is_err());
+        assert!(parse_program(r"x → { x }").is_err());
+        assert!(parse_program(r"\x → { let = 3 }").is_err());
+        assert!(parse_program(r"\x → { return x } trailing").is_err());
+        assert!(parse_expr("f(a=1,)").is_err());
+    }
+
+    #[test]
+    fn expr_entry_point() {
+        let e = parse_expr("u.profile.email").unwrap();
+        assert_eq!(e, Expr::var("u").proj("profile").proj("email"));
+    }
+}

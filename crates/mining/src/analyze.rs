@@ -1,0 +1,346 @@
+//! The top-level API-analysis loop (paper Fig. 20, Appendix D):
+//! alternate `MineTypes` with type-directed random test generation until a
+//! fixpoint (or a round budget) is reached.
+
+use std::collections::HashSet;
+
+use apiphany_json::Value;
+use apiphany_spec::{Service, Witness};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::mine::{mine_types, MiningConfig};
+use crate::sample::sample_value;
+use crate::semlib::SemLib;
+
+/// Configuration for [`analyze_api`].
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// Maximum mine/generate rounds (the paper runs to convergence; the
+    /// loop also stops early when a round adds no witnesses).
+    pub max_rounds: usize,
+    /// Maximum size of optional-argument subsets to try (the paper
+    /// "iterates over subsets up to a pre-defined size").
+    pub max_subset_size: usize,
+    /// Maximum number of optional-argument subsets tried per method.
+    pub max_subsets_per_method: usize,
+    /// Sampling attempts per subset per round.
+    pub attempts_per_subset: usize,
+    /// Cap on stored witnesses per method (keeps `W` bounded).
+    pub max_witnesses_per_method: usize,
+    /// RNG seed (analysis is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> AnalyzeConfig {
+        AnalyzeConfig {
+            max_rounds: 4,
+            max_subset_size: 2,
+            max_subsets_per_method: 8,
+            attempts_per_subset: 3,
+            max_witnesses_per_method: 150,
+            seed: 0x0A1F_A27, // arbitrary fixed default
+        }
+    }
+}
+
+/// Statistics from one analysis run (the "API Analysis" columns of the
+/// paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzeStats {
+    /// Total witnesses collected (`|W|`).
+    pub n_witnesses: usize,
+    /// Methods covered by at least one witness (`n_cov`).
+    pub n_covered_methods: usize,
+    /// Rounds actually executed.
+    pub rounds: usize,
+}
+
+/// Output of [`analyze_api`].
+pub struct AnalysisResult {
+    /// The final mined semantic library.
+    pub semlib: SemLib,
+    /// The final witness set (used later by retrospective execution).
+    pub witnesses: Vec<Witness>,
+    /// Run statistics.
+    pub stats: AnalyzeStats,
+}
+
+/// `AnalyzeAPI(Λ, W0)` (paper Fig. 20): alternates between mining the best
+/// semantic library from the current witnesses and generating new witnesses
+/// by type-directed random testing against the (sandboxed) service.
+pub fn analyze_api(
+    service: &mut dyn Service,
+    initial: &[Witness],
+    mining: &MiningConfig,
+    cfg: &AnalyzeConfig,
+) -> AnalysisResult {
+    let lib = service.library().clone();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut witnesses: Vec<Witness> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    for w in initial {
+        push_witness(&mut witnesses, &mut seen, w.clone());
+    }
+
+    let mut rounds = 0;
+    let mut semlib = mine_types(&lib, &witnesses, mining);
+    for _ in 0..cfg.max_rounds {
+        rounds += 1;
+        let new = generate_tests(service, &semlib, cfg, &mut rng);
+        let mut added = 0;
+        for w in new {
+            if per_method_count(&witnesses, &w.method) >= cfg.max_witnesses_per_method {
+                continue;
+            }
+            if push_witness(&mut witnesses, &mut seen, w) {
+                added += 1;
+            }
+        }
+        semlib = mine_types(&lib, &witnesses, mining);
+        if added == 0 {
+            break;
+        }
+    }
+
+    let covered: HashSet<&str> = witnesses.iter().map(|w| w.method.as_str()).collect();
+    let stats = AnalyzeStats {
+        n_witnesses: witnesses.len(),
+        n_covered_methods: covered.len(),
+        rounds,
+    };
+    AnalysisResult { semlib, witnesses, stats }
+}
+
+fn per_method_count(witnesses: &[Witness], method: &str) -> usize {
+    witnesses.iter().filter(|w| w.method == method).count()
+}
+
+fn push_witness(witnesses: &mut Vec<Witness>, seen: &mut HashSet<String>, w: Witness) -> bool {
+    let key = w.to_value().to_json();
+    if seen.insert(key) {
+        witnesses.push(w);
+        true
+    } else {
+        false
+    }
+}
+
+/// `GenerateTests(Λ̂)` (paper Fig. 20 bottom): for every method, sample
+/// inputs from the value bank for the required parameters plus each small
+/// subset of optional parameters, call the service, and keep the successful
+/// calls as witnesses.
+///
+/// Sampling is strictly *type-directed* (from the parameter's own semantic
+/// type's bank). Spraying arbitrary observed values into unknown parameters
+/// — a tempting bootstrap — corrupts type mining: echo-style `create`
+/// endpoints accept any string and reflect it into their response, merging
+/// unrelated loc-sets into one mega-group. Methods whose parameter types
+/// were never observed stay uncovered, exactly as in the paper (Table 1's
+/// 30–40% coverage; "many methods are only available to paid accounts");
+/// the paper closes specific gaps with manual consumer-producer
+/// annotations, which this reproduction represents as the services'
+/// scripted scenarios.
+pub fn generate_tests(
+    service: &mut dyn Service,
+    semlib: &SemLib,
+    cfg: &AnalyzeConfig,
+    rng: &mut StdRng,
+) -> Vec<Witness> {
+    let mut out = Vec::new();
+    let method_names: Vec<String> = semlib.methods.keys().cloned().collect();
+    for name in method_names {
+        let sig = semlib.methods[&name].clone();
+        let required: Vec<_> = sig.params.required().cloned().collect();
+        let optional: Vec<_> = sig.params.optional().cloned().collect();
+        for subset in optional_subsets(optional.len(), cfg, rng) {
+            'attempt: for _ in 0..cfg.attempts_per_subset {
+                let mut args: Vec<(String, Value)> = Vec::new();
+                for field in &required {
+                    match sample_value(semlib, &field.ty, rng) {
+                        Some(v) => args.push((field.name.clone(), v)),
+                        None => break 'attempt, // cannot generate this method yet
+                    }
+                }
+                let mut ok = true;
+                for &i in &subset {
+                    let field = &optional[i];
+                    match sample_value(semlib, &field.ty, rng) {
+                        Some(v) => args.push((field.name.clone(), v)),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                if let Ok(output) = service.call(&name, &args) {
+                    out.push(Witness { method: name.clone(), args, output });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates optional-argument index subsets: the empty set, singletons,
+/// then random larger subsets, bounded by the configuration.
+fn optional_subsets(n: usize, cfg: &AnalyzeConfig, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let mut subsets: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut singles: Vec<usize> = (0..n).collect();
+    singles.shuffle(rng);
+    for i in singles {
+        if subsets.len() >= cfg.max_subsets_per_method {
+            return subsets;
+        }
+        subsets.push(vec![i]);
+    }
+    // Larger subsets, sampled at random without exhaustive blowup.
+    let mut guard = 0;
+    while subsets.len() < cfg.max_subsets_per_method && cfg.max_subset_size >= 2 && n >= 2 {
+        guard += 1;
+        if guard > 50 {
+            break;
+        }
+        let size = rng.gen_range(2..=cfg.max_subset_size.min(n));
+        let mut pick: Vec<usize> = (0..n).collect();
+        pick.shuffle(rng);
+        let mut subset: Vec<usize> = pick.into_iter().take(size).collect();
+        subset.sort_unstable();
+        if !subsets.contains(&subset) {
+            subsets.push(subset);
+        }
+    }
+    subsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+    use apiphany_spec::{CallError, Library, Loc};
+
+    /// A tiny deterministic service implementing the Fig. 7 API, used to
+    /// test the analysis loop without the full simulated services.
+    struct MiniSlack {
+        lib: Library,
+        calls: usize,
+    }
+
+    impl MiniSlack {
+        fn new() -> MiniSlack {
+            MiniSlack { lib: fig7_library(), calls: 0 }
+        }
+    }
+
+    impl Service for MiniSlack {
+        fn name(&self) -> &str {
+            "mini-slack"
+        }
+
+        fn library(&self) -> &Library {
+            &self.lib
+        }
+
+        fn call(&mut self, method: &str, args: &[(String, Value)]) -> Result<Value, CallError> {
+            self.calls += 1;
+            let arg = |k: &str| args.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+            match method {
+                "c_list" => Ok(fig4_witnesses()[0].output.clone()),
+                "u_info" => {
+                    let user = arg("user")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| CallError::new("missing user"))?;
+                    for w in fig4_witnesses() {
+                        if w.method == "u_info"
+                            && w.arg("user").and_then(Value::as_str) == Some(user)
+                        {
+                            return Ok(w.output);
+                        }
+                    }
+                    Err(CallError::new("user_not_found"))
+                }
+                "c_members" => {
+                    let chan = arg("channel")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| CallError::new("missing channel"))?;
+                    for w in fig4_witnesses() {
+                        if w.method == "c_members"
+                            && w.arg("channel").and_then(Value::as_str) == Some(chan)
+                        {
+                            return Ok(w.output);
+                        }
+                    }
+                    Err(CallError::new("channel_not_found"))
+                }
+                _ => Err(CallError::new("unknown_method")),
+            }
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn analysis_grows_coverage_from_sparse_seed() {
+        // Seed with c_list, one u_info call, and one c_members call (the
+        // "consumer-producer annotation" role): every method's parameter
+        // type is now linked, and enrichment multiplies the witnesses.
+        let seed = vec![
+            fig4_witnesses()[0].clone(),
+            fig4_witnesses()[1].clone(),
+            fig4_witnesses()[3].clone(),
+        ];
+        let mut svc = MiniSlack::new();
+        let cfg = AnalyzeConfig { max_rounds: 6, attempts_per_subset: 12, ..AnalyzeConfig::default() };
+        let result = analyze_api(&mut svc, &seed, &MiningConfig::default(), &cfg);
+        assert!(result.stats.n_witnesses > 3);
+        assert_eq!(result.stats.n_covered_methods, 3);
+        // After analysis, u_info.in.user must have merged with User.id —
+        // the enrichment loop of Appendix D.
+        let sl = &result.semlib;
+        let is_obj = |n: &str| sl.lib.is_object(n);
+        let a = sl.group_of(&Loc::parse("u_info.in.user", is_obj).unwrap());
+        let b = sl.group_of(&Loc::parse("User.id", is_obj).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn analysis_is_deterministic_given_seed() {
+        let seed = vec![fig4_witnesses()[0].clone(), fig4_witnesses()[1].clone()];
+        let run = || {
+            let mut svc = MiniSlack::new();
+            let cfg =
+                AnalyzeConfig { max_rounds: 6, attempts_per_subset: 12, ..AnalyzeConfig::default() };
+            let r = analyze_api(&mut svc, &seed, &MiningConfig::default(), &cfg);
+            (r.stats.n_witnesses, r.stats.n_covered_methods)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn optional_subsets_bounded() {
+        let cfg = AnalyzeConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let subsets = optional_subsets(10, &cfg, &mut rng);
+        assert!(subsets.len() <= cfg.max_subsets_per_method);
+        assert_eq!(subsets[0], Vec::<usize>::new());
+        for s in &subsets {
+            assert!(s.len() <= cfg.max_subset_size.max(1));
+        }
+    }
+
+    #[test]
+    fn empty_witness_start_still_terminates() {
+        let mut svc = MiniSlack::new();
+        let cfg = AnalyzeConfig { max_rounds: 6, attempts_per_subset: 12, ..AnalyzeConfig::default() };
+        let result = analyze_api(&mut svc, &[], &MiningConfig::default(), &cfg);
+        // c_list takes no arguments, so random testing covers it from
+        // nothing; parameterized methods stay uncovered without witnesses
+        // linking their parameter types (type-directed sampling only).
+        assert!(result.stats.n_covered_methods >= 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! The disjoint-set (union-find) over `(location, value)` pairs used by
+//! type mining (paper §4).
+//!
+//! The structure stores disjoint groups of pairs `(loc, v)`. `insert` takes
+//! a pair and checks whether either component already appears; if so, it
+//! merges the new pair into the corresponding group(s), otherwise it opens a
+//! new group. When two pairs end up in the same group, their locations have
+//! the same semantic type.
+
+use std::collections::HashMap;
+
+use apiphany_spec::Loc;
+
+/// A scalar value that participates in value-based merging.
+///
+/// Per the paper's §7.4, merging is value-based only for strings and large
+/// integers; booleans and small integers never merge (their locations stay
+/// in singleton groups).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ScalarKey {
+    /// A string value.
+    Str(String),
+    /// A (large) integer value.
+    Int(i64),
+}
+
+/// Union-find over locations and scalar values.
+#[derive(Debug, Default)]
+pub struct PairDsu {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    loc_node: HashMap<Loc, usize>,
+    val_node: HashMap<ScalarKey, usize>,
+}
+
+impl PairDsu {
+    /// Creates an empty disjoint-set.
+    pub fn new() -> PairDsu {
+        PairDsu::default()
+    }
+
+    fn fresh(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        id
+    }
+
+    fn find_node(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find_node(a), self.find_node(b));
+        if ra == rb {
+            return;
+        }
+        if self.rank[ra] < self.rank[rb] {
+            self.parent[ra] = rb;
+        } else if self.rank[ra] > self.rank[rb] {
+            self.parent[rb] = ra;
+        } else {
+            self.parent[rb] = ra;
+            self.rank[ra] += 1;
+        }
+    }
+
+    /// Ensures `loc` has a node, without associating any value
+    /// (used so that unwitnessed locations still receive singleton groups).
+    pub fn touch_loc(&mut self, loc: &Loc) {
+        if !self.loc_node.contains_key(loc) {
+            let n = self.fresh();
+            self.loc_node.insert(loc.clone(), n);
+        }
+    }
+
+    /// Inserts the pair `(loc, value)`, merging groups that share either
+    /// component (the paper's `insert`).
+    pub fn insert(&mut self, loc: &Loc, value: ScalarKey) {
+        self.touch_loc(loc);
+        let ln = self.loc_node[loc];
+        match self.val_node.get(&value) {
+            Some(&vn) => self.union(ln, vn),
+            None => {
+                self.val_node.insert(value, ln);
+            }
+        }
+    }
+
+    /// True iff the two locations are currently in the same group.
+    pub fn same_group(&mut self, a: &Loc, b: &Loc) -> bool {
+        match (self.loc_node.get(a).copied(), self.loc_node.get(b).copied()) {
+            (Some(na), Some(nb)) => self.find_node(na) == self.find_node(nb),
+            _ => false,
+        }
+    }
+
+    /// Extracts the final partition: each element is the sorted loc-set of
+    /// one group (the paper's `find`, materialized for all locations at
+    /// once). Groups are ordered deterministically by their smallest
+    /// location.
+    pub fn groups(&mut self) -> Vec<Vec<Loc>> {
+        let locs: Vec<(Loc, usize)> =
+            self.loc_node.iter().map(|(l, &n)| (l.clone(), n)).collect();
+        let mut by_root: HashMap<usize, Vec<Loc>> = HashMap::new();
+        for (loc, node) in locs {
+            let root = self.find_node(node);
+            by_root.entry(root).or_default().push(loc);
+        }
+        let mut groups: Vec<Vec<Loc>> = by_root
+            .into_values()
+            .map(|mut locs| {
+                locs.sort();
+                locs
+            })
+            .collect();
+        groups.sort();
+        groups
+    }
+
+    /// Number of distinct locations registered.
+    pub fn n_locs(&self) -> usize {
+        self.loc_node.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(s: &str) -> Loc {
+        Loc::parse(s, |n| n.chars().next().is_some_and(char::is_uppercase)).unwrap()
+    }
+
+    #[test]
+    fn shared_value_merges_locations() {
+        let mut ds = PairDsu::new();
+        ds.insert(&loc("User.id"), ScalarKey::Str("UJ5".into()));
+        ds.insert(&loc("u_info.in.user"), ScalarKey::Str("UJ5".into()));
+        ds.insert(&loc("Channel.creator"), ScalarKey::Str("UJ5".into()));
+        assert!(ds.same_group(&loc("User.id"), &loc("u_info.in.user")));
+        assert!(ds.same_group(&loc("User.id"), &loc("Channel.creator")));
+    }
+
+    #[test]
+    fn distinct_values_do_not_merge() {
+        let mut ds = PairDsu::new();
+        ds.insert(&loc("User.id"), ScalarKey::Str("U1".into()));
+        ds.insert(&loc("Channel.id"), ScalarKey::Str("C1".into()));
+        assert!(!ds.same_group(&loc("User.id"), &loc("Channel.id")));
+        assert_eq!(ds.groups().len(), 2);
+    }
+
+    #[test]
+    fn transitive_merge_through_location() {
+        let mut ds = PairDsu::new();
+        // User.id sees two values; each value also appears elsewhere:
+        ds.insert(&loc("User.id"), ScalarKey::Str("A".into()));
+        ds.insert(&loc("User.id"), ScalarKey::Str("B".into()));
+        ds.insert(&loc("f.in.x"), ScalarKey::Str("A".into()));
+        ds.insert(&loc("g.in.y"), ScalarKey::Str("B".into()));
+        assert!(ds.same_group(&loc("f.in.x"), &loc("g.in.y")));
+        assert_eq!(ds.groups().len(), 1);
+    }
+
+    #[test]
+    fn touch_creates_singletons() {
+        let mut ds = PairDsu::new();
+        ds.touch_loc(&loc("User.tz"));
+        ds.touch_loc(&loc("User.tz"));
+        assert_eq!(ds.n_locs(), 1);
+        assert_eq!(ds.groups(), vec![vec![loc("User.tz")]]);
+    }
+
+    #[test]
+    fn int_and_string_keys_are_distinct() {
+        let mut ds = PairDsu::new();
+        ds.insert(&loc("A.x"), ScalarKey::Int(12345));
+        ds.insert(&loc("B.y"), ScalarKey::Str("12345".into()));
+        assert!(!ds.same_group(&loc("A.x"), &loc("B.y")));
+    }
+
+    #[test]
+    fn groups_are_deterministic() {
+        let build = || {
+            let mut ds = PairDsu::new();
+            ds.insert(&loc("B.b"), ScalarKey::Str("v1".into()));
+            ds.insert(&loc("A.a"), ScalarKey::Str("v1".into()));
+            ds.insert(&loc("C.c"), ScalarKey::Str("v2".into()));
+            ds.groups()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,167 @@
+//! Location-based type inference: the judgment `Λ ⊢ loc ⇒ t̂` of the
+//! paper's Fig. 15 (Appendix A).
+//!
+//! The central operation is *canonicalization* ("folding"): rewriting a raw
+//! location so that its prefix passes through named object definitions.
+//! For example, with the Fig. 7 library:
+//!
+//! * `u_info.out.id` canonicalizes to `User.id` (the response of `u_info`
+//!   is a `User`, so the `id` field belongs to the `User` definition);
+//! * `c_list.out.0.creator` canonicalizes to `Channel.creator`;
+//! * `u_info.in.user` is already canonical (no named object on the way).
+
+use apiphany_spec::{Label, Library, Loc, Root, SynTy};
+
+/// The folded context reached while canonicalizing a location: either we
+/// are "inside" a named object definition, or on a path that has not
+/// crossed any named object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Folded {
+    /// The location denotes the named object itself.
+    Object(String),
+    /// The location denotes a (canonical) path.
+    Path(Loc),
+}
+
+impl Folded {
+    /// The canonical location this context denotes. For an object context
+    /// that is the object's root location.
+    pub fn to_loc(&self) -> Loc {
+        match self {
+            Folded::Object(o) => Loc::object(o.clone()),
+            Folded::Path(loc) => loc.clone(),
+        }
+    }
+}
+
+/// Canonicalizes (folds) a location against the library.
+///
+/// Returns `None` when the location does not exist in the library (e.g. a
+/// response field that the spec does not declare); callers fall back to the
+/// raw location in that case, matching the paper's treatment of locations
+/// "not in DS".
+pub fn fold(lib: &Library, loc: &Loc) -> Option<Folded> {
+    let mut ctx = match &loc.root {
+        Root::Object(o) => {
+            if !lib.is_object(o) {
+                return None;
+            }
+            Folded::Object(o.clone())
+        }
+        Root::Method(f) => {
+            if !lib.methods.contains_key(f) {
+                return None;
+            }
+            Folded::Path(Loc::method(f.clone()))
+        }
+    };
+    for label in &loc.path {
+        let ty = lookup_step(lib, &ctx, label)?;
+        ctx = match ty {
+            // ObjFollow: entering a named object folds the prefix.
+            SynTy::Object(o) => Folded::Object(o),
+            // PathFollow / Arr / AdHoc: extend the canonical path.
+            _ => Folded::Path(ctx.to_loc().child(label.clone())),
+        };
+    }
+    Some(ctx)
+}
+
+/// The syntactic type one label past a folded context.
+pub fn lookup_step(lib: &Library, ctx: &Folded, label: &Label) -> Option<SynTy> {
+    match ctx {
+        Folded::Object(o) => match label {
+            Label::Named(name) => lib.objects.get(o)?.field(name).map(|f| f.ty.clone()),
+            _ => None,
+        },
+        Folded::Path(loc) => lib.lookup(&loc.child(label.clone())),
+    }
+}
+
+/// The syntactic type *of* a folded context.
+pub fn lookup_ctx(lib: &Library, ctx: &Folded) -> Option<SynTy> {
+    match ctx {
+        Folded::Object(o) => {
+            lib.objects.get(o).map(|_| SynTy::Object(o.clone()))
+        }
+        Folded::Path(loc) => lib.lookup(loc),
+    }
+}
+
+/// Canonicalizes a location that denotes a *scalar* value, returning the
+/// canonical location whose loc-set type the scalar belongs to.
+///
+/// Falls back to the raw location when the library does not describe it
+/// (the spec and the observed traffic can disagree in practice).
+pub fn canonical_scalar_loc(lib: &Library, loc: &Loc) -> Loc {
+    match fold(lib, loc) {
+        Some(ctx) => ctx.to_loc(),
+        None => loc.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_spec::fixtures::fig7_library;
+
+    fn mloc(parts: &str) -> Loc {
+        let lib = fig7_library();
+        Loc::parse(parts, |n| lib.is_object(n)).unwrap()
+    }
+
+    #[test]
+    fn folds_through_response_object() {
+        let lib = fig7_library();
+        // u_info.out.id ⇒ User.id (paper Appendix A's worked example).
+        let canon = canonical_scalar_loc(&lib, &mloc("u_info.out.id"));
+        assert_eq!(canon, mloc("User.id"));
+    }
+
+    #[test]
+    fn folds_through_array_elements() {
+        let lib = fig7_library();
+        let canon = canonical_scalar_loc(&lib, &mloc("c_list.out.0.creator"));
+        assert_eq!(canon, mloc("Channel.creator"));
+    }
+
+    #[test]
+    fn folds_nested_objects() {
+        let lib = fig7_library();
+        // u_info.out.profile.email ⇒ Profile.email (two folds).
+        let canon = canonical_scalar_loc(&lib, &mloc("u_info.out.profile.email"));
+        assert_eq!(canon, mloc("Profile.email"));
+    }
+
+    #[test]
+    fn parameter_locations_stay_put() {
+        let lib = fig7_library();
+        let canon = canonical_scalar_loc(&lib, &mloc("u_info.in.user"));
+        assert_eq!(canon, mloc("u_info.in.user"));
+    }
+
+    #[test]
+    fn response_array_of_scalars() {
+        let lib = fig7_library();
+        let canon = canonical_scalar_loc(&lib, &mloc("c_members.out.0"));
+        assert_eq!(canon, mloc("c_members.out.0"));
+    }
+
+    #[test]
+    fn unknown_locations_fall_back_to_raw() {
+        let lib = fig7_library();
+        let raw = mloc("u_info.out.nonexistent_field");
+        assert_eq!(canonical_scalar_loc(&lib, &raw), raw);
+        let raw = mloc("unknown_method.out");
+        assert_eq!(canonical_scalar_loc(&lib, &raw), raw);
+    }
+
+    #[test]
+    fn fold_reports_object_contexts() {
+        let lib = fig7_library();
+        match fold(&lib, &mloc("u_info.out")).unwrap() {
+            Folded::Object(o) => assert_eq!(o, "User"),
+            other => panic!("expected object fold, got {other:?}"),
+        }
+    }
+}

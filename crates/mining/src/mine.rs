@@ -1,0 +1,472 @@
+//! The `MineTypes` algorithm (paper Fig. 8): build the disjoint-set from a
+//! witness set, then build the semantic library from the disjoint-set.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use apiphany_json::Value;
+use apiphany_spec::{
+    GroupId, Label, Library, Loc, SemFieldTy, SemRecordTy, SemTy, SynTy, Witness,
+};
+
+use crate::dsu::{PairDsu, ScalarKey};
+use crate::infer::{canonical_scalar_loc, fold, Folded};
+use crate::semlib::{pick_display, GroupData, SemLib, SemMethodSig};
+
+/// Type granularity: the three TTN variants of the paper's ablation (§7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// Full APIphany: location-based types merged by shared values.
+    Mined,
+    /// `APIphany-Loc`: unmerged location-based types (each scalar location
+    /// is its own semantic type).
+    LocationOnly,
+    /// `APIphany-Syn`: syntactic types (all `String` locations share one
+    /// type, likewise `Int`/`Bool`/`Float`).
+    Syntactic,
+}
+
+/// Configuration for [`mine_types`].
+#[derive(Debug, Clone)]
+pub struct MiningConfig {
+    /// Which type granularity to produce.
+    pub granularity: Granularity,
+    /// Integers with absolute value larger than this participate in
+    /// value-based merging; smaller ones do not (paper §7.4 uses 1000).
+    pub min_merge_int: i64,
+    /// Maximum distinct values kept per group bank.
+    pub max_bank_values: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> MiningConfig {
+        MiningConfig { granularity: Granularity::Mined, min_merge_int: 1000, max_bank_values: 512 }
+    }
+}
+
+impl MiningConfig {
+    /// The `APIphany-Loc` ablation configuration.
+    pub fn location_only() -> MiningConfig {
+        MiningConfig { granularity: Granularity::LocationOnly, ..MiningConfig::default() }
+    }
+
+    /// The `APIphany-Syn` ablation configuration.
+    pub fn syntactic() -> MiningConfig {
+        MiningConfig { granularity: Granularity::Syntactic, ..MiningConfig::default() }
+    }
+}
+
+/// Reserved value keys used to merge all locations of one primitive type in
+/// the `APIphany-Syn` ablation. The `\u{0}` prefix cannot appear in real
+/// witness strings produced by the simulated services.
+fn syn_type_key(ty: &SynTy) -> ScalarKey {
+    match ty {
+        SynTy::Str => ScalarKey::Str("\u{0}__ALL_STRINGS__".into()),
+        SynTy::Int => ScalarKey::Str("\u{0}__ALL_INTS__".into()),
+        SynTy::Bool => ScalarKey::Str("\u{0}__ALL_BOOLS__".into()),
+        SynTy::Float => ScalarKey::Str("\u{0}__ALL_FLOATS__".into()),
+        _ => unreachable!("syn_type_key on non-scalar"),
+    }
+}
+
+/// Runs type mining: `MineTypes(Λ, W)` of the paper's Fig. 8.
+///
+/// Every scalar location of the library receives a semantic type: witnessed
+/// locations may merge into shared loc-sets; unwitnessed ones keep singleton
+/// location-based types (paper §4, "annotated with the unmerged
+/// location-based type").
+pub fn mine_types(lib: &Library, witnesses: &[Witness], cfg: &MiningConfig) -> SemLib {
+    let mut ds = PairDsu::new();
+    let mut bank: HashMap<Loc, Vec<Value>> = HashMap::new();
+    let mut bank_seen: HashMap<Loc, HashSet<String>> = HashMap::new();
+    let mut object_bank: HashMap<String, Vec<Value>> = HashMap::new();
+    let mut object_seen: HashMap<String, HashSet<String>> = HashMap::new();
+
+    // Phase 1 (lines 2-5 of Fig. 8): register all witnesses.
+    for w in witnesses {
+        let in_loc = Loc::method(w.method.clone()).child(Label::In);
+        let out_loc = Loc::method(w.method.clone()).child(Label::Out);
+        add_value(lib, cfg, &mut ds, &mut bank, &mut bank_seen, &mut object_bank,
+                  &mut object_seen, &in_loc, &w.args_value());
+        add_value(lib, cfg, &mut ds, &mut bank, &mut bank_seen, &mut object_bank,
+                  &mut object_seen, &out_loc, &w.output);
+    }
+
+    // Make sure every scalar location of the library has a node, so that
+    // unwitnessed locations still get (singleton) semantic types; for the
+    // syntactic ablation this is also where whole-type merging happens.
+    for_each_scalar_loc(lib, &mut |loc, ty| match cfg.granularity {
+        Granularity::Syntactic => ds.insert(&loc, syn_type_key(ty)),
+        _ => ds.touch_loc(&loc),
+    });
+
+    // Phase 2 (line 6): extract groups and rebuild definitions over them.
+    let group_locs = ds.groups();
+    let mut loc_to_group: HashMap<Loc, GroupId> = HashMap::new();
+    let mut groups: Vec<GroupData> = Vec::with_capacity(group_locs.len());
+    for (i, locs) in group_locs.into_iter().enumerate() {
+        let id = GroupId(i as u32);
+        let mut values = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        for loc in &locs {
+            loc_to_group.insert(loc.clone(), id);
+            for v in bank.get(loc).map_or(&[][..], Vec::as_slice) {
+                if values.len() >= cfg.max_bank_values {
+                    break;
+                }
+                if seen.insert(v.to_json()) {
+                    values.push(v.clone());
+                }
+            }
+        }
+        let display = match cfg.granularity {
+            Granularity::Syntactic if locs.len() > 1 => syn_display(lib, &locs),
+            _ => pick_display(&locs),
+        };
+        groups.push(GroupData { locs, values, display });
+    }
+
+    let mut semlib = SemLib {
+        lib: lib.clone(),
+        objects: BTreeMap::new(),
+        methods: BTreeMap::new(),
+        groups,
+        loc_to_group,
+        object_bank,
+    };
+
+    // AddDefinitions(Λ, DS): transform every object and method definition.
+    let mut defs = DefBuilder {
+        loc_to_group: semlib.loc_to_group.clone(),
+        base: semlib.groups.len(),
+        extra: Vec::new(),
+    };
+    for (name, record) in &lib.objects {
+        let base = Loc::object(name.clone());
+        let sem = defs.sem_record(&base, record);
+        semlib.objects.insert(name.clone(), sem);
+    }
+    for (name, sig) in &lib.methods {
+        let in_base = Loc::method(name.clone()).child(Label::In);
+        let out_base = Loc::method(name.clone()).child(Label::Out);
+        let params = defs.sem_record(&in_base, &sig.params);
+        let response = defs.sem_of_ty(&out_base, &sig.response);
+        semlib.methods.insert(name.clone(), SemMethodSig { params, response });
+    }
+    // `extra` is only non-empty if a definition mentions a location the
+    // enumeration missed; keep the library total by appending them.
+    for (loc, data) in defs.extra {
+        let id = GroupId(semlib.groups.len() as u32);
+        semlib.loc_to_group.insert(loc, id);
+        semlib.groups.push(data);
+    }
+    semlib
+}
+
+/// Builds semantic definitions, allocating fresh singleton groups for any
+/// scalar location not already in the disjoint-set.
+struct DefBuilder {
+    loc_to_group: HashMap<Loc, GroupId>,
+    base: usize,
+    extra: Vec<(Loc, GroupData)>,
+}
+
+impl DefBuilder {
+    fn group_for(&mut self, loc: &Loc) -> GroupId {
+        if let Some(id) = self.loc_to_group.get(loc) {
+            return *id;
+        }
+        if let Some(i) = self.extra.iter().position(|(l, _)| l == loc) {
+            return GroupId((self.base + i) as u32);
+        }
+        let id = GroupId((self.base + self.extra.len()) as u32);
+        self.extra.push((
+            loc.clone(),
+            GroupData { locs: vec![loc.clone()], values: Vec::new(), display: loc.to_string() },
+        ));
+        id
+    }
+
+    fn sem_of_ty(&mut self, base: &Loc, ty: &SynTy) -> SemTy {
+        match ty {
+            SynTy::Object(o) => SemTy::Object(o.clone()),
+            SynTy::Array(elem) => SemTy::array(self.sem_of_ty(&base.elem(), elem)),
+            SynTy::Record(record) => SemTy::Record(self.sem_record(base, record)),
+            _scalar => SemTy::Group(self.group_for(base)),
+        }
+    }
+
+    fn sem_record(&mut self, base: &Loc, record: &apiphany_spec::RecordTy) -> SemRecordTy {
+        SemRecordTy {
+            fields: record
+                .fields
+                .iter()
+                .map(|f| SemFieldTy {
+                    name: f.name.clone(),
+                    optional: f.optional,
+                    ty: self.sem_of_ty(&base.field(f.name.clone()), &f.ty),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn syn_display(lib: &Library, locs: &[Loc]) -> String {
+    // All locations in one syntactic group share a primitive type; show it.
+    locs.first()
+        .and_then(|l| lib.lookup(l))
+        .map_or_else(|| "String".to_string(), |t| t.to_string())
+}
+
+/// `AddWitness` (Fig. 8): drill down into a composite value, inserting each
+/// scalar into the disjoint-set at its (canonicalized) location.
+#[allow(clippy::too_many_arguments)]
+fn add_value(
+    lib: &Library,
+    cfg: &MiningConfig,
+    ds: &mut PairDsu,
+    bank: &mut HashMap<Loc, Vec<Value>>,
+    bank_seen: &mut HashMap<Loc, HashSet<String>>,
+    object_bank: &mut HashMap<String, Vec<Value>>,
+    object_seen: &mut HashMap<String, HashSet<String>>,
+    loc: &Loc,
+    v: &Value,
+) {
+    match v {
+        Value::Null => {}
+        Value::Array(items) => {
+            let elem = loc.elem();
+            for item in items {
+                add_value(lib, cfg, ds, bank, bank_seen, object_bank, object_seen, &elem, item);
+            }
+        }
+        Value::Object(fields) => {
+            if let Some(Folded::Object(o)) = fold(lib, loc) {
+                let seen = object_seen.entry(o.clone()).or_default();
+                let entry = object_bank.entry(o.clone()).or_default();
+                if entry.len() < cfg.max_bank_values && seen.insert(v.to_json()) {
+                    entry.push(v.clone());
+                }
+            }
+            for (k, fv) in fields {
+                let child = loc.field(k.clone());
+                add_value(lib, cfg, ds, bank, bank_seen, object_bank, object_seen, &child, fv);
+            }
+        }
+        scalar => {
+            let canon = canonical_scalar_loc(lib, loc);
+            let seen = bank_seen.entry(canon.clone()).or_default();
+            let entry = bank.entry(canon.clone()).or_default();
+            if entry.len() < cfg.max_bank_values && seen.insert(scalar.to_json()) {
+                entry.push(scalar.clone());
+            }
+            match cfg.granularity {
+                Granularity::Mined => match mergeable_key(cfg, scalar) {
+                    Some(key) => ds.insert(&canon, key),
+                    None => ds.touch_loc(&canon),
+                },
+                Granularity::LocationOnly => ds.touch_loc(&canon),
+                Granularity::Syntactic => {
+                    let ty = match scalar {
+                        Value::Str(_) => SynTy::Str,
+                        Value::Int(_) => SynTy::Int,
+                        Value::Bool(_) => SynTy::Bool,
+                        _ => SynTy::Float,
+                    };
+                    ds.insert(&canon, syn_type_key(&ty));
+                }
+            }
+        }
+    }
+}
+
+/// The §7.4 merging policy: strings always merge; integers only when large;
+/// booleans and floats never.
+fn mergeable_key(cfg: &MiningConfig, v: &Value) -> Option<ScalarKey> {
+    match v {
+        Value::Str(s) => Some(ScalarKey::Str(s.clone())),
+        Value::Int(i) if i.abs() > cfg.min_merge_int => Some(ScalarKey::Int(*i)),
+        _ => None,
+    }
+}
+
+/// Enumerates the canonical location and syntactic type of every scalar
+/// location reachable from the library's definitions.
+fn for_each_scalar_loc(lib: &Library, f: &mut impl FnMut(Loc, &SynTy)) {
+    fn rec(base: &Loc, ty: &SynTy, f: &mut impl FnMut(Loc, &SynTy)) {
+        match ty {
+            SynTy::Object(_) => {} // handled at its own definition
+            SynTy::Array(elem) => rec(&base.elem(), elem, f),
+            SynTy::Record(record) => {
+                for field in &record.fields {
+                    rec(&base.field(field.name.clone()), &field.ty, f);
+                }
+            }
+            scalar => f(base.clone(), scalar),
+        }
+    }
+    for (name, record) in &lib.objects {
+        rec(&Loc::object(name.clone()), &SynTy::Record(record.clone()), f);
+    }
+    for (name, sig) in &lib.methods {
+        let m = Loc::method(name.clone());
+        rec(&m.child(Label::In), &SynTy::Record(sig.params.clone()), f);
+        rec(&m.child(Label::Out), &sig.response, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+
+    fn mined() -> SemLib {
+        mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default())
+    }
+
+    fn loc(s: &str) -> Loc {
+        let lib = fig7_library();
+        Loc::parse(s, |n| lib.is_object(n)).unwrap()
+    }
+
+    /// The paper's running example: `"UJ5RHEG4S"` appears as the parameter
+    /// of `u_info`, the `id` of a `User`, and the `creator` of a `Channel`,
+    /// so all three locations share one semantic type (Fig. 4).
+    #[test]
+    fn merges_user_id_locations() {
+        let sl = mined();
+        let g_user_id = sl.group_of(&loc("User.id")).unwrap();
+        assert_eq!(sl.group_of(&loc("u_info.in.user")), Some(g_user_id));
+        assert_eq!(sl.group_of(&loc("Channel.creator")), Some(g_user_id));
+        // And c_members returns [User.id] because its elements share values.
+        assert_eq!(sl.group_of(&loc("c_members.out.0")), Some(g_user_id));
+        // c_members' parameter is a Channel.id.
+        let g_channel_id = sl.group_of(&loc("Channel.id")).unwrap();
+        assert_eq!(sl.group_of(&loc("c_members.in.channel")), Some(g_channel_id));
+        assert_ne!(g_user_id, g_channel_id);
+    }
+
+    #[test]
+    fn semantic_signatures_match_fig7() {
+        let sl = mined();
+        let g_user_id = sl.group_of(&loc("User.id")).unwrap();
+        let g_channel_id = sl.group_of(&loc("Channel.id")).unwrap();
+
+        let u_info = &sl.methods["u_info"];
+        assert_eq!(u_info.params.field("user").unwrap().ty, SemTy::Group(g_user_id));
+        assert_eq!(u_info.response, SemTy::object("User"));
+
+        let c_members = &sl.methods["c_members"];
+        assert_eq!(c_members.params.field("channel").unwrap().ty, SemTy::Group(g_channel_id));
+        assert_eq!(c_members.response, SemTy::array(SemTy::Group(g_user_id)));
+
+        let c_list = &sl.methods["c_list"];
+        assert_eq!(c_list.response, SemTy::array(SemTy::object("Channel")));
+
+        // Object definitions: Channel.creator has type User.id.
+        let channel = &sl.objects["Channel"];
+        assert_eq!(channel.field("creator").unwrap().ty, SemTy::Group(g_user_id));
+    }
+
+    #[test]
+    fn distinct_concepts_stay_distinct() {
+        let sl = mined();
+        let ids = [
+            sl.group_of(&loc("User.id")).unwrap(),
+            sl.group_of(&loc("Channel.id")).unwrap(),
+            sl.group_of(&loc("Channel.name")).unwrap(),
+            sl.group_of(&loc("Profile.email")).unwrap(),
+            sl.group_of(&loc("User.name")).unwrap(),
+        ];
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn value_banks_are_populated() {
+        let sl = mined();
+        let g = sl.group_of(&loc("Profile.email")).unwrap();
+        let emails: Vec<&str> =
+            sl.group(g).values.iter().filter_map(Value::as_str).collect();
+        assert!(emails.contains(&"xyz@gmail.com"));
+        assert!(!sl.object_values("Channel").is_empty());
+        assert!(!sl.object_values("User").is_empty());
+    }
+
+    #[test]
+    fn display_prefers_object_locations() {
+        let sl = mined();
+        let g = sl.group_of(&loc("u_info.in.user")).unwrap();
+        // {User.id, Channel.creator, u_info.in.user, c_members.out.0}:
+        // object-rooted shortest wins (Channel.creator vs User.id tie broken
+        // lexicographically).
+        assert_eq!(sl.group(g).display, "Channel.creator");
+    }
+
+    #[test]
+    fn location_only_never_merges() {
+        let sl = mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::location_only());
+        let a = sl.group_of(&loc("User.id")).unwrap();
+        let b = sl.group_of(&loc("u_info.in.user")).unwrap();
+        assert_ne!(a, b);
+        // Banks are still populated (needed for retrospective execution).
+        assert!(!sl.group(a).values.is_empty());
+    }
+
+    #[test]
+    fn syntactic_merges_everything_stringy() {
+        let sl = mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::syntactic());
+        let a = sl.group_of(&loc("User.id")).unwrap();
+        let b = sl.group_of(&loc("Channel.name")).unwrap();
+        let c = sl.group_of(&loc("Profile.email")).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(sl.group(a).display, "String");
+    }
+
+    #[test]
+    fn unwitnessed_locations_get_singletons() {
+        let sl = mine_types(&fig7_library(), &[], &MiningConfig::default());
+        let g = sl.group_of(&loc("Profile.email")).unwrap();
+        assert_eq!(sl.group(g).locs, vec![loc("Profile.email")]);
+        assert!(sl.group(g).values.is_empty());
+        // Every method still has a full semantic signature.
+        assert_eq!(sl.methods.len(), 3);
+    }
+
+    #[test]
+    fn resolve_named_ty_follows_representatives() {
+        let sl = mined();
+        let via_user = sl.resolve_named_ty("User.id").unwrap();
+        let via_creator = sl.resolve_named_ty("Channel.creator").unwrap();
+        assert_eq!(via_user, via_creator);
+        assert_eq!(sl.resolve_named_ty("User"), Some(SemTy::object("User")));
+        assert_eq!(sl.resolve_named_ty("Nope.x"), None);
+    }
+
+    #[test]
+    fn small_ints_do_not_merge_but_large_do() {
+        use apiphany_json::json;
+        let lib = apiphany_spec::LibraryBuilder::new("ints")
+            .method("a", |m| m.returns(SynTy::Int))
+            .method("b", |m| m.returns(SynTy::Int))
+            .method("c", |m| m.returns(SynTy::Int))
+            .method("d", |m| m.returns(SynTy::Int))
+            .build();
+        let witnesses = vec![
+            Witness::new("a", Vec::<(String, Value)>::new(), json!(5)),
+            Witness::new("b", Vec::<(String, Value)>::new(), json!(5)),
+            Witness::new("c", Vec::<(String, Value)>::new(), json!(1234567)),
+            Witness::new("d", Vec::<(String, Value)>::new(), json!(1234567)),
+        ];
+        let sl = mine_types(&lib, &witnesses, &MiningConfig::default());
+        let (a, b) = (loc("a.out"), loc("b.out"));
+        assert_ne!(sl.group_of(&a), sl.group_of(&b));
+        let (c, d) = (loc("c.out"), loc("d.out"));
+        assert_eq!(sl.group_of(&c), sl.group_of(&d));
+    }
+
+    use apiphany_spec::Witness;
+}

@@ -1,0 +1,220 @@
+//! Semantic type queries: the user-facing specification format.
+//!
+//! A query is a function type over semantic types, written exactly as in
+//! the paper's Appendix E:
+//!
+//! ```text
+//! { channel_name: objs_conversation.name } → [objs_user_profile.email]
+//! { } → [CatalogDiscount]
+//! ```
+//!
+//! Parameter types and the result type are *named* semantic types: a dotted
+//! location (interpreted through the mined loc-sets — any representative
+//! location of a group denotes the group) or a bare object name, optionally
+//! wrapped in `[...]` array brackets.
+
+use std::fmt;
+
+use apiphany_spec::{SemRecordTy, SemTy};
+
+use crate::semlib::SemLib;
+
+/// A parsed type query: named parameters and a result type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Parameter names and their semantic types.
+    pub params: Vec<(String, SemTy)>,
+    /// The requested result type.
+    pub output: SemTy,
+}
+
+impl Query {
+    /// The parameters as a semantic record (all required).
+    pub fn params_record(&self) -> SemRecordTy {
+        SemRecordTy {
+            fields: self
+                .params
+                .iter()
+                .map(|(name, ty)| apiphany_spec::SemFieldTy {
+                    name: name.clone(),
+                    optional: false,
+                    ty: ty.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Error from [`parse_query`] / [`parse_sem_ty`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+fn err(message: impl Into<String>) -> QueryParseError {
+    QueryParseError { message: message.into() }
+}
+
+/// Parses a named semantic type: `[..]` arrays around a dotted location or
+/// object name.
+///
+/// # Errors
+///
+/// Returns an error when brackets are unbalanced or the name does not
+/// resolve against the semantic library.
+pub fn parse_sem_ty(semlib: &SemLib, text: &str) -> Result<SemTy, QueryParseError> {
+    let text = text.trim();
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| err(format!("unbalanced brackets in type '{text}'")))?;
+        return Ok(SemTy::array(parse_sem_ty(semlib, inner)?));
+    }
+    if text.contains('[') || text.contains(']') {
+        return Err(err(format!("unbalanced brackets in type '{text}'")));
+    }
+    semlib
+        .resolve_named_ty(text)
+        .ok_or_else(|| err(format!("unknown semantic type '{text}'")))
+}
+
+/// Parses a full query `{ name: ty, ... } → ty`.
+///
+/// # Errors
+///
+/// Returns an error on malformed syntax or unresolvable type names.
+///
+/// ```
+/// use apiphany_mining::{mine_types, parse_query, MiningConfig};
+/// use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+///
+/// let semlib = mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default());
+/// let q = parse_query(&semlib, "{ channel_name: Channel.name } → [Profile.email]").unwrap();
+/// assert_eq!(q.params.len(), 1);
+/// ```
+pub fn parse_query(semlib: &SemLib, text: &str) -> Result<Query, QueryParseError> {
+    let (lhs, rhs) = split_arrow(text)?;
+    let lhs = lhs.trim();
+    let inner = lhs
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| err("query parameters must be written as { name: ty, ... }"))?
+        .trim();
+    let mut params = Vec::new();
+    if !inner.is_empty() {
+        for part in split_top_level_commas(inner) {
+            let (name, ty_text) = part
+                .split_once(':')
+                .ok_or_else(|| err(format!("parameter '{part}' must be 'name: ty'")))?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err("empty parameter name"));
+            }
+            params.push((name.to_string(), parse_sem_ty(semlib, ty_text)?));
+        }
+    }
+    let output = parse_sem_ty(semlib, rhs)?;
+    Ok(Query { params, output })
+}
+
+fn split_arrow(text: &str) -> Result<(&str, &str), QueryParseError> {
+    if let Some((l, r)) = text.split_once('→') {
+        return Ok((l, r));
+    }
+    if let Some((l, r)) = text.split_once("->") {
+        return Ok((l, r));
+    }
+    Err(err("missing '→' in query"))
+}
+
+fn split_top_level_commas(text: &str) -> Vec<&str> {
+    // Types contain no nested commas (records are not permitted in
+    // queries), so a plain split suffices; kept as a helper for clarity.
+    text.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine::{mine_types, MiningConfig};
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+    use apiphany_spec::{GroupId, Loc};
+
+    fn semlib() -> SemLib {
+        mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default())
+    }
+
+    #[test]
+    fn parses_running_example_query() {
+        let sl = semlib();
+        let q = parse_query(&sl, "{ channel_name: Channel.name } → [Profile.email]").unwrap();
+        let name_group = sl
+            .group_of(&Loc::parse("Channel.name", |n| sl.lib.is_object(n)).unwrap())
+            .unwrap();
+        assert_eq!(q.params, vec![("channel_name".to_string(), SemTy::Group(name_group))]);
+        assert!(matches!(q.output, SemTy::Array(_)));
+    }
+
+    #[test]
+    fn representative_locations_are_interchangeable() {
+        let sl = semlib();
+        let a = parse_sem_ty(&sl, "User.id").unwrap();
+        let b = parse_sem_ty(&sl, "Channel.creator").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parses_empty_params_and_nested_arrays() {
+        let sl = semlib();
+        let q = parse_query(&sl, "{ } -> [[User]]").unwrap();
+        assert!(q.params.is_empty());
+        assert_eq!(q.output, SemTy::array(SemTy::array(SemTy::object("User"))));
+    }
+
+    #[test]
+    fn multiple_params() {
+        let sl = semlib();
+        let q = parse_query(
+            &sl,
+            "{ user_ids: [User.id], channel_name: Channel.name } → [Channel]",
+        )
+        .unwrap();
+        assert_eq!(q.params.len(), 2);
+        assert!(matches!(q.params[0].1, SemTy::Array(_)));
+        let rec = q.params_record();
+        assert_eq!(rec.fields.len(), 2);
+        assert!(rec.fields.iter().all(|f| !f.optional));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let sl = semlib();
+        assert!(parse_query(&sl, "Channel.name").is_err());
+        assert!(parse_query(&sl, "{ x Channel.name } → User").is_err());
+        assert!(parse_query(&sl, "{ x: Nope.y } → User").is_err());
+        assert!(parse_sem_ty(&sl, "[User.id").is_err());
+        assert!(parse_sem_ty(&sl, "User.id]").is_err());
+    }
+
+    #[test]
+    fn group_ids_are_stable_across_parses() {
+        let sl = semlib();
+        let a = parse_sem_ty(&sl, "User.id").unwrap();
+        let b = parse_sem_ty(&sl, "User.id").unwrap();
+        assert_eq!(a, b);
+        if let SemTy::Group(GroupId(g)) = a {
+            assert!((g as usize) < sl.n_groups());
+        } else {
+            panic!("expected group type");
+        }
+    }
+}

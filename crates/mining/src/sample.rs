@@ -1,0 +1,116 @@
+//! Sampling values from the mined value banks (`Λ̂.V` in the paper's
+//! Fig. 20, and `W(t̂)` in the retrospective-execution rules of Fig. 19).
+
+use apiphany_json::Value;
+use apiphany_spec::SemTy;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::semlib::SemLib;
+
+/// Samples a random value of the given semantic type from the value bank.
+///
+/// * loc-set types sample uniformly from the group's observed values;
+/// * object types sample from observed full objects;
+/// * arrays are built from one to three element samples;
+/// * records are built field-wise (required fields only).
+///
+/// Returns `None` when the bank has no values of (a component of) the type
+/// — the caller treats this as "cannot generate an input", like the paper's
+/// test generator skipping methods with unobserved parameter types.
+pub fn sample_value(semlib: &SemLib, ty: &SemTy, rng: &mut impl Rng) -> Option<Value> {
+    match ty {
+        SemTy::Group(g) => semlib.group(*g).values.choose(rng).cloned(),
+        SemTy::Object(o) => semlib.object_values(o).choose(rng).cloned(),
+        SemTy::Array(elem) => {
+            let n = rng.gen_range(1..=3);
+            let items: Option<Vec<Value>> =
+                (0..n).map(|_| sample_value(semlib, elem, rng)).collect();
+            items.map(Value::Array)
+        }
+        SemTy::Record(record) => {
+            let mut fields = Vec::new();
+            for f in record.required() {
+                fields.push((f.name.clone(), sample_value(semlib, &f.ty, rng)?));
+            }
+            Some(Value::Object(fields))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine::{mine_types, MiningConfig};
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+    use apiphany_spec::{SemFieldTy, SemRecordTy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn semlib() -> SemLib {
+        mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default())
+    }
+
+    #[test]
+    fn samples_come_from_the_bank() {
+        let sl = semlib();
+        let mut rng = StdRng::seed_from_u64(7);
+        let email_ty = sl.resolve_named_ty("Profile.email").unwrap();
+        for _ in 0..20 {
+            let v = sample_value(&sl, &email_ty, &mut rng).unwrap();
+            let s = v.as_str().unwrap();
+            assert!(s.contains('@'), "sampled non-email {s}");
+        }
+    }
+
+    #[test]
+    fn object_samples_are_full_objects() {
+        let sl = semlib();
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = sample_value(&sl, &SemTy::object("User"), &mut rng).unwrap();
+        assert!(v.get("id").is_some());
+    }
+
+    #[test]
+    fn arrays_have_one_to_three_elements() {
+        let sl = semlib();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ty = SemTy::array(sl.resolve_named_ty("User.id").unwrap());
+        for _ in 0..20 {
+            let v = sample_value(&sl, &ty, &mut rng).unwrap();
+            let n = v.as_array().unwrap().len();
+            assert!((1..=3).contains(&n));
+        }
+    }
+
+    #[test]
+    fn records_fill_required_fields_only() {
+        let sl = semlib();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ty = SemTy::Record(SemRecordTy {
+            fields: vec![
+                SemFieldTy {
+                    name: "user".into(),
+                    optional: false,
+                    ty: sl.resolve_named_ty("User.id").unwrap(),
+                },
+                SemFieldTy {
+                    name: "tz".into(),
+                    optional: true,
+                    ty: sl.resolve_named_ty("User.name").unwrap(),
+                },
+            ],
+        });
+        let v = sample_value(&sl, &ty, &mut rng).unwrap();
+        assert!(v.get("user").is_some());
+        assert!(v.get("tz").is_none());
+    }
+
+    #[test]
+    fn empty_bank_yields_none() {
+        let sl = mine_types(&fig7_library(), &[], &MiningConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let ty = sl.resolve_named_ty("Profile.email").unwrap();
+        assert_eq!(sample_value(&sl, &ty, &mut rng), None);
+    }
+}

@@ -1,0 +1,444 @@
+//! Long-tail endpoint generation.
+//!
+//! The paper's APIs are large (Slack 174 methods, Stripe 300, Sqare 175;
+//! see Table 1) and that scale is what makes type-directed search hard.
+//! Each simulated service therefore carries, besides its hand-written
+//! benchmark-relevant core, a programmatically generated "long tail" of
+//! plausible CRUD endpoints over auxiliary entities.
+//!
+//! A fraction of the long tail is *restricted* (requires an admin token
+//! whose value never leaks into witnesses), mirroring the paper's
+//! observation that full coverage is unattainable — "many methods are only
+//! available to paid accounts" — so witness coverage stays in the paper's
+//! 30–40% band.
+
+use std::collections::HashMap;
+
+use apiphany_json::Value;
+use apiphany_spec::{CallError, LibraryBuilder, SynTy};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+const NOUNS: &[&str] = &[
+    "audit", "badge", "bookmark", "campaign", "coupon", "digest", "emoji", "export", "flag",
+    "goal", "hook", "import", "journal", "keyword", "label", "metric", "note", "outbox",
+    "policy", "quota", "report", "segment", "ticket", "usage", "vault", "webhook", "alias",
+    "banner", "cursor", "domain", "event", "folder", "grant", "handle", "index", "job",
+    "key", "lease", "mailbox", "nonce", "offer", "pledge", "queue", "role", "shard",
+    "template", "upload", "view", "widget", "zone", "avatar", "bundle", "contact", "draft",
+    "entry", "feed", "group", "history", "invite", "link",
+];
+
+const EXTRA_FIELDS: &[(&str, u8)] = &[
+    ("title", 0),
+    ("status", 0),
+    ("kind", 0),
+    ("owner_ref", 0),
+    ("priority", 1),
+    ("weight", 1),
+    ("revision", 1),
+    ("enabled", 2),
+    ("archived", 2),
+    ("public", 2),
+];
+
+/// Configuration of the generated long tail for one API.
+#[derive(Debug, Clone)]
+pub struct FillerConfig {
+    /// Short API tag used in entity names (e.g. `"slk"`).
+    pub tag: String,
+    /// Number of methods to generate.
+    pub n_methods: usize,
+    /// Number of *extra* (nested, method-unreachable) objects to pad the
+    /// object count with, mirroring specs whose schema set far exceeds
+    /// their endpoint set (Sqare has 716 objects for 175 methods).
+    pub n_extra_objects: usize,
+    /// Every `restricted_every`-th method requires the unguessable admin
+    /// token and therefore never appears in witnesses.
+    pub restricted_every: usize,
+    /// Seed for the deterministic row data.
+    pub seed: u64,
+}
+
+/// One generated entity with its method names.
+#[derive(Debug, Clone)]
+struct Entity {
+    /// Object name, e.g. `SlkAuditRecord` (kept for diagnostics).
+    #[allow(dead_code)]
+    name: String,
+    /// Method stem, e.g. `audit`.
+    noun: String,
+    extra_fields: Vec<(&'static str, u8)>,
+}
+
+/// The generated long tail: spec fragments plus a stateful handler.
+pub struct Filler {
+    entities: Vec<Entity>,
+    /// entity noun → rows.
+    rows: HashMap<String, Vec<Value>>,
+    /// method name → (entity index, operation, restricted).
+    methods: HashMap<String, (usize, Op, bool)>,
+    next_id: u64,
+    tag_upper: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    List,
+    Get,
+    Create,
+    Delete,
+}
+
+impl Filler {
+    /// Generates the long tail and registers it on a library builder.
+    pub fn generate(cfg: &FillerConfig, mut builder: LibraryBuilder) -> (Filler, LibraryBuilder) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let tag_upper = capitalize(&cfg.tag);
+        let mut filler = Filler {
+            entities: Vec::new(),
+            rows: HashMap::new(),
+            methods: HashMap::new(),
+            next_id: 1,
+            tag_upper: tag_upper.clone(),
+        };
+
+        // Four methods per entity (list/get/create/delete).
+        let n_entities = cfg.n_methods.div_ceil(4);
+        let mut made = 0usize;
+        for e in 0..n_entities {
+            let noun = NOUNS[e % NOUNS.len()];
+            let gen = e / NOUNS.len();
+            let noun_full =
+                if gen == 0 { noun.to_string() } else { format!("{noun}{gen}") };
+            let obj_name = format!("{}{}Record", tag_upper, capitalize(&noun_full));
+            let n_extras = 1 + (e % 3);
+            let extra_fields: Vec<(&'static str, u8)> = (0..n_extras)
+                .map(|i| EXTRA_FIELDS[(e + i * 3) % EXTRA_FIELDS.len()])
+                .collect();
+            let entity =
+                Entity { name: obj_name.clone(), noun: noun_full.clone(), extra_fields };
+
+            // Object definition.
+            let fields = entity.extra_fields.clone();
+            builder = builder.object(obj_name.clone(), |mut o| {
+                o = o.field("id", SynTy::Str).field("label", SynTy::Str);
+                for (fname, kind) in &fields {
+                    o = o.opt_field(*fname, field_ty(*kind));
+                }
+                o
+            });
+
+            // Seed 2-4 rows.
+            let n_rows = rng.gen_range(2..=4);
+            let mut rows = Vec::new();
+            for _ in 0..n_rows {
+                rows.push(filler.fresh_row(&entity, &mut rng));
+            }
+            filler.rows.insert(noun_full.clone(), rows);
+
+            let ops = [Op::List, Op::Get, Op::Create, Op::Delete];
+            for op in ops {
+                if made >= cfg.n_methods {
+                    break;
+                }
+                let restricted = cfg.restricted_every > 0
+                    && (made % cfg.restricted_every) == cfg.restricted_every - 1;
+                let method_name = match op {
+                    Op::List => format!("/{}.{}.list_GET", cfg.tag, noun_full),
+                    Op::Get => format!("/{}.{}.info_GET", cfg.tag, noun_full),
+                    Op::Create => format!("/{}.{}.create_POST", cfg.tag, noun_full),
+                    Op::Delete => format!("/{}.{}.delete_POST", cfg.tag, noun_full),
+                };
+                let obj = obj_name.clone();
+                builder = builder.method(method_name.clone(), |mut m| {
+                    m = m.doc(format!("Long-tail endpoint over {obj} records"));
+                    if restricted {
+                        m = m.param("admin_token", SynTy::Str);
+                    }
+                    match op {
+                        Op::List => m
+                            .opt_param("limit", SynTy::Int)
+                            .returns(SynTy::Record(list_record(&obj))),
+                        Op::Get => m.param("id", SynTy::Str).returns(SynTy::object(&obj)),
+                        Op::Create => {
+                            m.param("label", SynTy::Str).returns(SynTy::object(&obj))
+                        }
+                        Op::Delete => m.param("id", SynTy::Str).returns(SynTy::Record(
+                            apiphany_spec::RecordTy {
+                                fields: vec![apiphany_spec::FieldTy {
+                                    name: "deleted_id".into(),
+                                    optional: false,
+                                    ty: SynTy::Str,
+                                }],
+                            },
+                        )),
+                    }
+                });
+                filler.methods.insert(method_name, (filler.entities.len(), op, restricted));
+                made += 1;
+            }
+            filler.entities.push(entity);
+        }
+
+        // Pad the object count with nested config objects (schema-only).
+        for i in 0..cfg.n_extra_objects {
+            let noun = NOUNS[i % NOUNS.len()];
+            let name = format!("{}{}Detail{}", tag_upper, capitalize(noun), i / NOUNS.len());
+            builder = builder.object(name, |o| {
+                o.field("id", SynTy::Str)
+                    .opt_field("summary", SynTy::Str)
+                    .opt_field("count", SynTy::Int)
+            });
+        }
+
+        (filler, builder)
+    }
+
+    fn fresh_row(&mut self, entity: &Entity, rng: &mut StdRng) -> Value {
+        let id = format!(
+            "{}-{}-{:05}",
+            self.tag_upper.to_uppercase(),
+            entity.noun.to_uppercase(),
+            self.next_id
+        );
+        self.next_id += 1;
+        let mut fields = vec![
+            ("id".to_string(), Value::from(id)),
+            ("label".to_string(), Value::from(format!("{} #{}", entity.noun, self.next_id))),
+        ];
+        for (fname, kind) in &entity.extra_fields {
+            let v = match kind {
+                0 => Value::from(format!("{fname}-{}", rng.gen_range(1..5))),
+                1 => Value::from(rng.gen_range(1..100i64)),
+                _ => Value::from(rng.gen_bool(0.5)),
+            };
+            fields.push(((*fname).to_string(), v));
+        }
+        Value::Object(fields)
+    }
+
+    /// True iff this method belongs to the long tail.
+    pub fn handles(&self, method: &str) -> bool {
+        self.methods.contains_key(method)
+    }
+
+    /// Handles a long-tail call.
+    ///
+    /// # Errors
+    ///
+    /// Fails for restricted endpoints without the secret token, unknown
+    /// ids, or missing arguments.
+    pub fn call(
+        &mut self,
+        method: &str,
+        args: &[(String, Value)],
+    ) -> Result<Value, CallError> {
+        let &(entity_idx, op, restricted) = self
+            .methods
+            .get(method)
+            .ok_or_else(|| CallError::new("unknown_method"))?;
+        if restricted {
+            let token = args
+                .iter()
+                .find(|(n, _)| n == "admin_token")
+                .and_then(|(_, v)| v.as_str());
+            // The secret never appears in any response, so random testing
+            // cannot discover it.
+            if token != Some("sk-admin-9f31c7d2e8a64") {
+                return Err(CallError::new("not_authed"));
+            }
+        }
+        let entity = self.entities[entity_idx].clone();
+        let arg = |k: &str| args.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        match op {
+            Op::List => {
+                let rows = self.rows.get(&entity.noun).cloned().unwrap_or_default();
+                let limit = arg("limit").and_then(Value::as_int).unwrap_or(100).max(0) as usize;
+                let items: Vec<Value> = rows.into_iter().take(limit).collect();
+                Ok(Value::obj([("ok", Value::from(true)), ("items", Value::Array(items))]))
+            }
+            Op::Get => {
+                let id = arg("id").and_then(Value::as_str).ok_or_else(missing_arg)?;
+                self.rows
+                    .get(&entity.noun)
+                    .and_then(|rows| {
+                        rows.iter().find(|r| r.get("id").and_then(Value::as_str) == Some(id))
+                    })
+                    .cloned()
+                    .ok_or_else(|| CallError::new("not_found"))
+            }
+            Op::Create => {
+                let label = arg("label").and_then(Value::as_str).ok_or_else(missing_arg)?;
+                let mut rng = StdRng::seed_from_u64(self.next_id);
+                let mut row = self.fresh_row(&entity, &mut rng);
+                row.set("label", Value::from(label));
+                self.rows.entry(entity.noun.clone()).or_default().push(row.clone());
+                Ok(row)
+            }
+            Op::Delete => {
+                let id = arg("id").and_then(Value::as_str).ok_or_else(missing_arg)?;
+                let rows = self.rows.entry(entity.noun.clone()).or_default();
+                let before = rows.len();
+                rows.retain(|r| r.get("id").and_then(Value::as_str) != Some(id));
+                if rows.len() == before {
+                    return Err(CallError::new("not_found"));
+                }
+                Ok(Value::obj([("deleted_id", Value::from(id))]))
+            }
+        }
+    }
+
+    /// Restores the initial row sets.
+    pub fn reset(&mut self, cfg: &FillerConfig) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        self.next_id = 1;
+        let entities = self.entities.clone();
+        self.rows.clear();
+        for e in &entities {
+            let n_rows = rng.gen_range(2..=4);
+            let mut rows = Vec::new();
+            for _ in 0..n_rows {
+                rows.push(self.fresh_row(e, &mut rng));
+            }
+            self.rows.insert(e.noun.clone(), rows);
+        }
+    }
+}
+
+fn missing_arg() -> CallError {
+    CallError::new("missing_argument")
+}
+
+fn field_ty(kind: u8) -> SynTy {
+    match kind {
+        0 => SynTy::Str,
+        1 => SynTy::Int,
+        _ => SynTy::Bool,
+    }
+}
+
+fn list_record(obj: &str) -> apiphany_spec::RecordTy {
+    apiphany_spec::RecordTy {
+        fields: vec![
+            apiphany_spec::FieldTy { name: "ok".into(), optional: false, ty: SynTy::Bool },
+            apiphany_spec::FieldTy {
+                name: "items".into(),
+                optional: false,
+                ty: SynTy::array(SynTy::object(obj)),
+            },
+        ],
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_spec::Library;
+
+    fn cfg() -> FillerConfig {
+        FillerConfig {
+            tag: "tst".into(),
+            n_methods: 40,
+            n_extra_objects: 10,
+            restricted_every: 3,
+            seed: 7,
+        }
+    }
+
+    fn open_cfg() -> FillerConfig {
+        FillerConfig { restricted_every: 0, ..cfg() }
+    }
+
+    fn build() -> (Filler, Library) {
+        let (filler, builder) = Filler::generate(&cfg(), LibraryBuilder::new("test"));
+        (filler, builder.build())
+    }
+
+    fn build_open() -> (Filler, Library) {
+        let (filler, builder) = Filler::generate(&open_cfg(), LibraryBuilder::new("test"));
+        (filler, builder.build())
+    }
+
+    #[test]
+    fn generates_requested_method_count() {
+        let (_, lib) = build();
+        assert_eq!(lib.methods.len(), 40);
+        // Entities plus padding objects.
+        assert!(lib.objects.len() >= 10);
+    }
+
+    #[test]
+    fn list_and_get_work() {
+        let (mut filler, _) = build();
+        let list = filler.call("/tst.audit.list_GET", &[]).unwrap();
+        let items = list.get("items").unwrap().as_array().unwrap();
+        assert!(!items.is_empty());
+        let id = items[0].get("id").unwrap().as_str().unwrap().to_string();
+        let row = filler
+            .call("/tst.audit.info_GET", &[("id".into(), Value::from(id.as_str()))])
+            .unwrap();
+        assert_eq!(row.get("id").unwrap().as_str(), Some(id.as_str()));
+    }
+
+    #[test]
+    fn restricted_methods_reject_without_token() {
+        let (mut filler, lib) = build();
+        let restricted: Vec<String> = lib
+            .methods
+            .iter()
+            .filter(|(_, sig)| sig.params.field("admin_token").is_some())
+            .map(|(name, _)| name.clone())
+            .collect();
+        assert!(!restricted.is_empty());
+        for m in &restricted {
+            assert!(filler.call(m, &[]).is_err());
+        }
+    }
+
+    #[test]
+    fn create_is_effectful_and_explicit() {
+        let (mut filler, _) = build_open();
+        let created = filler
+            .call("/tst.audit.create_POST", &[("label".into(), Value::from("hello"))])
+            .unwrap();
+        assert_eq!(created.get("label").unwrap().as_str(), Some("hello"));
+        let list = filler.call("/tst.audit.list_GET", &[]).unwrap();
+        let items = list.get("items").unwrap().as_array().unwrap();
+        assert!(items.iter().any(|r| r.get("label").and_then(Value::as_str) == Some("hello")));
+    }
+
+    #[test]
+    fn delete_returns_the_id() {
+        let (mut filler, _) = build_open();
+        let list = filler.call("/tst.audit.list_GET", &[]).unwrap();
+        let id = list.get("items").unwrap().idx(0).unwrap().get("id").unwrap().clone();
+        let out = filler.call("/tst.audit.delete_POST", &[("id".into(), id.clone())]).unwrap();
+        assert_eq!(out.get("deleted_id"), Some(&id));
+        assert!(filler
+            .call("/tst.audit.delete_POST", &[("id".into(), id)])
+            .is_err());
+    }
+
+    #[test]
+    fn reset_restores_rows() {
+        let (mut filler, _) = build_open();
+        filler.call("/tst.audit.create_POST", &[("label".into(), Value::from("x"))]).unwrap();
+        let before = filler.call("/tst.audit.list_GET", &[]).unwrap();
+        filler.reset(&open_cfg());
+        let after = filler.call("/tst.audit.list_GET", &[]).unwrap();
+        assert!(
+            after.get("items").unwrap().as_array().unwrap().len()
+                < before.get("items").unwrap().as_array().unwrap().len()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulated RESTful services: the evaluation substrate.
+//!
+//! The paper evaluates on three real SaaS APIs (Slack, Stripe, and the
+//! anonymized "Sqare"); this reproduction replaces them with stateful,
+//! effectful, in-memory services whose object models, method vocabularies,
+//! optional-argument behaviors, and identifier spaces mirror the fragments
+//! the paper shows, padded with a generated long tail so library sizes
+//! match Table 1 (174 / 300 / 175 methods).
+//!
+//! Each service provides:
+//! * an OpenAPI-style [`apiphany_spec::Library`];
+//! * a [`apiphany_spec::Service`] implementation with real state
+//!   (creating a channel really creates it);
+//! * a scripted `scenario()` producing the initial witness set `W0`
+//!   (the stand-in for the paper's HAR captures, Appendix D).
+//!
+//! ```
+//! use apiphany_services::Slack;
+//! use apiphany_spec::Service;
+//!
+//! let mut slack = Slack::new();
+//! let w0 = slack.scenario();
+//! assert!(w0.len() > 20);
+//! assert_eq!(slack.library().stats().n_methods, 174);
+//! ```
+
+mod filler;
+mod sqare;
+mod slack;
+mod stripe;
+mod util;
+
+pub use filler::{Filler, FillerConfig};
+pub use slack::Slack;
+pub use sqare::Sqare;
+pub use stripe::Stripe;
+pub use util::{script, ServiceState};

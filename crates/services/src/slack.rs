@@ -1,0 +1,890 @@
+//! The simulated Slack workspace: a stateful, in-memory stand-in for the
+//! Slack Web API used throughout the paper (§2, benchmarks 1.1–1.8).
+//!
+//! The hand-written core covers every method a Slack benchmark's gold
+//! solution calls (conversations, users, chat); a generated long tail pads
+//! the library to the paper's 174 methods (Table 1). Responses follow the
+//! real API's shape: payloads wrapped in `ok`-carrying response objects
+//! (`{ok, channels: [...]}`), user/channel/ts identifiers drawn from
+//! Slack-like alphabets so that type mining merges exactly the locations
+//! that share identifier spaces.
+
+use apiphany_json::{json, Value};
+use apiphany_spec::{CallError, Library, LibraryBuilder, Service, SynTy, Witness};
+
+use crate::filler::{Filler, FillerConfig};
+use crate::util::{arg_str, opt_arg, require, script, ServiceState};
+
+/// Number of hand-written methods below.
+const HANDWRITTEN: usize = 20;
+/// Paper Table 1: Slack has 174 methods and 79 objects.
+const TARGET_METHODS: usize = 174;
+const TARGET_OBJECTS: usize = 79;
+
+/// The simulated Slack service.
+pub struct Slack {
+    lib: Library,
+    filler: Filler,
+    filler_cfg: FillerConfig,
+    state: ServiceState,
+}
+
+impl Default for Slack {
+    fn default() -> Slack {
+        Slack::new()
+    }
+}
+
+impl Slack {
+    /// A fresh sandbox with the fixed seed data.
+    pub fn new() -> Slack {
+        let filler_cfg = FillerConfig {
+            tag: "slk".into(),
+            n_methods: TARGET_METHODS - HANDWRITTEN,
+            // Entities created by the filler count as objects too; pad the
+            // remainder: handwritten objects (19) + filler entities.
+            n_extra_objects: TARGET_OBJECTS
+                .saturating_sub(19 + (TARGET_METHODS - HANDWRITTEN).div_ceil(4)),
+            restricted_every: 2,
+            seed: 0x51ac,
+        };
+        let (filler, builder) = Filler::generate(&filler_cfg, spec_builder());
+        let mut slack =
+            Slack { lib: builder.build(), filler, filler_cfg, state: ServiceState::new() };
+        slack.seed();
+        slack
+    }
+
+    fn seed(&mut self) {
+        let users = [
+            ("UJ5RHEG4S", "ann", "Ann Droid", "ann@corp.example"),
+            ("UH23TEXPO", "bob", "Bob Cat", "bob@corp.example"),
+            ("UM9QPL7W2", "carol", "Carol Finch", "carol@corp.example"),
+            ("UX4KN81RD", "dave", "Dave Lin", "dave@corp.example"),
+            ("UB7GT5E0A", "erin", "Erin Soto", "erin@corp.example"),
+            ("UQ2WJC93F", "frank", "Frank Ode", "frank@corp.example"),
+        ];
+        for (id, name, real, email) in users {
+            self.state.insert(
+                "users",
+                json!({
+                    "id": id,
+                    "name": name,
+                    "team_id": "T0FAKE123",
+                    "deleted": false,
+                    "is_admin": (name == "ann"),
+                    "profile": {
+                        "email": email,
+                        "real_name": real,
+                        "display_name": name,
+                        "title": "engineer"
+                    }
+                }),
+            );
+        }
+        let channels = [
+            ("C4EFAQ5RN", "general", "UJ5RHEG4S", false),
+            ("C051B3Y9W", "random", "UH23TEXPO", false),
+            ("C0AE4195H", "dev-team", "UJ5RHEG4S", false),
+            ("C7PM2Q8XD", "design", "UM9QPL7W2", true),
+        ];
+        let member_sets: [&[&str]; 4] = [
+            &["UJ5RHEG4S", "UH23TEXPO", "UM9QPL7W2", "UX4KN81RD"],
+            &["UH23TEXPO", "UB7GT5E0A", "UQ2WJC93F"],
+            &["UJ5RHEG4S", "UX4KN81RD"],
+            &["UM9QPL7W2", "UB7GT5E0A"],
+        ];
+        for (i, (id, name, creator, private)) in channels.into_iter().enumerate() {
+            // Seed a few messages; last_read points at a real message ts.
+            let mut messages = Vec::new();
+            let texts = ["standup at 10", "deploy went fine", "lunch?", "review my PR"];
+            for (j, text) in texts.iter().enumerate().take(2 + i) {
+                let user = member_sets[i][j % member_sets[i].len()];
+                let ts = self.state.fresh_ts();
+                messages.push(json!({
+                    "type": "message",
+                    "user": user,
+                    "text": *text,
+                    "ts": ts.as_str()
+                }));
+            }
+            let last_read = messages[0].get("ts").unwrap().clone();
+            self.state.insert(
+                "channels",
+                json!({
+                    "id": id,
+                    "name": name,
+                    "creator": creator,
+                    "is_channel": true,
+                    "is_private": private,
+                    "created": 1_503_435_000 + i as i64,
+                    "last_read": last_read,
+                    "num_members": member_sets[i].len()
+                }),
+            );
+            self.state.set_list(
+                &format!("members:{id}"),
+                member_sets[i].iter().map(|u| Value::from(*u)).collect(),
+            );
+            self.state.set_list(&format!("messages:{id}"), messages);
+        }
+        self.state.set_str("current_user", "UJ5RHEG4S");
+    }
+
+    fn channel(&self, id: &str) -> Result<Value, CallError> {
+        self.state
+            .find("channels", "id", id)
+            .ok_or_else(|| CallError::new("channel_not_found"))
+    }
+
+    fn channel_by_name(&self, name: &str) -> Option<Value> {
+        self.state.find("channels", "name", name)
+    }
+
+    fn user(&self, id: &str) -> Result<Value, CallError> {
+        self.state.find("users", "id", id).ok_or_else(|| CallError::new("user_not_found"))
+    }
+
+    fn post_message(
+        &mut self,
+        channel: &str,
+        text: &str,
+        thread_ts: Option<&str>,
+    ) -> Result<Value, CallError> {
+        let chan = self.channel(channel)?;
+        let chan_id = chan.get("id").unwrap().as_str().unwrap().to_string();
+        if let Some(parent) = thread_ts {
+            let key = format!("messages:{chan_id}");
+            let exists = self
+                .state
+                .list(&key)
+                .iter()
+                .any(|m| m.get("ts").and_then(Value::as_str) == Some(parent));
+            if !exists {
+                return Err(CallError::new("thread_not_found"));
+            }
+        }
+        let ts = self.state.fresh_ts();
+        let me = self.state.str("current_user");
+        let mut msg = json!({
+            "type": "message",
+            "user": me.as_str(),
+            "text": text,
+            "ts": ts.as_str()
+        });
+        if let Some(parent) = thread_ts {
+            msg.set("thread_ts", Value::from(parent));
+        }
+        self.state.push(&format!("messages:{chan_id}"), msg.clone());
+        Ok(json!({
+            "ok": true,
+            "channel": chan_id.as_str(),
+            "ts": ts.as_str(),
+            "message": msg
+        }))
+    }
+
+    /// The scripted "web UI" scenario producing the initial witness set
+    /// `W0` (the reproduction's HAR capture; paper Appendix D).
+    pub fn scenario(&mut self) -> Vec<Witness> {
+        let ts_seed = {
+            let msgs = self.state.list("messages:C4EFAQ5RN");
+            msgs[0].get("ts").unwrap().as_str().unwrap().to_string()
+        };
+        let calls: Vec<(&str, Vec<(&str, Value)>)> = vec![
+            ("/conversations.list_GET", vec![]),
+            ("/users.list_GET", vec![]),
+            ("/conversations.members_GET", vec![("channel", Value::from("C4EFAQ5RN"))]),
+            ("/conversations.members_GET", vec![("channel", Value::from("C0AE4195H"))]),
+            ("/conversations.info_GET", vec![("channel", Value::from("C4EFAQ5RN"))]),
+            ("/conversations.info_GET", vec![("channel", Value::from("C051B3Y9W"))]),
+            ("/conversations.history_GET", vec![("channel", Value::from("C4EFAQ5RN"))]),
+            (
+                "/conversations.history_GET",
+                vec![
+                    ("channel", Value::from("C4EFAQ5RN")),
+                    ("oldest", Value::from(ts_seed.as_str())),
+                ],
+            ),
+            ("/users.info_GET", vec![("user", Value::from("UJ5RHEG4S"))]),
+            ("/users.info_GET", vec![("user", Value::from("UH23TEXPO"))]),
+            ("/users.profile.get_GET", vec![("user", Value::from("UJ5RHEG4S"))]),
+            ("/users.profile.get_GET", vec![("user", Value::from("UM9QPL7W2"))]),
+            ("/users.lookupByEmail_GET", vec![("email", Value::from("ann@corp.example"))]),
+            ("/users.conversations_GET", vec![("user", Value::from("UJ5RHEG4S"))]),
+            ("/conversations.open_POST", vec![("users", Value::from("UH23TEXPO"))]),
+            ("/conversations.open_POST", vec![("channel", Value::from("C051B3Y9W"))]),
+            (
+                "/chat.postMessage_POST",
+                vec![("channel", Value::from("C4EFAQ5RN")), ("text", Value::from("hello"))],
+            ),
+            ("/conversations.create_POST", vec![("name", Value::from("incident-42"))]),
+            ("/team.info_GET", vec![]),
+            ("/users.setPresence_POST", vec![("presence", Value::from("away"))]),
+        ];
+        let mut witnesses = script(self, &calls);
+        // Follow-ups that need values from earlier responses: reply to the
+        // posted message and update it (benchmark 1.6's shape).
+        if let Some(post) = witnesses.iter().find(|w| w.method == "/chat.postMessage_POST") {
+            let ts = post.output.get("ts").unwrap().as_str().unwrap().to_string();
+            let more: Vec<(&str, Vec<(&str, Value)>)> = vec![
+                (
+                    "/chat.postMessage_POST",
+                    vec![
+                        ("channel", Value::from("C4EFAQ5RN")),
+                        ("text", Value::from("re: hello")),
+                        ("thread_ts", Value::from(ts.as_str())),
+                    ],
+                ),
+                (
+                    "/chat.update_POST",
+                    vec![
+                        ("channel", Value::from("C4EFAQ5RN")),
+                        ("ts", Value::from(ts.as_str())),
+                        ("text", Value::from("hello (edited)")),
+                    ],
+                ),
+                (
+                    "/reactions.add_POST",
+                    vec![
+                        ("channel", Value::from("C4EFAQ5RN")),
+                        ("timestamp", Value::from(ts.as_str())),
+                        ("name", Value::from("tada")),
+                    ],
+                ),
+                (
+                    "/stars.add_POST",
+                    vec![
+                        ("channel", Value::from("C4EFAQ5RN")),
+                        ("timestamp", Value::from(ts.as_str())),
+                    ],
+                ),
+            ];
+            witnesses.extend(script(self, &more));
+        }
+        // Invite a user to the channel created above.
+        if let Some(created) =
+            witnesses.iter().find(|w| w.method == "/conversations.create_POST")
+        {
+            let cid = created
+                .output
+                .path(&["channel", "id"])
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            let more: Vec<(&str, Vec<(&str, Value)>)> = vec![(
+                "/conversations.invite_POST",
+                vec![("channel", Value::from(cid.as_str())), ("users", Value::from("UB7GT5E0A"))],
+            )];
+            witnesses.extend(script(self, &more));
+        }
+        witnesses
+    }
+}
+
+impl Service for Slack {
+    fn name(&self) -> &str {
+        "slack"
+    }
+
+    fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    fn call(&mut self, method: &str, args: &[(String, Value)]) -> Result<Value, CallError> {
+        if self.filler.handles(method) {
+            return self.filler.call(method, args);
+        }
+        match method {
+            "/conversations.list_GET" => {
+                let channels: Vec<Value> = self
+                    .state
+                    .list("channels")
+                    .iter()
+                    .filter(|c| c.get("is_private").and_then(Value::as_bool) != Some(true))
+                    .cloned()
+                    .collect();
+                Ok(json!({"ok": true, "channels": (Value::Array(channels))}))
+            }
+            "/users.list_GET" => {
+                Ok(json!({"ok": true, "members": (Value::Array(self.state.list("users")))}))
+            }
+            "/conversations.members_GET" => {
+                let chan = self.channel(arg_str(args, "channel")?)?;
+                let id = chan.get("id").unwrap().as_str().unwrap();
+                let members = self.state.list(&format!("members:{id}"));
+                Ok(json!({"ok": true, "members": (Value::Array(members))}))
+            }
+            "/conversations.info_GET" => {
+                let chan = self.channel(arg_str(args, "channel")?)?;
+                Ok(json!({"ok": true, "channel": chan}))
+            }
+            "/conversations.history_GET" => {
+                let chan = self.channel(arg_str(args, "channel")?)?;
+                let id = chan.get("id").unwrap().as_str().unwrap();
+                let oldest = opt_arg(args, "oldest").and_then(Value::as_str);
+                let latest = opt_arg(args, "latest").and_then(Value::as_str);
+                let messages: Vec<Value> = self
+                    .state
+                    .list(&format!("messages:{id}"))
+                    .into_iter()
+                    .filter(|m| {
+                        let ts = m.get("ts").and_then(Value::as_str).unwrap_or("");
+                        oldest.is_none_or(|o| ts > o) && latest.is_none_or(|l| ts < l)
+                    })
+                    .collect();
+                Ok(json!({"ok": true, "messages": (Value::Array(messages)), "has_more": false}))
+            }
+            "/conversations.create_POST" => {
+                let name = arg_str(args, "name")?;
+                require(self.channel_by_name(name).is_none(), "name_taken")?;
+                let id = self.state.fresh_id("C");
+                let me = self.state.str("current_user");
+                let chan = json!({
+                    "id": id.as_str(),
+                    "name": name,
+                    "creator": me.as_str(),
+                    "is_channel": true,
+                    "is_private": (opt_arg(args, "is_private").and_then(Value::as_bool).unwrap_or(false)),
+                    "created": 1_503_436_000i64,
+                    "last_read": "0000000000.000000",
+                    "num_members": 1i64
+                });
+                self.state.insert("channels", chan.clone());
+                self.state.set_list(&format!("members:{id}"), vec![Value::from(me.as_str())]);
+                self.state.set_list(&format!("messages:{id}"), vec![]);
+                Ok(json!({"ok": true, "channel": chan}))
+            }
+            "/conversations.invite_POST" => {
+                let chan = self.channel(arg_str(args, "channel")?)?;
+                let user = self.user(arg_str(args, "users")?)?;
+                let cid = chan.get("id").unwrap().as_str().unwrap().to_string();
+                let uid = user.get("id").unwrap().as_str().unwrap().to_string();
+                let key = format!("members:{cid}");
+                let mut members = self.state.list(&key);
+                require(
+                    !members.iter().any(|m| m.as_str() == Some(&uid)),
+                    "already_in_channel",
+                )?;
+                members.push(Value::from(uid));
+                let n = members.len();
+                self.state.set_list(&key, members);
+                let mut chan = chan;
+                chan.set("num_members", Value::from(n));
+                self.state.replace("channels", "id", &cid, chan.clone());
+                Ok(json!({"ok": true, "channel": chan}))
+            }
+            "/conversations.open_POST" => {
+                // Exactly one of `channel` / `users` must be provided
+                // (the paper's Fig. 5 distractor fails here).
+                let channel = opt_arg(args, "channel").and_then(Value::as_str);
+                let users = opt_arg(args, "users").and_then(Value::as_str);
+                match (channel, users) {
+                    (Some(c), None) => {
+                        let chan = self.channel(c)?;
+                        Ok(json!({"ok": true, "channel": chan}))
+                    }
+                    (None, Some(u)) => {
+                        let user = self.user(u)?;
+                        let uid = user.get("id").unwrap().as_str().unwrap();
+                        let id = self.state.fresh_id("D");
+                        let me = self.state.str("current_user");
+                        let chan = json!({
+                            "id": id.as_str(),
+                            "name": (format!("mpdm-{uid}")),
+                            "creator": me.as_str(),
+                            "is_channel": false,
+                            "is_private": true,
+                            "created": 1_503_437_000i64,
+                            "last_read": "0000000000.000000",
+                            "num_members": 2i64
+                        });
+                        self.state.insert("channels", chan.clone());
+                        self.state.set_list(
+                            &format!("members:{id}"),
+                            vec![Value::from(me.as_str()), Value::from(uid)],
+                        );
+                        self.state.set_list(&format!("messages:{id}"), vec![]);
+                        Ok(json!({"ok": true, "channel": chan}))
+                    }
+                    _ => Err(CallError::new("invalid_arguments")),
+                }
+            }
+            "/users.info_GET" => {
+                let user = self.user(arg_str(args, "user")?)?;
+                Ok(json!({"ok": true, "user": user}))
+            }
+            "/users.profile.get_GET" => {
+                let uid = match opt_arg(args, "user").and_then(Value::as_str) {
+                    Some(u) => u.to_string(),
+                    None => self.state.str("current_user"),
+                };
+                let user = self.user(&uid)?;
+                Ok(json!({"ok": true, "profile": (user.get("profile").unwrap().clone())}))
+            }
+            "/users.lookupByEmail_GET" => {
+                let email = arg_str(args, "email")?;
+                let user = self
+                    .state
+                    .list("users")
+                    .into_iter()
+                    .find(|u| u.path(&["profile", "email"]).and_then(Value::as_str) == Some(email))
+                    .ok_or_else(|| CallError::new("users_not_found"))?;
+                Ok(json!({"ok": true, "user": user}))
+            }
+            "/users.conversations_GET" => {
+                let uid = match opt_arg(args, "user").and_then(Value::as_str) {
+                    Some(u) => u.to_string(),
+                    None => self.state.str("current_user"),
+                };
+                self.user(&uid)?;
+                let channels: Vec<Value> = self
+                    .state
+                    .list("channels")
+                    .into_iter()
+                    .filter(|c| {
+                        let id = c.get("id").and_then(Value::as_str).unwrap_or("");
+                        self.state
+                            .list(&format!("members:{id}"))
+                            .iter()
+                            .any(|m| m.as_str() == Some(&uid))
+                    })
+                    .collect();
+                Ok(json!({"ok": true, "channels": (Value::Array(channels))}))
+            }
+            "/chat.postMessage_POST" => {
+                let channel = arg_str(args, "channel")?.to_string();
+                let text = opt_arg(args, "text")
+                    .and_then(Value::as_str)
+                    .unwrap_or("(empty)")
+                    .to_string();
+                let thread =
+                    opt_arg(args, "thread_ts").and_then(Value::as_str).map(str::to_string);
+                self.post_message(&channel, &text, thread.as_deref())
+            }
+            "/chat.update_POST" => {
+                let chan = self.channel(arg_str(args, "channel")?)?;
+                let cid = chan.get("id").unwrap().as_str().unwrap().to_string();
+                let ts = arg_str(args, "ts")?;
+                let text = opt_arg(args, "text").and_then(Value::as_str).unwrap_or("(edited)");
+                let key = format!("messages:{cid}");
+                let mut messages = self.state.list(&key);
+                let Some(msg) = messages
+                    .iter_mut()
+                    .find(|m| m.get("ts").and_then(Value::as_str) == Some(ts))
+                else {
+                    return Err(CallError::new("message_not_found"));
+                };
+                msg.set("text", Value::from(text));
+                let updated = msg.clone();
+                self.state.set_list(&key, messages);
+                Ok(json!({
+                    "ok": true,
+                    "channel": cid.as_str(),
+                    "ts": ts,
+                    "message": updated
+                }))
+            }
+            "/chat.delete_POST" => {
+                let chan = self.channel(arg_str(args, "channel")?)?;
+                let cid = chan.get("id").unwrap().as_str().unwrap().to_string();
+                let ts = arg_str(args, "ts")?;
+                let key = format!("messages:{cid}");
+                let mut messages = self.state.list(&key);
+                let before = messages.len();
+                messages.retain(|m| m.get("ts").and_then(Value::as_str) != Some(ts));
+                require(messages.len() < before, "message_not_found")?;
+                self.state.set_list(&key, messages);
+                Ok(json!({"ok": true, "channel": cid.as_str(), "ts": ts}))
+            }
+            "/reactions.add_POST" => {
+                let chan = self.channel(arg_str(args, "channel")?)?;
+                let cid = chan.get("id").unwrap().as_str().unwrap();
+                let ts = arg_str(args, "timestamp")?;
+                arg_str(args, "name")?;
+                let exists = self
+                    .state
+                    .list(&format!("messages:{cid}"))
+                    .iter()
+                    .any(|m| m.get("ts").and_then(Value::as_str) == Some(ts));
+                require(exists, "message_not_found")?;
+                Ok(json!({"ok": true}))
+            }
+            "/stars.add_POST" => {
+                let targets = ["channel", "file", "file_comment", "timestamp"];
+                let provided =
+                    targets.iter().filter(|t| opt_arg(args, t).is_some()).count();
+                require(provided >= 1, "bad_request")?;
+                if let Some(c) = opt_arg(args, "channel").and_then(Value::as_str) {
+                    self.channel(c)?;
+                }
+                Ok(json!({"ok": true}))
+            }
+            "/team.info_GET" => Ok(json!({
+                "ok": true,
+                "team": {"id": "T0FAKE123", "name": "acme", "domain": "acme-corp"}
+            })),
+            "/users.setPresence_POST" => {
+                let p = arg_str(args, "presence")?;
+                require(p == "auto" || p == "away", "invalid_presence")?;
+                Ok(json!({"ok": true}))
+            }
+            _ => Err(CallError::new("unknown_method")),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = ServiceState::new();
+        self.filler.reset(&self.filler_cfg);
+        self.seed();
+    }
+}
+
+/// The hand-written part of the Slack spec.
+fn spec_builder() -> LibraryBuilder {
+    let s = SynTy::Str;
+    LibraryBuilder::new("slack")
+        .object("objs_user_profile", |o| {
+            o.field("email", s.clone())
+                .field("real_name", s.clone())
+                .field("display_name", s.clone())
+                .opt_field("title", s.clone())
+        })
+        .object("objs_user", |o| {
+            o.field("id", s.clone())
+                .field("name", s.clone())
+                .field("team_id", s.clone())
+                .field("deleted", SynTy::Bool)
+                .field("is_admin", SynTy::Bool)
+                .field("profile", SynTy::object("objs_user_profile"))
+        })
+        .object("objs_conversation", |o| {
+            o.field("id", s.clone())
+                .field("name", s.clone())
+                .field("creator", s.clone())
+                .field("is_channel", SynTy::Bool)
+                .field("is_private", SynTy::Bool)
+                .field("created", SynTy::Int)
+                .opt_field("last_read", s.clone())
+                .field("num_members", SynTy::Int)
+        })
+        .object("objs_message", |o| {
+            o.field("type", s.clone())
+                .field("user", s.clone())
+                .field("text", s.clone())
+                .field("ts", s.clone())
+                .opt_field("thread_ts", s.clone())
+        })
+        .object("objs_team", |o| {
+            o.field("id", s.clone()).field("name", s.clone()).field("domain", s.clone())
+        })
+        .object("ConversationsListResponse", |o| {
+            o.field("ok", SynTy::Bool)
+                .field("channels", SynTy::array(SynTy::object("objs_conversation")))
+        })
+        .object("ConversationsMembersResponse", |o| {
+            o.field("ok", SynTy::Bool).field("members", SynTy::array(s.clone()))
+        })
+        .object("ConversationsInfoResponse", |o| {
+            o.field("ok", SynTy::Bool).field("channel", SynTy::object("objs_conversation"))
+        })
+        .object("ConversationsHistoryResponse", |o| {
+            o.field("ok", SynTy::Bool)
+                .field("messages", SynTy::array(SynTy::object("objs_message")))
+                .field("has_more", SynTy::Bool)
+        })
+        .object("ChatPostMessageResponse", |o| {
+            o.field("ok", SynTy::Bool)
+                .field("channel", s.clone())
+                .field("ts", s.clone())
+                .field("message", SynTy::object("objs_message"))
+        })
+        .object("ChatDeleteResponse", |o| {
+            o.field("ok", SynTy::Bool).field("channel", s.clone()).field("ts", s.clone())
+        })
+        .object("UsersListResponse", |o| {
+            o.field("ok", SynTy::Bool)
+                .field("members", SynTy::array(SynTy::object("objs_user")))
+        })
+        .object("UsersInfoResponse", |o| {
+            o.field("ok", SynTy::Bool).field("user", SynTy::object("objs_user"))
+        })
+        .object("UsersProfileGetResponse", |o| {
+            o.field("ok", SynTy::Bool).field("profile", SynTy::object("objs_user_profile"))
+        })
+        .object("TeamInfoResponse", |o| {
+            o.field("ok", SynTy::Bool).field("team", SynTy::object("objs_team"))
+        })
+        .object("OkResponse", |o| o.field("ok", SynTy::Bool))
+        .method("/conversations.list_GET", |m| {
+            m.doc("Lists all channels in a Slack team")
+                .opt_param("types", s.clone())
+                .opt_param("limit", SynTy::Int)
+                .opt_param("exclude_archived", SynTy::Bool)
+                .returns(SynTy::object("ConversationsListResponse"))
+        })
+        .method("/conversations.members_GET", |m| {
+            m.doc("Retrieve members of a conversation")
+                .param("channel", s.clone())
+                .returns(SynTy::object("ConversationsMembersResponse"))
+        })
+        .method("/conversations.info_GET", |m| {
+            m.doc("Retrieve information about a conversation")
+                .param("channel", s.clone())
+                .returns(SynTy::object("ConversationsInfoResponse"))
+        })
+        .method("/conversations.history_GET", |m| {
+            m.doc("Fetches a conversation's history of messages")
+                .param("channel", s.clone())
+                .opt_param("oldest", s.clone())
+                .opt_param("latest", s.clone())
+                .opt_param("limit", SynTy::Int)
+                .returns(SynTy::object("ConversationsHistoryResponse"))
+        })
+        .method("/conversations.create_POST", |m| {
+            m.doc("Initiates a public or private channel-based conversation")
+                .param("name", s.clone())
+                .opt_param("is_private", SynTy::Bool)
+                .returns(SynTy::object("ConversationsInfoResponse"))
+        })
+        .method("/conversations.invite_POST", |m| {
+            m.doc("Invites users to a channel")
+                .param("channel", s.clone())
+                .param("users", s.clone())
+                .returns(SynTy::object("ConversationsInfoResponse"))
+        })
+        .method("/conversations.open_POST", |m| {
+            m.doc("Opens or resumes a direct message or multi-person direct message")
+                .opt_param("channel", s.clone())
+                .opt_param("users", s.clone())
+                .returns(SynTy::object("ConversationsInfoResponse"))
+        })
+        .method("/users.info_GET", |m| {
+            m.doc("Gets information about a user")
+                .param("user", s.clone())
+                .opt_param("include_locale", SynTy::Bool)
+                .returns(SynTy::object("UsersInfoResponse"))
+        })
+        .method("/users.list_GET", |m| {
+            m.doc("Lists all users in a Slack team")
+                .opt_param("limit", SynTy::Int)
+                .returns(SynTy::object("UsersListResponse"))
+        })
+        .method("/users.profile.get_GET", |m| {
+            m.doc("Retrieves a user's profile information")
+                .opt_param("user", s.clone())
+                .returns(SynTy::object("UsersProfileGetResponse"))
+        })
+        .method("/users.lookupByEmail_GET", |m| {
+            m.doc("Find a user with an email address")
+                .param("email", s.clone())
+                .returns(SynTy::object("UsersInfoResponse"))
+        })
+        .method("/users.conversations_GET", |m| {
+            m.doc("List conversations the calling user may access")
+                .opt_param("user", s.clone())
+                .opt_param("types", s.clone())
+                .returns(SynTy::object("ConversationsListResponse"))
+        })
+        .method("/chat.postMessage_POST", |m| {
+            m.doc("Sends a message to a channel")
+                .param("channel", s.clone())
+                .opt_param("text", s.clone())
+                .opt_param("thread_ts", s.clone())
+                .returns(SynTy::object("ChatPostMessageResponse"))
+        })
+        .method("/chat.update_POST", |m| {
+            m.doc("Updates a message")
+                .param("channel", s.clone())
+                .param("ts", s.clone())
+                .opt_param("text", s.clone())
+                .returns(SynTy::object("ChatPostMessageResponse"))
+        })
+        .method("/chat.delete_POST", |m| {
+            m.doc("Deletes a message")
+                .param("channel", s.clone())
+                .param("ts", s.clone())
+                .returns(SynTy::object("ChatDeleteResponse"))
+        })
+        .method("/reactions.add_POST", |m| {
+            m.doc("Adds a reaction to an item")
+                .param("channel", s.clone())
+                .param("timestamp", s.clone())
+                .param("name", s.clone())
+                .returns(SynTy::object("OkResponse"))
+        })
+        .method("/stars.add_POST", |m| {
+            m.doc("Adds a star to an item")
+                .opt_param("channel", s.clone())
+                .opt_param("file", s.clone())
+                .opt_param("file_comment", s.clone())
+                .opt_param("timestamp", s.clone())
+                .returns(SynTy::object("OkResponse"))
+        })
+        .method("/team.info_GET", |m| {
+            m.doc("Gets information about the current team")
+                .returns(SynTy::object("TeamInfoResponse"))
+        })
+        .method("/users.setPresence_POST", |m| {
+            m.doc("Manually sets user presence")
+                .param("presence", s.clone())
+                .returns(SynTy::object("OkResponse"))
+        })
+        .method("/chat.postEphemeral_POST", |m| {
+            m.doc("Sends an ephemeral message to a user in a channel")
+                .param("channel", s.clone())
+                .param("user", s)
+                .returns(SynTy::object("ChatPostMessageResponse"))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_matches_table1_scale() {
+        let slack = Slack::new();
+        let stats = slack.library().stats();
+        assert_eq!(stats.n_methods, 174, "Table 1: Slack has 174 methods");
+        assert!(stats.n_objects >= 75, "close to Table 1's 79 objects: {}", stats.n_objects);
+    }
+
+    #[test]
+    fn scenario_covers_all_gold_methods() {
+        let mut slack = Slack::new();
+        let witnesses = slack.scenario();
+        for m in [
+            "/conversations.list_GET",
+            "/conversations.members_GET",
+            "/conversations.info_GET",
+            "/conversations.history_GET",
+            "/conversations.create_POST",
+            "/conversations.invite_POST",
+            "/conversations.open_POST",
+            "/users.info_GET",
+            "/users.profile.get_GET",
+            "/users.lookupByEmail_GET",
+            "/users.conversations_GET",
+            "/chat.postMessage_POST",
+            "/chat.update_POST",
+        ] {
+            assert!(witnesses.iter().any(|w| w.method == m), "scenario misses {m}");
+        }
+    }
+
+    #[test]
+    fn open_requires_exactly_one_argument() {
+        let mut slack = Slack::new();
+        assert!(slack.call("/conversations.open_POST", &[]).is_err());
+        let both = [
+            ("channel".to_string(), Value::from("C4EFAQ5RN")),
+            ("users".to_string(), Value::from("UJ5RHEG4S")),
+        ];
+        assert!(slack.call("/conversations.open_POST", &both).is_err());
+        let one = [("channel".to_string(), Value::from("C4EFAQ5RN"))];
+        assert!(slack.call("/conversations.open_POST", &one).is_ok());
+    }
+
+    #[test]
+    fn post_and_update_roundtrip() {
+        let mut slack = Slack::new();
+        let posted = slack
+            .call(
+                "/chat.postMessage_POST",
+                &[
+                    ("channel".to_string(), Value::from("C4EFAQ5RN")),
+                    ("text".to_string(), Value::from("hi")),
+                ],
+            )
+            .unwrap();
+        let ts = posted.get("ts").unwrap().clone();
+        let updated = slack
+            .call(
+                "/chat.update_POST",
+                &[
+                    ("channel".to_string(), Value::from("C4EFAQ5RN")),
+                    ("ts".to_string(), ts.clone()),
+                    ("text".to_string(), Value::from("hi2")),
+                ],
+            )
+            .unwrap();
+        assert_eq!(updated.path(&["message", "text"]).unwrap().as_str(), Some("hi2"));
+        // Thread reply to the same ts works (benchmark 1.6).
+        let reply = slack
+            .call(
+                "/chat.postMessage_POST",
+                &[
+                    ("channel".to_string(), Value::from("C4EFAQ5RN")),
+                    ("thread_ts".to_string(), ts.clone()),
+                ],
+            )
+            .unwrap();
+        assert_eq!(reply.path(&["message", "thread_ts"]), Some(&ts));
+    }
+
+    #[test]
+    fn history_filters_by_oldest() {
+        let mut slack = Slack::new();
+        let all = slack
+            .call(
+                "/conversations.history_GET",
+                &[("channel".to_string(), Value::from("C4EFAQ5RN"))],
+            )
+            .unwrap();
+        let msgs = all.get("messages").unwrap().as_array().unwrap();
+        assert!(msgs.len() >= 2);
+        let first_ts = msgs[0].get("ts").unwrap().clone();
+        let later = slack
+            .call(
+                "/conversations.history_GET",
+                &[
+                    ("channel".to_string(), Value::from("C4EFAQ5RN")),
+                    ("oldest".to_string(), first_ts),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            later.get("messages").unwrap().as_array().unwrap().len(),
+            msgs.len() - 1
+        );
+    }
+
+    #[test]
+    fn lookup_by_email_inverts_profiles() {
+        let mut slack = Slack::new();
+        let user = slack
+            .call(
+                "/users.lookupByEmail_GET",
+                &[("email".to_string(), Value::from("bob@corp.example"))],
+            )
+            .unwrap();
+        assert_eq!(user.path(&["user", "id"]).unwrap().as_str(), Some("UH23TEXPO"));
+        assert!(slack
+            .call(
+                "/users.lookupByEmail_GET",
+                &[("email".to_string(), Value::from("nobody@x"))]
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn reset_restores_sandbox() {
+        let mut slack = Slack::new();
+        slack
+            .call(
+                "/conversations.create_POST",
+                &[("name".to_string(), Value::from("temp"))],
+            )
+            .unwrap();
+        slack.reset();
+        // Creating again succeeds because the first one is gone.
+        assert!(slack
+            .call(
+                "/conversations.create_POST",
+                &[("name".to_string(), Value::from("temp"))]
+            )
+            .is_ok());
+    }
+}

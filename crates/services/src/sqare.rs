@@ -1,0 +1,828 @@
+//! The simulated Sqare point-of-sale platform (benchmarks 3.1–3.11; the
+//! paper anonymizes Square as "Sqare").
+//!
+//! Catalog objects follow Square's tagged-union shape (`type` plus
+//! `item_data` / `discount_data` payloads); orders carry line items and
+//! fulfillments; invoices are titled after order line items so that
+//! `Invoice.title` and `OrderLineItem.name` mine into one semantic type
+//! (benchmark 3.8 depends on it).
+
+use apiphany_json::{json, Value};
+use apiphany_spec::{CallError, Library, LibraryBuilder, Service, SynTy, Witness};
+
+use crate::filler::{Filler, FillerConfig};
+use crate::util::{arg_str, opt_arg, require, script, ServiceState};
+
+const HANDWRITTEN: usize = 16;
+/// Paper Table 1: Sqare has 175 methods and 716 objects.
+const TARGET_METHODS: usize = 175;
+const TARGET_OBJECTS: usize = 716;
+
+/// The simulated Sqare service.
+pub struct Sqare {
+    lib: Library,
+    filler: Filler,
+    filler_cfg: FillerConfig,
+    state: ServiceState,
+}
+
+impl Default for Sqare {
+    fn default() -> Sqare {
+        Sqare::new()
+    }
+}
+
+impl Sqare {
+    /// A fresh sandbox with fixed seed data.
+    pub fn new() -> Sqare {
+        let filler_cfg = FillerConfig {
+            tag: "v2x".into(),
+            n_methods: TARGET_METHODS - HANDWRITTEN,
+            n_extra_objects: TARGET_OBJECTS
+                .saturating_sub(13 + (TARGET_METHODS - HANDWRITTEN).div_ceil(4)),
+            restricted_every: 2,
+            seed: 0x50a9,
+        };
+        let (filler, builder) = Filler::generate(&filler_cfg, spec_builder());
+        let mut sq =
+            Sqare { lib: builder.build(), filler, filler_cfg, state: ServiceState::new() };
+        sq.seed();
+        sq
+    }
+
+    fn seed(&mut self) {
+        for (id, name) in [("LOC_W9T2MAIN", "Main Street"), ("LOC_K4R7MALL", "Mall Kiosk")] {
+            self.state.insert(
+                "locations",
+                json!({"id": id, "name": name, "status": "ACTIVE"}),
+            );
+        }
+        for (id, given, family, email) in [
+            ("CUSQ_8H2VKW", "Ada", "Lovelace", "ada@cafe.example"),
+            ("CUSQ_3M9PXD", "Grace", "Hopper", "grace@cafe.example"),
+            ("CUSQ_6T4RLN", "Alan", "Turing", "alan@cafe.example"),
+            ("CUSQ_1B7QZF", "Ada", "Byron", "byron@cafe.example"),
+        ] {
+            self.state.insert(
+                "customers",
+                json!({
+                    "id": id,
+                    "given_name": given,
+                    "family_name": family,
+                    "email_address": email
+                }),
+            );
+        }
+        let taxes = [("CATOBJ_TAX_VAT20", "VAT 20"), ("CATOBJ_TAX_CITY5", "City 5")];
+        for (id, name) in taxes {
+            self.state.insert(
+                "catalog",
+                json!({
+                    "id": id,
+                    "type": "TAX",
+                    "version": 3i64,
+                    "tax_data": {"name": name, "percentage": "5.0"}
+                }),
+            );
+        }
+        let items = [
+            ("CATOBJ_ITEM_ESPR", "Espresso Machine", vec!["CATOBJ_TAX_VAT20"]),
+            ("CATOBJ_ITEM_BEAN", "House Beans", vec!["CATOBJ_TAX_VAT20", "CATOBJ_TAX_CITY5"]),
+            ("CATOBJ_ITEM_MUGS", "Ceramic Mug", vec!["CATOBJ_TAX_CITY5"]),
+            ("CATOBJ_ITEM_GRND", "Burr Grinder", vec![]),
+        ];
+        for (id, name, tax_ids) in items {
+            self.state.insert(
+                "catalog",
+                json!({
+                    "id": id,
+                    "type": "ITEM",
+                    "version": 3i64,
+                    "item_data": {
+                        "name": name,
+                        "description": (format!("{name} (house)")),
+                        "tax_ids": (Value::Array(tax_ids.into_iter().map(Value::from).collect()))
+                    }
+                }),
+            );
+        }
+        for (id, name, pct) in [
+            ("CATOBJ_DISC_STAFF", "Staff Discount", "15.0"),
+            ("CATOBJ_DISC_HAPPY", "Happy Hour", "10.0"),
+        ] {
+            self.state.insert(
+                "catalog",
+                json!({
+                    "id": id,
+                    "type": "DISCOUNT",
+                    "version": 3i64,
+                    "discount_data": {"name": name, "percentage": pct}
+                }),
+            );
+        }
+        for (id, name) in
+            [("CATOBJ_PLAN_GOLDQ", "Gold Roast Club"), ("CATOBJ_PLAN_SILVR", "Silver Club")]
+        {
+            self.state.insert(
+                "catalog",
+                json!({
+                    "id": id,
+                    "type": "SUBSCRIPTION_PLAN",
+                    "version": 3i64,
+                    "subscription_plan_data": {"name": name}
+                }),
+            );
+        }
+        let orders = [
+            ("ORD_D2K8WQ", "LOC_W9T2MAIN", vec![("Espresso Machine", "1")], true),
+            ("ORD_F7N3XR", "LOC_W9T2MAIN", vec![("House Beans", "2"), ("Ceramic Mug", "4")], false),
+            ("ORD_H5P9YT", "LOC_K4R7MALL", vec![("Burr Grinder", "1")], true),
+            ("ORD_J1Q6ZV", "LOC_K4R7MALL", vec![("House Beans", "3")], false),
+        ];
+        for (id, loc, line_items, fulfilled) in orders {
+            let items: Vec<Value> = line_items
+                .iter()
+                .map(|(name, qty)| json!({"name": *name, "quantity": *qty}))
+                .collect();
+            let fulfillments: Vec<Value> = if fulfilled {
+                vec![json!({"type": "PICKUP", "state": "PROPOSED"})]
+            } else {
+                Vec::new()
+            };
+            self.state.insert(
+                "orders",
+                json!({
+                    "id": id,
+                    "location_id": loc,
+                    "line_items": (Value::Array(items)),
+                    "fulfillments": (Value::Array(fulfillments))
+                }),
+            );
+        }
+        // Invoice titles intentionally reuse line-item names (3.8).
+        for (id, loc, order, title) in [
+            ("INVQ_2W8RKD", "LOC_W9T2MAIN", "ORD_D2K8WQ", "Espresso Machine"),
+            ("INVQ_5Y3TLE", "LOC_W9T2MAIN", "ORD_F7N3XR", "House Beans"),
+            ("INVQ_9C6VMF", "LOC_K4R7MALL", "ORD_H5P9YT", "Burr Grinder"),
+        ] {
+            self.state.insert(
+                "invoices",
+                json!({
+                    "id": id,
+                    "location_id": loc,
+                    "order_id": order,
+                    "title": title,
+                    "status": "UNPAID"
+                }),
+            );
+        }
+        for (id, order, note) in [
+            ("PAYQ_4G7SNH", "ORD_D2K8WQ", "paid in store"),
+            ("PAYQ_8K2UPJ", "ORD_F7N3XR", "phone order"),
+            ("PAYQ_3M5WQK", "ORD_H5P9YT", "gift"),
+        ] {
+            self.state.insert(
+                "payments",
+                json!({"id": id, "order_id": order, "note": note, "status": "COMPLETED"}),
+            );
+        }
+        for (id, loc, order) in [
+            ("TXNQ_6V1XRM", "LOC_W9T2MAIN", "ORD_D2K8WQ"),
+            ("TXNQ_2B9YSN", "LOC_W9T2MAIN", "ORD_F7N3XR"),
+            ("TXNQ_7D4ZTP", "LOC_K4R7MALL", "ORD_H5P9YT"),
+        ] {
+            self.state.insert(
+                "transactions",
+                json!({"id": id, "location_id": loc, "order_id": order}),
+            );
+        }
+        for (id, loc, customer, plan) in [
+            ("SUBQ_9F2ACQ", "LOC_W9T2MAIN", "CUSQ_8H2VKW", "CATOBJ_PLAN_GOLDQ"),
+            ("SUBQ_4H7BDR", "LOC_W9T2MAIN", "CUSQ_3M9PXD", "CATOBJ_PLAN_SILVR"),
+            ("SUBQ_1K5CES", "LOC_K4R7MALL", "CUSQ_8H2VKW", "CATOBJ_PLAN_SILVR"),
+        ] {
+            self.state.insert(
+                "subscriptions",
+                json!({
+                    "id": id,
+                    "location_id": loc,
+                    "customer_id": customer,
+                    "plan_id": plan,
+                    "status": "ACTIVE"
+                }),
+            );
+        }
+        for (id, loc, name) in
+            [("BRKQ_5L8DFT", "LOC_W9T2MAIN", "Lunch"), ("BRKQ_3N2EGU", "LOC_K4R7MALL", "Coffee")]
+        {
+            self.state.insert(
+                "break_types",
+                json!({"id": id, "location_id": loc, "break_name": name}),
+            );
+        }
+        for (obj, loc, qty) in [
+            ("CATOBJ_ITEM_ESPR", "LOC_W9T2MAIN", "4"),
+            ("CATOBJ_ITEM_BEAN", "LOC_W9T2MAIN", "60"),
+            ("CATOBJ_ITEM_MUGS", "LOC_K4R7MALL", "12"),
+        ] {
+            self.state.insert(
+                "inventory",
+                json!({"catalog_object_id": obj, "location_id": loc, "quantity": qty}),
+            );
+        }
+    }
+
+    fn location_exists(&self, id: &str) -> Result<(), CallError> {
+        require(self.state.find("locations", "id", id).is_some(), "location_not_found")
+    }
+
+    /// The scripted scenario producing `W0` for Sqare.
+    pub fn scenario(&mut self) -> Vec<Witness> {
+        let calls: Vec<(&str, Vec<(&str, Value)>)> = vec![
+            ("/v2/locations_GET", vec![]),
+            ("/v2/invoices_GET", vec![("location_id", Value::from("LOC_W9T2MAIN"))]),
+            ("/v2/invoices_GET", vec![("location_id", Value::from("LOC_K4R7MALL"))]),
+            ("/v2/customers_GET", vec![]),
+            (
+                "/v2/customers_POST",
+                vec![
+                    ("given_name", Value::from("Edsger")),
+                    ("family_name", Value::from("Dijkstra")),
+                    ("email_address", Value::from("edsger@cafe.example")),
+                ],
+            ),
+            ("/v2/subscriptions/search_POST", vec![]),
+            ("/v2/catalog/list_GET", vec![]),
+            ("/v2/catalog/list_GET", vec![("types", Value::from("ITEM"))]),
+            ("/v2/catalog/search_POST", vec![]),
+            ("/v2/catalog/search_POST", vec![("object_types[0]", Value::from("ITEM"))]),
+            (
+                "/v2/orders/batch-retrieve_POST",
+                vec![
+                    ("location_id", Value::from("LOC_W9T2MAIN")),
+                    ("order_ids[0]", Value::from("ORD_D2K8WQ")),
+                ],
+            ),
+            (
+                "/v2/orders/batch-retrieve_POST",
+                vec![
+                    ("location_id", Value::from("LOC_K4R7MALL")),
+                    ("order_ids[0]", Value::from("ORD_H5P9YT")),
+                ],
+            ),
+            (
+                "/v2/orders/{order_id}_PUT",
+                vec![
+                    ("order_id", Value::from("ORD_F7N3XR")),
+                    (
+                        "order",
+                        json!({"fulfillments": [{"type": "SHIPMENT", "state": "PROPOSED"}]}),
+                    ),
+                ],
+            ),
+            ("/v2/payments_GET", vec![]),
+            ("/v2/payments/{payment_id}_GET", vec![("payment_id", Value::from("PAYQ_4G7SNH"))]),
+            (
+                "/v2/locations/{location_id}/transactions_GET",
+                vec![("location_id", Value::from("LOC_W9T2MAIN"))],
+            ),
+            ("/v2/orders/search_POST", vec![("location_ids[0]", Value::from("LOC_W9T2MAIN"))]),
+            (
+                "/v2/inventory/batch-retrieve-counts_POST",
+                vec![("location_ids[0]", Value::from("LOC_W9T2MAIN"))],
+            ),
+            ("/v2/labor/break-types_GET", vec![("location_id", Value::from("LOC_W9T2MAIN"))]),
+            (
+                "/v2/catalog/object/{object_id}_DELETE",
+                vec![("object_id", Value::from("CATOBJ_ITEM_GRND"))],
+            ),
+        ];
+        script(self, &calls)
+    }
+}
+
+impl Service for Sqare {
+    fn name(&self) -> &str {
+        "sqare"
+    }
+
+    fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    fn call(&mut self, method: &str, args: &[(String, Value)]) -> Result<Value, CallError> {
+        if self.filler.handles(method) {
+            return self.filler.call(method, args);
+        }
+        match method {
+            "/v2/locations_GET" => {
+                Ok(json!({"locations": (Value::Array(self.state.list("locations")))}))
+            }
+            "/v2/invoices_GET" => {
+                let loc = arg_str(args, "location_id")?;
+                self.location_exists(loc)?;
+                let invoices: Vec<Value> = self
+                    .state
+                    .list("invoices")
+                    .into_iter()
+                    .filter(|i| i.get("location_id").and_then(Value::as_str) == Some(loc))
+                    .collect();
+                Ok(json!({"invoices": (Value::Array(invoices))}))
+            }
+            "/v2/customers_GET" => {
+                Ok(json!({"customers": (Value::Array(self.state.list("customers")))}))
+            }
+            "/v2/customers_POST" => {
+                let id = self.state.fresh_id("CUSQ_");
+                let customer = json!({
+                    "id": id.as_str(),
+                    "given_name": (opt_arg(args, "given_name").cloned().unwrap_or(Value::Null)),
+                    "family_name": (opt_arg(args, "family_name").cloned().unwrap_or(Value::Null)),
+                    "email_address": (opt_arg(args, "email_address").cloned().unwrap_or(Value::Null))
+                });
+                self.state.insert("customers", customer.clone());
+                Ok(json!({"customer": customer}))
+            }
+            "/v2/subscriptions/search_POST" => {
+                Ok(json!({"subscriptions": (Value::Array(self.state.list("subscriptions")))}))
+            }
+            "/v2/catalog/list_GET" => {
+                let types = opt_arg(args, "types").and_then(Value::as_str);
+                let objects: Vec<Value> = self
+                    .state
+                    .list("catalog")
+                    .into_iter()
+                    .filter(|o| {
+                        types.is_none_or(|t| {
+                            o.get("type").and_then(Value::as_str).is_some_and(|ty| t.contains(ty))
+                        })
+                    })
+                    .collect();
+                Ok(json!({"objects": (Value::Array(objects))}))
+            }
+            "/v2/catalog/search_POST" => {
+                let ty = opt_arg(args, "object_types[0]").and_then(Value::as_str);
+                let objects: Vec<Value> = self
+                    .state
+                    .list("catalog")
+                    .into_iter()
+                    .filter(|o| ty.is_none_or(|t| o.get("type").and_then(Value::as_str) == Some(t)))
+                    .collect();
+                Ok(json!({"objects": (Value::Array(objects))}))
+            }
+            "/v2/catalog/object/{object_id}_DELETE" => {
+                let id = arg_str(args, "object_id")?;
+                require(self.state.find("catalog", "id", id).is_some(), "object_not_found")?;
+                self.state.remove("catalog", "id", id);
+                Ok(json!({"deleted_object_ids": [id]}))
+            }
+            "/v2/orders/batch-retrieve_POST" => {
+                let loc = arg_str(args, "location_id")?;
+                self.location_exists(loc)?;
+                let wanted = arg_str(args, "order_ids[0]")?;
+                let orders: Vec<Value> = self
+                    .state
+                    .list("orders")
+                    .into_iter()
+                    .filter(|o| {
+                        o.get("id").and_then(Value::as_str) == Some(wanted)
+                            && o.get("location_id").and_then(Value::as_str) == Some(loc)
+                    })
+                    .collect();
+                require(!orders.is_empty(), "order_not_found")?;
+                Ok(json!({"orders": (Value::Array(orders))}))
+            }
+            "/v2/orders/{order_id}_PUT" => {
+                let id = arg_str(args, "order_id")?.to_string();
+                let mut order = self
+                    .state
+                    .find("orders", "id", &id)
+                    .ok_or_else(|| CallError::new("order_not_found"))?;
+                if let Some(update) = opt_arg(args, "order") {
+                    if let Some(f) = update.get("fulfillments") {
+                        // Append to the existing fulfillments.
+                        let mut existing = order
+                            .get("fulfillments")
+                            .and_then(Value::as_array)
+                            .map(<[Value]>::to_vec)
+                            .unwrap_or_default();
+                        match f {
+                            Value::Array(items) => existing.extend(items.clone()),
+                            single => existing.push(single.clone()),
+                        }
+                        order.set("fulfillments", Value::Array(existing));
+                    }
+                }
+                self.state.replace("orders", "id", &id, order.clone());
+                Ok(json!({"order": order}))
+            }
+            "/v2/orders/search_POST" => {
+                let loc = opt_arg(args, "location_ids[0]").and_then(Value::as_str);
+                let orders: Vec<Value> = self
+                    .state
+                    .list("orders")
+                    .into_iter()
+                    .filter(|o| {
+                        loc.is_none_or(|l| o.get("location_id").and_then(Value::as_str) == Some(l))
+                    })
+                    .collect();
+                Ok(json!({"orders": (Value::Array(orders))}))
+            }
+            "/v2/payments_GET" => {
+                Ok(json!({"payments": (Value::Array(self.state.list("payments")))}))
+            }
+            "/v2/payments/{payment_id}_GET" => {
+                let p = self
+                    .state
+                    .find("payments", "id", arg_str(args, "payment_id")?)
+                    .ok_or_else(|| CallError::new("payment_not_found"))?;
+                Ok(json!({"payment": p}))
+            }
+            "/v2/locations/{location_id}/transactions_GET" => {
+                let loc = arg_str(args, "location_id")?;
+                self.location_exists(loc)?;
+                let txns: Vec<Value> = self
+                    .state
+                    .list("transactions")
+                    .into_iter()
+                    .filter(|t| t.get("location_id").and_then(Value::as_str) == Some(loc))
+                    .collect();
+                Ok(json!({"transactions": (Value::Array(txns))}))
+            }
+            "/v2/inventory/batch-retrieve-counts_POST" => {
+                let loc = opt_arg(args, "location_ids[0]").and_then(Value::as_str);
+                let obj = opt_arg(args, "catalog_object_ids[0]").and_then(Value::as_str);
+                let counts: Vec<Value> = self
+                    .state
+                    .list("inventory")
+                    .into_iter()
+                    .filter(|c| {
+                        loc.is_none_or(|l| c.get("location_id").and_then(Value::as_str) == Some(l))
+                            && obj.is_none_or(|o| {
+                                c.get("catalog_object_id").and_then(Value::as_str) == Some(o)
+                            })
+                    })
+                    .collect();
+                Ok(json!({"counts": (Value::Array(counts))}))
+            }
+            "/v2/labor/break-types_GET" => {
+                let loc = opt_arg(args, "location_id").and_then(Value::as_str);
+                let bts: Vec<Value> = self
+                    .state
+                    .list("break_types")
+                    .into_iter()
+                    .filter(|b| {
+                        loc.is_none_or(|l| b.get("location_id").and_then(Value::as_str) == Some(l))
+                    })
+                    .collect();
+                Ok(json!({"break_types": (Value::Array(bts))}))
+            }
+            _ => Err(CallError::new("unknown_method")),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = ServiceState::new();
+        self.filler.reset(&self.filler_cfg);
+        self.seed();
+    }
+}
+
+fn spec_builder() -> LibraryBuilder {
+    let s = SynTy::Str;
+    let wrap = |field: &str, obj: &str| {
+        SynTy::Record(apiphany_spec::RecordTy {
+            fields: vec![apiphany_spec::FieldTy {
+                name: field.into(),
+                optional: false,
+                ty: SynTy::array(SynTy::object(obj)),
+            }],
+        })
+    };
+    LibraryBuilder::new("sqare")
+        .object("Location", |o| {
+            o.field("id", s.clone()).field("name", s.clone()).field("status", s.clone())
+        })
+        .object("Invoice", |o| {
+            o.field("id", s.clone())
+                .field("location_id", s.clone())
+                .field("order_id", s.clone())
+                .field("title", s.clone())
+                .field("status", s.clone())
+        })
+        .object("Customer", |o| {
+            o.field("id", s.clone())
+                .field("given_name", s.clone())
+                .field("family_name", s.clone())
+                .field("email_address", s.clone())
+        })
+        .object("Subscription", |o| {
+            o.field("id", s.clone())
+                .field("location_id", s.clone())
+                .field("customer_id", s.clone())
+                .field("plan_id", s.clone())
+                .field("status", s.clone())
+        })
+        .object("CatalogItem", |o| {
+            o.field("name", s.clone())
+                .opt_field("description", s.clone())
+                .field("tax_ids", SynTy::array(s.clone()))
+        })
+        .object("CatalogDiscount", |o| {
+            o.field("name", s.clone()).field("percentage", s.clone())
+        })
+        .object("CatalogTax", |o| o.field("name", s.clone()).field("percentage", s.clone()))
+        .object("CatalogPlan", |o| o.field("name", s.clone()))
+        .object("CatalogObject", |o| {
+            o.field("id", s.clone())
+                .field("type", s.clone())
+                .field("version", SynTy::Int)
+                .opt_field("item_data", SynTy::object("CatalogItem"))
+                .opt_field("discount_data", SynTy::object("CatalogDiscount"))
+                .opt_field("tax_data", SynTy::object("CatalogTax"))
+                .opt_field("subscription_plan_data", SynTy::object("CatalogPlan"))
+        })
+        .object("OrderLineItem", |o| {
+            o.field("name", s.clone()).field("quantity", s.clone()).opt_field("note", s.clone())
+        })
+        .object("OrderFulfillment", |o| {
+            o.field("type", s.clone()).field("state", s.clone())
+        })
+        .object("Order", |o| {
+            o.field("id", s.clone())
+                .field("location_id", s.clone())
+                .field("line_items", SynTy::array(SynTy::object("OrderLineItem")))
+                .field("fulfillments", SynTy::array(SynTy::object("OrderFulfillment")))
+        })
+        .object("Payment", |o| {
+            o.field("id", s.clone())
+                .field("order_id", s.clone())
+                .field("note", s.clone())
+                .field("status", s.clone())
+        })
+        .object("Transaction", |o| {
+            o.field("id", s.clone()).field("location_id", s.clone()).field("order_id", s.clone())
+        })
+        .object("InventoryCount", |o| {
+            o.field("catalog_object_id", s.clone())
+                .field("location_id", s.clone())
+                .field("quantity", s.clone())
+        })
+        .object("BreakType", |o| {
+            o.field("id", s.clone())
+                .field("location_id", s.clone())
+                .field("break_name", s.clone())
+        })
+        .method("/v2/locations_GET", |m| {
+            m.doc("List business locations").returns(wrap("locations", "Location"))
+        })
+        .method("/v2/invoices_GET", |m| {
+            m.doc("List invoices for a location")
+                .param("location_id", s.clone())
+                .returns(wrap("invoices", "Invoice"))
+        })
+        .method("/v2/customers_GET", |m| {
+            m.doc("List customer profiles")
+                .opt_param("limit", SynTy::Int)
+                .returns(wrap("customers", "Customer"))
+        })
+        .method("/v2/customers_POST", |m| {
+            m.doc("Create a customer profile")
+                .opt_param("given_name", s.clone())
+                .opt_param("family_name", s.clone())
+                .opt_param("email_address", s.clone())
+                .returns(SynTy::Record(apiphany_spec::RecordTy {
+                    fields: vec![apiphany_spec::FieldTy {
+                        name: "customer".into(),
+                        optional: false,
+                        ty: SynTy::object("Customer"),
+                    }],
+                }))
+        })
+        .method("/v2/subscriptions/search_POST", |m| {
+            m.doc("Search subscriptions")
+                .opt_param("limit", SynTy::Int)
+                .returns(wrap("subscriptions", "Subscription"))
+        })
+        .method("/v2/catalog/list_GET", |m| {
+            m.doc("List catalog objects")
+                .opt_param("types", s.clone())
+                .opt_param("catalog_version", SynTy::Int)
+                .returns(wrap("objects", "CatalogObject"))
+        })
+        .method("/v2/catalog/search_POST", |m| {
+            m.doc("Search catalog objects")
+                .opt_param("object_types[0]", s.clone())
+                .opt_param("limit", SynTy::Int)
+                .returns(wrap("objects", "CatalogObject"))
+        })
+        .method("/v2/catalog/object/{object_id}_DELETE", |m| {
+            m.doc("Delete a catalog object and return the deleted ids")
+                .param("object_id", s.clone())
+                .returns(SynTy::Record(apiphany_spec::RecordTy {
+                    fields: vec![apiphany_spec::FieldTy {
+                        name: "deleted_object_ids".into(),
+                        optional: false,
+                        ty: SynTy::array(SynTy::Str),
+                    }],
+                }))
+        })
+        .method("/v2/orders/batch-retrieve_POST", |m| {
+            m.doc("Retrieve orders by id for a location")
+                .param("location_id", s.clone())
+                .param("order_ids[0]", s.clone())
+                .returns(wrap("orders", "Order"))
+        })
+        .method("/v2/orders/{order_id}_PUT", |m| {
+            m.doc("Update an order (e.g. add fulfillments)")
+                .param("order_id", s.clone())
+                .param(
+                    "order",
+                    SynTy::Record(apiphany_spec::RecordTy {
+                        fields: vec![
+                            apiphany_spec::FieldTy {
+                                name: "fulfillments".into(),
+                                optional: true,
+                                ty: SynTy::array(SynTy::object("OrderFulfillment")),
+                            },
+                            apiphany_spec::FieldTy {
+                                name: "note".into(),
+                                optional: true,
+                                ty: SynTy::Str,
+                            },
+                        ],
+                    }),
+                )
+                .returns(SynTy::Record(apiphany_spec::RecordTy {
+                    fields: vec![apiphany_spec::FieldTy {
+                        name: "order".into(),
+                        optional: false,
+                        ty: SynTy::object("Order"),
+                    }],
+                }))
+        })
+        .method("/v2/orders/search_POST", |m| {
+            m.doc("Search orders").opt_param("location_ids[0]", s.clone()).returns(wrap(
+                "orders",
+                "Order",
+            ))
+        })
+        .method("/v2/payments_GET", |m| {
+            m.doc("List payments")
+                .opt_param("limit", SynTy::Int)
+                .returns(wrap("payments", "Payment"))
+        })
+        .method("/v2/payments/{payment_id}_GET", |m| {
+            m.doc("Retrieve a payment").param("payment_id", s.clone()).returns(SynTy::Record(
+                apiphany_spec::RecordTy {
+                    fields: vec![apiphany_spec::FieldTy {
+                        name: "payment".into(),
+                        optional: false,
+                        ty: SynTy::object("Payment"),
+                    }],
+                },
+            ))
+        })
+        .method("/v2/locations/{location_id}/transactions_GET", |m| {
+            m.doc("List transactions for a location")
+                .param("location_id", s.clone())
+                .returns(wrap("transactions", "Transaction"))
+        })
+        .method("/v2/inventory/batch-retrieve-counts_POST", |m| {
+            m.doc("Retrieve inventory counts")
+                .opt_param("catalog_object_ids[0]", s.clone())
+                .opt_param("location_ids[0]", s.clone())
+                .returns(wrap("counts", "InventoryCount"))
+        })
+        .method("/v2/labor/break-types_GET", |m| {
+            m.doc("List break types").opt_param("location_id", s).returns(wrap(
+                "break_types",
+                "BreakType",
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_matches_table1_scale() {
+        let sq = Sqare::new();
+        let stats = sq.library().stats();
+        assert_eq!(stats.n_methods, 175, "Table 1: Sqare has 175 methods");
+        assert!(stats.n_objects >= 600, "near Table 1's 716 objects: {}", stats.n_objects);
+    }
+
+    #[test]
+    fn scenario_covers_gold_methods() {
+        let mut sq = Sqare::new();
+        let ws = sq.scenario();
+        for m in [
+            "/v2/invoices_GET",
+            "/v2/subscriptions/search_POST",
+            "/v2/catalog/search_POST",
+            "/v2/catalog/list_GET",
+            "/v2/orders/batch-retrieve_POST",
+            "/v2/orders/{order_id}_PUT",
+            "/v2/payments_GET",
+            "/v2/locations/{location_id}/transactions_GET",
+            "/v2/customers_GET",
+            "/v2/catalog/object/{object_id}_DELETE",
+        ] {
+            assert!(ws.iter().any(|w| w.method == m), "scenario misses {m}");
+        }
+    }
+
+    #[test]
+    fn order_put_appends_fulfillments() {
+        let mut sq = Sqare::new();
+        let updated = sq
+            .call(
+                "/v2/orders/{order_id}_PUT",
+                &[
+                    ("order_id".to_string(), Value::from("ORD_J1Q6ZV")),
+                    (
+                        "order".to_string(),
+                        json!({"fulfillments": [{"type": "SHIPMENT", "state": "PROPOSED"}]}),
+                    ),
+                ],
+            )
+            .unwrap();
+        let f = updated.path(&["order", "fulfillments"]).unwrap().as_array().unwrap();
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn catalog_delete_reports_ids_and_removes() {
+        let mut sq = Sqare::new();
+        let out = sq
+            .call(
+                "/v2/catalog/object/{object_id}_DELETE",
+                &[("object_id".to_string(), Value::from("CATOBJ_ITEM_MUGS"))],
+            )
+            .unwrap();
+        assert_eq!(
+            out.get("deleted_object_ids").unwrap().idx(0).unwrap().as_str(),
+            Some("CATOBJ_ITEM_MUGS")
+        );
+        assert!(sq
+            .call(
+                "/v2/catalog/object/{object_id}_DELETE",
+                &[("object_id".to_string(), Value::from("CATOBJ_ITEM_MUGS"))],
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn catalog_search_filters_by_type() {
+        let mut sq = Sqare::new();
+        let items = sq
+            .call(
+                "/v2/catalog/search_POST",
+                &[("object_types[0]".to_string(), Value::from("ITEM"))],
+            )
+            .unwrap();
+        for o in items.get("objects").unwrap().as_array().unwrap() {
+            assert_eq!(o.get("type").unwrap().as_str(), Some("ITEM"));
+            assert!(o.get("item_data").is_some());
+        }
+    }
+
+    #[test]
+    fn invoice_titles_overlap_line_item_names() {
+        // The 3.8 mining link: at least one invoice title equals a line
+        // item name.
+        let mut sq = Sqare::new();
+        let invs = sq
+            .call("/v2/invoices_GET", &[("location_id".to_string(), Value::from("LOC_W9T2MAIN"))])
+            .unwrap();
+        let titles: Vec<String> = invs
+            .get("invoices")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|i| i.get("title").and_then(Value::as_str).map(str::to_string))
+            .collect();
+        let orders = sq
+            .call(
+                "/v2/orders/batch-retrieve_POST",
+                &[
+                    ("location_id".to_string(), Value::from("LOC_W9T2MAIN")),
+                    ("order_ids[0]".to_string(), Value::from("ORD_D2K8WQ")),
+                ],
+            )
+            .unwrap();
+        let names: Vec<String> = orders
+            .get("orders")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .flat_map(|o| o.get("line_items").unwrap().as_array().unwrap().iter())
+            .filter_map(|li| li.get("name").and_then(Value::as_str).map(str::to_string))
+            .collect();
+        assert!(titles.iter().any(|t| names.contains(t)));
+    }
+}

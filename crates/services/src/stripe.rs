@@ -1,0 +1,1080 @@
+//! The simulated Stripe payment platform (benchmarks 2.1–2.13).
+//!
+//! List endpoints return Stripe's list envelope (`{object: "list", data:
+//! [...], has_more}`), which faithfully reproduces the paper's Table 4
+//! observation that all `.object` locations merge into one big loc-set
+//! (every list response carries the constant `"list"`). Plans mirror
+//! prices (same identifiers), so `plan.id` and `price.id` mine into the
+//! same semantic type — benchmarks 2.3/2.12/2.13 rely on this.
+
+use apiphany_json::{json, Value};
+use apiphany_spec::{CallError, Library, LibraryBuilder, Service, SynTy, Witness};
+
+use crate::filler::{Filler, FillerConfig};
+use crate::util::{arg_str, opt_arg, require, script, ServiceState};
+
+const HANDWRITTEN: usize = 25;
+/// Paper Table 1: Stripe has 300 methods and 399 objects.
+const TARGET_METHODS: usize = 300;
+const TARGET_OBJECTS: usize = 399;
+
+/// The simulated Stripe service.
+pub struct Stripe {
+    lib: Library,
+    filler: Filler,
+    filler_cfg: FillerConfig,
+    state: ServiceState,
+}
+
+impl Default for Stripe {
+    fn default() -> Stripe {
+        Stripe::new()
+    }
+}
+
+fn list_value(url: &str, data: Vec<Value>) -> Value {
+    json!({
+        "object": "list",
+        "data": (Value::Array(data)),
+        "has_more": false,
+        "url": url
+    })
+}
+
+impl Stripe {
+    /// A fresh sandbox with fixed seed data.
+    pub fn new() -> Stripe {
+        let filler_cfg = FillerConfig {
+            tag: "v1x".into(),
+            n_methods: TARGET_METHODS - HANDWRITTEN,
+            n_extra_objects: TARGET_OBJECTS
+                .saturating_sub(26 + (TARGET_METHODS - HANDWRITTEN).div_ceil(4)),
+            restricted_every: 2,
+            seed: 0x57e1,
+        };
+        let (filler, builder) = Filler::generate(&filler_cfg, spec_builder());
+        let mut stripe =
+            Stripe { lib: builder.build(), filler, filler_cfg, state: ServiceState::new() };
+        stripe.seed();
+        stripe
+    }
+
+    fn seed(&mut self) {
+        let customers = [
+            ("cus_N7fX2hQpR1", "amelia@shop.example", "Amelia Pond"),
+            ("cus_K3dT9wLmS4", "rory@shop.example", "Rory Williams"),
+            ("cus_P8vB5cJnA2", "clara@shop.example", "Clara Oswald"),
+            ("cus_Q1zR7yHdE6", "amy@shop.example", "Amy Santiago"),
+        ];
+        let sources = [
+            ("ba_1N4qLw2eZvKYlo2C", "cus_N7fX2hQpR1", "4242"),
+            ("ba_1N4qMx2eZvKYlo2C", "cus_K3dT9wLmS4", "1881"),
+            ("ba_1N4qNy2eZvKYlo2C", "cus_P8vB5cJnA2", "5556"),
+        ];
+        for (id, email, name) in customers {
+            let default_source =
+                sources.iter().find(|(_, c, _)| *c == id).map(|(s, _, _)| *s);
+            self.state.insert(
+                "customers",
+                json!({
+                    "id": id,
+                    "object": "customer",
+                    "email": email,
+                    "name": name,
+                    "default_source": (default_source.map(Value::from).unwrap_or(Value::Null)),
+                    "currency": "usd"
+                }),
+            );
+        }
+        for (id, customer, last4) in sources {
+            self.state.insert(
+                "sources",
+                json!({
+                    "id": id,
+                    "object": "bank_account",
+                    "customer": customer,
+                    "last4": last4,
+                    "status": "verified"
+                }),
+            );
+        }
+        let products = [
+            ("prod_T4k9WqZx", "Gold Plan"),
+            ("prod_B8j2LmNv", "Team Seats"),
+            ("prod_R5h7PdQy", "Metered API"),
+        ];
+        for (id, name) in products {
+            self.state.insert(
+                "products",
+                json!({"id": id, "object": "product", "name": name, "active": true}),
+            );
+        }
+        let prices = [
+            ("price_1N4A2eZvGold", "prod_T4k9WqZx", 2500i64),
+            ("price_1N4B3fYwTeam", "prod_B8j2LmNv", 9900i64),
+            ("price_1N4C4gXvMetr", "prod_R5h7PdQy", 1500i64),
+            ("price_1N4D5hWuGold2", "prod_T4k9WqZx", 4900i64),
+        ];
+        for (id, product, amount) in prices {
+            self.state.insert(
+                "prices",
+                json!({
+                    "id": id,
+                    "object": "price",
+                    "currency": "usd",
+                    "product": product,
+                    "unit_amount": amount
+                }),
+            );
+            // Plans mirror prices (Stripe aliases the two APIs).
+            self.state.insert(
+                "plans",
+                json!({
+                    "id": id,
+                    "object": "plan",
+                    "amount": amount,
+                    "currency": "usd",
+                    "product": product
+                }),
+            );
+        }
+        let charges = [
+            ("ch_3N1xKe2eAa", "cus_N7fX2hQpR1", 2500i64, "in_1N7qAb2e"),
+            ("ch_3N2yLf2eBb", "cus_K3dT9wLmS4", 9900i64, "in_1N8rBc2e"),
+            ("ch_3N3zMg2eCc", "cus_N7fX2hQpR1", 1500i64, "in_1N9sCd2e"),
+        ];
+        for (id, customer, amount, invoice) in charges {
+            self.state.insert(
+                "charges",
+                json!({
+                    "id": id,
+                    "object": "charge",
+                    "customer": customer,
+                    "amount": amount,
+                    "currency": "usd",
+                    "invoice": invoice,
+                    "receipt_url": (format!("https://pay.stripe.example/receipts/{id}")),
+                    "fee_details": {"currency": "usd", "amount": (amount / 34)}
+                }),
+            );
+        }
+        let invoices = [
+            ("in_1N7qAb2e", "cus_N7fX2hQpR1", "ch_3N1xKe2eAa", 2500i64),
+            ("in_1N8rBc2e", "cus_K3dT9wLmS4", "ch_3N2yLf2eBb", 9900i64),
+            ("in_1N9sCd2e", "cus_N7fX2hQpR1", "ch_3N3zMg2eCc", 1500i64),
+        ];
+        for (id, customer, charge, amount) in invoices {
+            self.state.insert(
+                "invoices",
+                json!({
+                    "id": id,
+                    "object": "invoice",
+                    "customer": customer,
+                    "charge": charge,
+                    "status": "paid",
+                    "amount_due": amount,
+                    "currency": "usd"
+                }),
+            );
+        }
+        let subs = [
+            ("sub_1M1aAa2e", "cus_N7fX2hQpR1", "price_1N4A2eZvGold", "in_1N7qAb2e"),
+            ("sub_1M2bBb2e", "cus_K3dT9wLmS4", "price_1N4B3fYwTeam", "in_1N8rBc2e"),
+        ];
+        for (id, customer, price, invoice) in subs {
+            let price_obj = self.state.find("prices", "id", price).unwrap();
+            self.state.insert(
+                "subscriptions",
+                json!({
+                    "id": id,
+                    "object": "subscription",
+                    "customer": customer,
+                    "status": "active",
+                    "latest_invoice": invoice,
+                    "default_payment_method": "pm_1N4qXy2eCard",
+                    "items": {
+                        "object": "list",
+                        "data": [
+                            {
+                                "id": (format!("si_{}", &id[4..])),
+                                "object": "subscription_item",
+                                "price": price_obj,
+                                "subscription": id
+                            }
+                        ]
+                    }
+                }),
+            );
+        }
+        for (id, customer, price, desc) in [
+            ("ii_1N5tDe2e", "cus_N7fX2hQpR1", "price_1N4A2eZvGold", "Gold Plan"),
+            ("ii_1N6uEf2e", "cus_P8vB5cJnA2", "price_1N4C4gXvMetr", "Metered API"),
+        ] {
+            self.state.insert(
+                "invoiceitems",
+                json!({
+                    "id": id,
+                    "object": "invoiceitem",
+                    "customer": customer,
+                    "price": price,
+                    "description": desc,
+                    "amount": 2500i64
+                }),
+            );
+        }
+        for (id, kind) in [("pm_1N4qXy2eCard", "card"), ("pm_1N4qZz2eSepa", "sepa_debit")] {
+            self.state.insert(
+                "payment_methods",
+                json!({
+                    "id": id,
+                    "object": "payment_method",
+                    "customer": "cus_N7fX2hQpR1",
+                    "type": kind
+                }),
+            );
+        }
+        self.state.insert(
+            "payment_intents",
+            json!({
+                "id": "pi_3N1wJd2eIntnt",
+                "object": "payment_intent",
+                "currency": "usd",
+                "amount": 2500i64,
+                "status": "succeeded",
+                "customer": "cus_N7fX2hQpR1",
+                "payment_method": "pm_1N4qXy2eCard"
+            }),
+        );
+    }
+
+    fn get(&self, table: &str, id: &str, err: &str) -> Result<Value, CallError> {
+        self.state.find(table, "id", id).ok_or_else(|| CallError::new(err))
+    }
+
+    fn make_invoice_with_charge(&mut self, customer: &str, amount: i64) -> Value {
+        let inv_id = self.state.fresh_id("in_");
+        let ch_id = self.state.fresh_id("ch_");
+        self.state.insert(
+            "charges",
+            json!({
+                "id": ch_id.as_str(),
+                "object": "charge",
+                "customer": customer,
+                "amount": amount,
+                "currency": "usd",
+                "invoice": inv_id.as_str(),
+                "receipt_url": (format!("https://pay.stripe.example/receipts/{ch_id}")),
+                "fee_details": {"currency": "usd", "amount": (amount / 34)}
+            }),
+        );
+        let invoice = json!({
+            "id": inv_id.as_str(),
+            "object": "invoice",
+            "customer": customer,
+            "charge": ch_id.as_str(),
+            "status": "paid",
+            "amount_due": amount,
+            "currency": "usd"
+        });
+        self.state.insert("invoices", invoice.clone());
+        invoice
+    }
+
+    /// The scripted scenario producing `W0` for Stripe.
+    pub fn scenario(&mut self) -> Vec<Witness> {
+        let calls: Vec<(&str, Vec<(&str, Value)>)> = vec![
+            ("/v1/customers_GET", vec![]),
+            ("/v1/customers_POST", vec![("email", Value::from("newbie@shop.example"))]),
+            ("/v1/customers/{customer}_GET", vec![("customer", Value::from("cus_N7fX2hQpR1"))]),
+            ("/v1/products_GET", vec![]),
+            ("/v1/products_POST", vec![("name", Value::from("Consulting Hours"))]),
+            ("/v1/prices_GET", vec![]),
+            ("/v1/prices_GET", vec![("product", Value::from("prod_T4k9WqZx"))]),
+            (
+                "/v1/prices_POST",
+                vec![
+                    ("currency", Value::from("usd")),
+                    ("product", Value::from("prod_B8j2LmNv")),
+                    ("unit_amount", Value::from(7900i64)),
+                ],
+            ),
+            ("/v1/plans_GET", vec![]),
+            ("/v1/subscriptions_GET", vec![]),
+            ("/v1/subscriptions_GET", vec![("customer", Value::from("cus_N7fX2hQpR1"))]),
+            (
+                "/v1/subscriptions_POST",
+                vec![
+                    ("customer", Value::from("cus_P8vB5cJnA2")),
+                    ("items[0][price]", Value::from("price_1N4C4gXvMetr")),
+                ],
+            ),
+            (
+                "/v1/subscriptions/{subscription_exposed_id}_GET",
+                vec![("subscription_exposed_id", Value::from("sub_1M1aAa2e"))],
+            ),
+            (
+                "/v1/subscriptions/{subscription_exposed_id}_POST",
+                vec![
+                    ("subscription_exposed_id", Value::from("sub_1M1aAa2e")),
+                    ("default_payment_method", Value::from("pm_1N4qZz2eSepa")),
+                ],
+            ),
+            (
+                "/v1/invoiceitems_POST",
+                vec![
+                    ("customer", Value::from("cus_K3dT9wLmS4")),
+                    ("price", Value::from("price_1N4B3fYwTeam")),
+                ],
+            ),
+            ("/v1/invoices_POST", vec![("customer", Value::from("cus_K3dT9wLmS4"))]),
+            ("/v1/invoices_GET", vec![("customer", Value::from("cus_N7fX2hQpR1"))]),
+            ("/v1/invoices/{invoice}_GET", vec![("invoice", Value::from("in_1N7qAb2e"))]),
+            ("/v1/invoices/{invoice}/send_POST", vec![("invoice", Value::from("in_1N7qAb2e"))]),
+            ("/v1/charges_GET", vec![]),
+            ("/v1/charges/{charge}_GET", vec![("charge", Value::from("ch_3N1xKe2eAa"))]),
+            ("/v1/refunds_POST", vec![("charge", Value::from("ch_3N2yLf2eBb"))]),
+            (
+                "/v1/customers/{customer}/sources_GET",
+                vec![("customer", Value::from("cus_N7fX2hQpR1"))],
+            ),
+            (
+                "/v1/customers/{customer}/sources/{id}_DELETE",
+                vec![
+                    ("customer", Value::from("cus_P8vB5cJnA2")),
+                    ("id", Value::from("ba_1N4qNy2eZvKYlo2C")),
+                ],
+            ),
+            ("/v1/payment_methods_GET", vec![]),
+            (
+                "/v1/payment_intents_POST",
+                vec![
+                    ("currency", Value::from("usd")),
+                    ("amount", Value::from(2500i64)),
+                    ("customer", Value::from("cus_N7fX2hQpR1")),
+                    ("payment_method", Value::from("pm_1N4qXy2eCard")),
+                ],
+            ),
+        ];
+        let mut witnesses = script(self, &calls);
+        if let Some(pi) = witnesses.iter().find(|w| w.method == "/v1/payment_intents_POST") {
+            let id = pi.output.get("id").unwrap().as_str().unwrap().to_string();
+            let more: Vec<(&str, Vec<(&str, Value)>)> = vec![(
+                "/v1/payment_intents/{intent}/confirm_POST",
+                vec![("intent", Value::from(id.as_str()))],
+            )];
+            witnesses.extend(script(self, &more));
+        }
+        witnesses
+    }
+}
+
+impl Service for Stripe {
+    fn name(&self) -> &str {
+        "stripe"
+    }
+
+    fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    fn call(&mut self, method: &str, args: &[(String, Value)]) -> Result<Value, CallError> {
+        if self.filler.handles(method) {
+            return self.filler.call(method, args);
+        }
+        match method {
+            "/v1/customers_GET" => {
+                let email = opt_arg(args, "email").and_then(Value::as_str);
+                let data: Vec<Value> = self
+                    .state
+                    .list("customers")
+                    .into_iter()
+                    .filter(|c| {
+                        email.is_none_or(|e| c.get("email").and_then(Value::as_str) == Some(e))
+                    })
+                    .collect();
+                Ok(list_value("/v1/customers", data))
+            }
+            "/v1/customers_POST" => {
+                let id = self.state.fresh_id("cus_");
+                let customer = json!({
+                    "id": id.as_str(),
+                    "object": "customer",
+                    "email": (opt_arg(args, "email").cloned().unwrap_or(Value::Null)),
+                    "name": (opt_arg(args, "name").cloned().unwrap_or(Value::Null)),
+                    "default_source": null,
+                    "currency": "usd"
+                });
+                self.state.insert("customers", customer.clone());
+                Ok(customer)
+            }
+            "/v1/customers/{customer}_GET" => {
+                self.get("customers", arg_str(args, "customer")?, "resource_missing")
+            }
+            "/v1/products_GET" => Ok(list_value("/v1/products", self.state.list("products"))),
+            "/v1/products_POST" => {
+                let id = self.state.fresh_id("prod_");
+                let product = json!({
+                    "id": id.as_str(),
+                    "object": "product",
+                    "name": (arg_str(args, "name")?),
+                    "active": true
+                });
+                self.state.insert("products", product.clone());
+                Ok(product)
+            }
+            "/v1/prices_GET" => {
+                let product = opt_arg(args, "product").and_then(Value::as_str);
+                let data: Vec<Value> = self
+                    .state
+                    .list("prices")
+                    .into_iter()
+                    .filter(|p| {
+                        product
+                            .is_none_or(|q| p.get("product").and_then(Value::as_str) == Some(q))
+                    })
+                    .collect();
+                Ok(list_value("/v1/prices", data))
+            }
+            "/v1/prices_POST" => {
+                let product = arg_str(args, "product")?;
+                require(self.state.find("products", "id", product).is_some(), "no_such_product")?;
+                let amount = opt_arg(args, "unit_amount")
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| CallError::new("parameter_missing"))?;
+                let id = self.state.fresh_id("price_");
+                let price = json!({
+                    "id": id.as_str(),
+                    "object": "price",
+                    "currency": (arg_str(args, "currency")?),
+                    "product": product,
+                    "unit_amount": amount
+                });
+                self.state.insert("prices", price.clone());
+                self.state.insert(
+                    "plans",
+                    json!({
+                        "id": id.as_str(),
+                        "object": "plan",
+                        "amount": amount,
+                        "currency": (arg_str(args, "currency")?),
+                        "product": product
+                    }),
+                );
+                Ok(price)
+            }
+            "/v1/plans_GET" => Ok(list_value("/v1/plans", self.state.list("plans"))),
+            "/v1/subscriptions_GET" => {
+                let customer = opt_arg(args, "customer").and_then(Value::as_str);
+                let data: Vec<Value> = self
+                    .state
+                    .list("subscriptions")
+                    .into_iter()
+                    .filter(|s| {
+                        customer
+                            .is_none_or(|c| s.get("customer").and_then(Value::as_str) == Some(c))
+                    })
+                    .collect();
+                Ok(list_value("/v1/subscriptions", data))
+            }
+            "/v1/subscriptions_POST" => {
+                let customer = arg_str(args, "customer")?.to_string();
+                require(
+                    self.state.find("customers", "id", &customer).is_some(),
+                    "no_such_customer",
+                )?;
+                let price_id = arg_str(args, "items[0][price]")?.to_string();
+                let price = self.get("prices", &price_id, "no_such_price")?;
+                let amount = price.get("unit_amount").and_then(Value::as_int).unwrap_or(0);
+                let invoice = self.make_invoice_with_charge(&customer, amount);
+                let id = self.state.fresh_id("sub_");
+                let pm = opt_arg(args, "default_payment_method").cloned();
+                let sub = json!({
+                    "id": id.as_str(),
+                    "object": "subscription",
+                    "customer": (customer.as_str()),
+                    "status": "active",
+                    "latest_invoice": (invoice.get("id").unwrap().clone()),
+                    "default_payment_method": (pm.unwrap_or(Value::Null)),
+                    "items": {
+                        "object": "list",
+                        "data": [
+                            {
+                                "id": (self.state.fresh_id("si_")),
+                                "object": "subscription_item",
+                                "price": price,
+                                "subscription": (id.as_str())
+                            }
+                        ]
+                    }
+                });
+                self.state.insert("subscriptions", sub.clone());
+                Ok(sub)
+            }
+            "/v1/subscriptions/{subscription_exposed_id}_GET" => self.get(
+                "subscriptions",
+                arg_str(args, "subscription_exposed_id")?,
+                "resource_missing",
+            ),
+            "/v1/subscriptions/{subscription_exposed_id}_POST" => {
+                let id = arg_str(args, "subscription_exposed_id")?.to_string();
+                let mut sub = self.get("subscriptions", &id, "resource_missing")?;
+                if let Some(pm) = opt_arg(args, "default_payment_method") {
+                    sub.set("default_payment_method", pm.clone());
+                }
+                self.state.replace("subscriptions", "id", &id, sub.clone());
+                Ok(sub)
+            }
+            "/v1/invoiceitems_POST" => {
+                let customer = arg_str(args, "customer")?;
+                require(
+                    self.state.find("customers", "id", customer).is_some(),
+                    "no_such_customer",
+                )?;
+                let price = opt_arg(args, "price").and_then(Value::as_str);
+                if let Some(p) = price {
+                    require(self.state.find("prices", "id", p).is_some(), "no_such_price")?;
+                }
+                let amount = price
+                    .and_then(|p| self.state.find("prices", "id", p))
+                    .and_then(|p| p.get("unit_amount").and_then(Value::as_int))
+                    .unwrap_or(1900);
+                let id = self.state.fresh_id("ii_");
+                let item = json!({
+                    "id": id.as_str(),
+                    "object": "invoiceitem",
+                    "customer": customer,
+                    "price": (price.map(Value::from).unwrap_or(Value::Null)),
+                    "description": (opt_arg(args, "description").cloned().unwrap_or(Value::Null)),
+                    "amount": amount
+                });
+                self.state.insert("invoiceitems", item.clone());
+                Ok(item)
+            }
+            "/v1/invoices_POST" => {
+                let customer = arg_str(args, "customer")?.to_string();
+                require(
+                    self.state.find("customers", "id", &customer).is_some(),
+                    "no_such_customer",
+                )?;
+                Ok(self.make_invoice_with_charge(&customer, 1900))
+            }
+            "/v1/invoices_GET" => {
+                let customer = opt_arg(args, "customer").and_then(Value::as_str);
+                let data: Vec<Value> = self
+                    .state
+                    .list("invoices")
+                    .into_iter()
+                    .filter(|i| {
+                        customer
+                            .is_none_or(|c| i.get("customer").and_then(Value::as_str) == Some(c))
+                    })
+                    .collect();
+                Ok(list_value("/v1/invoices", data))
+            }
+            "/v1/invoices/{invoice}_GET" => {
+                self.get("invoices", arg_str(args, "invoice")?, "resource_missing")
+            }
+            "/v1/invoices/{invoice}/send_POST" => {
+                let id = arg_str(args, "invoice")?.to_string();
+                let mut invoice = self.get("invoices", &id, "resource_missing")?;
+                invoice.set("status", Value::from("open"));
+                self.state.replace("invoices", "id", &id, invoice.clone());
+                Ok(invoice)
+            }
+            "/v1/charges_GET" => {
+                let customer = opt_arg(args, "customer").and_then(Value::as_str);
+                let data: Vec<Value> = self
+                    .state
+                    .list("charges")
+                    .into_iter()
+                    .filter(|c| {
+                        customer
+                            .is_none_or(|q| c.get("customer").and_then(Value::as_str) == Some(q))
+                    })
+                    .collect();
+                Ok(list_value("/v1/charges", data))
+            }
+            "/v1/charges/{charge}_GET" => {
+                self.get("charges", arg_str(args, "charge")?, "resource_missing")
+            }
+            "/v1/refunds_POST" => {
+                let charge = opt_arg(args, "charge").and_then(Value::as_str);
+                let intent = opt_arg(args, "payment_intent").and_then(Value::as_str);
+                let (ch, amount) = match (charge, intent) {
+                    (Some(c), None) => {
+                        let ch = self.get("charges", c, "no_such_charge")?;
+                        let amount = ch.get("amount").and_then(Value::as_int).unwrap_or(0);
+                        (c.to_string(), amount)
+                    }
+                    (None, Some(pi)) => {
+                        let intent = self.get("payment_intents", pi, "no_such_intent")?;
+                        let amount = intent.get("amount").and_then(Value::as_int).unwrap_or(0);
+                        (pi.to_string(), amount)
+                    }
+                    _ => return Err(CallError::new("exactly_one_of_charge_or_intent")),
+                };
+                let id = self.state.fresh_id("re_");
+                let refund = json!({
+                    "id": id.as_str(),
+                    "object": "refund",
+                    "charge": (ch.as_str()),
+                    "amount": amount,
+                    "status": "succeeded"
+                });
+                self.state.insert("refunds", refund.clone());
+                Ok(refund)
+            }
+            "/v1/customers/{customer}/sources_GET" => {
+                let customer = arg_str(args, "customer")?;
+                require(
+                    self.state.find("customers", "id", customer).is_some(),
+                    "no_such_customer",
+                )?;
+                let data: Vec<Value> = self
+                    .state
+                    .list("sources")
+                    .into_iter()
+                    .filter(|s| s.get("customer").and_then(Value::as_str) == Some(customer))
+                    .collect();
+                Ok(list_value("/v1/customers/sources", data))
+            }
+            "/v1/customers/{customer}/sources/{id}_DELETE" => {
+                let customer = arg_str(args, "customer")?;
+                let id = arg_str(args, "id")?;
+                let source = self.get("sources", id, "resource_missing")?;
+                require(
+                    source.get("customer").and_then(Value::as_str) == Some(customer),
+                    "resource_missing",
+                )?;
+                self.state.remove("sources", "id", id);
+                Ok(source)
+            }
+            "/v1/payment_methods_GET" => {
+                Ok(list_value("/v1/payment_methods", self.state.list("payment_methods")))
+            }
+            "/v1/payment_intents_POST" => {
+                let amount = opt_arg(args, "amount")
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| CallError::new("parameter_missing"))?;
+                let id = self.state.fresh_id("pi_");
+                let intent = json!({
+                    "id": id.as_str(),
+                    "object": "payment_intent",
+                    "currency": (arg_str(args, "currency")?),
+                    "amount": amount,
+                    "status": "requires_confirmation",
+                    "customer": (opt_arg(args, "customer").cloned().unwrap_or(Value::Null)),
+                    "payment_method": (opt_arg(args, "payment_method").cloned().unwrap_or(Value::Null))
+                });
+                self.state.insert("payment_intents", intent.clone());
+                Ok(intent)
+            }
+            "/v1/payment_intents/{intent}/confirm_POST" => {
+                let id = arg_str(args, "intent")?.to_string();
+                let mut intent = self.get("payment_intents", &id, "resource_missing")?;
+                intent.set("status", Value::from("succeeded"));
+                self.state.replace("payment_intents", "id", &id, intent.clone());
+                Ok(intent)
+            }
+            _ => Err(CallError::new("unknown_method")),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = ServiceState::new();
+        self.filler.reset(&self.filler_cfg);
+        self.seed();
+    }
+}
+
+fn spec_builder() -> LibraryBuilder {
+    let s = SynTy::Str;
+    let list_of = |obj: &str| {
+        SynTy::Record(apiphany_spec::RecordTy {
+            fields: vec![
+                apiphany_spec::FieldTy { name: "object".into(), optional: false, ty: SynTy::Str },
+                apiphany_spec::FieldTy {
+                    name: "data".into(),
+                    optional: false,
+                    ty: SynTy::array(SynTy::object(obj)),
+                },
+                apiphany_spec::FieldTy {
+                    name: "has_more".into(),
+                    optional: false,
+                    ty: SynTy::Bool,
+                },
+                apiphany_spec::FieldTy { name: "url".into(), optional: false, ty: SynTy::Str },
+            ],
+        })
+    };
+    LibraryBuilder::new("stripe")
+        .object("customer", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("email", s.clone())
+                .opt_field("name", s.clone())
+                .opt_field("default_source", s.clone())
+                .field("currency", s.clone())
+        })
+        .object("product", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("name", s.clone())
+                .field("active", SynTy::Bool)
+        })
+        .object("price", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("currency", s.clone())
+                .field("product", s.clone())
+                .field("unit_amount", SynTy::Int)
+        })
+        .object("plan", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("amount", SynTy::Int)
+                .field("currency", s.clone())
+                .field("product", s.clone())
+        })
+        .object("subscription_item", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("price", SynTy::object("price"))
+                .field("subscription", s.clone())
+        })
+        .object("subscription", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("customer", s.clone())
+                .field("status", s.clone())
+                .field("latest_invoice", s.clone())
+                .opt_field("default_payment_method", s.clone())
+                .field(
+                    "items",
+                    SynTy::Record(apiphany_spec::RecordTy {
+                        fields: vec![
+                            apiphany_spec::FieldTy {
+                                name: "object".into(),
+                                optional: false,
+                                ty: SynTy::Str,
+                            },
+                            apiphany_spec::FieldTy {
+                                name: "data".into(),
+                                optional: false,
+                                ty: SynTy::array(SynTy::object("subscription_item")),
+                            },
+                        ],
+                    }),
+                )
+        })
+        .object("invoiceitem", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("customer", s.clone())
+                .opt_field("price", s.clone())
+                .opt_field("description", s.clone())
+                .field("amount", SynTy::Int)
+        })
+        .object("invoice", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("customer", s.clone())
+                .field("charge", s.clone())
+                .field("status", s.clone())
+                .field("amount_due", SynTy::Int)
+                .field("currency", s.clone())
+        })
+        .object("fee", |o| o.field("currency", s.clone()).field("amount", SynTy::Int))
+        .object("charge", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("customer", s.clone())
+                .field("amount", SynTy::Int)
+                .field("currency", s.clone())
+                .field("invoice", s.clone())
+                .field("receipt_url", s.clone())
+                .field("fee_details", SynTy::object("fee"))
+        })
+        .object("refund", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("charge", s.clone())
+                .field("amount", SynTy::Int)
+                .field("status", s.clone())
+        })
+        .object("bank_account", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("customer", s.clone())
+                .field("last4", s.clone())
+                .field("status", s.clone())
+        })
+        .object("payment_source", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("customer", s.clone())
+                .field("last4", s.clone())
+                .field("status", s.clone())
+        })
+        .object("payment_method", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("customer", s.clone())
+                .field("type", s.clone())
+        })
+        .object("payment_intent", |o| {
+            o.field("id", s.clone())
+                .field("object", s.clone())
+                .field("currency", s.clone())
+                .field("amount", SynTy::Int)
+                .field("status", s.clone())
+                .opt_field("customer", s.clone())
+                .opt_field("payment_method", s.clone())
+        })
+        .method("/v1/customers_GET", |m| {
+            m.doc("List customers").opt_param("email", s.clone()).returns(list_of("customer"))
+        })
+        .method("/v1/customers_POST", |m| {
+            m.doc("Create a customer")
+                .opt_param("email", s.clone())
+                .opt_param("name", s.clone())
+                .returns(SynTy::object("customer"))
+        })
+        .method("/v1/customers/{customer}_GET", |m| {
+            m.doc("Retrieve a customer")
+                .param("customer", s.clone())
+                .returns(SynTy::object("customer"))
+        })
+        .method("/v1/products_GET", |m| m.doc("List products").returns(list_of("product")))
+        .method("/v1/products_POST", |m| {
+            m.doc("Create a product").param("name", s.clone()).returns(SynTy::object("product"))
+        })
+        .method("/v1/prices_GET", |m| {
+            m.doc("List prices").opt_param("product", s.clone()).returns(list_of("price"))
+        })
+        .method("/v1/prices_POST", |m| {
+            m.doc("Create a price")
+                .param("currency", s.clone())
+                .param("product", s.clone())
+                .param("unit_amount", SynTy::Int)
+                .returns(SynTy::object("price"))
+        })
+        .method("/v1/plans_GET", |m| m.doc("List plans").returns(list_of("plan")))
+        .method("/v1/subscriptions_GET", |m| {
+            m.doc("List subscriptions")
+                .opt_param("customer", s.clone())
+                .returns(list_of("subscription"))
+        })
+        .method("/v1/subscriptions_POST", |m| {
+            m.doc("Create a subscription")
+                .param("customer", s.clone())
+                .param("items[0][price]", s.clone())
+                .opt_param("default_payment_method", s.clone())
+                .returns(SynTy::object("subscription"))
+        })
+        .method("/v1/subscriptions/{subscription_exposed_id}_GET", |m| {
+            m.doc("Retrieve a subscription")
+                .param("subscription_exposed_id", s.clone())
+                .returns(SynTy::object("subscription"))
+        })
+        .method("/v1/subscriptions/{subscription_exposed_id}_POST", |m| {
+            m.doc("Update a subscription")
+                .param("subscription_exposed_id", s.clone())
+                .opt_param("default_payment_method", s.clone())
+                .returns(SynTy::object("subscription"))
+        })
+        .method("/v1/invoiceitems_POST", |m| {
+            m.doc("Create an invoice item")
+                .param("customer", s.clone())
+                .opt_param("price", s.clone())
+                .opt_param("description", s.clone())
+                .returns(SynTy::object("invoiceitem"))
+        })
+        .method("/v1/invoices_POST", |m| {
+            m.doc("Create an invoice")
+                .param("customer", s.clone())
+                .returns(SynTy::object("invoice"))
+        })
+        .method("/v1/invoices_GET", |m| {
+            m.doc("List invoices").opt_param("customer", s.clone()).returns(list_of("invoice"))
+        })
+        .method("/v1/invoices/{invoice}_GET", |m| {
+            m.doc("Retrieve an invoice")
+                .param("invoice", s.clone())
+                .returns(SynTy::object("invoice"))
+        })
+        .method("/v1/invoices/{invoice}/send_POST", |m| {
+            m.doc("Send an invoice for manual payment")
+                .param("invoice", s.clone())
+                .returns(SynTy::object("invoice"))
+        })
+        .method("/v1/charges_GET", |m| {
+            m.doc("List charges").opt_param("customer", s.clone()).returns(list_of("charge"))
+        })
+        .method("/v1/charges/{charge}_GET", |m| {
+            m.doc("Retrieve a charge").param("charge", s.clone()).returns(SynTy::object("charge"))
+        })
+        .method("/v1/refunds_POST", |m| {
+            m.doc("Create a refund")
+                .opt_param("charge", s.clone())
+                .opt_param("payment_intent", s.clone())
+                .returns(SynTy::object("refund"))
+        })
+        .method("/v1/customers/{customer}/sources_GET", |m| {
+            m.doc("List payment sources")
+                .param("customer", s.clone())
+                .returns(list_of("bank_account"))
+        })
+        .method("/v1/customers/{customer}/sources/{id}_DELETE", |m| {
+            m.doc("Delete a payment source")
+                .param("customer", s.clone())
+                .param("id", s.clone())
+                .returns(SynTy::object("payment_source"))
+        })
+        .method("/v1/payment_methods_GET", |m| {
+            m.doc("List payment methods").returns(list_of("payment_method"))
+        })
+        .method("/v1/payment_intents_POST", |m| {
+            m.doc("Create a payment intent")
+                .param("currency", s.clone())
+                .param("amount", SynTy::Int)
+                .opt_param("customer", s.clone())
+                .opt_param("payment_method", s.clone())
+                .returns(SynTy::object("payment_intent"))
+        })
+        .method("/v1/payment_intents/{intent}/confirm_POST", |m| {
+            m.doc("Confirm a payment intent")
+                .param("intent", s)
+                .returns(SynTy::object("payment_intent"))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_matches_table1_scale() {
+        let stripe = Stripe::new();
+        let stats = stripe.library().stats();
+        assert_eq!(stats.n_methods, 300, "Table 1: Stripe has 300 methods");
+        assert!(stats.n_objects >= 300, "near Table 1's 399 objects: {}", stats.n_objects);
+    }
+
+    #[test]
+    fn scenario_covers_gold_methods() {
+        let mut stripe = Stripe::new();
+        let ws = stripe.scenario();
+        for m in [
+            "/v1/prices_GET",
+            "/v1/subscriptions_POST",
+            "/v1/products_POST",
+            "/v1/prices_POST",
+            "/v1/invoiceitems_POST",
+            "/v1/customers_GET",
+            "/v1/invoices_GET",
+            "/v1/charges/{charge}_GET",
+            "/v1/subscriptions/{subscription_exposed_id}_GET",
+            "/v1/invoices/{invoice}_GET",
+            "/v1/refunds_POST",
+            "/v1/customers/{customer}_GET",
+            "/v1/customers/{customer}/sources_GET",
+            "/v1/subscriptions_GET",
+            "/v1/subscriptions/{subscription_exposed_id}_POST",
+            "/v1/customers/{customer}/sources/{id}_DELETE",
+            "/v1/customers_POST",
+            "/v1/payment_intents_POST",
+            "/v1/payment_intents/{intent}/confirm_POST",
+            "/v1/invoices_POST",
+            "/v1/invoices/{invoice}/send_POST",
+        ] {
+            assert!(ws.iter().any(|w| w.method == m), "scenario misses {m}");
+        }
+    }
+
+    #[test]
+    fn subscription_creates_invoice_and_charge() {
+        let mut stripe = Stripe::new();
+        let sub = stripe
+            .call(
+                "/v1/subscriptions_POST",
+                &[
+                    ("customer".to_string(), Value::from("cus_Q1zR7yHdE6")),
+                    ("items[0][price]".to_string(), Value::from("price_1N4A2eZvGold")),
+                ],
+            )
+            .unwrap();
+        let invoice_id = sub.get("latest_invoice").unwrap().as_str().unwrap().to_string();
+        let invoice = stripe
+            .call(
+                "/v1/invoices/{invoice}_GET",
+                &[("invoice".to_string(), Value::from(invoice_id.as_str()))],
+            )
+            .unwrap();
+        let charge_id = invoice.get("charge").unwrap().as_str().unwrap().to_string();
+        let refund = stripe
+            .call("/v1/refunds_POST", &[("charge".to_string(), Value::from(charge_id.as_str()))])
+            .unwrap();
+        assert_eq!(refund.get("object").unwrap().as_str(), Some("refund"));
+    }
+
+    #[test]
+    fn refund_requires_exactly_one_target() {
+        let mut stripe = Stripe::new();
+        assert!(stripe.call("/v1/refunds_POST", &[]).is_err());
+        let both = [
+            ("charge".to_string(), Value::from("ch_3N1xKe2eAa")),
+            ("payment_intent".to_string(), Value::from("pi_3N1wJd2eIntnt")),
+        ];
+        assert!(stripe.call("/v1/refunds_POST", &both).is_err());
+    }
+
+    #[test]
+    fn source_delete_returns_the_source() {
+        let mut stripe = Stripe::new();
+        let deleted = stripe
+            .call(
+                "/v1/customers/{customer}/sources/{id}_DELETE",
+                &[
+                    ("customer".to_string(), Value::from("cus_N7fX2hQpR1")),
+                    ("id".to_string(), Value::from("ba_1N4qLw2eZvKYlo2C")),
+                ],
+            )
+            .unwrap();
+        assert_eq!(deleted.get("last4").unwrap().as_str(), Some("4242"));
+        // Second delete fails.
+        assert!(stripe
+            .call(
+                "/v1/customers/{customer}/sources/{id}_DELETE",
+                &[
+                    ("customer".to_string(), Value::from("cus_N7fX2hQpR1")),
+                    ("id".to_string(), Value::from("ba_1N4qLw2eZvKYlo2C")),
+                ],
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn plans_mirror_prices() {
+        let mut stripe = Stripe::new();
+        let plans = stripe.call("/v1/plans_GET", &[]).unwrap();
+        let prices = stripe.call("/v1/prices_GET", &[]).unwrap();
+        let plan_ids: Vec<&str> = plans
+            .get("data")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|p| p.get("id").and_then(Value::as_str))
+            .collect();
+        let price_ids: Vec<&str> = prices
+            .get("data")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|p| p.get("id").and_then(Value::as_str))
+            .collect();
+        assert_eq!(plan_ids, price_ids);
+    }
+}

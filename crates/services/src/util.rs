@@ -1,0 +1,182 @@
+//! Shared helpers for the simulated services: a small table-based state
+//! store over JSON values, argument extraction, and witness scripting.
+
+use std::collections::HashMap;
+
+use apiphany_json::Value;
+use apiphany_spec::{CallError, Service, Witness};
+
+/// A table-based state store: named lists of JSON rows plus scalar slots.
+#[derive(Debug, Default, Clone)]
+pub struct ServiceState {
+    tables: HashMap<String, Vec<Value>>,
+    strings: HashMap<String, String>,
+    id_counter: u64,
+    ts_counter: u64,
+}
+
+impl ServiceState {
+    /// A fresh, empty state.
+    pub fn new() -> ServiceState {
+        ServiceState::default()
+    }
+
+    /// Appends a row to a table.
+    pub fn insert(&mut self, table: &str, row: Value) {
+        self.tables.entry(table.to_string()).or_default().push(row);
+    }
+
+    /// Appends a row (alias used for message lists etc.).
+    pub fn push(&mut self, table: &str, row: Value) {
+        self.insert(table, row);
+    }
+
+    /// The rows of a table (empty when absent).
+    pub fn list(&self, table: &str) -> Vec<Value> {
+        self.tables.get(table).cloned().unwrap_or_default()
+    }
+
+    /// Replaces a table wholesale.
+    pub fn set_list(&mut self, table: &str, rows: Vec<Value>) {
+        self.tables.insert(table.to_string(), rows);
+    }
+
+    /// First row whose field equals the value.
+    pub fn find(&self, table: &str, field: &str, value: &str) -> Option<Value> {
+        self.tables
+            .get(table)?
+            .iter()
+            .find(|r| r.get(field).and_then(Value::as_str) == Some(value))
+            .cloned()
+    }
+
+    /// Replaces the first row whose `field` equals `value`.
+    pub fn replace(&mut self, table: &str, field: &str, value: &str, row: Value) {
+        if let Some(rows) = self.tables.get_mut(table) {
+            if let Some(slot) =
+                rows.iter_mut().find(|r| r.get(field).and_then(Value::as_str) == Some(value))
+            {
+                *slot = row;
+            }
+        }
+    }
+
+    /// Removes rows whose `field` equals `value`; returns how many.
+    pub fn remove(&mut self, table: &str, field: &str, value: &str) -> usize {
+        let Some(rows) = self.tables.get_mut(table) else { return 0 };
+        let before = rows.len();
+        rows.retain(|r| r.get(field).and_then(Value::as_str) != Some(value));
+        before - rows.len()
+    }
+
+    /// A fresh Slack/Stripe-style identifier with the given prefix.
+    pub fn fresh_id(&mut self, prefix: &str) -> String {
+        self.id_counter += 1;
+        // Base-36-ish suffix keeps ids in the service's alphabet.
+        format!("{prefix}{:07X}Z{:02}", self.id_counter * 7919, self.id_counter % 97)
+    }
+
+    /// A fresh Slack-style message timestamp.
+    pub fn fresh_ts(&mut self) -> String {
+        self.ts_counter += 1;
+        format!("{}.{:06}", 1_503_435_956 + self.ts_counter, self.ts_counter * 31 % 1_000_000)
+    }
+
+    /// Stores a scalar string slot.
+    pub fn set_str(&mut self, key: &str, value: &str) {
+        self.strings.insert(key.to_string(), value.to_string());
+    }
+
+    /// Reads a scalar string slot (empty when absent).
+    pub fn str(&self, key: &str) -> String {
+        self.strings.get(key).cloned().unwrap_or_default()
+    }
+}
+
+/// Extracts a required string argument.
+///
+/// # Errors
+///
+/// Fails with `missing_argument` / `invalid_argument`.
+pub fn arg_str<'a>(args: &'a [(String, Value)], name: &str) -> Result<&'a str, CallError> {
+    match args.iter().find(|(n, _)| n == name) {
+        Some((_, v)) => v.as_str().ok_or_else(|| CallError::new("invalid_argument")),
+        None => Err(CallError::new("missing_argument")),
+    }
+}
+
+/// Extracts an optional argument.
+pub fn opt_arg<'a>(args: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    args.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+}
+
+/// Turns a boolean check into a `CallError`.
+///
+/// # Errors
+///
+/// Fails with the given code when the condition is false.
+pub fn require(cond: bool, code: &str) -> Result<(), CallError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(CallError::new(code))
+    }
+}
+
+/// Runs a scripted call sequence against a service, collecting the
+/// successful calls as witnesses (failed calls are dropped, exactly as in
+/// witness capture).
+pub fn script(
+    service: &mut dyn Service,
+    calls: &[(&str, Vec<(&str, Value)>)],
+) -> Vec<Witness> {
+    let mut out = Vec::new();
+    for (method, args) in calls {
+        let args: Vec<(String, Value)> =
+            args.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect();
+        if let Ok(output) = service.call(method, &args) {
+            out.push(Witness { method: (*method).to_string(), args, output });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_json::json;
+
+    #[test]
+    fn table_crud() {
+        let mut s = ServiceState::new();
+        s.insert("t", json!({"id": "a", "v": 1}));
+        s.insert("t", json!({"id": "b", "v": 2}));
+        assert_eq!(s.find("t", "id", "b").unwrap().get("v").unwrap().as_int(), Some(2));
+        s.replace("t", "id", "b", json!({"id": "b", "v": 3}));
+        assert_eq!(s.find("t", "id", "b").unwrap().get("v").unwrap().as_int(), Some(3));
+        assert_eq!(s.remove("t", "id", "a"), 1);
+        assert_eq!(s.list("t").len(), 1);
+    }
+
+    #[test]
+    fn ids_and_ts_are_unique() {
+        let mut s = ServiceState::new();
+        let a = s.fresh_id("C");
+        let b = s.fresh_id("C");
+        assert_ne!(a, b);
+        assert!(a.starts_with('C'));
+        let t1 = s.fresh_ts();
+        let t2 = s.fresh_ts();
+        assert!(t2 > t1, "timestamps grow: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn arg_helpers() {
+        let args = vec![("x".to_string(), Value::from("1"))];
+        assert_eq!(arg_str(&args, "x").unwrap(), "1");
+        assert!(arg_str(&args, "y").is_err());
+        assert!(opt_arg(&args, "y").is_none());
+        assert!(require(true, "nope").is_ok());
+        assert!(require(false, "nope").is_err());
+    }
+}

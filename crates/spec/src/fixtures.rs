@@ -1,0 +1,99 @@
+//! Shared test fixtures: the paper's running example.
+//!
+//! [`fig7_library`] is the library `Λ` of the paper's Fig. 7 (a fragment of
+//! the Slack API) and [`fig4_witnesses`] are the two witnesses of Fig. 4.
+//! These are used across the workspace's unit tests and doc examples, and
+//! are small enough to reason about by hand.
+
+use apiphany_json::{json, Value};
+
+use crate::library::{Library, LibraryBuilder};
+use crate::ty::SynTy;
+use crate::witness::Witness;
+
+/// The library `Λ` of the paper's Fig. 7: `Channel`, `User`, `Profile`
+/// objects and the methods `c_list`, `u_info`, `c_members`.
+pub fn fig7_library() -> Library {
+    LibraryBuilder::new("slack-fig7")
+        .object("Channel", |o| {
+            o.field("id", SynTy::Str).field("name", SynTy::Str).field("creator", SynTy::Str)
+        })
+        .object("Profile", |o| o.field("email", SynTy::Str))
+        .object("User", |o| {
+            o.field("id", SynTy::Str)
+                .field("name", SynTy::Str)
+                .field("profile", SynTy::object("Profile"))
+        })
+        .method("c_list", |m| {
+            m.doc("Lists all channels").returns(SynTy::array(SynTy::object("Channel")))
+        })
+        .method("u_info", |m| {
+            m.doc("Gets information about a user")
+                .param("user", SynTy::Str)
+                .returns(SynTy::object("User"))
+        })
+        .method("c_members", |m| {
+            m.doc("Retrieves members of a conversation")
+                .param("channel", SynTy::Str)
+                .returns(SynTy::array(SynTy::Str))
+        })
+        .build()
+}
+
+/// The two witnesses of the paper's Fig. 4 — `c_list` returning three
+/// channels, and `u_info` called on `"UJ5RHEG4S"` — plus a `c_members`
+/// witness so the whole running example is executable.
+pub fn fig4_witnesses() -> Vec<Witness> {
+    vec![
+        Witness::new(
+            "c_list",
+            Vec::<(String, Value)>::new(),
+            json!([
+                {"id": "C4EFAQ5RN", "name": "general", "creator": "UJ5RHEG4S"},
+                {"id": "C051B3Y9W", "name": "private-test", "creator": "UH23TEXPO"},
+                {"id": "C0AE4195H", "name": "team", "creator": "UJ5RHEG4S"}
+            ]),
+        ),
+        Witness::new(
+            "u_info",
+            [("user", Value::from("UJ5RHEG4S"))],
+            json!({
+                "id": "UJ5RHEG4S",
+                "name": "ann",
+                "profile": {"email": "xyz@gmail.com"}
+            }),
+        ),
+        Witness::new(
+            "u_info",
+            [("user", Value::from("UH23TEXPO"))],
+            json!({
+                "id": "UH23TEXPO",
+                "name": "bob",
+                "profile": {"email": "bob@corp.example"}
+            }),
+        ),
+        Witness::new(
+            "c_members",
+            [("channel", Value::from("C4EFAQ5RN"))],
+            json!(["UJ5RHEG4S", "UH23TEXPO"]),
+        ),
+        Witness::new(
+            "c_members",
+            [("channel", Value::from("C0AE4195H"))],
+            json!(["UJ5RHEG4S"]),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_consistent_with_the_library() {
+        let lib = fig7_library();
+        for w in fig4_witnesses() {
+            assert!(lib.methods.contains_key(&w.method), "unknown method {}", w.method);
+        }
+    }
+}

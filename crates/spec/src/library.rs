@@ -1,0 +1,287 @@
+//! The library `Λ`: object and method definitions (paper Fig. 6 / Fig. 7),
+//! syntactic location lookup, builders, and size statistics (Table 1).
+
+use std::collections::BTreeMap;
+
+use crate::loc::{Label, Loc, Root};
+use crate::ty::{FieldTy, RecordTy, SynTy};
+
+/// A method definition: a parameter record and a response type.
+///
+/// Multiple arguments are represented as a record whose fields encode
+/// argument names, with optional fields encoding optional arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSig {
+    /// Parameter record (`f.in`).
+    pub params: RecordTy,
+    /// Response type (`f.out`).
+    pub response: SynTy,
+    /// Free-form documentation (used by the qualitative analysis).
+    pub doc: String,
+}
+
+/// A library `Λ`: object definitions and method definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Library {
+    /// A human-readable name for the API (e.g. `"slack"`).
+    pub name: String,
+    /// Object definitions: object identifier → record type.
+    pub objects: BTreeMap<String, RecordTy>,
+    /// Method definitions: method name → signature.
+    pub methods: BTreeMap<String, MethodSig>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new(name: impl Into<String>) -> Library {
+        Library { name: name.into(), ..Library::default() }
+    }
+
+    /// True iff `name` is a defined object identifier.
+    pub fn is_object(&self, name: &str) -> bool {
+        self.objects.contains_key(name)
+    }
+
+    /// Syntactic location lookup `Λ(loc)` (paper Appendix A).
+    ///
+    /// Walks the labels of `loc` through the definition at its root,
+    /// stepping through record fields, `in`/`out`, and array elements.
+    /// The walk does **not** enter named objects: `Λ(User.profile)` is
+    /// `Profile`, but `Λ(User.profile.email)` is undefined (ask for
+    /// `Profile.email` instead). Returns `None` for undefined locations.
+    pub fn lookup(&self, loc: &Loc) -> Option<SynTy> {
+        let mut cur: SynTy = match &loc.root {
+            Root::Object(name) => SynTy::Record(self.objects.get(name)?.clone()),
+            Root::Method(_) => {
+                // Methods are not types; the first label must be in/out.
+                let sig = self.method(&loc.root)?;
+                let mut labels = loc.path.iter();
+                let first = labels.next()?;
+                let mut cur = match first {
+                    Label::In => SynTy::Record(sig.params.clone()),
+                    Label::Out => sig.response.clone(),
+                    _ => return None,
+                };
+                for label in labels {
+                    cur = step(cur, label)?;
+                }
+                return Some(cur);
+            }
+        };
+        for label in &loc.path {
+            cur = step(cur, label)?;
+        }
+        Some(cur)
+    }
+
+    fn method(&self, root: &Root) -> Option<&MethodSig> {
+        match root {
+            Root::Method(name) => self.methods.get(name),
+            Root::Object(_) => None,
+        }
+    }
+
+    /// Size statistics, matching the columns of the paper's Table 1.
+    pub fn stats(&self) -> LibraryStats {
+        let arg_counts: Vec<usize> =
+            self.methods.values().map(|m| m.params.fields.len()).collect();
+        let obj_sizes: Vec<usize> =
+            self.objects.values().map(|o| o.fields.len()).collect();
+        LibraryStats {
+            n_methods: self.methods.len(),
+            min_args: arg_counts.iter().copied().min().unwrap_or(0),
+            max_args: arg_counts.iter().copied().max().unwrap_or(0),
+            n_objects: self.objects.len(),
+            min_obj_size: obj_sizes.iter().copied().min().unwrap_or(0),
+            max_obj_size: obj_sizes.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// Steps a syntactic type by one label, without entering named objects.
+fn step(ty: SynTy, label: &Label) -> Option<SynTy> {
+    match (ty, label) {
+        (SynTy::Record(r), Label::Named(name)) => r.field(name).map(|f| f.ty.clone()),
+        (SynTy::Array(elem), Label::Elem) => Some(*elem),
+        _ => None,
+    }
+}
+
+/// Library size statistics: the "API size" columns of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LibraryStats {
+    /// Number of methods (`|Λ.f|`).
+    pub n_methods: usize,
+    /// Minimum number of arguments of any method.
+    pub min_args: usize,
+    /// Maximum number of arguments of any method (`n_arg` upper bound).
+    pub max_args: usize,
+    /// Number of object definitions (`|Λ.o|`).
+    pub n_objects: usize,
+    /// Minimum object size in fields.
+    pub min_obj_size: usize,
+    /// Maximum object size in fields (`s_obj` upper bound).
+    pub max_obj_size: usize,
+}
+
+/// Fluent builder for [`Library`] values.
+///
+/// ```
+/// use apiphany_spec::{LibraryBuilder, SynTy};
+/// let lib = LibraryBuilder::new("demo")
+///     .object("User", |o| o.field("id", SynTy::Str))
+///     .method("u_info", |m| {
+///         m.param("user", SynTy::Str).returns(SynTy::object("User"))
+///     })
+///     .build();
+/// assert!(lib.is_object("User"));
+/// ```
+#[derive(Debug, Default)]
+pub struct LibraryBuilder {
+    lib: Library,
+}
+
+impl LibraryBuilder {
+    /// Starts a new library with the given API name.
+    pub fn new(name: impl Into<String>) -> LibraryBuilder {
+        LibraryBuilder { lib: Library::new(name) }
+    }
+
+    /// Adds an object definition.
+    pub fn object(
+        mut self,
+        name: impl Into<String>,
+        build: impl FnOnce(ObjectBuilder) -> ObjectBuilder,
+    ) -> LibraryBuilder {
+        let b = build(ObjectBuilder::default());
+        self.lib.objects.insert(name.into(), b.record);
+        self
+    }
+
+    /// Adds a method definition.
+    pub fn method(
+        mut self,
+        name: impl Into<String>,
+        build: impl FnOnce(MethodBuilder) -> MethodBuilder,
+    ) -> LibraryBuilder {
+        let b = build(MethodBuilder::default());
+        self.lib.methods.insert(
+            name.into(),
+            MethodSig { params: b.params, response: b.response, doc: b.doc },
+        );
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> Library {
+        self.lib
+    }
+}
+
+/// Builder for one object definition.
+#[derive(Debug, Default)]
+pub struct ObjectBuilder {
+    record: RecordTy,
+}
+
+impl ObjectBuilder {
+    /// Adds a required field.
+    pub fn field(mut self, name: impl Into<String>, ty: SynTy) -> ObjectBuilder {
+        self.record.fields.push(FieldTy { name: name.into(), optional: false, ty });
+        self
+    }
+
+    /// Adds an optional field.
+    pub fn opt_field(mut self, name: impl Into<String>, ty: SynTy) -> ObjectBuilder {
+        self.record.fields.push(FieldTy { name: name.into(), optional: true, ty });
+        self
+    }
+}
+
+/// Builder for one method definition.
+#[derive(Debug)]
+pub struct MethodBuilder {
+    params: RecordTy,
+    response: SynTy,
+    doc: String,
+}
+
+impl Default for MethodBuilder {
+    fn default() -> MethodBuilder {
+        MethodBuilder { params: RecordTy::new(), response: SynTy::Str, doc: String::new() }
+    }
+}
+
+impl MethodBuilder {
+    /// Adds a required parameter.
+    pub fn param(mut self, name: impl Into<String>, ty: SynTy) -> MethodBuilder {
+        self.params.fields.push(FieldTy { name: name.into(), optional: false, ty });
+        self
+    }
+
+    /// Adds an optional parameter.
+    pub fn opt_param(mut self, name: impl Into<String>, ty: SynTy) -> MethodBuilder {
+        self.params.fields.push(FieldTy { name: name.into(), optional: true, ty });
+        self
+    }
+
+    /// Sets the response type.
+    pub fn returns(mut self, ty: SynTy) -> MethodBuilder {
+        self.response = ty;
+        self
+    }
+
+    /// Sets the documentation string.
+    pub fn doc(mut self, doc: impl Into<String>) -> MethodBuilder {
+        self.doc = doc.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::fixtures::fig7_library;
+
+    #[test]
+    fn lookup_object_fields() {
+        let lib = fig7_library();
+        let loc = Loc::object("User").field("profile");
+        assert_eq!(lib.lookup(&loc), Some(SynTy::object("Profile")));
+        // Does not enter named objects (paper Appendix A).
+        let deep = Loc::object("User").field("profile").field("email");
+        assert_eq!(lib.lookup(&deep), None);
+    }
+
+    #[test]
+    fn lookup_method_locations() {
+        let lib = fig7_library();
+        let out_elem = Loc::method("c_members").child(Label::Out).elem();
+        assert_eq!(lib.lookup(&out_elem), Some(SynTy::Str));
+        let param = Loc::method("u_info").child(Label::In).field("user");
+        assert_eq!(lib.lookup(&param), Some(SynTy::Str));
+        let resp = Loc::method("u_info").child(Label::Out);
+        assert_eq!(lib.lookup(&resp), Some(SynTy::object("User")));
+    }
+
+    #[test]
+    fn lookup_undefined_is_none() {
+        let lib = fig7_library();
+        assert_eq!(lib.lookup(&Loc::object("Nope")), None);
+        assert_eq!(lib.lookup(&Loc::method("c_list").child(Label::In).field("x")), None);
+        assert_eq!(lib.lookup(&Loc::method("nope").child(Label::Out)), None);
+    }
+
+    #[test]
+    fn stats_match_definition_counts() {
+        let lib = fig7_library();
+        let s = lib.stats();
+        assert_eq!(s.n_methods, 3);
+        assert_eq!(s.n_objects, 3);
+        assert_eq!(s.min_args, 0);
+        assert_eq!(s.max_args, 1);
+        assert_eq!(s.min_obj_size, 1);
+        assert_eq!(s.max_obj_size, 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! Locations (`loc` in the paper, Fig. 6): an object or method name followed
+//! by a sequence of labels, e.g. `User.id` or `c_list.out.0.creator`.
+
+use std::fmt;
+
+/// The root of a location: an object definition or a method definition.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Root {
+    /// An object name from the library's object definitions.
+    Object(String),
+    /// A method name from the library's method definitions.
+    Method(String),
+}
+
+impl Root {
+    /// The underlying name, without the object/method distinction.
+    pub fn name(&self) -> &str {
+        match self {
+            Root::Object(n) | Root::Method(n) => n,
+        }
+    }
+}
+
+/// One step of a location path.
+///
+/// `in`, `out`, and `0` are the paper's three reserved labels for method
+/// parameters, method responses, and array elements.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Label {
+    /// A named object field or method parameter.
+    Named(String),
+    /// The parameter record of a method (`f.in`).
+    In,
+    /// The response of a method (`f.out`).
+    Out,
+    /// The element type of an array (`.0`).
+    Elem,
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Named(n) => f.write_str(n),
+            Label::In => f.write_str("in"),
+            Label::Out => f.write_str("out"),
+            Label::Elem => f.write_str("0"),
+        }
+    }
+}
+
+/// A location: a [`Root`] plus a path of [`Label`]s.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc {
+    /// Where the path starts.
+    pub root: Root,
+    /// The labels to follow from the root.
+    pub path: Vec<Label>,
+}
+
+impl Loc {
+    /// A location rooted at an object definition.
+    pub fn object(name: impl Into<String>) -> Loc {
+        Loc { root: Root::Object(name.into()), path: Vec::new() }
+    }
+
+    /// A location rooted at a method definition.
+    pub fn method(name: impl Into<String>) -> Loc {
+        Loc { root: Root::Method(name.into()), path: Vec::new() }
+    }
+
+    /// Extends the path with one label, returning a new location.
+    pub fn child(&self, label: Label) -> Loc {
+        let mut path = self.path.clone();
+        path.push(label);
+        Loc { root: self.root.clone(), path }
+    }
+
+    /// Extends the path with a named field.
+    pub fn field(&self, name: impl Into<String>) -> Loc {
+        self.child(Label::Named(name.into()))
+    }
+
+    /// Extends the path with the array-element label.
+    pub fn elem(&self) -> Loc {
+        self.child(Label::Elem)
+    }
+
+    /// Parses a dotted location such as `User.id` or `c_list.out.0.creator`.
+    ///
+    /// The root is interpreted as an object when `objects` contains the first
+    /// segment, and as a method otherwise. Segments `in`/`out`/`0` become the
+    /// reserved labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLocError`] when the string is empty.
+    pub fn parse(text: &str, is_object: impl Fn(&str) -> bool) -> Result<Loc, ParseLocError> {
+        let mut parts = text.split('.');
+        let head = parts.next().filter(|h| !h.is_empty()).ok_or(ParseLocError)?;
+        let root = if is_object(head) {
+            Root::Object(head.to_string())
+        } else {
+            Root::Method(head.to_string())
+        };
+        let path = parts
+            .map(|p| match p {
+                "in" => Label::In,
+                "out" => Label::Out,
+                "0" => Label::Elem,
+                other => Label::Named(other.to_string()),
+            })
+            .collect();
+        Ok(Loc { root, path })
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.root.name())?;
+        for label in &self.path {
+            write!(f, ".{label}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`Loc::parse`] on empty input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLocError;
+
+impl fmt::Display for ParseLocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("empty location")
+    }
+}
+
+impl std::error::Error for ParseLocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        let loc = Loc::method("c_list").child(Label::Out).elem().field("creator");
+        assert_eq!(loc.to_string(), "c_list.out.0.creator");
+        let parsed = Loc::parse("c_list.out.0.creator", |_| false).unwrap();
+        assert_eq!(parsed, loc);
+    }
+
+    #[test]
+    fn parse_object_root() {
+        let loc = Loc::parse("User.id", |n| n == "User").unwrap();
+        assert_eq!(loc.root, Root::Object("User".into()));
+        assert_eq!(loc.path, vec![Label::Named("id".into())]);
+    }
+
+    #[test]
+    fn parse_rejects_empty() {
+        assert!(Loc::parse("", |_| false).is_err());
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let a = Loc::object("Channel").field("creator");
+        let b = Loc::object("User").field("id");
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,333 @@
+//! Loader/saver for a pragmatic subset of OpenAPI (v2/v3-style) documents.
+//!
+//! The paper consumes real OpenAPI specs; this reproduction reads and writes
+//! the subset needed for synthesis: `components.schemas` (object
+//! definitions) and `paths` (method definitions with parameters and a
+//! `200` JSON response schema). Schemas support `type: string | integer |
+//! boolean | number | array | object` and `$ref` into `components.schemas`.
+
+use std::fmt;
+
+use apiphany_json::Value;
+
+use crate::library::{Library, MethodSig};
+use crate::ty::{FieldTy, RecordTy, SynTy};
+
+/// Error produced while interpreting an OpenAPI document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenApiError {
+    /// What went wrong, with a rough path into the document.
+    pub message: String,
+}
+
+impl fmt::Display for OpenApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "openapi error: {}", self.message)
+    }
+}
+
+impl std::error::Error for OpenApiError {}
+
+fn err(msg: impl Into<String>) -> OpenApiError {
+    OpenApiError { message: msg.into() }
+}
+
+/// Interprets an OpenAPI document (already parsed to a JSON [`Value`]) as a
+/// [`Library`].
+///
+/// # Errors
+///
+/// Returns [`OpenApiError`] when a schema is malformed or a `$ref` does not
+/// point into `#/components/schemas/`.
+pub fn library_from_openapi(name: &str, doc: &Value) -> Result<Library, OpenApiError> {
+    let mut lib = Library::new(name);
+    let schemas = doc
+        .path(&["components", "schemas"])
+        .or_else(|| doc.get("definitions"))
+        .and_then(Value::as_object)
+        .unwrap_or(&[]);
+    for (obj_name, schema) in schemas {
+        let ty = schema_to_ty(schema)?;
+        match ty {
+            SynTy::Record(record) => {
+                lib.objects.insert(obj_name.clone(), record);
+            }
+            // Non-object top-level schemas (e.g. enums-as-strings) become
+            // single-field wrappers so that their locations stay addressable.
+            other => {
+                lib.objects.insert(
+                    obj_name.clone(),
+                    RecordTy {
+                        fields: vec![FieldTy {
+                            name: "value".into(),
+                            optional: false,
+                            ty: other,
+                        }],
+                    },
+                );
+            }
+        }
+    }
+    let paths = doc.get("paths").and_then(Value::as_object).unwrap_or(&[]);
+    for (path, item) in paths {
+        let ops = item.as_object().ok_or_else(|| err(format!("path {path} not an object")))?;
+        for (verb, op) in ops {
+            let method_name = op
+                .get("operationId")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("{path}_{}", verb.to_uppercase()));
+            let sig = operation_to_sig(op)?;
+            lib.methods.insert(method_name, sig);
+        }
+    }
+    Ok(lib)
+}
+
+fn operation_to_sig(op: &Value) -> Result<MethodSig, OpenApiError> {
+    let mut params = RecordTy::new();
+    for p in op.get("parameters").and_then(Value::as_array).unwrap_or(&[]) {
+        let name = p
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("parameter without name"))?;
+        let optional = !p.get("required").and_then(Value::as_bool).unwrap_or(false);
+        let ty = match p.get("schema") {
+            Some(schema) => schema_to_ty(schema)?,
+            None => SynTy::Str,
+        };
+        params.fields.push(FieldTy { name: name.to_string(), optional, ty });
+    }
+    // requestBody properties are treated as additional named parameters,
+    // mirroring how the paper flattens call arguments into one record.
+    if let Some(body) =
+        op.path(&["requestBody", "content", "application/json", "schema"])
+    {
+        if let SynTy::Record(record) = schema_to_ty(body)? {
+            params.fields.extend(record.fields);
+        }
+    }
+    let response = match op
+        .path(&["responses", "200", "content", "application/json", "schema"])
+        .or_else(|| op.path(&["responses", "200", "schema"]))
+    {
+        Some(schema) => schema_to_ty(schema)?,
+        None => SynTy::Record(RecordTy::new()),
+    };
+    let doc = op
+        .get("description")
+        .or_else(|| op.get("summary"))
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string();
+    Ok(MethodSig { params, response, doc })
+}
+
+fn schema_to_ty(schema: &Value) -> Result<SynTy, OpenApiError> {
+    if let Some(r) = schema.get("$ref").and_then(Value::as_str) {
+        let name = r
+            .rsplit('/')
+            .next()
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| err(format!("bad $ref {r}")))?;
+        return Ok(SynTy::object(name));
+    }
+    match schema.get("type").and_then(Value::as_str) {
+        Some("string") => Ok(SynTy::Str),
+        Some("integer") => Ok(SynTy::Int),
+        Some("boolean") => Ok(SynTy::Bool),
+        Some("number") => Ok(SynTy::Float),
+        Some("array") => {
+            let items = schema.get("items").ok_or_else(|| err("array without items"))?;
+            Ok(SynTy::array(schema_to_ty(items)?))
+        }
+        Some("object") | None => {
+            let required: Vec<&str> = schema
+                .get("required")
+                .and_then(Value::as_array)
+                .map(|items| items.iter().filter_map(Value::as_str).collect())
+                .unwrap_or_default();
+            let mut record = RecordTy::new();
+            for (fname, fschema) in
+                schema.get("properties").and_then(Value::as_object).unwrap_or(&[])
+            {
+                record.fields.push(FieldTy {
+                    name: fname.clone(),
+                    optional: !required.contains(&fname.as_str()),
+                    ty: schema_to_ty(fschema)?,
+                });
+            }
+            Ok(SynTy::Record(record))
+        }
+        Some(other) => Err(err(format!("unsupported schema type {other}"))),
+    }
+}
+
+/// Serializes a [`Library`] back to an OpenAPI v3-style document.
+///
+/// `library_from_openapi(name, &library_to_openapi(lib))` reproduces `lib`
+/// (see the round-trip tests).
+pub fn library_to_openapi(lib: &Library) -> Value {
+    let mut schemas = Vec::new();
+    for (name, record) in &lib.objects {
+        schemas.push((name.clone(), record_to_schema(record)));
+    }
+    let mut paths = Vec::new();
+    for (name, sig) in &lib.methods {
+        let params: Vec<Value> = sig
+            .params
+            .fields
+            .iter()
+            .map(|f| {
+                Value::obj([
+                    ("name", Value::from(f.name.as_str())),
+                    ("in", Value::from("query")),
+                    ("required", Value::from(!f.optional)),
+                    ("schema", ty_to_schema(&f.ty)),
+                ])
+            })
+            .collect();
+        let op = Value::obj([
+            ("operationId", Value::from(name.as_str())),
+            ("description", Value::from(sig.doc.as_str())),
+            ("parameters", Value::Array(params)),
+            (
+                "responses",
+                Value::obj([(
+                    "200",
+                    Value::obj([(
+                        "content",
+                        Value::obj([(
+                            "application/json",
+                            Value::obj([("schema", ty_to_schema(&sig.response))]),
+                        )]),
+                    )]),
+                )]),
+            ),
+        ]);
+        paths.push((format!("/{name}"), Value::obj([("get", op)])));
+    }
+    Value::obj([
+        ("openapi", Value::from("3.0.0")),
+        ("info", Value::obj([("title", Value::from(lib.name.as_str()))])),
+        ("components", Value::obj([("schemas", Value::Object(schemas))])),
+        ("paths", Value::Object(paths)),
+    ])
+}
+
+fn record_to_schema(record: &RecordTy) -> Value {
+    let props: Vec<(String, Value)> =
+        record.fields.iter().map(|f| (f.name.clone(), ty_to_schema(&f.ty))).collect();
+    let required: Vec<Value> = record
+        .fields
+        .iter()
+        .filter(|f| !f.optional)
+        .map(|f| Value::from(f.name.as_str()))
+        .collect();
+    Value::obj([
+        ("type", Value::from("object")),
+        ("properties", Value::Object(props)),
+        ("required", Value::Array(required)),
+    ])
+}
+
+fn ty_to_schema(ty: &SynTy) -> Value {
+    match ty {
+        SynTy::Str => Value::obj([("type", Value::from("string"))]),
+        SynTy::Int => Value::obj([("type", Value::from("integer"))]),
+        SynTy::Bool => Value::obj([("type", Value::from("boolean"))]),
+        SynTy::Float => Value::obj([("type", Value::from("number"))]),
+        SynTy::Object(name) => {
+            Value::obj([("$ref", Value::from(format!("#/components/schemas/{name}")))])
+        }
+        SynTy::Array(elem) => Value::obj([
+            ("type", Value::from("array")),
+            ("items", ty_to_schema(elem)),
+        ]),
+        SynTy::Record(record) => record_to_schema(record),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_json::parse;
+
+    const MINI_SPEC: &str = r##"{
+      "openapi": "3.0.0",
+      "components": {
+        "schemas": {
+          "User": {
+            "type": "object",
+            "properties": {
+              "id": {"type": "string"},
+              "profile": {"$ref": "#/components/schemas/Profile"}
+            },
+            "required": ["id"]
+          },
+          "Profile": {
+            "type": "object",
+            "properties": {"email": {"type": "string"}},
+            "required": ["email"]
+          }
+        }
+      },
+      "paths": {
+        "/users.info": {
+          "get": {
+            "operationId": "users_info_GET",
+            "parameters": [
+              {"name": "user", "required": true, "schema": {"type": "string"}},
+              {"name": "include_locale", "schema": {"type": "boolean"}}
+            ],
+            "responses": {
+              "200": {
+                "content": {
+                  "application/json": {
+                    "schema": {"$ref": "#/components/schemas/User"}
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }"##;
+
+    #[test]
+    fn loads_mini_spec() {
+        let doc = parse(MINI_SPEC).unwrap();
+        let lib = library_from_openapi("slack", &doc).unwrap();
+        assert_eq!(lib.objects.len(), 2);
+        let sig = &lib.methods["users_info_GET"];
+        assert_eq!(sig.params.fields.len(), 2);
+        assert!(!sig.params.field("user").unwrap().optional);
+        assert!(sig.params.field("include_locale").unwrap().optional);
+        assert_eq!(sig.response, SynTy::object("User"));
+    }
+
+    #[test]
+    fn roundtrips_through_openapi() {
+        let doc = parse(MINI_SPEC).unwrap();
+        let lib = library_from_openapi("slack", &doc).unwrap();
+        let doc2 = library_to_openapi(&lib);
+        let lib2 = library_from_openapi("slack", &doc2).unwrap();
+        assert_eq!(lib, lib2);
+    }
+
+    #[test]
+    fn rejects_bad_schema() {
+        let doc = parse(r#"{"components": {"schemas": {"X": {"type": "array"}}}}"#).unwrap();
+        assert!(library_from_openapi("x", &doc).is_err());
+        let doc =
+            parse(r#"{"components": {"schemas": {"X": {"type": "tuple"}}}}"#).unwrap();
+        assert!(library_from_openapi("x", &doc).is_err());
+    }
+
+    #[test]
+    fn missing_operation_id_uses_path_and_verb() {
+        let doc = parse(r#"{"paths": {"/a.b": {"post": {}}}}"#).unwrap();
+        let lib = library_from_openapi("x", &doc).unwrap();
+        assert!(lib.methods.contains_key("/a.b_POST"));
+    }
+}

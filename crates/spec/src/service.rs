@@ -1,0 +1,58 @@
+//! The [`Service`] trait: a callable, stateful API implementation.
+//!
+//! The paper collects witnesses by calling live services; this reproduction
+//! calls simulated in-memory services through this trait (both for the
+//! initial scripted scenarios and for the `GenerateTests` loop of Fig. 20).
+
+use std::fmt;
+
+use apiphany_json::Value;
+
+use crate::library::Library;
+
+/// An error returned by a service call (e.g. a `4xx`-style failure).
+///
+/// Failed calls do **not** become witnesses — the paper's witnesses are
+/// *successful* invocations only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallError {
+    /// A short machine-readable error code (e.g. `"channel_not_found"`).
+    pub code: String,
+}
+
+impl CallError {
+    /// Creates an error with the given code.
+    pub fn new(code: impl Into<String>) -> CallError {
+        CallError { code: code.into() }
+    }
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "service call failed: {}", self.code)
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// A stateful API implementation with an OpenAPI-style specification.
+pub trait Service {
+    /// The API name (matches `library().name`).
+    fn name(&self) -> &str;
+
+    /// The syntactic library `Λ` describing this service.
+    fn library(&self) -> &Library;
+
+    /// Invokes a method with named arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallError`] for unknown methods, missing required
+    /// arguments, invalid argument values, or domain failures (the
+    /// simulated services mirror real REST behaviors such as
+    /// `conversations_open` requiring exactly one of its optional args).
+    fn call(&mut self, method: &str, args: &[(String, Value)]) -> Result<Value, CallError>;
+
+    /// Restores the pristine sandbox state.
+    fn reset(&mut self);
+}

@@ -1,0 +1,284 @@
+//! Syntactic types `t` and semantic types `t̂` (paper Fig. 6).
+
+use std::fmt;
+
+/// A syntactic type, as found in an OpenAPI spec.
+///
+/// The paper's formalization has `String` as the only primitive; real APIs
+/// (and §7.4) also use integers, booleans, and floats, which APIphany
+/// handles with a restricted merging policy. We carry all four.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SynTy {
+    /// A string.
+    Str,
+    /// An integer.
+    Int,
+    /// A boolean.
+    Bool,
+    /// A floating point number.
+    Float,
+    /// A reference to a named object definition.
+    Object(String),
+    /// An array.
+    Array(Box<SynTy>),
+    /// An ad-hoc (anonymous) record.
+    Record(RecordTy),
+}
+
+impl SynTy {
+    /// Shorthand for an object reference.
+    pub fn object(name: impl Into<String>) -> SynTy {
+        SynTy::Object(name.into())
+    }
+
+    /// Shorthand for an array type.
+    pub fn array(elem: SynTy) -> SynTy {
+        SynTy::Array(Box::new(elem))
+    }
+
+    /// True iff this is a scalar (string/int/bool/float) type.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, SynTy::Str | SynTy::Int | SynTy::Bool | SynTy::Float)
+    }
+}
+
+impl fmt::Display for SynTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynTy::Str => f.write_str("String"),
+            SynTy::Int => f.write_str("Int"),
+            SynTy::Bool => f.write_str("Bool"),
+            SynTy::Float => f.write_str("Float"),
+            SynTy::Object(o) => f.write_str(o),
+            SynTy::Array(t) => write!(f, "[{t}]"),
+            SynTy::Record(r) => r.fmt(f),
+        }
+    }
+}
+
+/// A record type: an ordered mapping from field labels to types, where some
+/// fields may be optional (written `?l : t` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RecordTy {
+    /// The fields, in declaration order.
+    pub fields: Vec<FieldTy>,
+}
+
+impl RecordTy {
+    /// An empty record.
+    pub fn new() -> RecordTy {
+        RecordTy::default()
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldTy> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Names of all required fields.
+    pub fn required(&self) -> impl Iterator<Item = &FieldTy> {
+        self.fields.iter().filter(|f| !f.optional)
+    }
+
+    /// Names of all optional fields.
+    pub fn optional(&self) -> impl Iterator<Item = &FieldTy> {
+        self.fields.iter().filter(|f| f.optional)
+    }
+}
+
+impl fmt::Display for RecordTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            if field.optional {
+                f.write_str("?")?;
+            }
+            write!(f, "{}: {}", field.name, field.ty)?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// One field of a [`RecordTy`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldTy {
+    /// Field label.
+    pub name: String,
+    /// Whether the field is optional (`?l` in the paper).
+    pub optional: bool,
+    /// Field type.
+    pub ty: SynTy,
+}
+
+/// An interned loc-set type produced by type mining.
+///
+/// A `GroupId` names one disjoint-set group; the group's loc-set and value
+/// bank live in the mining crate's `SemLib`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A semantic type `t̂` (paper Fig. 6): like [`SynTy`] but with loc-set
+/// types ([`GroupId`]) in place of primitive types.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SemTy {
+    /// A loc-set type (the sole primitive semantic type).
+    Group(GroupId),
+    /// A named object.
+    Object(String),
+    /// An array.
+    Array(Box<SemTy>),
+    /// An ad-hoc record.
+    Record(SemRecordTy),
+}
+
+impl SemTy {
+    /// Shorthand for an object reference.
+    pub fn object(name: impl Into<String>) -> SemTy {
+        SemTy::Object(name.into())
+    }
+
+    /// Shorthand for an array type.
+    pub fn array(elem: SemTy) -> SemTy {
+        SemTy::Array(Box::new(elem))
+    }
+
+    /// The paper's downgrading operation `⌊t̂⌋`: strips *all* array layers,
+    /// producing the array-oblivious version of the type (Appendix B.1).
+    pub fn downgrade(&self) -> SemTy {
+        match self {
+            SemTy::Array(inner) => inner.downgrade(),
+            other => other.clone(),
+        }
+    }
+
+    /// Number of array layers wrapped around the downgraded core.
+    pub fn array_depth(&self) -> usize {
+        match self {
+            SemTy::Array(inner) => 1 + inner.array_depth(),
+            _ => 0,
+        }
+    }
+
+    /// Wraps `self` in `n` array layers.
+    pub fn wrap_arrays(self, n: usize) -> SemTy {
+        (0..n).fold(self, |t, _| SemTy::array(t))
+    }
+
+    /// True iff this is a loc-set (primitive) type.
+    pub fn is_group(&self) -> bool {
+        matches!(self, SemTy::Group(_))
+    }
+}
+
+impl fmt::Display for SemTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemTy::Group(g) => g.fmt(f),
+            SemTy::Object(o) => f.write_str(o),
+            SemTy::Array(t) => write!(f, "[{t}]"),
+            SemTy::Record(r) => r.fmt(f),
+        }
+    }
+}
+
+/// A record of semantic types (method parameter records, ad-hoc records).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SemRecordTy {
+    /// The fields, in declaration order.
+    pub fields: Vec<SemFieldTy>,
+}
+
+impl SemRecordTy {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&SemFieldTy> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Iterates over required fields.
+    pub fn required(&self) -> impl Iterator<Item = &SemFieldTy> {
+        self.fields.iter().filter(|f| !f.optional)
+    }
+
+    /// Iterates over optional fields.
+    pub fn optional(&self) -> impl Iterator<Item = &SemFieldTy> {
+        self.fields.iter().filter(|f| f.optional)
+    }
+}
+
+impl fmt::Display for SemRecordTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            if field.optional {
+                f.write_str("?")?;
+            }
+            write!(f, "{}: {}", field.name, field.ty)?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// One field of a [`SemRecordTy`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SemFieldTy {
+    /// Field label.
+    pub name: String,
+    /// Whether the field is optional.
+    pub optional: bool,
+    /// Field type.
+    pub ty: SemTy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downgrade_strips_all_arrays() {
+        let t = SemTy::array(SemTy::array(SemTy::object("User")));
+        assert_eq!(t.downgrade(), SemTy::object("User"));
+        assert_eq!(t.array_depth(), 2);
+        assert_eq!(SemTy::object("User").array_depth(), 0);
+    }
+
+    #[test]
+    fn wrap_arrays_inverts_depth() {
+        let t = SemTy::Group(GroupId(3));
+        let wrapped = t.clone().wrap_arrays(3);
+        assert_eq!(wrapped.array_depth(), 3);
+        assert_eq!(wrapped.downgrade(), t);
+    }
+
+    #[test]
+    fn record_lookup() {
+        let r = RecordTy {
+            fields: vec![
+                FieldTy { name: "id".into(), optional: false, ty: SynTy::Str },
+                FieldTy { name: "tz".into(), optional: true, ty: SynTy::Str },
+            ],
+        };
+        assert!(r.field("id").is_some());
+        assert!(r.field("nope").is_none());
+        assert_eq!(r.required().count(), 1);
+        assert_eq!(r.optional().count(), 1);
+        assert_eq!(r.to_string(), "{id: String, ?tz: String}");
+    }
+
+    #[test]
+    fn display_types() {
+        assert_eq!(SynTy::array(SynTy::object("Channel")).to_string(), "[Channel]");
+        assert_eq!(SemTy::Group(GroupId(7)).to_string(), "g7");
+    }
+}

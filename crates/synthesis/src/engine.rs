@@ -1,0 +1,317 @@
+//! The top-level synthesis algorithm (paper Fig. 10): TTN search →
+//! `Progs(π)` → `Lift` → type check, streaming candidates to the caller.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use apiphany_lang::anf::canonicalize;
+use apiphany_lang::Program;
+use apiphany_mining::{Query, SemLib};
+use apiphany_ttn::{
+    build_ttn, enumerate_paths, query_markings, Backend, BuildOptions, PlaceId, SearchConfig,
+    SearchOutcome, Ttn,
+};
+
+use crate::lift::lift;
+use crate::progs::enumerate_programs;
+use crate::typecheck::type_check;
+
+/// Configuration for [`Synthesizer::synthesize`].
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Maximum TTN path length (iterative deepening bound).
+    pub max_path_len: usize,
+    /// Wall-clock budget (the paper uses 150 s per benchmark).
+    pub timeout: Duration,
+    /// Stop after this many distinct well-typed candidates.
+    pub max_candidates: usize,
+    /// Cap on ANF programs enumerated per path (argument combinations).
+    pub programs_per_path: usize,
+    /// Path-enumeration backend.
+    pub backend: Backend,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> SynthesisConfig {
+        SynthesisConfig {
+            max_path_len: 8,
+            timeout: Duration::from_secs(150),
+            max_candidates: usize::MAX,
+            programs_per_path: 64,
+            backend: Backend::Dfs,
+        }
+    }
+}
+
+/// A well-typed candidate program.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The lifted, well-typed `λ_A` program.
+    pub program: Program,
+    /// Zero-based generation index (the basis of the paper's `r_orig`).
+    pub index: usize,
+    /// Length of the TTN path that produced the candidate.
+    pub path_len: usize,
+    /// Time since the start of synthesis when the candidate was produced.
+    pub elapsed: Duration,
+}
+
+/// Statistics of one synthesis run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SynthesisStats {
+    /// Valid TTN paths enumerated.
+    pub paths: usize,
+    /// ANF programs generated from those paths.
+    pub programs: usize,
+    /// Distinct well-typed candidates emitted.
+    pub candidates: usize,
+    /// Programs rejected by the type checker.
+    pub ill_typed: usize,
+    /// Programs whose lifting failed (relaxation artifacts).
+    pub lift_failures: usize,
+    /// Duplicates removed by canonical-form deduplication.
+    pub duplicates: usize,
+    /// Whether the search space was exhausted, stopped, or timed out.
+    pub outcome: Outcome,
+}
+
+/// How a synthesis run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Outcome {
+    /// All paths up to the length bound were processed.
+    #[default]
+    Exhausted,
+    /// The candidate cap was reached or the consumer stopped.
+    Stopped,
+    /// The timeout was reached.
+    TimedOut,
+}
+
+/// A reusable synthesizer: builds the TTN once per semantic library and
+/// answers any number of queries against it.
+pub struct Synthesizer {
+    semlib: SemLib,
+    net: Ttn,
+}
+
+impl Synthesizer {
+    /// Builds the TTN for a semantic library.
+    pub fn new(semlib: SemLib, build: &BuildOptions) -> Synthesizer {
+        let net = build_ttn(&semlib, build);
+        Synthesizer { semlib, net }
+    }
+
+    /// The semantic library.
+    pub fn semlib(&self) -> &SemLib {
+        &self.semlib
+    }
+
+    /// The underlying net.
+    pub fn net(&self) -> &Ttn {
+        &self.net
+    }
+
+    /// Runs `Synthesize(Λ̂, ŝ)` (Fig. 10), invoking `on_candidate` for each
+    /// distinct well-typed candidate in generation order. The callback
+    /// returns `false` to stop.
+    pub fn synthesize(
+        &self,
+        query: &Query,
+        cfg: &SynthesisConfig,
+        on_candidate: &mut dyn FnMut(Candidate) -> bool,
+    ) -> SynthesisStats {
+        let start = Instant::now();
+        let mut stats = SynthesisStats::default();
+        let Some((init, fin)) = query_markings(&self.net, query) else {
+            // A query type that no method produces/consumes has no
+            // programs at all.
+            return stats;
+        };
+        let params: Vec<(String, PlaceId)> = match query
+            .params
+            .iter()
+            .map(|(n, t)| self.net.place_of(t).map(|p| (n.clone(), p)))
+            .collect::<Option<Vec<_>>>()
+        {
+            Some(p) => p,
+            None => return stats,
+        };
+
+        let mut seen: HashSet<apiphany_lang::anf::AnfProgram> = HashSet::new();
+        let deadline = start + cfg.timeout;
+        let search = SearchConfig {
+            max_len: cfg.max_path_len,
+            max_paths: usize::MAX,
+            deadline: Some(deadline),
+            backend: cfg.backend,
+        };
+        let mut stopped = false;
+        let outcome = enumerate_paths(&self.net, &init, &fin, &search, &mut |path| {
+            stats.paths += 1;
+            let cont = enumerate_programs(
+                &self.net,
+                path,
+                &params,
+                cfg.programs_per_path,
+                &mut |anf| {
+                    stats.programs += 1;
+                    if Instant::now() >= deadline {
+                        return false;
+                    }
+                    let lifted = match lift(&self.semlib, query, &anf) {
+                        Ok(p) => p,
+                        Err(_) => {
+                            stats.lift_failures += 1;
+                            return true;
+                        }
+                    };
+                    if type_check(&self.semlib, &lifted, query).is_err() {
+                        stats.ill_typed += 1;
+                        return true;
+                    }
+                    if !seen.insert(canonicalize(&lifted)) {
+                        stats.duplicates += 1;
+                        return true;
+                    }
+                    let candidate = Candidate {
+                        program: lifted,
+                        index: stats.candidates,
+                        path_len: path.len(),
+                        elapsed: start.elapsed(),
+                    };
+                    stats.candidates += 1;
+                    let keep_going = on_candidate(candidate);
+                    if !keep_going || stats.candidates >= cfg.max_candidates {
+                        stopped = true;
+                        return false;
+                    }
+                    true
+                },
+            );
+            cont && !stopped
+        });
+        stats.outcome = match outcome {
+            SearchOutcome::TimedOut => Outcome::TimedOut,
+            SearchOutcome::Exhausted => Outcome::Exhausted,
+            SearchOutcome::Stopped => {
+                if stopped && Instant::now() >= deadline {
+                    Outcome::TimedOut
+                } else {
+                    Outcome::Stopped
+                }
+            }
+        };
+        stats
+    }
+
+    /// Convenience wrapper collecting up to `cfg.max_candidates` candidates.
+    pub fn synthesize_all(
+        &self,
+        query: &Query,
+        cfg: &SynthesisConfig,
+    ) -> (Vec<Candidate>, SynthesisStats) {
+        let mut out = Vec::new();
+        let stats = self.synthesize(query, cfg, &mut |c| {
+            out.push(c);
+            true
+        });
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_lang::anf::alpha_eq;
+    use apiphany_lang::parse_program;
+    use apiphany_mining::{mine_types, parse_query, MiningConfig};
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+
+    fn synthesizer() -> Synthesizer {
+        let sl = mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default());
+        Synthesizer::new(sl, &BuildOptions::default())
+    }
+
+    #[test]
+    fn solves_the_running_example() {
+        let synth = synthesizer();
+        let q = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
+            .unwrap();
+        let cfg = SynthesisConfig { max_path_len: 7, ..SynthesisConfig::default() };
+        let (candidates, stats) = synth.synthesize_all(&q, &cfg);
+        assert!(stats.candidates >= 2, "{stats:?}");
+        let gold = parse_program(
+            r"\channel_name → {
+                c ← c_list()
+                if c.name = channel_name
+                uid ← c_members(channel=c.id)
+                let u = u_info(user=uid)
+                return u.profile.email
+            }",
+        )
+        .unwrap();
+        let hit = candidates.iter().find(|c| alpha_eq(&c.program, &gold));
+        assert!(hit.is_some(), "gold not among candidates");
+        // The Fig. 5 "creator" distractor is also found (shorter path).
+        let creator = parse_program(
+            r"\channel_name → {
+                c ← c_list()
+                if c.name = channel_name
+                let u = u_info(user=c.creator)
+                return u.profile.email
+            }",
+        )
+        .unwrap();
+        assert!(candidates.iter().any(|c| alpha_eq(&c.program, &creator)));
+        // Shorter paths come first.
+        let hit = hit.unwrap();
+        let creator_hit =
+            candidates.iter().find(|c| alpha_eq(&c.program, &creator)).unwrap();
+        assert!(creator_hit.index < hit.index);
+    }
+
+    #[test]
+    fn all_candidates_type_check_and_are_distinct() {
+        let synth = synthesizer();
+        let q = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
+            .unwrap();
+        let cfg = SynthesisConfig { max_path_len: 7, ..SynthesisConfig::default() };
+        let (candidates, _) = synth.synthesize_all(&q, &cfg);
+        let mut canon = std::collections::HashSet::new();
+        for c in &candidates {
+            crate::typecheck::type_check(synth.semlib(), &c.program, &q).unwrap();
+            assert!(canon.insert(apiphany_lang::anf::canonicalize(&c.program)));
+        }
+    }
+
+    #[test]
+    fn candidate_cap_stops() {
+        let synth = synthesizer();
+        let q = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
+            .unwrap();
+        let cfg = SynthesisConfig {
+            max_path_len: 7,
+            max_candidates: 1,
+            ..SynthesisConfig::default()
+        };
+        let (candidates, stats) = synth.synthesize_all(&q, &cfg);
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(stats.outcome, Outcome::Stopped);
+    }
+
+    #[test]
+    fn unknown_query_type_yields_nothing() {
+        let synth = synthesizer();
+        // Build a query against a different semlib so the group ids do not
+        // exist as places (simulates an unproducible type).
+        let empty = mine_types(&fig7_library(), &[], &MiningConfig::default());
+        let q = parse_query(&empty, "{ x: u_info.in.user } → [Profile.email]").unwrap();
+        let (candidates, stats) = synth.synthesize_all(&q, &SynthesisConfig::default());
+        let _ = stats;
+        // Either no place or no path; never a panic, never a candidate
+        // using the wrong groups.
+        assert!(candidates.iter().all(|c| {
+            crate::typecheck::type_check(synth.semlib(), &c.program, &q).is_ok()
+        }));
+    }
+}

@@ -1,0 +1,39 @@
+//! Type-directed program synthesis (paper §5): from a mined semantic
+//! library and a semantic type query to a stream of well-typed `λ_A`
+//! candidate programs.
+//!
+//! The pipeline is exactly the paper's Fig. 10:
+//!
+//! 1. `BuildTTN(Λ̂)` — done once per library by [`Synthesizer::new`];
+//! 2. `Paths(N, I, F)` — iterative-deepening path enumeration
+//!    (`apiphany_ttn`);
+//! 3. `Progs(π)` — all argument assignments of each path ([`progs`]);
+//! 4. `Lift(Λ̂, ŝ, E)` — insertion of monadic binds and returns
+//!    ([`lift`]);
+//! 5. the semantic type check (Fig. 16) as the final gate
+//!    ([`type_check`]).
+//!
+//! ```
+//! use apiphany_mining::{mine_types, parse_query, MiningConfig};
+//! use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+//! use apiphany_synth::{Synthesizer, SynthesisConfig};
+//! use apiphany_ttn::BuildOptions;
+//!
+//! let semlib = mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default());
+//! let synth = Synthesizer::new(semlib, &BuildOptions::default());
+//! let query = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
+//!     .unwrap();
+//! let cfg = SynthesisConfig { max_path_len: 7, ..SynthesisConfig::default() };
+//! let (candidates, _stats) = synth.synthesize_all(&query, &cfg);
+//! assert!(!candidates.is_empty());
+//! ```
+
+mod engine;
+mod lift;
+mod progs;
+mod typecheck;
+
+pub use engine::{Candidate, Outcome, SynthesisConfig, SynthesisStats, Synthesizer};
+pub use lift::{lift, LiftError};
+pub use progs::{enumerate_programs, AStmt, AnfProg, ArgValue};
+pub use typecheck::{check, type_check, TypeError};

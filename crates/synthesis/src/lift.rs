@@ -1,0 +1,392 @@
+//! Lifting array-oblivious programs into well-typed `λ_A` programs
+//! (paper §5 "Lifting array-oblivious programs", Appendix B.3, Fig. 18).
+//!
+//! Lifting type-checks the ANF program "line by line"; whenever it
+//! encounters a mismatch between an actual type `[..[t̂]..]` and an
+//! expected type `t̂` it inserts monadic bindings (`x' ← x`, rule
+//! L-Var-Down), reusing the *mapping variable* `x'` on later uses of `x`
+//! (L-Var-Repeat); the opposite mismatch inserts `return` (L-Var-Up).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use apiphany_lang::{Expr, Program};
+use apiphany_mining::{Query, SemLib};
+use apiphany_spec::{SemRecordTy, SemTy};
+
+use crate::progs::{AnfProg, ArgValue, AStmt};
+
+/// A lifting failure (the program cannot be made well-typed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiftError {
+    /// Description of the mismatch.
+    pub message: String,
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lift error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+fn err(message: impl Into<String>) -> LiftError {
+    LiftError { message: message.into() }
+}
+
+/// A lifted statement (operands are variables; binds/guards inserted).
+enum LStmt {
+    Let(String, LExpr),
+    Bind(String, String),
+    Guard(String, String),
+}
+
+enum LExpr {
+    Call(String, Vec<(String, String)>),
+    Proj(String, String),
+    Ret(String),
+    Record(Vec<(String, String)>),
+}
+
+/// `Lift(Λ̂, ŝ, E)` (Fig. 10 line 6): lifts an array-oblivious ANF program
+/// to a well-typed `λ_A` program of the query type.
+///
+/// # Errors
+///
+/// Returns [`LiftError`] when a type mismatch is not of the array-depth
+/// kind (which can happen for paths produced by the relaxed ILP encoding).
+pub fn lift(semlib: &SemLib, query: &Query, prog: &AnfProg) -> Result<Program, LiftError> {
+    let mut l = Lifter {
+        semlib,
+        tys: HashMap::new(),
+        mapping: HashMap::new(),
+        out: Vec::new(),
+        fresh: 0,
+    };
+    for (name, ty) in &query.params {
+        l.tys.insert(name.clone(), ty.clone());
+    }
+    for stmt in &prog.stmts {
+        l.stmt(stmt)?;
+    }
+    // The top-level return type is an array type (lifted programs can only
+    // return arrays); a scalar query type is array-wrapped here and
+    // handled at the ranking stage by preferring singleton results (§5).
+    let target = match &query.output {
+        t @ SemTy::Array(_) => t.clone(),
+        t => SemTy::array(t.clone()),
+    };
+    let result = l.lift_var(&prog.result, &target)?;
+    let mut body = Expr::Var(result);
+    for stmt in l.out.into_iter().rev() {
+        body = match stmt {
+            LStmt::Let(x, rhs) => Expr::Let(x, Box::new(lexpr_to_expr(rhs)), Box::new(body)),
+            LStmt::Bind(x, src) => Expr::Bind(x, Box::new(Expr::Var(src)), Box::new(body)),
+            LStmt::Guard(a, b) => {
+                Expr::Guard(Box::new(Expr::Var(a)), Box::new(Expr::Var(b)), Box::new(body))
+            }
+        };
+    }
+    Ok(Program { params: query.params.iter().map(|(n, _)| n.clone()).collect(), body })
+}
+
+fn lexpr_to_expr(e: LExpr) -> Expr {
+    match e {
+        LExpr::Call(name, args) => Expr::Call(
+            name,
+            args.into_iter().map(|(k, v)| (k, Expr::Var(v))).collect(),
+        ),
+        LExpr::Proj(base, label) => Expr::Proj(Box::new(Expr::Var(base)), label),
+        LExpr::Ret(v) => Expr::Return(Box::new(Expr::Var(v))),
+        LExpr::Record(fields) => Expr::Record(
+            fields.into_iter().map(|(k, v)| (k, Expr::Var(v))).collect(),
+        ),
+    }
+}
+
+struct Lifter<'a> {
+    semlib: &'a SemLib,
+    /// `Γ`: variable types (full semantic types, arrays included).
+    tys: HashMap<String, SemTy>,
+    /// Mapping variables: `x' :_x t̂'` bindings of L-Var-Down.
+    mapping: HashMap<String, String>,
+    out: Vec<LStmt>,
+    fresh: usize,
+}
+
+impl<'a> Lifter<'a> {
+    fn fresh_var(&mut self, base: &str) -> String {
+        self.fresh += 1;
+        format!("{base}'{}", self.fresh)
+    }
+
+    fn ty_of(&self, x: &str) -> Result<SemTy, LiftError> {
+        self.tys.get(x).cloned().ok_or_else(|| err(format!("unbound variable {x}")))
+    }
+
+    /// The term-lifting judgment `Γ ⊢ x ↑ t̂ { σ; x' ⊣ Γ'`.
+    ///
+    /// One refinement over the literal Fig. 18 rules: if a *mapping
+    /// variable* `x' :_x t̂'` already exists, the array-oblivious variable
+    /// `x` denotes the element being iterated, so every later use of `x`
+    /// resolves through `x'` — even when the use-site type happens to
+    /// equal `Γ(x)`. This is what makes the lifted form of
+    /// `... if x.l = y; x` return the *filtered element* (wrapped by
+    /// `return`) rather than the whole array, matching the paper's gold
+    /// solutions (e.g. 2.4, 3.9).
+    fn lift_var(&mut self, x: &str, target: &SemTy) -> Result<String, LiftError> {
+        if let Some(x2) = self.mapping.get(x) {
+            let x2 = x2.clone();
+            return self.lift_var(&x2, target);
+        }
+        let tx = self.ty_of(x)?;
+        if &tx == target {
+            return Ok(x.to_string()); // L-Var
+        }
+        if tx.downgrade() != target.downgrade() {
+            return Err(err(format!(
+                "core type mismatch: {} has {}, expected {}",
+                x,
+                self.semlib.display_ty(&tx),
+                self.semlib.display_ty(target)
+            )));
+        }
+        let (dx, dt) = (tx.array_depth(), target.array_depth());
+        if dx > dt {
+            // L-Var-Down / L-Var-Repeat: iterate over the array.
+            let inner = match tx {
+                SemTy::Array(inner) => *inner,
+                _ => unreachable!("depth > 0 implies array"),
+            };
+            // No mapping variable exists (checked above): create one.
+            let x2 = self.fresh_var(x);
+            self.out.push(LStmt::Bind(x2.clone(), x.to_string()));
+            self.tys.insert(x2.clone(), inner);
+            self.mapping.insert(x.to_string(), x2.clone());
+            self.lift_var(&x2, target)
+        } else {
+            // L-Var-Up: wrap in return.
+            let x2 = self.fresh_var(x);
+            self.out.push(LStmt::Let(x2.clone(), LExpr::Ret(x.to_string())));
+            self.tys.insert(x2.clone(), SemTy::array(tx));
+            self.lift_var(&x2, target)
+        }
+    }
+
+    /// Field type of a downgraded (object or record) type.
+    fn field_ty(&self, ty: &SemTy, label: &str) -> Result<SemTy, LiftError> {
+        match ty {
+            SemTy::Object(o) => self
+                .semlib
+                .objects
+                .get(o)
+                .and_then(|r| r.field(label))
+                .map(|f| f.ty.clone())
+                .ok_or_else(|| err(format!("object {o} has no field {label}"))),
+            SemTy::Record(r) => r
+                .field(label)
+                .map(|f| f.ty.clone())
+                .ok_or_else(|| err(format!("record has no field {label}"))),
+            other => Err(err(format!(
+                "projection from non-object type {}",
+                self.semlib.display_ty(other)
+            ))),
+        }
+    }
+
+    fn stmt(&mut self, stmt: &AStmt) -> Result<(), LiftError> {
+        match stmt {
+            // L-Proj: lift the base to its fully downgraded type, then
+            // project.
+            AStmt::Proj { dst, base, label } => {
+                let base_ty = self.ty_of(base)?.downgrade();
+                let base2 = self.lift_var(base, &base_ty)?;
+                let fty = self.field_ty(&base_ty, label)?;
+                self.out.push(LStmt::Let(dst.clone(), LExpr::Proj(base2, label.clone())));
+                self.tys.insert(dst.clone(), fty);
+                Ok(())
+            }
+            // L-Guard: both operands become scalars.
+            AStmt::Guard { lhs, rhs } => {
+                let lt = self.ty_of(lhs)?.downgrade();
+                let l2 = self.lift_var(lhs, &lt)?;
+                let rt = self.ty_of(rhs)?.downgrade();
+                let r2 = self.lift_var(rhs, &rt)?;
+                self.out.push(LStmt::Guard(l2, r2));
+                Ok(())
+            }
+            // L-Call: every argument is lifted to its declared type.
+            AStmt::Call { dst, method, args } => {
+                let sig = self
+                    .semlib
+                    .methods
+                    .get(method)
+                    .cloned()
+                    .ok_or_else(|| err(format!("unknown method {method}")))?;
+                let mut lifted_args: Vec<(String, String)> = Vec::new();
+                for (name, value) in args {
+                    let declared = sig
+                        .params
+                        .field(name)
+                        .map(|f| f.ty.clone())
+                        .ok_or_else(|| err(format!("{method} has no parameter {name}")))?;
+                    match value {
+                        ArgValue::Var(v) => {
+                            lifted_args.push((name.clone(), self.lift_var(v, &declared)?));
+                        }
+                        ArgValue::Record(fields) => {
+                            let record = match declared.downgrade() {
+                                SemTy::Record(r) => r,
+                                other => {
+                                    return Err(err(format!(
+                                        "parameter {name} of {method} is {}, not a record",
+                                        self.semlib.display_ty(&other)
+                                    )))
+                                }
+                            };
+                            let mut lifted_fields: Vec<(String, String)> = Vec::new();
+                            let mut rec_ty = SemRecordTy::default();
+                            for (fname, fvar) in fields {
+                                let fdecl = record
+                                    .field(fname)
+                                    .map(|f| f.ty.clone())
+                                    .ok_or_else(|| {
+                                        err(format!("record parameter has no field {fname}"))
+                                    })?;
+                                let v2 = self.lift_var(fvar, &fdecl)?;
+                                rec_ty.fields.push(apiphany_spec::SemFieldTy {
+                                    name: fname.clone(),
+                                    optional: false,
+                                    ty: fdecl,
+                                });
+                                lifted_fields.push((fname.clone(), v2));
+                            }
+                            let rec_var = self.fresh_var(dst);
+                            self.out
+                                .push(LStmt::Let(rec_var.clone(), LExpr::Record(lifted_fields)));
+                            self.tys.insert(rec_var.clone(), SemTy::Record(rec_ty));
+                            lifted_args.push((name.clone(), rec_var));
+                        }
+                    }
+                }
+                self.out.push(LStmt::Let(dst.clone(), LExpr::Call(method.clone(), lifted_args)));
+                self.tys.insert(dst.clone(), sig.response.clone());
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_lang::anf::alpha_eq;
+    use apiphany_lang::parse_program;
+    use apiphany_mining::{mine_types, parse_query, MiningConfig};
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+
+    fn semlib() -> SemLib {
+        mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default())
+    }
+
+    /// The paper's worked example: lifting Fig. 11 (left) yields Fig. 11
+    /// (right), which is alpha-equivalent to the Fig. 2 solution.
+    #[test]
+    fn lifts_fig11_left_to_fig2() {
+        let sl = semlib();
+        let q = parse_query(&sl, "{ channel_name: Channel.name } → [Profile.email]").unwrap();
+        let prog = AnfProg {
+            stmts: vec![
+                AStmt::Call { dst: "x1".into(), method: "c_list".into(), args: vec![] },
+                AStmt::Proj { dst: "x2".into(), base: "x1".into(), label: "name".into() },
+                AStmt::Guard { lhs: "x2".into(), rhs: "channel_name".into() },
+                AStmt::Proj { dst: "x3".into(), base: "x1".into(), label: "id".into() },
+                AStmt::Call {
+                    dst: "x4".into(),
+                    method: "c_members".into(),
+                    args: vec![("channel".into(), ArgValue::Var("x3".into()))],
+                },
+                AStmt::Call {
+                    dst: "x5".into(),
+                    method: "u_info".into(),
+                    args: vec![("user".into(), ArgValue::Var("x4".into()))],
+                },
+                AStmt::Proj { dst: "x6".into(), base: "x5".into(), label: "profile".into() },
+                AStmt::Proj { dst: "x7".into(), base: "x6".into(), label: "email".into() },
+            ],
+            result: "x7".into(),
+        };
+        let lifted = lift(&sl, &q, &prog).unwrap();
+        let fig2 = parse_program(
+            r"\channel_name → {
+                c ← c_list()
+                if c.name = channel_name
+                uid ← c_members(channel=c.id)
+                let u = u_info(user=uid)
+                return u.profile.email
+            }",
+        )
+        .unwrap();
+        assert!(
+            alpha_eq(&lifted, &fig2),
+            "lifted:\n{lifted}\nexpected (Fig. 2):\n{fig2}"
+        );
+    }
+
+    /// Mapping variables are reused (L-Var-Repeat): both `name` and `id`
+    /// projections of the channel array use the same iteration variable.
+    #[test]
+    fn mapping_variables_are_reused() {
+        let sl = semlib();
+        let q = parse_query(&sl, "{ channel_name: Channel.name } → [Channel.id]").unwrap();
+        let prog = AnfProg {
+            stmts: vec![
+                AStmt::Call { dst: "x1".into(), method: "c_list".into(), args: vec![] },
+                AStmt::Proj { dst: "x2".into(), base: "x1".into(), label: "name".into() },
+                AStmt::Guard { lhs: "x2".into(), rhs: "channel_name".into() },
+                AStmt::Proj { dst: "x3".into(), base: "x1".into(), label: "id".into() },
+            ],
+            result: "x3".into(),
+        };
+        let lifted = lift(&sl, &q, &prog).unwrap();
+        // Exactly one monadic binding over x1 despite two projections.
+        let text = lifted.to_string();
+        assert_eq!(text.matches('←').count(), 1, "{text}");
+    }
+
+    /// L-Var-Up: a scalar result is wrapped in `return`.
+    #[test]
+    fn scalar_results_get_returned() {
+        let sl = semlib();
+        let q = parse_query(&sl, "{ uid: User.id } → User.name").unwrap();
+        let prog = AnfProg {
+            stmts: vec![
+                AStmt::Call {
+                    dst: "x1".into(),
+                    method: "u_info".into(),
+                    args: vec![("user".into(), ArgValue::Var("uid".into()))],
+                },
+                AStmt::Proj { dst: "x2".into(), base: "x1".into(), label: "name".into() },
+            ],
+            result: "x2".into(),
+        };
+        let lifted = lift(&sl, &q, &prog).unwrap();
+        assert!(lifted.to_string().contains("return x2"), "{lifted}");
+    }
+
+    #[test]
+    fn rejects_core_mismatch() {
+        let sl = semlib();
+        let q = parse_query(&sl, "{ uid: User.id } → User.name").unwrap();
+        let prog = AnfProg {
+            stmts: vec![AStmt::Call {
+                dst: "x1".into(),
+                method: "c_members".into(),
+                args: vec![("channel".into(), ArgValue::Var("uid".into()))],
+            }],
+            result: "x1".into(),
+        };
+        assert!(lift(&sl, &q, &prog).is_err());
+    }
+}

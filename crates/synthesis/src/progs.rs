@@ -1,0 +1,467 @@
+//! `Progs(π)` (paper Fig. 10 line 5, Appendix B.3): convert a TTN path
+//! into the set of array-oblivious ANF programs it denotes.
+//!
+//! A path fixes the *sequence* of operations but not which variable feeds
+//! which argument: "the TTN does not distinguish different arguments of the
+//! same type, and hence we must try all their combinations". We replay the
+//! path over a pool of *tokens*, each carrying the variable that produced
+//! it, and enumerate all injective assignments of tokens to the consuming
+//! slots of every firing.
+
+use apiphany_ttn::{Firing, ParamSpec, PlaceId, TransKind, Ttn};
+
+/// An argument value in an ANF call: a variable or a record literal of
+/// variables (for record-typed parameters flattened into the net).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// A plain variable.
+    Var(String),
+    /// A record literal `{field = var, ...}`.
+    Record(Vec<(String, String)>),
+}
+
+/// One array-oblivious ANF statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AStmt {
+    /// `let dst = method(name = arg, ...)`.
+    Call {
+        /// Bound variable.
+        dst: String,
+        /// Method name.
+        method: String,
+        /// Named arguments.
+        args: Vec<(String, ArgValue)>,
+    },
+    /// `let dst = base.label`.
+    Proj {
+        /// Bound variable.
+        dst: String,
+        /// Base variable.
+        base: String,
+        /// Field label.
+        label: String,
+    },
+    /// `if lhs = rhs`.
+    Guard {
+        /// Left operand.
+        lhs: String,
+        /// Right operand.
+        rhs: String,
+    },
+}
+
+/// An array-oblivious ANF program: statements plus the result variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnfProg {
+    /// The statements, in order.
+    pub stmts: Vec<AStmt>,
+    /// The variable whose value the program returns.
+    pub result: String,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    place: PlaceId,
+    var: String,
+}
+
+/// Enumerates the ANF programs of one path. `params` are the query's
+/// parameter names with their (downgraded) places. At most `cap` programs
+/// are emitted; `emit` returns `false` to stop early.
+///
+/// Returns `false` if `emit` stopped the enumeration.
+pub fn enumerate_programs(
+    net: &Ttn,
+    path: &[Firing],
+    params: &[(String, PlaceId)],
+    cap: usize,
+    emit: &mut dyn FnMut(AnfProg) -> bool,
+) -> bool {
+    let mut tokens: Vec<Token> = params
+        .iter()
+        .map(|(name, place)| Token { place: *place, var: name.clone() })
+        .collect();
+    let mut stmts = Vec::new();
+    let mut budget = cap;
+    step(net, path, 0, &mut tokens, &mut stmts, 0, &mut budget, emit)
+}
+
+/// Recursive replay; returns `false` to abort the whole enumeration.
+#[allow(clippy::too_many_arguments)]
+fn step(
+    net: &Ttn,
+    path: &[Firing],
+    idx: usize,
+    tokens: &mut Vec<Token>,
+    stmts: &mut Vec<AStmt>,
+    next_var: usize,
+    budget: &mut usize,
+    emit: &mut dyn FnMut(AnfProg) -> bool,
+) -> bool {
+    if *budget == 0 {
+        return true;
+    }
+    if idx == path.len() {
+        // A valid path's final marking holds exactly one token (the
+        // program result); anything else is a caller error — skip quietly.
+        if tokens.len() != 1 {
+            return true;
+        }
+        let prog = AnfProg { stmts: stmts.clone(), result: tokens[0].var.clone() };
+        *budget = budget.saturating_sub(1);
+        return emit(prog);
+    }
+    let firing = &path[idx];
+    let trans = net.transition(firing.trans);
+    match &trans.kind {
+        TransKind::Copy { place } => {
+            // Choose which token to duplicate (distinct variables only).
+            let mut tried: Vec<String> = Vec::new();
+            for i in 0..tokens.len() {
+                if tokens[i].place != *place || tried.contains(&tokens[i].var) {
+                    continue;
+                }
+                tried.push(tokens[i].var.clone());
+                let dup = tokens[i].clone();
+                tokens.push(dup);
+                let ok = step(net, path, idx + 1, tokens, stmts, next_var, budget, emit);
+                tokens.pop();
+                if !ok {
+                    return false;
+                }
+            }
+            true
+        }
+        TransKind::Proj { base, label } => {
+            let out_place = trans.outputs[0].0;
+            let mut tried: Vec<String> = Vec::new();
+            for i in 0..tokens.len() {
+                if tokens[i].place != *base || tried.contains(&tokens[i].var) {
+                    continue;
+                }
+                tried.push(tokens[i].var.clone());
+                let base_var = tokens[i].var.clone();
+                let dst = format!("x{next_var}");
+                let removed = tokens.remove(i);
+                tokens.push(Token { place: out_place, var: dst.clone() });
+                stmts.push(AStmt::Proj { dst, base: base_var, label: label.clone() });
+                let ok = step(net, path, idx + 1, tokens, stmts, next_var + 1, budget, emit);
+                stmts.pop();
+                tokens.pop();
+                tokens.insert(i, removed);
+                if !ok {
+                    return false;
+                }
+            }
+            true
+        }
+        TransKind::Filter { base, path: proj_path } => {
+            let key_place = trans
+                .inputs
+                .iter()
+                .find(|&&(p, _)| p != *base)
+                .map(|&(p, _)| p)
+                .unwrap_or(*base);
+            // Choose the base token and the key token (distinct indices).
+            let mut tried: Vec<(String, String)> = Vec::new();
+            for bi in 0..tokens.len() {
+                if tokens[bi].place != *base {
+                    continue;
+                }
+                for ki in 0..tokens.len() {
+                    if ki == bi || tokens[ki].place != key_place {
+                        continue;
+                    }
+                    let pair = (tokens[bi].var.clone(), tokens[ki].var.clone());
+                    if tried.contains(&pair) {
+                        continue;
+                    }
+                    tried.push(pair.clone());
+                    let (base_var, key_var) = pair;
+                    // Remove key and base (higher index first), keep base's
+                    // variable alive on the produced token.
+                    let (hi, lo) = if bi > ki { (bi, ki) } else { (ki, bi) };
+                    let t_hi = tokens.remove(hi);
+                    let t_lo = tokens.remove(lo);
+                    tokens.push(Token { place: *base, var: base_var.clone() });
+                    // Expand filter into projection steps plus the guard.
+                    let mut fresh = next_var;
+                    let mut cur = base_var.clone();
+                    let n_stmts_before = stmts.len();
+                    for label in proj_path {
+                        let dst = format!("x{fresh}");
+                        fresh += 1;
+                        stmts.push(AStmt::Proj {
+                            dst: dst.clone(),
+                            base: cur.clone(),
+                            label: label.clone(),
+                        });
+                        cur = dst;
+                    }
+                    stmts.push(AStmt::Guard { lhs: cur, rhs: key_var });
+                    let ok = step(net, path, idx + 1, tokens, stmts, fresh, budget, emit);
+                    stmts.truncate(n_stmts_before);
+                    tokens.pop();
+                    tokens.insert(lo, t_lo);
+                    tokens.insert(hi, t_hi);
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        TransKind::Method(name) => {
+            // Build the slot list: required params plus the chosen optional
+            // params (per-place counts from the firing).
+            let required: Vec<&ParamSpec> =
+                trans.params.iter().filter(|p| !p.optional).collect();
+            let mut optional_choices: Vec<Vec<&ParamSpec>> = vec![Vec::new()];
+            for (oi, &(place, _)) in trans.optionals.iter().enumerate() {
+                let count = firing.optional_taken.get(oi).copied().unwrap_or(0) as usize;
+                if count == 0 {
+                    continue;
+                }
+                let pool: Vec<&ParamSpec> = trans
+                    .params
+                    .iter()
+                    .filter(|p| p.optional && p.place == place)
+                    .collect();
+                let combos = combinations(&pool, count);
+                let mut extended = Vec::new();
+                for prefix in &optional_choices {
+                    for combo in &combos {
+                        let mut v = prefix.clone();
+                        v.extend(combo.iter().copied());
+                        extended.push(v);
+                    }
+                }
+                optional_choices = extended;
+            }
+            let out_place = trans.outputs[0].0;
+            for opt_slots in &optional_choices {
+                let mut slots: Vec<&ParamSpec> = required.clone();
+                slots.extend(opt_slots.iter().copied());
+                let mut assignment: Vec<usize> = Vec::new();
+                if !assign_slots(
+                    net, path, idx, tokens, stmts, next_var, budget, emit, name, &slots,
+                    &mut assignment, out_place,
+                ) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Enumerates injective token assignments for the call's slots, then emits
+/// the call statement and recurses.
+#[allow(clippy::too_many_arguments)]
+fn assign_slots(
+    net: &Ttn,
+    path: &[Firing],
+    idx: usize,
+    tokens: &mut Vec<Token>,
+    stmts: &mut Vec<AStmt>,
+    next_var: usize,
+    budget: &mut usize,
+    emit: &mut dyn FnMut(AnfProg) -> bool,
+    method: &str,
+    slots: &[&ParamSpec],
+    assignment: &mut Vec<usize>,
+    out_place: PlaceId,
+) -> bool {
+    if assignment.len() == slots.len() {
+        // All slots assigned: build the call.
+        let dst = format!("x{next_var}");
+        let mut args: Vec<(String, ArgValue)> = Vec::new();
+        for (slot_idx, spec) in slots.iter().enumerate() {
+            let var = tokens[assignment[slot_idx]].var.clone();
+            match &spec.record_field {
+                None => args.push((spec.arg_name.clone(), ArgValue::Var(var))),
+                Some(field) => {
+                    // Accumulate record fields under one argument name.
+                    if let Some((_, ArgValue::Record(fields))) =
+                        args.iter_mut().find(|(n, v)| {
+                            n == &spec.arg_name && matches!(v, ArgValue::Record(_))
+                        })
+                    {
+                        fields.push((field.clone(), var));
+                    } else {
+                        args.push((
+                            spec.arg_name.clone(),
+                            ArgValue::Record(vec![(field.clone(), var)]),
+                        ));
+                    }
+                }
+            }
+        }
+        // Remove consumed tokens (largest index first), produce the result.
+        let mut consumed: Vec<usize> = assignment.clone();
+        consumed.sort_unstable_by(|a, b| b.cmp(a));
+        let mut removed: Vec<(usize, Token)> = Vec::new();
+        for &i in &consumed {
+            removed.push((i, tokens.remove(i)));
+        }
+        tokens.push(Token { place: out_place, var: dst.clone() });
+        stmts.push(AStmt::Call { dst, method: method.to_string(), args });
+        let ok = step(net, path, idx + 1, tokens, stmts, next_var + 1, budget, emit);
+        stmts.pop();
+        tokens.pop();
+        for (i, t) in removed.into_iter().rev() {
+            tokens.insert(i, t);
+        }
+        return ok;
+    }
+    let spec = slots[assignment.len()];
+    let mut tried: Vec<String> = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].place != spec.place || assignment.contains(&i) {
+            continue;
+        }
+        if tried.contains(&tokens[i].var) {
+            continue;
+        }
+        tried.push(tokens[i].var.clone());
+        assignment.push(i);
+        let ok = assign_slots(
+            net, path, idx, tokens, stmts, next_var, budget, emit, method, slots, assignment,
+            out_place,
+        );
+        assignment.pop();
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// All `k`-element combinations of a slice (preserving order).
+fn combinations<'a, T>(pool: &[&'a T], k: usize) -> Vec<Vec<&'a T>> {
+    if k == 0 {
+        return vec![Vec::new()];
+    }
+    if pool.len() < k {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, first) in pool.iter().enumerate() {
+        for mut rest in combinations(&pool[i + 1..], k - 1) {
+            rest.insert(0, *first);
+            out.push(rest);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_mining::{mine_types, parse_query, MiningConfig};
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+    use apiphany_ttn::{build_ttn, enumerate_paths, query_markings, BuildOptions, SearchConfig};
+
+    /// End-to-end on the running example: the bold path of Fig. 9 yields
+    /// exactly the array-oblivious program of Fig. 11 (left).
+    #[test]
+    fn bold_path_yields_fig11_left() {
+        let sl = mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default());
+        let net = build_ttn(&sl, &BuildOptions::default());
+        let q = parse_query(&sl, "{ channel_name: Channel.name } → [Profile.email]").unwrap();
+        let (init, fin) = query_markings(&net, &q).unwrap();
+        let params: Vec<(String, PlaceId)> = q
+            .params
+            .iter()
+            .map(|(n, t)| (n.clone(), net.place_of(t).unwrap()))
+            .collect();
+
+        let mut programs: Vec<AnfProg> = Vec::new();
+        let cfg = SearchConfig { max_len: 7, ..SearchConfig::default() };
+        enumerate_paths(&net, &init, &fin, &cfg, &mut |path| {
+            if path.len() == 7 {
+                enumerate_programs(&net, path, &params, 16, &mut |p| {
+                    programs.push(p);
+                    true
+                });
+            }
+            true
+        });
+        assert_eq!(programs.len(), 1, "the length-7 path denotes one program");
+        let p = &programs[0];
+        let rendered: Vec<String> = p
+            .stmts
+            .iter()
+            .map(|s| match s {
+                AStmt::Call { dst, method, .. } => format!("{dst}={method}(..)"),
+                AStmt::Proj { dst, base, label } => format!("{dst}={base}.{label}"),
+                AStmt::Guard { lhs, rhs } => format!("if {lhs}={rhs}"),
+            })
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "x0=c_list(..)",
+                "x1=x0.name",
+                "if x1=channel_name",
+                "x2=x0.id",
+                "x3=c_members(..)",
+                "x4=u_info(..)",
+                "x5=x4.profile",
+                "x6=x5.email",
+            ]
+        );
+        assert_eq!(p.result, "x6");
+    }
+
+    #[test]
+    fn copy_paths_reuse_variables() {
+        // copy(Channel); proj name; filter by name; proj id — a valid path
+        // whose two Channel tokens must carry the same variable.
+        let sl = mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default());
+        let net = build_ttn(&sl, &BuildOptions::default());
+        let chan = net.place_of(&apiphany_spec::SemTy::object("Channel")).unwrap();
+        let find = |pred: &dyn Fn(&apiphany_ttn::Transition) -> bool| {
+            net.transitions().find(|(_, t)| pred(t)).map(|(id, _)| id).unwrap()
+        };
+        let copy_id = find(&|t| t.kind == TransKind::Copy { place: chan });
+        let proj_name = find(&|t| {
+            matches!(&t.kind, TransKind::Proj { base, label } if *base == chan && label == "name")
+        });
+        let proj_id = find(&|t| {
+            matches!(&t.kind, TransKind::Proj { base, label } if *base == chan && label == "id")
+        });
+        let filter_name = find(&|t| {
+            matches!(&t.kind, TransKind::Filter { base, path } if *base == chan && path == &vec!["name".to_string()])
+        });
+        let path = vec![
+            apiphany_ttn::Firing::plain(copy_id),
+            apiphany_ttn::Firing::plain(proj_name),
+            apiphany_ttn::Firing::plain(filter_name),
+            apiphany_ttn::Firing::plain(proj_id),
+        ];
+        let params = vec![("c".to_string(), chan)];
+        let mut seen = 0;
+        enumerate_programs(&net, &path, &params, 16, &mut |p| {
+            seen += 1;
+            for s in &p.stmts {
+                if let AStmt::Proj { base, .. } = s {
+                    assert_eq!(base, "c", "all projections start from the copied var");
+                }
+            }
+            true
+        });
+        assert!(seen >= 1);
+    }
+
+    #[test]
+    fn combinations_enumerate() {
+        let a = 1;
+        let b = 2;
+        let c = 3;
+        let pool: Vec<&i32> = vec![&a, &b, &c];
+        assert_eq!(combinations(&pool, 2).len(), 3);
+        assert_eq!(combinations(&pool, 0).len(), 1);
+        assert_eq!(combinations(&pool, 4).len(), 0);
+    }
+}

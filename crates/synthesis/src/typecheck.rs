@@ -1,0 +1,345 @@
+//! The semantic typing judgment `Λ̂; Γ ⊢ e :: t̂` (paper Fig. 16,
+//! Appendix B).
+//!
+//! Every candidate produced by lifting is checked against the query type
+//! before being reported: this is also where paths admitted by the relaxed
+//! ILP encoding ("the path is simply rejected by the type checker when
+//! converted into a program", Appendix B.2) are filtered out.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use apiphany_lang::{Expr, Program};
+use apiphany_mining::{Query, SemLib};
+use apiphany_spec::{SemRecordTy, SemTy};
+
+/// A type error with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError { message: message.into() })
+}
+
+/// Checks `Λ̂ ⊢ E :: ŝ` for the query type `ŝ` (T-Top), with the output
+/// array-adjusted exactly as in lifting.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] describing the first violation found.
+pub fn type_check(semlib: &SemLib, program: &Program, query: &Query) -> Result<(), TypeError> {
+    if program.params.len() != query.params.len() {
+        return err("parameter count differs from query");
+    }
+    let mut env: HashMap<String, SemTy> = HashMap::new();
+    for (name, (qname, ty)) in program.params.iter().zip(&query.params) {
+        if name != qname {
+            return err(format!("parameter {name} does not match query parameter {qname}"));
+        }
+        env.insert(name.clone(), ty.clone());
+    }
+    let expected = match &query.output {
+        t @ SemTy::Array(_) => t.clone(),
+        t => SemTy::array(t.clone()),
+    };
+    let actual = check(semlib, &env, &program.body)?;
+    if actual != expected {
+        return err(format!(
+            "program has type {}, query expects {}",
+            semlib.display_ty(&actual),
+            semlib.display_ty(&expected)
+        ));
+    }
+    Ok(())
+}
+
+/// Infers the semantic type of an expression (the rules of Fig. 16).
+pub fn check(
+    semlib: &SemLib,
+    env: &HashMap<String, SemTy>,
+    e: &Expr,
+) -> Result<SemTy, TypeError> {
+    match e {
+        // T-Var.
+        Expr::Var(x) => match env.get(x) {
+            Some(t) => Ok(t.clone()),
+            None => err(format!("unbound variable {x}")),
+        },
+        // T-Proj, with T-Obj folding object names to their definitions.
+        Expr::Proj(base, label) => {
+            let t = check(semlib, env, base)?;
+            match t {
+                SemTy::Object(o) => semlib
+                    .objects
+                    .get(&o)
+                    .and_then(|r| r.field(label))
+                    .map(|f| f.ty.clone())
+                    .map_or_else(|| err(format!("object {o} has no field {label}")), Ok),
+                SemTy::Record(r) => r
+                    .field(label)
+                    .map(|f| f.ty.clone())
+                    .map_or_else(|| err(format!("record has no field {label}")), Ok),
+                other => err(format!(
+                    "projection .{label} from non-object type {}",
+                    semlib.display_ty(&other)
+                )),
+            }
+        }
+        // T-Call: all required arguments present, all provided arguments
+        // declared with matching types.
+        Expr::Call(method, args) => {
+            let Some(sig) = semlib.methods.get(method) else {
+                return err(format!("unknown method {method}"));
+            };
+            for field in sig.params.required() {
+                if !args.iter().any(|(n, _)| n == &field.name) {
+                    return err(format!(
+                        "call to {method} is missing required argument {}",
+                        field.name
+                    ));
+                }
+            }
+            for (name, value) in args {
+                let Some(field) = sig.params.field(name) else {
+                    return err(format!("{method} has no parameter {name}"));
+                };
+                check_against(semlib, env, value, &field.ty)?;
+            }
+            Ok(sig.response.clone())
+        }
+        // T-Let.
+        Expr::Let(x, rhs, body) => {
+            let t = check(semlib, env, rhs)?;
+            let mut env2 = env.clone();
+            env2.insert(x.clone(), t);
+            check(semlib, &env2, body)
+        }
+        // T-Bind: both sides must have array types.
+        Expr::Bind(x, rhs, body) => {
+            let t = check(semlib, env, rhs)?;
+            let SemTy::Array(elem) = t else {
+                return err(format!(
+                    "monadic bind over non-array type {}",
+                    semlib.display_ty(&t)
+                ));
+            };
+            let mut env2 = env.clone();
+            env2.insert(x.clone(), *elem);
+            let body_t = check(semlib, &env2, body)?;
+            match body_t {
+                SemTy::Array(_) => Ok(body_t),
+                other => err(format!(
+                    "bind body must have array type, got {}",
+                    semlib.display_ty(&other)
+                )),
+            }
+        }
+        // T-If: operands share one loc-set type; body is an array.
+        Expr::Guard(lhs, rhs, body) => {
+            let lt = check(semlib, env, lhs)?;
+            let rt = check(semlib, env, rhs)?;
+            if !lt.is_group() || lt != rt {
+                return err(format!(
+                    "guard compares {} with {}",
+                    semlib.display_ty(&lt),
+                    semlib.display_ty(&rt)
+                ));
+            }
+            let body_t = check(semlib, env, body)?;
+            match body_t {
+                SemTy::Array(_) => Ok(body_t),
+                other => err(format!(
+                    "guard body must have array type, got {}",
+                    semlib.display_ty(&other)
+                )),
+            }
+        }
+        // T-Ret.
+        Expr::Return(inner) => Ok(SemTy::array(check(semlib, env, inner)?)),
+        // Record literals are only typeable against a declared record (see
+        // `check_against`); a free-standing record gets a structural type.
+        Expr::Record(fields) => {
+            let mut r = SemRecordTy::default();
+            for (name, v) in fields {
+                r.fields.push(apiphany_spec::SemFieldTy {
+                    name: name.clone(),
+                    optional: false,
+                    ty: check(semlib, env, v)?,
+                });
+            }
+            Ok(SemTy::Record(r))
+        }
+    }
+}
+
+/// Checks an argument expression against a declared parameter type.
+/// Record literals are checked field-wise against declared record types
+/// (field names must be declared, types must match).
+fn check_against(
+    semlib: &SemLib,
+    env: &HashMap<String, SemTy>,
+    value: &Expr,
+    declared: &SemTy,
+) -> Result<(), TypeError> {
+    if let (Expr::Record(fields), SemTy::Record(decl)) = (value, &declared.downgrade()) {
+        for (name, v) in fields {
+            let Some(field) = decl.field(name) else {
+                return err(format!("record literal has undeclared field {name}"));
+            };
+            check_against(semlib, env, v, &field.ty)?;
+        }
+        return Ok(());
+    }
+    let actual = check(semlib, env, value)?;
+    if !arg_compatible(&actual, declared) {
+        return err(format!(
+            "argument has type {}, declared {}",
+            semlib.display_ty(&actual),
+            semlib.display_ty(declared)
+        ));
+    }
+    Ok(())
+}
+
+/// Structural compatibility of an argument type with a declared parameter
+/// type: exact equality except for records, where the provided record may
+/// omit optional declared fields (a record literal's structural type has
+/// all fields required).
+fn arg_compatible(actual: &SemTy, declared: &SemTy) -> bool {
+    if actual == declared {
+        return true;
+    }
+    match (actual, declared) {
+        (SemTy::Record(a), SemTy::Record(d)) => {
+            a.fields
+                .iter()
+                .all(|f| d.field(&f.name).is_some_and(|df| arg_compatible(&f.ty, &df.ty)))
+                && d.required().all(|df| a.fields.iter().any(|f| f.name == df.name))
+        }
+        (SemTy::Array(a), SemTy::Array(d)) => arg_compatible(a, d),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_lang::parse_program;
+    use apiphany_mining::{mine_types, parse_query, MiningConfig};
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+
+    fn semlib() -> SemLib {
+        mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default())
+    }
+
+    #[test]
+    fn fig2_type_checks() {
+        let sl = semlib();
+        let q = parse_query(&sl, "{ channel_name: Channel.name } → [Profile.email]").unwrap();
+        let p = parse_program(
+            r"\channel_name → {
+                c ← c_list()
+                if c.name = channel_name
+                uid ← c_members(channel=c.id)
+                let u = u_info(user=uid)
+                return u.profile.email
+            }",
+        )
+        .unwrap();
+        type_check(&sl, &p, &q).unwrap();
+    }
+
+    #[test]
+    fn array_oblivious_program_fails() {
+        // Fig. 11 (left): projecting .name from an array is ill-typed.
+        let sl = semlib();
+        let q = parse_query(&sl, "{ channel_name: Channel.name } → [Profile.email]").unwrap();
+        let p = parse_program(
+            r"\channel_name → {
+                let x1 = c_list()
+                let x2 = x1.name
+                if x2 = channel_name
+                let x3 = x1.id
+                let x4 = c_members(channel=x3)
+                let x5 = u_info(user=x4)
+                let x6 = x5.profile
+                let x7 = x6.email
+                x7
+            }",
+        )
+        .unwrap();
+        let e = type_check(&sl, &p, &q).unwrap_err();
+        assert!(e.message.contains("non-object"), "{e}");
+    }
+
+    #[test]
+    fn guard_on_different_groups_fails() {
+        let sl = semlib();
+        let q = parse_query(&sl, "{ uid: User.id } → [Channel]").unwrap();
+        let p = parse_program(
+            r"\uid → {
+                c ← c_list()
+                if c.name = uid
+                return c
+            }",
+        )
+        .unwrap();
+        assert!(type_check(&sl, &p, &q).is_err());
+    }
+
+    #[test]
+    fn missing_required_argument_fails() {
+        let sl = semlib();
+        let q = parse_query(&sl, "{ } → [User]").unwrap();
+        let p = parse_program(r"\ → { let u = u_info() return u }").unwrap();
+        let e = type_check(&sl, &p, &q).unwrap_err();
+        assert!(e.message.contains("missing required"), "{e}");
+    }
+
+    #[test]
+    fn wrong_output_type_fails() {
+        let sl = semlib();
+        let q = parse_query(&sl, "{ channel_name: Channel.name } → [User]").unwrap();
+        let p = parse_program(
+            r"\channel_name → {
+                c ← c_list()
+                if c.name = channel_name
+                return c
+            }",
+        )
+        .unwrap();
+        let e = type_check(&sl, &p, &q).unwrap_err();
+        assert!(e.message.contains("query expects"), "{e}");
+    }
+
+    #[test]
+    fn scalar_queries_are_array_adjusted() {
+        let sl = semlib();
+        // Query asks for a scalar; program returning a singleton array of
+        // that scalar is accepted (§5 "If the user requests a scalar...").
+        let q = parse_query(&sl, "{ uid: User.id } → User.name").unwrap();
+        let p = parse_program(r"\uid → { let u = u_info(user=uid) return u.name }").unwrap();
+        type_check(&sl, &p, &q).unwrap();
+    }
+
+    #[test]
+    fn unused_inputs_are_still_type_correct() {
+        // The *type system* does not enforce relevance (that is the TTN's
+        // job); an unused parameter type-checks.
+        let sl = semlib();
+        let q = parse_query(&sl, "{ uid: User.id } → [Channel]").unwrap();
+        let p = parse_program(r"\uid → { c ← c_list() return c }").unwrap();
+        type_check(&sl, &p, &q).unwrap();
+    }
+}

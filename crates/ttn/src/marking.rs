@@ -1,0 +1,235 @@
+//! Markings (token assignments) and transition firings.
+
+use crate::net::{PlaceId, TransId, Transition, Ttn};
+
+/// A marking `M : P → ℕ`.
+///
+/// Markings in TTN search are sparse (a handful of tokens over thousands
+/// of places), so the structure keeps a cached total and exposes a sparse
+/// fingerprint for memoization.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Marking {
+    tokens: Vec<u32>,
+    total: u32,
+}
+
+impl Marking {
+    /// The empty marking over `n` places.
+    pub fn empty(n: usize) -> Marking {
+        Marking { tokens: vec![0; n], total: 0 }
+    }
+
+    /// Tokens at a place.
+    pub fn tokens(&self, p: PlaceId) -> u32 {
+        self.tokens[p.0 as usize]
+    }
+
+    /// Adds tokens to a place.
+    pub fn add(&mut self, p: PlaceId, n: u32) {
+        self.tokens[p.0 as usize] += n;
+        self.total += n;
+    }
+
+    /// Removes tokens from a place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the place has fewer than `n` tokens.
+    pub fn remove(&mut self, p: PlaceId, n: u32) {
+        let slot = &mut self.tokens[p.0 as usize];
+        assert!(*slot >= n, "marking underflow");
+        *slot -= n;
+        self.total -= n;
+    }
+
+    /// Total token count (cached; O(1)).
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Iterates over `(place, tokens)` pairs with non-zero tokens.
+    pub fn nonzero(&self) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t > 0)
+            .map(|(i, &t)| (PlaceId(i as u32), t))
+    }
+
+    /// A 64-bit fingerprint over the sparse `(place, count)` pairs. Used
+    /// as a memoization key; collisions are astronomically unlikely for
+    /// the ≤ dozens of tokens a search marking carries.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (p, c) in self.nonzero() {
+            let x = (u64::from(p.0) << 32) | u64::from(c);
+            h ^= x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// One transition firing in a path: the transition plus the number of
+/// *optional* tokens consumed from each optional place (required
+/// consumption is implied by the transition itself).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Firing {
+    /// The fired transition.
+    pub trans: TransId,
+    /// Optional consumption actually performed, aligned with the
+    /// transition's `optionals` list (same order; entries may be zero).
+    pub optional_taken: Vec<u32>,
+}
+
+impl Firing {
+    /// A firing that consumes no optional tokens.
+    pub fn plain(trans: TransId) -> Firing {
+        Firing { trans, optional_taken: Vec::new() }
+    }
+}
+
+/// Checks whether `t` can fire from `m` (required inputs only).
+pub fn can_fire(m: &Marking, t: &Transition) -> bool {
+    t.inputs.iter().all(|&(p, c)| m.tokens(p) >= c)
+}
+
+/// Applies a firing to a marking.
+///
+/// # Panics
+///
+/// Panics if the firing is not enabled (use [`can_fire`] first) or the
+/// optional consumption exceeds availability.
+pub fn apply(m: &mut Marking, net: &Ttn, firing: &Firing) {
+    let t = net.transition(firing.trans);
+    for &(p, c) in &t.inputs {
+        m.remove(p, c);
+    }
+    for (i, &(p, _cap)) in t.optionals.iter().enumerate() {
+        let taken = firing.optional_taken.get(i).copied().unwrap_or(0);
+        if taken > 0 {
+            m.remove(p, taken);
+        }
+    }
+    for &(p, c) in &t.outputs {
+        m.add(p, c);
+    }
+}
+
+/// Reverses [`apply`] (used for allocation-free backtracking).
+///
+/// # Panics
+///
+/// Panics if the marking does not contain the firing's outputs.
+pub fn unapply(m: &mut Marking, net: &Ttn, firing: &Firing) {
+    let t = net.transition(firing.trans);
+    for &(p, c) in &t.outputs {
+        m.remove(p, c);
+    }
+    for (i, &(p, _cap)) in t.optionals.iter().enumerate() {
+        let taken = firing.optional_taken.get(i).copied().unwrap_or(0);
+        if taken > 0 {
+            m.add(p, taken);
+        }
+    }
+    for &(p, c) in &t.inputs {
+        m.add(p, c);
+    }
+}
+
+/// Replays a path from an initial marking, returning the final marking.
+///
+/// Returns `None` if any step is not enabled — used by tests to validate
+/// that enumerated paths are genuine firing sequences.
+pub fn replay(net: &Ttn, init: &Marking, path: &[Firing]) -> Option<Marking> {
+    let mut m = init.clone();
+    for firing in path {
+        let t = net.transition(firing.trans);
+        if !can_fire(&m, t) {
+            return None;
+        }
+        for (i, &(p, cap)) in t.optionals.iter().enumerate() {
+            let taken = firing.optional_taken.get(i).copied().unwrap_or(0);
+            if taken > cap || m.tokens(p) < taken {
+                return None;
+            }
+        }
+        // Check combined required + optional availability per place.
+        let mut need: std::collections::HashMap<PlaceId, u32> = std::collections::HashMap::new();
+        for &(p, c) in &t.inputs {
+            *need.entry(p).or_insert(0) += c;
+        }
+        for (i, &(p, _)) in t.optionals.iter().enumerate() {
+            *need.entry(p).or_insert(0) += firing.optional_taken.get(i).copied().unwrap_or(0);
+        }
+        if need.iter().any(|(&p, &c)| m.tokens(p) < c) {
+            return None;
+        }
+        apply(&mut m, net, firing);
+    }
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{TransKind, Transition};
+
+    fn tiny_net() -> (Ttn, PlaceId, PlaceId) {
+        use apiphany_spec::{GroupId, SemTy};
+        let mut net = Ttn::new();
+        let a = net.intern_place(SemTy::Group(GroupId(0)));
+        let b = net.intern_place(SemTy::Group(GroupId(1)));
+        net.add_transition(Transition {
+            kind: TransKind::Method("f".into()),
+            inputs: vec![(a, 1)],
+            optionals: vec![(b, 1)],
+            outputs: vec![(b, 1)],
+            params: Vec::new(),
+        });
+        (net, a, b)
+    }
+
+    #[test]
+    fn fire_moves_tokens() {
+        let (net, a, b) = tiny_net();
+        let mut m = Marking::empty(net.n_places());
+        m.add(a, 1);
+        let firing = Firing::plain(TransId(0));
+        assert!(can_fire(&m, net.transition(TransId(0))));
+        apply(&mut m, &net, &firing);
+        assert_eq!(m.tokens(a), 0);
+        assert_eq!(m.tokens(b), 1);
+    }
+
+    #[test]
+    fn optional_consumption_drains_extra_tokens() {
+        let (net, a, b) = tiny_net();
+        let mut m = Marking::empty(net.n_places());
+        m.add(a, 1);
+        m.add(b, 1);
+        let firing = Firing { trans: TransId(0), optional_taken: vec![1] };
+        apply(&mut m, &net, &firing);
+        assert_eq!(m.tokens(b), 1); // consumed one optional, produced one
+    }
+
+    #[test]
+    fn replay_rejects_disabled_paths() {
+        let (net, _a, _b) = tiny_net();
+        let m = Marking::empty(net.n_places());
+        assert!(replay(&net, &m, &[Firing::plain(TransId(0))]).is_none());
+    }
+
+    #[test]
+    fn replay_accepts_valid_paths() {
+        let (net, a, b) = tiny_net();
+        let mut m = Marking::empty(net.n_places());
+        m.add(a, 2);
+        let path = vec![Firing::plain(TransId(0)), Firing { trans: TransId(0), optional_taken: vec![1] }];
+        let end = replay(&net, &m, &path).unwrap();
+        assert_eq!(end.tokens(a), 0);
+        assert_eq!(end.tokens(b), 1);
+    }
+
+    use crate::net::TransId;
+}

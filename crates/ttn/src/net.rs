@@ -1,0 +1,196 @@
+//! The type-transition net (TTN) representation (paper Appendix B.1).
+//!
+//! A TTN is a Petri net `(P, T, E, O)`: places are (array-oblivious,
+//! downgraded) semantic types, transitions are API methods, projections,
+//! filters, and copies; `E` gives required edge multiplicities and `O`
+//! optional multiplicities (for optional method arguments).
+
+use std::collections::HashMap;
+
+use apiphany_spec::SemTy;
+
+/// Index of a place (a downgraded semantic type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceId(pub u32);
+
+/// Index of a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransId(pub u32);
+
+/// What a transition does, for converting paths back into programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransKind {
+    /// An API method call.
+    Method(String),
+    /// A projection `proj_{base.label}` from a place holding objects or
+    /// records to the field's place.
+    Proj {
+        /// The place being projected from.
+        base: PlaceId,
+        /// The field label.
+        label: String,
+    },
+    /// A filter `filter_{base.path}`: consumes a `base` token and a key
+    /// token, produces the `base` token back (paper's C-Filter /
+    /// C-Filter-Obj; `path` may traverse nested objects).
+    Filter {
+        /// The place being filtered.
+        base: PlaceId,
+        /// The projection path from the base object to the compared scalar.
+        path: Vec<String>,
+    },
+    /// A copy transition: one token in, two tokens out (relevant typing,
+    /// as in SyPet/TYGAR).
+    Copy {
+        /// The copied place.
+        place: PlaceId,
+    },
+}
+
+/// How one method argument maps onto net places (used when converting a
+/// path back into a call expression).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// The argument name as it appears in the call.
+    pub arg_name: String,
+    /// For record-typed arguments flattened into the net, the field inside
+    /// the record this spec stands for; `None` for plain arguments.
+    pub record_field: Option<String>,
+    /// The place this argument consumes from.
+    pub place: PlaceId,
+    /// Whether the argument (or record field) is optional.
+    pub optional: bool,
+}
+
+/// One transition with its edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// What the transition stands for.
+    pub kind: TransKind,
+    /// Required consumption: `E(p, τ)` as (place, multiplicity) pairs.
+    pub inputs: Vec<(PlaceId, u32)>,
+    /// Optional consumption caps: `O(p, τ)`.
+    pub optionals: Vec<(PlaceId, u32)>,
+    /// Production: `E(τ, p)`.
+    pub outputs: Vec<(PlaceId, u32)>,
+    /// Method parameter layout (empty for non-method transitions).
+    pub params: Vec<ParamSpec>,
+}
+
+/// The net itself.
+#[derive(Debug, Clone, Default)]
+pub struct Ttn {
+    places: Vec<SemTy>,
+    place_ids: HashMap<SemTy, PlaceId>,
+    transitions: Vec<Transition>,
+}
+
+impl Ttn {
+    /// An empty net.
+    pub fn new() -> Ttn {
+        Ttn::default()
+    }
+
+    /// Interns a (downgraded) type as a place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if handed an array type — places are always array-oblivious.
+    pub fn intern_place(&mut self, ty: SemTy) -> PlaceId {
+        assert!(
+            !matches!(ty, SemTy::Array(_)),
+            "TTN places must be downgraded (array-oblivious)"
+        );
+        if let Some(&id) = self.place_ids.get(&ty) {
+            return id;
+        }
+        let id = PlaceId(self.places.len() as u32);
+        self.places.push(ty.clone());
+        self.place_ids.insert(ty, id);
+        id
+    }
+
+    /// The place of a type, if it exists (the type is downgraded first).
+    pub fn place_of(&self, ty: &SemTy) -> Option<PlaceId> {
+        self.place_ids.get(&ty.downgrade()).copied()
+    }
+
+    /// The type of a place.
+    pub fn place_ty(&self, id: PlaceId) -> &SemTy {
+        &self.places[id.0 as usize]
+    }
+
+    /// Number of places.
+    pub fn n_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    pub fn n_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Adds a transition, returning its id.
+    pub fn add_transition(&mut self, t: Transition) -> TransId {
+        let id = TransId(self.transitions.len() as u32);
+        self.transitions.push(t);
+        id
+    }
+
+    /// The transition data.
+    pub fn transition(&self, id: TransId) -> &Transition {
+        &self.transitions[id.0 as usize]
+    }
+
+    /// Iterates over transitions with ids.
+    pub fn transitions(&self) -> impl Iterator<Item = (TransId, &Transition)> {
+        self.transitions.iter().enumerate().map(|(i, t)| (TransId(i as u32), t))
+    }
+
+    /// A short human-readable label for a transition (for debugging and the
+    /// bench reports).
+    pub fn transition_label(&self, id: TransId) -> String {
+        match &self.transition(id).kind {
+            TransKind::Method(name) => name.clone(),
+            TransKind::Proj { base, label } => {
+                format!("proj_{}.{}", self.place_ty(*base), label)
+            }
+            TransKind::Filter { base, path } => {
+                format!("filter_{}.{}", self.place_ty(*base), path.join("."))
+            }
+            TransKind::Copy { place } => format!("copy_{}", self.place_ty(*place)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_spec::GroupId;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut net = Ttn::new();
+        let a = net.intern_place(SemTy::object("User"));
+        let b = net.intern_place(SemTy::object("User"));
+        assert_eq!(a, b);
+        assert_eq!(net.n_places(), 1);
+        let c = net.intern_place(SemTy::Group(GroupId(0)));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn place_of_downgrades() {
+        let mut net = Ttn::new();
+        let p = net.intern_place(SemTy::object("User"));
+        let arr = SemTy::array(SemTy::array(SemTy::object("User")));
+        assert_eq!(net.place_of(&arr), Some(p));
+    }
+
+    #[test]
+    #[should_panic(expected = "array-oblivious")]
+    fn interning_arrays_panics() {
+        let mut net = Ttn::new();
+        net.intern_place(SemTy::array(SemTy::object("User")));
+    }
+}

@@ -1,0 +1,34 @@
+//! Quickstart: the paper's running example on the tiny Fig. 7 library.
+//!
+//! Mines semantic types from the Fig. 4 witnesses, synthesizes programs for
+//! `Channel.name → [Profile.email]`, and prints the RE-ranked results —
+//! the top one is the Fig. 2 solution.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use apiphany_core::{Apiphany, RunConfig};
+use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+
+fn main() {
+    // Analysis phase (here from pre-recorded witnesses; see the other
+    // examples for live-sandbox analysis).
+    let engine = Apiphany::from_witnesses(fig7_library(), fig4_witnesses());
+    println!("mined {} semantic types", engine.semlib().n_groups());
+
+    // Synthesis phase: type query → ranked programs.
+    let query = engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.synthesis.max_path_len = 7;
+    let result = engine.run(&query, &cfg);
+
+    println!(
+        "{} candidates in {:.1?} (search stats: {:?})\n",
+        result.ranked.len(),
+        result.total_time,
+        result.stats
+    );
+    for (i, r) in result.ranked.iter().enumerate() {
+        println!("#{} (cost {:.0}, generated {})", i + 1, r.cost, r.gen_index + 1);
+        println!("{}\n", r.program);
+    }
+}

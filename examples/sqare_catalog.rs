@@ -1,0 +1,38 @@
+//! Sqare catalog maintenance (benchmarks 3.2 / 3.10 / 3.11): filters over
+//! tagged-union catalog objects and effectful deletion, on the simulated
+//! Sqare API.
+//!
+//! Run with: `cargo run --release --example sqare_catalog`
+
+use apiphany_benchmarks::{default_analyze_config, prepare_api, Api};
+use apiphany_core::RunConfig;
+use std::time::Duration;
+
+fn main() {
+    println!("analysis phase for sqare ...");
+    let prepared = prepare_api(Api::Sqare, &default_analyze_config());
+    let engine = &prepared.engine;
+
+    let tasks = [
+        (
+            "subscriptions by location, customer and plan",
+            "{ customer_id: Customer.id, location_id: Location.id, plan_id: CatalogObject.id } → [Subscription]",
+        ),
+        (
+            "delete catalog items with given names",
+            "{ item_type: CatalogObject.type, names: [CatalogItem.name] } → [CatalogObject.id]",
+        ),
+        ("delete all catalog items", "{ } → [CatalogObject.id]"),
+    ];
+    for (what, q) in tasks {
+        let query = engine.query(q).unwrap();
+        let mut cfg = RunConfig::default();
+        cfg.synthesis.max_path_len = 7;
+        cfg.synthesis.timeout = Duration::from_secs(30);
+        let result = engine.run(&query, &cfg);
+        println!("task: {what}\ncandidates: {}", result.ranked.len());
+        if let Some(top) = result.ranked.first() {
+            println!("top-ranked program:\n{}\n", top.program);
+        }
+    }
+}

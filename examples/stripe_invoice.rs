@@ -1,0 +1,42 @@
+//! Stripe billing workflows (benchmarks 2.3 / 2.4 / 2.6): effectful
+//! synthesis on the 300-method simulated Stripe API.
+//!
+//! Run with: `cargo run --release --example stripe_invoice`
+
+use apiphany_benchmarks::{default_analyze_config, prepare_api, Api};
+use apiphany_core::RunConfig;
+use std::time::Duration;
+
+fn main() {
+    println!("analysis phase for stripe ...");
+    let prepared = prepare_api(Api::Stripe, &default_analyze_config());
+    let engine = &prepared.engine;
+    println!(
+        "{} witnesses, {} covered methods, {} semantic types\n",
+        prepared.analysis.n_witnesses,
+        prepared.analysis.n_covered_methods,
+        engine.semlib().n_groups()
+    );
+
+    let tasks = [
+        ("retrieve a customer by email", "{ email: customer.email } → customer"),
+        (
+            "create a product and invoice a customer",
+            "{ product_name: product.name, customer_id: customer.id, currency: fee.currency, unit_amount: plan.amount } → invoiceitem",
+        ),
+        ("get a refund for a subscription", "{ subscription: subscription.id } → refund"),
+    ];
+    for (what, q) in tasks {
+        let query = engine.query(q).unwrap();
+        let mut cfg = RunConfig::default();
+        cfg.synthesis.max_path_len = 7;
+        cfg.synthesis.timeout = Duration::from_secs(30);
+        let result = engine.run(&query, &cfg);
+        println!("task: {what}\nquery: {q}\ncandidates: {}", result.ranked.len());
+        if let Some(top) = result.ranked.first() {
+            println!("top-ranked program:\n{}\n", top.program);
+        } else {
+            println!("no candidates within budget\n");
+        }
+    }
+}

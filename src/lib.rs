@@ -1,0 +1,17 @@
+//! Workspace-root convenience crate for the APIphany reproduction.
+//!
+//! This crate only re-exports the member crates so that the integration
+//! tests in `tests/` and the runnable examples in `examples/` can use a
+//! single dependency. The real library lives in [`apiphany_core`] and the
+//! substrate crates it re-exports.
+
+pub use apiphany_benchmarks as benchmarks;
+pub use apiphany_core as core;
+pub use apiphany_json as json;
+pub use apiphany_lang as lang;
+pub use apiphany_mining as mining;
+pub use apiphany_re as re;
+pub use apiphany_services as services;
+pub use apiphany_spec as spec;
+pub use apiphany_synth as synth;
+pub use apiphany_ttn as ttn;

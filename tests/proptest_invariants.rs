@@ -1,0 +1,43 @@
+//! Cross-crate property tests on the synthesis pipeline's invariants.
+
+use apiphany_repro::core::{Apiphany, RunConfig};
+use apiphany_repro::lang::anf::{alpha_eq, canonicalize};
+use apiphany_repro::lang::parse_program;
+use apiphany_repro::re::{cost_of, CostParams, ReContext};
+use apiphany_repro::spec::fixtures::{fig4_witnesses, fig7_library};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// RE cost is deterministic given the seed, for every candidate of the
+    /// running example.
+    #[test]
+    fn re_cost_is_seed_deterministic(seed in 0u64..1000) {
+        let engine = Apiphany::from_witnesses(fig7_library(), fig4_witnesses());
+        let query = engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
+        let mut cfg = RunConfig::default();
+        cfg.synthesis.max_path_len = 7;
+        let result = engine.run(&query, &cfg);
+        let witnesses = engine.witnesses().to_vec();
+        let ctx = ReContext::new(engine.semlib(), &witnesses);
+        let params = CostParams { rounds: 3, seed, ..CostParams::default() };
+        for r in &result.ranked {
+            let a = cost_of(&ctx, &r.program, &query, &params);
+            let b = cost_of(&ctx, &r.program, &query, &params);
+            prop_assert_eq!(a.total(), b.total());
+        }
+    }
+
+    /// Canonicalization is idempotent and stable under re-parsing.
+    #[test]
+    fn canonicalization_is_stable(rename in "[a-z]{2,8}") {
+        let text = format!(
+            "\\{rename} → {{\n  c ← c_list()\n  if c.name = {rename}\n  return c.id\n}}"
+        );
+        let p = parse_program(&text).unwrap();
+        let q = parse_program(&p.to_string()).unwrap();
+        prop_assert!(alpha_eq(&p, &q));
+        prop_assert_eq!(canonicalize(&p), canonicalize(&q));
+    }
+}

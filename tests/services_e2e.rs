@@ -1,0 +1,66 @@
+//! End-to-end tests against the full-scale simulated services (Table 1
+//! sizes). Uses light analysis budgets so the tests stay debug-friendly.
+
+use apiphany_repro::benchmarks::{
+    benchmark, default_run_config, prepare_api, run_benchmark, scenario_witnesses, Api,
+};
+use apiphany_repro::mining::AnalyzeConfig;
+use apiphany_repro::spec::{witnesses_from_json, witnesses_to_json};
+
+fn light_analysis() -> AnalyzeConfig {
+    AnalyzeConfig {
+        max_rounds: 1,
+        attempts_per_subset: 1,
+        max_subsets_per_method: 2,
+        ..AnalyzeConfig::default()
+    }
+}
+
+#[test]
+fn sqare_easy_benchmarks_rank_first() {
+    let prepared = prepare_api(Api::Sqare, &light_analysis());
+    let cfg = default_run_config(20, 5);
+    for id in ["3.1", "3.4"] {
+        let bench = benchmark(id).unwrap();
+        let outcome = run_benchmark(&prepared.engine, &bench, &cfg);
+        assert!(outcome.solved, "{id} unsolved");
+        assert!(outcome.r_to.unwrap() <= 3, "{id} rank {:?}", outcome.r_to);
+    }
+}
+
+#[test]
+fn scenario_witnesses_roundtrip_as_json() {
+    for api in Api::ALL {
+        let w = scenario_witnesses(api);
+        let json = witnesses_to_json(&w);
+        let back = witnesses_from_json(&json).unwrap();
+        assert_eq!(back, w, "{} witness set round-trips", api.name());
+        // And through the textual JSON form too.
+        let text = json.to_json_pretty();
+        let reparsed = apiphany_repro::json::parse(&text).unwrap();
+        assert_eq!(witnesses_from_json(&reparsed).unwrap(), w);
+    }
+}
+
+#[test]
+fn libraries_match_table1_method_counts() {
+    use apiphany_repro::benchmarks::make_service;
+    let expected = [(Api::Slack, 174), (Api::Stripe, 300), (Api::Sqare, 175)];
+    for (api, n) in expected {
+        let svc = make_service(api);
+        assert_eq!(svc.library().stats().n_methods, n, "{}", api.name());
+    }
+}
+
+#[test]
+fn openapi_roundtrip_for_all_services() {
+    use apiphany_repro::benchmarks::make_service;
+    use apiphany_repro::spec::{library_from_openapi, library_to_openapi};
+    for api in Api::ALL {
+        let svc = make_service(api);
+        let doc = library_to_openapi(svc.library());
+        let lib = library_from_openapi(api.name(), &doc).unwrap();
+        assert_eq!(&lib.methods, &svc.library().methods);
+        assert_eq!(&lib.objects, &svc.library().objects);
+    }
+}
