@@ -371,6 +371,7 @@ macro_rules! json_internal {
     ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
     ({ $($tt:tt)+ }) => {
         $crate::Value::Object({
+            #![allow(clippy::vec_init_then_push)]
             let mut object: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
                 ::std::vec::Vec::new();
             $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));

@@ -41,7 +41,7 @@ impl Default for AnalyzeConfig {
             max_subsets_per_method: 8,
             attempts_per_subset: 3,
             max_witnesses_per_method: 150,
-            seed: 0x0A1F_A27, // arbitrary fixed default
+            seed: 0x00A1_FA27, // arbitrary fixed default
         }
     }
 }

@@ -231,11 +231,10 @@ impl<'a> Builder<'a> {
                         r.fields.iter().map(|f| (f.name.clone(), f.ty.clone())).collect()
                     })
                     .unwrap_or_default();
-                let result = fields;
                 // Recurse below, then un-mark.
-                let out = self.add_filter_fields(base, result, path, visiting);
+                self.add_filter_fields(base, fields, path, visiting);
                 visiting.remove(&o);
-                return out;
+                return;
             }
             SemTy::Record(r) => {
                 r.fields.iter().map(|f| (f.name.clone(), f.ty.clone())).collect()

@@ -156,6 +156,10 @@ fn ceil_div(a: i64, b: i64) -> i64 {
     }
 }
 
+/// Consumer of enumerated solutions: receives the fully propagated bounds
+/// and returns `false` to stop the search.
+pub type OnSolution<'a> = dyn FnMut(&[(i64, i64)]) -> bool + 'a;
+
 /// Enumerates all assignments of `branch_vars` admitting a feasible
 /// completion, invoking `on_solution` with the (fully propagated) bounds.
 /// Returns `false` if the consumer stopped the search.
@@ -163,7 +167,7 @@ pub fn solve_all(
     lp: &Lp,
     branch_vars: &[usize],
     deadline: Option<Instant>,
-    on_solution: &mut dyn FnMut(&[(i64, i64)]) -> bool,
+    on_solution: &mut OnSolution<'_>,
 ) -> SolveOutcome {
     let mut bounds = lp.bounds.clone();
     if propagate(lp, &mut bounds) == Prop::Infeasible {
@@ -189,7 +193,7 @@ fn branch(
     idx: usize,
     bounds: &mut [(i64, i64)],
     deadline: Option<Instant>,
-    on_solution: &mut dyn FnMut(&[(i64, i64)]) -> bool,
+    on_solution: &mut OnSolution<'_>,
 ) -> SolveOutcome {
     if let Some(d) = deadline {
         if Instant::now() >= d {

@@ -1,0 +1,130 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This crate implements the API subset used by the
+//! benches under `crates/bench/benches/`: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. It measures wall-clock
+//! time over a fixed number of iterations and prints one line per
+//! benchmark — no statistics, plots, or HTML reports.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    last_ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call, then a fixed-size timed batch.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.last_ns_per_iter = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// An opaque hint to the optimizer not to elide the computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: the stub exists so benches compile and produce
+        // a sanity number, not publication-grade statistics.
+        let iters = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5);
+        Criterion { iters }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), self.iters, &mut f);
+        self
+    }
+
+    pub fn benchmark_group<S: Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), iters: self.iters, _criterion: self }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    iters: u64,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the stub's fixed iteration count
+    /// is controlled by `CRITERION_STUB_ITERS` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.iters, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { last_ns_per_iter: 0.0, iters };
+    f(&mut b);
+    let ns = b.last_ns_per_iter;
+    if ns >= 1_000_000.0 {
+        println!("bench {name:<50} {:>12.3} ms/iter", ns / 1_000_000.0);
+    } else if ns >= 1_000.0 {
+        println!("bench {name:<50} {:>12.3} us/iter", ns / 1_000.0);
+    } else {
+        println!("bench {name:<50} {ns:>12.1} ns/iter");
+    }
+}
+
+/// Collect benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

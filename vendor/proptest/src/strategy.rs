@@ -1,0 +1,212 @@
+//! The [`Strategy`] trait and its combinators.
+//!
+//! Unlike the real proptest there is no shrinking and no `ValueTree`: a
+//! strategy is just a deterministic function from an RNG to a value.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::rc::Rc;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursively grow values: `self` is the leaf strategy, and `grow`
+    /// wraps a strategy for depth `d` into one for depth `d + 1`. The
+    /// `desired_size` / `expected_branch` hints are accepted for source
+    /// compatibility but unused — depth alone bounds recursion.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        grow: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        Recursive {
+            leaf: self.boxed(),
+            grow: Rc::new(move |inner| grow(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erase the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+#[doc(hidden)]
+pub trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    grow: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive { leaf: self.leaf.clone(), grow: Rc::clone(&self.grow), depth: self.depth }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        // Pick a depth for this value, then stack `grow` that many times.
+        // `grow`'s output strategies still reference the lower-depth
+        // strategy for their children, so shallow values remain common.
+        let d = rng.gen_range(0..=self.depth);
+        let mut strat = self.leaf.clone();
+        for _ in 0..d {
+            strat = (self.grow)(strat);
+        }
+        strat.generate(rng)
+    }
+}
+
+/// Uniform choice among several strategies of the same value type.
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        Union { variants }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { variants: self.variants.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.variants.len());
+        self.variants[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Regex-subset patterns as string strategies: `"[a-z]{1,6}"` etc.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        crate::string::generate_from_pattern(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ $(,)?))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}

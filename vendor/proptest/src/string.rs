@@ -1,0 +1,222 @@
+//! Regex-subset string generation.
+//!
+//! Supports exactly the pattern features the workspace's suites use:
+//!
+//! * character classes `[...]` with literal chars, `a-z` ranges, and
+//!   backslash escapes;
+//! * `\PC` — any non-control character;
+//! * literal characters;
+//! * counted repetition `{m}` / `{m,n}` after any of the above
+//!   (default count is exactly 1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Explicit set of candidate characters.
+    Class(Vec<char>),
+    /// `\PC`: any char outside the Unicode "control" category.
+    AnyNonControl,
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+///
+/// Panics on pattern features outside the supported subset — a loud
+/// failure beats silently generating strings that don't match the regex.
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..n {
+            out.push(sample(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample(atom: &Atom, rng: &mut StdRng) -> char {
+    match atom {
+        Atom::Class(chars) => chars[rng.gen_range(0..chars.len())],
+        Atom::AnyNonControl => {
+            // Mostly printable ASCII with a sprinkling of non-ASCII, which
+            // is what exercises parser edge cases without being a full
+            // Unicode table.
+            const EXTRA: [char; 8] = ['é', '世', 'λ', '→', 'Ω', 'ß', '€', '界'];
+            if rng.gen_bool(0.85) {
+                char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+            } else {
+                EXTRA[rng.gen_range(0..EXTRA.len())]
+            }
+        }
+        Atom::Literal(c) => *c,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') => {
+                        // `\PC` — negated single-letter category; only the
+                        // control category is supported.
+                        assert_eq!(
+                            chars.get(i + 1),
+                            Some(&'C'),
+                            "unsupported regex category in pattern {pattern:?}"
+                        );
+                        i += 2;
+                        Atom::AnyNonControl
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Atom::Literal(unescape(c))
+                    }
+                    None => panic!("dangling backslash in pattern {pattern:?}"),
+                }
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.'),
+                    "unsupported regex feature {c:?} in pattern {pattern:?}"
+                );
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_count(&chars, i, pattern);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parse the body of a `[...]` class starting at `start` (past the `[`).
+/// Returns the candidate set and the index just past the closing `]`.
+fn parse_class(chars: &[char], start: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    let mut i = start;
+    loop {
+        match chars.get(i) {
+            None => panic!("unterminated character class in pattern {pattern:?}"),
+            Some(']') => return (set, i + 1),
+            Some('\\') => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling backslash in pattern {pattern:?}"));
+                set.push(unescape(c));
+                i += 2;
+            }
+            Some(&lo) => {
+                // `a-z` range, unless the `-` is the last char of the class.
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|c| *c != ']') {
+                    let hi = chars[i + 2];
+                    assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+                    set.extend(lo..=hi);
+                    i += 3;
+                } else {
+                    set.push(lo);
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parse an optional `{m}` / `{m,n}` at `i`; default is exactly one.
+fn parse_count(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    if chars.get(i) != Some(&'{') {
+        return (1, 1, i);
+    }
+    let close = (i..chars.len())
+        .find(|&j| chars[j] == '}')
+        .unwrap_or_else(|| panic!("unterminated count in pattern {pattern:?}"));
+    let body: String = chars[i + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+        None => {
+            let n = body.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    (min, max, close + 1)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_count_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn escaped_chars_and_unicode_in_class() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pat = "[a-zA-Z0-9 _\\-\\\\\"\n\t\u{00e9}\u{4e16}]{0,20}";
+        for _ in 0..200 {
+            let s = generate_from_pattern(pat, &mut rng);
+            assert!(s.chars().count() <= 20);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric()
+                        || " _-\\\"\n\t\u{00e9}\u{4e16}".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_control_pattern() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = generate_from_pattern("\\PC{0,80}", &mut rng);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = generate_from_pattern("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.starts_with("ab"));
+    }
+}
