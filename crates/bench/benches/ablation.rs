@@ -3,7 +3,7 @@
 
 use apiphany_mining::{mine_types, parse_query, Granularity, MiningConfig};
 use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
-use apiphany_synth::{SynthesisConfig, Synthesizer};
+use apiphany_synth::{Budget, SynthesisConfig, Synthesizer};
 use apiphany_ttn::{build_ttn, BuildOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -22,8 +22,7 @@ fn bench_granularity(c: &mut Criterion) {
         group.bench_function(format!("{granularity:?}"), |b| {
             b.iter(|| {
                 let cfg = SynthesisConfig {
-                    max_path_len: 7,
-                    max_candidates: 200,
+                    budget: Budget { max_candidates: Some(200), ..Budget::depth(7) },
                     ..SynthesisConfig::default()
                 };
                 synth.synthesize_all(&q, &cfg).0.len()

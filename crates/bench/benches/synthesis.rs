@@ -2,7 +2,7 @@
 //! representative easy benchmarks (Table 2's sub-second rows).
 
 use apiphany_mining::parse_query;
-use apiphany_synth::{SynthesisConfig, Synthesizer};
+use apiphany_synth::{Budget, SynthesisConfig, Synthesizer};
 use apiphany_ttn::BuildOptions;
 use apiphany_mining::{mine_types, MiningConfig};
 use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
@@ -21,7 +21,7 @@ fn bench_synthesis(c: &mut Criterion) {
         let q = parse_query(synth.semlib(), query).unwrap();
         group.bench_function(name, |b| {
             b.iter(|| {
-                let cfg = SynthesisConfig { max_path_len: 7, ..SynthesisConfig::default() };
+                let cfg = SynthesisConfig { budget: Budget::depth(7), ..SynthesisConfig::default() };
                 synth.synthesize_all(&q, &cfg).0.len()
             })
         });

@@ -1,5 +1,9 @@
 //! Regenerates the paper's Fig. 13: benchmarks solved as a function of
 //! time, for APIphany and the two type-granularity ablations.
+//!
+//! Time-to-solution comes from the engine's event stream: `run_benchmark`
+//! records the `elapsed` of the gold candidate's `CandidateFound` event as
+//! it arrives, rather than re-deriving timing from the final ranking.
 
 use apiphany_benchmarks::{
     benchmarks, default_analyze_config, default_run_config, prepare_api, report, run_benchmark,

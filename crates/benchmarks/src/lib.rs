@@ -59,7 +59,11 @@ impl CliOptions {
                     }
                 }
                 "--max-len" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    // 0 would make the search budget invalid (no path can
+                    // be enumerated); keep the default instead.
+                    if let Some(v) =
+                        args.get(i + 1).and_then(|s| s.parse().ok()).filter(|&v: &usize| v > 0)
+                    {
                         opts.max_path_len = v;
                         i += 1;
                     }

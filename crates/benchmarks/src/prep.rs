@@ -87,7 +87,7 @@ fn finish(
         analyze,
         &BuildOptions::default(),
     );
-    let analysis = engine.analysis_stats().expect("analysis ran");
+    let analysis = engine.analysis_stats().expect("analysis ran").clone();
     let witnesses = engine.witnesses().to_vec();
     Prepared { api, engine, analysis, library, witnesses }
 }

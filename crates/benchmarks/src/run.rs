@@ -1,9 +1,15 @@
 //! Running benchmarks: one engine + one benchmark → the paper's Table 2
 //! row (solved?, time, `r_orig`, `r_RE`, #cands, `r_RE^TO`).
+//!
+//! The harness consumes the engine's streaming session API: the gold
+//! solution is spotted *as its candidate event arrives* (that event's
+//! `elapsed` is the Fig. 13 time-to-solution measurement), and the final
+//! `Finished` event carries the ranking for the `r_RE^TO` column.
 
 use std::time::Duration;
 
-use apiphany_core::{Apiphany, RunConfig};
+use apiphany_core::{Apiphany, Budget, Event, RunConfig};
+use apiphany_lang::anf::canonicalize;
 use apiphany_lang::{parse_program, Metrics};
 
 use crate::defs::Benchmark;
@@ -17,7 +23,8 @@ pub struct BenchOutcome {
     pub gold_metrics: Metrics,
     /// Whether the gold solution was found within the budget.
     pub solved: bool,
-    /// Time at which the gold candidate was generated.
+    /// Time at which the gold candidate was generated (taken from its
+    /// streamed `CandidateFound` event).
     pub time_to_gold: Option<Duration>,
     /// 1-based generation rank of the gold (`r_orig`).
     pub r_orig: Option<usize>,
@@ -33,7 +40,22 @@ pub struct BenchOutcome {
     pub re_time: Duration,
 }
 
-/// Runs one benchmark against an engine.
+fn unsolved(id: &str, gold_metrics: Metrics) -> BenchOutcome {
+    BenchOutcome {
+        id: id.to_string(),
+        gold_metrics,
+        solved: false,
+        time_to_gold: None,
+        r_orig: None,
+        r_re: None,
+        r_to: None,
+        n_candidates: 0,
+        total_time: Duration::ZERO,
+        re_time: Duration::ZERO,
+    }
+}
+
+/// Runs one benchmark against an engine by consuming its event stream.
 ///
 /// # Panics
 ///
@@ -42,40 +64,46 @@ pub struct BenchOutcome {
 pub fn run_benchmark(engine: &Apiphany, bench: &Benchmark, cfg: &RunConfig) -> BenchOutcome {
     let gold = parse_program(bench.gold).expect("gold solutions parse");
     let gold_metrics = gold.metrics();
+    let canon_gold = canonicalize(&gold);
     let Ok(query) = engine.query(bench.query) else {
         // Under coarse/fine ablation granularities a query type name can
         // fail to resolve; that counts as unsolved.
-        return BenchOutcome {
-            id: bench.id.to_string(),
-            gold_metrics,
-            solved: false,
-            time_to_gold: None,
-            r_orig: None,
-            r_re: None,
-            r_to: None,
-            n_candidates: 0,
-            total_time: Duration::ZERO,
-            re_time: Duration::ZERO,
-        };
+        return unsolved(bench.id, gold_metrics);
     };
-    let result = engine.run(&query, cfg);
-    let ranks = result.ranks_of(&gold);
-    let time_to_gold = ranks.map(|(r_orig, _, _)| {
-        result
-            .ranked
-            .iter()
-            .find(|r| r.gen_index + 1 == r_orig)
-            .map(|r| r.elapsed)
-            .unwrap_or(result.total_time)
-    });
+    let session = engine
+        .session(&query, cfg)
+        .expect("benchmark run configurations carry valid budgets");
+
+    let mut time_to_gold = None;
+    let mut r_orig = None;
+    let mut r_re = None;
+    let mut finished = None;
+    for event in session {
+        match event {
+            Event::CandidateFound { canonical, r_orig: gen, r_re_now, elapsed, .. } => {
+                // Spot the gold as it streams by (against the canonical
+                // form cached at generation time); `elapsed` is the
+                // Fig. 13 time-to-solution measurement.
+                if time_to_gold.is_none() && canonical == canon_gold {
+                    time_to_gold = Some(elapsed);
+                    r_orig = Some(gen);
+                    r_re = Some(r_re_now);
+                }
+            }
+            Event::Finished(result) => finished = Some(result),
+            Event::DepthExhausted { .. } | Event::BudgetExhausted => {}
+        }
+    }
+    let result = finished.expect("session always finishes");
+    let r_to = result.ranks_of(&gold).map(|(_, _, r_to)| r_to);
     BenchOutcome {
         id: bench.id.to_string(),
         gold_metrics,
-        solved: ranks.is_some(),
+        solved: time_to_gold.is_some(),
         time_to_gold,
-        r_orig: ranks.map(|(a, _, _)| a),
-        r_re: ranks.map(|(_, b, _)| b),
-        r_to: ranks.map(|(_, _, c)| c),
+        r_orig,
+        r_re,
+        r_to,
         n_candidates: result.ranked.len(),
         total_time: result.total_time,
         re_time: result.re_time,
@@ -88,8 +116,10 @@ pub fn run_benchmark(engine: &Apiphany, bench: &Benchmark, cfg: &RunConfig) -> B
 /// binaries for the paper's setting.
 pub fn default_run_config(timeout_secs: u64, max_path_len: usize) -> RunConfig {
     let mut cfg = RunConfig::default();
-    cfg.synthesis.timeout = Duration::from_secs(timeout_secs);
-    cfg.synthesis.max_path_len = max_path_len;
-    cfg.synthesis.max_candidates = 60_000;
+    cfg.synthesis.budget = Budget {
+        wall_clock: Some(Duration::from_secs(timeout_secs)),
+        max_depth: max_path_len,
+        max_candidates: Some(60_000),
+    };
     cfg
 }

@@ -1,0 +1,121 @@
+//! The analysis artifact: the serialized output of the once-per-API
+//! analysis phase.
+//!
+//! The analysis phase (paper §4 / Appendix D) is the expensive half of the
+//! pipeline — it talks to a sandboxed service for many rounds. Its output,
+//! the mined semantic library plus the witness set, is everything a
+//! serving process needs to answer queries. An [`AnalysisArtifact`]
+//! packages the two (plus the run's statistics) as JSON, so analysis runs
+//! once and the artifact is shipped to any number of synthesis processes:
+//!
+//! ```
+//! use apiphany_core::Engine;
+//! use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+//!
+//! let engine = Engine::from_witnesses(fig7_library(), fig4_witnesses());
+//! let json = engine.save_analysis().to_json();
+//! let reloaded = Engine::load_analysis(&json).unwrap();
+//! assert_eq!(reloaded.semlib().n_groups(), engine.semlib().n_groups());
+//! ```
+
+use apiphany_json::{parse, Value};
+use apiphany_mining::{AnalyzeStats, SemLib};
+use apiphany_spec::{witnesses_from_json, witnesses_to_json, DecodeError, Witness};
+
+use crate::error::EngineError;
+
+/// The format tag embedded in every serialized artifact, checked on load.
+const FORMAT: &str = "apiphany-analysis/v1";
+
+/// The reusable product of one analysis run: the mined semantic library,
+/// the witness set retrospective execution replays, and (when the analysis
+/// ran against a live service) the run statistics.
+#[derive(Debug, Clone)]
+pub struct AnalysisArtifact {
+    /// The mined semantic library (paper Fig. 8's `Λ̂`).
+    pub semlib: SemLib,
+    /// The collected witness set `W`.
+    pub witnesses: Vec<Witness>,
+    /// Statistics of the analysis run, when one was performed.
+    pub stats: Option<AnalyzeStats>,
+}
+
+impl AnalysisArtifact {
+    /// Encodes the artifact to a JSON value.
+    pub fn to_value(&self) -> Value {
+        let stats = match &self.stats {
+            None => Value::Null,
+            Some(s) => Value::obj([
+                ("n_witnesses", Value::from(s.n_witnesses)),
+                ("n_covered_methods", Value::from(s.n_covered_methods)),
+                ("rounds", Value::from(s.rounds)),
+            ]),
+        };
+        Value::obj([
+            ("format", Value::from(FORMAT)),
+            ("semlib", self.semlib.to_value()),
+            ("witnesses", witnesses_to_json(&self.witnesses)),
+            ("stats", stats),
+        ])
+    }
+
+    /// Encodes the artifact to a JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Decodes an artifact from a JSON value produced by
+    /// [`AnalysisArtifact::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Artifact`] when the format tag is missing or
+    /// unknown, or any component is malformed.
+    pub fn from_value(v: &Value) -> Result<AnalysisArtifact, EngineError> {
+        let format = v
+            .get("format")
+            .and_then(Value::as_str)
+            .ok_or_else(|| DecodeError("artifact: missing format tag".into()))?;
+        if format != FORMAT {
+            return Err(DecodeError(format!(
+                "artifact: unsupported format '{format}' (expected '{FORMAT}')"
+            ))
+            .into());
+        }
+        let semlib = SemLib::from_value(
+            v.get("semlib").ok_or_else(|| DecodeError("artifact: missing semlib".into()))?,
+        )?;
+        let witnesses = witnesses_from_json(
+            v.get("witnesses")
+                .ok_or_else(|| DecodeError("artifact: missing witnesses".into()))?,
+        )
+        .map_err(|e| DecodeError(e.to_string()))?;
+        let stats = match v.get("stats") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(AnalyzeStats {
+                n_witnesses: decode_count(s, "n_witnesses")?,
+                n_covered_methods: decode_count(s, "n_covered_methods")?,
+                rounds: decode_count(s, "rounds")?,
+            }),
+        };
+        Ok(AnalysisArtifact { semlib, witnesses, stats })
+    }
+
+    /// Decodes an artifact from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Json`] when the text is not JSON and
+    /// [`EngineError::Artifact`] when the JSON has the wrong shape.
+    pub fn from_json(text: &str) -> Result<AnalysisArtifact, EngineError> {
+        AnalysisArtifact::from_value(&parse(text)?)
+    }
+}
+
+fn decode_count(v: &Value, key: &str) -> Result<usize, EngineError> {
+    v.get(key)
+        .and_then(Value::as_int)
+        .filter(|&i| i >= 0)
+        .map(|i| i as usize)
+        .ok_or_else(|| DecodeError(format!("artifact stats: missing count '{key}'")).into())
+}

@@ -1,0 +1,71 @@
+//! Structured errors for the engine's public surface.
+
+use std::fmt;
+
+use apiphany_json::ParseJsonError;
+use apiphany_mining::QueryParseError;
+use apiphany_spec::DecodeError;
+use apiphany_ttn::InvalidBudget;
+
+/// Everything that can go wrong on the engine's public surface.
+///
+/// The engine never panics on user input: query text, serialized analysis
+/// artifacts, and budgets all fail through this enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A type query failed to parse or name an unknown semantic type.
+    Query(QueryParseError),
+    /// An analysis artifact was structurally malformed.
+    Artifact(DecodeError),
+    /// An analysis artifact was not valid JSON at all.
+    Json(ParseJsonError),
+    /// A session budget was misconfigured (zero depth or zero candidate
+    /// cap — limits under which no candidate could ever be produced).
+    Budget(InvalidBudget),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Query(e) => e.fmt(f),
+            EngineError::Artifact(e) => write!(f, "analysis artifact: {e}"),
+            EngineError::Json(e) => write!(f, "analysis artifact: {e}"),
+            EngineError::Budget(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Query(e) => Some(e),
+            EngineError::Artifact(e) => Some(e),
+            EngineError::Json(e) => Some(e),
+            EngineError::Budget(e) => Some(e),
+        }
+    }
+}
+
+impl From<QueryParseError> for EngineError {
+    fn from(e: QueryParseError) -> EngineError {
+        EngineError::Query(e)
+    }
+}
+
+impl From<DecodeError> for EngineError {
+    fn from(e: DecodeError) -> EngineError {
+        EngineError::Artifact(e)
+    }
+}
+
+impl From<ParseJsonError> for EngineError {
+    fn from(e: ParseJsonError) -> EngineError {
+        EngineError::Json(e)
+    }
+}
+
+impl From<InvalidBudget> for EngineError {
+    fn from(e: InvalidBudget) -> EngineError {
+        EngineError::Budget(e)
+    }
+}

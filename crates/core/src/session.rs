@@ -1,0 +1,223 @@
+//! Synthesis sessions: a pull-based event stream over one synthesis run.
+//!
+//! A [`Session`] is created by [`crate::Engine::session`] and implements
+//! `Iterator<Item = Event>`: candidates arrive as they are generated and
+//! RE-ranked (paper Fig. 1, right half), interleaved with progress markers,
+//! and the final [`Event::Finished`] carries the complete
+//! [`RunResult`]. The stream is *live* — the first
+//! [`Event::CandidateFound`] is observable long before the budget elapses —
+//! and *step-driven*: the search runs on a dedicated worker thread behind a
+//! rendezvous channel, so it only advances past an event when the consumer
+//! pulls it.
+//!
+//! Cancellation is cooperative: [`Session::cancel`] (or any clone of
+//! [`Session::cancel_token`]) flips a flag the TTN search polls at every
+//! node. A cancelled session still delivers its final `Finished` event with
+//! everything ranked so far, and dropping a session mid-stream cancels and
+//! reaps the worker.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use apiphany_lang::anf::AnfProgram;
+use apiphany_lang::Program;
+use apiphany_mining::Query;
+use apiphany_re::{cost_of, ReContext, Ranker};
+use apiphany_synth::{CancelToken, Outcome, SynthEvent};
+
+use crate::{EngineInner, RankedProgram, RunConfig, RunResult};
+
+/// One notification from a [`Session`].
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A distinct well-typed candidate, ranked by retrospective execution
+    /// at the moment it was generated.
+    CandidateFound {
+        /// The synthesized, well-typed `λ_A` program.
+        program: Program,
+        /// The canonical (alpha-renamed ANF) form of `program`, computed
+        /// once during synthesis — compare against a canonicalized gold
+        /// instead of re-canonicalizing the streamed program.
+        canonical: AnfProgram,
+        /// 1-based generation rank (the paper's `r_orig`).
+        r_orig: usize,
+        /// 1-based RE rank at this moment (the paper's `r_RE`).
+        r_re_now: usize,
+        /// Total cost (AST size + penalties).
+        cost: f64,
+        /// Time since the session started when the candidate appeared.
+        elapsed: Duration,
+    },
+    /// Every TTN path of length `depth` has been processed; any further
+    /// candidate comes from a longer path.
+    DepthExhausted {
+        /// The completed iterative-deepening level.
+        depth: usize,
+    },
+    /// The budget ran out (wall-clock elapsed or candidate cap reached).
+    /// Followed by the final `Finished` event.
+    BudgetExhausted,
+    /// The run is over; carries the final ranking. Always the last event.
+    Finished(RunResult),
+}
+
+/// A cancellable, streaming synthesis run: an `Iterator<Item = Event>`
+/// over one query's candidates, created by [`crate::Engine::session`].
+#[derive(Debug)]
+pub struct Session {
+    rx: Option<Receiver<Event>>,
+    cancel: CancelToken,
+    worker: Option<JoinHandle<()>>,
+    finished: bool,
+}
+
+impl Session {
+    pub(crate) fn spawn(inner: Arc<EngineInner>, query: Query, cfg: RunConfig) -> Session {
+        // A rendezvous channel: the worker blocks on every send until the
+        // consumer pulls, so the search is step-driven by the iterator.
+        let (tx, rx) = sync_channel(0);
+        let cancel = CancelToken::new();
+        let worker_cancel = cancel.clone();
+        let worker =
+            std::thread::spawn(move || run_worker(&inner, &query, &cfg, &worker_cancel, &tx));
+        Session { rx: Some(rx), cancel, worker: Some(worker), finished: false }
+    }
+
+    /// Requests cooperative cancellation. The session keeps yielding any
+    /// in-flight events and then delivers [`Event::Finished`] with
+    /// everything ranked so far (its stats report
+    /// [`Outcome::Cancelled`]).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A clonable handle for cancelling this session from elsewhere (a
+    /// request handler's shutdown hook, another thread, a timeout reaper).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Consumes the rest of the stream and returns the final result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's worker terminated abnormally (a bug — the
+    /// worker always delivers `Finished`, even when cancelled).
+    pub fn drain(mut self) -> RunResult {
+        for event in &mut self {
+            if let Event::Finished(result) = event {
+                return result;
+            }
+        }
+        panic!("session worker terminated without a Finished event");
+    }
+}
+
+impl Iterator for Session {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        if self.finished {
+            return None;
+        }
+        let rx = self.rx.as_ref()?;
+        match rx.recv() {
+            Ok(event) => {
+                if matches!(event, Event::Finished(_)) {
+                    self.finished = true;
+                }
+                Some(event)
+            }
+            Err(_) => {
+                // Worker gone without Finished: only possible if it
+                // panicked; surface as end-of-stream (drain() panics).
+                self.finished = true;
+                None
+            }
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.cancel.cancel();
+        // Close the channel first so a worker blocked on the rendezvous
+        // send unblocks immediately, then reap it.
+        self.rx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The session body: synthesize, rank each candidate as it appears, stream
+/// events, and finish with the complete ranking.
+fn run_worker(
+    inner: &EngineInner,
+    query: &Query,
+    cfg: &RunConfig,
+    cancel: &CancelToken,
+    tx: &SyncSender<Event>,
+) {
+    let start = Instant::now();
+    let ctx = ReContext::new(inner.synthesizer.semlib(), &inner.witnesses);
+    let mut ranker: Ranker<RankedProgram> = Ranker::new();
+    let mut abandoned = false;
+    let stats = inner.synthesizer.synthesize(query, &cfg.synthesis, cancel, &mut |event| {
+        let to_send = match event {
+            SynthEvent::Candidate(cand) => {
+                let cost = cost_of(&ctx, &cand.program, query, &cfg.cost);
+                let rank_now = ranker.rank_if_inserted(&cost, cand.index);
+                let notification = Event::CandidateFound {
+                    program: cand.program.clone(),
+                    canonical: cand.canonical.clone(),
+                    r_orig: cand.index + 1,
+                    r_re_now: rank_now,
+                    cost: cost.total(),
+                    elapsed: cand.elapsed,
+                };
+                let entry = RankedProgram {
+                    program: cand.program,
+                    canonical: cand.canonical,
+                    gen_index: cand.index,
+                    rank_at_generation: rank_now,
+                    cost: cost.total(),
+                    path_len: cand.path_len,
+                    elapsed: cand.elapsed,
+                };
+                let index = cand.index;
+                ranker.insert(entry, index, cost);
+                notification
+            }
+            SynthEvent::DepthExhausted { depth } => Event::DepthExhausted { depth },
+        };
+        if tx.send(to_send).is_err() {
+            // Consumer dropped the session: stop working.
+            abandoned = true;
+            return false;
+        }
+        true
+    });
+    if abandoned {
+        return;
+    }
+    let re_time = ranker.total_re_time();
+    let ranked: Vec<RankedProgram> =
+        ranker.into_entries().into_iter().map(|entry| entry.item).collect();
+    let candidate_cap_hit = cfg
+        .synthesis
+        .budget
+        .max_candidates
+        .is_some_and(|cap| stats.candidates >= cap);
+    // A cancel can race the cap check: if the outcome says Cancelled,
+    // report cancellation, not budget exhaustion.
+    let budget_exhausted = stats.outcome == Outcome::TimedOut
+        || (stats.outcome == Outcome::Stopped && candidate_cap_hit);
+    let result = RunResult { ranked, stats, re_time, total_time: start.elapsed() };
+    if budget_exhausted && tx.send(Event::BudgetExhausted).is_err() {
+        return;
+    }
+    let _ = tx.send(Event::Finished(result));
+}

@@ -48,7 +48,12 @@ impl Default for AnalyzeConfig {
 
 /// Statistics from one analysis run (the "API Analysis" columns of the
 /// paper's Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Deliberately not `Copy`: the struct is expected to grow richer,
+/// allocation-carrying fields (per-method coverage, timing breakdowns),
+/// and the public API hands out references ([`crate::analyze_api`] owners
+/// clone explicitly where they need ownership).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalyzeStats {
     /// Total witnesses collected (`|W|`).
     pub n_witnesses: usize,

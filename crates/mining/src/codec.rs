@@ -1,0 +1,325 @@
+//! JSON codec for the mined semantic library ([`SemLib`]).
+//!
+//! Type mining (paper §4) is the expensive, once-per-API half of the
+//! pipeline; serializing its output lets one analysis run feed any number
+//! of synthesis processes. The encoding is self-contained: it carries the
+//! underlying syntactic library, the semantic object and method
+//! signatures, the full group table (loc-sets, value banks, display
+//! names), the canonical-location index, and the object value bank — so a
+//! decoded `SemLib` is observationally identical to the one that was
+//! encoded (same group ids, same query resolution, same TTN, same RE
+//! sampling banks).
+
+use std::collections::{BTreeMap, HashMap};
+
+use apiphany_json::Value;
+use apiphany_spec::codec::{
+    library_from_value, library_to_value, loc_from_value, loc_to_value, sem_record_ty_from_value,
+    sem_record_ty_to_value, sem_ty_from_value, sem_ty_to_value,
+};
+use apiphany_spec::{DecodeError, GroupId, Loc, SemTy};
+
+use crate::semlib::{GroupData, SemLib, SemMethodSig};
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, DecodeError> {
+    v.get(key).ok_or_else(|| DecodeError(format!("semlib: missing field '{key}'")))
+}
+
+fn as_array<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], DecodeError> {
+    v.as_array().ok_or_else(|| DecodeError(format!("{what}: expected array")))
+}
+
+fn as_str<'a>(v: &'a Value, what: &str) -> Result<&'a str, DecodeError> {
+    v.as_str().ok_or_else(|| DecodeError(format!("{what}: expected string")))
+}
+
+fn group_id(v: &Value) -> Result<GroupId, DecodeError> {
+    v.as_int()
+        .filter(|&i| i >= 0 && i <= i64::from(u32::MAX))
+        .map(|i| GroupId(i as u32))
+        .ok_or_else(|| DecodeError("group id: expected u32".into()))
+}
+
+/// Checks that every loc-set type inside `ty` points into the decoded
+/// group table — a dangling [`GroupId`] would otherwise surface later as
+/// an index panic (e.g. in `SemLib::group`) instead of a decode error.
+fn check_group_refs(ty: &SemTy, n_groups: usize, what: &str) -> Result<(), DecodeError> {
+    match ty {
+        SemTy::Group(g) => {
+            if (g.0 as usize) < n_groups {
+                Ok(())
+            } else {
+                Err(DecodeError(format!(
+                    "{what}: group {g} out of range ({n_groups} groups)"
+                )))
+            }
+        }
+        SemTy::Object(_) => Ok(()),
+        SemTy::Array(elem) => check_group_refs(elem, n_groups, what),
+        SemTy::Record(rec) => rec
+            .fields
+            .iter()
+            .try_for_each(|f| check_group_refs(&f.ty, n_groups, what)),
+    }
+}
+
+impl SemLib {
+    /// Encodes the semantic library to a JSON value.
+    ///
+    /// Hash-map components (the canonical-location index and the object
+    /// bank) are emitted in sorted order, so the encoding is deterministic
+    /// and diff-friendly.
+    pub fn to_value(&self) -> Value {
+        let objects: Vec<Value> = self
+            .objects
+            .iter()
+            .map(|(name, rec)| {
+                Value::obj([
+                    ("name", Value::from(name.as_str())),
+                    ("fields", sem_record_ty_to_value(rec)),
+                ])
+            })
+            .collect();
+        let methods: Vec<Value> = self
+            .methods
+            .iter()
+            .map(|(name, sig)| {
+                Value::obj([
+                    ("name", Value::from(name.as_str())),
+                    ("params", sem_record_ty_to_value(&sig.params)),
+                    ("response", sem_ty_to_value(&sig.response)),
+                ])
+            })
+            .collect();
+        let groups: Vec<Value> = self
+            .groups
+            .iter()
+            .map(|g| {
+                Value::obj([
+                    ("locs", Value::Array(g.locs.iter().map(loc_to_value).collect())),
+                    ("values", Value::Array(g.values.clone())),
+                    ("display", Value::from(g.display.as_str())),
+                ])
+            })
+            .collect();
+        let mut loc_index: Vec<(&Loc, GroupId)> =
+            self.loc_to_group.iter().map(|(l, &g)| (l, g)).collect();
+        loc_index.sort();
+        let loc_to_group: Vec<Value> = loc_index
+            .into_iter()
+            .map(|(l, g)| Value::arr([loc_to_value(l), Value::from(g.0)]))
+            .collect();
+        let mut bank_index: Vec<(&String, &Vec<Value>)> = self.object_bank.iter().collect();
+        bank_index.sort_by(|a, b| a.0.cmp(b.0));
+        let object_bank: Vec<Value> = bank_index
+            .into_iter()
+            .map(|(name, values)| {
+                Value::obj([
+                    ("object", Value::from(name.as_str())),
+                    ("values", Value::Array(values.clone())),
+                ])
+            })
+            .collect();
+        Value::obj([
+            ("library", library_to_value(&self.lib)),
+            ("objects", Value::Array(objects)),
+            ("methods", Value::Array(methods)),
+            ("groups", Value::Array(groups)),
+            ("loc_to_group", Value::Array(loc_to_group)),
+            ("object_bank", Value::Array(object_bank)),
+        ])
+    }
+
+    /// Decodes a semantic library from a JSON value produced by
+    /// [`SemLib::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when a field is missing, malformed, or a
+    /// group reference points outside the decoded group table.
+    pub fn from_value(v: &Value) -> Result<SemLib, DecodeError> {
+        let lib = library_from_value(field(v, "library")?)?;
+        let mut objects = BTreeMap::new();
+        for obj in as_array(field(v, "objects")?, "semlib objects")? {
+            let name = as_str(field(obj, "name")?, "object name")?.to_string();
+            objects.insert(name, sem_record_ty_from_value(field(obj, "fields")?)?);
+        }
+        let mut methods = BTreeMap::new();
+        for m in as_array(field(v, "methods")?, "semlib methods")? {
+            let name = as_str(field(m, "name")?, "method name")?.to_string();
+            let sig = SemMethodSig {
+                params: sem_record_ty_from_value(field(m, "params")?)?,
+                response: sem_ty_from_value(field(m, "response")?)?,
+            };
+            methods.insert(name, sig);
+        }
+        let mut groups = Vec::new();
+        for g in as_array(field(v, "groups")?, "semlib groups")? {
+            let locs = as_array(field(g, "locs")?, "group locs")?
+                .iter()
+                .map(loc_from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            let values = as_array(field(g, "values")?, "group values")?.to_vec();
+            let display = as_str(field(g, "display")?, "group display")?.to_string();
+            groups.push(GroupData { locs, values, display });
+        }
+        let mut loc_to_group = HashMap::new();
+        for pair in as_array(field(v, "loc_to_group")?, "loc_to_group")? {
+            let items = as_array(pair, "loc_to_group entry")?;
+            if items.len() != 2 {
+                return Err(DecodeError("loc_to_group entry: expected [loc, group]".into()));
+            }
+            let loc = loc_from_value(&items[0])?;
+            let gid = group_id(&items[1])?;
+            if gid.0 as usize >= groups.len() {
+                return Err(DecodeError(format!(
+                    "loc_to_group entry: group {gid} out of range ({} groups)",
+                    groups.len()
+                )));
+            }
+            loc_to_group.insert(loc, gid);
+        }
+        let mut object_bank = HashMap::new();
+        for entry in as_array(field(v, "object_bank")?, "object_bank")? {
+            let name = as_str(field(entry, "object")?, "bank object name")?.to_string();
+            let values = as_array(field(entry, "values")?, "bank values")?.to_vec();
+            object_bank.insert(name, values);
+        }
+        // Every group reference in the semantic signatures must resolve
+        // against the decoded group table.
+        for (name, rec) in &objects {
+            for f in &rec.fields {
+                check_group_refs(&f.ty, groups.len(), &format!("object {name}.{}", f.name))?;
+            }
+        }
+        for (name, sig) in &methods {
+            for f in &sig.params.fields {
+                check_group_refs(&f.ty, groups.len(), &format!("method {name} param {}", f.name))?;
+            }
+            check_group_refs(&sig.response, groups.len(), &format!("method {name} response"))?;
+        }
+        Ok(SemLib { lib, objects, methods, groups, loc_to_group, object_bank })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine::{mine_types, MiningConfig};
+    use apiphany_json::parse;
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+    use apiphany_spec::SemTy;
+
+    fn semlib() -> SemLib {
+        mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default())
+    }
+
+    #[test]
+    fn semlib_roundtrips_through_json_text() {
+        let sl = semlib();
+        let text = sl.to_value().to_json();
+        let back = SemLib::from_value(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back.lib, sl.lib);
+        assert_eq!(back.objects, sl.objects);
+        assert_eq!(back.methods, sl.methods);
+        assert_eq!(back.n_groups(), sl.n_groups());
+        for (id, g) in sl.groups_iter() {
+            assert_eq!(back.group(id), g);
+        }
+    }
+
+    #[test]
+    fn decoded_semlib_resolves_queries_identically() {
+        let sl = semlib();
+        let back = SemLib::from_value(&sl.to_value()).unwrap();
+        for name in ["Channel.name", "User.id", "Profile.email", "u_info.in.user", "User"] {
+            assert_eq!(back.resolve_named_ty(name), sl.resolve_named_ty(name), "{name}");
+        }
+        // Group merging is preserved: the Fig. 4 merge of u_info's
+        // parameter with User.id survives the roundtrip.
+        let a = back.resolve_named_ty("u_info.in.user").unwrap();
+        let b = back.resolve_named_ty("User.id").unwrap();
+        assert_eq!(a, b);
+        assert!(matches!(a, SemTy::Group(_)));
+    }
+
+    #[test]
+    fn decoded_semlib_keeps_value_banks() {
+        let sl = semlib();
+        let back = SemLib::from_value(&sl.to_value()).unwrap();
+        for (id, g) in sl.groups_iter() {
+            assert_eq!(back.group(id).values, g.values);
+        }
+        for name in sl.lib.objects.keys() {
+            assert_eq!(back.object_values(name), sl.object_values(name));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_group() {
+        let sl = semlib();
+        let mut v = sl.to_value();
+        // Corrupt the loc index to point at a non-existent group.
+        if let Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "loc_to_group" {
+                    if let Value::Array(pairs) = val {
+                        if let Some(Value::Array(pair)) = pairs.first_mut() {
+                            pair[1] = Value::from(9_999);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(SemLib::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_missing_fields() {
+        assert!(SemLib::from_value(&apiphany_json::json!({"library": {}})).is_err());
+    }
+
+    /// Sets every `{"group": N}` reference under `v` to 9 999.
+    fn corrupt_group_refs(v: &mut Value) {
+        match v {
+            Value::Object(fields) => {
+                for (k, val) in fields.iter_mut() {
+                    if k == "group" && val.as_int().is_some() {
+                        *val = Value::from(9_999);
+                    } else {
+                        corrupt_group_refs(val);
+                    }
+                }
+            }
+            Value::Array(items) => items.iter_mut().for_each(corrupt_group_refs),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn decode_rejects_dangling_groups_in_signatures() {
+        let sl = semlib();
+        // Corrupt the method signatures only (not loc_to_group).
+        let mut v = sl.to_value();
+        if let Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "methods" {
+                    corrupt_group_refs(val);
+                }
+            }
+        }
+        let err = SemLib::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        // Same for object signatures.
+        let mut v = sl.to_value();
+        if let Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "objects" {
+                    corrupt_group_refs(val);
+                }
+            }
+        }
+        assert!(SemLib::from_value(&v).is_err());
+    }
+}

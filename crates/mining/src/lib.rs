@@ -30,6 +30,7 @@
 //! ```
 
 mod analyze;
+mod codec;
 mod dsu;
 mod infer;
 mod mine;

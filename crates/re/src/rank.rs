@@ -173,6 +173,13 @@ impl<T> Ranker<T> {
         &self.entries
     }
 
+    /// Consumes the ranker, yielding the entries in rank order. This moves
+    /// the payloads out instead of cloning them — the intended way to turn
+    /// a finished ranking into a result list.
+    pub fn into_entries(self) -> Vec<RankedEntry<T>> {
+        self.entries
+    }
+
     /// The top `k` entries.
     pub fn top(&self, k: usize) -> &[RankedEntry<T>] {
         &self.entries[..k.min(self.entries.len())]
@@ -312,5 +319,23 @@ mod tests {
         assert_eq!(r.rank_of_index(2), Some(3));
         assert_eq!(r.top(2).len(), 2);
         assert_eq!(r.top(2)[0].item, "b");
+    }
+
+    #[test]
+    fn into_entries_moves_items_in_rank_order() {
+        // A non-Clone payload proves the entries are moved, not cloned.
+        struct NoClone(&'static str);
+        let mk = |base: f64| Cost {
+            base,
+            penalty: 0.0,
+            n_failed: 0,
+            n_empty: 0,
+            re_time: Duration::ZERO,
+        };
+        let mut r: Ranker<NoClone> = Ranker::new();
+        r.insert(NoClone("a"), 0, mk(10.0));
+        r.insert(NoClone("b"), 1, mk(5.0));
+        let items: Vec<&str> = r.into_entries().into_iter().map(|e| e.item.0).collect();
+        assert_eq!(items, vec!["b", "a"]);
     }
 }

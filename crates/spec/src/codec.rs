@@ -1,0 +1,384 @@
+//! JSON codecs for the specification model: syntactic and semantic types,
+//! locations, and whole libraries.
+//!
+//! These are the building blocks of the engine's *analysis artifact* — the
+//! serialized output of the once-per-API analysis phase (paper §4), saved
+//! by one process and reloaded by many serving processes. Every encoder has
+//! a matching decoder and the pair round-trips exactly; decoders return a
+//! structured [`DecodeError`] instead of panicking on malformed input.
+//!
+//! Locations are encoded *structurally* (root kind + label list) rather
+//! than as dotted strings: real APIs may have fields literally named `in`,
+//! `out`, or `0`, which the textual form could not distinguish from the
+//! reserved labels.
+
+use std::fmt;
+
+use apiphany_json::Value;
+
+use crate::library::{Library, MethodSig};
+use crate::loc::{Label, Loc, Root};
+use crate::ty::{FieldTy, GroupId, RecordTy, SemFieldTy, SemRecordTy, SemTy, SynTy};
+
+/// Error produced by the decoders in this module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl DecodeError {
+    pub(crate) fn new(msg: impl Into<String>) -> DecodeError {
+        DecodeError(msg.into())
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn field<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a Value, DecodeError> {
+    v.get(key).ok_or_else(|| DecodeError::new(format!("{what}: missing field '{key}'")))
+}
+
+fn as_str<'a>(v: &'a Value, what: &str) -> Result<&'a str, DecodeError> {
+    v.as_str().ok_or_else(|| DecodeError::new(format!("{what}: expected string")))
+}
+
+fn as_array<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], DecodeError> {
+    v.as_array().ok_or_else(|| DecodeError::new(format!("{what}: expected array")))
+}
+
+/// Encodes a syntactic type.
+pub fn syn_ty_to_value(ty: &SynTy) -> Value {
+    match ty {
+        SynTy::Str => Value::from("string"),
+        SynTy::Int => Value::from("int"),
+        SynTy::Bool => Value::from("bool"),
+        SynTy::Float => Value::from("float"),
+        SynTy::Object(name) => Value::obj([("object", Value::from(name.as_str()))]),
+        SynTy::Array(elem) => Value::obj([("array", syn_ty_to_value(elem))]),
+        SynTy::Record(rec) => Value::obj([("record", record_ty_to_value(rec))]),
+    }
+}
+
+/// Decodes a syntactic type.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn syn_ty_from_value(v: &Value) -> Result<SynTy, DecodeError> {
+    if let Some(prim) = v.as_str() {
+        return match prim {
+            "string" => Ok(SynTy::Str),
+            "int" => Ok(SynTy::Int),
+            "bool" => Ok(SynTy::Bool),
+            "float" => Ok(SynTy::Float),
+            other => Err(DecodeError::new(format!("unknown primitive type '{other}'"))),
+        };
+    }
+    if let Some(name) = v.get("object") {
+        return Ok(SynTy::Object(as_str(name, "object type")?.to_string()));
+    }
+    if let Some(elem) = v.get("array") {
+        return Ok(SynTy::array(syn_ty_from_value(elem)?));
+    }
+    if let Some(rec) = v.get("record") {
+        return Ok(SynTy::Record(record_ty_from_value(rec)?));
+    }
+    Err(DecodeError::new("unrecognized syntactic type"))
+}
+
+/// Encodes a record type as an array of field objects.
+pub fn record_ty_to_value(rec: &RecordTy) -> Value {
+    Value::Array(
+        rec.fields
+            .iter()
+            .map(|f| {
+                Value::obj([
+                    ("name", Value::from(f.name.as_str())),
+                    ("optional", Value::from(f.optional)),
+                    ("ty", syn_ty_to_value(&f.ty)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a record type.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn record_ty_from_value(v: &Value) -> Result<RecordTy, DecodeError> {
+    let fields = as_array(v, "record type")?
+        .iter()
+        .map(|f| {
+            Ok(FieldTy {
+                name: as_str(field(f, "name", "record field")?, "field name")?.to_string(),
+                optional: field(f, "optional", "record field")?
+                    .as_bool()
+                    .ok_or_else(|| DecodeError::new("field optional: expected bool"))?,
+                ty: syn_ty_from_value(field(f, "ty", "record field")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    Ok(RecordTy { fields })
+}
+
+/// Encodes a semantic type. Loc-set types are encoded by [`GroupId`]
+/// number, so a semantic type is only meaningful alongside the group table
+/// of the `SemLib` it came from.
+pub fn sem_ty_to_value(ty: &SemTy) -> Value {
+    match ty {
+        SemTy::Group(g) => Value::obj([("group", Value::from(g.0))]),
+        SemTy::Object(name) => Value::obj([("object", Value::from(name.as_str()))]),
+        SemTy::Array(elem) => Value::obj([("array", sem_ty_to_value(elem))]),
+        SemTy::Record(rec) => Value::obj([("record", sem_record_ty_to_value(rec))]),
+    }
+}
+
+/// Decodes a semantic type.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn sem_ty_from_value(v: &Value) -> Result<SemTy, DecodeError> {
+    if let Some(g) = v.get("group") {
+        let id = g
+            .as_int()
+            .filter(|&i| i >= 0 && i <= i64::from(u32::MAX))
+            .ok_or_else(|| DecodeError::new("group id: expected u32"))?;
+        return Ok(SemTy::Group(GroupId(id as u32)));
+    }
+    if let Some(name) = v.get("object") {
+        return Ok(SemTy::Object(as_str(name, "object type")?.to_string()));
+    }
+    if let Some(elem) = v.get("array") {
+        return Ok(SemTy::array(sem_ty_from_value(elem)?));
+    }
+    if let Some(rec) = v.get("record") {
+        return Ok(SemTy::Record(sem_record_ty_from_value(rec)?));
+    }
+    Err(DecodeError::new("unrecognized semantic type"))
+}
+
+/// Encodes a semantic record type as an array of field objects.
+pub fn sem_record_ty_to_value(rec: &SemRecordTy) -> Value {
+    Value::Array(
+        rec.fields
+            .iter()
+            .map(|f| {
+                Value::obj([
+                    ("name", Value::from(f.name.as_str())),
+                    ("optional", Value::from(f.optional)),
+                    ("ty", sem_ty_to_value(&f.ty)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a semantic record type.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn sem_record_ty_from_value(v: &Value) -> Result<SemRecordTy, DecodeError> {
+    let fields = as_array(v, "semantic record type")?
+        .iter()
+        .map(|f| {
+            Ok(SemFieldTy {
+                name: as_str(field(f, "name", "record field")?, "field name")?.to_string(),
+                optional: field(f, "optional", "record field")?
+                    .as_bool()
+                    .ok_or_else(|| DecodeError::new("field optional: expected bool"))?,
+                ty: sem_ty_from_value(field(f, "ty", "record field")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    Ok(SemRecordTy { fields })
+}
+
+/// Encodes a location structurally (root kind, root name, label list).
+pub fn loc_to_value(loc: &Loc) -> Value {
+    let (kind, name) = match &loc.root {
+        Root::Object(n) => ("object", n.as_str()),
+        Root::Method(n) => ("method", n.as_str()),
+    };
+    let path: Vec<Value> = loc
+        .path
+        .iter()
+        .map(|label| match label {
+            Label::Named(n) => Value::obj([("named", Value::from(n.as_str()))]),
+            Label::In => Value::from("in"),
+            Label::Out => Value::from("out"),
+            Label::Elem => Value::from("elem"),
+        })
+        .collect();
+    Value::obj([
+        ("kind", Value::from(kind)),
+        ("name", Value::from(name)),
+        ("path", Value::Array(path)),
+    ])
+}
+
+/// Decodes a location.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn loc_from_value(v: &Value) -> Result<Loc, DecodeError> {
+    let name = as_str(field(v, "name", "location")?, "location name")?.to_string();
+    let root = match as_str(field(v, "kind", "location")?, "location kind")? {
+        "object" => Root::Object(name),
+        "method" => Root::Method(name),
+        other => return Err(DecodeError::new(format!("unknown location kind '{other}'"))),
+    };
+    let path = as_array(field(v, "path", "location")?, "location path")?
+        .iter()
+        .map(|label| {
+            if let Some(n) = label.get("named") {
+                return Ok(Label::Named(as_str(n, "named label")?.to_string()));
+            }
+            match as_str(label, "location label")? {
+                "in" => Ok(Label::In),
+                "out" => Ok(Label::Out),
+                "elem" => Ok(Label::Elem),
+                other => Err(DecodeError::new(format!("unknown label '{other}'"))),
+            }
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    Ok(Loc { root, path })
+}
+
+/// Encodes a library (name, object definitions, method definitions).
+pub fn library_to_value(lib: &Library) -> Value {
+    let objects: Vec<Value> = lib
+        .objects
+        .iter()
+        .map(|(name, rec)| {
+            Value::obj([
+                ("name", Value::from(name.as_str())),
+                ("fields", record_ty_to_value(rec)),
+            ])
+        })
+        .collect();
+    let methods: Vec<Value> = lib
+        .methods
+        .iter()
+        .map(|(name, sig)| {
+            Value::obj([
+                ("name", Value::from(name.as_str())),
+                ("params", record_ty_to_value(&sig.params)),
+                ("response", syn_ty_to_value(&sig.response)),
+                ("doc", Value::from(sig.doc.as_str())),
+            ])
+        })
+        .collect();
+    Value::obj([
+        ("name", Value::from(lib.name.as_str())),
+        ("objects", Value::Array(objects)),
+        ("methods", Value::Array(methods)),
+    ])
+}
+
+/// Decodes a library.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn library_from_value(v: &Value) -> Result<Library, DecodeError> {
+    let mut lib = Library::new(as_str(field(v, "name", "library")?, "library name")?);
+    for obj in as_array(field(v, "objects", "library")?, "library objects")? {
+        let name = as_str(field(obj, "name", "object")?, "object name")?.to_string();
+        let rec = record_ty_from_value(field(obj, "fields", "object")?)?;
+        lib.objects.insert(name, rec);
+    }
+    for m in as_array(field(v, "methods", "library")?, "library methods")? {
+        let name = as_str(field(m, "name", "method")?, "method name")?.to_string();
+        let sig = MethodSig {
+            params: record_ty_from_value(field(m, "params", "method")?)?,
+            response: syn_ty_from_value(field(m, "response", "method")?)?,
+            doc: as_str(field(m, "doc", "method")?, "method doc")?.to_string(),
+        };
+        lib.methods.insert(name, sig);
+    }
+    Ok(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig7_library;
+
+    #[test]
+    fn syn_ty_roundtrips() {
+        let tys = [
+            SynTy::Str,
+            SynTy::Int,
+            SynTy::Bool,
+            SynTy::Float,
+            SynTy::object("User"),
+            SynTy::array(SynTy::array(SynTy::object("Channel"))),
+            SynTy::Record(RecordTy {
+                fields: vec![FieldTy {
+                    name: "x".into(),
+                    optional: true,
+                    ty: SynTy::array(SynTy::Str),
+                }],
+            }),
+        ];
+        for ty in tys {
+            assert_eq!(syn_ty_from_value(&syn_ty_to_value(&ty)), Ok(ty));
+        }
+    }
+
+    #[test]
+    fn sem_ty_roundtrips() {
+        let tys = [
+            SemTy::Group(GroupId(17)),
+            SemTy::object("User"),
+            SemTy::array(SemTy::Group(GroupId(0))),
+            SemTy::Record(SemRecordTy {
+                fields: vec![SemFieldTy {
+                    name: "y".into(),
+                    optional: false,
+                    ty: SemTy::Group(GroupId(3)),
+                }],
+            }),
+        ];
+        for ty in tys {
+            assert_eq!(sem_ty_from_value(&sem_ty_to_value(&ty)), Ok(ty));
+        }
+    }
+
+    #[test]
+    fn loc_roundtrips_including_reserved_field_names() {
+        // A field literally called "in" must not decode as `Label::In` —
+        // the structural encoding keeps them apart.
+        let tricky = Loc::object("Weird").field("in").field("0");
+        let back = loc_from_value(&loc_to_value(&tricky)).unwrap();
+        assert_eq!(back, tricky);
+        let loc = Loc::method("c_list").child(Label::Out).elem().field("creator");
+        assert_eq!(loc_from_value(&loc_to_value(&loc)), Ok(loc));
+    }
+
+    #[test]
+    fn library_roundtrips() {
+        let lib = fig7_library();
+        let back = library_from_value(&library_to_value(&lib)).unwrap();
+        assert_eq!(back, lib);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        use apiphany_json::json;
+        assert!(syn_ty_from_value(&json!("nope")).is_err());
+        assert!(syn_ty_from_value(&json!(42)).is_err());
+        assert!(sem_ty_from_value(&json!({"group": -1})).is_err());
+        assert!(loc_from_value(&json!({"kind": "x", "name": "y", "path": []})).is_err());
+        assert!(library_from_value(&json!({"name": "x"})).is_err());
+    }
+}

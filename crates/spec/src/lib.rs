@@ -23,6 +23,7 @@
 //! assert_eq!(lib.methods.len(), 1);
 //! ```
 
+pub mod codec;
 pub mod fixtures;
 mod library;
 mod loc;
@@ -31,6 +32,7 @@ mod service;
 mod ty;
 mod witness;
 
+pub use codec::DecodeError;
 pub use library::{Library, LibraryBuilder, LibraryStats, MethodBuilder, MethodSig, ObjectBuilder};
 pub use loc::{Label, Loc, ParseLocError, Root};
 pub use openapi::{library_from_openapi, library_to_openapi, OpenApiError};

@@ -4,12 +4,12 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use apiphany_lang::anf::canonicalize;
+use apiphany_lang::anf::{canonicalize, AnfProgram};
 use apiphany_lang::Program;
 use apiphany_mining::{Query, SemLib};
 use apiphany_ttn::{
-    build_ttn, enumerate_paths, query_markings, Backend, BuildOptions, PlaceId, SearchConfig,
-    SearchOutcome, Ttn,
+    build_ttn, enumerate_search, query_markings, Backend, Budget, BuildOptions, CancelToken,
+    PlaceId, SearchConfig, SearchEvent, SearchOutcome, Ttn,
 };
 
 use crate::lift::lift;
@@ -19,12 +19,9 @@ use crate::typecheck::type_check;
 /// Configuration for [`Synthesizer::synthesize`].
 #[derive(Debug, Clone)]
 pub struct SynthesisConfig {
-    /// Maximum TTN path length (iterative deepening bound).
-    pub max_path_len: usize,
-    /// Wall-clock budget (the paper uses 150 s per benchmark).
-    pub timeout: Duration,
-    /// Stop after this many distinct well-typed candidates.
-    pub max_candidates: usize,
+    /// The unified search budget: wall-clock limit, candidate cap, and TTN
+    /// path-depth bound (the paper uses 150 s and depth 8).
+    pub budget: Budget,
     /// Cap on ANF programs enumerated per path (argument combinations).
     pub programs_per_path: usize,
     /// Path-enumeration backend.
@@ -34,9 +31,7 @@ pub struct SynthesisConfig {
 impl Default for SynthesisConfig {
     fn default() -> SynthesisConfig {
         SynthesisConfig {
-            max_path_len: 8,
-            timeout: Duration::from_secs(150),
-            max_candidates: usize::MAX,
+            budget: Budget::default(),
             programs_per_path: 64,
             backend: Backend::Dfs,
         }
@@ -48,12 +43,27 @@ impl Default for SynthesisConfig {
 pub struct Candidate {
     /// The lifted, well-typed `λ_A` program.
     pub program: Program,
+    /// The canonical (alpha-renamed ANF) form of `program`, computed once
+    /// for deduplication and reused by consumers for gold matching.
+    pub canonical: AnfProgram,
     /// Zero-based generation index (the basis of the paper's `r_orig`).
     pub index: usize,
     /// Length of the TTN path that produced the candidate.
     pub path_len: usize,
     /// Time since the start of synthesis when the candidate was produced.
     pub elapsed: Duration,
+}
+
+/// One notification from [`Synthesizer::synthesize`].
+#[derive(Debug, Clone)]
+pub enum SynthEvent {
+    /// A distinct well-typed candidate, in generation order.
+    Candidate(Candidate),
+    /// Every TTN path of length `depth` has been processed.
+    DepthExhausted {
+        /// The completed iterative-deepening level.
+        depth: usize,
+    },
 }
 
 /// Statistics of one synthesis run.
@@ -83,12 +93,15 @@ pub enum Outcome {
     Exhausted,
     /// The candidate cap was reached or the consumer stopped.
     Stopped,
-    /// The timeout was reached.
+    /// The wall-clock budget was exhausted.
     TimedOut,
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
 }
 
 /// A reusable synthesizer: builds the TTN once per semantic library and
 /// answers any number of queries against it.
+#[derive(Debug)]
 pub struct Synthesizer {
     semlib: SemLib,
     net: Ttn,
@@ -111,14 +124,18 @@ impl Synthesizer {
         &self.net
     }
 
-    /// Runs `Synthesize(Λ̂, ŝ)` (Fig. 10), invoking `on_candidate` for each
-    /// distinct well-typed candidate in generation order. The callback
-    /// returns `false` to stop.
+    /// Runs `Synthesize(Λ̂, ŝ)` (Fig. 10), invoking `on_event` with each
+    /// distinct well-typed candidate in generation order plus a
+    /// [`SynthEvent::DepthExhausted`] marker when an iterative-deepening
+    /// level completes. The callback returns `false` to stop; `cancel`
+    /// stops the search cooperatively from another thread (polled at every
+    /// search node), which is how engine sessions implement cancellation.
     pub fn synthesize(
         &self,
         query: &Query,
         cfg: &SynthesisConfig,
-        on_candidate: &mut dyn FnMut(Candidate) -> bool,
+        cancel: &CancelToken,
+        on_event: &mut dyn FnMut(SynthEvent) -> bool,
     ) -> SynthesisStats {
         let start = Instant::now();
         let mut stats = SynthesisStats::default();
@@ -137,16 +154,23 @@ impl Synthesizer {
             None => return stats,
         };
 
-        let mut seen: HashSet<apiphany_lang::anf::AnfProgram> = HashSet::new();
-        let deadline = start + cfg.timeout;
+        let mut seen: HashSet<AnfProgram> = HashSet::new();
+        let deadline = cfg.budget.deadline_from(start);
+        let max_candidates = cfg.budget.max_candidates.unwrap_or(usize::MAX);
         let search = SearchConfig {
-            max_len: cfg.max_path_len,
+            max_len: cfg.budget.max_depth,
             max_paths: usize::MAX,
-            deadline: Some(deadline),
+            deadline,
             backend: cfg.backend,
         };
         let mut stopped = false;
-        let outcome = enumerate_paths(&self.net, &init, &fin, &search, &mut |path| {
+        let outcome = enumerate_search(&self.net, &init, &fin, &search, cancel, &mut |event| {
+            let path = match event {
+                SearchEvent::Path(path) => path,
+                SearchEvent::DepthExhausted { depth } => {
+                    return on_event(SynthEvent::DepthExhausted { depth });
+                }
+            };
             stats.paths += 1;
             let cont = enumerate_programs(
                 &self.net,
@@ -155,7 +179,10 @@ impl Synthesizer {
                 cfg.programs_per_path,
                 &mut |anf| {
                     stats.programs += 1;
-                    if Instant::now() >= deadline {
+                    if cancel.is_cancelled() {
+                        return false;
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
                         return false;
                     }
                     let lifted = match lift(&self.semlib, query, &anf) {
@@ -169,19 +196,21 @@ impl Synthesizer {
                         stats.ill_typed += 1;
                         return true;
                     }
-                    if !seen.insert(canonicalize(&lifted)) {
+                    let canonical = canonicalize(&lifted);
+                    if !seen.insert(canonical.clone()) {
                         stats.duplicates += 1;
                         return true;
                     }
                     let candidate = Candidate {
                         program: lifted,
+                        canonical,
                         index: stats.candidates,
                         path_len: path.len(),
                         elapsed: start.elapsed(),
                     };
                     stats.candidates += 1;
-                    let keep_going = on_candidate(candidate);
-                    if !keep_going || stats.candidates >= cfg.max_candidates {
+                    let keep_going = on_event(SynthEvent::Candidate(candidate));
+                    if !keep_going || stats.candidates >= max_candidates {
                         stopped = true;
                         return false;
                     }
@@ -192,9 +221,17 @@ impl Synthesizer {
         });
         stats.outcome = match outcome {
             SearchOutcome::TimedOut => Outcome::TimedOut,
+            SearchOutcome::Cancelled => Outcome::Cancelled,
             SearchOutcome::Exhausted => Outcome::Exhausted,
+            // The search reports Stopped whenever a callback returned
+            // `false`, which covers three distinct situations: the program
+            // enumerator observed cancellation or the deadline mid-path
+            // (the TTN-level outcome cannot see that), the candidate cap
+            // was hit, or the consumer stopped. Reclassify from the cause.
             SearchOutcome::Stopped => {
-                if stopped && Instant::now() >= deadline {
+                if cancel.is_cancelled() {
+                    Outcome::Cancelled
+                } else if deadline.is_some_and(|d| Instant::now() >= d) {
                     Outcome::TimedOut
                 } else {
                     Outcome::Stopped
@@ -204,15 +241,17 @@ impl Synthesizer {
         stats
     }
 
-    /// Convenience wrapper collecting up to `cfg.max_candidates` candidates.
+    /// Convenience wrapper collecting every candidate within the budget.
     pub fn synthesize_all(
         &self,
         query: &Query,
         cfg: &SynthesisConfig,
     ) -> (Vec<Candidate>, SynthesisStats) {
         let mut out = Vec::new();
-        let stats = self.synthesize(query, cfg, &mut |c| {
-            out.push(c);
+        let stats = self.synthesize(query, cfg, &CancelToken::new(), &mut |event| {
+            if let SynthEvent::Candidate(c) = event {
+                out.push(c);
+            }
             true
         });
         (out, stats)
@@ -232,12 +271,16 @@ mod tests {
         Synthesizer::new(sl, &BuildOptions::default())
     }
 
+    fn depth7() -> SynthesisConfig {
+        SynthesisConfig { budget: Budget::depth(7), ..SynthesisConfig::default() }
+    }
+
     #[test]
     fn solves_the_running_example() {
         let synth = synthesizer();
         let q = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
             .unwrap();
-        let cfg = SynthesisConfig { max_path_len: 7, ..SynthesisConfig::default() };
+        let cfg = depth7();
         let (candidates, stats) = synth.synthesize_all(&q, &cfg);
         assert!(stats.candidates >= 2, "{stats:?}");
         let gold = parse_program(
@@ -275,8 +318,7 @@ mod tests {
         let synth = synthesizer();
         let q = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
             .unwrap();
-        let cfg = SynthesisConfig { max_path_len: 7, ..SynthesisConfig::default() };
-        let (candidates, _) = synth.synthesize_all(&q, &cfg);
+        let (candidates, _) = synth.synthesize_all(&q, &depth7());
         let mut canon = std::collections::HashSet::new();
         for c in &candidates {
             crate::typecheck::type_check(synth.semlib(), &c.program, &q).unwrap();
@@ -290,13 +332,72 @@ mod tests {
         let q = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
             .unwrap();
         let cfg = SynthesisConfig {
-            max_path_len: 7,
-            max_candidates: 1,
+            budget: Budget { max_candidates: Some(1), ..Budget::depth(7) },
             ..SynthesisConfig::default()
         };
         let (candidates, stats) = synth.synthesize_all(&q, &cfg);
         assert_eq!(candidates.len(), 1);
         assert_eq!(stats.outcome, Outcome::Stopped);
+    }
+
+    #[test]
+    fn cancel_token_stops_synthesis() {
+        let synth = synthesizer();
+        let q = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
+            .unwrap();
+        let cancel = CancelToken::new();
+        let mut n = 0;
+        let stats = synth.synthesize(&q, &depth7(), &cancel, &mut |event| {
+            if matches!(event, SynthEvent::Candidate(_)) {
+                n += 1;
+                cancel.cancel();
+            }
+            true
+        });
+        assert_eq!(n, 1);
+        assert_eq!(stats.outcome, Outcome::Cancelled);
+    }
+
+    #[test]
+    fn depth_events_bracket_candidates() {
+        // Fig. 7 admits the creator variant at depth 6 and the Fig. 2
+        // solution at depth 7: each candidate must arrive before its
+        // depth's DepthExhausted marker.
+        let synth = synthesizer();
+        let q = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
+            .unwrap();
+        let mut log: Vec<(bool, usize)> = Vec::new(); // (is_candidate, depth)
+        synth.synthesize(&q, &depth7(), &CancelToken::new(), &mut |event| {
+            match event {
+                SynthEvent::Candidate(c) => log.push((true, c.path_len)),
+                SynthEvent::DepthExhausted { depth } => log.push((false, depth)),
+            }
+            true
+        });
+        let depth_markers: Vec<usize> =
+            log.iter().filter(|(c, _)| !c).map(|&(_, d)| d).collect();
+        assert_eq!(depth_markers, vec![1, 2, 3, 4, 5, 6, 7]);
+        for (i, &(is_cand, depth)) in log.iter().enumerate() {
+            if is_cand {
+                // No DepthExhausted marker for `depth` may precede it.
+                assert!(
+                    log[..i].iter().all(|&(c, d)| c || d < depth),
+                    "candidate at depth {depth} emitted after its marker"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_carry_their_canonical_form() {
+        let synth = synthesizer();
+        let q = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
+            .unwrap();
+        let (candidates, _) = synth.synthesize_all(&q, &depth7());
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert_eq!(c.canonical, apiphany_lang::anf::canonicalize(&c.program));
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! 1. `BuildTTN(Λ̂)` — done once per library by [`Synthesizer::new`];
 //! 2. `Paths(N, I, F)` — iterative-deepening path enumeration
 //!    (`apiphany_ttn`);
-//! 3. `Progs(π)` — all argument assignments of each path ([`progs`]);
+//! 3. `Progs(π)` — all argument assignments of each path
+//!    ([`enumerate_programs`]);
 //! 4. `Lift(Λ̂, ŝ, E)` — insertion of monadic binds and returns
 //!    ([`lift`]);
 //! 5. the semantic type check (Fig. 16) as the final gate
@@ -16,24 +17,29 @@
 //! ```
 //! use apiphany_mining::{mine_types, parse_query, MiningConfig};
 //! use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
-//! use apiphany_synth::{Synthesizer, SynthesisConfig};
+//! use apiphany_synth::{Budget, Synthesizer, SynthesisConfig};
 //! use apiphany_ttn::BuildOptions;
 //!
 //! let semlib = mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default());
 //! let synth = Synthesizer::new(semlib, &BuildOptions::default());
 //! let query = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
 //!     .unwrap();
-//! let cfg = SynthesisConfig { max_path_len: 7, ..SynthesisConfig::default() };
+//! let cfg = SynthesisConfig { budget: Budget::depth(7), ..SynthesisConfig::default() };
 //! let (candidates, _stats) = synth.synthesize_all(&query, &cfg);
 //! assert!(!candidates.is_empty());
 //! ```
+//!
+//! Search limits come from the unified [`Budget`] (wall-clock, candidate
+//! cap, path depth) and a [`CancelToken`] provides cooperative
+//! cancellation — both re-exported from `apiphany_ttn`.
 
 mod engine;
 mod lift;
 mod progs;
 mod typecheck;
 
-pub use engine::{Candidate, Outcome, SynthesisConfig, SynthesisStats, Synthesizer};
+pub use apiphany_ttn::{Budget, CancelToken, InvalidBudget};
+pub use engine::{Candidate, Outcome, SynthEvent, SynthesisConfig, SynthesisStats, Synthesizer};
 pub use lift::{lift, LiftError};
 pub use progs::{enumerate_programs, AStmt, AnfProg, ArgValue};
 pub use typecheck::{check, type_check, TypeError};

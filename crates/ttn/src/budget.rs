@@ -1,0 +1,162 @@
+//! Search budgets and cooperative cancellation.
+//!
+//! A [`Budget`] is the unified resource limit threaded through the whole
+//! synthesis stack: the TTN path enumerator ([`crate::enumerate_search`]),
+//! the synthesizer, and the engine's session API all consume the same three
+//! dimensions — wall-clock time, candidate count, and path depth. A
+//! [`CancelToken`] adds out-of-band cooperative cancellation: the search
+//! loops poll it at every node, so a long-running session can be stopped
+//! from another thread within microseconds.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A unified search budget: wall-clock, candidate-count, and path-depth
+/// limits (the paper's 150 s timeout generalized to three dimensions).
+///
+/// `None` means "unlimited" for the optional dimensions; `max_depth` is
+/// always finite because TTN path enumeration is iterative deepening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock limit for the whole search (the paper uses 150 s).
+    ///
+    /// The limit is end-to-end: for a streamed session the clock keeps
+    /// running while the engine waits for the consumer to pull the next
+    /// event, so a slow consumer spends budget. Size it for the whole
+    /// interaction, or bound the search by `max_candidates` instead.
+    pub wall_clock: Option<Duration>,
+    /// Maximum TTN path length (iterative-deepening bound).
+    pub max_depth: usize,
+    /// Stop after this many distinct well-typed candidates.
+    pub max_candidates: Option<usize>,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            wall_clock: Some(Duration::from_secs(150)),
+            max_depth: 8,
+            max_candidates: None,
+        }
+    }
+}
+
+impl Budget {
+    /// The default budget with a different depth bound. The 150 s default
+    /// wall-clock is kept as a safety net (set `wall_clock: None`
+    /// explicitly for a genuinely unbounded search).
+    pub fn depth(max_depth: usize) -> Budget {
+        Budget { max_depth, ..Budget::default() }
+    }
+
+    /// Checks the budget for configurations that can never yield a
+    /// candidate — a zero depth bound or a zero candidate cap. A zero
+    /// wall-clock is *valid* (it means "give up immediately", which is
+    /// useful for draining pre-computed state and in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBudget`] describing the misconfiguration.
+    pub fn validate(&self) -> Result<(), InvalidBudget> {
+        if self.max_depth == 0 {
+            return Err(InvalidBudget("max_depth is 0: no path can be enumerated".into()));
+        }
+        if self.max_candidates == Some(0) {
+            return Err(InvalidBudget(
+                "max_candidates is 0: the session could never emit a candidate".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The absolute deadline implied by the wall-clock limit, measured from
+    /// `start`.
+    pub fn deadline_from(&self, start: Instant) -> Option<Instant> {
+        self.wall_clock.map(|d| start + d)
+    }
+}
+
+/// Error returned by [`Budget::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidBudget(pub String);
+
+impl fmt::Display for InvalidBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid budget: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidBudget {}
+
+/// A cooperative cancellation flag shared between a search and its
+/// controller.
+///
+/// Cloning the token clones the *handle*, not the flag: all clones observe
+/// the same cancellation. The search loops poll [`CancelToken::is_cancelled`]
+/// at every node, so cancellation takes effect promptly without unwinding.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_valid() {
+        assert_eq!(Budget::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_depth_and_zero_cap_are_invalid() {
+        assert!(Budget::depth(0).validate().is_err());
+        let b = Budget { max_candidates: Some(0), ..Budget::default() };
+        assert!(b.validate().is_err());
+        // Zero wall-clock is a valid "give up immediately" budget.
+        let b = Budget { wall_clock: Some(Duration::ZERO), ..Budget::default() };
+        assert_eq!(b.validate(), Ok(()));
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_tracks_wall_clock() {
+        let start = Instant::now();
+        // depth() keeps the default 150 s wall-clock safety net.
+        assert_eq!(
+            Budget::depth(3).deadline_from(start),
+            Some(start + Duration::from_secs(150))
+        );
+        let b = Budget { wall_clock: None, ..Budget::default() };
+        assert_eq!(b.deadline_from(start), None);
+        let b = Budget { wall_clock: Some(Duration::from_secs(1)), ..Budget::default() };
+        assert_eq!(b.deadline_from(start), Some(start + Duration::from_secs(1)));
+    }
+}

@@ -25,6 +25,7 @@
 
 use std::time::Instant;
 
+use crate::budget::CancelToken;
 use crate::marking::{apply, can_fire, Firing, Marking};
 use crate::net::{PlaceId, TransId, Ttn};
 use crate::search::{SearchConfig, StepOutcome};
@@ -162,18 +163,20 @@ pub type OnSolution<'a> = dyn FnMut(&[(i64, i64)]) -> bool + 'a;
 
 /// Enumerates all assignments of `branch_vars` admitting a feasible
 /// completion, invoking `on_solution` with the (fully propagated) bounds.
-/// Returns `false` if the consumer stopped the search.
+/// Returns `false` if the consumer stopped the search. The solver polls
+/// `cancel` at every branch node.
 pub fn solve_all(
     lp: &Lp,
     branch_vars: &[usize],
     deadline: Option<Instant>,
+    cancel: &CancelToken,
     on_solution: &mut OnSolution<'_>,
 ) -> SolveOutcome {
     let mut bounds = lp.bounds.clone();
     if propagate(lp, &mut bounds) == Prop::Infeasible {
         return SolveOutcome::Done;
     }
-    branch(lp, branch_vars, 0, &mut bounds, deadline, on_solution)
+    branch(lp, branch_vars, 0, &mut bounds, deadline, cancel, on_solution)
 }
 
 /// Outcome of [`solve_all`].
@@ -185,6 +188,8 @@ pub enum SolveOutcome {
     Stopped,
     /// The deadline was hit.
     TimedOut,
+    /// The cancel token fired.
+    Cancelled,
 }
 
 fn branch(
@@ -193,8 +198,12 @@ fn branch(
     idx: usize,
     bounds: &mut [(i64, i64)],
     deadline: Option<Instant>,
+    cancel: &CancelToken,
     on_solution: &mut OnSolution<'_>,
 ) -> SolveOutcome {
+    if cancel.is_cancelled() {
+        return SolveOutcome::Cancelled;
+    }
     if let Some(d) = deadline {
         if Instant::now() >= d {
             return SolveOutcome::TimedOut;
@@ -224,7 +233,7 @@ fn branch(
         if propagate(lp, &mut child) == Prop::Infeasible {
             continue;
         }
-        match branch(lp, branch_vars, i + 1, &mut child, deadline, on_solution) {
+        match branch(lp, branch_vars, i + 1, &mut child, deadline, cancel, on_solution) {
             SolveOutcome::Done => {}
             stop => return stop,
         }
@@ -241,6 +250,7 @@ pub(crate) fn enumerate_ilp_paths(
     fin: &Marking,
     len: usize,
     cfg: &SearchConfig,
+    cancel: &CancelToken,
     on_path: &mut dyn FnMut(&[Firing]) -> bool,
 ) -> StepOutcome {
     let n_places = net.n_places();
@@ -339,7 +349,7 @@ pub(crate) fn enumerate_ilp_paths(
         (0..len).flat_map(|k| (0..n_trans).map(move |t| fire(k, t))).collect();
 
     let mut stopped = false;
-    let outcome = solve_all(&lp, &branch_vars, cfg.deadline, &mut |bounds| {
+    let outcome = solve_all(&lp, &branch_vars, cfg.deadline, cancel, &mut |bounds| {
         // Decode the transition sequence.
         let mut seq: Vec<TransId> = Vec::with_capacity(len);
         for k in 0..len {
@@ -360,6 +370,7 @@ pub(crate) fn enumerate_ilp_paths(
     });
     match outcome {
         SolveOutcome::TimedOut => StepOutcome::TimedOut,
+        SolveOutcome::Cancelled => StepOutcome::Cancelled,
         SolveOutcome::Stopped => StepOutcome::Stopped,
         SolveOutcome::Done => {
             if stopped {
@@ -464,7 +475,7 @@ mod tests {
         let vars: Vec<usize> = (0..3).map(|_| lp.var(0, 1)).collect();
         lp.con(vars.iter().map(|&v| (v, 1)).collect(), Cmp::Eq, 2);
         let mut n = 0;
-        solve_all(&lp, &vars, None, &mut |bounds| {
+        solve_all(&lp, &vars, None, &CancelToken::new(), &mut |bounds| {
             assert_eq!(bounds.iter().map(|b| b.0).sum::<i64>(), 2);
             n += 1;
             true

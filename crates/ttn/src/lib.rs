@@ -25,13 +25,15 @@
 //! assert!(n_paths > 0);
 //! ```
 
+mod budget;
 mod build;
 pub mod ilp;
 mod marking;
 mod net;
 mod search;
 
+pub use budget::{Budget, CancelToken, InvalidBudget};
 pub use build::{build_ttn, query_markings, BuildOptions};
 pub use marking::{apply, can_fire, replay, Firing, Marking};
 pub use net::{ParamSpec, PlaceId, TransId, TransKind, Transition, Ttn};
-pub use search::{enumerate_paths, Backend, SearchConfig, SearchOutcome};
+pub use search::{enumerate_paths, enumerate_search, Backend, SearchConfig, SearchEvent, SearchOutcome};

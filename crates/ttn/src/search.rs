@@ -17,6 +17,7 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
+use crate::budget::CancelToken;
 use crate::ilp::enumerate_ilp_paths;
 use crate::marking::{apply, can_fire, unapply, Firing, Marking};
 use crate::net::{TransId, Ttn};
@@ -59,10 +60,70 @@ pub enum SearchOutcome {
     Stopped,
     /// The deadline was reached.
     TimedOut,
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+/// One notification from [`enumerate_search`].
+#[derive(Debug)]
+pub enum SearchEvent<'a> {
+    /// A valid path from the initial to the final marking.
+    Path(&'a [Firing]),
+    /// Every path of length `depth` has been enumerated (the iterative
+    /// deepening level completed without hitting a limit).
+    DepthExhausted {
+        /// The completed length level.
+        depth: usize,
+    },
+}
+
+/// Enumerates valid paths from `init` to `fin` in order of increasing
+/// length, invoking `on_event` for each [`SearchEvent`]: every path, plus a
+/// [`SearchEvent::DepthExhausted`] marker when a length level completes.
+/// The callback returns `false` to stop; `cancel` stops the search
+/// cooperatively from another thread (polled at every search node).
+pub fn enumerate_search(
+    net: &Ttn,
+    init: &Marking,
+    fin: &Marking,
+    cfg: &SearchConfig,
+    cancel: &CancelToken,
+    on_event: &mut dyn FnMut(SearchEvent<'_>) -> bool,
+) -> SearchOutcome {
+    let mut emitted = 0usize;
+    for len in 1..=cfg.max_len {
+        let outcome = match cfg.backend {
+            Backend::Dfs => {
+                let mut dfs = Dfs::new(net, fin, cfg, cancel);
+                dfs.run(init.clone(), len, &mut |path| {
+                    emitted += 1;
+                    on_event(SearchEvent::Path(path)) && emitted < cfg.max_paths
+                })
+            }
+            Backend::Ilp => enumerate_ilp_paths(net, init, fin, len, cfg, cancel, &mut |path| {
+                emitted += 1;
+                on_event(SearchEvent::Path(path)) && emitted < cfg.max_paths
+            }),
+        };
+        match outcome {
+            StepOutcome::Done => {
+                if !on_event(SearchEvent::DepthExhausted { depth: len }) {
+                    return SearchOutcome::Stopped;
+                }
+            }
+            StepOutcome::Stopped => return SearchOutcome::Stopped,
+            StepOutcome::TimedOut => return SearchOutcome::TimedOut,
+            StepOutcome::Cancelled => return SearchOutcome::Cancelled,
+        }
+    }
+    SearchOutcome::Exhausted
 }
 
 /// Enumerates valid paths from `init` to `fin` in order of increasing
 /// length, invoking `on_path` for each. `on_path` returns `false` to stop.
+///
+/// This is the plain-path convenience over [`enumerate_search`] (no depth
+/// notifications, no cancellation).
 pub fn enumerate_paths(
     net: &Ttn,
     init: &Marking,
@@ -70,28 +131,10 @@ pub fn enumerate_paths(
     cfg: &SearchConfig,
     on_path: &mut dyn FnMut(&[Firing]) -> bool,
 ) -> SearchOutcome {
-    let mut emitted = 0usize;
-    for len in 1..=cfg.max_len {
-        let outcome = match cfg.backend {
-            Backend::Dfs => {
-                let mut dfs = Dfs::new(net, fin, cfg);
-                dfs.run(init.clone(), len, &mut |path| {
-                    emitted += 1;
-                    on_path(path) && emitted < cfg.max_paths
-                })
-            }
-            Backend::Ilp => enumerate_ilp_paths(net, init, fin, len, cfg, &mut |path| {
-                emitted += 1;
-                on_path(path) && emitted < cfg.max_paths
-            }),
-        };
-        match outcome {
-            StepOutcome::Done => {}
-            StepOutcome::Stopped => return SearchOutcome::Stopped,
-            StepOutcome::TimedOut => return SearchOutcome::TimedOut,
-        }
-    }
-    SearchOutcome::Exhausted
+    enumerate_search(net, init, fin, cfg, &CancelToken::new(), &mut |event| match event {
+        SearchEvent::Path(path) => on_path(path),
+        SearchEvent::DepthExhausted { .. } => true,
+    })
 }
 
 /// Outcome of enumerating one length level.
@@ -103,6 +146,8 @@ pub(crate) enum StepOutcome {
     Stopped,
     /// Deadline hit.
     TimedOut,
+    /// Cancelled via the token.
+    Cancelled,
 }
 
 /// Per-net bounds used for token-count pruning.
@@ -131,6 +176,7 @@ struct Dfs<'a> {
     net: &'a Ttn,
     fin: &'a Marking,
     deadline: Option<Instant>,
+    cancel: &'a CancelToken,
     bounds: TokenBounds,
     fin_total: i64,
     /// Transitions with no required inputs (always candidates).
@@ -145,10 +191,17 @@ struct Dfs<'a> {
     path: Vec<Firing>,
     /// Set when the deadline fires mid-search.
     timed_out: bool,
+    /// Set when the cancel token fires mid-search.
+    cancelled: bool,
 }
 
 impl<'a> Dfs<'a> {
-    fn new(net: &'a Ttn, fin: &'a Marking, cfg: &SearchConfig) -> Dfs<'a> {
+    fn new(
+        net: &'a Ttn,
+        fin: &'a Marking,
+        cfg: &SearchConfig,
+        cancel: &'a CancelToken,
+    ) -> Dfs<'a> {
         let mut zero_required = Vec::new();
         let mut by_first_input: std::collections::HashMap<crate::net::PlaceId, Vec<TransId>> =
             std::collections::HashMap::new();
@@ -162,6 +215,7 @@ impl<'a> Dfs<'a> {
             net,
             fin,
             deadline: cfg.deadline,
+            cancel,
             bounds: token_bounds(net),
             fin_total: i64::from(fin.total()),
             zero_required,
@@ -169,6 +223,7 @@ impl<'a> Dfs<'a> {
             dead: HashSet::new(),
             path: Vec::new(),
             timed_out: false,
+            cancelled: false,
         }
     }
 
@@ -193,6 +248,7 @@ impl<'a> Dfs<'a> {
     ) -> StepOutcome {
         let mut m = init;
         match self.step(&mut m, len, on_path) {
+            Flow::Stop if self.cancelled => StepOutcome::Cancelled,
             Flow::Stop if self.timed_out => StepOutcome::TimedOut,
             Flow::Stop => StepOutcome::Stopped,
             Flow::Continue | Flow::Pruned => StepOutcome::Done,
@@ -211,8 +267,13 @@ impl<'a> Dfs<'a> {
             }
             return Flow::Continue;
         }
+        // Poll cancellation and the clock once per node; nodes are cheap
+        // and plentiful, so both stop conditions take effect promptly.
+        if self.cancel.is_cancelled() {
+            self.cancelled = true;
+            return Flow::Stop;
+        }
         if let Some(deadline) = self.deadline {
-            // Check the clock once per node; nodes are cheap and plentiful.
             if Instant::now() >= deadline {
                 self.timed_out = true;
                 return Flow::Stop;
@@ -285,7 +346,7 @@ impl<'a> Dfs<'a> {
                 }
             }
         }
-        if !any_emitted && !self.timed_out {
+        if !any_emitted && !self.timed_out && !self.cancelled {
             // Fully explored with no success: remember as dead.
             if self.dead.len() < 2_000_000 {
                 self.dead.insert(key);
@@ -453,6 +514,57 @@ mod tests {
         };
         let outcome = enumerate_paths(&net, &init, &fin, &cfg, &mut |_| true);
         assert_eq!(outcome, SearchOutcome::TimedOut);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_enumeration() {
+        let (net, init, fin) = setup();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let cfg = SearchConfig { max_len: 7, ..SearchConfig::default() };
+        let mut n = 0;
+        let outcome = enumerate_search(&net, &init, &fin, &cfg, &cancel, &mut |e| {
+            if matches!(e, SearchEvent::Path(_)) {
+                n += 1;
+            }
+            true
+        });
+        assert_eq!(outcome, SearchOutcome::Cancelled);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn cancelling_mid_stream_yields_cancelled() {
+        let (net, init, fin) = setup();
+        let cancel = CancelToken::new();
+        let cfg = SearchConfig { max_len: 7, ..SearchConfig::default() };
+        let mut n = 0;
+        let outcome = enumerate_search(&net, &init, &fin, &cfg, &cancel, &mut |e| {
+            if matches!(e, SearchEvent::Path(_)) {
+                n += 1;
+                // Cancel from "outside" after the first path arrives.
+                cancel.cancel();
+            }
+            true
+        });
+        assert_eq!(outcome, SearchOutcome::Cancelled);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn depth_exhausted_events_come_in_order() {
+        let (net, init, fin) = setup();
+        let cfg = SearchConfig { max_len: 7, ..SearchConfig::default() };
+        let mut depths = Vec::new();
+        let outcome =
+            enumerate_search(&net, &init, &fin, &cfg, &CancelToken::new(), &mut |e| {
+                if let SearchEvent::DepthExhausted { depth } = e {
+                    depths.push(depth);
+                }
+                true
+            });
+        assert_eq!(outcome, SearchOutcome::Exhausted);
+        assert_eq!(depths, vec![1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]

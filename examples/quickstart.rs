@@ -1,34 +1,60 @@
-//! Quickstart: the paper's running example on the tiny Fig. 7 library.
+//! Quickstart: the paper's running example on the tiny Fig. 7 library,
+//! through the engine's session API.
 //!
-//! Mines semantic types from the Fig. 4 witnesses, synthesizes programs for
-//! `Channel.name → [Profile.email]`, and prints the RE-ranked results —
-//! the top one is the Fig. 2 solution.
+//! Mines semantic types from the Fig. 4 witnesses, saves/reloads the
+//! analysis artifact (the "analyze once, serve many" workflow), then
+//! streams RE-ranked candidates for `Channel.name → [Profile.email]` —
+//! the top-ranked program is the Fig. 2 solution.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use apiphany_core::{Apiphany, RunConfig};
+use apiphany_core::{Budget, Engine, Event, RunConfig};
 use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
 
 fn main() {
     // Analysis phase (here from pre-recorded witnesses; see the other
-    // examples for live-sandbox analysis).
-    let engine = Apiphany::from_witnesses(fig7_library(), fig4_witnesses());
-    println!("mined {} semantic types", engine.semlib().n_groups());
-
-    // Synthesis phase: type query → ranked programs.
-    let query = engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
-    let mut cfg = RunConfig::default();
-    cfg.synthesis.max_path_len = 7;
-    let result = engine.run(&query, &cfg);
-
+    // examples for live-sandbox analysis). The expensive part happens
+    // once; the artifact is what a serving fleet would load.
+    let analyzer = Engine::from_witnesses(fig7_library(), fig4_witnesses());
+    let artifact_json = analyzer.save_analysis().to_json();
     println!(
-        "{} candidates in {:.1?} (search stats: {:?})\n",
-        result.ranked.len(),
-        result.total_time,
-        result.stats
+        "analysis artifact: {} semantic types, {} witnesses, {} bytes of JSON",
+        analyzer.semlib().n_groups(),
+        analyzer.witnesses().len(),
+        artifact_json.len(),
     );
-    for (i, r) in result.ranked.iter().enumerate() {
-        println!("#{} (cost {:.0}, generated {})", i + 1, r.cost, r.gen_index + 1);
-        println!("{}\n", r.program);
+
+    // A serving process reloads the artifact without re-mining.
+    let engine = Engine::load_analysis(&artifact_json).expect("artifact roundtrips");
+
+    // Synthesis phase: type query → streaming session of ranked events.
+    let query = engine
+        .query("{ channel_name: Channel.name } → [Profile.email]")
+        .expect("query resolves against the mined types");
+    let mut cfg = RunConfig::default();
+    cfg.synthesis.budget = Budget::depth(7);
+    let session = engine.session(&query, &cfg).expect("budget is valid");
+
+    for event in session {
+        match event {
+            Event::CandidateFound { program, r_orig, r_re_now, cost, elapsed, .. } => {
+                println!(
+                    "\ncandidate #{r_orig} after {elapsed:.1?} (cost {cost:.0}, RE rank now {r_re_now}):\n{program}"
+                );
+            }
+            Event::DepthExhausted { depth } => {
+                println!("  ... all paths of length {depth} explored");
+            }
+            Event::BudgetExhausted => println!("budget exhausted"),
+            Event::Finished(result) => {
+                println!(
+                    "\nfinished: {} candidates in {:.1?} (search stats: {:?})",
+                    result.ranked.len(),
+                    result.total_time,
+                    result.stats
+                );
+                println!("top-ranked program (the paper's Fig. 2):\n{}", result.ranked[0].program);
+            }
+        }
     }
 }

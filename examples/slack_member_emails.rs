@@ -11,7 +11,7 @@
 //! intermediate task is shown first).
 
 use apiphany_benchmarks::{default_analyze_config, prepare_api, Api};
-use apiphany_core::RunConfig;
+use apiphany_core::{Budget, Event, RunConfig};
 use std::time::Duration;
 
 fn main() {
@@ -31,8 +31,8 @@ fn main() {
         .query("{ channel: objs_conversation.name } → objs_message")
         .unwrap();
     let mut cfg = RunConfig::default();
-    cfg.synthesis.max_path_len = 7;
-    cfg.synthesis.timeout = Duration::from_secs(40);
+    cfg.synthesis.budget =
+        Budget { wall_clock: Some(Duration::from_secs(40)), ..Budget::depth(7) };
     let result = engine.run(&query, &cfg);
     println!(
         "query objs_conversation.name → objs_message: {} candidates, top:",
@@ -42,17 +42,35 @@ fn main() {
         println!("{}\n", top.program);
     }
 
-    // The full member-emails task (benchmark 1.1).
+    // The full member-emails task (benchmark 1.1), consumed as a live
+    // event stream: candidates print the moment they are generated and
+    // ranked, long before the budget runs out.
     let query = engine
         .query("{ channel_name: objs_conversation.name } → [objs_user_profile.email]")
         .unwrap();
     let mut cfg = RunConfig::default();
-    cfg.synthesis.max_path_len = 9;
-    cfg.synthesis.timeout = Duration::from_secs(120);
-    println!("synthesizing member-emails task (budget {:?}) ...", cfg.synthesis.timeout);
-    let result = engine.run(&query, &cfg);
-    println!("{} candidates; top 3:", result.ranked.len());
-    for r in result.ranked.iter().take(3) {
-        println!("--- cost {:.0} ---\n{}", r.cost, r.program);
+    cfg.synthesis.budget =
+        Budget { wall_clock: Some(Duration::from_secs(120)), ..Budget::depth(9) };
+    println!(
+        "synthesizing member-emails task (budget {:?}) ...",
+        cfg.synthesis.budget.wall_clock
+    );
+    let session = engine.session(&query, &cfg).expect("budget is valid");
+    for event in session {
+        match event {
+            Event::CandidateFound { r_orig, r_re_now, cost, elapsed, .. } => {
+                println!(
+                    "  candidate #{r_orig} after {elapsed:.1?} (cost {cost:.0}, RE rank now {r_re_now})"
+                );
+            }
+            Event::BudgetExhausted => println!("  budget exhausted"),
+            Event::Finished(result) => {
+                println!("{} candidates; top 3:", result.ranked.len());
+                for r in result.ranked.iter().take(3) {
+                    println!("--- cost {:.0} ---\n{}", r.cost, r.program);
+                }
+            }
+            Event::DepthExhausted { .. } => {}
+        }
     }
 }

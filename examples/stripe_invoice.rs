@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example stripe_invoice`
 
 use apiphany_benchmarks::{default_analyze_config, prepare_api, Api};
-use apiphany_core::RunConfig;
+use apiphany_core::{Budget, RunConfig};
 use std::time::Duration;
 
 fn main() {
@@ -29,8 +29,10 @@ fn main() {
     for (what, q) in tasks {
         let query = engine.query(q).unwrap();
         let mut cfg = RunConfig::default();
-        cfg.synthesis.max_path_len = 7;
-        cfg.synthesis.timeout = Duration::from_secs(30);
+        cfg.synthesis.budget = Budget {
+            wall_clock: Some(Duration::from_secs(30)),
+            ..Budget::depth(7)
+        };
         let result = engine.run(&query, &cfg);
         println!("task: {what}\nquery: {q}\ncandidates: {}", result.ranked.len());
         if let Some(top) = result.ranked.first() {

@@ -47,10 +47,26 @@ fn every_reexported_crate_is_reachable() {
     // benchmarks: the Table 2 suite definitions.
     assert_eq!(benchmarks::benchmarks().len(), 32);
 
-    // core: the top-level engine wired from all of the above.
-    let engine = core::Apiphany::from_witnesses(
+    // core: the top-level engine wired from all of the above. `Apiphany`
+    // is the compatibility alias for `Engine`; the builder, the session
+    // stream, and the analysis artifact are the primary surface.
+    let engine: core::Engine = core::Apiphany::from_witnesses(
         spec::fixtures::fig7_library(),
         spec::fixtures::fig4_witnesses(),
     );
-    assert!(engine.query("{ channel_name: Channel.name } → [Profile.email]").is_ok());
+    let query = engine
+        .query("{ channel_name: Channel.name } → [Profile.email]")
+        .expect("query resolves");
+    let mut cfg = core::RunConfig::default();
+    cfg.synthesis.budget = core::Budget::depth(7);
+    let session = engine.session(&query, &cfg).expect("budget is valid");
+    assert!(matches!(session.last(), Some(core::Event::Finished(_))));
+
+    // Builder + artifact: reload through JSON and answer the same query.
+    let reloaded = core::Engine::builder()
+        .build_options(ttn::BuildOptions::default())
+        .from_artifact(
+            core::AnalysisArtifact::from_json(&engine.save_analysis().to_json()).unwrap(),
+        );
+    assert!(reloaded.query("{ } → [Channel]").is_ok());
 }

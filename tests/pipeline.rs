@@ -14,7 +14,7 @@ fn engine() -> Apiphany {
 
 fn cfg() -> RunConfig {
     let mut cfg = RunConfig::default();
-    cfg.synthesis.max_path_len = 7;
+    cfg.synthesis.budget = apiphany_repro::core::Budget::depth(7);
     cfg
 }
 

@@ -1,0 +1,159 @@
+//! End-to-end tests of the engine's streaming session API: liveness (the
+//! first candidate arrives well before the budget elapses), cooperative
+//! cancellation, budget exhaustion, and the analyze-once/serve-many
+//! artifact workflow.
+
+use std::time::{Duration, Instant};
+
+use apiphany_repro::core::{Budget, Engine, Event, RunConfig};
+use apiphany_repro::lang::parse_program;
+use apiphany_repro::lang::Program;
+use apiphany_repro::spec::fixtures::{fig4_witnesses, fig7_library};
+use apiphany_repro::synth::Outcome;
+
+fn engine() -> Engine {
+    Engine::from_witnesses(fig7_library(), fig4_witnesses())
+}
+
+fn running_example_gold() -> Program {
+    parse_program(
+        r"\channel_name → {
+            c ← c_list()
+            if c.name = channel_name
+            uid ← c_members(channel=c.id)
+            let u = u_info(user=uid)
+            return u.profile.email
+        }",
+    )
+    .unwrap()
+}
+
+/// The headline session property: a candidate is consumable long before
+/// the wall-clock budget elapses, and cancelling through the token ends
+/// the run with a `Finished` event that keeps everything ranked so far.
+#[test]
+fn first_candidate_arrives_early_and_cancel_ends_the_run() {
+    let engine = engine();
+    let query =
+        engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
+    let mut cfg = RunConfig::default();
+    // A generous budget and a deep bound: run-to-completion would take a
+    // long time, but the stream hands over the first candidate right away.
+    let wall_clock = Duration::from_secs(120);
+    cfg.synthesis.budget = Budget { wall_clock: Some(wall_clock), ..Budget::depth(12) };
+    let start = Instant::now();
+    let mut session = engine.session(&query, &cfg).unwrap();
+    let token = session.cancel_token();
+
+    let mut first = None;
+    for event in &mut session {
+        if let Event::CandidateFound { r_orig, elapsed, .. } = event {
+            first = Some((r_orig, elapsed));
+            break;
+        }
+    }
+    let (r_orig, elapsed) = first.expect("a candidate streams in");
+    assert_eq!(r_orig, 1);
+    assert!(elapsed < wall_clock, "candidate arrived at {elapsed:?}");
+    assert!(start.elapsed() < wall_clock, "consumed at {:?}", start.elapsed());
+
+    // Cancel from the token handle (as a request handler would).
+    token.cancel();
+    let mut finished = None;
+    for event in &mut session {
+        if let Event::Finished(result) = event {
+            finished = Some(result);
+        }
+    }
+    let result = finished.expect("cancelled sessions still deliver Finished");
+    assert_eq!(result.stats.outcome, Outcome::Cancelled);
+    assert!(!result.ranked.is_empty());
+    assert!(start.elapsed() < wall_clock, "cancellation must not wait out the budget");
+}
+
+/// Satellite: a tiny wall-clock budget surfaces as `BudgetExhausted` (and
+/// the search outcome reflects it) instead of spinning.
+#[test]
+fn tiny_wall_clock_budget_yields_budget_exhausted() {
+    let engine = engine();
+    let query =
+        engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.synthesis.budget =
+        Budget { wall_clock: Some(Duration::ZERO), ..Budget::depth(12) };
+    let start = Instant::now();
+    let events: Vec<Event> = engine.session(&query, &cfg).unwrap().collect();
+    assert!(start.elapsed() < Duration::from_secs(10), "must not spin");
+    assert!(
+        events.iter().any(|e| matches!(e, Event::BudgetExhausted)),
+        "expected a BudgetExhausted event, got {} events",
+        events.len()
+    );
+    let Some(Event::Finished(result)) = events.last() else {
+        panic!("stream must end with Finished");
+    };
+    assert_eq!(result.stats.outcome, Outcome::TimedOut);
+}
+
+/// The candidate-count dimension of the budget also reports exhaustion.
+#[test]
+fn candidate_cap_yields_budget_exhausted() {
+    let engine = engine();
+    let query =
+        engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.synthesis.budget = Budget { max_candidates: Some(1), ..Budget::depth(7) };
+    let events: Vec<Event> = engine.session(&query, &cfg).unwrap().collect();
+    let n_candidates =
+        events.iter().filter(|e| matches!(e, Event::CandidateFound { .. })).count();
+    assert_eq!(n_candidates, 1);
+    assert!(events.iter().any(|e| matches!(e, Event::BudgetExhausted)));
+    let Some(Event::Finished(result)) = events.last() else {
+        panic!("stream must end with Finished");
+    };
+    assert_eq!(result.ranked.len(), 1);
+}
+
+/// The analyze-once/serve-many workflow: the analysis artifact round-trips
+/// through JSON and the reloaded engine reproduces the paper's running
+/// example exactly — the Fig. 2 program ranks first (`r_RE^TO = 1`).
+#[test]
+fn artifact_roundtrip_reloaded_engine_ranks_fig2_first() {
+    let analyzer = engine();
+    let json = analyzer.save_analysis().to_json();
+    let reloaded = Engine::load_analysis(&json).expect("artifact roundtrips");
+    assert_eq!(reloaded.semlib().n_groups(), analyzer.semlib().n_groups());
+    assert_eq!(reloaded.witnesses().len(), analyzer.witnesses().len());
+
+    let query =
+        reloaded.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.synthesis.budget = Budget::depth(7);
+    let result = reloaded.run(&query, &cfg);
+    let (r_orig, r_re, r_to) = result.ranks_of(&running_example_gold()).unwrap();
+    assert_eq!((r_orig, r_re, r_to), (2, 1, 1), "RE promotes the gold to rank 1");
+}
+
+/// Depth markers interleave correctly with candidates: the Fig. 5 creator
+/// variant (path length 6) must arrive before depth 6 is exhausted, the
+/// Fig. 2 solution (length 7) after depth 6 and before depth 7.
+#[test]
+fn depth_markers_bracket_the_two_candidates() {
+    let engine = engine();
+    let query =
+        engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.synthesis.budget = Budget::depth(7);
+    let mut trace: Vec<String> = Vec::new();
+    for event in engine.session(&query, &cfg).unwrap() {
+        match event {
+            Event::CandidateFound { r_orig, .. } => trace.push(format!("cand{r_orig}")),
+            Event::DepthExhausted { depth } => trace.push(format!("depth{depth}")),
+            _ => {}
+        }
+    }
+    let pos = |s: &str| trace.iter().position(|t| t == s).unwrap_or(usize::MAX);
+    assert!(pos("cand1") < pos("depth6"), "trace: {trace:?}");
+    assert!(pos("depth6") < pos("cand2"), "trace: {trace:?}");
+    assert!(pos("cand2") < pos("depth7"), "trace: {trace:?}");
+}

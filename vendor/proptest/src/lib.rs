@@ -3,7 +3,7 @@
 //! The build environment has no network access, so the real `proptest`
 //! cannot be fetched. This crate implements the API subset used by the
 //! workspace's property suites: the [`proptest!`] / [`prop_assert!`] /
-//! [`prop_assert_eq!`] / [`prop_oneof!`] macros, the [`Strategy`] trait
+//! [`prop_assert_eq!`] / [`prop_oneof!`] macros, the [`strategy::Strategy`] trait
 //! with `prop_map` / `prop_recursive` / `boxed`, `Just`, `any`, ranges and
 //! tuples as strategies, regex-subset string strategies,
 //! `prop::collection::vec`, `prop::option::of`, and `prop::num::f64::NORMAL`.
