@@ -32,6 +32,26 @@ fn bench_ttn(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Parallel DFS: same workload, varying thread counts (the output is
+    // bit-identical by construction; this measures the pool overhead /
+    // speedup tradeoff on the host).
+    let mut group = c.benchmark_group("enumerate_paths_fig7_len6_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("threads{threads}"), |b| {
+            b.iter(|| {
+                let cfg = SearchConfig { max_len: 6, threads, ..SearchConfig::default() };
+                let mut n = 0u32;
+                enumerate_paths(&net, &init, &fin, &cfg, &mut |_| {
+                    n += 1;
+                    true
+                });
+                n
+            })
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_ttn);

@@ -378,12 +378,69 @@ impl Engine {
     /// final ranking. Kept as the compatibility surface for the benchmark
     /// harness — identical results to consuming the session by hand.
     ///
+    /// With `cfg.synthesis.threads > 1` the blocking path skips the
+    /// session machinery: candidates are collected with the parallel path
+    /// search ([`Synthesizer::synthesize_all`]) and their independent RE
+    /// rankings fan out across the worker pool in one batch. Both cost
+    /// computation and rank assembly are deterministic, so whenever the
+    /// run finishes inside its wall-clock budget the result is identical
+    /// to the serial run (and to draining a session) for every thread
+    /// count. Under a *binding* deadline the two paths can differ — a
+    /// deadline cuts a slower run earlier in the identical candidate
+    /// stream, and the batch ranking phase itself runs to completion
+    /// after the search deadline — which is timing dependence, shared
+    /// with serial-vs-serial runs on different hardware, not
+    /// nondeterminism.
+    ///
     /// # Panics
     ///
     /// Panics when `cfg.synthesis.budget` is invalid; use
     /// [`Engine::session`] for the non-panicking surface.
     pub fn run(&self, query: &Query, cfg: &RunConfig) -> RunResult {
+        if cfg.synthesis.threads > 1 {
+            cfg.synthesis.budget.validate().expect("RunConfig carries an invalid budget");
+            return self.run_parallel(query, cfg);
+        }
         self.session(query, cfg).expect("RunConfig carries an invalid budget").drain()
+    }
+
+    /// The parallel blocking path: synthesize every candidate (parallel
+    /// TTN search), batch-rank them concurrently, then replay the ranking
+    /// insertions in generation order so `rank_at_generation` matches the
+    /// streaming session exactly.
+    fn run_parallel(&self, query: &Query, cfg: &RunConfig) -> RunResult {
+        use apiphany_re::{costs_of, ReContext, Ranker};
+        use std::time::Instant;
+
+        let start = Instant::now();
+        let (candidates, stats) =
+            self.inner.synthesizer.synthesize_all(query, &cfg.synthesis);
+        let ctx = ReContext::new(self.semlib(), &self.inner.witnesses);
+        let programs: Vec<&Program> = candidates.iter().map(|c| &c.program).collect();
+        // `re_time` is the *wall-clock* of the ranking phase: summing the
+        // per-candidate `Cost::re_time` of concurrently executed runs
+        // (the ranker's accounting) could exceed `total_time`.
+        let re_start = Instant::now();
+        let costs = costs_of(&ctx, &programs, query, &cfg.cost, cfg.synthesis.threads);
+        let re_time = re_start.elapsed();
+        drop(programs);
+        let mut ranker: Ranker<RankedProgram> = Ranker::new();
+        for (cand, cost) in candidates.into_iter().zip(costs) {
+            let index = cand.index;
+            let rank_now = ranker.rank_if_inserted(&cost, index);
+            let entry = RankedProgram {
+                program: cand.program,
+                canonical: cand.canonical,
+                gen_index: index,
+                rank_at_generation: rank_now,
+                cost: cost.total(),
+                path_len: cand.path_len,
+                elapsed: cand.elapsed,
+            };
+            ranker.insert(entry, index, cost);
+        }
+        let ranked = ranker.into_entries().into_iter().map(|entry| entry.item).collect();
+        RunResult { ranked, stats, re_time, total_time: start.elapsed() }
     }
 }
 
@@ -431,12 +488,87 @@ mod tests {
         assert_eq!(r_to, 1);
     }
 
+    /// The engine-level determinism guarantee: a multi-threaded run
+    /// (parallel path search + concurrent RE ranking) produces exactly
+    /// the ranking of the serial run.
+    #[test]
+    fn parallel_run_matches_serial_run() {
+        let engine = engine();
+        let query =
+            engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
+        let serial = engine.run(&query, &run_cfg());
+        for threads in [2usize, 4] {
+            let mut cfg = run_cfg();
+            cfg.synthesis.threads = threads;
+            let par = engine.run(&query, &cfg);
+            assert_eq!(par.ranked.len(), serial.ranked.len(), "threads = {threads}");
+            for (p, s) in par.ranked.iter().zip(&serial.ranked) {
+                assert_eq!(p.canonical, s.canonical);
+                assert_eq!(p.gen_index, s.gen_index);
+                assert_eq!(p.rank_at_generation, s.rank_at_generation);
+                assert!((p.cost - s.cost).abs() < f64::EPSILON);
+            }
+            assert_eq!(par.stats.outcome, serial.stats.outcome);
+            assert_eq!(par.ranks_of(&gold()), serial.ranks_of(&gold()));
+        }
+    }
+
+    /// Search counters (nodes, dead-set traffic) surface to session
+    /// consumers through the final `Finished` event's stats.
+    #[test]
+    fn search_stats_reach_session_consumers() {
+        let engine = engine();
+        let query =
+            engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
+        let result = engine.session(&query, &run_cfg()).unwrap().drain();
+        assert!(result.stats.search.nodes > 0);
+        assert!(result.stats.search.dead_hits > 0);
+        assert_eq!(result.stats.search.paths as usize, result.stats.paths);
+    }
+
+    /// Sessions with a thread pool stream the same events as serial ones.
+    #[test]
+    fn parallel_session_streams_identical_candidates() {
+        let engine = engine();
+        let query =
+            engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
+        let collect = |threads: usize| {
+            let mut cfg = run_cfg();
+            cfg.synthesis.threads = threads;
+            let session = engine.session(&query, &cfg).unwrap();
+            session
+                .filter_map(|e| match e {
+                    Event::CandidateFound { canonical, r_orig, r_re_now, .. } => {
+                        Some((canonical, r_orig, r_re_now))
+                    }
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = collect(1);
+        assert!(!serial.is_empty());
+        assert_eq!(collect(4), serial);
+    }
+
     #[test]
     fn re_time_is_bounded_by_total() {
         let engine = engine();
         let query =
             engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
         let result = engine.run(&query, &run_cfg());
+        assert!(result.re_time <= result.total_time);
+    }
+
+    /// The invariant must also hold on the parallel blocking path, where
+    /// summing concurrent per-candidate RE times would violate it.
+    #[test]
+    fn parallel_run_re_time_is_bounded_by_total() {
+        let engine = engine();
+        let query =
+            engine.query("{ channel_name: Channel.name } → [Profile.email]").unwrap();
+        let mut cfg = run_cfg();
+        cfg.synthesis.threads = 4;
+        let result = engine.run(&query, &cfg);
         assert!(result.re_time <= result.total_time);
     }
 

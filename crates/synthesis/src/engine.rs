@@ -9,7 +9,7 @@ use apiphany_lang::Program;
 use apiphany_mining::{Query, SemLib};
 use apiphany_ttn::{
     build_ttn, enumerate_search, query_markings, Backend, Budget, BuildOptions, CancelToken,
-    PlaceId, SearchConfig, SearchEvent, SearchOutcome, Ttn,
+    PlaceId, SearchConfig, SearchEvent, SearchOutcome, SearchStats, Ttn,
 };
 
 use crate::lift::lift;
@@ -26,14 +26,26 @@ pub struct SynthesisConfig {
     pub programs_per_path: usize,
     /// Path-enumeration backend.
     pub backend: Backend,
+    /// Worker threads for the parallel pipeline (`1` = fully serial, the
+    /// default). Forwarded to [`SearchConfig::threads`] for the per-level
+    /// parallel DFS and consumed by the engine layer for concurrent RE
+    /// ranking. Candidates, their order, and all ranks are identical for
+    /// every value — parallelism only changes wall-clock time.
+    pub threads: usize,
+    /// Dead-state memo capacity forwarded to
+    /// [`SearchConfig::dead_set_cap`] (`0` disables memoization).
+    pub dead_set_cap: usize,
 }
 
 impl Default for SynthesisConfig {
     fn default() -> SynthesisConfig {
+        let search = SearchConfig::default();
         SynthesisConfig {
             budget: Budget::default(),
             programs_per_path: 64,
             backend: Backend::Dfs,
+            threads: 1,
+            dead_set_cap: search.dead_set_cap,
         }
     }
 }
@@ -83,6 +95,9 @@ pub struct SynthesisStats {
     pub duplicates: usize,
     /// Whether the search space was exhausted, stopped, or timed out.
     pub outcome: Outcome,
+    /// TTN search counters (nodes visited, dead-set hit/miss/rejected) —
+    /// reported to session consumers through the final result.
+    pub search: SearchStats,
 }
 
 /// How a synthesis run ended.
@@ -162,9 +177,11 @@ impl Synthesizer {
             max_paths: usize::MAX,
             deadline,
             backend: cfg.backend,
+            threads: cfg.threads,
+            dead_set_cap: cfg.dead_set_cap,
         };
         let mut stopped = false;
-        let outcome = enumerate_search(&self.net, &init, &fin, &search, cancel, &mut |event| {
+        let report = enumerate_search(&self.net, &init, &fin, &search, cancel, &mut |event| {
             let path = match event {
                 SearchEvent::Path(path) => path,
                 SearchEvent::DepthExhausted { depth } => {
@@ -219,7 +236,8 @@ impl Synthesizer {
             );
             cont && !stopped
         });
-        stats.outcome = match outcome {
+        stats.search = report.stats;
+        stats.outcome = match report.outcome {
             SearchOutcome::TimedOut => Outcome::TimedOut,
             SearchOutcome::Cancelled => Outcome::Cancelled,
             SearchOutcome::Exhausted => Outcome::Exhausted,
@@ -386,6 +404,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The determinism guarantee at the synthesis layer: a parallel run
+    /// produces the same candidates, in the same order, with the same
+    /// stats as the serial run.
+    #[test]
+    fn parallel_synthesis_is_identical_to_serial() {
+        let synth = synthesizer();
+        let q = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
+            .unwrap();
+        let (serial, serial_stats) = synth.synthesize_all(&q, &depth7());
+        assert!(!serial.is_empty());
+        for threads in [2usize, 4] {
+            let cfg = SynthesisConfig { threads, ..depth7() };
+            let (par, par_stats) = synth.synthesize_all(&q, &cfg);
+            assert_eq!(par.len(), serial.len(), "threads = {threads}");
+            for (p, s) in par.iter().zip(&serial) {
+                assert_eq!(p.canonical, s.canonical);
+                assert_eq!(p.index, s.index);
+                assert_eq!(p.path_len, s.path_len);
+            }
+            assert_eq!(par_stats.outcome, serial_stats.outcome);
+            assert_eq!(par_stats.paths, serial_stats.paths);
+            assert_eq!(par_stats.programs, serial_stats.programs);
+            assert_eq!(par_stats.candidates, serial_stats.candidates);
+        }
+    }
+
+    #[test]
+    fn synthesis_stats_carry_search_counters() {
+        let synth = synthesizer();
+        let q = parse_query(synth.semlib(), "{ channel_name: Channel.name } → [Profile.email]")
+            .unwrap();
+        let (_, stats) = synth.synthesize_all(&q, &depth7());
+        assert!(stats.search.nodes > 0);
+        assert_eq!(stats.search.paths as usize, stats.paths);
+        assert!(stats.search.dead_hits > 0);
     }
 
     #[test]

@@ -413,7 +413,9 @@ fn concretize(
     }
     let mut choice = vec![0u32; t.optionals.len()];
     loop {
-        let firing = Firing { trans: tid, optional_taken: choice.clone() };
+        // Canonical form: all-zero optional vectors become empty, so both
+        // backends' firings compare equal (see `Firing::with_optionals`).
+        let firing = Firing::with_optionals(tid, choice.clone());
         let saved = m.clone();
         apply(m, net, &firing);
         acc.push(firing);

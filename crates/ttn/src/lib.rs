@@ -30,10 +30,14 @@ mod build;
 pub mod ilp;
 mod marking;
 mod net;
+pub mod pool;
 mod search;
 
 pub use budget::{Budget, CancelToken, InvalidBudget};
 pub use build::{build_ttn, query_markings, BuildOptions};
 pub use marking::{apply, can_fire, replay, Firing, Marking};
 pub use net::{ParamSpec, PlaceId, TransId, TransKind, Transition, Ttn};
-pub use search::{enumerate_paths, enumerate_search, Backend, SearchConfig, SearchEvent, SearchOutcome};
+pub use search::{
+    enumerate_paths, enumerate_search, Backend, SearchConfig, SearchEvent, SearchOutcome,
+    SearchReport, SearchStats,
+};

@@ -5,18 +5,38 @@ use crate::net::{PlaceId, TransId, Transition, Ttn};
 /// A marking `M : P → ℕ`.
 ///
 /// Markings in TTN search are sparse (a handful of tokens over thousands
-/// of places), so the structure keeps a cached total and exposes a sparse
-/// fingerprint for memoization.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// of places), so besides the dense token array the structure maintains a
+/// sorted index of the non-zero places: the DFS hot loop asks "which
+/// places are marked?" at every search node, and scanning the full place
+/// array there dominated search time on real APIs (~700 places, ≤ a dozen
+/// marked). The cached total makes token-count pruning O(1).
+#[derive(Debug, Clone)]
 pub struct Marking {
     tokens: Vec<u32>,
     total: u32,
+    /// Sorted indices of places with at least one token.
+    marked: Vec<u32>,
+}
+
+impl PartialEq for Marking {
+    fn eq(&self, other: &Marking) -> bool {
+        // `total` and `marked` are derived from `tokens`.
+        self.tokens == other.tokens
+    }
+}
+
+impl Eq for Marking {}
+
+impl std::hash::Hash for Marking {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.tokens.hash(state);
+    }
 }
 
 impl Marking {
     /// The empty marking over `n` places.
     pub fn empty(n: usize) -> Marking {
-        Marking { tokens: vec![0; n], total: 0 }
+        Marking { tokens: vec![0; n], total: 0, marked: Vec::new() }
     }
 
     /// Tokens at a place.
@@ -26,7 +46,15 @@ impl Marking {
 
     /// Adds tokens to a place.
     pub fn add(&mut self, p: PlaceId, n: u32) {
-        self.tokens[p.0 as usize] += n;
+        if n == 0 {
+            return;
+        }
+        let slot = &mut self.tokens[p.0 as usize];
+        if *slot == 0 {
+            let pos = self.marked.binary_search(&p.0).unwrap_err();
+            self.marked.insert(pos, p.0);
+        }
+        *slot += n;
         self.total += n;
     }
 
@@ -36,10 +64,17 @@ impl Marking {
     ///
     /// Panics if the place has fewer than `n` tokens.
     pub fn remove(&mut self, p: PlaceId, n: u32) {
+        if n == 0 {
+            return;
+        }
         let slot = &mut self.tokens[p.0 as usize];
         assert!(*slot >= n, "marking underflow");
         *slot -= n;
         self.total -= n;
+        if *slot == 0 {
+            let pos = self.marked.binary_search(&p.0).expect("marked index out of sync");
+            self.marked.remove(pos);
+        }
     }
 
     /// Total token count (cached; O(1)).
@@ -47,18 +82,18 @@ impl Marking {
         self.total
     }
 
-    /// Iterates over `(place, tokens)` pairs with non-zero tokens.
+    /// Iterates over `(place, tokens)` pairs with non-zero tokens, in
+    /// ascending place order. O(marked places), not O(all places).
     pub fn nonzero(&self) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
-        self.tokens
-            .iter()
-            .enumerate()
-            .filter(|(_, &t)| t > 0)
-            .map(|(i, &t)| (PlaceId(i as u32), t))
+        self.marked.iter().map(move |&i| (PlaceId(i), self.tokens[i as usize]))
     }
 
-    /// A 64-bit fingerprint over the sparse `(place, count)` pairs. Used
-    /// as a memoization key; collisions are astronomically unlikely for
-    /// the ≤ dozens of tokens a search marking carries.
+    /// A 64-bit fingerprint over the sparse `(place, count)` pairs.
+    ///
+    /// Kept for diagnostics and sampling; the search dead-set keys on
+    /// [`Marking::fingerprint128`] — at the millions of states a deep
+    /// search memoizes, a 64-bit birthday collision is plausible and would
+    /// unsoundly prune a live state.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for (p, c) in self.nonzero() {
@@ -68,17 +103,45 @@ impl Marking {
         }
         h
     }
+
+    /// A 128-bit fingerprint over the sparse `(place, count)` pairs: two
+    /// independently mixed 64-bit lanes. Used as the dead-set memoization
+    /// key, where 64 bits are not collision-safe (a collision silently
+    /// drops valid programs); at 128 bits a collision among even 2^40
+    /// states has probability ≈ 2^-48.
+    pub fn fingerprint128(&self) -> u128 {
+        let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h2: u64 = 0x6c62_272e_07bb_0142;
+        for (p, c) in self.nonzero() {
+            let x = (u64::from(p.0) << 32) | u64::from(c);
+            h1 ^= x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31);
+            h1 = h1.wrapping_mul(0x100_0000_01b3);
+            h2 ^= x.wrapping_mul(0xff51_afd7_ed55_8ccd).rotate_left(17);
+            h2 = h2.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        }
+        (u128::from(h1) << 64) | u128::from(h2)
+    }
 }
 
 /// One transition firing in a path: the transition plus the number of
 /// *optional* tokens consumed from each optional place (required
 /// consumption is implied by the transition itself).
+///
+/// **Canonical form:** a firing that consumes no optional tokens carries
+/// an *empty* `optional_taken`, never an all-zero vector. The derived
+/// `Eq`/`Hash` compare the vector structurally, so `[]` and `[0, 0]`
+/// would otherwise denote the same firing yet compare unequal — breaking
+/// path deduplication and backend-agreement checks. Both enumeration
+/// backends emit the canonical form; use [`Firing::with_optionals`] to
+/// build firings without worrying about it.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Firing {
     /// The fired transition.
     pub trans: TransId,
     /// Optional consumption actually performed, aligned with the
-    /// transition's `optionals` list (same order; entries may be zero).
+    /// transition's `optionals` list (same order; entries may be zero) —
+    /// or empty when nothing optional is consumed (the canonical form of
+    /// the all-zero vector).
     pub optional_taken: Vec<u32>,
 }
 
@@ -86,6 +149,17 @@ impl Firing {
     /// A firing that consumes no optional tokens.
     pub fn plain(trans: TransId) -> Firing {
         Firing { trans, optional_taken: Vec::new() }
+    }
+
+    /// A firing with the given optional consumption, canonicalized: an
+    /// all-zero `taken` becomes the empty vector, so it compares equal to
+    /// [`Firing::plain`] under `Eq`/`Hash`.
+    pub fn with_optionals(trans: TransId, taken: Vec<u32>) -> Firing {
+        if taken.iter().all(|&c| c == 0) {
+            Firing { trans, optional_taken: Vec::new() }
+        } else {
+            Firing { trans, optional_taken: taken }
+        }
     }
 }
 
@@ -229,6 +303,75 @@ mod tests {
         let end = replay(&net, &m, &path).unwrap();
         assert_eq!(end.tokens(a), 0);
         assert_eq!(end.tokens(b), 1);
+    }
+
+    #[test]
+    fn nonzero_tracks_adds_and_removes_in_place_order() {
+        let mut m = Marking::empty(8);
+        m.add(PlaceId(5), 2);
+        m.add(PlaceId(1), 1);
+        m.add(PlaceId(3), 1);
+        let pairs: Vec<(PlaceId, u32)> = m.nonzero().collect();
+        assert_eq!(pairs, vec![(PlaceId(1), 1), (PlaceId(3), 1), (PlaceId(5), 2)]);
+        m.remove(PlaceId(3), 1);
+        m.remove(PlaceId(5), 1);
+        let pairs: Vec<(PlaceId, u32)> = m.nonzero().collect();
+        assert_eq!(pairs, vec![(PlaceId(1), 1), (PlaceId(5), 1)]);
+        assert_eq!(m.total(), 2);
+    }
+
+    #[test]
+    fn equality_is_derived_from_tokens_not_history() {
+        // Two markings reaching the same token assignment by different
+        // add/remove sequences must compare equal (and hash equal).
+        let mut a = Marking::empty(4);
+        a.add(PlaceId(0), 1);
+        a.add(PlaceId(2), 3);
+        a.remove(PlaceId(2), 2);
+        let mut b = Marking::empty(4);
+        b.add(PlaceId(2), 1);
+        b.add(PlaceId(0), 1);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint128(), b.fingerprint128());
+    }
+
+    #[test]
+    fn fingerprint128_distinguishes_many_small_markings() {
+        // Sanity sweep: all sparse markings with ≤ 2 tokens over 64
+        // places produce distinct 128-bit fingerprints.
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..64u32 {
+            for c in 1..=2u32 {
+                let mut m = Marking::empty(64);
+                m.add(PlaceId(p), c);
+                assert!(seen.insert(m.fingerprint128()), "collision at ({p}, {c})");
+                for q in 0..p {
+                    let mut m2 = m.clone();
+                    m2.add(PlaceId(q), 1);
+                    assert!(seen.insert(m2.fingerprint128()), "collision at ({p},{c},{q})");
+                }
+            }
+        }
+    }
+
+    /// Satellite regression: `Firing::plain` and a firing whose optional
+    /// vector is all zeros denote the same firing and must compare equal.
+    #[test]
+    fn all_zero_optional_vectors_canonicalize_to_plain() {
+        let t = TransId(3);
+        assert_eq!(Firing::with_optionals(t, vec![0, 0, 0]), Firing::plain(t));
+        assert_eq!(Firing::with_optionals(t, Vec::new()), Firing::plain(t));
+        let taken = Firing::with_optionals(t, vec![0, 1]);
+        assert_eq!(taken.optional_taken, vec![0, 1]);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |f: &Firing| {
+            let mut h = DefaultHasher::new();
+            f.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&Firing::with_optionals(t, vec![0, 0])), hash(&Firing::plain(t)));
     }
 
     use crate::net::TransId;

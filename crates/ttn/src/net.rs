@@ -83,6 +83,11 @@ pub struct Ttn {
     places: Vec<SemTy>,
     place_ids: HashMap<SemTy, PlaceId>,
     transitions: Vec<Transition>,
+    /// Per transition, aligned with its `optionals` list: how many tokens
+    /// the transition's *required* inputs consume at that optional place.
+    /// Precomputed here so the DFS inner loop does not rescan `inputs` for
+    /// every optional place at every search node.
+    optional_overlaps: Vec<Vec<u32>>,
 }
 
 impl Ttn {
@@ -133,8 +138,25 @@ impl Ttn {
     /// Adds a transition, returning its id.
     pub fn add_transition(&mut self, t: Transition) -> TransId {
         let id = TransId(self.transitions.len() as u32);
+        let overlap = t
+            .optionals
+            .iter()
+            .map(|&(p, _)| {
+                t.inputs.iter().filter(|&&(q, _)| q == p).map(|&(_, c)| c).sum()
+            })
+            .collect();
+        self.optional_overlaps.push(overlap);
         self.transitions.push(t);
         id
+    }
+
+    /// For each optional place of a transition (aligned with its
+    /// `optionals` list), the number of tokens the transition's *required*
+    /// inputs already consume there. Precomputed at construction time; the
+    /// search uses it to bound optional consumption without rescanning the
+    /// input list per node.
+    pub fn optional_overlap(&self, id: TransId) -> &[u32] {
+        &self.optional_overlaps[id.0 as usize]
     }
 
     /// The transition data.
@@ -192,5 +214,29 @@ mod tests {
     fn interning_arrays_panics() {
         let mut net = Ttn::new();
         net.intern_place(SemTy::array(SemTy::object("User")));
+    }
+
+    #[test]
+    fn optional_overlap_counts_required_consumption_per_optional_place() {
+        let mut net = Ttn::new();
+        let a = net.intern_place(SemTy::Group(GroupId(0)));
+        let b = net.intern_place(SemTy::Group(GroupId(1)));
+        let id = net.add_transition(Transition {
+            kind: TransKind::Method("f".into()),
+            inputs: vec![(a, 2)],
+            // `a` overlaps the required inputs, `b` does not.
+            optionals: vec![(a, 1), (b, 3)],
+            outputs: vec![(b, 1)],
+            params: Vec::new(),
+        });
+        assert_eq!(net.optional_overlap(id), &[2, 0]);
+        let plain = net.add_transition(Transition {
+            kind: TransKind::Method("g".into()),
+            inputs: vec![(b, 1)],
+            optionals: Vec::new(),
+            outputs: vec![(a, 1)],
+            params: Vec::new(),
+        });
+        assert_eq!(net.optional_overlap(plain), &[] as &[u32]);
     }
 }

@@ -13,14 +13,40 @@
 //! Both backends yield, for every length `L = 1, 2, ...`, every firing
 //! sequence that moves the initial marking `I` exactly to the final
 //! marking `F` (one token at the output type, nothing anywhere else).
+//!
+//! # Parallel search
+//!
+//! With [`SearchConfig::threads`] > 1 the DFS backend runs each
+//! iterative-deepening level on a scoped worker pool ([`crate::pool`]):
+//! the level is split at a shallow *frontier* (every distinct firing
+//! prefix of a small depth, enumerated in exactly the serial visit
+//! order), the branches are searched independently — each worker owns its
+//! own dead-set — and the per-branch path lists are stitched back
+//! together in frontier order. Because the frontier order equals the
+//! serial DFS prefix order, branch-local sub-enumeration is serial, and
+//! dead-set memoization only ever prunes subtrees that contain *no*
+//! paths, the emitted path stream is **bit-identical to the serial
+//! enumeration for every thread count** — parallelism is a pure
+//! wall-clock optimization, never a semantic knob. Cancellation and
+//! deadlines stay cooperative: every worker polls the [`CancelToken`],
+//! the deadline, and the pool's stop flag at every node.
+//!
+//! Tradeoff: a parallel level buffers each branch's path list until its
+//! in-order turn, so peak memory grows with the level's path count
+//! (bounded by [`SearchConfig::max_paths`] per branch) instead of the
+//! serial enumerator's O(depth) — on path-dense nets with an unbounded
+//! `max_paths`, prefer serial search or set a cap.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::budget::CancelToken;
 use crate::ilp::enumerate_ilp_paths;
 use crate::marking::{apply, can_fire, unapply, Firing, Marking};
-use crate::net::{TransId, Ttn};
+use crate::net::{PlaceId, TransId, Ttn};
+use crate::pool::for_each_ordered;
 
 /// Which path enumerator to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,11 +69,35 @@ pub struct SearchConfig {
     pub deadline: Option<Instant>,
     /// Backend selection.
     pub backend: Backend,
+    /// Worker threads for the DFS backend (`1` = fully serial, the
+    /// default). The emitted path stream is bit-identical for every
+    /// value; see the module docs for why. The ILP backend ignores this.
+    pub threads: usize,
+    /// Capacity of the dead-state memo (entries); `0` disables
+    /// memoization entirely. Each worker of a parallel search owns an
+    /// independent dead-set with this cap. Hit/miss/rejected counts are
+    /// reported through [`SearchStats`].
+    pub dead_set_cap: usize,
 }
 
 impl Default for SearchConfig {
     fn default() -> SearchConfig {
-        SearchConfig { max_len: 8, max_paths: usize::MAX, deadline: None, backend: Backend::Dfs }
+        SearchConfig {
+            max_len: 8,
+            max_paths: usize::MAX,
+            deadline: None,
+            backend: Backend::Dfs,
+            threads: 1,
+            dead_set_cap: 2_000_000,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// The default configuration with a different worker-thread count
+    /// (convenience for `SearchConfig { threads, ..Default::default() }`).
+    pub fn with_threads(threads: usize) -> SearchConfig {
+        SearchConfig { threads: threads.max(1), ..SearchConfig::default() }
     }
 }
 
@@ -62,6 +112,46 @@ pub enum SearchOutcome {
     TimedOut,
     /// The [`CancelToken`] was cancelled.
     Cancelled,
+}
+
+/// Counters accumulated by the DFS backend (summed over all levels and,
+/// in a parallel search, over all workers). The ILP backend reports
+/// zeros. When a parallel search stops early (cap, cancel, deadline),
+/// counters from workers whose results were discarded are not included —
+/// treat the numbers as a lower bound on work performed in that case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Search nodes visited (states expanded past the budget polls).
+    pub nodes: u64,
+    /// Paths emitted (including any the consumer rejected).
+    pub paths: u64,
+    /// Dead-set lookups that pruned a subtree.
+    pub dead_hits: u64,
+    /// Dead-set lookups that missed.
+    pub dead_misses: u64,
+    /// Dead states *not* memoized because [`SearchConfig::dead_set_cap`]
+    /// was reached (pruning quality degrades once this grows).
+    pub dead_rejected: u64,
+}
+
+impl SearchStats {
+    fn absorb(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.paths += other.paths;
+        self.dead_hits += other.dead_hits;
+        self.dead_misses += other.dead_misses;
+        self.dead_rejected += other.dead_rejected;
+    }
+}
+
+/// The result of [`enumerate_search`]: how the search ended plus the DFS
+/// counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchReport {
+    /// Why enumeration stopped.
+    pub outcome: SearchOutcome,
+    /// Accumulated search counters.
+    pub stats: SearchStats,
 }
 
 /// One notification from [`enumerate_search`].
@@ -82,6 +172,10 @@ pub enum SearchEvent<'a> {
 /// [`SearchEvent::DepthExhausted`] marker when a length level completes.
 /// The callback returns `false` to stop; `cancel` stops the search
 /// cooperatively from another thread (polled at every search node).
+///
+/// With [`SearchConfig::threads`] > 1 each level runs on a worker pool;
+/// the event stream (paths *and* their order) is bit-identical to the
+/// serial run. `on_event` itself always runs on the calling thread.
 pub fn enumerate_search(
     net: &Ttn,
     init: &Marking,
@@ -89,16 +183,37 @@ pub fn enumerate_search(
     cfg: &SearchConfig,
     cancel: &CancelToken,
     on_event: &mut dyn FnMut(SearchEvent<'_>) -> bool,
-) -> SearchOutcome {
+) -> SearchReport {
     let mut emitted = 0usize;
+    let mut stats = SearchStats::default();
+    let index = NetIndex::new(net, fin);
+    // Dead facts are keyed by `(marking, remaining)` and hold for the
+    // whole search regardless of path prefix or deepening level, so both
+    // the serial enumerator and each pool worker keep their dead-sets
+    // across levels — iterative deepening re-explores shallow prefixes,
+    // and the memo is what keeps that from going exponential.
+    let mut serial_dfs = Dfs::new(net, fin, &index, cfg, cancel, None);
+    let worker_dead: Vec<Mutex<DeadSet>> =
+        (0..cfg.threads).map(|_| Mutex::new(HashSet::new())).collect();
     for len in 1..=cfg.max_len {
         let outcome = match cfg.backend {
             Backend::Dfs => {
-                let mut dfs = Dfs::new(net, fin, cfg, cancel);
-                dfs.run(init.clone(), len, &mut |path| {
+                let mut on_path = |path: &[Firing]| {
                     emitted += 1;
                     on_event(SearchEvent::Path(path)) && emitted < cfg.max_paths
-                })
+                };
+                // Shallow levels finish in microseconds; the pool only
+                // pays off once a level is deep enough to split.
+                if cfg.threads > 1 && len >= 4 {
+                    run_level_parallel(
+                        net, &index, init, fin, len, cfg, cancel, &worker_dead, &mut on_path,
+                        &mut stats,
+                    )
+                } else {
+                    let outcome = serial_dfs.run(init.clone(), len, &mut on_path);
+                    stats.absorb(&std::mem::take(&mut serial_dfs.stats));
+                    outcome
+                }
             }
             Backend::Ilp => enumerate_ilp_paths(net, init, fin, len, cfg, cancel, &mut |path| {
                 emitted += 1;
@@ -108,22 +223,28 @@ pub fn enumerate_search(
         match outcome {
             StepOutcome::Done => {
                 if !on_event(SearchEvent::DepthExhausted { depth: len }) {
-                    return SearchOutcome::Stopped;
+                    return SearchReport { outcome: SearchOutcome::Stopped, stats };
                 }
             }
-            StepOutcome::Stopped => return SearchOutcome::Stopped,
-            StepOutcome::TimedOut => return SearchOutcome::TimedOut,
-            StepOutcome::Cancelled => return SearchOutcome::Cancelled,
+            StepOutcome::Stopped => {
+                return SearchReport { outcome: SearchOutcome::Stopped, stats }
+            }
+            StepOutcome::TimedOut => {
+                return SearchReport { outcome: SearchOutcome::TimedOut, stats }
+            }
+            StepOutcome::Cancelled => {
+                return SearchReport { outcome: SearchOutcome::Cancelled, stats }
+            }
         }
     }
-    SearchOutcome::Exhausted
+    SearchReport { outcome: SearchOutcome::Exhausted, stats }
 }
 
 /// Enumerates valid paths from `init` to `fin` in order of increasing
 /// length, invoking `on_path` for each. `on_path` returns `false` to stop.
 ///
 /// This is the plain-path convenience over [`enumerate_search`] (no depth
-/// notifications, no cancellation).
+/// notifications, no cancellation, no stats).
 pub fn enumerate_paths(
     net: &Ttn,
     init: &Marking,
@@ -135,6 +256,7 @@ pub fn enumerate_paths(
         SearchEvent::Path(path) => on_path(path),
         SearchEvent::DepthExhausted { .. } => true,
     })
+    .outcome
 }
 
 /// Outcome of enumerating one length level.
@@ -172,23 +294,110 @@ fn token_bounds(net: &Ttn) -> TokenBounds {
     TokenBounds { max_inc, max_dec }
 }
 
-struct Dfs<'a> {
-    net: &'a Ttn,
-    fin: &'a Marking,
-    deadline: Option<Instant>,
-    cancel: &'a CancelToken,
-    bounds: TokenBounds,
-    fin_total: i64,
+/// Read-only per-search indexes, built once per [`enumerate_search`] call
+/// and shared by every level and every worker.
+struct NetIndex {
     /// Transitions with no required inputs (always candidates).
     zero_required: Vec<TransId>,
     /// Transitions indexed by their first (smallest) required input place;
     /// a transition is only enabled when that place is marked, so this
     /// index avoids scanning the full transition set at every node.
-    by_first_input: std::collections::HashMap<crate::net::PlaceId, Vec<TransId>>,
-    /// Fingerprints of `(marking, remaining)` states proven to admit no
-    /// completion.
-    dead: HashSet<(u64, usize)>,
+    by_first_input: HashMap<PlaceId, Vec<TransId>>,
+    /// Per transition: net token change of firing it with no optional
+    /// consumption (`produced - required`). The parent-side feasibility
+    /// filter subtracts the optional consumption of the concrete choice.
+    delta: Vec<i64>,
+    bounds: TokenBounds,
+    fin_total: i64,
+}
+
+impl NetIndex {
+    fn new(net: &Ttn, fin: &Marking) -> NetIndex {
+        let mut zero_required = Vec::new();
+        let mut by_first_input: HashMap<PlaceId, Vec<TransId>> = HashMap::new();
+        let mut delta = Vec::with_capacity(net.n_transitions());
+        for (id, t) in net.transitions() {
+            match t.inputs.first() {
+                None => zero_required.push(id),
+                Some(&(p, _)) => by_first_input.entry(p).or_default().push(id),
+            }
+            let cons: i64 = t.inputs.iter().map(|&(_, c)| i64::from(c)).sum();
+            let prod: i64 = t.outputs.iter().map(|&(_, c)| i64::from(c)).sum();
+            delta.push(prod - cons);
+        }
+        NetIndex {
+            zero_required,
+            by_first_input,
+            delta,
+            bounds: token_bounds(net),
+            fin_total: i64::from(fin.total()),
+        }
+    }
+
+    /// The child-side token-count verdict, computed parent-side: would a
+    /// child node with `child_total` tokens and `child_rem` firings left
+    /// be worth visiting? Mirrors the checks the child itself performs
+    /// (`total != fin_total` at `remaining == 0` can never reach `fin`;
+    /// otherwise the feasibility window of `step`), so skipping the child
+    /// entirely — no apply/undo, no recursion — changes no emission.
+    #[inline]
+    fn child_feasible(&self, child_total: i64, child_rem: i64) -> bool {
+        if child_rem == 0 {
+            return child_total == self.fin_total;
+        }
+        child_total + child_rem * self.bounds.max_inc >= self.fin_total
+            && child_total - child_rem * self.bounds.max_dec <= self.fin_total
+    }
+}
+
+/// Dead-state memo keys: 128-bit marking fingerprint + remaining length.
+/// Only verdicts from *unrestricted* nodes are stored (see `Dfs::step`):
+/// the symmetry-breaking restriction makes restricted nodes' verdicts
+/// prefix-dependent, and restricted→restricted reuse measured too rare
+/// to pay for a context-qualified key.
+type DeadSet = HashSet<(u128, usize)>;
+
+/// Reusable per-depth scratch: the candidate list, the optional
+/// availability bounds, and the odometer digits. One frame per recursion
+/// depth, so the hot loop never allocates after the first descent.
+#[derive(Default)]
+struct Frame {
+    cands: Vec<TransId>,
+    avail: Vec<u32>,
+    choice: Vec<u32>,
+}
+
+/// One frontier branch of a parallel level: the firing prefix (in serial
+/// visit order) plus the marking it leads to.
+struct Branch {
+    prefix: Vec<Firing>,
+    marking: Marking,
+}
+
+struct Dfs<'a> {
+    net: &'a Ttn,
+    fin: &'a Marking,
+    index: &'a NetIndex,
+    deadline: Option<Instant>,
+    cancel: &'a CancelToken,
+    /// Stop flag shared with the worker pool (parallel workers only).
+    stop: Option<&'a AtomicBool>,
+    /// Exact sparse-marking keys (128-bit fingerprint + remaining length)
+    /// of states proven to admit no completion. 64 bits is not enough
+    /// here: at millions of memoized states a birthday collision would
+    /// unsoundly prune a live state and silently drop a valid program.
+    dead: DeadSet,
+    dead_cap: usize,
+    /// Firing stack; `plen` is the live prefix length. Slots above the
+    /// live prefix keep their `optional_taken` allocations for reuse.
     path: Vec<Firing>,
+    plen: usize,
+    frames: Vec<Frame>,
+    /// When non-zero: capture `(prefix, marking)` branches at this
+    /// `remaining` value instead of recursing further (frontier mode).
+    capture_remaining: usize,
+    branches: Vec<Branch>,
+    stats: SearchStats,
     /// Set when the deadline fires mid-search.
     timed_out: bool,
     /// Set when the cancel token fires mid-search.
@@ -199,45 +408,29 @@ impl<'a> Dfs<'a> {
     fn new(
         net: &'a Ttn,
         fin: &'a Marking,
+        index: &'a NetIndex,
         cfg: &SearchConfig,
         cancel: &'a CancelToken,
+        stop: Option<&'a AtomicBool>,
     ) -> Dfs<'a> {
-        let mut zero_required = Vec::new();
-        let mut by_first_input: std::collections::HashMap<crate::net::PlaceId, Vec<TransId>> =
-            std::collections::HashMap::new();
-        for (id, t) in net.transitions() {
-            match t.inputs.first() {
-                None => zero_required.push(id),
-                Some(&(p, _)) => by_first_input.entry(p).or_default().push(id),
-            }
-        }
         Dfs {
             net,
             fin,
+            index,
             deadline: cfg.deadline,
             cancel,
-            bounds: token_bounds(net),
-            fin_total: i64::from(fin.total()),
-            zero_required,
-            by_first_input,
+            stop,
             dead: HashSet::new(),
+            dead_cap: cfg.dead_set_cap,
             path: Vec::new(),
+            plen: 0,
+            frames: Vec::new(),
+            capture_remaining: 0,
+            branches: Vec::new(),
+            stats: SearchStats::default(),
             timed_out: false,
             cancelled: false,
         }
-    }
-
-    /// Candidate transitions for a marking: the zero-required set plus
-    /// those whose first required place is marked, in id order.
-    fn candidates(&self, m: &Marking) -> Vec<TransId> {
-        let mut out = self.zero_required.clone();
-        for (place, _) in m.nonzero() {
-            if let Some(list) = self.by_first_input.get(&place) {
-                out.extend_from_slice(list);
-            }
-        }
-        out.sort_unstable();
-        out
     }
 
     fn run(
@@ -247,7 +440,55 @@ impl<'a> Dfs<'a> {
         on_path: &mut dyn FnMut(&[Firing]) -> bool,
     ) -> StepOutcome {
         let mut m = init;
-        match self.step(&mut m, len, on_path) {
+        self.plen = 0;
+        self.reserve_frames(len);
+        let flow = self.step(&mut m, len, on_path);
+        self.finish(flow)
+    }
+
+    /// Runs the search from a frontier branch: the firing prefix is
+    /// installed as the live path (so symmetry breaking sees it) and the
+    /// search continues for `remaining` more firings from `seed`.
+    fn run_seeded(
+        &mut self,
+        prefix: &[Firing],
+        seed: Marking,
+        remaining: usize,
+        on_path: &mut dyn FnMut(&[Firing]) -> bool,
+    ) -> StepOutcome {
+        self.path.clear();
+        self.path.extend_from_slice(prefix);
+        self.plen = prefix.len();
+        self.reserve_frames(remaining);
+        let mut m = seed;
+        let flow = self.step(&mut m, remaining, on_path);
+        self.finish(flow)
+    }
+
+    /// Frontier expansion: traverses the first `len - capture_remaining`
+    /// levels exactly like the full search and records every reached
+    /// `(prefix, marking)` into `self.branches`, in serial visit order.
+    fn collect_frontier(
+        &mut self,
+        init: Marking,
+        len: usize,
+        capture_remaining: usize,
+    ) -> StepOutcome {
+        debug_assert!(capture_remaining >= 1 && capture_remaining < len);
+        self.capture_remaining = capture_remaining;
+        let outcome = self.run(init, len, &mut |_| true);
+        self.capture_remaining = 0;
+        outcome
+    }
+
+    fn reserve_frames(&mut self, len: usize) {
+        if self.frames.len() <= len {
+            self.frames.resize_with(len + 1, Frame::default);
+        }
+    }
+
+    fn finish(&self, flow: Flow) -> StepOutcome {
+        match flow {
             Flow::Stop if self.cancelled => StepOutcome::Cancelled,
             Flow::Stop if self.timed_out => StepOutcome::TimedOut,
             Flow::Stop => StepOutcome::Stopped,
@@ -262,16 +503,40 @@ impl<'a> Dfs<'a> {
         on_path: &mut dyn FnMut(&[Firing]) -> bool,
     ) -> Flow {
         if remaining == 0 {
-            if m == self.fin && !on_path(&self.path) {
-                return Flow::Stop;
+            if m == self.fin {
+                self.stats.paths += 1;
+                if !on_path(&self.path[..self.plen]) {
+                    return Flow::Stop;
+                }
+                return Flow::Continue;
             }
+            // A mismatched leaf is a fully explored, path-free subtree:
+            // reporting `Pruned` (not `Continue`) lets every ancestor
+            // whose subtrees all fail enter the dead-set. The seed
+            // treated this case as `Continue`, which silently kept most
+            // of the search space out of the memo.
+            return Flow::Pruned;
+        }
+        if self.capture_remaining != 0 && remaining == self.capture_remaining {
+            self.branches.push(Branch {
+                prefix: self.path[..self.plen].to_vec(),
+                marking: m.clone(),
+            });
+            // Treated as "may emit": keeps ancestors out of the dead-set,
+            // whose verdicts expansion cannot know.
             return Flow::Continue;
         }
-        // Poll cancellation and the clock once per node; nodes are cheap
-        // and plentiful, so both stop conditions take effect promptly.
+        // Poll cancellation, the pool stop flag, and the clock once per
+        // node; nodes are cheap and plentiful, so every stop condition
+        // takes effect promptly on every worker.
         if self.cancel.is_cancelled() {
             self.cancelled = true;
             return Flow::Stop;
+        }
+        if let Some(stop) = self.stop {
+            if stop.load(Ordering::Relaxed) {
+                return Flow::Stop;
+            }
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -279,32 +544,97 @@ impl<'a> Dfs<'a> {
                 return Flow::Stop;
             }
         }
+        self.stats.nodes += 1;
         // Token-count feasibility pruning.
         let total = i64::from(m.total());
         let rem = remaining as i64;
-        if total + rem * self.bounds.max_inc < self.fin_total
-            || total - rem * self.bounds.max_dec > self.fin_total
+        if total + rem * self.index.bounds.max_inc < self.index.fin_total
+            || total - rem * self.index.bounds.max_dec > self.index.fin_total
         {
             return Flow::Pruned;
         }
-        let key = (m.fingerprint(), remaining);
-        if self.dead.contains(&key) {
-            return Flow::Pruned;
+        let key = (m.fingerprint128(), remaining);
+        if self.dead_cap > 0 {
+            if self.dead.contains(&key) {
+                self.stats.dead_hits += 1;
+                return Flow::Pruned;
+            }
+            self.stats.dead_misses += 1;
         }
+        // The symmetry-breaking restriction (see `expand`) depends on the
+        // *prefix*, not just the state: a node entered right after a
+        // zero-required firing skips some zero-required siblings, so its
+        // "no paths" verdict only holds for that context. Memoizing it
+        // under the prefix-independent `(marking, remaining)` key would
+        // unsoundly prune the same state reached through a canonical
+        // prefix, silently dropping valid programs (caught by the
+        // `dead_set_respects_symmetry_breaking_context` regression).
+        // Verdicts from *unrestricted* nodes are exact dead facts, so
+        // only those are stored — and looking one up is then sound from
+        // any context ("truly dead" implies dead under every
+        // restriction).
+        let prev_zero_required = self.prev_zero_required();
+        let flow = self.expand(m, remaining, prev_zero_required, on_path);
+        if flow == Flow::Pruned && self.dead_cap > 0 && prev_zero_required.is_none() {
+            // Fully explored, unrestricted, no success: remember as dead.
+            if self.dead.len() < self.dead_cap {
+                self.dead.insert(key);
+            } else {
+                self.stats.dead_rejected += 1;
+            }
+        }
+        flow
+    }
 
-        let mut any_emitted = false;
+    /// The symmetry-breaking context of the current node: the previous
+    /// firing's transition when it was a zero-required, no-optional
+    /// firing (whose lower-id zero-required siblings are then skipped).
+    fn prev_zero_required(&self) -> Option<TransId> {
+        if self.plen == 0 {
+            return None;
+        }
+        let f = &self.path[self.plen - 1];
+        let t = self.net.transition(f.trans);
+        (t.inputs.is_empty() && f.optional_taken.iter().all(|&c| c == 0)).then_some(f.trans)
+    }
+
+    /// Expands one search node: iterates the enabled firings (with their
+    /// optional-consumption odometers) in canonical order and recurses.
+    /// Allocation-free on the hot path — the candidate list, availability
+    /// bounds, and odometer live in per-depth scratch frames, and the
+    /// path slot's `optional_taken` buffer is reused across siblings.
+    fn expand(
+        &mut self,
+        m: &mut Marking,
+        remaining: usize,
         // Symmetry breaking: two *consecutive* firings of transitions with
         // no required inputs always commute (neither consumes anything the
         // other produced), so only the nondecreasing-id order is explored.
         // This collapses the permutations of "junk" no-arg method prefixes
-        // without losing any distinct program.
-        let prev_zero_required: Option<TransId> = self.path.last().and_then(|f| {
-            let t = self.net.transition(f.trans);
-            (t.inputs.is_empty() && f.optional_taken.iter().all(|&c| c == 0))
-                .then_some(f.trans)
-        });
-        for tid in self.candidates(m) {
-            let t = self.net.transition(tid);
+        // without losing any distinct program. Computed by the caller
+        // because it also gates dead-set storage.
+        prev_zero_required: Option<TransId>,
+        on_path: &mut dyn FnMut(&[Firing]) -> bool,
+    ) -> Flow {
+        let net = self.net;
+        let total = i64::from(m.total());
+        let child_rem = (remaining - 1) as i64;
+        let mut any_emitted = false;
+        // Candidate transitions for the marking: the zero-required set
+        // plus those whose first required place is marked, in id order.
+        let mut frame = std::mem::take(&mut self.frames[remaining]);
+        frame.cands.clear();
+        frame.cands.extend_from_slice(&self.index.zero_required);
+        for (place, _) in m.nonzero() {
+            if let Some(list) = self.index.by_first_input.get(&place) {
+                frame.cands.extend_from_slice(list);
+            }
+        }
+        frame.cands.sort_unstable();
+        let mut stopped = false;
+        'cands: for ci in 0..frame.cands.len() {
+            let tid = frame.cands[ci];
+            let t = net.transition(tid);
             if !can_fire(m, t) {
                 continue;
             }
@@ -315,45 +645,197 @@ impl<'a> Dfs<'a> {
                     }
                 }
             }
-            // Enumerate optional-consumption vectors (0 ..= min(cap, avail)
-            // for each optional place, after required consumption).
-            let mut avail: Vec<u32> = Vec::with_capacity(t.optionals.len());
-            for &(p, cap) in &t.optionals {
-                let required_here: u32 = t
-                    .inputs
-                    .iter()
-                    .filter(|&&(q, _)| q == p)
-                    .map(|&(_, c)| c)
-                    .sum();
-                avail.push(cap.min(m.tokens(p).saturating_sub(required_here)));
+            // Optional-consumption bounds: 0 ..= min(cap, avail) per
+            // optional place, after required consumption (the overlap is
+            // precomputed on the net).
+            let overlap = net.optional_overlap(tid);
+            frame.avail.clear();
+            for (i, &(p, cap)) in t.optionals.iter().enumerate() {
+                frame.avail.push(cap.min(m.tokens(p).saturating_sub(overlap[i])));
             }
-            let mut choice = vec![0u32; t.optionals.len()];
+            frame.choice.clear();
+            frame.choice.resize(t.optionals.len(), 0);
+            let base_delta = self.index.delta[tid.0 as usize];
             loop {
-                let firing = Firing { trans: tid, optional_taken: choice.clone() };
-                apply(m, self.net, &firing);
-                self.path.push(firing);
+                // Parent-side feasibility filter: children the token-count
+                // check would prune anyway are skipped without paying for
+                // apply/undo and the recursion (on deep searches this is
+                // the vast majority of children). Provably
+                // emission-neutral: the verdict is the child's own check,
+                // computed from the same numbers.
+                let choice_sum: i64 =
+                    frame.choice.iter().map(|&c| i64::from(c)).sum();
+                if !self.index.child_feasible(total + base_delta - choice_sum, child_rem) {
+                    if !next_choice(&mut frame.choice, &frame.avail) {
+                        break;
+                    }
+                    continue;
+                }
+                // Install the firing in the path slot, reusing the slot's
+                // buffer; all-zero optional vectors canonicalize to empty
+                // (see [`Firing::with_optionals`]).
+                if self.path.len() == self.plen {
+                    self.path.push(Firing::plain(tid));
+                }
+                let slot = &mut self.path[self.plen];
+                slot.trans = tid;
+                slot.optional_taken.clear();
+                if frame.choice.iter().any(|&c| c != 0) {
+                    slot.optional_taken.extend_from_slice(&frame.choice);
+                }
+                apply(m, net, &self.path[self.plen]);
+                self.plen += 1;
                 let flow = self.step(m, remaining - 1, on_path);
-                let firing = self.path.pop().expect("just pushed");
-                unapply(m, self.net, &firing);
+                self.plen -= 1;
+                unapply(m, net, &self.path[self.plen]);
                 match flow {
-                    Flow::Stop => return Flow::Stop,
+                    Flow::Stop => {
+                        stopped = true;
+                        break 'cands;
+                    }
                     Flow::Continue => any_emitted = true,
                     Flow::Pruned => {}
                 }
                 // Next optional-consumption vector (odometer).
-                if !next_choice(&mut choice, &avail) {
+                if !next_choice(&mut frame.choice, &frame.avail) {
                     break;
                 }
             }
         }
-        if !any_emitted && !self.timed_out && !self.cancelled {
-            // Fully explored with no success: remember as dead.
-            if self.dead.len() < 2_000_000 {
-                self.dead.insert(key);
-            }
-            return Flow::Pruned;
+        self.frames[remaining] = frame;
+        if stopped {
+            Flow::Stop
+        } else if any_emitted {
+            Flow::Continue
+        } else {
+            Flow::Pruned
         }
-        Flow::Continue
+    }
+}
+
+/// Runs one iterative-deepening level on the worker pool: expand a
+/// frontier, search the branches concurrently, and stitch the results
+/// back together in frontier order so the emitted stream is bit-identical
+/// to the serial level.
+#[allow(clippy::too_many_arguments)]
+fn run_level_parallel(
+    net: &Ttn,
+    index: &NetIndex,
+    init: &Marking,
+    fin: &Marking,
+    len: usize,
+    cfg: &SearchConfig,
+    cancel: &CancelToken,
+    worker_dead: &[Mutex<DeadSet>],
+    on_path: &mut dyn FnMut(&[Firing]) -> bool,
+    stats: &mut SearchStats,
+) -> StepOutcome {
+    // Expand the frontier until there is enough work to balance across
+    // the pool (skewed branch sizes are handled by work stealing, but
+    // only if branches outnumber workers comfortably).
+    let max_depth = 3.min(len - 1);
+    let target = cfg.threads.saturating_mul(8).max(16);
+    let mut depth = 1;
+    let branches = loop {
+        let mut dfs = Dfs::new(net, fin, index, cfg, cancel, None);
+        let outcome = dfs.collect_frontier(init.clone(), len, len - depth);
+        // Every expansion attempt is real traversal work, so its
+        // counters are absorbed even when the frontier is re-expanded
+        // one level deeper.
+        stats.absorb(&dfs.stats);
+        if outcome != StepOutcome::Done {
+            return outcome;
+        }
+        if dfs.branches.len() >= target || depth >= max_depth {
+            break std::mem::take(&mut dfs.branches);
+        }
+        depth += 1;
+    };
+    if branches.is_empty() {
+        return StepOutcome::Done;
+    }
+    let sub_remaining = len - depth;
+    if branches.len() == 1 {
+        let mut dfs = Dfs::new(net, fin, index, cfg, cancel, None);
+        std::mem::swap(&mut dfs.dead, &mut worker_dead[0].lock().expect("dead set lock"));
+        let outcome =
+            dfs.run_seeded(&branches[0].prefix, branches[0].marking.clone(), sub_remaining, on_path);
+        std::mem::swap(&mut dfs.dead, &mut worker_dead[0].lock().expect("dead set lock"));
+        stats.absorb(&dfs.stats);
+        return outcome;
+    }
+
+    struct WorkerOut {
+        paths: Vec<Vec<Firing>>,
+        outcome: StepOutcome,
+        stats: SearchStats,
+    }
+    let branches = &branches;
+    let mut level_outcome = StepOutcome::Done;
+    let mut consumer_stopped = false;
+    for_each_ordered(
+        cfg.threads,
+        branches.len(),
+        |job, worker, stop| {
+            let branch = &branches[job];
+            let mut dfs = Dfs::new(net, fin, index, cfg, cancel, Some(stop));
+            // Each worker carries its dead-set across the branches (and
+            // levels) it processes: dead facts are global truths of the
+            // search, so reusing them avoids re-exploring subtrees other
+            // branches already proved empty. The lock is per-worker and
+            // therefore uncontended.
+            std::mem::swap(
+                &mut dfs.dead,
+                &mut worker_dead[worker].lock().expect("dead set lock"),
+            );
+            let mut paths: Vec<Vec<Firing>> = Vec::new();
+            let outcome =
+                dfs.run_seeded(&branch.prefix, branch.marking.clone(), sub_remaining, &mut |p| {
+                    paths.push(p.to_vec());
+                    // At most `max_paths` paths of any single branch can
+                    // ever be emitted (the global cap), so a worker can
+                    // stop buffering there without changing the stream —
+                    // bounds memory and work for small-cap searches.
+                    paths.len() < cfg.max_paths
+                });
+            std::mem::swap(
+                &mut dfs.dead,
+                &mut worker_dead[worker].lock().expect("dead set lock"),
+            );
+            WorkerOut { paths, outcome, stats: dfs.stats }
+        },
+        |_, out| {
+            // `paths` counts *emitted* paths (serial semantics: one per
+            // `on_path` invocation); the worker counted at buffering
+            // time, so zero it out and re-count at delivery — a stopped
+            // delivery must not count the undelivered tail.
+            let mut worker_stats = out.stats;
+            worker_stats.paths = 0;
+            stats.absorb(&worker_stats);
+            for path in &out.paths {
+                stats.paths += 1;
+                if !on_path(path) {
+                    consumer_stopped = true;
+                    break;
+                }
+            }
+            match out.outcome {
+                StepOutcome::Cancelled => level_outcome = StepOutcome::Cancelled,
+                StepOutcome::TimedOut => {
+                    if level_outcome == StepOutcome::Done {
+                        level_outcome = StepOutcome::TimedOut;
+                    }
+                }
+                // `Stopped` from a worker only echoes the pool stop flag.
+                StepOutcome::Stopped | StepOutcome::Done => {}
+            }
+            !consumer_stopped && level_outcome == StepOutcome::Done
+        },
+    );
+    if consumer_stopped {
+        StepOutcome::Stopped
+    } else {
+        level_outcome
     }
 }
 
@@ -523,13 +1005,13 @@ mod tests {
         cancel.cancel();
         let cfg = SearchConfig { max_len: 7, ..SearchConfig::default() };
         let mut n = 0;
-        let outcome = enumerate_search(&net, &init, &fin, &cfg, &cancel, &mut |e| {
+        let report = enumerate_search(&net, &init, &fin, &cfg, &cancel, &mut |e| {
             if matches!(e, SearchEvent::Path(_)) {
                 n += 1;
             }
             true
         });
-        assert_eq!(outcome, SearchOutcome::Cancelled);
+        assert_eq!(report.outcome, SearchOutcome::Cancelled);
         assert_eq!(n, 0);
     }
 
@@ -539,7 +1021,7 @@ mod tests {
         let cancel = CancelToken::new();
         let cfg = SearchConfig { max_len: 7, ..SearchConfig::default() };
         let mut n = 0;
-        let outcome = enumerate_search(&net, &init, &fin, &cfg, &cancel, &mut |e| {
+        let report = enumerate_search(&net, &init, &fin, &cfg, &cancel, &mut |e| {
             if matches!(e, SearchEvent::Path(_)) {
                 n += 1;
                 // Cancel from "outside" after the first path arrives.
@@ -547,7 +1029,7 @@ mod tests {
             }
             true
         });
-        assert_eq!(outcome, SearchOutcome::Cancelled);
+        assert_eq!(report.outcome, SearchOutcome::Cancelled);
         assert_eq!(n, 1);
     }
 
@@ -556,14 +1038,14 @@ mod tests {
         let (net, init, fin) = setup();
         let cfg = SearchConfig { max_len: 7, ..SearchConfig::default() };
         let mut depths = Vec::new();
-        let outcome =
+        let report =
             enumerate_search(&net, &init, &fin, &cfg, &CancelToken::new(), &mut |e| {
                 if let SearchEvent::DepthExhausted { depth } = e {
                     depths.push(depth);
                 }
                 true
             });
-        assert_eq!(outcome, SearchOutcome::Exhausted);
+        assert_eq!(report.outcome, SearchOutcome::Exhausted);
         assert_eq!(depths, vec![1, 2, 3, 4, 5, 6, 7]);
     }
 
@@ -583,5 +1065,196 @@ mod tests {
             true
         });
         assert_eq!(shortest, Some(vec!["c_list".to_string()]));
+    }
+
+    /// Collects every path (and the final outcome) for a thread count.
+    fn collect_with_threads(
+        net: &Ttn,
+        init: &Marking,
+        fin: &Marking,
+        max_len: usize,
+        threads: usize,
+    ) -> (Vec<Vec<Firing>>, SearchOutcome) {
+        let cfg = SearchConfig { max_len, threads, ..SearchConfig::default() };
+        let mut paths: Vec<Vec<Firing>> = Vec::new();
+        let outcome = enumerate_paths(net, init, fin, &cfg, &mut |p| {
+            paths.push(p.to_vec());
+            true
+        });
+        (paths, outcome)
+    }
+
+    /// The determinism guarantee of the parallel search: for every thread
+    /// count the emitted path *sequence* (order included) and the outcome
+    /// are bit-identical to the serial enumeration.
+    #[test]
+    fn parallel_enumeration_is_bit_identical_to_serial() {
+        let (net, init, fin) = setup();
+        let (serial, serial_outcome) = collect_with_threads(&net, &init, &fin, 7, 1);
+        assert!(!serial.is_empty());
+        for threads in [2, 4, 8] {
+            let (par, par_outcome) = collect_with_threads(&net, &init, &fin, 7, threads);
+            assert_eq!(par, serial, "threads = {threads}");
+            assert_eq!(par_outcome, serial_outcome, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_respects_max_paths() {
+        let (net, init, fin) = setup();
+        let cfg =
+            SearchConfig { max_len: 7, max_paths: 2, threads: 4, ..SearchConfig::default() };
+        let mut n = 0;
+        let outcome = enumerate_paths(&net, &init, &fin, &cfg, &mut |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 2);
+        assert_eq!(outcome, SearchOutcome::Stopped);
+    }
+
+    /// Cancellation must propagate to every pool worker promptly: cancel
+    /// after the first path of a deep parallel search and the whole run
+    /// reports `Cancelled` without first exhausting the space.
+    #[test]
+    fn cancel_mid_parallel_search_is_prompt_on_every_worker() {
+        let (net, init, fin) = setup();
+        let cancel = CancelToken::new();
+        let cfg = SearchConfig { max_len: 12, threads: 8, ..SearchConfig::default() };
+        let started = Instant::now();
+        let mut n = 0;
+        let report = enumerate_search(&net, &init, &fin, &cfg, &cancel, &mut |e| {
+            if matches!(e, SearchEvent::Path(_)) {
+                n += 1;
+                cancel.cancel();
+            }
+            true
+        });
+        assert_eq!(report.outcome, SearchOutcome::Cancelled);
+        assert!(n >= 1);
+        // Depth 12 on this net would take far longer than this bound if
+        // any worker kept searching past the cancellation.
+        assert!(started.elapsed() < std::time::Duration::from_secs(30));
+    }
+
+    /// Soundness regression for dead-state memoization: pruning must only
+    /// ever skip path-free subtrees, so enumeration with the memo
+    /// disabled (`dead_set_cap: 0`) yields exactly the same paths.
+    #[test]
+    fn dead_set_memoization_never_drops_paths() {
+        let (net, init, fin) = setup();
+        let collect = |cap: usize| {
+            let cfg = SearchConfig { max_len: 7, dead_set_cap: cap, ..SearchConfig::default() };
+            let mut paths: Vec<Vec<Firing>> = Vec::new();
+            enumerate_paths(&net, &init, &fin, &cfg, &mut |p| {
+                paths.push(p.to_vec());
+                true
+            });
+            paths
+        };
+        assert_eq!(collect(2_000_000), collect(0));
+    }
+
+    /// Regression (PR 3 review): a state first explored *under the
+    /// zero-required symmetry restriction* must not poison the memo for
+    /// the same state reached through a canonical prefix. With
+    /// `t0: ()→A`, `t1: ()→B`, `t2: A+B→OUT`, `t3: A→B`, the level-3
+    /// probe reaches `({B}, rem 2)` via `[t1]` (where `t0` is
+    /// symmetry-skipped) and finds nothing; the level-4 canonical path
+    /// `[t0, t3, t0, t2]` reaches the same state via `t3` and used to be
+    /// unsoundly pruned by the stale dead entry.
+    #[test]
+    fn dead_set_respects_symmetry_breaking_context() {
+        use crate::net::{TransKind, Transition};
+        use apiphany_spec::{GroupId, SemTy};
+
+        let mut net = Ttn::new();
+        let a = net.intern_place(SemTy::Group(GroupId(0)));
+        let b = net.intern_place(SemTy::Group(GroupId(1)));
+        let out = net.intern_place(SemTy::Group(GroupId(2)));
+        let mk = |name: &str, inputs: Vec<(crate::net::PlaceId, u32)>, output| Transition {
+            kind: TransKind::Method(name.into()),
+            inputs,
+            optionals: Vec::new(),
+            outputs: vec![(output, 1)],
+            params: Vec::new(),
+        };
+        net.add_transition(mk("t0", Vec::new(), a));
+        net.add_transition(mk("t1", Vec::new(), b));
+        net.add_transition(mk("t2", vec![(a, 1), (b, 1)], out));
+        net.add_transition(mk("t3", vec![(a, 1)], b));
+        let init = Marking::empty(net.n_places());
+        let mut fin = Marking::empty(net.n_places());
+        fin.add(out, 1);
+
+        let collect = |cap: usize| {
+            let cfg = SearchConfig { max_len: 4, dead_set_cap: cap, ..SearchConfig::default() };
+            let mut paths: Vec<Vec<Firing>> = Vec::new();
+            enumerate_paths(&net, &init, &fin, &cfg, &mut |p| {
+                paths.push(p.to_vec());
+                true
+            });
+            paths
+        };
+        let with_memo = collect(2_000_000);
+        let without_memo = collect(0);
+        assert_eq!(with_memo, without_memo);
+        // The canonical [t0, t3, t0, t2] path must be present.
+        let canonical: Vec<u32> = vec![0, 3, 0, 2];
+        assert!(
+            with_memo.iter().any(|p| {
+                p.iter().map(|f| f.trans.0).collect::<Vec<_>>() == canonical
+            }),
+            "canonical path dropped: {with_memo:?}"
+        );
+    }
+
+    #[test]
+    fn stats_count_nodes_paths_and_dead_set_traffic() {
+        let (net, init, fin) = setup();
+        let cfg = SearchConfig { max_len: 7, ..SearchConfig::default() };
+        let report = enumerate_search(&net, &init, &fin, &cfg, &CancelToken::new(), &mut |_| true);
+        assert_eq!(report.outcome, SearchOutcome::Exhausted);
+        assert_eq!(report.stats.paths, 2);
+        assert!(report.stats.nodes > 0);
+        assert!(report.stats.dead_hits > 0, "{:?}", report.stats);
+        assert!(report.stats.dead_misses > 0);
+        assert_eq!(report.stats.dead_rejected, 0);
+    }
+
+    #[test]
+    fn tiny_dead_set_cap_reports_rejections() {
+        let (net, init, fin) = setup();
+        let cfg = SearchConfig { max_len: 7, dead_set_cap: 4, ..SearchConfig::default() };
+        let report = enumerate_search(&net, &init, &fin, &cfg, &CancelToken::new(), &mut |_| true);
+        assert_eq!(report.outcome, SearchOutcome::Exhausted);
+        assert_eq!(report.stats.paths, 2);
+        assert!(report.stats.dead_rejected > 0);
+    }
+
+    /// Satellite regression: the DFS emits canonical firings — a firing
+    /// that takes no optional tokens carries an *empty* vector and thus
+    /// compares equal to [`Firing::plain`] of the same transition.
+    #[test]
+    fn emitted_firings_are_canonical() {
+        let (net, init, fin) = setup();
+        let cfg = SearchConfig { max_len: 7, ..SearchConfig::default() };
+        let mut seen_any = false;
+        enumerate_paths(&net, &init, &fin, &cfg, &mut |path| {
+            for f in path {
+                if f.optional_taken.iter().all(|&c| c == 0) {
+                    seen_any = true;
+                    assert_eq!(f, &Firing::plain(f.trans), "non-canonical firing: {f:?}");
+                }
+            }
+            true
+        });
+        assert!(seen_any);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(SearchConfig::with_threads(0).threads, 1);
+        assert_eq!(SearchConfig::with_threads(6).threads, 6);
     }
 }

@@ -123,6 +123,50 @@ proptest! {
         prop_assert_eq!(canon(&dfs), canon(&ilp));
     }
 
+    /// The parallel DFS determinism guarantee: for every thread count the
+    /// emitted path *sequence* (order included) and the final
+    /// [`SearchOutcome`] are identical to the serial enumeration, on
+    /// random Fig. 7-style nets and queries.
+    #[test]
+    fn parallel_dfs_is_bit_identical_to_serial(
+        net in arb_net(4, 6),
+        init_tokens in prop::collection::vec(0..4usize, 0..=3),
+        fin_place in 0..4usize,
+    ) {
+        use apiphany_ttn::{enumerate_search, CancelToken, SearchEvent};
+
+        let mut init = Marking::empty(net.n_places());
+        for p in init_tokens {
+            init.add(PlaceId(p as u32), 1);
+        }
+        let mut fin = Marking::empty(net.n_places());
+        fin.add(PlaceId(fin_place as u32), 1);
+
+        let enumerate = |threads: usize| {
+            let cfg = SearchConfig {
+                max_len: 5,
+                max_paths: 3000,
+                threads,
+                ..SearchConfig::default()
+            };
+            let mut paths: Vec<Vec<Firing>> = Vec::new();
+            let report =
+                enumerate_search(&net, &init, &fin, &cfg, &CancelToken::new(), &mut |e| {
+                    if let SearchEvent::Path(p) = e {
+                        paths.push(p.to_vec());
+                    }
+                    true
+                });
+            (paths, report.outcome)
+        };
+        let (serial_paths, serial_outcome) = enumerate(1);
+        for threads in [2usize, 4, 8] {
+            let (par_paths, par_outcome) = enumerate(threads);
+            prop_assert_eq!(&par_paths, &serial_paths);
+            prop_assert_eq!(par_outcome, serial_outcome);
+        }
+    }
+
     /// Every DFS path replays to exactly the final marking.
     #[test]
     fn dfs_paths_are_valid_firing_sequences(
