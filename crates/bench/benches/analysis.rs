@@ -3,7 +3,7 @@
 
 use apiphany_benchmarks::{scenario_witnesses, Api};
 use apiphany_mining::{mine_types, MiningConfig};
-use apiphany_services::{Slack, Sqare, Stripe};
+use apiphany_services::{Slack, Square, Stripe};
 use apiphany_spec::Service;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -14,7 +14,7 @@ fn bench_mining(c: &mut Criterion) {
         let lib = match api {
             Api::Slack => Slack::new().library().clone(),
             Api::Stripe => Stripe::new().library().clone(),
-            Api::Sqare => Sqare::new().library().clone(),
+            Api::Square => Square::new().library().clone(),
         };
         let witnesses = scenario_witnesses(api);
         group.bench_function(api.name(), |b| {

@@ -108,7 +108,7 @@ fn search_run_json(run: &SearchRun, serial: Option<&SearchRun>) -> Value {
         ("nodes".to_string(), Value::Int(run.stats.nodes as i64)),
         ("dead_hits".to_string(), Value::Int(run.stats.dead_hits as i64)),
         ("dead_misses".to_string(), Value::Int(run.stats.dead_misses as i64)),
-        ("dead_rejected".to_string(), Value::Int(run.stats.dead_rejected as i64)),
+        ("dead_evicted".to_string(), Value::Int(run.stats.dead_evicted as i64)),
         ("allocs".to_string(), Value::Int(run.allocs as i64)),
         (
             "allocs_per_node".to_string(),

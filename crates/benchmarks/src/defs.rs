@@ -17,20 +17,20 @@ pub enum Api {
     Slack,
     /// The simulated Stripe payment platform.
     Stripe,
-    /// The simulated Sqare point-of-sale platform.
-    Sqare,
+    /// The simulated Square point-of-sale platform.
+    Square,
 }
 
 impl Api {
     /// All three APIs, in paper order.
-    pub const ALL: [Api; 3] = [Api::Slack, Api::Stripe, Api::Sqare];
+    pub const ALL: [Api; 3] = [Api::Slack, Api::Stripe, Api::Square];
 
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
             Api::Slack => "slack",
             Api::Stripe => "stripe",
-            Api::Sqare => "sqare",
+            Api::Square => "square",
         }
     }
 }
@@ -335,10 +335,10 @@ pub fn benchmarks() -> Vec<Benchmark> {
                 return x3
             }",
         },
-        // ------------------------------------------------ Sqare (11)
+        // ------------------------------------------------ Square (11)
         Benchmark {
             id: "3.1",
-            api: Api::Sqare,
+            api: Api::Square,
             description: "List invoices that match a location id",
             effectful: false,
             query: "{ location_id: Location.id } → [Invoice]",
@@ -349,7 +349,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         },
         Benchmark {
             id: "3.2",
-            api: Api::Sqare,
+            api: Api::Square,
             description: "List subscriptions by location, customer, and plan",
             effectful: false,
             query: "{ customer_id: Customer.id, location_id: Location.id, plan_id: CatalogObject.id } → [Subscription]",
@@ -364,7 +364,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         },
         Benchmark {
             id: "3.3",
-            api: Api::Sqare,
+            api: Api::Square,
             description: "Get all items a tax applies to",
             effectful: false,
             query: "{ tax_id: CatalogObject.id } → [CatalogObject]",
@@ -378,7 +378,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         },
         Benchmark {
             id: "3.4",
-            api: Api::Sqare,
+            api: Api::Square,
             description: "Get a list of discounts in the catalog",
             effectful: false,
             query: "{ } → [CatalogDiscount]",
@@ -390,7 +390,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         },
         Benchmark {
             id: "3.5",
-            api: Api::Sqare,
+            api: Api::Square,
             description: "Add order details to order",
             effectful: true,
             query: "{ location_id: Location.id, order_ids: [Order.id], updates: [OrderFulfillment] } → [Order]",
@@ -405,7 +405,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         },
         Benchmark {
             id: "3.6",
-            api: Api::Sqare,
+            api: Api::Square,
             description: "Get payment notes of a payment",
             effectful: false,
             query: "{ } → [Payment.note]",
@@ -417,7 +417,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         },
         Benchmark {
             id: "3.7",
-            api: Api::Sqare,
+            api: Api::Square,
             description: "Get order ids of current user's transactions",
             effectful: false,
             query: "{ location_id: Location.id } → [Order.id]",
@@ -429,7 +429,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         },
         Benchmark {
             id: "3.8",
-            api: Api::Sqare,
+            api: Api::Square,
             description: "Get order names from a transaction id",
             effectful: false,
             query: "{ location_id: Location.id, transaction_id: Order.id } → [Invoice.title]",
@@ -442,7 +442,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         },
         Benchmark {
             id: "3.9",
-            api: Api::Sqare,
+            api: Api::Square,
             description: "Find customers by name",
             effectful: false,
             query: "{ name: Customer.given_name } → Customer",
@@ -455,7 +455,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         },
         Benchmark {
             id: "3.10",
-            api: Api::Sqare,
+            api: Api::Square,
             description: "Delete catalog items with names",
             effectful: true,
             query: "{ item_type: CatalogObject.type, names: [CatalogItem.name] } → [CatalogObject.id]",
@@ -470,7 +470,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         },
         Benchmark {
             id: "3.11",
-            api: Api::Sqare,
+            api: Api::Square,
             description: "Delete all catalog items",
             effectful: true,
             query: "{ } → [CatalogObject.id]",
@@ -499,7 +499,7 @@ mod tests {
         assert_eq!(all.len(), 32);
         assert_eq!(all.iter().filter(|b| b.api == Api::Slack).count(), 8);
         assert_eq!(all.iter().filter(|b| b.api == Api::Stripe).count(), 13);
-        assert_eq!(all.iter().filter(|b| b.api == Api::Sqare).count(), 11);
+        assert_eq!(all.iter().filter(|b| b.api == Api::Square).count(), 11);
         // 15 effectful tasks, as in Table 2's daggers.
         assert_eq!(all.iter().filter(|b| b.effectful).count(), 15);
     }

@@ -11,7 +11,7 @@
 //! * `repro-table4` — qualitative mined-type inspection.
 //!
 //! All binaries accept `--timeout <secs>` (per benchmark), `--max-len <n>`
-//! (TTN path bound), and `--api slack|stripe|sqare` to restrict scope.
+//! (TTN path bound), and `--api slack|stripe|square` to restrict scope.
 
 mod defs;
 mod prep;
@@ -72,7 +72,8 @@ impl CliOptions {
                     opts.api = args.get(i + 1).and_then(|s| match s.as_str() {
                         "slack" => Some(Api::Slack),
                         "stripe" => Some(Api::Stripe),
-                        "sqare" => Some(Api::Sqare),
+                        // The historical spelling is still accepted.
+                        "square" | "sqare" => Some(Api::Square),
                         _ => None,
                     });
                     i += 1;

@@ -4,7 +4,7 @@
 
 use apiphany_core::Apiphany;
 use apiphany_mining::{AnalyzeConfig, AnalyzeStats, Granularity, MiningConfig};
-use apiphany_services::{Slack, Sqare, Stripe};
+use apiphany_services::{Slack, Square, Stripe};
 use apiphany_spec::{Library, Service, Witness};
 use apiphany_ttn::BuildOptions;
 
@@ -15,7 +15,7 @@ pub fn make_service(api: Api) -> Box<dyn Service> {
     match api {
         Api::Slack => Box::new(Slack::new()),
         Api::Stripe => Box::new(Stripe::new()),
-        Api::Sqare => Box::new(Sqare::new()),
+        Api::Square => Box::new(Square::new()),
     }
 }
 
@@ -24,7 +24,7 @@ pub fn scenario_witnesses(api: Api) -> Vec<Witness> {
     match api {
         Api::Slack => Slack::new().scenario(),
         Api::Stripe => Stripe::new().scenario(),
-        Api::Sqare => Sqare::new().scenario(),
+        Api::Square => Square::new().scenario(),
     }
 }
 
@@ -65,8 +65,8 @@ pub fn prepare_api(api: Api, analyze: &AnalyzeConfig) -> Prepared {
             let w0 = svc.scenario();
             finish(api, &mut svc, &w0, analyze)
         }
-        Api::Sqare => {
-            let mut svc = Sqare::new();
+        Api::Square => {
+            let mut svc = Square::new();
             let w0 = svc.scenario();
             finish(api, &mut svc, &w0, analyze)
         }

@@ -38,9 +38,19 @@ pub struct AnalysisArtifact {
     pub witnesses: Vec<Witness>,
     /// Statistics of the analysis run, when one was performed.
     pub stats: Option<AnalyzeStats>,
+    /// The service this analysis belongs to, when known — stamped by the
+    /// [`crate::ServiceCatalog`] so artifacts found on disk can be
+    /// re-registered under their original name.
+    pub service: Option<String>,
 }
 
 impl AnalysisArtifact {
+    /// The same artifact stamped with a service name.
+    pub fn named(mut self, service: impl Into<String>) -> AnalysisArtifact {
+        self.service = Some(service.into());
+        self
+    }
+
     /// Encodes the artifact to a JSON value.
     pub fn to_value(&self) -> Value {
         let stats = match &self.stats {
@@ -53,6 +63,13 @@ impl AnalysisArtifact {
         };
         Value::obj([
             ("format", Value::from(FORMAT)),
+            (
+                "service",
+                match &self.service {
+                    None => Value::Null,
+                    Some(name) => Value::from(name.as_str()),
+                },
+            ),
             ("semlib", self.semlib.to_value()),
             ("witnesses", witnesses_to_json(&self.witnesses)),
             ("stats", stats),
@@ -98,7 +115,10 @@ impl AnalysisArtifact {
                 rounds: decode_count(s, "rounds")?,
             }),
         };
-        Ok(AnalysisArtifact { semlib, witnesses, stats })
+        // `service` is a v1 extension: absent in artifacts written before
+        // the catalog existed, so absent/null simply decodes to None.
+        let service = v.get("service").and_then(Value::as_str).map(str::to_string);
+        Ok(AnalysisArtifact { semlib, witnesses, stats, service })
     }
 
     /// Decodes an artifact from a JSON string.

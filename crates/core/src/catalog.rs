@@ -1,0 +1,528 @@
+//! The service catalog: analyze once per *service*, serve every query.
+//!
+//! A [`ServiceCatalog`] is the registry a serving process (such as the
+//! `synthd` daemon) keeps its engines in. Services are registered by name
+//! from either raw analysis inputs (a [`Library`] plus a witness set) or
+//! a pre-computed [`AnalysisArtifact`]; the expensive analysis work —
+//! type mining and TTN construction — runs **lazily, once, on first
+//! use**, and the resulting engine is shared by every subsequent query
+//! (engines are cheap `Arc` handles).
+//!
+//! With a cache directory configured, the catalog also persists each
+//! mined analysis as `<name>.analysis.json`: the next process registering
+//! the same service skips mining entirely and reloads the artifact — the
+//! paper's analyze-once/query-many split (§4), extended across services
+//! and process restarts.
+//!
+//! ```
+//! use apiphany_core::{QuerySpec, ServiceCatalog};
+//! use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+//!
+//! let catalog = ServiceCatalog::new();
+//! catalog.register_spec("demo", fig7_library(), fig4_witnesses()).unwrap();
+//! // Analysis happens here, on first use, and is reused afterwards.
+//! let spec = QuerySpec::output("[Profile.email]")
+//!     .service("demo")
+//!     .input("channel_name", "Channel.name")
+//!     .depth(7);
+//! let result = catalog.open(&spec).unwrap().drain();
+//! assert_eq!(result.ranked.len(), 2);
+//! ```
+//!
+//! All methods take `&self` and the catalog is `Sync`: a daemon shares
+//! one catalog across request-handling threads. A service being analyzed
+//! blocks only the callers that need *that* service; registrations and
+//! queries against other services proceed.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+
+use apiphany_mining::MiningConfig;
+use apiphany_spec::{Library, Witness};
+use apiphany_ttn::BuildOptions;
+
+use crate::{AnalysisArtifact, Engine, EngineError, QuerySpec, Session};
+
+/// One registered service's lifecycle state.
+enum Entry {
+    /// Registered from raw inputs; analysis has not run yet.
+    Spec { library: Library, witnesses: Vec<Witness> },
+    /// Registered from a saved artifact; the engine (TTN) is not built yet.
+    Artifact(Box<AnalysisArtifact>),
+    /// Some thread is mining/building right now; wait on the condvar.
+    Analyzing,
+    /// Ready to serve.
+    Ready(Engine),
+}
+
+/// What a catalog entry looks like from outside ([`ServiceCatalog::list`]
+/// / [`ServiceCatalog::inspect`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceInfo {
+    /// The registration name.
+    pub name: String,
+    /// Whether the analyze-once work (mining + TTN build) has happened.
+    pub analyzed: bool,
+    /// Methods in the service's syntactic library.
+    pub n_methods: usize,
+    /// Witnesses available for retrospective execution.
+    pub n_witnesses: usize,
+    /// Mined semantic type groups; `None` until analyzed (registration
+    /// from an artifact knows it immediately).
+    pub n_semantic_types: Option<usize>,
+}
+
+/// A named registry of services with lazy analyze-once engines and an
+/// optional on-disk artifact cache. See the module docs.
+pub struct ServiceCatalog {
+    entries: Mutex<HashMap<String, Entry>>,
+    /// Signalled whenever an `Analyzing` entry resolves.
+    ready: Condvar,
+    cache_dir: Option<PathBuf>,
+    mining: MiningConfig,
+    build: BuildOptions,
+}
+
+impl Default for ServiceCatalog {
+    fn default() -> ServiceCatalog {
+        ServiceCatalog::new()
+    }
+}
+
+impl std::fmt::Debug for ServiceCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceCatalog")
+            .field("services", &self.entries.lock().expect("catalog lock").len())
+            .field("cache_dir", &self.cache_dir)
+            .finish()
+    }
+}
+
+impl ServiceCatalog {
+    /// An empty catalog with default mining/TTN options and no disk cache.
+    pub fn new() -> ServiceCatalog {
+        ServiceCatalog {
+            entries: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            cache_dir: None,
+            mining: MiningConfig::default(),
+            build: BuildOptions::default(),
+        }
+    }
+
+    /// Persists mined artifacts under `dir` as `<name>.analysis.json` and
+    /// reloads them instead of re-mining. The directory is created on
+    /// first write; a cache file that fails to parse is ignored and
+    /// overwritten by a fresh analysis (a corrupt cache must never take
+    /// the service down).
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> ServiceCatalog {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the type-mining configuration used for spec-registered
+    /// services (granularity ablations, merge policy).
+    pub fn with_mining(mut self, mining: MiningConfig) -> ServiceCatalog {
+        self.mining = mining;
+        self
+    }
+
+    /// Sets the TTN construction options used when engines are built.
+    pub fn with_build_options(mut self, build: BuildOptions) -> ServiceCatalog {
+        self.build = build;
+        self
+    }
+
+    /// Registers a service from its analysis inputs: the syntactic
+    /// library and a witness set. Mining is deferred to first use.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidServiceName`] for unusable names,
+    /// [`EngineError::DuplicateService`] when the name is taken.
+    pub fn register_spec(
+        &self,
+        name: &str,
+        library: Library,
+        witnesses: Vec<Witness>,
+    ) -> Result<(), EngineError> {
+        self.insert(name, Entry::Spec { library, witnesses })
+    }
+
+    /// Registers a service from a saved [`AnalysisArtifact`] — no mining
+    /// will ever run for it; only the TTN build is deferred to first use.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServiceCatalog::register_spec`].
+    pub fn register_artifact(
+        &self,
+        name: &str,
+        artifact: AnalysisArtifact,
+    ) -> Result<(), EngineError> {
+        self.insert(name, Entry::Artifact(Box::new(artifact)))
+    }
+
+    fn insert(&self, name: &str, entry: Entry) -> Result<(), EngineError> {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+        {
+            return Err(EngineError::InvalidServiceName(name.to_string()));
+        }
+        let mut entries = self.entries.lock().expect("catalog lock");
+        if entries.contains_key(name) {
+            return Err(EngineError::DuplicateService(name.to_string()));
+        }
+        entries.insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    /// The names of all registered services, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let entries = self.entries.lock().expect("catalog lock");
+        let mut names: Vec<String> = entries.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Describes every registered service, sorted by name.
+    pub fn list(&self) -> Vec<ServiceInfo> {
+        let entries = self.entries.lock().expect("catalog lock");
+        let mut infos: Vec<ServiceInfo> =
+            entries.iter().map(|(name, entry)| describe(name, entry)).collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Describes one service, or `None` if the name is not registered.
+    pub fn inspect(&self, name: &str) -> Option<ServiceInfo> {
+        let entries = self.entries.lock().expect("catalog lock");
+        entries.get(name).map(|entry| describe(name, entry))
+    }
+
+    /// Removes a service from the catalog, dropping its engine (sessions
+    /// already streaming keep their own handles and are unaffected; a
+    /// disk-cached artifact also survives). Returns whether the name was
+    /// registered.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut entries = self.entries.lock().expect("catalog lock");
+        // Never remove an entry mid-analysis: the analyzing thread will
+        // re-insert its result, resurrecting the service in a confusing
+        // half-registered state. Let it finish, then evict.
+        while matches!(entries.get(name), Some(Entry::Analyzing)) {
+            entries = self.ready.wait(entries).expect("catalog lock");
+        }
+        entries.remove(name).is_some()
+    }
+
+    /// The engine for a service, running the analyze-once work (cache
+    /// load, or mining, plus the TTN build) on first use. Concurrent
+    /// callers for the same service block until the one doing the work
+    /// publishes the engine; callers for other services are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownService`] for unregistered names.
+    pub fn engine(&self, name: &str) -> Result<Engine, EngineError> {
+        let mut entries = self.entries.lock().expect("catalog lock");
+        loop {
+            match entries.get(name) {
+                None => return Err(EngineError::UnknownService(name.to_string())),
+                Some(Entry::Ready(engine)) => return Ok(engine.clone()),
+                Some(Entry::Analyzing) => {
+                    entries = self.ready.wait(entries).expect("catalog lock");
+                }
+                Some(Entry::Spec { .. } | Entry::Artifact(_)) => break,
+            }
+        }
+        // Claim the analysis: take the inputs out and release the lock
+        // while mining/building so other services stay available. If the
+        // build panics (malformed inputs), the guard removes the stuck
+        // `Analyzing` marker and wakes every waiter — they see the
+        // service as unregistered instead of blocking forever, and the
+        // panic poisons only this call, never the whole catalog.
+        let claimed =
+            entries.insert(name.to_string(), Entry::Analyzing).expect("entry just matched");
+        drop(entries);
+        struct ClaimGuard<'a> {
+            catalog: &'a ServiceCatalog,
+            name: &'a str,
+            armed: bool,
+        }
+        impl Drop for ClaimGuard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    let mut entries = self.catalog.entries.lock().expect("catalog lock");
+                    entries.remove(self.name);
+                    drop(entries);
+                    self.catalog.ready.notify_all();
+                }
+            }
+        }
+        let mut guard = ClaimGuard { catalog: self, name, armed: true };
+        let engine = match claimed {
+            Entry::Spec { library, witnesses } => self.analyze_spec(name, library, witnesses),
+            Entry::Artifact(artifact) => {
+                Engine::builder().build_options(self.build.clone()).from_artifact(*artifact)
+            }
+            Entry::Analyzing | Entry::Ready(_) => unreachable!("claimed unanalyzed entry"),
+        };
+        guard.armed = false;
+        let mut entries = self.entries.lock().expect("catalog lock");
+        entries.insert(name.to_string(), Entry::Ready(engine.clone()));
+        drop(entries);
+        self.ready.notify_all();
+        Ok(engine)
+    }
+
+    /// Opens a streaming [`Session`] for a catalog-routed [`QuerySpec`]
+    /// on a dedicated worker thread. (A [`crate::Scheduler`] does the
+    /// same over a shared, bounded pool.)
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] when the spec names no service,
+    /// [`EngineError::UnknownService`] / [`EngineError::Query`] /
+    /// [`EngineError::Budget`] as for the underlying lookups.
+    pub fn open(&self, spec: &QuerySpec) -> Result<Session, EngineError> {
+        let name = spec
+            .service
+            .as_deref()
+            .ok_or_else(|| EngineError::Spec("catalog queries must name a service".into()))?;
+        self.engine(name)?.open(spec)
+    }
+
+    /// The analyze-once work for a spec registration: reuse the disk
+    /// cache when possible, mine otherwise, and persist the result.
+    fn analyze_spec(&self, name: &str, library: Library, witnesses: Vec<Witness>) -> Engine {
+        if let Some(artifact) = self.load_cached(name) {
+            return Engine::builder().build_options(self.build.clone()).from_artifact(artifact);
+        }
+        let engine = Engine::builder()
+            .mining(self.mining.clone())
+            .build_options(self.build.clone())
+            .from_witnesses(library, witnesses);
+        self.store_cached(name, &engine);
+        engine
+    }
+
+    fn cache_path(&self, name: &str) -> Option<PathBuf> {
+        self.cache_dir.as_ref().map(|dir| dir.join(format!("{name}.analysis.json")))
+    }
+
+    fn load_cached(&self, name: &str) -> Option<AnalysisArtifact> {
+        let path = self.cache_path(name)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        // A cache file that no longer parses (older format, torn write)
+        // is treated as absent; the fresh analysis overwrites it.
+        AnalysisArtifact::from_json(&text).ok()
+    }
+
+    /// Best-effort cache write: serving must not fail because the cache
+    /// volume is full or read-only.
+    fn store_cached(&self, name: &str, engine: &Engine) {
+        let Some(path) = self.cache_path(name) else { return };
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let artifact = engine.save_analysis().named(name);
+        let _ = std::fs::write(path, artifact.to_json());
+    }
+}
+
+fn describe(name: &str, entry: &Entry) -> ServiceInfo {
+    match entry {
+        Entry::Spec { library, witnesses } => ServiceInfo {
+            name: name.to_string(),
+            analyzed: false,
+            n_methods: library.stats().n_methods,
+            n_witnesses: witnesses.len(),
+            n_semantic_types: None,
+        },
+        Entry::Artifact(artifact) => ServiceInfo {
+            name: name.to_string(),
+            analyzed: false,
+            n_methods: artifact.semlib.lib.stats().n_methods,
+            n_witnesses: artifact.witnesses.len(),
+            n_semantic_types: Some(artifact.semlib.n_groups()),
+        },
+        // Described as not-yet-analyzed mid-flight: counts are unknown
+        // without the inputs, which the analyzing thread took with it.
+        Entry::Analyzing => ServiceInfo {
+            name: name.to_string(),
+            analyzed: false,
+            n_methods: 0,
+            n_witnesses: 0,
+            n_semantic_types: None,
+        },
+        Entry::Ready(engine) => ServiceInfo {
+            name: name.to_string(),
+            analyzed: true,
+            n_methods: engine.semlib().lib.stats().n_methods,
+            n_witnesses: engine.witnesses().len(),
+            n_semantic_types: Some(engine.semlib().n_groups()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+
+    fn demo_catalog() -> ServiceCatalog {
+        let catalog = ServiceCatalog::new();
+        catalog.register_spec("demo", fig7_library(), fig4_witnesses()).unwrap();
+        catalog
+    }
+
+    fn email_spec() -> QuerySpec {
+        QuerySpec::output("[Profile.email]")
+            .service("demo")
+            .input("channel_name", "Channel.name")
+            .depth(7)
+    }
+
+    #[test]
+    fn lazy_analysis_happens_once_and_serves_queries() {
+        let catalog = demo_catalog();
+        assert!(!catalog.inspect("demo").unwrap().analyzed);
+        let result = catalog.open(&email_spec()).unwrap().drain();
+        assert_eq!(result.ranked.len(), 2);
+        let info = catalog.inspect("demo").unwrap();
+        assert!(info.analyzed);
+        assert!(info.n_semantic_types.unwrap() > 0);
+        // Second lookup reuses the engine (same Arc).
+        let a = catalog.engine("demo").unwrap();
+        let b = catalog.engine("demo").unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a.inner, &b.inner));
+    }
+
+    #[test]
+    fn list_and_evict() {
+        let catalog = demo_catalog();
+        catalog.register_artifact("snap", make_artifact()).unwrap();
+        let names: Vec<String> = catalog.list().iter().map(|i| i.name.clone()).collect();
+        assert_eq!(names, vec!["demo", "snap"]);
+        assert!(catalog.evict("demo"));
+        assert!(!catalog.evict("demo"));
+        assert_eq!(catalog.names(), vec!["snap"]);
+        assert!(matches!(
+            catalog.engine("demo"),
+            Err(EngineError::UnknownService(_))
+        ));
+    }
+
+    fn make_artifact() -> AnalysisArtifact {
+        Engine::from_witnesses(fig7_library(), fig4_witnesses()).save_analysis()
+    }
+
+    #[test]
+    fn artifact_registration_never_mines() {
+        let catalog = ServiceCatalog::new();
+        catalog.register_artifact("snap", make_artifact()).unwrap();
+        let info = catalog.inspect("snap").unwrap();
+        assert!(!info.analyzed);
+        // Semantic type count is known even before the TTN is built.
+        assert!(info.n_semantic_types.unwrap() > 0);
+        let spec = email_spec().service("snap");
+        let result = catalog.open(&spec).unwrap().drain();
+        assert_eq!(result.ranked.len(), 2);
+    }
+
+    #[test]
+    fn registration_errors_are_structured() {
+        let catalog = demo_catalog();
+        assert!(matches!(
+            catalog.register_spec("demo", fig7_library(), fig4_witnesses()),
+            Err(EngineError::DuplicateService(_))
+        ));
+        for bad in ["", "no/slashes", "no spaces", "../escape"] {
+            assert!(
+                matches!(
+                    catalog.register_spec(bad, fig7_library(), fig4_witnesses()),
+                    Err(EngineError::InvalidServiceName(_))
+                ),
+                "{bad:?} accepted"
+            );
+        }
+        assert!(matches!(
+            catalog.open(&QuerySpec::output("[Channel]")),
+            Err(EngineError::Spec(_))
+        ));
+        assert!(matches!(
+            catalog.open(&QuerySpec::output("[Channel]").service("nope")),
+            Err(EngineError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn disk_cache_roundtrips_and_skips_remining() {
+        let dir = std::env::temp_dir().join(format!("apiphany-catalog-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let baseline = {
+            let catalog = demo_catalog();
+            catalog.open(&email_spec()).unwrap().drain()
+        };
+        {
+            let catalog = ServiceCatalog::new().with_cache_dir(&dir);
+            catalog.register_spec("demo", fig7_library(), fig4_witnesses()).unwrap();
+            catalog.engine("demo").unwrap();
+            assert!(dir.join("demo.analysis.json").exists());
+        }
+        // A second catalog loads from the cache: register with an *empty*
+        // witness set — if it re-mined, the query below would find
+        // nothing to rank (retrospective execution has no witnesses).
+        let catalog = ServiceCatalog::new().with_cache_dir(&dir);
+        catalog.register_spec("demo", fig7_library(), Vec::new()).unwrap();
+        let served = catalog.open(&email_spec()).unwrap().drain();
+        assert_eq!(served.ranked.len(), baseline.ranked.len());
+        for (s, b) in served.ranked.iter().zip(&baseline.ranked) {
+            assert_eq!(s.canonical, b.canonical);
+            assert_eq!(s.rank_at_generation, b.rank_at_generation);
+        }
+        // The cached artifact carries its service name.
+        let text = std::fs::read_to_string(dir.join("demo.analysis.json")).unwrap();
+        let artifact = AnalysisArtifact::from_json(&text).unwrap();
+        assert_eq!(artifact.service.as_deref(), Some("demo"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_files_fall_back_to_mining() {
+        let dir =
+            std::env::temp_dir().join(format!("apiphany-catalog-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("demo.analysis.json"), "{ not an artifact").unwrap();
+        let catalog = ServiceCatalog::new().with_cache_dir(&dir);
+        catalog.register_spec("demo", fig7_library(), fig4_witnesses()).unwrap();
+        let result = catalog.open(&email_spec()).unwrap().drain();
+        assert_eq!(result.ranked.len(), 2);
+        // The corrupt file was overwritten with the fresh analysis.
+        let text = std::fs::read_to_string(dir.join("demo.analysis.json")).unwrap();
+        assert!(AnalysisArtifact::from_json(&text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_first_use_analyzes_once() {
+        let catalog = std::sync::Arc::new(demo_catalog());
+        let engines: Vec<Engine> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let catalog = std::sync::Arc::clone(&catalog);
+                    scope.spawn(move || catalog.engine("demo").unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Everyone got the same engine instance: one analysis ran.
+        for e in &engines[1..] {
+            assert!(std::sync::Arc::ptr_eq(&engines[0].inner, &e.inner));
+        }
+    }
+}

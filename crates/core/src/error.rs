@@ -22,6 +22,17 @@ pub enum EngineError {
     /// A session budget was misconfigured (zero depth or zero candidate
     /// cap — limits under which no candidate could ever be produced).
     Budget(InvalidBudget),
+    /// A catalog lookup named a service that is not registered.
+    UnknownService(String),
+    /// A catalog registration reused a name that is already taken.
+    DuplicateService(String),
+    /// A service name unusable as a catalog key (empty, or containing
+    /// characters that do not survive the on-disk artifact cache).
+    InvalidServiceName(String),
+    /// A [`crate::QuerySpec`] was structurally unusable before type
+    /// resolution was even attempted (e.g. no service name where one is
+    /// required).
+    Spec(String),
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +42,19 @@ impl fmt::Display for EngineError {
             EngineError::Artifact(e) => write!(f, "analysis artifact: {e}"),
             EngineError::Json(e) => write!(f, "analysis artifact: {e}"),
             EngineError::Budget(e) => e.fmt(f),
+            EngineError::UnknownService(name) => {
+                write!(f, "unknown service '{name}' (not registered in the catalog)")
+            }
+            EngineError::DuplicateService(name) => {
+                write!(f, "service '{name}' is already registered")
+            }
+            EngineError::InvalidServiceName(name) => {
+                write!(
+                    f,
+                    "invalid service name '{name}' (use letters, digits, '_', '-', '.')"
+                )
+            }
+            EngineError::Spec(msg) => write!(f, "query spec: {msg}"),
         }
     }
 }
@@ -42,6 +66,10 @@ impl std::error::Error for EngineError {
             EngineError::Artifact(e) => Some(e),
             EngineError::Json(e) => Some(e),
             EngineError::Budget(e) => Some(e),
+            EngineError::UnknownService(_)
+            | EngineError::DuplicateService(_)
+            | EngineError::InvalidServiceName(_)
+            | EngineError::Spec(_) => None,
         }
     }
 }

@@ -70,12 +70,19 @@ pub use apiphany_synth as synth;
 pub use apiphany_ttn as ttn;
 
 mod artifact;
+mod catalog;
 mod error;
+mod queryspec;
+mod sched;
 mod session;
 
+pub use apiphany_ttn::pool::SharedPool;
 pub use apiphany_ttn::{Budget, CancelToken, InvalidBudget};
 pub use artifact::AnalysisArtifact;
+pub use catalog::{ServiceCatalog, ServiceInfo};
 pub use error::EngineError;
+pub use queryspec::QuerySpec;
+pub use sched::{Multiplexer, Scheduler};
 pub use session::{Event, Session};
 
 use std::sync::Arc;
@@ -314,6 +321,7 @@ impl Engine {
             semlib: self.semlib().clone(),
             witnesses: self.inner.witnesses.clone(),
             stats: self.inner.analysis_stats.clone(),
+            service: None,
         }
     }
 
@@ -372,6 +380,24 @@ impl Engine {
     pub fn session(&self, query: &Query, cfg: &RunConfig) -> Result<Session, EngineError> {
         cfg.synthesis.budget.validate()?;
         Ok(Session::spawn(Arc::clone(&self.inner), query.clone(), cfg.clone()))
+    }
+
+    /// Opens a streaming session for a typed [`QuerySpec`] — the
+    /// builder-first twin of [`Engine::session`] (which it matches
+    /// event-for-event for an equivalent query and config). The spec's
+    /// `service` field is ignored here; use [`ServiceCatalog::open`] or
+    /// [`Scheduler::submit_catalog`] for name-routed queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Query`] when one of the spec's types does
+    /// not resolve (the message names the failing part) and
+    /// [`EngineError::Budget`] for an invalid budget.
+    pub fn open(&self, spec: &QuerySpec) -> Result<Session, EngineError> {
+        let query = spec.resolve(self.semlib())?;
+        let cfg = spec.run_config();
+        cfg.synthesis.budget.validate()?;
+        Ok(Session::spawn(Arc::clone(&self.inner), query, cfg))
     }
 
     /// The blocking synthesis phase: drains a [`Session`] and returns the

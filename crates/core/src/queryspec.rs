@@ -1,0 +1,400 @@
+//! Typed query specifications: the serving layer's primary entry format.
+//!
+//! A [`QuerySpec`] names everything one synthesis request needs — the
+//! target service (for catalog routing), the input parameter types, the
+//! output type, the [`Budget`], a `top_k` result cap, and the worker
+//! thread count — as structured data instead of a query string. The
+//! builder is the primary API; [`crate::Engine::query`] remains as the
+//! parsing convenience over the same type names:
+//!
+//! ```
+//! use apiphany_core::{Engine, QuerySpec};
+//! use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+//!
+//! let engine = Engine::from_witnesses(fig7_library(), fig4_witnesses());
+//! let spec = QuerySpec::output("[Profile.email]")
+//!     .input("channel_name", "Channel.name")
+//!     .depth(7)
+//!     .top_k(5);
+//! let result = engine.open(&spec).unwrap().drain();
+//! assert_eq!(result.ranked.len(), 2);
+//! ```
+//!
+//! Because each input type and the output type are held separately, a
+//! resolution failure names the offending part — no re-parsing of a
+//! concatenated string, no ambiguity about which parameter was wrong.
+//!
+//! The spec serializes to JSON ([`QuerySpec::to_value`] /
+//! [`QuerySpec::from_value`]); this codec is the `query` request body of
+//! the `synthd` line protocol.
+
+use std::time::Duration;
+
+use apiphany_json::Value;
+use apiphany_mining::{parse_sem_ty, Query, SemLib};
+use apiphany_spec::DecodeError;
+use apiphany_ttn::Budget;
+
+use crate::{EngineError, RunConfig};
+
+/// A typed synthesis request: service routing, input/output types, and
+/// run limits. Construct with [`QuerySpec::output`] and chain the builder
+/// methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// The catalog service this query targets (`None` when the spec is
+    /// used against an explicit [`crate::Engine`]).
+    pub service: Option<String>,
+    /// Named input parameters and their semantic type names (resolved
+    /// against the target service's mined library at submission).
+    pub inputs: Vec<(String, String)>,
+    /// The requested output type name.
+    pub output: String,
+    /// The unified search budget (wall-clock, depth, candidate cap).
+    pub budget: Budget,
+    /// Cap on the *final ranking* reported back to the caller. This is a
+    /// presentation limit, not a search limit: unlike
+    /// [`Budget::max_candidates`] it does not stop the search early, so
+    /// it never changes which candidates are found or how they rank.
+    pub top_k: Option<usize>,
+    /// Worker threads for the run (forwarded to
+    /// [`apiphany_synth::SynthesisConfig::threads`]).
+    pub threads: usize,
+}
+
+impl QuerySpec {
+    /// Starts a spec requesting `output` (a semantic type name, e.g.
+    /// `"[Profile.email]"`).
+    pub fn output(output: impl Into<String>) -> QuerySpec {
+        QuerySpec {
+            service: None,
+            inputs: Vec::new(),
+            output: output.into(),
+            budget: Budget::default(),
+            top_k: None,
+            threads: 1,
+        }
+    }
+
+    /// Targets a catalog service by name.
+    pub fn service(mut self, name: impl Into<String>) -> QuerySpec {
+        self.service = Some(name.into());
+        self
+    }
+
+    /// Adds a named input parameter of semantic type `ty` (e.g.
+    /// `("channel_name", "Channel.name")`).
+    pub fn input(mut self, name: impl Into<String>, ty: impl Into<String>) -> QuerySpec {
+        self.inputs.push((name.into(), ty.into()));
+        self
+    }
+
+    /// Sets the full budget.
+    pub fn budget(mut self, budget: Budget) -> QuerySpec {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the depth bound, keeping the other budget dimensions
+    /// (shorthand for `budget(Budget::depth(n))` that preserves an
+    /// already-customized wall-clock or candidate cap).
+    pub fn depth(mut self, max_depth: usize) -> QuerySpec {
+        self.budget.max_depth = max_depth;
+        self
+    }
+
+    /// Caps the reported final ranking at `k` entries.
+    pub fn top_k(mut self, k: usize) -> QuerySpec {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Sets the worker thread count.
+    pub fn threads(mut self, threads: usize) -> QuerySpec {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Resolves the spec's type names against a mined library, producing
+    /// the internal [`Query`]. Each part resolves independently, so the
+    /// error names the exact parameter (or the output) that failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Query`] naming the unresolvable part.
+    pub fn resolve(&self, semlib: &SemLib) -> Result<Query, EngineError> {
+        let mut params = Vec::with_capacity(self.inputs.len());
+        for (name, ty) in &self.inputs {
+            if name.is_empty() {
+                return Err(EngineError::Spec("empty input parameter name".into()));
+            }
+            let ty = parse_sem_ty(semlib, ty).map_err(|e| {
+                EngineError::Query(apiphany_mining::QueryParseError {
+                    message: format!("input '{name}': {}", e.message),
+                })
+            })?;
+            params.push((name.clone(), ty));
+        }
+        let output = parse_sem_ty(semlib, &self.output).map_err(|e| {
+            EngineError::Query(apiphany_mining::QueryParseError {
+                message: format!("output: {}", e.message),
+            })
+        })?;
+        Ok(Query { params, output })
+    }
+
+    /// The [`RunConfig`] this spec implies (budget and threads; ranking
+    /// parameters stay at their defaults).
+    pub fn run_config(&self) -> RunConfig {
+        let mut cfg = RunConfig::default();
+        cfg.synthesis.budget = self.budget.clone();
+        cfg.synthesis.threads = self.threads;
+        cfg
+    }
+
+    /// Renders the spec in the paper's query syntax (the format
+    /// [`crate::Engine::query`] parses), e.g.
+    /// `{ channel_name: Channel.name } → [Profile.email]`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("{ ");
+        for (i, (name, ty)) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(ty);
+        }
+        if !self.inputs.is_empty() {
+            out.push(' ');
+        }
+        out.push_str("} → ");
+        out.push_str(&self.output);
+        out
+    }
+
+    /// Encodes the spec to a JSON value (the `synthd` wire form).
+    pub fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        if let Some(service) = &self.service {
+            pairs.push(("service".into(), Value::from(service.as_str())));
+        }
+        pairs.push((
+            "inputs".into(),
+            Value::Object(
+                self.inputs
+                    .iter()
+                    .map(|(n, t)| (n.clone(), Value::from(t.as_str())))
+                    .collect(),
+            ),
+        ));
+        pairs.push(("output".into(), Value::from(self.output.as_str())));
+        pairs.push(("budget".into(), budget_to_value(&self.budget)));
+        if let Some(k) = self.top_k {
+            pairs.push(("top_k".into(), Value::Int(k as i64)));
+        }
+        if self.threads != 1 {
+            pairs.push(("threads".into(), Value::Int(self.threads as i64)));
+        }
+        Value::Object(pairs)
+    }
+
+    /// Decodes a spec from its JSON wire form. Missing optional fields
+    /// take their defaults ([`Budget::default`], one thread, no `top_k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Artifact`] when a present field has the
+    /// wrong shape.
+    pub fn from_value(v: &Value) -> Result<QuerySpec, EngineError> {
+        let output = v
+            .get("output")
+            .and_then(Value::as_str)
+            .ok_or_else(|| DecodeError("query spec: missing output type".into()))?;
+        let mut spec = QuerySpec::output(output);
+        if let Some(service) = v.get("service") {
+            let name = service
+                .as_str()
+                .ok_or_else(|| DecodeError("query spec: service must be a string".into()))?;
+            spec.service = Some(name.to_string());
+        }
+        match v.get("inputs") {
+            None => {}
+            Some(Value::Object(fields)) => {
+                for (name, ty) in fields {
+                    let ty = ty.as_str().ok_or_else(|| {
+                        DecodeError(format!("query spec: input '{name}' must name a type"))
+                    })?;
+                    spec.inputs.push((name.clone(), ty.to_string()));
+                }
+            }
+            Some(_) => {
+                return Err(DecodeError(
+                    "query spec: inputs must be an object of name: type".into(),
+                )
+                .into())
+            }
+        }
+        if let Some(budget) = v.get("budget") {
+            spec.budget = budget_from_value(budget)?;
+        }
+        // Budget shorthands at the top level, for hand-written requests.
+        if let Some(depth) = v.get("depth") {
+            spec.budget.max_depth = decode_usize(depth, "depth")?;
+        }
+        if let Some(k) = v.get("top_k") {
+            spec.top_k = Some(decode_usize(k, "top_k")?);
+        }
+        if let Some(threads) = v.get("threads") {
+            spec.threads = decode_usize(threads, "threads")?.max(1);
+        }
+        Ok(spec)
+    }
+}
+
+/// Encodes a [`Budget`] as JSON (`wall_clock_ms` null = unlimited).
+pub(crate) fn budget_to_value(budget: &Budget) -> Value {
+    Value::obj([
+        (
+            "wall_clock_ms",
+            match budget.wall_clock {
+                None => Value::Null,
+                Some(d) => Value::Int(d.as_millis().min(i64::MAX as u128) as i64),
+            },
+        ),
+        ("max_depth", Value::Int(budget.max_depth as i64)),
+        (
+            "max_candidates",
+            match budget.max_candidates {
+                None => Value::Null,
+                Some(n) => Value::Int(n as i64),
+            },
+        ),
+    ])
+}
+
+/// Decodes a [`Budget`]; absent fields keep their defaults.
+pub(crate) fn budget_from_value(v: &Value) -> Result<Budget, EngineError> {
+    let mut budget = Budget::default();
+    match v.get("wall_clock_ms") {
+        None => {}
+        Some(Value::Null) => budget.wall_clock = None,
+        Some(ms) => {
+            budget.wall_clock =
+                Some(Duration::from_millis(decode_usize(ms, "wall_clock_ms")? as u64));
+        }
+    }
+    if let Some(depth) = v.get("max_depth") {
+        budget.max_depth = decode_usize(depth, "max_depth")?;
+    }
+    match v.get("max_candidates") {
+        None | Some(Value::Null) => {}
+        Some(n) => budget.max_candidates = Some(decode_usize(n, "max_candidates")?),
+    }
+    Ok(budget)
+}
+
+fn decode_usize(v: &Value, field: &str) -> Result<usize, EngineError> {
+    v.as_int()
+        .filter(|&i| i >= 0)
+        .map(|i| i as usize)
+        .ok_or_else(|| DecodeError(format!("query spec: '{field}' must be a count")).into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_mining::{mine_types, MiningConfig};
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+
+    fn semlib() -> SemLib {
+        mine_types(&fig7_library(), &fig4_witnesses(), &MiningConfig::default())
+    }
+
+    fn running_example() -> QuerySpec {
+        QuerySpec::output("[Profile.email]").input("channel_name", "Channel.name")
+    }
+
+    #[test]
+    fn resolves_like_the_string_parser() {
+        let sl = semlib();
+        let from_spec = running_example().resolve(&sl).unwrap();
+        let from_text = apiphany_mining::parse_query(
+            &sl,
+            "{ channel_name: Channel.name } → [Profile.email]",
+        )
+        .unwrap();
+        assert_eq!(from_spec, from_text);
+    }
+
+    #[test]
+    fn to_text_renders_the_paper_syntax() {
+        let spec = running_example();
+        assert_eq!(spec.to_text(), "{ channel_name: Channel.name } → [Profile.email]");
+        assert_eq!(QuerySpec::output("[Channel]").to_text(), "{ } → [Channel]");
+    }
+
+    #[test]
+    fn resolution_errors_name_the_failing_part() {
+        let sl = semlib();
+        let err = QuerySpec::output("[Profile.email]")
+            .input("x", "Nope.y")
+            .resolve(&sl)
+            .unwrap_err();
+        assert!(err.to_string().contains("input 'x'"), "{err}");
+        let err = QuerySpec::output("Nope").resolve(&sl).unwrap_err();
+        assert!(err.to_string().contains("output:"), "{err}");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let spec = running_example()
+            .service("slack")
+            .depth(9)
+            .top_k(3)
+            .threads(4)
+            .budget(Budget {
+                wall_clock: Some(Duration::from_millis(1500)),
+                max_depth: 9,
+                max_candidates: Some(12),
+            });
+        let back = QuerySpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back, spec);
+        // Unlimited wall-clock survives as JSON null.
+        let spec = running_example().budget(Budget { wall_clock: None, ..Budget::depth(5) });
+        let back = QuerySpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn depth_shorthand_is_accepted_on_the_wire() {
+        let v = apiphany_json::parse(
+            r#"{"output": "[Channel]", "inputs": {}, "depth": 5}"#,
+        )
+        .unwrap();
+        let spec = QuerySpec::from_value(&v).unwrap();
+        assert_eq!(spec.budget.max_depth, 5);
+        assert_eq!(spec.output, "[Channel]");
+    }
+
+    #[test]
+    fn malformed_wire_specs_are_rejected() {
+        for text in [
+            r#"{"inputs": {}}"#,
+            r#"{"output": "[Channel]", "inputs": ["x"]}"#,
+            r#"{"output": "[Channel]", "top_k": -2}"#,
+            r#"{"output": "[Channel]", "budget": {"max_depth": "deep"}}"#,
+        ] {
+            let v = apiphany_json::parse(text).unwrap();
+            assert!(QuerySpec::from_value(&v).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn run_config_carries_budget_and_threads() {
+        let spec = running_example().depth(6).threads(3);
+        let cfg = spec.run_config();
+        assert_eq!(cfg.synthesis.budget.max_depth, 6);
+        assert_eq!(cfg.synthesis.threads, 3);
+    }
+}

@@ -1,0 +1,383 @@
+//! The session scheduler: many concurrent queries over one bounded pool.
+//!
+//! An [`Engine::session`](crate::Engine::session) gives every query a
+//! dedicated worker thread — fine for one caller, unbounded for a
+//! serving front door. A [`Scheduler`] instead multiplexes every
+//! submitted session over **one shared
+//! [`SharedPool`](apiphany_ttn::pool::SharedPool)** with a fixed number
+//! of slots: at most `slots` synthesis runs execute at once, later
+//! submissions queue FIFO, and each freed slot goes to the oldest
+//! waiting session. Budgets stay per-session (a session's wall-clock
+//! starts when its job starts, not while it waits), and cancellation
+//! works exactly as for dedicated sessions — cancelling a *queued*
+//! session makes its job a prompt no-op.
+//!
+//! The scheduler changes **where** a session runs, never **what** it
+//! emits: a scheduled session's event stream — candidates, their order,
+//! every rank and cost, the depth markers, the final ranking — is
+//! identical to a dedicated [`Engine::session`](crate::Engine::session)
+//! run of the same query and config (only the wall-clock `elapsed` /
+//! `re_time` measurements differ, as they do between any two runs).
+//! `tests/serving.rs` property-tests this guarantee, including under
+//! concurrent interleaving.
+//!
+//! [`Multiplexer`] is the consumer-side companion: a fair round-robin
+//! poller over any number of live sessions, built on
+//! [`Session::try_next`] so one stalled session never blocks the others'
+//! events.
+//!
+//! ```
+//! use apiphany_core::{Engine, Multiplexer, QuerySpec, Scheduler};
+//! use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+//!
+//! let engine = Engine::from_witnesses(fig7_library(), fig4_witnesses());
+//! let scheduler = Scheduler::new(2);
+//! let spec = QuerySpec::output("[Profile.email]")
+//!     .input("channel_name", "Channel.name")
+//!     .depth(7);
+//! let mut mux = Multiplexer::new();
+//! for id in ["a", "b", "c"] {
+//!     mux.push(id, scheduler.submit(&engine, &spec).unwrap());
+//! }
+//! let mut finished = 0;
+//! while let Some((_id, event)) = mux.next_event() {
+//!     if matches!(event, apiphany_core::Event::Finished(_)) {
+//!         finished += 1;
+//!     }
+//! }
+//! assert_eq!(finished, 3);
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use apiphany_ttn::pool::SharedPool;
+
+use crate::{Engine, EngineError, Event, QuerySpec, RunConfig, ServiceCatalog, Session};
+
+/// Multiplexes concurrent synthesis sessions over one shared worker pool.
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    pool: SharedPool,
+}
+
+impl Scheduler {
+    /// A scheduler with its own pool of `slots` worker threads.
+    pub fn new(slots: usize) -> Scheduler {
+        Scheduler { pool: SharedPool::new(slots) }
+    }
+
+    /// A scheduler over an existing pool (to share slots with other
+    /// schedulers or pool users).
+    pub fn with_pool(pool: SharedPool) -> Scheduler {
+        Scheduler { pool }
+    }
+
+    /// The number of sessions that can run concurrently.
+    pub fn slots(&self) -> usize {
+        self.pool.slots()
+    }
+
+    /// Sessions submitted but still waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.pool.queued()
+    }
+
+    /// The underlying pool handle.
+    pub fn pool(&self) -> &SharedPool {
+        &self.pool
+    }
+
+    /// Submits a typed query against an explicit engine; returns the
+    /// streaming [`Session`] immediately (its worker occupies a pool slot
+    /// once one frees up).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Query`] when a type fails to resolve,
+    /// [`EngineError::Budget`] when the spec's budget is invalid.
+    pub fn submit(&self, engine: &Engine, spec: &QuerySpec) -> Result<Session, EngineError> {
+        let query = spec.resolve(engine.semlib())?;
+        let cfg = spec.run_config();
+        cfg.synthesis.budget.validate()?;
+        Ok(Session::spawn_on(&self.pool, Arc::clone(&engine.inner), query, cfg))
+    }
+
+    /// Submits a catalog-routed spec: looks the service up (running its
+    /// analyze-once work if this is first use), then submits as
+    /// [`Scheduler::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Additionally [`EngineError::Spec`] when the spec names no service
+    /// and [`EngineError::UnknownService`] for unregistered names.
+    pub fn submit_catalog(
+        &self,
+        catalog: &ServiceCatalog,
+        spec: &QuerySpec,
+    ) -> Result<Session, EngineError> {
+        let name = spec
+            .service
+            .as_deref()
+            .ok_or_else(|| EngineError::Spec("catalog queries must name a service".into()))?;
+        self.submit(&catalog.engine(name)?, spec)
+    }
+
+    /// Submits a pre-parsed query and config (the lower-level entry the
+    /// typed path shares).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Budget`] when the budget is invalid.
+    pub fn submit_query(
+        &self,
+        engine: &Engine,
+        query: &apiphany_mining::Query,
+        cfg: &RunConfig,
+    ) -> Result<Session, EngineError> {
+        cfg.synthesis.budget.validate()?;
+        Ok(Session::spawn_on(
+            &self.pool,
+            Arc::clone(&engine.inner),
+            query.clone(),
+            cfg.clone(),
+        ))
+    }
+}
+
+/// A fair round-robin event poller over tagged sessions.
+///
+/// Push any number of live sessions with caller-chosen tags; each
+/// [`Multiplexer::poll`] visits the sessions in rotation starting after
+/// the last one that yielded, so a chatty session cannot starve the
+/// others. Sessions are dropped as soon as their `Finished` event is
+/// delivered.
+#[derive(Debug, Default)]
+pub struct Multiplexer<T> {
+    sessions: Vec<(T, Session)>,
+    /// Index to start the next poll sweep at (rotates for fairness).
+    cursor: usize,
+}
+
+impl<T> Multiplexer<T> {
+    /// An empty multiplexer.
+    pub fn new() -> Multiplexer<T> {
+        Multiplexer { sessions: Vec::new(), cursor: 0 }
+    }
+
+    /// Adds a session under `tag` (tags need not be unique; events are
+    /// reported with a reference to the tag).
+    pub fn push(&mut self, tag: T, session: Session) {
+        self.sessions.push((tag, session));
+    }
+
+    /// Live (unfinished) sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether every pushed session has finished.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Calls `f` on each live session (e.g. to cancel by tag, or to
+    /// collect the live tag set).
+    pub fn for_each_session(&self, mut f: impl FnMut(&T, &Session)) {
+        for (tag, session) in &self.sessions {
+            f(tag, session);
+        }
+    }
+
+    /// One non-blocking round-robin sweep: returns the first event any
+    /// live session has ready (tagged with a clone of its tag), or `None`
+    /// when nobody has one *right now* (distinguish from completion with
+    /// [`Multiplexer::is_empty`]). The sweep starts after the session
+    /// that yielded last, so ready sessions take turns.
+    pub fn poll(&mut self) -> Option<(T, Event)>
+    where
+        T: Clone,
+    {
+        let n = self.sessions.len();
+        let mut found = None;
+        for step in 0..n {
+            let i = (self.cursor + step) % n;
+            if let Some(event) = self.sessions[i].1.try_next() {
+                self.cursor = (i + 1) % n;
+                found = Some((i, event));
+                break;
+            }
+        }
+        let out = match found {
+            Some((i, event)) => {
+                let tag = if matches!(event, Event::Finished(_)) {
+                    // The stream is complete: drop the session (reaping
+                    // its worker) and hand the tag back by value.
+                    self.sessions.remove(i).0
+                } else {
+                    self.sessions[i].0.clone()
+                };
+                Some((tag, event))
+            }
+            None => {
+                // A `try_next` that returned `None` after marking the
+                // session finished means its worker died without a
+                // `Finished` event (a panic); prune it so the poll loop
+                // terminates instead of spinning on a dead stream.
+                self.sessions.retain(|(_, s)| !s.is_finished());
+                None
+            }
+        };
+        self.cursor = if self.sessions.is_empty() { 0 } else { self.cursor % self.sessions.len() };
+        out
+    }
+
+    /// Blocking pull: polls until some session yields an event, parking
+    /// briefly between sweeps. Returns `None` once every session has
+    /// finished.
+    pub fn next_event(&mut self) -> Option<(T, Event)>
+    where
+        T: Clone,
+    {
+        while !self.is_empty() {
+            if let Some(out) = self.poll() {
+                return Some(out);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+
+    fn engine() -> Engine {
+        Engine::from_witnesses(fig7_library(), fig4_witnesses())
+    }
+
+    fn email_spec() -> QuerySpec {
+        QuerySpec::output("[Profile.email]").input("channel_name", "Channel.name").depth(7)
+    }
+
+    /// The semantic fingerprint of an event stream: everything except the
+    /// wall-clock measurements.
+    fn fingerprint(events: &[Event]) -> Vec<String> {
+        events
+            .iter()
+            .map(|e| match e {
+                Event::CandidateFound { canonical, r_orig, r_re_now, cost, .. } => {
+                    format!("cand {r_orig} {r_re_now} {cost:.6} {canonical:?}")
+                }
+                Event::DepthExhausted { depth } => format!("depth {depth}"),
+                Event::BudgetExhausted => "budget".to_string(),
+                Event::Finished(result) => format!(
+                    "finished {:?} {:?}",
+                    result.stats.outcome,
+                    result
+                        .ranked
+                        .iter()
+                        .map(|r| (r.gen_index, r.rank_at_generation))
+                        .collect::<Vec<_>>()
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scheduled_sessions_match_dedicated_sessions() {
+        let engine = engine();
+        let spec = email_spec();
+        let dedicated: Vec<Event> = engine.open(&spec).unwrap().collect();
+        let scheduler = Scheduler::new(2);
+        let scheduled: Vec<Event> = scheduler.submit(&engine, &spec).unwrap().collect();
+        assert_eq!(fingerprint(&scheduled), fingerprint(&dedicated));
+    }
+
+    /// More sessions than slots: everyone completes, each stream intact.
+    #[test]
+    fn oversubscribed_scheduler_completes_every_session() {
+        let engine = engine();
+        let spec = email_spec();
+        let reference = fingerprint(&engine.open(&spec).unwrap().collect::<Vec<_>>());
+        let scheduler = Scheduler::new(2);
+        let mut mux = Multiplexer::new();
+        for id in 0..6 {
+            mux.push(id, scheduler.submit(&engine, &spec).unwrap());
+        }
+        let mut streams: Vec<Vec<Event>> = (0..6).map(|_| Vec::new()).collect();
+        while let Some((id, event)) = mux.next_event() {
+            streams[id].push(event);
+        }
+        for (id, stream) in streams.iter().enumerate() {
+            assert_eq!(fingerprint(stream), reference, "session {id}");
+        }
+    }
+
+    #[test]
+    fn cancelling_a_queued_session_is_prompt() {
+        let engine = engine();
+        // One slot, occupied by a deep session; the queued one is
+        // cancelled before it ever starts.
+        let scheduler = Scheduler::new(1);
+        let deep = email_spec().depth(12);
+        let running = scheduler.submit(&engine, &deep).unwrap();
+        let queued = scheduler.submit(&engine, &deep).unwrap();
+        queued.cancel();
+        // Unblock the slot.
+        running.cancel();
+        let drained = running.drain();
+        assert_eq!(drained.stats.outcome, apiphany_synth::Outcome::Cancelled);
+        let result = queued.drain();
+        assert_eq!(result.stats.outcome, apiphany_synth::Outcome::Cancelled);
+        assert!(result.ranked.is_empty());
+    }
+
+    #[test]
+    fn submit_validates_spec_and_budget() {
+        let engine = engine();
+        let scheduler = Scheduler::new(1);
+        let bad_type = QuerySpec::output("[Nope]").depth(7);
+        assert!(matches!(
+            scheduler.submit(&engine, &bad_type),
+            Err(EngineError::Query(_))
+        ));
+        let bad_budget = email_spec().depth(0);
+        assert!(matches!(
+            scheduler.submit(&engine, &bad_budget),
+            Err(EngineError::Budget(_))
+        ));
+    }
+
+    #[test]
+    fn submit_catalog_routes_by_name() {
+        let catalog = ServiceCatalog::new();
+        catalog.register_spec("demo", fig7_library(), fig4_witnesses()).unwrap();
+        let scheduler = Scheduler::new(2);
+        let spec = email_spec().service("demo");
+        let result = scheduler.submit_catalog(&catalog, &spec).unwrap().drain();
+        assert_eq!(result.ranked.len(), 2);
+        assert!(matches!(
+            scheduler.submit_catalog(&catalog, &email_spec().service("nope")),
+            Err(EngineError::UnknownService(_))
+        ));
+        assert!(matches!(
+            scheduler.submit_catalog(&catalog, &email_spec()),
+            Err(EngineError::Spec(_))
+        ));
+    }
+
+    /// `top_k` is a reporting cap, not a search cap: the underlying run
+    /// is identical, the caller just truncates.
+    #[test]
+    fn top_k_trims_reporting_only() {
+        let engine = engine();
+        let spec = email_spec().top_k(1);
+        let result = engine.open(&spec).unwrap().drain();
+        assert_eq!(result.ranked.len(), 2);
+        assert_eq!(result.top(spec.top_k.unwrap()).len(), 1);
+    }
+}

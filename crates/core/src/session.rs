@@ -16,7 +16,7 @@
 //! everything ranked so far, and dropping a session mid-stream cancels and
 //! reaps the worker.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -26,6 +26,7 @@ use apiphany_lang::Program;
 use apiphany_mining::Query;
 use apiphany_re::{cost_of, cost_of_par, ReContext, Ranker};
 use apiphany_synth::{CancelToken, Outcome, SynthEvent};
+use apiphany_ttn::pool::SharedPool;
 
 use crate::{EngineInner, RankedProgram, RunConfig, RunResult};
 
@@ -83,6 +84,63 @@ impl Session {
         let worker =
             std::thread::spawn(move || run_worker(&inner, &query, &cfg, &worker_cancel, &tx));
         Session { rx: Some(rx), cancel, worker: Some(worker), finished: false }
+    }
+
+    /// Like [`Session::spawn`], but the worker body runs as a job on a
+    /// shared [`SharedPool`] instead of a dedicated thread: when every
+    /// pool slot is busy the session waits its turn (FIFO), and its
+    /// wall-clock budget starts counting only once the job actually
+    /// starts. This is how [`crate::Scheduler`] multiplexes many
+    /// concurrent sessions over a bounded thread count; the event stream
+    /// is produced by the same worker body, so it is identical to a
+    /// dedicated-thread run of the same query and config.
+    pub(crate) fn spawn_on(
+        pool: &SharedPool,
+        inner: Arc<EngineInner>,
+        query: Query,
+        cfg: RunConfig,
+    ) -> Session {
+        let (tx, rx) = sync_channel(0);
+        let cancel = CancelToken::new();
+        let worker_cancel = cancel.clone();
+        pool.spawn(move || run_worker(&inner, &query, &cfg, &worker_cancel, &tx));
+        // No JoinHandle: the pool owns the thread. Dropping the session
+        // cancels the token and closes the channel, which makes the job
+        // finish promptly and free its slot.
+        Session { rx: Some(rx), cancel, worker: None, finished: false }
+    }
+
+    /// Non-blocking pull: the next event if the worker has one ready (it
+    /// is parked on the rendezvous send), `None` when it is still
+    /// searching — or still waiting for a pool slot. Returns `None`
+    /// forever once [`Event::Finished`] has been delivered.
+    ///
+    /// This is the primitive [`crate::Multiplexer`] round-robins over: a
+    /// blocked `recv` on one session must never starve the others.
+    pub fn try_next(&mut self) -> Option<Event> {
+        if self.finished {
+            return None;
+        }
+        let rx = self.rx.as_ref()?;
+        match rx.try_recv() {
+            Ok(event) => {
+                if matches!(event, Event::Finished(_)) {
+                    self.finished = true;
+                }
+                Some(event)
+            }
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                self.finished = true;
+                None
+            }
+        }
+    }
+
+    /// Whether the final [`Event::Finished`] has been delivered (the
+    /// iterator and [`Session::try_next`] will yield nothing more).
+    pub fn is_finished(&self) -> bool {
+        self.finished
     }
 
     /// Requests cooperative cancellation. The session keeps yielding any

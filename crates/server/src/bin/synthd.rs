@@ -1,0 +1,70 @@
+//! The `synthd` binary: the JSON-lines serving daemon over stdin/stdout.
+//!
+//! ```sh
+//! cargo run --release --bin synthd -- --slots 4 --cache-dir .synthd-cache
+//! ```
+//!
+//! See the `apiphany_server` crate docs for the protocol.
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use apiphany_server::{run_daemon, DaemonOptions};
+
+fn main() -> ExitCode {
+    let mut opts = DaemonOptions::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--slots" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => {
+                    opts.slots = n;
+                    i += 1;
+                }
+                _ => return usage("--slots needs a positive count"),
+            },
+            "--cache-dir" => match args.get(i + 1) {
+                Some(dir) => {
+                    opts.cache_dir = Some(dir.into());
+                    i += 1;
+                }
+                None => return usage("--cache-dir needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    let stdin = BufReader::new(std::io::stdin());
+    let mut stdout = std::io::stdout().lock();
+    match run_daemon(stdin, &mut stdout, &opts) {
+        Ok(summary) => {
+            eprintln!(
+                "synthd: served {} requests, streamed {} events",
+                summary.requests, summary.events
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("synthd: i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("synthd: {error}");
+    }
+    eprintln!(
+        "usage: synthd [--slots N] [--cache-dir PATH]\n\
+         Speaks the JSON-lines protocol on stdin/stdout; see the\n\
+         apiphany_server crate docs (README \"Serving\" section) for the ops."
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

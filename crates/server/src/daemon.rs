@@ -1,0 +1,348 @@
+//! The daemon loop: one thread reading request lines, per-query
+//! submission threads running the (possibly slow) analyze-once work, and
+//! the main loop interleaving request handling with round-robin event
+//! pumping.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::mpsc::{self, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use apiphany_core::{EngineError, Event, Multiplexer, Scheduler, ServiceCatalog, Session};
+use apiphany_json::Value;
+
+use crate::proto::{
+    error_event, error_response, event_value, ok_response, service_info_value, Request,
+    RegisterSource,
+};
+
+/// Configuration of one daemon run.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Concurrent synthesis slots (the scheduler's pool size).
+    pub slots: usize,
+    /// Artifact cache directory for the catalog (analyses persist across
+    /// daemon restarts).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> DaemonOptions {
+        DaemonOptions { slots: 2, cache_dir: None }
+    }
+}
+
+/// What a finished daemon run processed (returned for tests and logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonSummary {
+    /// Request lines handled (including malformed ones).
+    pub requests: usize,
+    /// Session events streamed out.
+    pub events: usize,
+}
+
+/// A query whose analyze-once + submit step is still running on its
+/// submission thread.
+struct PendingQuery {
+    /// `cancel` arrived before the session existed; applied on arrival.
+    cancelled: bool,
+    /// The spec's reporting cap, installed once the session starts.
+    top_k: Option<usize>,
+}
+
+/// Runs the daemon over a request stream and a response sink until the
+/// input is exhausted (or a `shutdown` request arrives) *and* every open
+/// session has drained. Each input line is handled in order; session
+/// events interleave between request handling, tagged with their query
+/// id, with the [`Multiplexer`]'s round-robin fairness across concurrent
+/// queries.
+///
+/// A query's first use of a service runs the analyze-once work (mining +
+/// TTN build) on a dedicated submission thread, so other queries keep
+/// streaming — and `cancel` keeps working — while a large service
+/// analyzes. The query ack is written when submission completes, always
+/// before the query's first event.
+///
+/// # Errors
+///
+/// Returns the first I/O error of the response sink. (Input errors end
+/// the request stream like a clean EOF.)
+pub fn run_daemon<R, W>(
+    input: R,
+    output: &mut W,
+    opts: &DaemonOptions,
+) -> std::io::Result<DaemonSummary>
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    let catalog = {
+        let mut catalog = ServiceCatalog::new();
+        if let Some(dir) = &opts.cache_dir {
+            catalog = catalog.with_cache_dir(dir);
+        }
+        Arc::new(catalog)
+    };
+    let scheduler = Scheduler::new(opts.slots);
+    let mut mux: Multiplexer<String> = Multiplexer::new();
+    // Reporting caps of *live* (submitted) queries, keyed by id; together
+    // with `pending` this is the in-use id set.
+    let mut top_k: HashMap<String, Option<usize>> = HashMap::new();
+    let mut pending: HashMap<String, PendingQuery> = HashMap::new();
+    // Submission threads report back here.
+    let (done_tx, done_rx) = mpsc::channel::<(String, Result<Session, EngineError>)>();
+    let mut summary = DaemonSummary { requests: 0, events: 0 };
+
+    // The reader thread turns the blocking input into a pollable channel,
+    // so one slow/absent request line never stalls event pumping.
+    let (req_tx, req_rx) = mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            if req_tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut closing = false; // no more requests (EOF or shutdown)
+    loop {
+        let mut progressed = false;
+        if !closing {
+            match req_rx.try_recv() {
+                Ok(line) => {
+                    progressed = true;
+                    if line.trim().is_empty() {
+                        // Blank lines are keep-alives; ignore.
+                    } else {
+                        summary.requests += 1;
+                        let responses = match Request::parse(&line) {
+                            Err(message) => {
+                                vec![error_response(None, None, &message)]
+                            }
+                            Ok(Request::Shutdown) => {
+                                closing = true;
+                                mux.for_each_session(|_, session| session.cancel());
+                                for entry in pending.values_mut() {
+                                    entry.cancelled = true;
+                                }
+                                vec![ok_response("shutdown", [])]
+                            }
+                            Ok(request) => handle(
+                                &catalog,
+                                &scheduler,
+                                &mux,
+                                &mut pending,
+                                &top_k,
+                                &done_tx,
+                                request,
+                            ),
+                        };
+                        for response in responses {
+                            write_line(output, &response)?;
+                        }
+                    }
+                }
+                Err(TryRecvError::Disconnected) => closing = true,
+                Err(TryRecvError::Empty) => {}
+            }
+        }
+        // Completed submissions: ack (or error) now, then stream.
+        if let Ok((id, submitted)) = done_rx.try_recv() {
+            progressed = true;
+            let entry = pending.remove(&id).expect("pending entry for submission");
+            match submitted {
+                Err(e) => write_line(
+                    output,
+                    &error_response(Some("query"), Some(&id), &e.to_string()),
+                )?,
+                Ok(session) => {
+                    if entry.cancelled {
+                        session.cancel(); // still streams its Finished
+                    }
+                    write_line(
+                        output,
+                        &ok_response("query", [("id", Value::from(id.as_str()))]),
+                    )?;
+                    top_k.insert(id.clone(), entry.top_k);
+                    mux.push(id, session);
+                }
+            }
+        }
+        if let Some((id, event)) = mux.poll() {
+            progressed = true;
+            summary.events += 1;
+            let cap = top_k.get(&id).copied().flatten();
+            write_line(output, &event_value(&id, &event, cap))?;
+            if matches!(event, Event::Finished(_)) {
+                top_k.remove(&id);
+            }
+        } else if top_k.len() > mux.len() {
+            // A session died without a Finished event (worker panic) and
+            // the multiplexer pruned it: close the query out with a
+            // terminal error event so the client stops waiting and the
+            // id frees up.
+            let mut live: Vec<String> = Vec::new();
+            mux.for_each_session(|tag, _| live.push(tag.clone()));
+            let dead: Vec<String> =
+                top_k.keys().filter(|id| !live.contains(id)).cloned().collect();
+            for id in dead {
+                progressed = true;
+                summary.events += 1;
+                top_k.remove(&id);
+                write_line(
+                    output,
+                    &error_event(&id, "session worker terminated unexpectedly"),
+                )?;
+            }
+        }
+        if closing && mux.is_empty() && pending.is_empty() {
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+    drop(req_rx); // unblocks a reader parked in send
+    if reader.is_finished() {
+        let _ = reader.join();
+    }
+    // A reader still parked in a blocking read (shutdown op with the
+    // input left open) is detached: it exits on the next line or EOF,
+    // and its send fails harmlessly. Joining it here would hang the
+    // documented `shutdown` op until the client closed its pipe.
+    output.flush()?;
+    Ok(summary)
+}
+
+/// Handles one well-formed, non-shutdown request, returning the response
+/// lines to write. Query submissions are dispatched to a thread and
+/// acked later (see [`run_daemon`]); everything else responds inline.
+fn handle(
+    catalog: &Arc<ServiceCatalog>,
+    scheduler: &Scheduler,
+    mux: &Multiplexer<String>,
+    pending: &mut HashMap<String, PendingQuery>,
+    top_k: &HashMap<String, Option<usize>>,
+    done_tx: &mpsc::Sender<(String, Result<Session, EngineError>)>,
+    request: Request,
+) -> Vec<Value> {
+    let op = request.op();
+    match request {
+        Request::Register { service, source } => {
+            let registered = match source {
+                RegisterSource::Builtin(name) => match crate::builtin(&name) {
+                    None => Err(format!(
+                        "unknown builtin '{name}' (available: {})",
+                        crate::BUILTIN_NAMES.join(", ")
+                    )),
+                    Some((library, witnesses)) => catalog
+                        .register_spec(&service, library, witnesses)
+                        .map_err(|e| e.to_string()),
+                },
+                RegisterSource::Artifact(artifact) => catalog
+                    .register_artifact(&service, *artifact)
+                    .map_err(|e| e.to_string()),
+                RegisterSource::ArtifactPath(path) => std::fs::read_to_string(&path)
+                    .map_err(|e| format!("{}: {e}", path.display()))
+                    .and_then(|text| {
+                        apiphany_core::AnalysisArtifact::from_json(&text)
+                            .map_err(|e| format!("{}: {e}", path.display()))
+                    })
+                    .and_then(|artifact| {
+                        catalog
+                            .register_artifact(&service, artifact)
+                            .map_err(|e| e.to_string())
+                    }),
+                RegisterSource::Spec { library, witnesses } => catalog
+                    .register_spec(&service, *library, witnesses)
+                    .map_err(|e| e.to_string()),
+            };
+            match registered {
+                Err(message) => vec![error_response(Some(op), None, &message)],
+                Ok(()) => {
+                    let info = catalog.inspect(&service).expect("just registered");
+                    vec![ok_response(op, [("service", service_info_value(&info))])]
+                }
+            }
+        }
+        Request::Query { id, spec } => {
+            if top_k.contains_key(&id) || pending.contains_key(&id) {
+                return vec![error_response(
+                    Some(op),
+                    Some(&id),
+                    &format!("query id '{id}' is already in use"),
+                )];
+            }
+            // The submission thread absorbs the service's first-use
+            // analysis (the catalog single-flights it), keeping this
+            // loop streaming; the ack is written when the thread reports
+            // back.
+            pending.insert(
+                id.clone(),
+                PendingQuery { cancelled: false, top_k: spec.top_k },
+            );
+            let catalog = Arc::clone(catalog);
+            let scheduler = scheduler.clone();
+            let done_tx = done_tx.clone();
+            std::thread::spawn(move || {
+                let submitted = scheduler.submit_catalog(&catalog, &spec);
+                let _ = done_tx.send((id, submitted));
+            });
+            Vec::new()
+        }
+        Request::Cancel { id } => {
+            let mut found = false;
+            mux.for_each_session(|tag, session| {
+                if *tag == id {
+                    session.cancel();
+                    found = true;
+                }
+            });
+            if let Some(entry) = pending.get_mut(&id) {
+                entry.cancelled = true;
+                found = true;
+            }
+            // A cancelled session still streams its Finished event; the
+            // response only reports whether the id was live.
+            vec![ok_response(
+                op,
+                [("id", Value::from(id.as_str())), ("active", Value::Bool(found))],
+            )]
+        }
+        Request::List => {
+            let services: Vec<Value> =
+                catalog.list().iter().map(service_info_value).collect();
+            vec![ok_response(op, [("services", Value::Array(services))])]
+        }
+        Request::Inspect { service } => match catalog.inspect(&service) {
+            None => vec![error_response(
+                Some(op),
+                None,
+                &format!("unknown service '{service}'"),
+            )],
+            Some(info) => vec![ok_response(op, [("service", service_info_value(&info))])],
+        },
+        Request::Evict { service } => {
+            let removed = catalog.evict(&service);
+            vec![ok_response(
+                op,
+                [
+                    ("service", Value::from(service.as_str())),
+                    ("removed", Value::Bool(removed)),
+                ],
+            )]
+        }
+        Request::Shutdown => unreachable!("handled by the main loop"),
+    }
+}
+
+fn write_line(output: &mut impl Write, value: &Value) -> std::io::Result<()> {
+    let mut line = value.to_json();
+    debug_assert!(!line.contains('\n'), "response must be a single line");
+    line.push('\n');
+    output.write_all(line.as_bytes())?;
+    output.flush()
+}

@@ -1,0 +1,97 @@
+//! `synthd` — the APIphany serving daemon.
+//!
+//! A long-lived process speaking a JSON-lines protocol (one JSON object
+//! per line, both directions) over stdin/stdout: register services into
+//! a [`ServiceCatalog`](apiphany_core::ServiceCatalog), open streaming
+//! type queries multiplexed by a
+//! [`Scheduler`](apiphany_core::Scheduler) over a bounded worker pool,
+//! and cancel them mid-flight. This is the ROADMAP's "serve many" front
+//! door: one daemon, many services, many concurrent queries — analysis
+//! runs once per service (and persists across restarts with
+//! `--cache-dir`), synthesis streams.
+//!
+//! # The protocol, by transcript
+//!
+//! Requests (`→`) and responses/events (`←`), one JSON object per line:
+//!
+//! ```text
+//! → {"op":"register","service":"demo","builtin":"fig7"}
+//! ← {"ok":true,"op":"register","service":{"name":"demo","analyzed":false,...}}
+//! → {"op":"query","id":"q1","service":"demo",
+//!    "inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]",
+//!    "depth":7,"top_k":5}
+//! ← {"ok":true,"op":"query","id":"q1"}
+//! ← {"event":"depth","id":"q1","depth":1}
+//! ← ...
+//! ← {"event":"candidate","id":"q1","r_orig":1,"r_re_now":1,"cost":29.0,...}
+//! ← {"event":"candidate","id":"q1","r_orig":2,"r_re_now":1,"cost":25.0,...}
+//! ← {"event":"finished","id":"q1","outcome":"exhausted","n_candidates":2,
+//!    "ranked":[{"rank":1,"r_orig":2,...},{"rank":2,"r_orig":1,...}]}
+//! → {"op":"cancel","id":"q2"}
+//! ← {"ok":true,"op":"cancel","id":"q2","active":true}
+//! ← {"event":"finished","id":"q2","outcome":"cancelled",...}
+//! ```
+//!
+//! Further ops: `list`, `inspect`, `evict`, `shutdown`. Registration
+//! sources: `"builtin"` (`fig7`, `slack`, `stripe`, `square`),
+//! `"artifact"` (inline analysis artifact), `"artifact_path"` (artifact
+//! file), or `"library"` + `"witnesses"` (raw analysis inputs). Events
+//! of concurrent queries interleave, tagged by `id`; each query's own
+//! event sequence is identical to a dedicated
+//! [`Engine::session`](apiphany_core::Engine::session) run.
+//!
+//! The binary lives in `src/bin/synthd.rs`
+//! (`cargo run --release --bin synthd -- --slots 4 --cache-dir .cache`);
+//! [`run_daemon`] is the embeddable core, driven by integration tests
+//! over in-memory conversations.
+
+mod daemon;
+pub mod proto;
+
+pub use daemon::{run_daemon, DaemonOptions, DaemonSummary};
+
+use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+use apiphany_spec::{Library, Service, Witness};
+
+/// The names [`builtin`] accepts.
+pub const BUILTIN_NAMES: [&str; 4] = ["fig7", "slack", "stripe", "square"];
+
+/// The analysis inputs (library + scenario witnesses) of a bundled
+/// service: the paper's Fig. 7 running example or one of the three
+/// simulated evaluation APIs.
+pub fn builtin(name: &str) -> Option<(Library, Vec<Witness>)> {
+    match name {
+        "fig7" => Some((fig7_library(), fig4_witnesses())),
+        "slack" => {
+            let mut svc = apiphany_services::Slack::new();
+            let witnesses = svc.scenario();
+            Some((svc.library().clone(), witnesses))
+        }
+        "stripe" => {
+            let mut svc = apiphany_services::Stripe::new();
+            let witnesses = svc.scenario();
+            Some((svc.library().clone(), witnesses))
+        }
+        "square" => {
+            let mut svc = apiphany_services::Square::new();
+            let witnesses = svc.scenario();
+            Some((svc.library().clone(), witnesses))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_resolves() {
+        for name in BUILTIN_NAMES {
+            let (library, witnesses) = builtin(name).unwrap();
+            assert!(library.stats().n_methods > 0, "{name}");
+            assert!(!witnesses.is_empty(), "{name}");
+        }
+        assert!(builtin("sqare").is_none(), "the old spelling is not a builtin");
+    }
+}

@@ -1,0 +1,324 @@
+//! The `synthd` line protocol: request parsing and response/event
+//! encoding.
+//!
+//! Every message — in both directions — is one JSON object per line.
+//! Requests carry an `"op"`; responses echo it with `"ok"`; streamed
+//! session notifications carry an `"event"` and the query `"id"` they
+//! belong to, so events of concurrently running queries interleave
+//! without ambiguity. See the crate docs for a worked transcript.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use apiphany_core::{
+    AnalysisArtifact, Event, QuerySpec, RunResult, ServiceInfo,
+};
+use apiphany_json::Value;
+use apiphany_lang::compact;
+use apiphany_spec::codec::library_from_value;
+use apiphany_spec::{witnesses_from_json, Library, Witness};
+
+/// A parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    /// Register a service under a name.
+    Register { service: String, source: RegisterSource },
+    /// Open a streaming query; `id` tags every event it produces.
+    Query { id: String, spec: QuerySpec },
+    /// Cancel the running (or queued) query with this id.
+    Cancel { id: String },
+    /// Describe every registered service.
+    List,
+    /// Describe one registered service.
+    Inspect { service: String },
+    /// Remove a service from the catalog.
+    Evict { service: String },
+    /// Cancel everything and exit once the streams have drained.
+    Shutdown,
+}
+
+/// Where a `register` request gets its analysis inputs from.
+#[derive(Debug)]
+pub enum RegisterSource {
+    /// A bundled service: `fig7` (the paper's running example),
+    /// `slack`, `stripe`, or `square` — library plus scripted scenario
+    /// witnesses.
+    Builtin(String),
+    /// An inline [`AnalysisArtifact`] JSON object.
+    Artifact(Box<AnalysisArtifact>),
+    /// A path to an artifact JSON file on disk.
+    ArtifactPath(PathBuf),
+    /// An inline spec+witnesses pair (the raw analysis inputs).
+    Spec { library: Box<Library>, witnesses: Vec<Witness> },
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for the error response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = apiphany_json::parse(line).map_err(|e| format!("not a JSON object: {e}"))?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "missing 'op' field".to_string())?;
+        match op {
+            "register" => {
+                let service = require_str(&v, "service")?;
+                let source = if let Some(builtin) = v.get("builtin") {
+                    RegisterSource::Builtin(
+                        builtin
+                            .as_str()
+                            .ok_or_else(|| "'builtin' must be a name".to_string())?
+                            .to_string(),
+                    )
+                } else if let Some(artifact) = v.get("artifact") {
+                    let artifact = AnalysisArtifact::from_value(artifact)
+                        .map_err(|e| format!("inline artifact: {e}"))?;
+                    RegisterSource::Artifact(Box::new(artifact))
+                } else if let Some(path) = v.get("artifact_path") {
+                    RegisterSource::ArtifactPath(PathBuf::from(
+                        path.as_str()
+                            .ok_or_else(|| "'artifact_path' must be a path".to_string())?,
+                    ))
+                } else if let Some(library) = v.get("library") {
+                    let library = library_from_value(library)
+                        .map_err(|e| format!("inline library: {e}"))?;
+                    let witnesses = match v.get("witnesses") {
+                        None => Vec::new(),
+                        Some(w) => witnesses_from_json(w)
+                            .map_err(|e| format!("inline witnesses: {e}"))?,
+                    };
+                    RegisterSource::Spec { library: Box::new(library), witnesses }
+                } else {
+                    return Err(
+                        "register needs one of 'builtin', 'artifact', 'artifact_path', \
+                         or 'library' (+ optional 'witnesses')"
+                            .to_string(),
+                    );
+                };
+                Ok(Request::Register { service, source })
+            }
+            "query" => {
+                let id = require_str(&v, "id")?;
+                let spec =
+                    QuerySpec::from_value(&v).map_err(|e| format!("query spec: {e}"))?;
+                if spec.service.is_none() {
+                    return Err("query must name a 'service'".to_string());
+                }
+                Ok(Request::Query { id, spec })
+            }
+            "cancel" => Ok(Request::Cancel { id: require_str(&v, "id")? }),
+            "list" => Ok(Request::List),
+            "inspect" => Ok(Request::Inspect { service: require_str(&v, "service")? }),
+            "evict" => Ok(Request::Evict { service: require_str(&v, "service")? }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+
+    /// The `op` string of this request (echoed in responses).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "register",
+            Request::Query { .. } => "query",
+            Request::Cancel { .. } => "cancel",
+            Request::List => "list",
+            Request::Inspect { .. } => "inspect",
+            Request::Evict { .. } => "evict",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+fn require_str(v: &Value, field: &str) -> Result<String, String> {
+    let s = v
+        .get(field)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing '{field}' field"))?;
+    if s.is_empty() {
+        return Err(format!("'{field}' must not be empty"));
+    }
+    Ok(s.to_string())
+}
+
+/// `{"ok": true, "op": op, ...fields}`.
+pub fn ok_response(op: &str, fields: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+    let mut pairs = vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("op".to_string(), Value::from(op)),
+    ];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Value::Object(pairs)
+}
+
+/// `{"ok": false, "op": op?, "id": id?, "error": message}`.
+pub fn error_response(op: Option<&str>, id: Option<&str>, message: &str) -> Value {
+    let mut pairs = vec![("ok".to_string(), Value::Bool(false))];
+    if let Some(op) = op {
+        pairs.push(("op".to_string(), Value::from(op)));
+    }
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), Value::from(id)));
+    }
+    pairs.push(("error".to_string(), Value::from(message)));
+    Value::Object(pairs)
+}
+
+/// `{"event": "error", "id": id, "error": message}` — a terminal event
+/// for a query whose stream died without a `finished` (a worker panic):
+/// the client must not wait for more events with this id.
+pub fn error_event(id: &str, message: &str) -> Value {
+    Value::obj([
+        ("event", Value::from("error")),
+        ("id", Value::from(id)),
+        ("error", Value::from(message)),
+    ])
+}
+
+/// A [`ServiceInfo`] as a JSON object.
+pub fn service_info_value(info: &ServiceInfo) -> Value {
+    Value::obj([
+        ("name", Value::from(info.name.as_str())),
+        ("analyzed", Value::Bool(info.analyzed)),
+        ("n_methods", Value::Int(info.n_methods as i64)),
+        ("n_witnesses", Value::Int(info.n_witnesses as i64)),
+        (
+            "n_semantic_types",
+            match info.n_semantic_types {
+                None => Value::Null,
+                Some(n) => Value::Int(n as i64),
+            },
+        ),
+    ])
+}
+
+/// A session [`Event`] as the JSON line streamed to the client. `top_k`
+/// caps the `ranked` list of the `finished` event.
+pub fn event_value(id: &str, event: &Event, top_k: Option<usize>) -> Value {
+    match event {
+        Event::CandidateFound { program, r_orig, r_re_now, cost, elapsed, .. } => Value::obj([
+            ("event", Value::from("candidate")),
+            ("id", Value::from(id)),
+            ("r_orig", Value::Int(*r_orig as i64)),
+            ("r_re_now", Value::Int(*r_re_now as i64)),
+            ("cost", Value::Float(*cost)),
+            ("elapsed_ms", millis(*elapsed)),
+            ("program", Value::from(compact(program).to_string().as_str())),
+        ]),
+        Event::DepthExhausted { depth } => Value::obj([
+            ("event", Value::from("depth")),
+            ("id", Value::from(id)),
+            ("depth", Value::Int(*depth as i64)),
+        ]),
+        Event::BudgetExhausted => Value::obj([
+            ("event", Value::from("budget_exhausted")),
+            ("id", Value::from(id)),
+        ]),
+        Event::Finished(result) => finished_value(id, result, top_k),
+    }
+}
+
+fn finished_value(id: &str, result: &RunResult, top_k: Option<usize>) -> Value {
+    let shown = result.top(top_k.unwrap_or(usize::MAX));
+    let ranked: Vec<Value> = shown
+        .iter()
+        .enumerate()
+        .map(|(pos, r)| {
+            Value::obj([
+                ("rank", Value::Int(pos as i64 + 1)),
+                ("r_orig", Value::Int(r.gen_index as i64 + 1)),
+                ("cost", Value::Float(r.cost)),
+                ("program", Value::from(compact(&r.program).to_string().as_str())),
+            ])
+        })
+        .collect();
+    Value::obj([
+        ("event", Value::from("finished")),
+        ("id", Value::from(id)),
+        ("outcome", Value::from(outcome_name(result.stats.outcome))),
+        ("n_candidates", Value::Int(result.ranked.len() as i64)),
+        ("total_ms", millis(result.total_time)),
+        ("re_ms", millis(result.re_time)),
+        ("ranked", Value::Array(ranked)),
+    ])
+}
+
+/// The wire name of a synthesis outcome.
+pub fn outcome_name(outcome: apiphany_core::synth::Outcome) -> &'static str {
+    use apiphany_core::synth::Outcome;
+    match outcome {
+        Outcome::Exhausted => "exhausted",
+        Outcome::Stopped => "stopped",
+        Outcome::TimedOut => "timed_out",
+        Outcome::Cancelled => "cancelled",
+    }
+}
+
+fn millis(d: Duration) -> Value {
+    Value::Int(d.as_millis().min(i64::MAX as u128) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_requests() {
+        let reg = Request::parse(r#"{"op":"register","service":"demo","builtin":"fig7"}"#)
+            .unwrap();
+        assert!(matches!(
+            reg,
+            Request::Register { ref service, source: RegisterSource::Builtin(ref b) }
+                if service == "demo" && b == "fig7"
+        ));
+        let q = Request::parse(
+            r#"{"op":"query","id":"q1","service":"demo",
+                "inputs":{"channel_name":"Channel.name"},
+                "output":"[Profile.email]","depth":7,"top_k":3}"#,
+        )
+        .unwrap();
+        let Request::Query { id, spec } = q else { panic!("not a query") };
+        assert_eq!(id, "q1");
+        assert_eq!(spec.service.as_deref(), Some("demo"));
+        assert_eq!(spec.budget.max_depth, 7);
+        assert_eq!(spec.top_k, Some(3));
+        assert!(matches!(
+            Request::parse(r#"{"op":"cancel","id":"q1"}"#).unwrap(),
+            Request::Cancel { .. }
+        ));
+        assert!(matches!(Request::parse(r#"{"op":"list"}"#).unwrap(), Request::List));
+        assert!(matches!(
+            Request::parse(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_messages() {
+        for (line, needle) in [
+            ("not json", "not a JSON object"),
+            (r#"{"id":"q1"}"#, "missing 'op'"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"register","service":"x"}"#, "register needs"),
+            (r#"{"op":"register","builtin":"fig7"}"#, "missing 'service'"),
+            (r#"{"op":"query","id":"q","output":"[X]"}"#, "must name a 'service'"),
+            (r#"{"op":"query","service":"demo","output":"[X]"}"#, "missing 'id'"),
+            (r#"{"op":"cancel","id":""}"#, "must not be empty"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_json_lines() {
+        let ok = ok_response("register", [("service", Value::from("demo"))]).to_json();
+        assert!(!ok.contains('\n'));
+        assert!(ok.starts_with(r#"{"ok":true,"op":"register""#));
+        let err = error_response(Some("query"), Some("q1"), "boom").to_json();
+        assert_eq!(err, r#"{"ok":false,"op":"query","id":"q1","error":"boom"}"#);
+    }
+}

@@ -1,0 +1,233 @@
+//! End-to-end `synthd` conversations over in-memory pipes: the daemon
+//! loop is driven exactly as the binary drives it, minus the process
+//! boundary.
+
+use std::io::Cursor;
+
+use apiphany_json::{parse, Value};
+use apiphany_server::{run_daemon, DaemonOptions};
+
+/// Runs a scripted conversation and returns the parsed response lines.
+fn converse(script: &str, opts: &DaemonOptions) -> Vec<Value> {
+    let input = Cursor::new(script.to_string().into_bytes());
+    let mut output = Vec::new();
+    run_daemon(input, &mut output, opts).expect("daemon i/o is in-memory");
+    String::from_utf8(output)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(|line| parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}")))
+        .collect()
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> &'a str {
+    v.get(key).and_then(Value::as_str).unwrap_or("")
+}
+
+#[test]
+fn register_query_stream_and_finish() {
+    let lines = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"query","id":"q1","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":7,"top_k":1}
+"#,
+        &DaemonOptions::default(),
+    );
+    // Register ack with catalog info.
+    assert_eq!(lines[0].get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(str_field(&lines[0], "op"), "register");
+    // Query ack.
+    assert_eq!(str_field(&lines[1], "op"), "query");
+    assert_eq!(str_field(&lines[1], "id"), "q1");
+    // Streamed events: two candidates, depth markers, one finished.
+    let candidates: Vec<&Value> = lines
+        .iter()
+        .filter(|l| str_field(l, "event") == "candidate")
+        .collect();
+    assert_eq!(candidates.len(), 2);
+    assert!(candidates.iter().all(|c| str_field(c, "id") == "q1"));
+    assert!(str_field(candidates[0], "program").contains("c_list"));
+    let finished: Vec<&Value> = lines
+        .iter()
+        .filter(|l| str_field(l, "event") == "finished")
+        .collect();
+    assert_eq!(finished.len(), 1);
+    assert_eq!(str_field(finished[0], "outcome"), "exhausted");
+    assert_eq!(finished[0].get("n_candidates").and_then(Value::as_int), Some(2));
+    // top_k = 1 caps the reported ranking, not the search.
+    let ranked = finished[0].get("ranked").and_then(Value::as_array).unwrap();
+    assert_eq!(ranked.len(), 1);
+    // The top-ranked program is the paper's Fig. 2 solution (generated
+    // second, ranked first).
+    assert_eq!(ranked[0].get("r_orig").and_then(Value::as_int), Some(2));
+    // The finished event is the last line.
+    assert_eq!(str_field(lines.last().unwrap(), "event"), "finished");
+}
+
+#[test]
+fn cancel_ends_a_deep_query_with_a_cancelled_finish() {
+    let lines = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"query","id":"deep","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":12}
+{"op":"cancel","id":"deep"}
+"#,
+        &DaemonOptions::default(),
+    );
+    let cancel = lines
+        .iter()
+        .find(|l| str_field(l, "op") == "cancel")
+        .expect("cancel response");
+    assert_eq!(cancel.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(cancel.get("active").and_then(Value::as_bool), Some(true));
+    let finished = lines
+        .iter()
+        .find(|l| str_field(l, "event") == "finished")
+        .expect("cancelled query still finishes");
+    assert_eq!(str_field(finished, "id"), "deep");
+    assert_eq!(str_field(finished, "outcome"), "cancelled");
+}
+
+#[test]
+fn concurrent_queries_interleave_with_tagged_events() {
+    let lines = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"query","id":"a","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":7}
+{"op":"query","id":"b","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":7}
+"#,
+        &DaemonOptions { slots: 2, ..DaemonOptions::default() },
+    );
+    for id in ["a", "b"] {
+        let events: Vec<String> = lines
+            .iter()
+            .filter(|l| str_field(l, "id") == id && !str_field(l, "event").is_empty())
+            .map(|l| {
+                format!(
+                    "{} {} {}",
+                    str_field(l, "event"),
+                    l.get("depth").and_then(Value::as_int).unwrap_or(-1),
+                    l.get("r_orig").and_then(Value::as_int).unwrap_or(-1),
+                )
+            })
+            .collect();
+        // Each stream individually is the full dedicated-run sequence:
+        // 7 depth markers, 2 candidates, 1 finished.
+        assert_eq!(events.len(), 10, "{id}: {events:?}");
+        assert_eq!(events.last().unwrap(), "finished -1 -1", "{id}");
+    }
+}
+
+#[test]
+fn list_inspect_evict_lifecycle() {
+    let lines = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"list"}
+{"op":"inspect","service":"demo"}
+{"op":"evict","service":"demo"}
+{"op":"list"}
+{"op":"inspect","service":"demo"}
+"#,
+        &DaemonOptions::default(),
+    );
+    let services = lines[1].get("services").and_then(Value::as_array).unwrap();
+    assert_eq!(services.len(), 1);
+    assert_eq!(str_field(&services[0], "name"), "demo");
+    assert_eq!(str_field(lines[2].get("service").unwrap(), "name"), "demo");
+    assert_eq!(lines[3].get("removed").and_then(Value::as_bool), Some(true));
+    assert_eq!(lines[4].get("services").and_then(Value::as_array).unwrap().len(), 0);
+    assert_eq!(lines[5].get("ok").and_then(Value::as_bool), Some(false));
+}
+
+#[test]
+fn errors_are_reported_per_line_and_do_not_kill_the_daemon() {
+    let lines = converse(
+        r#"this is not json
+{"op":"query","id":"q","service":"ghost","output":"[Profile.email]"}
+{"op":"register","service":"demo","builtin":"nope"}
+{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"list"}
+"#,
+        &DaemonOptions::default(),
+    );
+    assert_eq!(lines.len(), 6);
+    // The unknown-service query error arrives asynchronously (submission
+    // runs on its own thread), so match responses by content, not index.
+    let has_error = |needle: &str| {
+        lines.iter().any(|l| str_field(l, "error").contains(needle))
+    };
+    assert!(has_error("not a JSON object"));
+    assert!(has_error("unknown service"));
+    assert!(has_error("unknown builtin"));
+    assert!(has_error("already registered"));
+    let list = lines
+        .iter()
+        .find(|l| str_field(l, "op") == "list")
+        .expect("list response");
+    assert_eq!(list.get("services").and_then(Value::as_array).unwrap().len(), 1);
+    assert!(lines
+        .iter()
+        .any(|l| str_field(l, "op") == "register"
+            && l.get("ok").and_then(Value::as_bool) == Some(true)));
+}
+
+#[test]
+fn duplicate_live_query_ids_are_rejected() {
+    let lines = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"query","id":"q","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":12}
+{"op":"query","id":"q","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":7}
+{"op":"cancel","id":"q"}
+"#,
+        &DaemonOptions::default(),
+    );
+    let dup = lines
+        .iter()
+        .find(|l| !str_field(l, "error").is_empty())
+        .expect("duplicate id error");
+    assert!(str_field(dup, "error").contains("already in use"));
+}
+
+#[test]
+fn shutdown_cancels_active_queries_and_exits() {
+    let lines = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"query","id":"q","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":12}
+{"op":"shutdown"}
+{"op":"list"}
+"#,
+        &DaemonOptions::default(),
+    );
+    // The shutdown is acknowledged, the deep query finishes cancelled,
+    // and the post-shutdown request is never processed.
+    assert!(lines.iter().any(|l| str_field(l, "op") == "shutdown"));
+    let finished = lines
+        .iter()
+        .find(|l| str_field(l, "event") == "finished")
+        .expect("query drains");
+    assert_eq!(str_field(finished, "outcome"), "cancelled");
+    assert!(!lines.iter().any(|l| str_field(l, "op") == "list"));
+}
+
+#[test]
+fn artifact_registration_roundtrips_through_the_wire() {
+    use apiphany_core::Engine;
+    use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
+
+    let artifact =
+        Engine::from_witnesses(fig7_library(), fig4_witnesses()).save_analysis();
+    let script = format!(
+        "{}\n{}\n",
+        Value::obj([
+            ("op", Value::from("register")),
+            ("service", Value::from("snap")),
+            ("artifact", artifact.to_value()),
+        ])
+        .to_json(),
+        r#"{"op":"query","id":"q","service":"snap","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":7}"#,
+    );
+    let lines = converse(&script, &DaemonOptions::default());
+    assert_eq!(lines[0].get("ok").and_then(Value::as_bool), Some(true));
+    let finished = lines
+        .iter()
+        .find(|l| str_field(l, "event") == "finished")
+        .expect("query finishes");
+    assert_eq!(finished.get("n_candidates").and_then(Value::as_int), Some(2));
+}

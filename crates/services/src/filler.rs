@@ -1,6 +1,6 @@
 //! Long-tail endpoint generation.
 //!
-//! The paper's APIs are large (Slack 174 methods, Stripe 300, Sqare 175;
+//! The paper's APIs are large (Slack 174 methods, Stripe 300, Square 175;
 //! see Table 1) and that scale is what makes type-directed search hard.
 //! Each simulated service therefore carries, besides its hand-written
 //! benchmark-relevant core, a programmatically generated "long tail" of
@@ -52,7 +52,7 @@ pub struct FillerConfig {
     pub n_methods: usize,
     /// Number of *extra* (nested, method-unreachable) objects to pad the
     /// object count with, mirroring specs whose schema set far exceeds
-    /// their endpoint set (Sqare has 716 objects for 175 methods).
+    /// their endpoint set (Square has 716 objects for 175 methods).
     pub n_extra_objects: usize,
     /// Every `restricted_every`-th method requires the unguessable admin
     /// token and therefore never appears in witnesses.

@@ -1,7 +1,8 @@
 //! Simulated RESTful services: the evaluation substrate.
 //!
 //! The paper evaluates on three real SaaS APIs (Slack, Stripe, and the
-//! anonymized "Sqare"); this reproduction replaces them with stateful,
+//! anonymized "Sqare", modeled here as [`Square`]); this reproduction
+//! replaces them with stateful,
 //! effectful, in-memory services whose object models, method vocabularies,
 //! optional-argument behaviors, and identifier spaces mirror the fragments
 //! the paper shows, padded with a generated long tail so library sizes
@@ -25,13 +26,18 @@
 //! ```
 
 mod filler;
-mod sqare;
 mod slack;
+mod square;
 mod stripe;
 mod util;
 
 pub use filler::{Filler, FillerConfig};
 pub use slack::Slack;
-pub use sqare::Sqare;
+pub use square::Square;
 pub use stripe::Stripe;
 pub use util::{script, ServiceState};
+
+/// Compatibility alias for [`Square`]: the module and type used to carry
+/// the paper's anonymized spelling.
+#[deprecated(note = "renamed to `Square`; the paper's anonymization was \"Sqare\"")]
+pub type Sqare = Square;

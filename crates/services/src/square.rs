@@ -1,4 +1,4 @@
-//! The simulated Sqare point-of-sale platform (benchmarks 3.1–3.11; the
+//! The simulated Square point-of-sale platform (benchmarks 3.1–3.11; the
 //! paper anonymizes Square as "Sqare").
 //!
 //! Catalog objects follow Square's tagged-union shape (`type` plus
@@ -14,27 +14,27 @@ use crate::filler::{Filler, FillerConfig};
 use crate::util::{arg_str, opt_arg, require, script, ServiceState};
 
 const HANDWRITTEN: usize = 16;
-/// Paper Table 1: Sqare has 175 methods and 716 objects.
+/// Paper Table 1: Square has 175 methods and 716 objects.
 const TARGET_METHODS: usize = 175;
 const TARGET_OBJECTS: usize = 716;
 
-/// The simulated Sqare service.
-pub struct Sqare {
+/// The simulated Square service.
+pub struct Square {
     lib: Library,
     filler: Filler,
     filler_cfg: FillerConfig,
     state: ServiceState,
 }
 
-impl Default for Sqare {
-    fn default() -> Sqare {
-        Sqare::new()
+impl Default for Square {
+    fn default() -> Square {
+        Square::new()
     }
 }
 
-impl Sqare {
+impl Square {
     /// A fresh sandbox with fixed seed data.
-    pub fn new() -> Sqare {
+    pub fn new() -> Square {
         let filler_cfg = FillerConfig {
             tag: "v2x".into(),
             n_methods: TARGET_METHODS - HANDWRITTEN,
@@ -45,7 +45,7 @@ impl Sqare {
         };
         let (filler, builder) = Filler::generate(&filler_cfg, spec_builder());
         let mut sq =
-            Sqare { lib: builder.build(), filler, filler_cfg, state: ServiceState::new() };
+            Square { lib: builder.build(), filler, filler_cfg, state: ServiceState::new() };
         sq.seed();
         sq
     }
@@ -236,7 +236,7 @@ impl Sqare {
         require(self.state.find("locations", "id", id).is_some(), "location_not_found")
     }
 
-    /// The scripted scenario producing `W0` for Sqare.
+    /// The scripted scenario producing `W0` for Square.
     pub fn scenario(&mut self) -> Vec<Witness> {
         let calls: Vec<(&str, Vec<(&str, Value)>)> = vec![
             ("/v2/locations_GET", vec![]),
@@ -301,9 +301,9 @@ impl Sqare {
     }
 }
 
-impl Service for Sqare {
+impl Service for Square {
     fn name(&self) -> &str {
-        "sqare"
+        "square"
     }
 
     fn library(&self) -> &Library {
@@ -499,7 +499,7 @@ fn spec_builder() -> LibraryBuilder {
             }],
         })
     };
-    LibraryBuilder::new("sqare")
+    LibraryBuilder::new("square")
         .object("Location", |o| {
             o.field("id", s.clone()).field("name", s.clone()).field("status", s.clone())
         })
@@ -708,15 +708,15 @@ mod tests {
 
     #[test]
     fn library_matches_table1_scale() {
-        let sq = Sqare::new();
+        let sq = Square::new();
         let stats = sq.library().stats();
-        assert_eq!(stats.n_methods, 175, "Table 1: Sqare has 175 methods");
+        assert_eq!(stats.n_methods, 175, "Table 1: Square has 175 methods");
         assert!(stats.n_objects >= 600, "near Table 1's 716 objects: {}", stats.n_objects);
     }
 
     #[test]
     fn scenario_covers_gold_methods() {
-        let mut sq = Sqare::new();
+        let mut sq = Square::new();
         let ws = sq.scenario();
         for m in [
             "/v2/invoices_GET",
@@ -736,7 +736,7 @@ mod tests {
 
     #[test]
     fn order_put_appends_fulfillments() {
-        let mut sq = Sqare::new();
+        let mut sq = Square::new();
         let updated = sq
             .call(
                 "/v2/orders/{order_id}_PUT",
@@ -755,7 +755,7 @@ mod tests {
 
     #[test]
     fn catalog_delete_reports_ids_and_removes() {
-        let mut sq = Sqare::new();
+        let mut sq = Square::new();
         let out = sq
             .call(
                 "/v2/catalog/object/{object_id}_DELETE",
@@ -776,7 +776,7 @@ mod tests {
 
     #[test]
     fn catalog_search_filters_by_type() {
-        let mut sq = Sqare::new();
+        let mut sq = Square::new();
         let items = sq
             .call(
                 "/v2/catalog/search_POST",
@@ -793,7 +793,7 @@ mod tests {
     fn invoice_titles_overlap_line_item_names() {
         // The 3.8 mining link: at least one invoice title equals a line
         // item name.
-        let mut sq = Sqare::new();
+        let mut sq = Square::new();
         let invs = sq
             .call("/v2/invoices_GET", &[("location_id".to_string(), Value::from("LOC_W9T2MAIN"))])
             .unwrap();

@@ -27,8 +27,10 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// How a [`for_each_ordered`] run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +120,164 @@ where
     }
 }
 
+/// A persistent, shareable worker pool: `slots` long-lived threads serving
+/// a FIFO job queue.
+///
+/// Where [`for_each_ordered`] is the *intra-run* primitive (split one
+/// search level across scoped threads, borrow freely), `SharedPool` is the
+/// *inter-run* primitive the serving layer multiplexes whole synthesis
+/// sessions over: each submitted job is an owned `'static` closure (a
+/// session worker body), at most `slots` of them run at once, and queued
+/// jobs start in submission order as slots free up — the oldest waiting
+/// session always gets the next slot, so a burst of queries drains fairly
+/// instead of starving the early ones.
+///
+/// Cloning the handle shares the same threads and queue (an explicit
+/// handle count, not `Arc::strong_count`, decides shutdown — the count
+/// would race concurrent drops). The pool shuts down when the last handle
+/// is dropped: workers finish the jobs already queued and exit.
+///
+/// ```
+/// use apiphany_ttn::pool::SharedPool;
+/// use std::sync::mpsc;
+///
+/// let pool = SharedPool::new(2);
+/// let (tx, rx) = mpsc::channel();
+/// for i in 0..8 {
+///     let tx = tx.clone();
+///     pool.spawn(move || tx.send(i * i).unwrap());
+/// }
+/// drop(tx);
+/// let mut squares: Vec<i32> = rx.iter().collect();
+/// squares.sort_unstable();
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct SharedPool {
+    inner: Arc<SharedQueue>,
+}
+
+/// The queue every worker and every handle shares.
+struct SharedQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    slots: usize,
+    /// Live external handles; the drop that takes this to zero shuts the
+    /// pool down.
+    handles: AtomicUsize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Box<dyn FnOnce() + Send>>,
+    /// Set when the last external handle drops; workers drain and exit.
+    shutdown: bool,
+    /// Jobs currently executing on a worker (for [`SharedPool::in_flight`]).
+    running: usize,
+    /// Worker join handles, reaped by the last external handle's drop.
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SharedPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPool").field("slots", &self.inner.slots).finish()
+    }
+}
+
+impl SharedPool {
+    /// Starts a pool with `slots` worker threads (clamped to at least 1).
+    pub fn new(slots: usize) -> SharedPool {
+        let slots = slots.max(1);
+        let inner = Arc::new(SharedQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+                running: 0,
+                workers: Vec::new(),
+            }),
+            available: Condvar::new(),
+            slots,
+            handles: AtomicUsize::new(1),
+        });
+        let mut workers = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            let queue = Arc::clone(&inner);
+            workers.push(std::thread::spawn(move || worker_loop(&queue)));
+        }
+        inner.state.lock().expect("pool lock").workers = workers;
+        SharedPool { inner }
+    }
+
+    /// The number of concurrently running jobs this pool allows.
+    pub fn slots(&self) -> usize {
+        self.inner.slots
+    }
+
+    /// Jobs submitted but not yet started (waiting for a free slot).
+    pub fn queued(&self) -> usize {
+        self.inner.state.lock().expect("pool lock").jobs.len()
+    }
+
+    /// Jobs currently executing on a worker.
+    pub fn in_flight(&self) -> usize {
+        self.inner.state.lock().expect("pool lock").running
+    }
+
+    /// Submits a job. It starts immediately if a slot is free, otherwise
+    /// it waits in FIFO order behind earlier submissions.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let mut state = self.inner.state.lock().expect("pool lock");
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.inner.available.notify_one();
+    }
+}
+
+fn worker_loop(queue: &SharedQueue) {
+    loop {
+        let job = {
+            let mut state = queue.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    state.running += 1;
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = queue.available.wait(state).expect("pool lock");
+            }
+        };
+        // A panicking job must not take the worker (and its slot) down
+        // with it: the queue behind it would never drain. The payload is
+        // swallowed — a job owns its own error reporting.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        queue.state.lock().expect("pool lock").running -= 1;
+    }
+}
+
+impl Clone for SharedPool {
+    fn clone(&self) -> SharedPool {
+        self.inner.handles.fetch_add(1, Ordering::Relaxed);
+        SharedPool { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl Drop for SharedPool {
+    fn drop(&mut self) {
+        if self.inner.handles.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return; // other external handles remain
+        }
+        let workers = {
+            let mut state = self.inner.state.lock().expect("pool lock");
+            state.shutdown = true;
+            std::mem::take(&mut state.workers)
+        };
+        self.inner.available.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +358,85 @@ mod tests {
     fn zero_jobs_complete_immediately() {
         let outcome = for_each_ordered(4, 0, |job, _, _| job, |_, _| true);
         assert_eq!(outcome, PoolOutcome::Completed);
+    }
+
+    #[test]
+    fn shared_pool_runs_every_job() {
+        let pool = SharedPool::new(3);
+        assert_eq!(pool.slots(), 3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..50usize {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_pool_caps_concurrency_at_slots() {
+        let pool = SharedPool::new(2);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..16 {
+            let (live, peak, tx) = (Arc::clone(&live), Arc::clone(&peak), tx.clone());
+            pool.spawn(move || {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 16);
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn shared_pool_serves_queued_jobs_in_submission_order() {
+        // One slot: start order must equal submission order exactly.
+        let pool = SharedPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..20usize {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_pool_survives_panicking_jobs() {
+        let pool = SharedPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(|| panic!("job blew up"));
+        // The single worker must still be alive to run the next job.
+        // (`in_flight` is not asserted: the worker decrements it after
+        // the send, so the count is racy from here.)
+        pool.spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(42));
+    }
+
+    #[test]
+    fn shared_pool_drop_drains_queued_jobs() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = SharedPool::new(1);
+            for _ in 0..10 {
+                let done = Arc::clone(&done);
+                pool.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            let clone = pool.clone();
+            drop(clone); // dropping a non-final handle must not shut down
+        }
+        // The final drop joins the workers after the queue drained.
+        assert_eq!(done.load(Ordering::SeqCst), 10);
     }
 }

@@ -74,9 +74,11 @@ pub struct SearchConfig {
     /// value; see the module docs for why. The ILP backend ignores this.
     pub threads: usize,
     /// Capacity of the dead-state memo (entries); `0` disables
-    /// memoization entirely. Each worker of a parallel search owns an
-    /// independent dead-set with this cap. Hit/miss/rejected counts are
-    /// reported through [`SearchStats`].
+    /// memoization entirely. When full, the memo evicts its oldest epoch
+    /// (half the entries) instead of rejecting inserts, so deep searches
+    /// keep memoizing their current frontier. Each worker of a parallel
+    /// search owns an independent dead-set with this cap.
+    /// Hit/miss/evicted counts are reported through [`SearchStats`].
     pub dead_set_cap: usize,
 }
 
@@ -129,9 +131,13 @@ pub struct SearchStats {
     pub dead_hits: u64,
     /// Dead-set lookups that missed.
     pub dead_misses: u64,
-    /// Dead states *not* memoized because [`SearchConfig::dead_set_cap`]
-    /// was reached (pruning quality degrades once this grows).
-    pub dead_rejected: u64,
+    /// Dead facts discarded by epoch eviction: when the memo reaches
+    /// [`SearchConfig::dead_set_cap`] its oldest epoch (half the entries)
+    /// is cleared to make room, so deep searches keep memoizing their
+    /// current frontier instead of freezing on stale shallow states.
+    /// Eviction only forgets facts — it can re-explore a subtree, never
+    /// drop a path.
+    pub dead_evicted: u64,
 }
 
 impl SearchStats {
@@ -140,7 +146,7 @@ impl SearchStats {
         self.paths += other.paths;
         self.dead_hits += other.dead_hits;
         self.dead_misses += other.dead_misses;
-        self.dead_rejected += other.dead_rejected;
+        self.dead_evicted += other.dead_evicted;
     }
 }
 
@@ -194,7 +200,7 @@ pub fn enumerate_search(
     // and the memo is what keeps that from going exponential.
     let mut serial_dfs = Dfs::new(net, fin, &index, cfg, cancel, None);
     let worker_dead: Vec<Mutex<DeadSet>> =
-        (0..cfg.threads).map(|_| Mutex::new(HashSet::new())).collect();
+        (0..cfg.threads).map(|_| Mutex::new(DeadSet::new(cfg.dead_set_cap))).collect();
     for len in 1..=cfg.max_len {
         let outcome = match cfg.backend {
             Backend::Dfs => {
@@ -351,11 +357,58 @@ impl NetIndex {
 }
 
 /// Dead-state memo keys: 128-bit marking fingerprint + remaining length.
+type DeadKey = (u128, usize);
+
+/// The dead-state memo: a capped set of `(marking, remaining)` keys proven
+/// to admit no completion, with **epoch-based eviction**.
+///
 /// Only verdicts from *unrestricted* nodes are stored (see `Dfs::step`):
 /// the symmetry-breaking restriction makes restricted nodes' verdicts
-/// prefix-dependent, and restricted→restricted reuse measured too rare
-/// to pay for a context-qualified key.
-type DeadSet = HashSet<(u128, usize)>;
+/// prefix-dependent, and restricted→restricted reuse measured too rare to
+/// pay for a context-qualified key.
+///
+/// Entries live in two epochs of at most `cap / 2` entries each. Inserts
+/// go to the young epoch; when it fills, the old epoch is cleared and the
+/// young one takes its place. Deep searches therefore keep memoizing
+/// their *current* frontier — under the seed's insert-rejection scheme a
+/// full memo froze on the earliest states and rejected everything the
+/// search was actually revisiting. Eviction is deterministic (driven
+/// purely by insertion order) and sound: forgetting a dead fact can only
+/// re-explore a provably path-free subtree, never change what is emitted.
+pub(crate) struct DeadSet {
+    young: HashSet<DeadKey>,
+    old: HashSet<DeadKey>,
+    /// Per-epoch capacity (`cap.div_ceil(2)`); `0` disables the memo.
+    epoch_cap: usize,
+}
+
+impl DeadSet {
+    pub(crate) fn new(cap: usize) -> DeadSet {
+        DeadSet { young: HashSet::new(), old: HashSet::new(), epoch_cap: cap.div_ceil(2) }
+    }
+
+    /// Whether memoization is enabled (`dead_set_cap > 0`).
+    fn enabled(&self) -> bool {
+        self.epoch_cap > 0
+    }
+
+    fn contains(&self, key: &DeadKey) -> bool {
+        self.young.contains(key) || self.old.contains(key)
+    }
+
+    /// Inserts a dead fact, rotating epochs when the young epoch is full.
+    /// Returns the number of entries evicted by the rotation (for the
+    /// [`SearchStats::dead_evicted`] counter).
+    fn insert(&mut self, key: DeadKey) -> u64 {
+        self.young.insert(key);
+        if self.young.len() < self.epoch_cap {
+            return 0;
+        }
+        let evicted = self.old.len() as u64;
+        self.old = std::mem::take(&mut self.young);
+        evicted
+    }
+}
 
 /// Reusable per-depth scratch: the candidate list, the optional
 /// availability bounds, and the odometer digits. One frame per recursion
@@ -387,7 +440,6 @@ struct Dfs<'a> {
     /// here: at millions of memoized states a birthday collision would
     /// unsoundly prune a live state and silently drop a valid program.
     dead: DeadSet,
-    dead_cap: usize,
     /// Firing stack; `plen` is the live prefix length. Slots above the
     /// live prefix keep their `optional_taken` allocations for reuse.
     path: Vec<Firing>,
@@ -420,8 +472,7 @@ impl<'a> Dfs<'a> {
             deadline: cfg.deadline,
             cancel,
             stop,
-            dead: HashSet::new(),
-            dead_cap: cfg.dead_set_cap,
+            dead: DeadSet::new(cfg.dead_set_cap),
             path: Vec::new(),
             plen: 0,
             frames: Vec::new(),
@@ -554,7 +605,7 @@ impl<'a> Dfs<'a> {
             return Flow::Pruned;
         }
         let key = (m.fingerprint128(), remaining);
-        if self.dead_cap > 0 {
+        if self.dead.enabled() {
             if self.dead.contains(&key) {
                 self.stats.dead_hits += 1;
                 return Flow::Pruned;
@@ -575,13 +626,10 @@ impl<'a> Dfs<'a> {
         // restriction).
         let prev_zero_required = self.prev_zero_required();
         let flow = self.expand(m, remaining, prev_zero_required, on_path);
-        if flow == Flow::Pruned && self.dead_cap > 0 && prev_zero_required.is_none() {
-            // Fully explored, unrestricted, no success: remember as dead.
-            if self.dead.len() < self.dead_cap {
-                self.dead.insert(key);
-            } else {
-                self.stats.dead_rejected += 1;
-            }
+        if flow == Flow::Pruned && self.dead.enabled() && prev_zero_required.is_none() {
+            // Fully explored, unrestricted, no success: remember as dead
+            // (epoch rotation makes room by forgetting the oldest facts).
+            self.stats.dead_evicted += self.dead.insert(key);
         }
         flow
     }
@@ -1219,17 +1267,35 @@ mod tests {
         assert!(report.stats.nodes > 0);
         assert!(report.stats.dead_hits > 0, "{:?}", report.stats);
         assert!(report.stats.dead_misses > 0);
-        assert_eq!(report.stats.dead_rejected, 0);
+        assert_eq!(report.stats.dead_evicted, 0);
     }
 
+    /// A memo far smaller than the search keeps evicting epochs — and the
+    /// emitted paths stay exactly those of an uncapped run, because
+    /// forgetting a dead fact only ever re-explores a path-free subtree.
     #[test]
-    fn tiny_dead_set_cap_reports_rejections() {
+    fn tiny_dead_set_cap_evicts_epochs_without_changing_output() {
         let (net, init, fin) = setup();
-        let cfg = SearchConfig { max_len: 7, dead_set_cap: 4, ..SearchConfig::default() };
-        let report = enumerate_search(&net, &init, &fin, &cfg, &CancelToken::new(), &mut |_| true);
-        assert_eq!(report.outcome, SearchOutcome::Exhausted);
-        assert_eq!(report.stats.paths, 2);
-        assert!(report.stats.dead_rejected > 0);
+        let collect = |cap: usize| {
+            let cfg = SearchConfig { max_len: 7, dead_set_cap: cap, ..SearchConfig::default() };
+            let mut paths: Vec<Vec<Firing>> = Vec::new();
+            let report = enumerate_search(&net, &init, &fin, &cfg, &CancelToken::new(), &mut |e| {
+                if let SearchEvent::Path(p) = e {
+                    paths.push(p.to_vec());
+                }
+                true
+            });
+            (paths, report)
+        };
+        let (tiny_paths, tiny) = collect(4);
+        let (full_paths, full) = collect(2_000_000);
+        assert_eq!(tiny.outcome, SearchOutcome::Exhausted);
+        assert_eq!(tiny.stats.paths, 2);
+        assert!(tiny.stats.dead_evicted > 0, "{:?}", tiny.stats);
+        assert_eq!(full.stats.dead_evicted, 0);
+        assert_eq!(tiny_paths, full_paths);
+        // Evicting costs pruning quality (more misses), never soundness.
+        assert!(tiny.stats.dead_misses >= full.stats.dead_misses);
     }
 
     /// Satellite regression: the DFS emits canonical firings — a firing

@@ -1,16 +1,16 @@
-//! Sqare catalog maintenance (benchmarks 3.2 / 3.10 / 3.11): filters over
+//! Square catalog maintenance (benchmarks 3.2 / 3.10 / 3.11): filters over
 //! tagged-union catalog objects and effectful deletion, on the simulated
-//! Sqare API.
+//! Square API.
 //!
-//! Run with: `cargo run --release --example sqare_catalog`
+//! Run with: `cargo run --release --example square_catalog`
 
 use apiphany_benchmarks::{default_analyze_config, prepare_api, Api};
 use apiphany_core::{Budget, RunConfig};
 use std::time::Duration;
 
 fn main() {
-    println!("analysis phase for sqare ...");
-    let prepared = prepare_api(Api::Sqare, &default_analyze_config());
+    println!("analysis phase for square ...");
+    let prepared = prepare_api(Api::Square, &default_analyze_config());
     let engine = &prepared.engine;
 
     let tasks = [

@@ -7,6 +7,7 @@
 
 pub use apiphany_benchmarks as benchmarks;
 pub use apiphany_core as core;
+pub use apiphany_server as server;
 pub use apiphany_json as json;
 pub use apiphany_lang as lang;
 pub use apiphany_mining as mining;

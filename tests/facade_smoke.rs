@@ -42,7 +42,7 @@ fn every_reexported_crate_is_reachable() {
     // services: the three simulated APIs with their Table 1 sizes.
     assert_eq!(services::Slack::new().library().stats().n_methods, 174);
     assert_eq!(services::Stripe::new().library().stats().n_methods, 300);
-    assert_eq!(services::Sqare::new().library().stats().n_methods, 175);
+    assert_eq!(services::Square::new().library().stats().n_methods, 175);
 
     // benchmarks: the Table 2 suite definitions.
     assert_eq!(benchmarks::benchmarks().len(), 32);

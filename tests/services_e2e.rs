@@ -17,8 +17,8 @@ fn light_analysis() -> AnalyzeConfig {
 }
 
 #[test]
-fn sqare_easy_benchmarks_rank_first() {
-    let prepared = prepare_api(Api::Sqare, &light_analysis());
+fn square_easy_benchmarks_rank_first() {
+    let prepared = prepare_api(Api::Square, &light_analysis());
     let cfg = default_run_config(20, 5);
     for id in ["3.1", "3.4"] {
         let bench = benchmark(id).unwrap();
@@ -45,7 +45,7 @@ fn scenario_witnesses_roundtrip_as_json() {
 #[test]
 fn libraries_match_table1_method_counts() {
     use apiphany_repro::benchmarks::make_service;
-    let expected = [(Api::Slack, 174), (Api::Stripe, 300), (Api::Sqare, 175)];
+    let expected = [(Api::Slack, 174), (Api::Stripe, 300), (Api::Square, 175)];
     for (api, n) in expected {
         let svc = make_service(api);
         assert_eq!(svc.library().stats().n_methods, n, "{}", api.name());
