@@ -4,9 +4,26 @@
 //! `synthd` daemon) keeps its engines in. Services are registered by name
 //! from either raw analysis inputs (a [`Library`] plus a witness set) or
 //! a pre-computed [`AnalysisArtifact`]; the expensive analysis work —
-//! type mining and TTN construction — runs **lazily, once, on first
-//! use**, and the resulting engine is shared by every subsequent query
-//! (engines are cheap `Arc` handles).
+//! type mining and TTN construction — runs **once, as a first-class
+//! [`Analysis` job](crate::JobKind::Analysis)**, and the resulting engine
+//! is shared by every subsequent query (engines are cheap `Arc` handles).
+//!
+//! The analysis job is the catalog's single-flight mechanism: the first
+//! lookup of an unanalyzed service claims the entry and creates the job,
+//! every concurrent lookup **subscribes to the same job** (instead of
+//! blocking on a condvar), and the job publishes the engine exactly once.
+//! How the job executes depends on configuration:
+//!
+//! * **standalone** (default): the claiming caller runs the job inline on
+//!   its own thread — [`ServiceCatalog::engine`] blocks as before;
+//! * **with a [`JobRuntime`]** ([`ServiceCatalog::with_runtime`]): the
+//!   job is queued on the runtime's analysis lane and
+//!   [`ServiceCatalog::lookup`] returns the [`Job`] handle immediately —
+//!   nothing blocks, and callers chain work onto
+//!   [`Job::on_terminal`](crate::Job::on_terminal) or poll
+//!   [`Job::state`](crate::Job::state). [`ServiceCatalog::prewarm`]
+//!   starts the job right after registration so a service is warm before
+//!   its first query.
 //!
 //! With a cache directory configured, the catalog also persists each
 //! mined analysis as `<name>.analysis.json`: the next process registering
@@ -31,17 +48,29 @@
 //!
 //! All methods take `&self` and the catalog is `Sync`: a daemon shares
 //! one catalog across request-handling threads. A service being analyzed
-//! blocks only the callers that need *that* service; registrations and
+//! affects only the callers that need *that* service; registrations and
 //! queries against other services proceed.
+//!
+//! Eviction frees the name immediately and never destroys work in
+//! flight: evicting a service whose analysis job is still **queued**
+//! cancels the job (a prompt no-op); evicting one whose job is
+//! **running** lets the job finish — already-subscribed waiters still
+//! receive the engine — but its publication is a no-op, because
+//! publication is keyed by job id and the evicted job's entry is gone.
+//! The service can never resurrect itself in a half-registered state.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
-use std::sync::{Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use apiphany_mining::MiningConfig;
+use apiphany_mining::{AnalyzeStats, MiningConfig};
 use apiphany_spec::{Library, Witness};
 use apiphany_ttn::BuildOptions;
 
+use crate::job::{Job, JobId, JobKind, JobOutcome, JobRuntime, JobState};
 use crate::{AnalysisArtifact, Engine, EngineError, QuerySpec, Session};
 
 /// One registered service's lifecycle state.
@@ -50,10 +79,39 @@ enum Entry {
     Spec { library: Library, witnesses: Vec<Witness> },
     /// Registered from a saved artifact; the engine (TTN) is not built yet.
     Artifact(Box<AnalysisArtifact>),
-    /// Some thread is mining/building right now; wait on the condvar.
-    Analyzing,
+    /// An analysis job owns the inputs right now; subscribe to it.
+    Analyzing {
+        job: Job<Engine>,
+        /// Input sizes, snapshotted for `inspect` while the inputs
+        /// travel with the job.
+        n_methods: usize,
+        n_witnesses: usize,
+    },
     /// Ready to serve.
-    Ready(Engine),
+    Ready {
+        engine: Engine,
+        /// Wall-clock of the analyze-once work (cache load or mining,
+        /// plus the TTN build).
+        analyze_time: Duration,
+    },
+}
+
+/// A live analysis job as reported by [`ServiceCatalog::inspect`] and the
+/// `synthd` `status` op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobInfo {
+    /// The job's stable identity.
+    pub id: JobId,
+    /// The kind of work ([`JobKind::Analysis`] for catalog jobs).
+    pub kind: JobKind,
+    /// The job's state at snapshot time.
+    pub state: JobState,
+}
+
+impl JobInfo {
+    fn of<T: Clone>(job: &Job<T>) -> JobInfo {
+        JobInfo { id: job.id(), kind: job.kind(), state: job.state() }
+    }
 }
 
 /// What a catalog entry looks like from outside ([`ServiceCatalog::list`]
@@ -71,17 +129,40 @@ pub struct ServiceInfo {
     /// Mined semantic type groups; `None` until analyzed (registration
     /// from an artifact knows it immediately).
     pub n_semantic_types: Option<usize>,
+    /// Analysis-phase statistics (witness/coverage counts — the mining
+    /// cost), once analyzed.
+    pub analysis: Option<AnalyzeStats>,
+    /// Wall-clock the catalog spent on this service's analyze-once work.
+    pub analyze_time: Option<Duration>,
+    /// The in-flight analysis job, while one is queued or running.
+    pub job: Option<JobInfo>,
 }
 
-/// A named registry of services with lazy analyze-once engines and an
-/// optional on-disk artifact cache. See the module docs.
+/// The result of a non-blocking [`ServiceCatalog::lookup`].
+#[derive(Debug, Clone)]
+pub enum ServiceLookup {
+    /// The service is warm; here is its engine.
+    Ready(Engine),
+    /// The service's analysis job is in flight (or, for a runtime-less
+    /// catalog, already settled): subscribe via
+    /// [`Job::on_terminal`](crate::Job::on_terminal) or block on
+    /// [`Job::wait_outcome`](crate::Job::wait_outcome).
+    Pending(Job<Engine>),
+}
+
+/// A named registry of services whose analyze-once work runs as
+/// first-class [`Analysis` jobs](crate::JobKind::Analysis). See the
+/// module docs.
 pub struct ServiceCatalog {
-    entries: Mutex<HashMap<String, Entry>>,
-    /// Signalled whenever an `Analyzing` entry resolves.
-    ready: Condvar,
+    entries: Arc<Mutex<HashMap<String, Entry>>>,
     cache_dir: Option<PathBuf>,
     mining: MiningConfig,
     build: BuildOptions,
+    /// Where analysis jobs execute; `None` = inline on the claiming
+    /// caller's thread.
+    runtime: Option<JobRuntime>,
+    /// Job-id allocator for runtime-less catalogs.
+    local_ids: AtomicU64,
 }
 
 impl Default for ServiceCatalog {
@@ -95,19 +176,22 @@ impl std::fmt::Debug for ServiceCatalog {
         f.debug_struct("ServiceCatalog")
             .field("services", &self.entries.lock().expect("catalog lock").len())
             .field("cache_dir", &self.cache_dir)
+            .field("runtime", &self.runtime.is_some())
             .finish()
     }
 }
 
 impl ServiceCatalog {
-    /// An empty catalog with default mining/TTN options and no disk cache.
+    /// An empty catalog with default mining/TTN options, no disk cache,
+    /// and inline (caller-thread) analysis.
     pub fn new() -> ServiceCatalog {
         ServiceCatalog {
-            entries: Mutex::new(HashMap::new()),
-            ready: Condvar::new(),
+            entries: Arc::new(Mutex::new(HashMap::new())),
             cache_dir: None,
             mining: MiningConfig::default(),
             build: BuildOptions::default(),
+            runtime: None,
+            local_ids: AtomicU64::new(1),
         }
     }
 
@@ -134,8 +218,19 @@ impl ServiceCatalog {
         self
     }
 
+    /// Executes analysis jobs on `runtime`'s analysis lane instead of
+    /// inline: [`ServiceCatalog::lookup`] and
+    /// [`ServiceCatalog::prewarm`] become non-blocking, and mining shares
+    /// (fairly — see [`apiphany_ttn::pool::Lane`]) the pool that runs the
+    /// search jobs of any [`crate::Scheduler`] on the same runtime.
+    pub fn with_runtime(mut self, runtime: JobRuntime) -> ServiceCatalog {
+        self.runtime = Some(runtime);
+        self
+    }
+
     /// Registers a service from its analysis inputs: the syntactic
-    /// library and a witness set. Mining is deferred to first use.
+    /// library and a witness set. Mining is deferred to first use (or to
+    /// an explicit [`ServiceCatalog::prewarm`]).
     ///
     /// # Errors
     ///
@@ -207,75 +302,152 @@ impl ServiceCatalog {
     /// already streaming keep their own handles and are unaffected; a
     /// disk-cached artifact also survives). Returns whether the name was
     /// registered.
+    ///
+    /// Never blocks, never destroys analysis work in flight, and frees
+    /// the name **immediately** (it is re-registrable right away): a
+    /// *queued* analysis job is cancelled (a prompt no-op), a *running*
+    /// one completes and its already-subscribed waiters still get the
+    /// engine — but its publication is a no-op, because publication is
+    /// keyed by job id and the evicted job's entry is gone. The service
+    /// can never resurrect itself in a half-registered state.
     pub fn evict(&self, name: &str) -> bool {
         let mut entries = self.entries.lock().expect("catalog lock");
-        // Never remove an entry mid-analysis: the analyzing thread will
-        // re-insert its result, resurrecting the service in a confusing
-        // half-registered state. Let it finish, then evict.
-        while matches!(entries.get(name), Some(Entry::Analyzing)) {
-            entries = self.ready.wait(entries).expect("catalog lock");
+        let removed = entries.remove(name);
+        drop(entries);
+        match removed {
+            None => false,
+            Some(Entry::Analyzing { job, .. }) => {
+                job.cancel();
+                true
+            }
+            Some(_) => true,
         }
-        entries.remove(name).is_some()
     }
 
-    /// The engine for a service, running the analyze-once work (cache
-    /// load, or mining, plus the TTN build) on first use. Concurrent
-    /// callers for the same service block until the one doing the work
-    /// publishes the engine; callers for other services are unaffected.
+    fn next_job_id(&self) -> JobId {
+        match &self.runtime {
+            Some(rt) => rt.next_id(),
+            None => JobId(self.local_ids.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
+
+    /// The non-blocking lookup at the heart of the serving path: returns
+    /// the engine if the service is warm, otherwise the [`Job`] handle of
+    /// its analysis — claiming the entry and starting the job if this is
+    /// the first use. With a [`JobRuntime`] configured the job is queued
+    /// on the analysis lane and this call returns immediately; without
+    /// one, the claiming call runs the job inline (the returned handle is
+    /// already settled), and concurrent callers for the same service get
+    /// the in-flight handle to wait on.
     ///
     /// # Errors
     ///
     /// [`EngineError::UnknownService`] for unregistered names.
-    pub fn engine(&self, name: &str) -> Result<Engine, EngineError> {
+    pub fn lookup(&self, name: &str) -> Result<ServiceLookup, EngineError> {
         let mut entries = self.entries.lock().expect("catalog lock");
-        loop {
-            match entries.get(name) {
-                None => return Err(EngineError::UnknownService(name.to_string())),
-                Some(Entry::Ready(engine)) => return Ok(engine.clone()),
-                Some(Entry::Analyzing) => {
-                    entries = self.ready.wait(entries).expect("catalog lock");
-                }
-                Some(Entry::Spec { .. } | Entry::Artifact(_)) => break,
+        match entries.get(name) {
+            None => return Err(EngineError::UnknownService(name.to_string())),
+            Some(Entry::Ready { engine, .. }) => {
+                return Ok(ServiceLookup::Ready(engine.clone()))
             }
-        }
-        // Claim the analysis: take the inputs out and release the lock
-        // while mining/building so other services stay available. If the
-        // build panics (malformed inputs), the guard removes the stuck
-        // `Analyzing` marker and wakes every waiter — they see the
-        // service as unregistered instead of blocking forever, and the
-        // panic poisons only this call, never the whole catalog.
-        let claimed =
-            entries.insert(name.to_string(), Entry::Analyzing).expect("entry just matched");
-        drop(entries);
-        struct ClaimGuard<'a> {
-            catalog: &'a ServiceCatalog,
-            name: &'a str,
-            armed: bool,
-        }
-        impl Drop for ClaimGuard<'_> {
-            fn drop(&mut self) {
-                if self.armed {
-                    let mut entries = self.catalog.entries.lock().expect("catalog lock");
-                    entries.remove(self.name);
-                    drop(entries);
-                    self.catalog.ready.notify_all();
-                }
+            Some(Entry::Analyzing { job, .. }) => {
+                return Ok(ServiceLookup::Pending(job.clone()))
             }
+            Some(Entry::Spec { .. } | Entry::Artifact(_)) => {}
         }
-        let mut guard = ClaimGuard { catalog: self, name, armed: true };
-        let engine = match claimed {
-            Entry::Spec { library, witnesses } => self.analyze_spec(name, library, witnesses),
-            Entry::Artifact(artifact) => {
-                Engine::builder().build_options(self.build.clone()).from_artifact(*artifact)
+        // Claim the analysis: move the inputs into the job and publish
+        // the job handle in their place, so every concurrent lookup
+        // subscribes to this job.
+        let job: Job<Engine> = Job::new(self.next_job_id(), JobKind::Analysis, name);
+        let (n_methods, n_witnesses) = match entries.get(name) {
+            Some(Entry::Spec { library, witnesses }) => {
+                (library.stats().n_methods, witnesses.len())
             }
-            Entry::Analyzing | Entry::Ready(_) => unreachable!("claimed unanalyzed entry"),
+            Some(Entry::Artifact(a)) => {
+                (a.semlib.lib.stats().n_methods, a.witnesses.len())
+            }
+            _ => unreachable!("entry just matched"),
         };
-        guard.armed = false;
-        let mut entries = self.entries.lock().expect("catalog lock");
-        entries.insert(name.to_string(), Entry::Ready(engine.clone()));
+        let inputs = entries
+            .insert(
+                name.to_string(),
+                Entry::Analyzing { job: job.clone(), n_methods, n_witnesses },
+            )
+            .expect("entry just matched");
         drop(entries);
-        self.ready.notify_all();
-        Ok(engine)
+        let body = {
+            let entries = Arc::clone(&self.entries);
+            let name = name.to_string();
+            let job = job.clone();
+            let cache_dir = self.cache_dir.clone();
+            let mining = self.mining.clone();
+            let build = self.build.clone();
+            move || {
+                run_analysis_job(
+                    &entries,
+                    &name,
+                    inputs,
+                    &job,
+                    cache_dir.as_deref(),
+                    &mining,
+                    &build,
+                );
+            }
+        };
+        match &self.runtime {
+            Some(rt) => rt.spawn(JobKind::Analysis, body),
+            None => body(),
+        }
+        Ok(ServiceLookup::Pending(job))
+    }
+
+    /// Starts the service's analyze-once work without waiting for a
+    /// query, returning the analysis [`Job`] to observe. On an already
+    /// warm service the returned job is instantly `Done`. With no
+    /// [`JobRuntime`] configured this runs the analysis inline (a
+    /// blocking warm-up).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownService`] for unregistered names.
+    pub fn prewarm(&self, name: &str) -> Result<Job<Engine>, EngineError> {
+        match self.lookup(name)? {
+            ServiceLookup::Pending(job) => Ok(job),
+            ServiceLookup::Ready(engine) => Ok(Job::settled(
+                self.next_job_id(),
+                JobKind::Analysis,
+                name,
+                JobOutcome::Done(engine),
+            )),
+        }
+    }
+
+    /// The engine for a service, running the analyze-once work (cache
+    /// load, or mining, plus the TTN build) on first use. Blocks until
+    /// the service's analysis job settles; concurrent callers for the
+    /// same service subscribe to the same job, and callers for other
+    /// services are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownService`] for unregistered names;
+    /// [`EngineError::Analysis`] when the analysis job failed (e.g.
+    /// panicked on malformed inputs) or was cancelled before producing an
+    /// engine.
+    pub fn engine(&self, name: &str) -> Result<Engine, EngineError> {
+        match self.lookup(name)? {
+            ServiceLookup::Ready(engine) => Ok(engine),
+            ServiceLookup::Pending(job) => match job.wait_outcome() {
+                JobOutcome::Done(engine) => Ok(engine),
+                JobOutcome::Failed(reason) => {
+                    Err(EngineError::Analysis { service: name.to_string(), reason })
+                }
+                JobOutcome::Cancelled => Err(EngineError::Analysis {
+                    service: name.to_string(),
+                    reason: "analysis cancelled".into(),
+                }),
+            },
+        }
     }
 
     /// Opens a streaming [`Session`] for a catalog-routed [`QuerySpec`]
@@ -294,43 +466,133 @@ impl ServiceCatalog {
             .ok_or_else(|| EngineError::Spec("catalog queries must name a service".into()))?;
         self.engine(name)?.open(spec)
     }
+}
 
-    /// The analyze-once work for a spec registration: reuse the disk
-    /// cache when possible, mine otherwise, and persist the result.
-    fn analyze_spec(&self, name: &str, library: Library, witnesses: Vec<Witness>) -> Engine {
-        if let Some(artifact) = self.load_cached(name) {
-            return Engine::builder().build_options(self.build.clone()).from_artifact(artifact);
+/// The analysis job body: run the analyze-once work, publish the result
+/// into the entry map, then settle the job (waking waiters and running
+/// continuations — strictly after publication, so subscribers observe a
+/// consistent catalog).
+fn run_analysis_job(
+    entries: &Mutex<HashMap<String, Entry>>,
+    name: &str,
+    inputs: Entry,
+    job: &Job<Engine>,
+    cache_dir: Option<&Path>,
+    mining: &MiningConfig,
+    build: &BuildOptions,
+) {
+    let start = Instant::now();
+    let outcome = if job.cancel_token().is_cancelled() {
+        // Cancelled while queued: a prompt no-op (the inputs are
+        // dropped; the publication step unregisters the name).
+        JobOutcome::Cancelled
+    } else {
+        job.mark_running();
+        // A panic (malformed inputs) settles the job `Failed` instead of
+        // leaving subscribers blocked forever; the pool worker survives
+        // regardless.
+        let work = std::panic::catch_unwind(AssertUnwindSafe(|| match inputs {
+            Entry::Spec { library, witnesses } => {
+                analyze_spec(name, library, witnesses, cache_dir, mining, build)
+            }
+            Entry::Artifact(artifact) => {
+                Engine::builder().build_options(build.clone()).from_artifact(*artifact)
+            }
+            Entry::Analyzing { .. } | Entry::Ready { .. } => {
+                unreachable!("claimed an unanalyzed entry")
+            }
+        }));
+        match work {
+            Ok(engine) => JobOutcome::Done(engine),
+            Err(payload) => JobOutcome::Failed(panic_message(payload.as_ref())),
         }
-        let engine = Engine::builder()
-            .mining(self.mining.clone())
-            .build_options(self.build.clone())
-            .from_witnesses(library, witnesses);
-        self.store_cached(name, &engine);
-        engine
-    }
+    };
+    publish(entries, name, job, &outcome, start.elapsed());
+    job.settle(outcome);
+}
 
-    fn cache_path(&self, name: &str) -> Option<PathBuf> {
-        self.cache_dir.as_ref().map(|dir| dir.join(format!("{name}.analysis.json")))
+/// Publishes an analysis outcome into the entry map: `Done` installs the
+/// engine, anything else unregisters the name. Publication is keyed by
+/// job id: a stale job — its entry was evicted or replaced since the
+/// claim — touches nothing, which is what lets `evict` free a name
+/// instantly without ever destroying (or resurrecting) in-flight work.
+fn publish(
+    entries: &Mutex<HashMap<String, Entry>>,
+    name: &str,
+    job: &Job<Engine>,
+    outcome: &JobOutcome<Engine>,
+    analyze_time: Duration,
+) {
+    let mut entries = entries.lock().expect("catalog lock");
+    match entries.get(name) {
+        Some(Entry::Analyzing { job: current, .. }) if current.id() == job.id() => {}
+        _ => return,
     }
-
-    fn load_cached(&self, name: &str) -> Option<AnalysisArtifact> {
-        let path = self.cache_path(name)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        // A cache file that no longer parses (older format, torn write)
-        // is treated as absent; the fresh analysis overwrites it.
-        AnalysisArtifact::from_json(&text).ok()
-    }
-
-    /// Best-effort cache write: serving must not fail because the cache
-    /// volume is full or read-only.
-    fn store_cached(&self, name: &str, engine: &Engine) {
-        let Some(path) = self.cache_path(name) else { return };
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
+    match outcome {
+        JobOutcome::Done(engine) => {
+            entries.insert(
+                name.to_string(),
+                Entry::Ready { engine: engine.clone(), analyze_time },
+            );
         }
-        let artifact = engine.save_analysis().named(name);
-        let _ = std::fs::write(path, artifact.to_json());
+        _ => {
+            entries.remove(name);
+        }
     }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "analysis panicked".to_string()
+    }
+}
+
+/// The analyze-once work for a spec registration: reuse the disk cache
+/// when possible, mine otherwise, and persist the result.
+fn analyze_spec(
+    name: &str,
+    library: Library,
+    witnesses: Vec<Witness>,
+    cache_dir: Option<&Path>,
+    mining: &MiningConfig,
+    build: &BuildOptions,
+) -> Engine {
+    if let Some(artifact) = load_cached(cache_dir, name) {
+        return Engine::builder().build_options(build.clone()).from_artifact(artifact);
+    }
+    let engine = Engine::builder()
+        .mining(mining.clone())
+        .build_options(build.clone())
+        .from_witnesses(library, witnesses);
+    store_cached(cache_dir, name, &engine);
+    engine
+}
+
+fn cache_path(cache_dir: Option<&Path>, name: &str) -> Option<PathBuf> {
+    cache_dir.map(|dir| dir.join(format!("{name}.analysis.json")))
+}
+
+fn load_cached(cache_dir: Option<&Path>, name: &str) -> Option<AnalysisArtifact> {
+    let path = cache_path(cache_dir, name)?;
+    let text = std::fs::read_to_string(path).ok()?;
+    // A cache file that no longer parses (older format, torn write)
+    // is treated as absent; the fresh analysis overwrites it.
+    AnalysisArtifact::from_json(&text).ok()
+}
+
+/// Best-effort cache write: serving must not fail because the cache
+/// volume is full or read-only.
+fn store_cached(cache_dir: Option<&Path>, name: &str, engine: &Engine) {
+    let Some(path) = cache_path(cache_dir, name) else { return };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let artifact = engine.save_analysis().named(name);
+    let _ = std::fs::write(path, artifact.to_json());
 }
 
 fn describe(name: &str, entry: &Entry) -> ServiceInfo {
@@ -341,6 +603,9 @@ fn describe(name: &str, entry: &Entry) -> ServiceInfo {
             n_methods: library.stats().n_methods,
             n_witnesses: witnesses.len(),
             n_semantic_types: None,
+            analysis: None,
+            analyze_time: None,
+            job: None,
         },
         Entry::Artifact(artifact) => ServiceInfo {
             name: name.to_string(),
@@ -348,22 +613,29 @@ fn describe(name: &str, entry: &Entry) -> ServiceInfo {
             n_methods: artifact.semlib.lib.stats().n_methods,
             n_witnesses: artifact.witnesses.len(),
             n_semantic_types: Some(artifact.semlib.n_groups()),
+            analysis: artifact.stats.clone(),
+            analyze_time: None,
+            job: None,
         },
-        // Described as not-yet-analyzed mid-flight: counts are unknown
-        // without the inputs, which the analyzing thread took with it.
-        Entry::Analyzing => ServiceInfo {
+        Entry::Analyzing { job, n_methods, n_witnesses, .. } => ServiceInfo {
             name: name.to_string(),
             analyzed: false,
-            n_methods: 0,
-            n_witnesses: 0,
+            n_methods: *n_methods,
+            n_witnesses: *n_witnesses,
             n_semantic_types: None,
+            analysis: None,
+            analyze_time: None,
+            job: Some(JobInfo::of(job)),
         },
-        Entry::Ready(engine) => ServiceInfo {
+        Entry::Ready { engine, analyze_time } => ServiceInfo {
             name: name.to_string(),
             analyzed: true,
             n_methods: engine.semlib().lib.stats().n_methods,
             n_witnesses: engine.witnesses().len(),
             n_semantic_types: Some(engine.semlib().n_groups()),
+            analysis: engine.analysis_stats().cloned(),
+            analyze_time: Some(*analyze_time),
+            job: None,
         },
     }
 }
@@ -395,6 +667,10 @@ mod tests {
         let info = catalog.inspect("demo").unwrap();
         assert!(info.analyzed);
         assert!(info.n_semantic_types.unwrap() > 0);
+        // The analyze-once work reports its cost (mining stats + time).
+        assert!(info.analysis.is_some());
+        assert!(info.analyze_time.is_some());
+        assert!(info.job.is_none(), "no job is live after analysis settles");
         // Second lookup reuses the engine (same Arc).
         let a = catalog.engine("demo").unwrap();
         let b = catalog.engine("demo").unwrap();
@@ -524,5 +800,101 @@ mod tests {
         for e in &engines[1..] {
             assert!(std::sync::Arc::ptr_eq(&engines[0].inner, &e.inner));
         }
+    }
+
+    #[test]
+    fn prewarm_runs_the_analysis_job_on_the_runtime() {
+        let runtime = JobRuntime::new(1);
+        let catalog = demo_catalog().with_runtime(runtime);
+        let job = catalog.prewarm("demo").unwrap();
+        assert_eq!(job.kind(), JobKind::Analysis);
+        assert_eq!(job.label(), "demo");
+        // While the job is in flight (or just settled), inspect sees it.
+        assert_eq!(job.wait(), JobState::Done);
+        let info = catalog.inspect("demo").unwrap();
+        assert!(info.analyzed);
+        // A second prewarm of the warm service settles instantly.
+        let again = catalog.prewarm("demo").unwrap();
+        assert_eq!(again.state(), JobState::Done);
+        assert!(matches!(
+            catalog.prewarm("ghost"),
+            Err(EngineError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn lookup_subscribers_share_one_analysis_job() {
+        let runtime = JobRuntime::new(2);
+        let catalog = demo_catalog().with_runtime(runtime);
+        let ServiceLookup::Pending(first) = catalog.lookup("demo").unwrap() else {
+            panic!("cold service must be pending");
+        };
+        // A concurrent lookup before the job settles either joins the
+        // same job or (if it already published) sees Ready.
+        match catalog.lookup("demo").unwrap() {
+            ServiceLookup::Pending(second) => assert_eq!(second.id(), first.id()),
+            ServiceLookup::Ready(_) => {}
+        }
+        let JobOutcome::Done(engine) = first.wait_outcome() else {
+            panic!("analysis succeeds");
+        };
+        let direct = catalog.engine("demo").unwrap();
+        assert!(std::sync::Arc::ptr_eq(&engine.inner, &direct.inner));
+    }
+
+    /// A panicking analysis body settles the job `Failed` (instead of
+    /// leaving subscribers blocked), unregisters the name, and frees it
+    /// for re-registration. Driven through the real job body with a
+    /// poisoned claim, since no well-formed input makes mining panic.
+    #[test]
+    fn panicking_analysis_settles_failed_and_unregisters() {
+        let catalog = demo_catalog();
+        let job: Job<Engine> = Job::new(JobId(77), JobKind::Analysis, "demo");
+        // Claim the entry by hand, exactly as `lookup` would.
+        catalog
+            .entries
+            .lock()
+            .unwrap()
+            .insert(
+                "demo".into(),
+                Entry::Analyzing {
+                    job: job.clone(),
+                    n_methods: 0,
+                    n_witnesses: 0,
+                },
+            )
+            .expect("demo was registered");
+        // Feeding the body an already-claimed entry trips its internal
+        // invariant — a genuine panic inside the analyze-once work.
+        let poison = Entry::Analyzing {
+            job: job.clone(),
+            n_methods: 0,
+            n_witnesses: 0,
+        };
+        // A subscriber joins the in-flight job before it fails.
+        let ServiceLookup::Pending(subscribed) = catalog.lookup("demo").unwrap() else {
+            panic!("claimed entry must be pending");
+        };
+        assert_eq!(subscribed.id(), job.id());
+        run_analysis_job(
+            &catalog.entries,
+            "demo",
+            poison,
+            &job,
+            None,
+            &MiningConfig::default(),
+            &BuildOptions::default(),
+        );
+        match subscribed.wait_outcome() {
+            JobOutcome::Failed(reason) => {
+                assert!(reason.contains("unanalyzed"), "panic message surfaces: {reason}");
+            }
+            other => panic!("expected analysis failure, got {other:?}"),
+        }
+        assert!(matches!(job.state(), JobState::Failed(_)));
+        assert!(catalog.inspect("demo").is_none(), "failed analysis unregisters");
+        // The name is reusable afterwards.
+        catalog.register_spec("demo", fig7_library(), fig4_witnesses()).unwrap();
+        assert!(catalog.engine("demo").is_ok());
     }
 }

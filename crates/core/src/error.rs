@@ -33,6 +33,15 @@ pub enum EngineError {
     /// resolution was even attempted (e.g. no service name where one is
     /// required).
     Spec(String),
+    /// A service's analyze-once job settled without producing an engine:
+    /// the analysis failed (e.g. panicked on malformed inputs) or was
+    /// cancelled (evicted mid-queue, or the runtime shut down).
+    Analysis {
+        /// The service whose analysis job settled abnormally.
+        service: String,
+        /// Why (the job's failure message, or "analysis cancelled").
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -55,6 +64,9 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::Spec(msg) => write!(f, "query spec: {msg}"),
+            EngineError::Analysis { service, reason } => {
+                write!(f, "analysis of service '{service}': {reason}")
+            }
         }
     }
 }
@@ -69,7 +81,8 @@ impl std::error::Error for EngineError {
             EngineError::UnknownService(_)
             | EngineError::DuplicateService(_)
             | EngineError::InvalidServiceName(_)
-            | EngineError::Spec(_) => None,
+            | EngineError::Spec(_)
+            | EngineError::Analysis { .. } => None,
         }
     }
 }

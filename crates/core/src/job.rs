@@ -1,0 +1,487 @@
+//! The job runtime: every unit of scheduled work — a synthesis run or a
+//! service's analyze-once phase — as a first-class, observable,
+//! cancellable **job**.
+//!
+//! A [`Job`] is a cheap, clonable handle on one scheduled unit of work
+//! with a stable [`JobId`], a [`JobKind`] (`Analysis` or `Search`), and a
+//! state machine `Queued → Running → Done | Failed | Cancelled`. Anyone
+//! holding the handle can:
+//!
+//! * **observe** progress ([`Job::state`], non-blocking) or block until a
+//!   terminal state ([`Job::wait`] / [`Job::wait_outcome`]);
+//! * **subscribe** a continuation ([`Job::on_terminal`]) that runs
+//!   exactly once when the job settles — the serving layer uses this to
+//!   chain "submit the query" onto "its service's analysis finished"
+//!   without any thread ever blocking;
+//! * **cancel** cooperatively ([`Job::cancel`]): a queued job becomes a
+//!   prompt no-op, a running one is interrupted at its next cancellation
+//!   point (synthesis polls the token at every search node; the analysis
+//!   phase runs to completion — mining has no safe midpoint).
+//!
+//! Jobs execute on the [`SharedPool`]'s two lanes: [`JobKind::Search`]
+//! maps to the FIFO search lane, [`JobKind::Analysis`] to the capped,
+//! alternating analysis lane — so a backlog of mining work can never
+//! occupy every slot and starve running sessions (see
+//! [`apiphany_ttn::pool::Lane`]). [`JobRuntime`] bundles the pool with a
+//! job-id allocator and per-kind accounting; one runtime is shared by the
+//! [`crate::Scheduler`] (search jobs) and the [`crate::ServiceCatalog`]
+//! (analysis jobs), which is what makes "analysis as a schedulable unit"
+//! a single-queue property rather than three ad-hoc thread mechanisms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use apiphany_ttn::pool::{Lane, SharedPool};
+use apiphany_ttn::CancelToken;
+
+/// The stable identity of one job, unique within its [`JobRuntime`] (or
+/// within a runtime-less catalog's local allocator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// What kind of work a job performs (also selects its pool [`Lane`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// A service's analyze-once phase: type mining + TTN construction
+    /// (or an artifact reload + TTN construction).
+    Analysis,
+    /// One synthesis run: TTN path search + RE ranking, streamed as a
+    /// [`crate::Session`].
+    Search,
+}
+
+impl JobKind {
+    /// The wire/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Analysis => "analysis",
+            JobKind::Search => "search",
+        }
+    }
+
+    fn lane(self) -> Lane {
+        match self {
+            JobKind::Analysis => Lane::Analysis,
+            JobKind::Search => Lane::Search,
+        }
+    }
+}
+
+/// A snapshot of a job's position in its state machine.
+///
+/// `Queued → Running → Done | Failed | Cancelled`; the three right-hand
+/// states are terminal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted, waiting for a pool slot (or for its lane's turn).
+    Queued,
+    /// Executing on a pool worker.
+    Running,
+    /// Finished successfully; the job's product is available.
+    Done,
+    /// The work itself errored (message preserved for reporting).
+    Failed(String),
+    /// Cancelled before completing (queued jobs cancel without running).
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the state is terminal (`Done` / `Failed` / `Cancelled`).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+
+    /// The wire/display name (the `Failed` message is carried separately).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// How a job settled, with its product on success. Handed (by reference)
+/// to [`Job::on_terminal`] subscribers and (by value) to
+/// [`Job::wait_outcome`] callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome<T> {
+    /// The work completed; `T` is its product (an engine for analysis
+    /// jobs, `()` for search jobs, whose product is the session stream).
+    Done(T),
+    /// The work errored.
+    Failed(String),
+    /// The job was cancelled before it could complete.
+    Cancelled,
+}
+
+impl<T> JobOutcome<T> {
+    /// The state-machine state this outcome corresponds to.
+    pub fn state(&self) -> JobState {
+        match self {
+            JobOutcome::Done(_) => JobState::Done,
+            JobOutcome::Failed(msg) => JobState::Failed(msg.clone()),
+            JobOutcome::Cancelled => JobState::Cancelled,
+        }
+    }
+}
+
+type Callback<T> = Box<dyn FnOnce(&JobOutcome<T>) + Send>;
+
+/// Pre-terminal phases carry their subscriber list; settling takes the
+/// list and runs it exactly once.
+enum Phase<T> {
+    Queued(Vec<Callback<T>>),
+    Running(Vec<Callback<T>>),
+    Terminal(JobOutcome<T>),
+}
+
+struct JobInner<T> {
+    id: JobId,
+    kind: JobKind,
+    /// What the job is about, for reporting (a service name for analysis
+    /// jobs, a query tag for search jobs).
+    label: String,
+    cancel: CancelToken,
+    phase: Mutex<Phase<T>>,
+    changed: Condvar,
+}
+
+/// A clonable handle on one scheduled unit of work. See the module docs.
+pub struct Job<T> {
+    inner: Arc<JobInner<T>>,
+}
+
+impl<T> Clone for Job<T> {
+    fn clone(&self) -> Job<T> {
+        Job { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> std::fmt::Debug for Job<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("id", &self.inner.id)
+            .field("kind", &self.inner.kind)
+            .field("label", &self.inner.label)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl<T> Job<T> {
+    /// A fresh job in `Queued` with its own cancellation token.
+    pub(crate) fn new(id: JobId, kind: JobKind, label: impl Into<String>) -> Job<T> {
+        Job {
+            inner: Arc::new(JobInner {
+                id,
+                kind,
+                label: label.into(),
+                cancel: CancelToken::new(),
+                phase: Mutex::new(Phase::Queued(Vec::new())),
+                changed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The job's stable identity.
+    pub fn id(&self) -> JobId {
+        self.inner.id
+    }
+
+    /// What kind of work this job performs.
+    pub fn kind(&self) -> JobKind {
+        self.inner.kind
+    }
+
+    /// What the job is about (a service name for analysis jobs).
+    pub fn label(&self) -> &str {
+        &self.inner.label
+    }
+
+    /// A snapshot of the job's current state.
+    pub fn state(&self) -> JobState {
+        match &*self.inner.phase.lock().expect("job lock") {
+            Phase::Queued(_) => JobState::Queued,
+            Phase::Running(_) => JobState::Running,
+            Phase::Terminal(outcome) => outcome.state(),
+        }
+    }
+
+    /// Requests cooperative cancellation. A queued job settles
+    /// `Cancelled` without running; a running search job stops at its
+    /// next poll; a running analysis job completes (mining has no safe
+    /// midpoint) and its product still reaches subscribers.
+    pub fn cancel(&self) {
+        self.inner.cancel.cancel();
+    }
+
+    /// The job's cancellation token (shared with the work it runs; for a
+    /// search job this is the session's own token).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.inner.cancel.clone()
+    }
+
+    /// Blocks until the job settles; returns the terminal [`JobState`].
+    pub fn wait(&self) -> JobState {
+        let mut phase = self.inner.phase.lock().expect("job lock");
+        loop {
+            if let Phase::Terminal(outcome) = &*phase {
+                return outcome.state();
+            }
+            phase = self.inner.changed.wait(phase).expect("job lock");
+        }
+    }
+
+    /// Marks the job `Running` (no-op if it already settled — a cancelled
+    /// queued job may have been settled by its own body's early-out).
+    pub(crate) fn mark_running(&self) {
+        let mut phase = self.inner.phase.lock().expect("job lock");
+        if let Phase::Queued(subs) = &mut *phase {
+            *phase = Phase::Running(std::mem::take(subs));
+            drop(phase);
+            self.inner.changed.notify_all();
+        }
+    }
+}
+
+impl<T: Clone> Job<T> {
+    /// A job born already settled (e.g. a `prewarm` of a service that is
+    /// already warm reports an instant `Done`).
+    pub(crate) fn settled(
+        id: JobId,
+        kind: JobKind,
+        label: impl Into<String>,
+        outcome: JobOutcome<T>,
+    ) -> Job<T> {
+        let job = Job::new(id, kind, label);
+        job.settle(outcome);
+        job
+    }
+
+    /// Blocks until the job settles; returns a clone of the outcome
+    /// (including the product on `Done`).
+    pub fn wait_outcome(&self) -> JobOutcome<T> {
+        let mut phase = self.inner.phase.lock().expect("job lock");
+        loop {
+            if let Phase::Terminal(outcome) = &*phase {
+                return outcome.clone();
+            }
+            phase = self.inner.changed.wait(phase).expect("job lock");
+        }
+    }
+
+    /// Subscribes a continuation that runs exactly once with the job's
+    /// outcome: on the settling thread if the job is still in flight, or
+    /// immediately on the calling thread if it has already settled.
+    ///
+    /// Continuations registered before the job settles run *before* the
+    /// pool worker picks its next job — the serving layer leans on this
+    /// ordering so a query queued behind its service's analysis enters
+    /// the search lane ahead of any later analysis job.
+    pub fn on_terminal(&self, f: impl FnOnce(&JobOutcome<T>) + Send + 'static) {
+        let mut phase = self.inner.phase.lock().expect("job lock");
+        match &mut *phase {
+            Phase::Queued(subs) | Phase::Running(subs) => {
+                subs.push(Box::new(f));
+            }
+            Phase::Terminal(outcome) => {
+                // Run outside the lock: the callback may inspect the job.
+                let outcome = outcome.clone();
+                drop(phase);
+                f(&outcome);
+            }
+        }
+    }
+
+    /// Settles the job: stores the outcome, wakes every waiter, and runs
+    /// every subscribed continuation (on this thread, outside the lock).
+    /// Idempotent — only the first settle takes effect.
+    pub(crate) fn settle(&self, outcome: JobOutcome<T>) {
+        let callbacks = {
+            let mut phase = self.inner.phase.lock().expect("job lock");
+            match &mut *phase {
+                Phase::Terminal(_) => return,
+                Phase::Queued(subs) | Phase::Running(subs) => {
+                    let subs = std::mem::take(subs);
+                    *phase = Phase::Terminal(outcome.clone());
+                    subs
+                }
+            }
+        };
+        self.inner.changed.notify_all();
+        for cb in callbacks {
+            cb(&outcome);
+        }
+    }
+}
+
+/// Live queue/slot accounting of a [`JobRuntime`] (see
+/// [`JobRuntime::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Worker slots in the underlying pool.
+    pub slots: usize,
+    /// Search jobs waiting for a slot.
+    pub queued_search: usize,
+    /// Analysis jobs waiting for a slot (or for analysis capacity).
+    pub queued_analysis: usize,
+    /// Jobs of either kind currently executing.
+    pub running: usize,
+    /// Analysis jobs currently executing (capped at `max(1, slots - 1)`).
+    pub analysis_running: usize,
+}
+
+/// A [`SharedPool`] plus job bookkeeping: the execution substrate shared
+/// by the [`crate::Scheduler`] (search jobs) and any
+/// [`crate::ServiceCatalog`] configured with
+/// [`crate::ServiceCatalog::with_runtime`] (analysis jobs). Cloning the
+/// runtime shares the pool, the id allocator, and the accounting.
+#[derive(Clone)]
+pub struct JobRuntime {
+    pool: SharedPool,
+    ids: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for JobRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobRuntime").field("slots", &self.pool.slots()).finish()
+    }
+}
+
+impl JobRuntime {
+    /// A runtime with its own pool of `slots` worker threads.
+    pub fn new(slots: usize) -> JobRuntime {
+        JobRuntime::with_pool(SharedPool::new(slots))
+    }
+
+    /// A runtime over an existing pool (to share slots with other pool
+    /// users).
+    pub fn with_pool(pool: SharedPool) -> JobRuntime {
+        JobRuntime { pool, ids: Arc::new(AtomicU64::new(1)) }
+    }
+
+    /// The underlying pool handle.
+    pub fn pool(&self) -> &SharedPool {
+        &self.pool
+    }
+
+    /// Worker slots in the underlying pool.
+    pub fn slots(&self) -> usize {
+        self.pool.slots()
+    }
+
+    /// Allocates the next [`JobId`].
+    pub(crate) fn next_id(&self) -> JobId {
+        JobId(self.ids.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Creates a fresh `Queued` job tracked by this runtime's id space.
+    pub(crate) fn new_job<T: Clone>(&self, kind: JobKind, label: impl Into<String>) -> Job<T> {
+        Job::new(self.next_id(), kind, label)
+    }
+
+    /// Submits a job body to the pool lane matching `kind`. The body owns
+    /// its job's state transitions (`mark_running` / `settle`).
+    pub(crate) fn spawn(&self, kind: JobKind, body: impl FnOnce() + Send + 'static) {
+        self.pool.spawn_lane(kind.lane(), body);
+    }
+
+    /// A snapshot of queue and slot occupancy.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            slots: self.pool.slots(),
+            queued_search: self.pool.queued_lane(Lane::Search),
+            queued_analysis: self.pool.queued_lane(Lane::Analysis),
+            running: self.pool.in_flight(),
+            analysis_running: self.pool.analysis_in_flight(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_machine_walks_queued_running_done() {
+        let job: Job<u32> = Job::new(JobId(1), JobKind::Search, "t");
+        assert_eq!(job.state(), JobState::Queued);
+        assert!(!job.state().is_terminal());
+        job.mark_running();
+        assert_eq!(job.state(), JobState::Running);
+        job.settle(JobOutcome::Done(7));
+        assert_eq!(job.state(), JobState::Done);
+        assert!(job.state().is_terminal());
+        assert_eq!(job.wait_outcome(), JobOutcome::Done(7));
+        // Settling is idempotent: a late cancel does not overwrite Done.
+        job.settle(JobOutcome::Cancelled);
+        assert_eq!(job.state(), JobState::Done);
+    }
+
+    #[test]
+    fn subscribers_run_exactly_once_in_flight_or_late() {
+        use std::sync::atomic::AtomicUsize;
+        let job: Job<u32> = Job::new(JobId(2), JobKind::Analysis, "svc");
+        let early = Arc::new(AtomicUsize::new(0));
+        let e = Arc::clone(&early);
+        job.on_terminal(move |outcome| {
+            assert_eq!(outcome, &JobOutcome::Done(9));
+            e.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(early.load(Ordering::SeqCst), 0);
+        job.settle(JobOutcome::Done(9));
+        assert_eq!(early.load(Ordering::SeqCst), 1);
+        // Late subscription runs immediately on this thread.
+        let late = Arc::new(AtomicUsize::new(0));
+        let l = Arc::clone(&late);
+        job.on_terminal(move |_| {
+            l.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(late.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_blocks_until_settled_across_threads() {
+        let job: Job<&'static str> = Job::new(JobId(3), JobKind::Analysis, "svc");
+        let waiter = job.clone();
+        let handle = std::thread::spawn(move || waiter.wait_outcome());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        job.mark_running();
+        job.settle(JobOutcome::Done("engine"));
+        assert_eq!(handle.join().unwrap(), JobOutcome::Done("engine"));
+    }
+
+    #[test]
+    fn cancel_is_a_shared_token() {
+        let job: Job<()> = Job::new(JobId(4), JobKind::Search, "q");
+        let token = job.cancel_token();
+        assert!(!token.is_cancelled());
+        job.cancel();
+        assert!(token.is_cancelled());
+        // The state machine is settled by the body, not the token.
+        assert_eq!(job.state(), JobState::Queued);
+        job.settle(JobOutcome::Cancelled);
+        assert_eq!(job.wait(), JobState::Cancelled);
+    }
+
+    #[test]
+    fn runtime_allocates_distinct_ids_and_reports_stats() {
+        let runtime = JobRuntime::new(2);
+        let a: Job<()> = runtime.new_job(JobKind::Search, "a");
+        let b: Job<()> = runtime.new_job(JobKind::Analysis, "b");
+        assert_ne!(a.id(), b.id());
+        assert_eq!(b.kind().name(), "analysis");
+        let stats = runtime.stats();
+        assert_eq!(stats.slots, 2);
+        assert_eq!(stats.queued_search + stats.queued_analysis + stats.running, 0);
+    }
+}

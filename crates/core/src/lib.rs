@@ -72,6 +72,7 @@ pub use apiphany_ttn as ttn;
 mod artifact;
 mod catalog;
 mod error;
+mod job;
 mod queryspec;
 mod sched;
 mod session;
@@ -79,10 +80,11 @@ mod session;
 pub use apiphany_ttn::pool::SharedPool;
 pub use apiphany_ttn::{Budget, CancelToken, InvalidBudget};
 pub use artifact::AnalysisArtifact;
-pub use catalog::{ServiceCatalog, ServiceInfo};
+pub use catalog::{JobInfo, ServiceCatalog, ServiceInfo, ServiceLookup};
 pub use error::EngineError;
+pub use job::{Job, JobId, JobKind, JobOutcome, JobRuntime, JobState, RuntimeStats};
 pub use queryspec::QuerySpec;
-pub use sched::{Multiplexer, Scheduler};
+pub use sched::{CatalogSubmission, Multiplexer, Scheduler};
 pub use session::{Event, Session};
 
 use std::sync::Arc;
@@ -231,10 +233,14 @@ impl EngineBuilder {
     }
 
     /// Builds an engine by mining semantic types from a pre-recorded
-    /// witness set (no live service).
+    /// witness set (no live service). The engine's
+    /// [`Engine::analysis_stats`] report the witness/coverage counts of
+    /// the mined set (with `rounds = 0` — no live testing loop ran), so
+    /// serving layers can surface per-service mining cost uniformly.
     pub fn from_witnesses(self, lib: Library, witnesses: Vec<Witness>) -> Engine {
+        let stats = AnalyzeStats::of_witnesses(&witnesses, 0);
         let semlib = mine_types(&lib, &witnesses, &self.mining);
-        Engine::from_parts(Synthesizer::new(semlib, &self.build), witnesses, None)
+        Engine::from_parts(Synthesizer::new(semlib, &self.build), witnesses, Some(stats))
     }
 
     /// Builds an engine from a saved [`AnalysisArtifact`] — the mined
@@ -347,7 +353,10 @@ impl Engine {
         &self.inner.witnesses
     }
 
-    /// Statistics of the analysis phase, when run against a service.
+    /// Statistics of the analysis phase: witness/coverage counts, plus
+    /// the testing-loop round count when the analysis ran against a live
+    /// service (`rounds = 0` for witness-mined engines). `None` only for
+    /// engines reloaded from a pre-stats artifact.
     pub fn analysis_stats(&self) -> Option<&AnalyzeStats> {
         self.inner.analysis_stats.as_ref()
     }

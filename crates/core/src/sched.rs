@@ -2,15 +2,17 @@
 //!
 //! An [`Engine::session`](crate::Engine::session) gives every query a
 //! dedicated worker thread — fine for one caller, unbounded for a
-//! serving front door. A [`Scheduler`] instead multiplexes every
-//! submitted session over **one shared
+//! serving front door. A [`Scheduler`] instead submits every session as
+//! a `Search` [`Job`] on a [`JobRuntime`] — **one shared
 //! [`SharedPool`](apiphany_ttn::pool::SharedPool)** with a fixed number
-//! of slots: at most `slots` synthesis runs execute at once, later
+//! of slots: at most `slots` jobs execute at once, later search
 //! submissions queue FIFO, and each freed slot goes to the oldest
-//! waiting session. Budgets stay per-session (a session's wall-clock
-//! starts when its job starts, not while it waits), and cancellation
-//! works exactly as for dedicated sessions — cancelling a *queued*
-//! session makes its job a prompt no-op.
+//! waiting session (alternating fairly with any analysis jobs a
+//! [`ServiceCatalog::with_runtime`] catalog queues on the same runtime).
+//! Budgets stay per-session (a session's wall-clock starts when its job
+//! starts, not while it waits), and cancellation works exactly as for
+//! dedicated sessions — cancelling a *queued* session makes its job a
+//! prompt no-op.
 //!
 //! The scheduler changes **where** a session runs, never **what** it
 //! emits: a scheduled session's event stream — candidates, their order,
@@ -53,45 +55,74 @@ use std::time::Duration;
 
 use apiphany_ttn::pool::SharedPool;
 
-use crate::{Engine, EngineError, Event, QuerySpec, RunConfig, ServiceCatalog, Session};
+use crate::job::{Job, JobKind, JobOutcome, JobRuntime};
+use crate::{
+    Engine, EngineError, Event, QuerySpec, RunConfig, ServiceCatalog, ServiceLookup, Session,
+};
 
-/// Multiplexes concurrent synthesis sessions over one shared worker pool.
-/// See the module docs.
+/// How [`Scheduler::submit_catalog_async`] dispatched a query.
+#[derive(Debug)]
+pub enum CatalogSubmission {
+    /// The service was warm: the session was submitted synchronously.
+    Started(Session),
+    /// The service is cold: the query is queued behind this analysis
+    /// [`Job`] and the session will reach the `deliver` callback when it
+    /// settles.
+    Pending(Job<Engine>),
+}
+
+/// Multiplexes concurrent synthesis sessions — as `Search` [`Job`]s on a
+/// [`JobRuntime`] — over one shared worker pool. See the module docs.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
-    pool: SharedPool,
+    runtime: JobRuntime,
 }
 
 impl Scheduler {
-    /// A scheduler with its own pool of `slots` worker threads.
+    /// A scheduler with its own runtime of `slots` worker threads.
     pub fn new(slots: usize) -> Scheduler {
-        Scheduler { pool: SharedPool::new(slots) }
+        Scheduler { runtime: JobRuntime::new(slots) }
     }
 
     /// A scheduler over an existing pool (to share slots with other
     /// schedulers or pool users).
     pub fn with_pool(pool: SharedPool) -> Scheduler {
-        Scheduler { pool }
+        Scheduler { runtime: JobRuntime::with_pool(pool) }
+    }
+
+    /// A scheduler over an existing [`JobRuntime`] — the way to share one
+    /// job queue (and one id space) with a
+    /// [`ServiceCatalog::with_runtime`] catalog, so search and analysis
+    /// jobs schedule through the same two-lane pool.
+    pub fn with_runtime(runtime: JobRuntime) -> Scheduler {
+        Scheduler { runtime }
     }
 
     /// The number of sessions that can run concurrently.
     pub fn slots(&self) -> usize {
-        self.pool.slots()
+        self.runtime.slots()
     }
 
     /// Sessions submitted but still waiting for a slot.
     pub fn queued(&self) -> usize {
-        self.pool.queued()
+        self.runtime.pool().queued_lane(apiphany_ttn::pool::Lane::Search)
     }
 
     /// The underlying pool handle.
     pub fn pool(&self) -> &SharedPool {
-        &self.pool
+        self.runtime.pool()
+    }
+
+    /// The job runtime this scheduler submits through.
+    pub fn runtime(&self) -> &JobRuntime {
+        &self.runtime
     }
 
     /// Submits a typed query against an explicit engine; returns the
     /// streaming [`Session`] immediately (its worker occupies a pool slot
-    /// once one frees up).
+    /// once one frees up). The session is tracked as a `Search` job —
+    /// [`Session::job_state`] observes it, and cancelling the session
+    /// cancels the job.
     ///
     /// # Errors
     ///
@@ -101,17 +132,21 @@ impl Scheduler {
         let query = spec.resolve(engine.semlib())?;
         let cfg = spec.run_config();
         cfg.synthesis.budget.validate()?;
-        Ok(Session::spawn_on(&self.pool, Arc::clone(&engine.inner), query, cfg))
+        let label = spec.service.clone().unwrap_or_default();
+        let job = self.runtime.new_job(JobKind::Search, label);
+        Ok(Session::spawn_job(&self.runtime, job, Arc::clone(&engine.inner), query, cfg))
     }
 
-    /// Submits a catalog-routed spec: looks the service up (running its
-    /// analyze-once work if this is first use), then submits as
-    /// [`Scheduler::submit`].
+    /// Submits a catalog-routed spec: looks the service up (**blocking**
+    /// on its analyze-once job if this is first use), then submits as
+    /// [`Scheduler::submit`]. For the non-blocking twin see
+    /// [`Scheduler::submit_catalog_async`].
     ///
     /// # Errors
     ///
-    /// Additionally [`EngineError::Spec`] when the spec names no service
-    /// and [`EngineError::UnknownService`] for unregistered names.
+    /// Additionally [`EngineError::Spec`] when the spec names no service,
+    /// [`EngineError::UnknownService`] for unregistered names, and
+    /// [`EngineError::Analysis`] when the analysis job fails.
     pub fn submit_catalog(
         &self,
         catalog: &ServiceCatalog,
@@ -122,6 +157,61 @@ impl Scheduler {
             .as_deref()
             .ok_or_else(|| EngineError::Spec("catalog queries must name a service".into()))?;
         self.submit(&catalog.engine(name)?, spec)
+    }
+
+    /// The never-blocking catalog submission: a warm service's session is
+    /// submitted immediately ([`CatalogSubmission::Started`]); a cold
+    /// service's query **enqueues behind its analysis job** — when the
+    /// job settles, the continuation submits the session (or produces the
+    /// analysis error) and hands it to `deliver`.
+    ///
+    /// `deliver` runs on the thread that settles the analysis job, and it
+    /// runs *before* the pool worker picks its next job — so the queued
+    /// query enters the search lane ahead of any analysis job submitted
+    /// after it, which is what makes "warm queries stream while a cold
+    /// service mines" an ordering guarantee rather than a timing one.
+    ///
+    /// # Errors
+    ///
+    /// Synchronously: [`EngineError::Spec`] (no service named),
+    /// [`EngineError::UnknownService`], and — for warm services — the
+    /// [`Scheduler::submit`] errors. Cold-service resolution/budget
+    /// errors arrive through `deliver`.
+    pub fn submit_catalog_async(
+        &self,
+        catalog: &ServiceCatalog,
+        spec: &QuerySpec,
+        deliver: impl FnOnce(Result<Session, EngineError>) + Send + 'static,
+    ) -> Result<CatalogSubmission, EngineError> {
+        let name = spec
+            .service
+            .as_deref()
+            .ok_or_else(|| EngineError::Spec("catalog queries must name a service".into()))?;
+        match catalog.lookup(name)? {
+            ServiceLookup::Ready(engine) => {
+                Ok(CatalogSubmission::Started(self.submit(&engine, spec)?))
+            }
+            ServiceLookup::Pending(job) => {
+                let scheduler = self.clone();
+                let spec = spec.clone();
+                let service = name.to_string();
+                job.on_terminal(move |outcome| {
+                    let submitted = match outcome {
+                        JobOutcome::Done(engine) => scheduler.submit(engine, &spec),
+                        JobOutcome::Failed(reason) => Err(EngineError::Analysis {
+                            service,
+                            reason: reason.clone(),
+                        }),
+                        JobOutcome::Cancelled => Err(EngineError::Analysis {
+                            service,
+                            reason: "analysis cancelled".into(),
+                        }),
+                    };
+                    deliver(submitted);
+                });
+                Ok(CatalogSubmission::Pending(job))
+            }
+        }
     }
 
     /// Submits a pre-parsed query and config (the lower-level entry the
@@ -137,8 +227,10 @@ impl Scheduler {
         cfg: &RunConfig,
     ) -> Result<Session, EngineError> {
         cfg.synthesis.budget.validate()?;
-        Ok(Session::spawn_on(
-            &self.pool,
+        let job = self.runtime.new_job(JobKind::Search, String::new());
+        Ok(Session::spawn_job(
+            &self.runtime,
+            job,
             Arc::clone(&engine.inner),
             query.clone(),
             cfg.clone(),
@@ -368,6 +460,97 @@ mod tests {
             scheduler.submit_catalog(&catalog, &email_spec()),
             Err(EngineError::Spec(_))
         ));
+    }
+
+    /// Scheduled sessions are tracked as `Search` jobs: the job state
+    /// mirrors the session lifecycle and shares its cancel token.
+    #[test]
+    fn sessions_are_tracked_as_search_jobs() {
+        use crate::job::JobState;
+        let engine = engine();
+        let scheduler = Scheduler::new(1);
+        let session = scheduler.submit(&engine, &email_spec()).unwrap();
+        let job = session.job().expect("scheduled sessions carry a job").clone();
+        assert_eq!(job.kind().name(), "search");
+        let result = session.drain();
+        assert_eq!(result.ranked.len(), 2);
+        assert_eq!(job.wait(), JobState::Done);
+        // A cancelled session's job settles Cancelled.
+        let deep = scheduler.submit(&engine, &email_spec().depth(12)).unwrap();
+        let deep_job = deep.job().unwrap().clone();
+        deep.cancel();
+        let _ = deep.drain();
+        assert_eq!(deep_job.wait(), JobState::Cancelled);
+    }
+
+    /// A warm service submits synchronously; a cold one enqueues behind
+    /// its analysis job and the continuation delivers the session.
+    #[test]
+    fn submit_catalog_async_chains_on_analysis() {
+        use std::sync::mpsc;
+        let runtime = crate::JobRuntime::new(2);
+        let catalog = ServiceCatalog::new().with_runtime(runtime.clone());
+        catalog.register_spec("demo", fig7_library(), fig4_witnesses()).unwrap();
+        let scheduler = Scheduler::with_runtime(runtime);
+        let spec = email_spec().service("demo");
+        let (tx, rx) = mpsc::channel();
+        let submission = scheduler
+            .submit_catalog_async(&catalog, &spec, move |res| tx.send(res).unwrap())
+            .unwrap();
+        let CatalogSubmission::Pending(job) = submission else {
+            panic!("cold service must go through its analysis job");
+        };
+        assert_eq!(job.label(), "demo");
+        let session = rx.recv().unwrap().expect("analysis succeeds, session submits");
+        assert_eq!(session.drain().ranked.len(), 2);
+        // Now warm: the same call starts synchronously.
+        let (tx2, _rx2) = mpsc::channel();
+        match scheduler
+            .submit_catalog_async(&catalog, &spec, move |res| tx2.send(res).unwrap())
+            .unwrap()
+        {
+            CatalogSubmission::Started(session) => {
+                assert_eq!(session.drain().ranked.len(), 2);
+            }
+            CatalogSubmission::Pending(_) => panic!("warm service must start synchronously"),
+        }
+    }
+
+    /// Cancelling the analysis job a query is queued behind delivers a
+    /// structured error instead of a session.
+    #[test]
+    fn cancelled_analysis_fails_queued_queries() {
+        use std::sync::mpsc;
+        // One slot, held by a long search the consumer never pulls past
+        // its first event: the analysis job behind it stays queued.
+        let runtime = crate::JobRuntime::new(1);
+        let catalog = ServiceCatalog::new().with_runtime(runtime.clone());
+        catalog.register_spec("demo", fig7_library(), fig4_witnesses()).unwrap();
+        let scheduler = Scheduler::with_runtime(runtime);
+        let blocker_engine = engine();
+        let blocker = scheduler.submit(&blocker_engine, &email_spec().depth(12)).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let submission = scheduler
+            .submit_catalog_async(&catalog, &email_spec().service("demo"), move |res| {
+                tx.send(res).unwrap()
+            })
+            .unwrap();
+        let CatalogSubmission::Pending(job) = submission else {
+            panic!("cold service must be pending");
+        };
+        job.cancel();
+        // Unblock the slot so the pool reaches the cancelled job.
+        blocker.cancel();
+        let _ = blocker.drain();
+        match rx.recv().unwrap() {
+            Err(EngineError::Analysis { service, reason }) => {
+                assert_eq!(service, "demo");
+                assert!(reason.contains("cancelled"));
+            }
+            other => panic!("expected cancelled-analysis error, got {other:?}"),
+        }
+        // The cancelled job unregistered the cold service.
+        assert!(catalog.inspect("demo").is_none());
     }
 
     /// `top_k` is a reporting cap, not a search cap: the underlying run

@@ -26,8 +26,8 @@ use apiphany_lang::Program;
 use apiphany_mining::Query;
 use apiphany_re::{cost_of, cost_of_par, ReContext, Ranker};
 use apiphany_synth::{CancelToken, Outcome, SynthEvent};
-use apiphany_ttn::pool::SharedPool;
 
+use crate::job::{Job, JobOutcome, JobRuntime, JobState};
 use crate::{EngineInner, RankedProgram, RunConfig, RunResult};
 
 /// One notification from a [`Session`].
@@ -71,6 +71,9 @@ pub struct Session {
     rx: Option<Receiver<Event>>,
     cancel: CancelToken,
     worker: Option<JoinHandle<()>>,
+    /// The scheduler-tracked job, when the session runs on a
+    /// [`JobRuntime`] rather than a dedicated thread.
+    job: Option<Job<()>>,
     finished: bool,
 }
 
@@ -81,33 +84,65 @@ impl Session {
         let (tx, rx) = sync_channel(0);
         let cancel = CancelToken::new();
         let worker_cancel = cancel.clone();
-        let worker =
-            std::thread::spawn(move || run_worker(&inner, &query, &cfg, &worker_cancel, &tx));
-        Session { rx: Some(rx), cancel, worker: Some(worker), finished: false }
+        let worker = std::thread::spawn(move || {
+            run_worker(&inner, &query, &cfg, &worker_cancel, &tx);
+        });
+        Session { rx: Some(rx), cancel, worker: Some(worker), job: None, finished: false }
     }
 
-    /// Like [`Session::spawn`], but the worker body runs as a job on a
-    /// shared [`SharedPool`] instead of a dedicated thread: when every
-    /// pool slot is busy the session waits its turn (FIFO), and its
-    /// wall-clock budget starts counting only once the job actually
-    /// starts. This is how [`crate::Scheduler`] multiplexes many
-    /// concurrent sessions over a bounded thread count; the event stream
-    /// is produced by the same worker body, so it is identical to a
-    /// dedicated-thread run of the same query and config.
-    pub(crate) fn spawn_on(
-        pool: &SharedPool,
+    /// Like [`Session::spawn`], but the worker body runs as a tracked
+    /// `Search` [`Job`] on a [`JobRuntime`]'s shared pool instead of a
+    /// dedicated thread: when every pool slot is busy the session waits
+    /// its turn (FIFO within the search lane), and its wall-clock budget
+    /// starts counting only once the job actually starts. This is how
+    /// [`crate::Scheduler`] multiplexes many concurrent sessions over a
+    /// bounded thread count; the event stream is produced by the same
+    /// worker body, so it is identical to a dedicated-thread run of the
+    /// same query and config.
+    ///
+    /// The job and the session share one cancellation token, and the job
+    /// settles when the worker body returns: `Cancelled` if the token was
+    /// raised, `Done` otherwise.
+    pub(crate) fn spawn_job(
+        runtime: &JobRuntime,
+        job: Job<()>,
         inner: Arc<EngineInner>,
         query: Query,
         cfg: RunConfig,
     ) -> Session {
         let (tx, rx) = sync_channel(0);
-        let cancel = CancelToken::new();
+        let cancel = job.cancel_token();
         let worker_cancel = cancel.clone();
-        pool.spawn(move || run_worker(&inner, &query, &cfg, &worker_cancel, &tx));
+        let worker_job = job.clone();
+        runtime.spawn(worker_job.kind(), move || {
+            // A cancelled-while-queued session still runs its body: the
+            // search observes the token immediately and the consumer gets
+            // its final `Finished` event (outcome `Cancelled`).
+            worker_job.mark_running();
+            let outcome = run_worker(&inner, &query, &cfg, &worker_cancel, &tx);
+            worker_job.settle(match outcome {
+                // An abandoned stream (consumer dropped mid-run) counts
+                // as cancelled: the run did not complete.
+                Some(Outcome::Cancelled) | None => JobOutcome::Cancelled,
+                Some(_) => JobOutcome::Done(()),
+            });
+        });
         // No JoinHandle: the pool owns the thread. Dropping the session
         // cancels the token and closes the channel, which makes the job
         // finish promptly and free its slot.
-        Session { rx: Some(rx), cancel, worker: None, finished: false }
+        Session { rx: Some(rx), cancel, worker: None, job: Some(job), finished: false }
+    }
+
+    /// The state of the session's [`Job`], when it was submitted through
+    /// a [`crate::Scheduler`] (`None` for dedicated-thread sessions,
+    /// which are not scheduled units).
+    pub fn job_state(&self) -> Option<JobState> {
+        self.job.as_ref().map(Job::state)
+    }
+
+    /// The session's scheduler job handle, when it has one.
+    pub fn job(&self) -> Option<&Job<()>> {
+        self.job.as_ref()
     }
 
     /// Non-blocking pull: the next event if the worker has one ready (it
@@ -211,14 +246,15 @@ impl Drop for Session {
 }
 
 /// The session body: synthesize, rank each candidate as it appears, stream
-/// events, and finish with the complete ranking.
+/// events, and finish with the complete ranking. Returns the synthesis
+/// outcome, or `None` when the consumer abandoned the stream mid-run.
 fn run_worker(
     inner: &EngineInner,
     query: &Query,
     cfg: &RunConfig,
     cancel: &CancelToken,
     tx: &SyncSender<Event>,
-) {
+) -> Option<Outcome> {
     let start = Instant::now();
     let ctx = ReContext::new(inner.synthesizer.semlib(), &inner.witnesses);
     let mut ranker: Ranker<RankedProgram> = Ranker::new();
@@ -285,7 +321,7 @@ fn run_worker(
         true
     });
     if abandoned {
-        return;
+        return None;
     }
     let re_time = ranker.total_re_time();
     let ranked: Vec<RankedProgram> =
@@ -299,9 +335,13 @@ fn run_worker(
     // report cancellation, not budget exhaustion.
     let budget_exhausted = stats.outcome == Outcome::TimedOut
         || (stats.outcome == Outcome::Stopped && candidate_cap_hit);
+    let outcome = stats.outcome;
     let result = RunResult { ranked, stats, re_time, total_time: start.elapsed() };
     if budget_exhausted && tx.send(Event::BudgetExhausted).is_err() {
-        return;
+        return None;
     }
-    let _ = tx.send(Event::Finished(result));
+    if tx.send(Event::Finished(result)).is_err() {
+        return None;
+    }
+    Some(outcome)
 }

@@ -63,6 +63,22 @@ pub struct AnalyzeStats {
     pub rounds: usize,
 }
 
+impl AnalyzeStats {
+    /// The statistics of a witness set: count plus per-method-name
+    /// coverage — the one definition of "covered" shared by the live
+    /// analysis loop and witness-mined engines. `rounds` is how many
+    /// testing-loop rounds produced the set (`0` when it was
+    /// pre-recorded).
+    pub fn of_witnesses(witnesses: &[Witness], rounds: usize) -> AnalyzeStats {
+        let covered: HashSet<&str> = witnesses.iter().map(|w| w.method.as_str()).collect();
+        AnalyzeStats {
+            n_witnesses: witnesses.len(),
+            n_covered_methods: covered.len(),
+            rounds,
+        }
+    }
+}
+
 /// Output of [`analyze_api`].
 pub struct AnalysisResult {
     /// The final mined semantic library.
@@ -110,12 +126,7 @@ pub fn analyze_api(
         }
     }
 
-    let covered: HashSet<&str> = witnesses.iter().map(|w| w.method.as_str()).collect();
-    let stats = AnalyzeStats {
-        n_witnesses: witnesses.len(),
-        n_covered_methods: covered.len(),
-        rounds,
-    };
+    let stats = AnalyzeStats::of_witnesses(&witnesses, rounds);
     AnalysisResult { semlib, witnesses, stats }
 }
 

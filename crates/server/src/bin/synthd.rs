@@ -59,8 +59,10 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!(
         "usage: synthd [--slots N] [--cache-dir PATH]\n\
-         Speaks the JSON-lines protocol on stdin/stdout; see the\n\
-         apiphany_server crate docs (README \"Serving\" section) for the ops."
+         Speaks the JSON-lines protocol on stdin/stdout: register (with\n\
+         optional prewarm), query, cancel, list, inspect, evict, status,\n\
+         shutdown. See the apiphany_server crate docs (README \"Serving\"\n\
+         section) for the ops and the analysis_* event stream."
     );
     if error.is_empty() {
         ExitCode::SUCCESS

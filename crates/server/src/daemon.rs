@@ -1,27 +1,40 @@
-//! The daemon loop: one thread reading request lines, per-query
-//! submission threads running the (possibly slow) analyze-once work, and
-//! the main loop interleaving request handling with round-robin event
-//! pumping.
+//! The daemon loop: one thread reading request lines, a shared
+//! [`JobRuntime`] executing every unit of work — synthesis sessions as
+//! `Search` jobs, analyze-once phases as `Analysis` jobs — and the main
+//! loop interleaving request handling with round-robin event pumping.
+//!
+//! **No analysis (and no other blocking work) ever runs on the loop
+//! thread.** A cold service's first query enqueues behind that service's
+//! analysis job: when the job settles, its continuation submits the
+//! session (on the settling worker, before the pool picks its next job),
+//! so warm queries keep streaming — by construction, not by luck — while
+//! a large service mines. The loop observes analysis jobs and reports
+//! their transitions to the client as `analysis_started` /
+//! `analysis_ready` / `analysis_failed` events.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::sync::mpsc::{self, TryRecvError};
-use std::sync::Arc;
 use std::time::Duration;
 
-use apiphany_core::{EngineError, Event, Multiplexer, Scheduler, ServiceCatalog, Session};
+use apiphany_core::{
+    CatalogSubmission, Engine, EngineError, Event, Job, JobState, Multiplexer, Scheduler,
+    ServiceCatalog, Session,
+};
 use apiphany_json::Value;
 
 use crate::proto::{
-    error_event, error_response, event_value, ok_response, service_info_value, Request,
+    analysis_failed_value, analysis_ready_value, analysis_started_value, cancelled_finished_value,
+    error_event, error_response, event_value, job_value, ok_response, service_info_value, Request,
     RegisterSource,
 };
 
 /// Configuration of one daemon run.
 #[derive(Debug, Clone)]
 pub struct DaemonOptions {
-    /// Concurrent synthesis slots (the scheduler's pool size).
+    /// Concurrent job slots (the runtime's pool size, shared by search
+    /// and analysis jobs; analysis occupies at most `max(1, slots - 1)`).
     pub slots: usize,
     /// Artifact cache directory for the catalog (analyses persist across
     /// daemon restarts).
@@ -39,31 +52,53 @@ impl Default for DaemonOptions {
 pub struct DaemonSummary {
     /// Request lines handled (including malformed ones).
     pub requests: usize,
-    /// Session events streamed out.
+    /// Session and analysis events streamed out.
     pub events: usize,
 }
 
-/// A query whose analyze-once + submit step is still running on its
-/// submission thread.
-struct PendingQuery {
-    /// `cancel` arrived before the session existed; applied on arrival.
-    cancelled: bool,
-    /// The spec's reporting cap, installed once the session starts.
-    top_k: Option<usize>,
+/// An analysis job the loop reports transitions for.
+struct Watch {
+    service: String,
+    job: Job<Engine>,
+    last: JobState,
+}
+
+/// Everything the daemon loop owns. The catalog and the scheduler share
+/// one [`JobRuntime`](apiphany_core::JobRuntime), so analysis and search
+/// schedule through the same two-lane pool.
+struct Daemon {
+    catalog: ServiceCatalog,
+    scheduler: Scheduler,
+    mux: Multiplexer<String>,
+    /// Reporting caps of *live* (session-backed) queries, keyed by id;
+    /// together with `pending` this is the in-use id set.
+    top_k: HashMap<String, Option<usize>>,
+    /// Queries queued behind their service's analysis job (value = the
+    /// spec's reporting cap, installed once the session arrives).
+    pending: HashMap<String, Option<usize>>,
+    /// Analysis jobs being reported to the client.
+    watchers: Vec<Watch>,
+    /// Hands sessions from analysis-job continuations to the loop.
+    done_tx: mpsc::Sender<(String, Result<Session, EngineError>)>,
+    summary: DaemonSummary,
 }
 
 /// Runs the daemon over a request stream and a response sink until the
 /// input is exhausted (or a `shutdown` request arrives) *and* every open
-/// session has drained. Each input line is handled in order; session
-/// events interleave between request handling, tagged with their query
-/// id, with the [`Multiplexer`]'s round-robin fairness across concurrent
-/// queries.
+/// session has drained and every watched analysis job has settled. Each
+/// input line is handled in order; session events interleave between
+/// request handling, tagged with their query id, with the
+/// [`Multiplexer`]'s round-robin fairness across concurrent queries.
 ///
-/// A query's first use of a service runs the analyze-once work (mining +
-/// TTN build) on a dedicated submission thread, so other queries keep
-/// streaming — and `cancel` keeps working — while a large service
-/// analyzes. The query ack is written when submission completes, always
-/// before the query's first event.
+/// The query ack is written when the request is accepted — for a cold
+/// service it carries the name of the analysis the query is queued
+/// behind — and always precedes the query's first event. Every acked
+/// query id receives exactly one terminal line: a `finished` event, an
+/// `error` event, or (for a query cancelled while still queued behind an
+/// analysis) an empty cancelled `finished`.
+///
+/// `shutdown` cancels queued jobs promptly, drains running ones, and
+/// emits terminal events for every in-flight id before the loop exits.
 ///
 /// # Errors
 ///
@@ -78,22 +113,25 @@ where
     R: BufRead + Send + 'static,
     W: Write,
 {
+    let scheduler = Scheduler::new(opts.slots);
     let catalog = {
-        let mut catalog = ServiceCatalog::new();
+        let mut catalog = ServiceCatalog::new().with_runtime(scheduler.runtime().clone());
         if let Some(dir) = &opts.cache_dir {
             catalog = catalog.with_cache_dir(dir);
         }
-        Arc::new(catalog)
+        catalog
     };
-    let scheduler = Scheduler::new(opts.slots);
-    let mut mux: Multiplexer<String> = Multiplexer::new();
-    // Reporting caps of *live* (submitted) queries, keyed by id; together
-    // with `pending` this is the in-use id set.
-    let mut top_k: HashMap<String, Option<usize>> = HashMap::new();
-    let mut pending: HashMap<String, PendingQuery> = HashMap::new();
-    // Submission threads report back here.
     let (done_tx, done_rx) = mpsc::channel::<(String, Result<Session, EngineError>)>();
-    let mut summary = DaemonSummary { requests: 0, events: 0 };
+    let mut daemon = Daemon {
+        catalog,
+        scheduler,
+        mux: Multiplexer::new(),
+        top_k: HashMap::new(),
+        pending: HashMap::new(),
+        watchers: Vec::new(),
+        done_tx,
+        summary: DaemonSummary { requests: 0, events: 0 },
+    };
 
     // The reader thread turns the blocking input into a pollable channel,
     // so one slow/absent request line never stalls event pumping.
@@ -117,28 +155,16 @@ where
                     if line.trim().is_empty() {
                         // Blank lines are keep-alives; ignore.
                     } else {
-                        summary.requests += 1;
+                        daemon.summary.requests += 1;
                         let responses = match Request::parse(&line) {
                             Err(message) => {
                                 vec![error_response(None, None, &message)]
                             }
                             Ok(Request::Shutdown) => {
                                 closing = true;
-                                mux.for_each_session(|_, session| session.cancel());
-                                for entry in pending.values_mut() {
-                                    entry.cancelled = true;
-                                }
-                                vec![ok_response("shutdown", [])]
+                                daemon.shutdown()
                             }
-                            Ok(request) => handle(
-                                &catalog,
-                                &scheduler,
-                                &mux,
-                                &mut pending,
-                                &top_k,
-                                &done_tx,
-                                request,
-                            ),
+                            Ok(request) => daemon.handle(request),
                         };
                         for response in responses {
                             write_line(output, &response)?;
@@ -149,56 +175,20 @@ where
                 Err(TryRecvError::Empty) => {}
             }
         }
-        // Completed submissions: ack (or error) now, then stream.
+        // Sessions delivered by analysis-job continuations.
         if let Ok((id, submitted)) = done_rx.try_recv() {
             progressed = true;
-            let entry = pending.remove(&id).expect("pending entry for submission");
-            match submitted {
-                Err(e) => write_line(
-                    output,
-                    &error_response(Some("query"), Some(&id), &e.to_string()),
-                )?,
-                Ok(session) => {
-                    if entry.cancelled {
-                        session.cancel(); // still streams its Finished
-                    }
-                    write_line(
-                        output,
-                        &ok_response("query", [("id", Value::from(id.as_str()))]),
-                    )?;
-                    top_k.insert(id.clone(), entry.top_k);
-                    mux.push(id, session);
-                }
-            }
+            daemon.install_submission(output, id, submitted)?;
         }
-        if let Some((id, event)) = mux.poll() {
-            progressed = true;
-            summary.events += 1;
-            let cap = top_k.get(&id).copied().flatten();
-            write_line(output, &event_value(&id, &event, cap))?;
-            if matches!(event, Event::Finished(_)) {
-                top_k.remove(&id);
-            }
-        } else if top_k.len() > mux.len() {
-            // A session died without a Finished event (worker panic) and
-            // the multiplexer pruned it: close the query out with a
-            // terminal error event so the client stops waiting and the
-            // id frees up.
-            let mut live: Vec<String> = Vec::new();
-            mux.for_each_session(|tag, _| live.push(tag.clone()));
-            let dead: Vec<String> =
-                top_k.keys().filter(|id| !live.contains(id)).cloned().collect();
-            for id in dead {
-                progressed = true;
-                summary.events += 1;
-                top_k.remove(&id);
-                write_line(
-                    output,
-                    &error_event(&id, "session worker terminated unexpectedly"),
-                )?;
-            }
-        }
-        if closing && mux.is_empty() && pending.is_empty() {
+        // Analysis job transitions → analysis_* events.
+        progressed |= daemon.pump_watchers(output)?;
+        // Session events, round-robin across live queries.
+        progressed |= daemon.pump_sessions(output)?;
+        if closing
+            && daemon.mux.is_empty()
+            && daemon.pending.is_empty()
+            && daemon.watchers.is_empty()
+        {
             break;
         }
         if !progressed {
@@ -214,128 +204,375 @@ where
     // and its send fails harmlessly. Joining it here would hang the
     // documented `shutdown` op until the client closed its pipe.
     output.flush()?;
-    Ok(summary)
+    Ok(daemon.summary)
 }
 
-/// Handles one well-formed, non-shutdown request, returning the response
-/// lines to write. Query submissions are dispatched to a thread and
-/// acked later (see [`run_daemon`]); everything else responds inline.
-fn handle(
-    catalog: &Arc<ServiceCatalog>,
-    scheduler: &Scheduler,
-    mux: &Multiplexer<String>,
-    pending: &mut HashMap<String, PendingQuery>,
-    top_k: &HashMap<String, Option<usize>>,
-    done_tx: &mpsc::Sender<(String, Result<Session, EngineError>)>,
-    request: Request,
-) -> Vec<Value> {
-    let op = request.op();
-    match request {
-        Request::Register { service, source } => {
-            let registered = match source {
-                RegisterSource::Builtin(name) => match crate::builtin(&name) {
-                    None => Err(format!(
-                        "unknown builtin '{name}' (available: {})",
-                        crate::BUILTIN_NAMES.join(", ")
-                    )),
-                    Some((library, witnesses)) => catalog
-                        .register_spec(&service, library, witnesses)
+impl Daemon {
+    /// Handles one well-formed, non-shutdown request, returning the
+    /// response lines to write. Nothing here blocks: cold-service queries
+    /// are chained onto their analysis job, registrations with `prewarm`
+    /// start the job and return.
+    fn handle(&mut self, request: Request) -> Vec<Value> {
+        let op = request.op();
+        match request {
+            Request::Register { service, source, prewarm } => {
+                let registered = match source {
+                    RegisterSource::Builtin(name) => match crate::builtin(&name) {
+                        None => Err(format!(
+                            "unknown builtin '{name}' (available: {})",
+                            crate::BUILTIN_NAMES.join(", ")
+                        )),
+                        Some((library, witnesses)) => self
+                            .catalog
+                            .register_spec(&service, library, witnesses)
+                            .map_err(|e| e.to_string()),
+                    },
+                    RegisterSource::Artifact(artifact) => self
+                        .catalog
+                        .register_artifact(&service, *artifact)
                         .map_err(|e| e.to_string()),
-                },
-                RegisterSource::Artifact(artifact) => catalog
-                    .register_artifact(&service, *artifact)
-                    .map_err(|e| e.to_string()),
-                RegisterSource::ArtifactPath(path) => std::fs::read_to_string(&path)
-                    .map_err(|e| format!("{}: {e}", path.display()))
-                    .and_then(|text| {
-                        apiphany_core::AnalysisArtifact::from_json(&text)
-                            .map_err(|e| format!("{}: {e}", path.display()))
-                    })
-                    .and_then(|artifact| {
-                        catalog
-                            .register_artifact(&service, artifact)
-                            .map_err(|e| e.to_string())
-                    }),
-                RegisterSource::Spec { library, witnesses } => catalog
-                    .register_spec(&service, *library, witnesses)
-                    .map_err(|e| e.to_string()),
-            };
-            match registered {
-                Err(message) => vec![error_response(Some(op), None, &message)],
-                Ok(()) => {
-                    let info = catalog.inspect(&service).expect("just registered");
+                    RegisterSource::ArtifactPath(path) => std::fs::read_to_string(&path)
+                        .map_err(|e| format!("{}: {e}", path.display()))
+                        .and_then(|text| {
+                            apiphany_core::AnalysisArtifact::from_json(&text)
+                                .map_err(|e| format!("{}: {e}", path.display()))
+                        })
+                        .and_then(|artifact| {
+                            self.catalog
+                                .register_artifact(&service, artifact)
+                                .map_err(|e| e.to_string())
+                        }),
+                    RegisterSource::Spec { library, witnesses } => self
+                        .catalog
+                        .register_spec(&service, *library, witnesses)
+                        .map_err(|e| e.to_string()),
+                };
+                match registered {
+                    Err(message) => vec![error_response(Some(op), None, &message)],
+                    Ok(()) => {
+                        let mut fields = Vec::new();
+                        if prewarm {
+                            match self.catalog.prewarm(&service) {
+                                // Registration succeeded either way; a
+                                // prewarm failure would need an already
+                                // concurrently-evicted name.
+                                Err(_) => {}
+                                Ok(job) => {
+                                    fields.push((
+                                        "job",
+                                        job_value(job.id(), job.kind(), &job.state()),
+                                    ));
+                                    self.watch(&service, job);
+                                }
+                            }
+                        }
+                        let info = self.catalog.inspect(&service).expect("just registered");
+                        fields.insert(0, ("service", service_info_value(&info)));
+                        vec![ok_response(op, fields)]
+                    }
+                }
+            }
+            Request::Query { id, spec } => {
+                if self.top_k.contains_key(&id) || self.pending.contains_key(&id) {
+                    return vec![error_response(
+                        Some(op),
+                        Some(&id),
+                        &format!("query id '{id}' is already in use"),
+                    )];
+                }
+                let done_tx = self.done_tx.clone();
+                let deliver_id = id.clone();
+                let submission = self.scheduler.submit_catalog_async(
+                    &self.catalog,
+                    &spec,
+                    move |result| {
+                        let _ = done_tx.send((deliver_id, result));
+                    },
+                );
+                match submission {
+                    Err(e) => vec![error_response(Some(op), Some(&id), &e.to_string())],
+                    Ok(CatalogSubmission::Started(session)) => {
+                        self.top_k.insert(id.clone(), spec.top_k);
+                        let ack =
+                            ok_response(op, [("id", Value::from(id.as_str()))]);
+                        self.mux.push(id, session);
+                        vec![ack]
+                    }
+                    Ok(CatalogSubmission::Pending(job)) => {
+                        self.pending.insert(id.clone(), spec.top_k);
+                        let service = job.label().to_string();
+                        let ack = ok_response(
+                            op,
+                            [
+                                ("id", Value::from(id.as_str())),
+                                ("analysis", Value::from(service.as_str())),
+                            ],
+                        );
+                        self.watch(&service, job);
+                        vec![ack]
+                    }
+                }
+            }
+            Request::Cancel { id } => {
+                let mut found = false;
+                self.mux.for_each_session(|tag, session| {
+                    if *tag == id {
+                        session.cancel();
+                        found = true;
+                    }
+                });
+                let mut lines = Vec::new();
+                if self.pending.remove(&id).is_some() {
+                    // Still queued behind an analysis: terminate promptly
+                    // with an empty cancelled finish; the continuation's
+                    // late delivery is discarded on arrival.
+                    found = true;
+                    self.summary.events += 1;
+                    lines.push(cancelled_finished_value(&id));
+                }
+                // A cancelled running session still streams its Finished
+                // event; the response only reports whether the id was
+                // live.
+                lines.insert(
+                    0,
+                    ok_response(
+                        op,
+                        [("id", Value::from(id.as_str())), ("active", Value::Bool(found))],
+                    ),
+                );
+                lines
+            }
+            Request::List => {
+                let services: Vec<Value> =
+                    self.catalog.list().iter().map(service_info_value).collect();
+                vec![ok_response(op, [("services", Value::Array(services))])]
+            }
+            Request::Inspect { service } => match self.catalog.inspect(&service) {
+                None => vec![error_response(
+                    Some(op),
+                    None,
+                    &format!("unknown service '{service}'"),
+                )],
+                Some(info) => {
                     vec![ok_response(op, [("service", service_info_value(&info))])]
                 }
+            },
+            Request::Evict { service } => {
+                let removed = self.catalog.evict(&service);
+                vec![ok_response(
+                    op,
+                    [
+                        ("service", Value::from(service.as_str())),
+                        ("removed", Value::Bool(removed)),
+                    ],
+                )]
             }
+            Request::Status => vec![self.status()],
+            Request::Shutdown => unreachable!("handled by the main loop"),
         }
-        Request::Query { id, spec } => {
-            if top_k.contains_key(&id) || pending.contains_key(&id) {
-                return vec![error_response(
-                    Some(op),
-                    Some(&id),
-                    &format!("query id '{id}' is already in use"),
-                )];
-            }
-            // The submission thread absorbs the service's first-use
-            // analysis (the catalog single-flights it), keeping this
-            // loop streaming; the ack is written when the thread reports
-            // back.
-            pending.insert(
+    }
+
+    /// The `status` reply: runtime occupancy, per-service state (with any
+    /// live analysis job), and every in-flight query id with its state.
+    fn status(&self) -> Value {
+        let stats = self.scheduler.runtime().stats();
+        let runtime = Value::obj([
+            ("slots", Value::Int(stats.slots as i64)),
+            ("queued_search", Value::Int(stats.queued_search as i64)),
+            ("queued_analysis", Value::Int(stats.queued_analysis as i64)),
+            ("running", Value::Int(stats.running as i64)),
+            ("analysis_running", Value::Int(stats.analysis_running as i64)),
+        ]);
+        let services: Vec<Value> =
+            self.catalog.list().iter().map(service_info_value).collect();
+        let mut queries: Vec<(String, Value)> = Vec::new();
+        self.mux.for_each_session(|tag, session| {
+            let state = session
+                .job_state()
+                .map_or("running", |s| match s {
+                    JobState::Queued => "queued",
+                    JobState::Running => "running",
+                    // Terminal but not yet drained by the client.
+                    _ => "draining",
+                });
+            queries.push((
+                tag.clone(),
+                Value::obj([
+                    ("id", Value::from(tag.as_str())),
+                    ("state", Value::from(state)),
+                ]),
+            ));
+        });
+        for id in self.pending.keys() {
+            queries.push((
                 id.clone(),
-                PendingQuery { cancelled: false, top_k: spec.top_k },
-            );
-            let catalog = Arc::clone(catalog);
-            let scheduler = scheduler.clone();
-            let done_tx = done_tx.clone();
-            std::thread::spawn(move || {
-                let submitted = scheduler.submit_catalog(&catalog, &spec);
-                let _ = done_tx.send((id, submitted));
-            });
-            Vec::new()
+                Value::obj([
+                    ("id", Value::from(id.as_str())),
+                    ("state", Value::from("waiting_analysis")),
+                ]),
+            ));
         }
-        Request::Cancel { id } => {
-            let mut found = false;
-            mux.for_each_session(|tag, session| {
-                if *tag == id {
-                    session.cancel();
-                    found = true;
-                }
-            });
-            if let Some(entry) = pending.get_mut(&id) {
-                entry.cancelled = true;
-                found = true;
+        queries.sort_by(|a, b| a.0.cmp(&b.0));
+        ok_response(
+            "status",
+            [
+                ("runtime", runtime),
+                ("services", Value::Array(services)),
+                (
+                    "queries",
+                    Value::Array(queries.into_iter().map(|(_, v)| v).collect()),
+                ),
+            ],
+        )
+    }
+
+    /// Starts reporting an analysis job (deduplicated by job id — many
+    /// queries can queue behind one job).
+    fn watch(&mut self, service: &str, job: Job<Engine>) {
+        if self.watchers.iter().any(|w| w.job.id() == job.id()) {
+            return;
+        }
+        self.watchers.push(Watch {
+            service: service.to_string(),
+            job,
+            last: JobState::Queued,
+        });
+    }
+
+    /// A session (or submission error) delivered by an analysis-job
+    /// continuation: install it, or report the terminal error. Deliveries
+    /// for ids cancelled in the meantime are discarded.
+    fn install_submission(
+        &mut self,
+        output: &mut impl Write,
+        id: String,
+        submitted: Result<Session, EngineError>,
+    ) -> std::io::Result<()> {
+        let Some(cap) = self.pending.remove(&id) else {
+            // Cancelled (or shut down) while waiting: the terminal event
+            // was already written; reap the unwanted session.
+            if let Ok(session) = submitted {
+                session.cancel();
             }
-            // A cancelled session still streams its Finished event; the
-            // response only reports whether the id was live.
-            vec![ok_response(
-                op,
-                [("id", Value::from(id.as_str())), ("active", Value::Bool(found))],
-            )]
+            return Ok(());
+        };
+        match submitted {
+            Err(e) => {
+                self.summary.events += 1;
+                write_line(output, &error_event(&id, &e.to_string()))
+            }
+            Ok(session) => {
+                self.top_k.insert(id.clone(), cap);
+                self.mux.push(id, session);
+                Ok(())
+            }
         }
-        Request::List => {
-            let services: Vec<Value> =
-                catalog.list().iter().map(service_info_value).collect();
-            vec![ok_response(op, [("services", Value::Array(services))])]
+    }
+
+    /// Reports analysis-job transitions as `analysis_*` events; settles
+    /// and drops watchers whose job reached a terminal state. Returns
+    /// whether anything was written.
+    fn pump_watchers(&mut self, output: &mut impl Write) -> std::io::Result<bool> {
+        let mut lines: Vec<Value> = Vec::new();
+        let Daemon { watchers, catalog, .. } = self;
+        watchers.retain_mut(|w| {
+            let state = w.job.state();
+            if state == w.last {
+                return true;
+            }
+            if state == JobState::Running {
+                lines.push(analysis_started_value(&w.service, w.job.id()));
+                w.last = state;
+                return true;
+            }
+            // Terminal. A job observed Queued → Done/Failed ran without
+            // the loop seeing it start; emit the start first so clients
+            // always see a consistent pair.
+            if w.last == JobState::Queued && !matches!(state, JobState::Cancelled) {
+                lines.push(analysis_started_value(&w.service, w.job.id()));
+            }
+            match &state {
+                JobState::Done => {
+                    let info = catalog.inspect(&w.service);
+                    lines.push(analysis_ready_value(&w.service, w.job.id(), info.as_ref()));
+                }
+                JobState::Failed(msg) => {
+                    lines.push(analysis_failed_value(&w.service, w.job.id(), msg));
+                }
+                JobState::Cancelled => {
+                    lines.push(analysis_failed_value(
+                        &w.service,
+                        w.job.id(),
+                        "analysis cancelled",
+                    ));
+                }
+                JobState::Queued | JobState::Running => unreachable!("terminal state"),
+            }
+            false
+        });
+        let progressed = !lines.is_empty();
+        for line in lines {
+            self.summary.events += 1;
+            write_line(output, &line)?;
         }
-        Request::Inspect { service } => match catalog.inspect(&service) {
-            None => vec![error_response(
-                Some(op),
-                None,
-                &format!("unknown service '{service}'"),
-            )],
-            Some(info) => vec![ok_response(op, [("service", service_info_value(&info))])],
-        },
-        Request::Evict { service } => {
-            let removed = catalog.evict(&service);
-            vec![ok_response(
-                op,
-                [
-                    ("service", Value::from(service.as_str())),
-                    ("removed", Value::Bool(removed)),
-                ],
-            )]
+        Ok(progressed)
+    }
+
+    /// One round-robin sweep over live sessions; also closes out queries
+    /// whose worker died without a `Finished` event. Returns whether
+    /// anything was written.
+    fn pump_sessions(&mut self, output: &mut impl Write) -> std::io::Result<bool> {
+        if let Some((id, event)) = self.mux.poll() {
+            self.summary.events += 1;
+            let cap = self.top_k.get(&id).copied().flatten();
+            write_line(output, &event_value(&id, &event, cap))?;
+            if matches!(event, Event::Finished(_)) {
+                self.top_k.remove(&id);
+            }
+            return Ok(true);
         }
-        Request::Shutdown => unreachable!("handled by the main loop"),
+        if self.top_k.len() > self.mux.len() {
+            // A session died without a Finished event (worker panic) and
+            // the multiplexer pruned it: close the query out with a
+            // terminal error event so the client stops waiting and the
+            // id frees up.
+            let mut live: Vec<String> = Vec::new();
+            self.mux.for_each_session(|tag, _| live.push(tag.clone()));
+            let dead: Vec<String> =
+                self.top_k.keys().filter(|id| !live.contains(id)).cloned().collect();
+            let progressed = !dead.is_empty();
+            for id in dead {
+                self.summary.events += 1;
+                self.top_k.remove(&id);
+                write_line(
+                    output,
+                    &error_event(&id, "session worker terminated unexpectedly"),
+                )?;
+            }
+            return Ok(progressed);
+        }
+        Ok(false)
+    }
+
+    /// `shutdown`: cancel every running session and every watched
+    /// analysis job (queued ones settle as prompt no-ops), and terminate
+    /// every analysis-queued query with an empty cancelled finish. The
+    /// loop then drains: running sessions stream out their cancelled
+    /// `Finished`, running analyses complete and report, and the process
+    /// exits only when every in-flight id has had its terminal event.
+    fn shutdown(&mut self) -> Vec<Value> {
+        self.mux.for_each_session(|_, session| session.cancel());
+        for w in &self.watchers {
+            w.job.cancel();
+        }
+        let mut lines = vec![ok_response("shutdown", [])];
+        let mut waiting: Vec<String> = self.pending.drain().map(|(id, _)| id).collect();
+        waiting.sort();
+        for id in waiting {
+            self.summary.events += 1;
+            lines.push(cancelled_finished_value(&id));
+        }
+        lines
     }
 }
 

@@ -3,30 +3,47 @@
 //! A long-lived process speaking a JSON-lines protocol (one JSON object
 //! per line, both directions) over stdin/stdout: register services into
 //! a [`ServiceCatalog`](apiphany_core::ServiceCatalog), open streaming
-//! type queries multiplexed by a
-//! [`Scheduler`](apiphany_core::Scheduler) over a bounded worker pool,
-//! and cancel them mid-flight. This is the ROADMAP's "serve many" front
-//! door: one daemon, many services, many concurrent queries — analysis
-//! runs once per service (and persists across restarts with
-//! `--cache-dir`), synthesis streams.
+//! type queries, and cancel them mid-flight. This is the ROADMAP's
+//! "serve many" front door: one daemon, many services, many concurrent
+//! queries — analysis runs once per service (and persists across
+//! restarts with `--cache-dir`), synthesis streams.
+//!
+//! Every unit of work is a job on one shared
+//! [`JobRuntime`](apiphany_core::JobRuntime): synthesis sessions are
+//! `Search` jobs submitted by the
+//! [`Scheduler`](apiphany_core::Scheduler), a service's analyze-once
+//! phase is an `Analysis` job, and the two kinds share the pool's slots
+//! fairly (mining can never occupy every slot). **The daemon loop never
+//! blocks**: a cold service's first query enqueues behind that service's
+//! analysis job and is submitted by the job's continuation the moment it
+//! settles, so warm queries keep streaming while a large service mines.
 //!
 //! # The protocol, by transcript
 //!
 //! Requests (`→`) and responses/events (`←`), one JSON object per line:
 //!
 //! ```text
-//! → {"op":"register","service":"demo","builtin":"fig7"}
-//! ← {"ok":true,"op":"register","service":{"name":"demo","analyzed":false,...}}
+//! → {"op":"register","service":"demo","builtin":"fig7","prewarm":true}
+//! ← {"ok":true,"op":"register","service":{"name":"demo","analyzed":false,...},
+//!    "job":{"id":1,"kind":"analysis","state":"queued"}}
 //! → {"op":"query","id":"q1","service":"demo",
 //!    "inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]",
 //!    "depth":7,"top_k":5}
-//! ← {"ok":true,"op":"query","id":"q1"}
+//! ← {"ok":true,"op":"query","id":"q1","analysis":"demo"}
+//! ← {"event":"analysis_started","service":"demo","job":1}
+//! ← {"event":"analysis_ready","service":"demo","job":1,"analyze_ms":3,
+//!    "stats":{"n_witnesses":5,"n_covered_methods":3,"rounds":0}}
 //! ← {"event":"depth","id":"q1","depth":1}
 //! ← ...
 //! ← {"event":"candidate","id":"q1","r_orig":1,"r_re_now":1,"cost":29.0,...}
 //! ← {"event":"candidate","id":"q1","r_orig":2,"r_re_now":1,"cost":25.0,...}
 //! ← {"event":"finished","id":"q1","outcome":"exhausted","n_candidates":2,
 //!    "ranked":[{"rank":1,"r_orig":2,...},{"rank":2,"r_orig":1,...}]}
+//! → {"op":"status"}
+//! ← {"ok":true,"op":"status",
+//!    "runtime":{"slots":2,"queued_search":0,"queued_analysis":0,...},
+//!    "services":[{"name":"demo","analyzed":true,"analysis":{...},...}],
+//!    "queries":[]}
 //! → {"op":"cancel","id":"q2"}
 //! ← {"ok":true,"op":"cancel","id":"q2","active":true}
 //! ← {"event":"finished","id":"q2","outcome":"cancelled",...}
@@ -38,7 +55,12 @@
 //! file), or `"library"` + `"witnesses"` (raw analysis inputs). Events
 //! of concurrent queries interleave, tagged by `id`; each query's own
 //! event sequence is identical to a dedicated
-//! [`Engine::session`](apiphany_core::Engine::session) run.
+//! [`Engine::session`](apiphany_core::Engine::session) run. An
+//! `analysis_failed` event (failure or cancellation) is terminal for its
+//! service's job; a query cancelled while still queued behind an
+//! analysis terminates immediately with an empty cancelled `finished`.
+//! `shutdown` cancels queued jobs, drains running ones, and emits a
+//! terminal event for every in-flight id before the process exits.
 //!
 //! The binary lives in `src/bin/synthd.rs`
 //! (`cargo run --release --bin synthd -- --slots 4 --cache-dir .cache`);

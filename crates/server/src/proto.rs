@@ -11,8 +11,9 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use apiphany_core::{
-    AnalysisArtifact, Event, QuerySpec, RunResult, ServiceInfo,
+    AnalysisArtifact, Event, JobId, JobKind, JobState, QuerySpec, RunResult, ServiceInfo,
 };
+use apiphany_core::mining::AnalyzeStats;
 use apiphany_json::Value;
 use apiphany_lang::compact;
 use apiphany_spec::codec::library_from_value;
@@ -21,8 +22,9 @@ use apiphany_spec::{witnesses_from_json, Library, Witness};
 /// A parsed request line.
 #[derive(Debug)]
 pub enum Request {
-    /// Register a service under a name.
-    Register { service: String, source: RegisterSource },
+    /// Register a service under a name; with `prewarm` the analyze-once
+    /// job starts immediately instead of waiting for the first query.
+    Register { service: String, source: RegisterSource, prewarm: bool },
     /// Open a streaming query; `id` tags every event it produces.
     Query { id: String, spec: QuerySpec },
     /// Cancel the running (or queued) query with this id.
@@ -33,6 +35,8 @@ pub enum Request {
     Inspect { service: String },
     /// Remove a service from the catalog.
     Evict { service: String },
+    /// Report runtime occupancy, per-service job state, and live queries.
+    Status,
     /// Cancel everything and exit once the streams have drained.
     Shutdown,
 }
@@ -99,7 +103,12 @@ impl Request {
                             .to_string(),
                     );
                 };
-                Ok(Request::Register { service, source })
+                let prewarm = match v.get("prewarm") {
+                    None => false,
+                    Some(Value::Bool(b)) => *b,
+                    Some(_) => return Err("'prewarm' must be a boolean".to_string()),
+                };
+                Ok(Request::Register { service, source, prewarm })
             }
             "query" => {
                 let id = require_str(&v, "id")?;
@@ -114,6 +123,7 @@ impl Request {
             "list" => Ok(Request::List),
             "inspect" => Ok(Request::Inspect { service: require_str(&v, "service")? }),
             "evict" => Ok(Request::Evict { service: require_str(&v, "service")? }),
+            "status" => Ok(Request::Status),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op '{other}'")),
         }
@@ -128,6 +138,7 @@ impl Request {
             Request::List => "list",
             Request::Inspect { .. } => "inspect",
             Request::Evict { .. } => "evict",
+            Request::Status => "status",
             Request::Shutdown => "shutdown",
         }
     }
@@ -178,7 +189,9 @@ pub fn error_event(id: &str, message: &str) -> Value {
     ])
 }
 
-/// A [`ServiceInfo`] as a JSON object.
+/// A [`ServiceInfo`] as a JSON object, including the analyze-once cost
+/// (`analysis` stats + `analyze_ms`) and the live analysis `job`, when
+/// known.
 pub fn service_info_value(info: &ServiceInfo) -> Value {
     Value::obj([
         ("name", Value::from(info.name.as_str())),
@@ -192,7 +205,102 @@ pub fn service_info_value(info: &ServiceInfo) -> Value {
                 Some(n) => Value::Int(n as i64),
             },
         ),
+        (
+            "analysis",
+            match &info.analysis {
+                None => Value::Null,
+                Some(stats) => analyze_stats_value(stats),
+            },
+        ),
+        (
+            "analyze_ms",
+            match info.analyze_time {
+                None => Value::Null,
+                Some(d) => millis(d),
+            },
+        ),
+        (
+            "job",
+            match &info.job {
+                None => Value::Null,
+                Some(job) => job_value(job.id, job.kind, &job.state),
+            },
+        ),
     ])
+}
+
+/// [`AnalyzeStats`] as a JSON object (the mining-cost block of `inspect`
+/// and the `analysis_ready` event).
+pub fn analyze_stats_value(stats: &AnalyzeStats) -> Value {
+    Value::obj([
+        ("n_witnesses", Value::Int(stats.n_witnesses as i64)),
+        ("n_covered_methods", Value::Int(stats.n_covered_methods as i64)),
+        ("rounds", Value::Int(stats.rounds as i64)),
+    ])
+}
+
+/// A job reference as a JSON object: `{"id", "kind", "state"[, "error"]}`.
+pub fn job_value(id: JobId, kind: JobKind, state: &JobState) -> Value {
+    let mut pairs = vec![
+        ("id".to_string(), Value::Int(id.0 as i64)),
+        ("kind".to_string(), Value::from(kind.name())),
+        ("state".to_string(), Value::from(state.name())),
+    ];
+    if let JobState::Failed(msg) = state {
+        pairs.push(("error".to_string(), Value::from(msg.as_str())));
+    }
+    Value::Object(pairs)
+}
+
+/// `{"event":"analysis_started","service":...,"job":N}` — a service's
+/// analyze-once job began executing on the runtime.
+pub fn analysis_started_value(service: &str, job: JobId) -> Value {
+    Value::obj([
+        ("event", Value::from("analysis_started")),
+        ("service", Value::from(service)),
+        ("job", Value::Int(job.0 as i64)),
+    ])
+}
+
+/// `{"event":"analysis_ready","service":...,"job":N,...}` — the service
+/// is warm; queries queued behind the job have been submitted. Carries
+/// `analyze_ms` + `stats` when the catalog still lists the service (an
+/// evict can race the completion).
+pub fn analysis_ready_value(service: &str, job: JobId, info: Option<&ServiceInfo>) -> Value {
+    let mut pairs = vec![
+        ("event".to_string(), Value::from("analysis_ready")),
+        ("service".to_string(), Value::from(service)),
+        ("job".to_string(), Value::Int(job.0 as i64)),
+    ];
+    if let Some(info) = info {
+        if let Some(d) = info.analyze_time {
+            pairs.push(("analyze_ms".to_string(), millis(d)));
+        }
+        if let Some(stats) = &info.analysis {
+            pairs.push(("stats".to_string(), analyze_stats_value(stats)));
+        }
+    }
+    Value::Object(pairs)
+}
+
+/// `{"event":"analysis_failed","service":...,"job":N,"error":...}` — the
+/// analyze-once job settled without an engine (failure or cancellation);
+/// queries queued behind it receive their own terminal events.
+pub fn analysis_failed_value(service: &str, job: JobId, error: &str) -> Value {
+    Value::obj([
+        ("event", Value::from("analysis_failed")),
+        ("service", Value::from(service)),
+        ("job", Value::Int(job.0 as i64)),
+        ("error", Value::from(error)),
+    ])
+}
+
+/// The terminal event for a query cancelled before its session existed
+/// (still queued behind its service's analysis): an empty `finished` with
+/// outcome `cancelled`, field-for-field the shape of a real `finished`
+/// (both go through the same `finished_event` encoder).
+pub fn cancelled_finished_value(id: &str) -> Value {
+    finished_event(id, "cancelled", 0, Duration::ZERO, Duration::ZERO, Vec::new())
 }
 
 /// A session [`Event`] as the JSON line streamed to the client. `top_k`
@@ -235,13 +343,34 @@ fn finished_value(id: &str, result: &RunResult, top_k: Option<usize>) -> Value {
             ])
         })
         .collect();
+    finished_event(
+        id,
+        outcome_name(result.stats.outcome),
+        result.ranked.len() as i64,
+        result.total_time,
+        result.re_time,
+        ranked,
+    )
+}
+
+/// The one definition of the `finished` wire shape, shared by real run
+/// results and the synthetic cancelled finish — clients parse a single
+/// terminal-event schema.
+fn finished_event(
+    id: &str,
+    outcome: &str,
+    n_candidates: i64,
+    total: Duration,
+    re: Duration,
+    ranked: Vec<Value>,
+) -> Value {
     Value::obj([
         ("event", Value::from("finished")),
         ("id", Value::from(id)),
-        ("outcome", Value::from(outcome_name(result.stats.outcome))),
-        ("n_candidates", Value::Int(result.ranked.len() as i64)),
-        ("total_ms", millis(result.total_time)),
-        ("re_ms", millis(result.re_time)),
+        ("outcome", Value::from(outcome)),
+        ("n_candidates", Value::Int(n_candidates)),
+        ("total_ms", millis(total)),
+        ("re_ms", millis(re)),
         ("ranked", Value::Array(ranked)),
     ])
 }
@@ -271,8 +400,20 @@ mod tests {
             .unwrap();
         assert!(matches!(
             reg,
-            Request::Register { ref service, source: RegisterSource::Builtin(ref b) }
-                if service == "demo" && b == "fig7"
+            Request::Register {
+                ref service,
+                source: RegisterSource::Builtin(ref b),
+                prewarm: false,
+            } if service == "demo" && b == "fig7"
+        ));
+        let warm = Request::parse(
+            r#"{"op":"register","service":"demo","builtin":"fig7","prewarm":true}"#,
+        )
+        .unwrap();
+        assert!(matches!(warm, Request::Register { prewarm: true, .. }));
+        assert!(matches!(
+            Request::parse(r#"{"op":"status"}"#).unwrap(),
+            Request::Status
         ));
         let q = Request::parse(
             r#"{"op":"query","id":"q1","service":"demo",
@@ -303,6 +444,10 @@ mod tests {
             (r#"{"id":"q1"}"#, "missing 'op'"),
             (r#"{"op":"frobnicate"}"#, "unknown op"),
             (r#"{"op":"register","service":"x"}"#, "register needs"),
+            (
+                r#"{"op":"register","service":"x","builtin":"fig7","prewarm":"yes"}"#,
+                "'prewarm' must be a boolean",
+            ),
             (r#"{"op":"register","builtin":"fig7"}"#, "missing 'service'"),
             (r#"{"op":"query","id":"q","output":"[X]"}"#, "must name a 'service'"),
             (r#"{"op":"query","service":"demo","output":"[X]"}"#, "missing 'id'"),

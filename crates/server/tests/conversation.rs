@@ -207,6 +207,212 @@ fn shutdown_cancels_active_queries_and_exits() {
 }
 
 #[test]
+fn prewarm_register_reports_the_analysis_lifecycle() {
+    let lines = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7","prewarm":true}
+"#,
+        &DaemonOptions::default(),
+    );
+    // The register ack carries the analysis job.
+    let reg = &lines[0];
+    assert_eq!(reg.get("ok").and_then(Value::as_bool), Some(true));
+    let job = reg.get("job").expect("prewarm ack names its job");
+    assert_eq!(str_field(job, "kind"), "analysis");
+    let job_id = job.get("id").and_then(Value::as_int).unwrap();
+    // The loop reports the job's lifecycle: started, then ready — and the
+    // daemon does not exit until the job has settled.
+    let started = lines
+        .iter()
+        .position(|l| str_field(l, "event") == "analysis_started")
+        .expect("analysis_started event");
+    let ready = lines
+        .iter()
+        .position(|l| str_field(l, "event") == "analysis_ready")
+        .expect("analysis_ready event");
+    assert!(started < ready);
+    assert_eq!(str_field(&lines[ready], "service"), "demo");
+    assert_eq!(lines[ready].get("job").and_then(Value::as_int), Some(job_id));
+    // The ready event surfaces the mining cost.
+    assert!(lines[ready].get("analyze_ms").and_then(Value::as_int).is_some());
+    let stats = lines[ready].get("stats").expect("mining stats");
+    assert!(stats.get("n_witnesses").and_then(Value::as_int).unwrap() > 0);
+}
+
+/// The acceptance property of the job runtime, asserted **by event
+/// ordering, not timing**: with one slot, a query against the warm
+/// service streams its candidates strictly before the cold service's
+/// `analysis_ready` — guaranteed by the analysis-job continuation (the
+/// queued query enters the search lane before the pool picks its next
+/// job) and the pool's lane alternation, not by mining being slow.
+#[test]
+fn warm_query_streams_before_a_cold_service_is_ready() {
+    let lines = converse(
+        r#"{"op":"register","service":"warm","builtin":"fig7","prewarm":true}
+{"op":"query","id":"qw","service":"warm","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":7}
+{"op":"register","service":"cold","builtin":"fig7","prewarm":true}
+"#,
+        &DaemonOptions { slots: 1, ..DaemonOptions::default() },
+    );
+    let first_candidate = lines
+        .iter()
+        .position(|l| str_field(l, "event") == "candidate" && str_field(l, "id") == "qw")
+        .expect("warm query streams candidates");
+    let cold_ready = lines
+        .iter()
+        .position(|l| {
+            str_field(l, "event") == "analysis_ready" && str_field(l, "service") == "cold"
+        })
+        .expect("cold service eventually warms");
+    assert!(
+        first_candidate < cold_ready,
+        "warm candidates (line {first_candidate}) must precede the cold \
+         service's analysis_ready (line {cold_ready})"
+    );
+    // The warm query ran to completion, and both services became ready.
+    assert!(lines
+        .iter()
+        .any(|l| str_field(l, "event") == "finished" && str_field(l, "id") == "qw"));
+    assert!(lines.iter().any(|l| {
+        str_field(l, "event") == "analysis_ready" && str_field(l, "service") == "warm"
+    }));
+}
+
+/// Cancelling a query still queued behind its service's analysis
+/// terminates it promptly (empty cancelled `finished`), well before the
+/// analysis itself settles.
+#[test]
+fn cancel_of_a_query_queued_behind_analysis_is_prompt() {
+    let lines = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"query","id":"qa","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":12}
+{"op":"register","service":"other","builtin":"fig7","prewarm":true}
+{"op":"query","id":"qb","service":"other","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":7}
+{"op":"cancel","id":"qb"}
+{"op":"cancel","id":"qa"}
+"#,
+        &DaemonOptions { slots: 1, ..DaemonOptions::default() },
+    );
+    // qb's ack shows it queued behind `other`'s analysis.
+    let qb_ack = lines
+        .iter()
+        .find(|l| str_field(l, "op") == "query" && str_field(l, "id") == "qb")
+        .expect("qb ack");
+    assert_eq!(str_field(qb_ack, "analysis"), "other");
+    // Its cancel is acknowledged as active and terminates with an empty
+    // cancelled finish *before* `other` is ever ready.
+    let qb_cancel = lines
+        .iter()
+        .find(|l| str_field(l, "op") == "cancel" && str_field(l, "id") == "qb")
+        .expect("qb cancel ack");
+    assert_eq!(qb_cancel.get("active").and_then(Value::as_bool), Some(true));
+    let qb_finished = lines
+        .iter()
+        .position(|l| str_field(l, "event") == "finished" && str_field(l, "id") == "qb")
+        .expect("prompt terminal event");
+    assert_eq!(str_field(&lines[qb_finished], "outcome"), "cancelled");
+    assert_eq!(
+        lines[qb_finished].get("n_candidates").and_then(Value::as_int),
+        Some(0)
+    );
+    let other_ready = lines
+        .iter()
+        .position(|l| {
+            str_field(l, "event") == "analysis_ready" && str_field(l, "service") == "other"
+        })
+        .expect("the orphaned analysis still completes");
+    assert!(qb_finished < other_ready);
+    // qa drains with a regular cancelled finish.
+    let qa_finished = lines
+        .iter()
+        .find(|l| str_field(l, "event") == "finished" && str_field(l, "id") == "qa")
+        .expect("qa terminal event");
+    assert_eq!(str_field(qa_finished, "outcome"), "cancelled");
+}
+
+#[test]
+fn status_reports_runtime_services_and_queries() {
+    let lines = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"query","id":"q1","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":12}
+{"op":"status"}
+{"op":"cancel","id":"q1"}
+"#,
+        &DaemonOptions::default(),
+    );
+    let status = lines
+        .iter()
+        .find(|l| str_field(l, "op") == "status")
+        .expect("status reply");
+    let runtime = status.get("runtime").expect("runtime block");
+    assert_eq!(runtime.get("slots").and_then(Value::as_int), Some(2));
+    assert!(runtime.get("queued_analysis").and_then(Value::as_int).is_some());
+    let services = status.get("services").and_then(Value::as_array).unwrap();
+    assert_eq!(services.len(), 1);
+    assert_eq!(str_field(&services[0], "name"), "demo");
+    let queries = status.get("queries").and_then(Value::as_array).unwrap();
+    assert_eq!(queries.len(), 1);
+    assert_eq!(str_field(&queries[0], "id"), "q1");
+    assert!(!str_field(&queries[0], "state").is_empty());
+    // Inspect on a warm service (after everything drains) reports the
+    // analyze-once cost.
+    let last_info = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7","prewarm":true}
+{"op":"inspect","service":"demo"}
+"#,
+        &DaemonOptions::default(),
+    );
+    let inspected = last_info
+        .iter()
+        .rfind(|l| str_field(l, "op") == "inspect")
+        .expect("inspect reply");
+    let service = inspected.get("service").unwrap();
+    // The inspect may race the prewarm: either the job is still listed,
+    // or the service is analyzed with its stats.
+    assert!(
+        service.get("job").map(|j| !matches!(j, Value::Null)).unwrap_or(false)
+            || service.get("analysis").map(|a| !matches!(a, Value::Null)).unwrap_or(false),
+        "inspect surfaces the analysis job or its stats: {inspected:?}"
+    );
+}
+
+/// `shutdown` with work at every stage: a running (or analysis-queued)
+/// query, a query queued behind a *queued* analysis, and the queued
+/// analysis itself — every in-flight id gets a terminal event, the
+/// queued analysis is cancelled, and the daemon exits.
+#[test]
+fn shutdown_drains_and_terminates_every_in_flight_id() {
+    let lines = converse(
+        r#"{"op":"register","service":"a","builtin":"fig7","prewarm":true}
+{"op":"query","id":"qa","service":"a","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":12}
+{"op":"register","service":"b","builtin":"fig7","prewarm":true}
+{"op":"query","id":"qb","service":"b","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":7}
+{"op":"shutdown"}
+{"op":"list"}
+"#,
+        &DaemonOptions { slots: 1, ..DaemonOptions::default() },
+    );
+    assert!(lines.iter().any(|l| str_field(l, "op") == "shutdown"));
+    // Every acked query id has exactly one cancelled terminal event.
+    for id in ["qa", "qb"] {
+        let finishes: Vec<&Value> = lines
+            .iter()
+            .filter(|l| str_field(l, "event") == "finished" && str_field(l, "id") == id)
+            .collect();
+        assert_eq!(finishes.len(), 1, "{id} gets exactly one terminal event");
+        assert_eq!(str_field(finishes[0], "outcome"), "cancelled", "{id}");
+    }
+    // The queued analysis of `b` was cancelled and reported terminally.
+    let b_terminal = lines.iter().any(|l| {
+        str_field(l, "service") == "b"
+            && (str_field(l, "event") == "analysis_failed"
+                || str_field(l, "event") == "analysis_ready")
+    });
+    assert!(b_terminal, "b's analysis job settles before exit");
+    // The post-shutdown request is never processed.
+    assert!(!lines.iter().any(|l| str_field(l, "op") == "list"));
+}
+
+#[test]
 fn artifact_registration_roundtrips_through_the_wire() {
     use apiphany_core::Engine;
     use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};

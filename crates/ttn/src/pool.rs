@@ -120,8 +120,27 @@ where
     }
 }
 
+/// Which of a [`SharedPool`]'s two queues a job waits in.
+///
+/// The serving layer runs two very different job populations over one
+/// pool: interactive synthesis sessions (`Search`) and the much coarser
+/// analyze-once work — type mining plus TTN construction — of a cold
+/// service (`Analysis`). A single FIFO would let a burst of analysis
+/// jobs occupy every slot and stall all event streaming, so the pool
+/// keeps one queue per lane and picks between them fairly (see
+/// [`SharedPool::spawn_lane`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Interactive synthesis runs: FIFO among themselves (the oldest
+    /// waiting session always gets the next search-lane slot).
+    Search,
+    /// Analyze-once jobs: FIFO among themselves, capped so they can never
+    /// occupy every slot of a multi-slot pool.
+    Analysis,
+}
+
 /// A persistent, shareable worker pool: `slots` long-lived threads serving
-/// a FIFO job queue.
+/// two FIFO job lanes with per-lane fairness.
 ///
 /// Where [`for_each_ordered`] is the *intra-run* primitive (split one
 /// search level across scoped threads, borrow freely), `SharedPool` is the
@@ -129,8 +148,15 @@ where
 /// sessions over: each submitted job is an owned `'static` closure (a
 /// session worker body), at most `slots` of them run at once, and queued
 /// jobs start in submission order as slots free up — the oldest waiting
-/// session always gets the next slot, so a burst of queries drains fairly
-/// instead of starving the early ones.
+/// session always gets the next search-lane slot, so a burst of queries
+/// drains fairly instead of starving the early ones.
+///
+/// Jobs land in one of two [`Lane`]s. Each lane is FIFO on its own; when
+/// both lanes have work, a freed slot alternates between them (whichever
+/// kind ran last yields to the other), and at most `max(1, slots - 1)`
+/// analysis jobs execute concurrently — so on any pool with two or more
+/// slots, at least one slot is always available to searches and mining
+/// can never starve query traffic.
 ///
 /// Cloning the handle shares the same threads and queue (an explicit
 /// handle count, not `Arc::strong_count`, decides shutdown — the count
@@ -161,19 +187,60 @@ struct SharedQueue {
     state: Mutex<QueueState>,
     available: Condvar,
     slots: usize,
+    /// Concurrent-analysis cap: `max(1, slots - 1)`.
+    analysis_cap: usize,
     /// Live external handles; the drop that takes this to zero shuts the
     /// pool down.
     handles: AtomicUsize,
 }
 
 struct QueueState {
-    jobs: VecDeque<Box<dyn FnOnce() + Send>>,
+    search: VecDeque<Box<dyn FnOnce() + Send>>,
+    analysis: VecDeque<Box<dyn FnOnce() + Send>>,
     /// Set when the last external handle drops; workers drain and exit.
     shutdown: bool,
     /// Jobs currently executing on a worker (for [`SharedPool::in_flight`]).
     running: usize,
+    /// Analysis jobs currently executing (bounded by `analysis_cap`).
+    analysis_running: usize,
+    /// When both lanes have an eligible job, take the analysis one iff
+    /// this is set; every take flips preference to the *other* lane, so
+    /// mixed backlogs drain alternately instead of one kind monopolizing
+    /// freed slots.
+    prefer_analysis: bool,
     /// Worker join handles, reaped by the last external handle's drop.
     workers: Vec<JoinHandle<()>>,
+}
+
+impl QueueState {
+    /// Picks the next job a worker should run, honoring the analysis cap
+    /// and the lane-alternation preference. `None` = nothing eligible.
+    fn take_job(&mut self, analysis_cap: usize) -> Option<(Box<dyn FnOnce() + Send>, Lane)> {
+        let analysis_ok =
+            !self.analysis.is_empty() && self.analysis_running < analysis_cap;
+        let lane = match (!self.search.is_empty(), analysis_ok) {
+            (false, false) => return None,
+            (true, false) => Lane::Search,
+            (false, true) => Lane::Analysis,
+            (true, true) => {
+                if self.prefer_analysis {
+                    Lane::Analysis
+                } else {
+                    Lane::Search
+                }
+            }
+        };
+        self.prefer_analysis = lane == Lane::Search;
+        self.running += 1;
+        let job = match lane {
+            Lane::Search => self.search.pop_front().expect("lane checked non-empty"),
+            Lane::Analysis => {
+                self.analysis_running += 1;
+                self.analysis.pop_front().expect("lane checked non-empty")
+            }
+        };
+        Some((job, lane))
+    }
 }
 
 impl std::fmt::Debug for SharedPool {
@@ -188,13 +255,17 @@ impl SharedPool {
         let slots = slots.max(1);
         let inner = Arc::new(SharedQueue {
             state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                search: VecDeque::new(),
+                analysis: VecDeque::new(),
                 shutdown: false,
                 running: 0,
+                analysis_running: 0,
+                prefer_analysis: false,
                 workers: Vec::new(),
             }),
             available: Condvar::new(),
             slots,
+            analysis_cap: slots.saturating_sub(1).max(1),
             handles: AtomicUsize::new(1),
         });
         let mut workers = Vec::with_capacity(slots);
@@ -211,9 +282,20 @@ impl SharedPool {
         self.inner.slots
     }
 
-    /// Jobs submitted but not yet started (waiting for a free slot).
+    /// Jobs submitted but not yet started (waiting for a free slot),
+    /// summed over both lanes.
     pub fn queued(&self) -> usize {
-        self.inner.state.lock().expect("pool lock").jobs.len()
+        let state = self.inner.state.lock().expect("pool lock");
+        state.search.len() + state.analysis.len()
+    }
+
+    /// Jobs waiting in one specific [`Lane`].
+    pub fn queued_lane(&self, lane: Lane) -> usize {
+        let state = self.inner.state.lock().expect("pool lock");
+        match lane {
+            Lane::Search => state.search.len(),
+            Lane::Analysis => state.analysis.len(),
+        }
     }
 
     /// Jobs currently executing on a worker.
@@ -221,11 +303,31 @@ impl SharedPool {
         self.inner.state.lock().expect("pool lock").running
     }
 
-    /// Submits a job. It starts immediately if a slot is free, otherwise
-    /// it waits in FIFO order behind earlier submissions.
+    /// Analysis-lane jobs currently executing (never exceeds
+    /// `max(1, slots - 1)`).
+    pub fn analysis_in_flight(&self) -> usize {
+        self.inner.state.lock().expect("pool lock").analysis_running
+    }
+
+    /// Submits a search-lane job. It starts immediately if a slot is
+    /// free, otherwise it waits in FIFO order behind earlier search-lane
+    /// submissions. (Shorthand for [`SharedPool::spawn_lane`] with
+    /// [`Lane::Search`].)
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.spawn_lane(Lane::Search, job);
+    }
+
+    /// Submits a job into a specific [`Lane`]. Within a lane jobs start
+    /// in submission order; across lanes a freed slot alternates between
+    /// the two backlogs, and concurrent analysis jobs are capped at
+    /// `max(1, slots - 1)` so mining can never occupy every slot of a
+    /// multi-slot pool.
+    pub fn spawn_lane(&self, lane: Lane, job: impl FnOnce() + Send + 'static) {
         let mut state = self.inner.state.lock().expect("pool lock");
-        state.jobs.push_back(Box::new(job));
+        match lane {
+            Lane::Search => state.search.push_back(Box::new(job)),
+            Lane::Analysis => state.analysis.push_back(Box::new(job)),
+        }
         drop(state);
         self.inner.available.notify_one();
     }
@@ -233,12 +335,11 @@ impl SharedPool {
 
 fn worker_loop(queue: &SharedQueue) {
     loop {
-        let job = {
+        let (job, lane) = {
             let mut state = queue.state.lock().expect("pool lock");
             loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    state.running += 1;
-                    break job;
+                if let Some(taken) = state.take_job(queue.analysis_cap) {
+                    break taken;
                 }
                 if state.shutdown {
                     return;
@@ -250,7 +351,17 @@ fn worker_loop(queue: &SharedQueue) {
         // with it: the queue behind it would never drain. The payload is
         // swallowed — a job owns its own error reporting.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-        queue.state.lock().expect("pool lock").running -= 1;
+        let mut state = queue.state.lock().expect("pool lock");
+        state.running -= 1;
+        if lane == Lane::Analysis {
+            state.analysis_running -= 1;
+            // Freeing analysis capacity can make a queued analysis job
+            // eligible for a *parked* worker (this worker may take a
+            // search job instead under alternation); wake one.
+            if !state.analysis.is_empty() {
+                queue.available.notify_one();
+            }
+        }
     }
 }
 
@@ -419,6 +530,78 @@ mod tests {
         // the send, so the count is racy from here.)
         pool.spawn(move || tx.send(42).unwrap());
         assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(42));
+    }
+
+    /// The analysis cap: on a 2-slot pool at most one analysis job runs,
+    /// so a search job always finds a slot even under an analysis backlog.
+    #[test]
+    fn analysis_lane_never_occupies_every_slot() {
+        let pool = SharedPool::new(2);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let (done_tx, done_rx) = mpsc::channel::<&'static str>();
+        for _ in 0..2 {
+            let rx = Arc::clone(&release_rx);
+            let done = done_tx.clone();
+            pool.spawn_lane(Lane::Analysis, move || {
+                rx.lock().unwrap().recv().unwrap();
+                done.send("analysis").unwrap();
+            });
+        }
+        pool.spawn(move || done_tx.send("search").unwrap());
+        // Both analysis jobs are blocked/queued; the search job must
+        // complete anyway because the cap keeps one slot analysis-free.
+        assert_eq!(
+            done_rx.recv_timeout(std::time::Duration::from_secs(10)),
+            Ok("search")
+        );
+        assert!(pool.analysis_in_flight() <= 1);
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        assert_eq!(done_rx.iter().take(2).count(), 2);
+    }
+
+    /// Lane alternation is deterministic: after an analysis job, a freed
+    /// slot prefers the search backlog (and vice versa) — the property
+    /// the serving layer relies on so a query queued behind its service's
+    /// analysis streams before the *next* analysis job starts.
+    #[test]
+    fn freed_slots_alternate_between_lanes() {
+        let pool = SharedPool::new(1);
+        let (tx, rx) = mpsc::channel::<&'static str>();
+        let inner_pool = pool.clone();
+        let inner_tx = tx.clone();
+        pool.spawn_lane(Lane::Analysis, move || {
+            inner_tx.send("analysis-1").unwrap();
+            // Submit one job per lane from inside the running analysis
+            // job (the continuation pattern): the single worker must pick
+            // the search job first.
+            let t1 = inner_tx.clone();
+            inner_pool.spawn(move || t1.send("search").unwrap());
+            let t2 = inner_tx.clone();
+            inner_pool.spawn_lane(Lane::Analysis, move || t2.send("analysis-2").unwrap());
+        });
+        drop(tx);
+        let order: Vec<&str> = rx.iter().collect();
+        assert_eq!(order, vec!["analysis-1", "search", "analysis-2"]);
+    }
+
+    #[test]
+    fn queued_counts_are_per_lane() {
+        let pool = SharedPool::new(1);
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        pool.spawn(move || hold_rx.recv().unwrap());
+        // Give the blocker time to occupy the single slot, then queue one
+        // job per lane behind it.
+        while pool.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        pool.spawn(|| {});
+        pool.spawn_lane(Lane::Analysis, || {});
+        assert_eq!(pool.queued_lane(Lane::Search), 1);
+        assert_eq!(pool.queued_lane(Lane::Analysis), 1);
+        assert_eq!(pool.queued(), 2);
+        hold_tx.send(()).unwrap();
     }
 
     #[test]

@@ -1,20 +1,29 @@
-//! Serving quickstart: a `ServiceCatalog` of two services, a `Scheduler`
-//! multiplexing concurrent sessions over one shared pool, and a
-//! round-robin `Multiplexer` interleaving their event streams — the same
-//! building blocks the `synthd` daemon wires to stdin/stdout.
+//! Serving quickstart: one `JobRuntime` under a `ServiceCatalog` and a
+//! `Scheduler`, so analyze-once phases and synthesis sessions schedule
+//! through the same two-lane pool; a round-robin `Multiplexer`
+//! interleaves the event streams — the same building blocks the `synthd`
+//! daemon wires to stdin/stdout.
 //!
 //! Run with: `cargo run --release --example catalog_server`
 
-use apiphany_repro::core::{Event, Multiplexer, QuerySpec, Scheduler, ServiceCatalog};
+use apiphany_repro::core::{
+    Event, JobRuntime, Multiplexer, QuerySpec, Scheduler, ServiceCatalog,
+};
 use apiphany_repro::services::Square;
 use apiphany_repro::spec::fixtures::{fig4_witnesses, fig7_library};
 use apiphany_repro::spec::Service;
 
 fn main() {
-    // A catalog registers services by name; analysis (type mining + TTN
-    // construction) runs lazily, once per service, on first query. Add
+    // One job runtime: `slots` workers shared by Search jobs (sessions)
+    // and Analysis jobs (mining + TTN build), with per-kind fairness so
+    // mining never occupies every slot.
+    let runtime = JobRuntime::new(2);
+    let scheduler = Scheduler::with_runtime(runtime.clone());
+
+    // A catalog on the same runtime registers services by name; the
+    // analyze-once work runs as a cancellable background job. Add
     // `.with_cache_dir(...)` to persist artifacts across restarts.
-    let catalog = ServiceCatalog::new();
+    let catalog = ServiceCatalog::new().with_runtime(runtime.clone());
     catalog
         .register_spec("demo", fig7_library(), fig4_witnesses())
         .expect("fresh name");
@@ -24,16 +33,27 @@ fn main() {
         .register_spec("square", square.library().clone(), witnesses)
         .expect("fresh name");
 
+    // Prewarm: start both analysis jobs now instead of on first query.
+    let jobs: Vec<_> = catalog
+        .names()
+        .iter()
+        .map(|name| catalog.prewarm(name).expect("registered"))
+        .collect();
+    for job in &jobs {
+        println!("submitted {} {} for '{}'", job.kind().name(), job.id(), job.label());
+    }
     for info in catalog.list() {
         println!(
-            "registered {}: {} methods, {} witnesses (analysis deferred)",
-            info.name, info.n_methods, info.n_witnesses
+            "registered {}: {} methods, {} witnesses (job state: {})",
+            info.name,
+            info.n_methods,
+            info.n_witnesses,
+            info.job.as_ref().map_or("settled".to_string(), |j| j.state.name().to_string()),
         );
     }
 
-    // A scheduler multiplexes any number of sessions over a bounded
-    // worker pool; queries are typed QuerySpecs routed by service name.
-    let scheduler = Scheduler::new(2);
+    // Queries are typed QuerySpecs routed by service name; the scheduler
+    // multiplexes any number of sessions over the runtime's slots.
     let queries = [
         (
             "demo/email",
@@ -83,6 +103,16 @@ fn main() {
                     println!("[{tag}] top-ranked program:\n{}", best.program);
                 }
             }
+        }
+    }
+
+    // The analyze-once cost stays inspectable per service.
+    for info in catalog.list() {
+        if let (Some(stats), Some(t)) = (&info.analysis, info.analyze_time) {
+            println!(
+                "{}: mined {} witnesses / {} covered methods in {:.1?}",
+                info.name, stats.n_witnesses, stats.n_covered_methods, t
+            );
         }
     }
     println!("all sessions drained; {} services stay warm for the next query", catalog.list().len());
