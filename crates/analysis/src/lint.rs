@@ -1,0 +1,256 @@
+//! The lint passes: spec-level checks over a raw OpenAPI document and
+//! semantic checks over a mined service (library + semantic library +
+//! type-transition net).
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use apiphany_json::Value;
+use apiphany_mining::SemLib;
+use apiphany_spec::{library_to_openapi, SemTy, SynTy};
+use apiphany_ttn::{PlaceId, TransKind, Ttn};
+
+use crate::diag::{codes, Diagnostic, Severity};
+use crate::reach::Reachability;
+
+/// Lints a raw OpenAPI document (already parsed to JSON): path-template
+/// checks (AP101) and duplicate operation ids (AP102).
+///
+/// This pass runs on the *document*, before any interpretation, so it
+/// catches problems the loader papers over (a duplicate `operationId`
+/// silently shadows, an undeclared `{var}` loads fine).
+pub fn lint_openapi(doc: &Value) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut seen_ops: HashSet<String> = HashSet::new();
+    let paths = doc.get("paths").and_then(Value::as_object).unwrap_or(&[]);
+    for (path, item) in paths {
+        let template_vars = template_vars(path);
+        let Some(ops) = item.as_object() else { continue };
+        // Path-item-level parameters apply to every operation beneath.
+        let shared_params = path_params(item);
+        for (verb, op) in ops {
+            if verb == "parameters" {
+                continue;
+            }
+            let location = format!("paths.{path}.{verb}");
+            if let Some(id) = op.get("operationId").and_then(Value::as_str) {
+                if !seen_ops.insert(id.to_string()) {
+                    out.push(Diagnostic::new(
+                        codes::DUPLICATE_OPERATION_ID,
+                        Severity::Error,
+                        &location,
+                        format!(
+                            "operationId '{id}' is already used by another operation; \
+                             the later definition shadows the earlier one"
+                        ),
+                    ));
+                }
+            }
+            let mut declared = shared_params.clone();
+            declared.extend(path_params(op));
+            for var in &template_vars {
+                if !declared.contains(var) {
+                    out.push(Diagnostic::new(
+                        codes::PATH_PARAM_MISMATCH,
+                        Severity::Error,
+                        &location,
+                        format!(
+                            "path template variable '{{{var}}}' has no matching \
+                             'in: path' parameter"
+                        ),
+                    ));
+                }
+            }
+            for name in &declared {
+                if !template_vars.contains(name) {
+                    out.push(Diagnostic::new(
+                        codes::PATH_PARAM_MISMATCH,
+                        Severity::Warning,
+                        &location,
+                        format!(
+                            "declared path parameter '{name}' does not appear in the \
+                             path template"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The `{var}` names of a path template, in order of appearance.
+fn template_vars(path: &str) -> Vec<String> {
+    let mut vars = Vec::new();
+    let mut rest = path;
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else { break };
+        let var = &rest[open + 1..open + close];
+        if !var.is_empty() {
+            vars.push(var.to_string());
+        }
+        rest = &rest[open + close + 1..];
+    }
+    vars
+}
+
+/// The names of `in: path` parameters declared on an operation or path
+/// item.
+fn path_params(op: &Value) -> Vec<String> {
+    op.get("parameters")
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter(|p| p.get("in").and_then(Value::as_str) == Some("path"))
+        .filter_map(|p| p.get("name").and_then(Value::as_str))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Semantic lints over a mined service: parameter types never produced
+/// (AP201), orphan schemas (AP202), and operations that can never fire
+/// from the witnessed value banks (AP203).
+pub fn lint_semantics(semlib: &SemLib, net: &Ttn) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // AP201: a required method input place no transition ever outputs —
+    // every argument for it must come verbatim from the query inputs.
+    let mut produced = vec![false; net.n_places()];
+    for (_, t) in net.transitions() {
+        // Copies only duplicate an existing token; they don't make a
+        // type producible from elsewhere.
+        if matches!(t.kind, TransKind::Copy { .. }) {
+            continue;
+        }
+        for &(p, _) in &t.outputs {
+            produced[p.0 as usize] = true;
+        }
+    }
+    for (_, t) in net.transitions() {
+        let TransKind::Method(name) = &t.kind else { continue };
+        for spec in &t.params {
+            if !spec.optional && !produced[spec.place.0 as usize] {
+                out.push(Diagnostic::new(
+                    codes::PARAM_NEVER_PRODUCED,
+                    Severity::Warning,
+                    name,
+                    format!(
+                        "required argument '{}' has type {} which no operation \
+                         produces; it can only be satisfied by a query input",
+                        spec.arg_name,
+                        semlib.display_ty(net.place_ty(spec.place)),
+                    ),
+                ));
+            }
+        }
+    }
+
+    // AP202: object schemas no method signature reaches transitively.
+    for name in orphan_schemas(semlib) {
+        out.push(Diagnostic::new(
+            codes::ORPHAN_SCHEMA,
+            Severity::Warning,
+            &name,
+            format!(
+                "schema '{name}' is not referenced (even transitively) by any \
+                 method signature; it cannot take part in synthesis"
+            ),
+        ));
+    }
+
+    // AP203: seed reachability with every place the witness banks hold a
+    // value for; methods that still can't fire are unusable until richer
+    // witnesses (or consumer-producer annotations) arrive.
+    let reach = Reachability::compute(net, witness_seeds(semlib, net));
+    for (tid, t) in net.transitions() {
+        let TransKind::Method(name) = &t.kind else { continue };
+        if !reach.live(tid) {
+            let blockers: BTreeSet<String> = t
+                .inputs
+                .iter()
+                .filter(|&&(q, _)| !reach.producible(q))
+                .map(|&(q, _)| semlib.display_ty(net.place_ty(q)))
+                .collect();
+            out.push(Diagnostic::new(
+                codes::OP_NEVER_FIRES,
+                Severity::Warning,
+                name,
+                format!(
+                    "operation can never fire from the registered witnesses: no \
+                     value of type {} was ever observed",
+                    blockers.into_iter().collect::<Vec<_>>().join(", "),
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Every lint over a mined service: the OpenAPI pass on the library's
+/// document form plus the semantic passes. This is what engines compute
+/// once at analysis time and what artifacts persist.
+pub fn lint_service(semlib: &SemLib, net: &Ttn) -> Vec<Diagnostic> {
+    let mut out = lint_openapi(&library_to_openapi(&semlib.lib));
+    out.extend(lint_semantics(semlib, net));
+    out
+}
+
+/// The places the witness banks can seed: group places whose value bank
+/// is non-empty, and object places with observed instances.
+fn witness_seeds<'a>(
+    semlib: &'a SemLib,
+    net: &'a Ttn,
+) -> impl Iterator<Item = PlaceId> + 'a {
+    (0..net.n_places() as u32).map(PlaceId).filter(|&p| match net.place_ty(p) {
+        SemTy::Group(g) => !semlib.group(*g).values.is_empty(),
+        SemTy::Object(name) => !semlib.object_values(name).is_empty(),
+        _ => false,
+    })
+}
+
+/// Object names unreachable from every method signature: breadth-first
+/// over the `SynTy::Object` references starting from all method params
+/// and responses.
+fn orphan_schemas(semlib: &SemLib) -> Vec<String> {
+    let lib = &semlib.lib;
+    let mut reached: HashSet<String> = HashSet::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    fn visit(
+        lib: &apiphany_spec::Library,
+        ty: &SynTy,
+        reached: &mut HashSet<String>,
+        queue: &mut VecDeque<String>,
+    ) {
+        collect_objects(ty, &mut |name| {
+            if lib.objects.contains_key(name) && reached.insert(name.to_string()) {
+                queue.push_back(name.to_string());
+            }
+        });
+    }
+    for sig in lib.methods.values() {
+        for field in &sig.params.fields {
+            visit(lib, &field.ty, &mut reached, &mut queue);
+        }
+        visit(lib, &sig.response, &mut reached, &mut queue);
+    }
+    while let Some(name) = queue.pop_front() {
+        for field in &lib.objects[&name].fields {
+            visit(lib, &field.ty, &mut reached, &mut queue);
+        }
+    }
+    lib.objects.keys().filter(|n| !reached.contains(n.as_str())).cloned().collect()
+}
+
+/// Calls `f` with every object name mentioned in `ty`.
+fn collect_objects(ty: &SynTy, f: &mut impl FnMut(&str)) {
+    match ty {
+        SynTy::Object(name) => f(name),
+        SynTy::Array(elem) => collect_objects(elem, f),
+        SynTy::Record(record) => {
+            for field in &record.fields {
+                collect_objects(&field.ty, f);
+            }
+        }
+        SynTy::Str | SynTy::Int | SynTy::Bool | SynTy::Float => {}
+    }
+}

@@ -1,0 +1,122 @@
+//! Query pre-check: decide output reachability statically, before any
+//! search runs.
+//!
+//! Given a resolved query, seed a [`Reachability`] fixpoint with the
+//! query's input places and ask whether the output place is producible.
+//! An unreachable output is explained structurally — which types are
+//! missing, which operations that could have produced the output are
+//! blocked — in microseconds, instead of burning the full search budget
+//! to report nothing.
+
+use std::collections::BTreeSet;
+
+use apiphany_mining::{Query, SemLib};
+use apiphany_ttn::{query_markings, TransKind, Ttn};
+
+use crate::reach::Reachability;
+
+/// The verdict of [`precheck_query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Precheck {
+    /// The output is producible from the inputs. `start_len` is the
+    /// reachability distance bound: no path shorter than it can solve the
+    /// query, so iterative deepening may start there.
+    Feasible {
+        /// First path length worth searching (≥ 1).
+        start_len: usize,
+    },
+    /// The output can never be produced from the inputs.
+    Unreachable {
+        /// Type names the query would need but nothing can produce
+        /// (sorted, deduplicated). Contains the output type itself when
+        /// no operation produces it at all.
+        missing_types: Vec<String>,
+        /// Operations that produce the output type but can never fire
+        /// (sorted). Empty when no operation produces the output type.
+        blocked_ops: Vec<String>,
+    },
+}
+
+/// Statically decides whether `query` is solvable on `net`, and from what
+/// depth. See [`Precheck`].
+pub fn precheck_query(net: &Ttn, semlib: &SemLib, query: &Query) -> Precheck {
+    // A query type without a place cannot appear in any marking: the
+    // query mentions a type the analysis never saw.
+    if query_markings(net, query).is_none() {
+        let mut missing: BTreeSet<String> = BTreeSet::new();
+        for (_, ty) in &query.params {
+            if net.place_of(ty).is_none() {
+                missing.insert(semlib.display_ty(ty));
+            }
+        }
+        if net.place_of(&query.output).is_none() {
+            missing.insert(semlib.display_ty(&query.output));
+        }
+        return Precheck::Unreachable {
+            missing_types: missing.into_iter().collect(),
+            blocked_ops: Vec::new(),
+        };
+    }
+    let out = net.place_of(&query.output).expect("query_markings checked the place");
+    let seeds = query.params.iter().filter_map(|(_, ty)| net.place_of(ty));
+    let reach = Reachability::compute(net, seeds);
+    if let Some(d) = reach.distance(out) {
+        return Precheck::Feasible { start_len: (d as usize).max(1) };
+    }
+
+    // Unreachable: explain it with a backward pass over the cone of dead
+    // producers of the output place. Methods found in the cone are the
+    // blocked operations; unproducible required inputs that nothing in
+    // the net produces at all are the genuinely missing types.
+    let mut cone = vec![false; net.n_places()];
+    cone[out.0 as usize] = true;
+    let mut blocked: BTreeSet<String> = BTreeSet::new();
+    let mut missing: BTreeSet<String> = BTreeSet::new();
+    // A *real* producer outputs the place without also consuming it:
+    // copies (p → 2·p) and filters (base + key → base) only recycle a
+    // token that must already exist, so they can't make `p` producible.
+    let has_producer = |p: apiphany_ttn::PlaceId| {
+        net.transitions().any(|(_, t)| {
+            t.outputs.iter().any(|&(q, _)| q == p) && !t.inputs.iter().any(|&(q, _)| q == p)
+        })
+    };
+    loop {
+        let mut changed = false;
+        for (tid, t) in net.transitions() {
+            if reach.live(tid) || !t.outputs.iter().any(|&(p, _)| cone[p.0 as usize]) {
+                continue;
+            }
+            if let TransKind::Method(name) = &t.kind {
+                if blocked.insert(name.clone()) {
+                    changed = true;
+                }
+            }
+            for &(q, _) in &t.inputs {
+                if reach.producible(q) {
+                    continue;
+                }
+                if has_producer(q) {
+                    // Some (dead) transition outputs it: recurse into its
+                    // producers rather than blaming an intermediate type.
+                    if !cone[q.0 as usize] {
+                        cone[q.0 as usize] = true;
+                        changed = true;
+                    }
+                } else if missing.insert(semlib.display_ty(net.place_ty(q))) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if blocked.is_empty() && missing.is_empty() {
+        // Nothing at all produces the output type.
+        missing.insert(semlib.display_ty(&query.output));
+    }
+    Precheck::Unreachable {
+        missing_types: missing.into_iter().collect(),
+        blocked_ops: blocked.into_iter().collect(),
+    }
+}

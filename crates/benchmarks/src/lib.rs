@@ -72,8 +72,7 @@ impl CliOptions {
                     opts.api = args.get(i + 1).and_then(|s| match s.as_str() {
                         "slack" => Some(Api::Slack),
                         "stripe" => Some(Api::Stripe),
-                        // The historical spelling is still accepted.
-                        "square" | "sqare" => Some(Api::Square),
+                        "square" => Some(Api::Square),
                         _ => None,
                     });
                     i += 1;

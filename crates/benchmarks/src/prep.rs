@@ -30,6 +30,7 @@ pub fn scenario_witnesses(api: Api) -> Vec<Witness> {
 
 /// A prepared API: mined engine plus everything needed to re-mine for the
 /// ablation variants.
+#[derive(Debug)]
 pub struct Prepared {
     /// Which API this is.
     pub api: Api,

@@ -18,6 +18,7 @@
 //! assert_eq!(reloaded.semlib().n_groups(), engine.semlib().n_groups());
 //! ```
 
+use apiphany_analysis::Diagnostic;
 use apiphany_json::{parse, Value};
 use apiphany_mining::{AnalyzeStats, SemLib};
 use apiphany_spec::{witnesses_from_json, witnesses_to_json, DecodeError, Witness};
@@ -42,6 +43,9 @@ pub struct AnalysisArtifact {
     /// [`crate::ServiceCatalog`] so artifacts found on disk can be
     /// re-registered under their original name.
     pub service: Option<String>,
+    /// The spec/TTN lint diagnostics computed at analysis time, so
+    /// serving processes can surface them without re-running the lints.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl AnalysisArtifact {
@@ -73,6 +77,10 @@ impl AnalysisArtifact {
             ("semlib", self.semlib.to_value()),
             ("witnesses", witnesses_to_json(&self.witnesses)),
             ("stats", stats),
+            (
+                "diagnostics",
+                Value::Array(self.diagnostics.iter().map(Diagnostic::to_value).collect()),
+            ),
         ])
     }
 
@@ -118,7 +126,17 @@ impl AnalysisArtifact {
         // `service` is a v1 extension: absent in artifacts written before
         // the catalog existed, so absent/null simply decodes to None.
         let service = v.get("service").and_then(Value::as_str).map(str::to_string);
-        Ok(AnalysisArtifact { semlib, witnesses, stats, service })
+        // `diagnostics` is likewise a v1 extension: absent/null decodes to
+        // empty, and entries of an unknown shape are skipped rather than
+        // failing the whole artifact.
+        let diagnostics = v
+            .get("diagnostics")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Diagnostic::from_value)
+            .collect();
+        Ok(AnalysisArtifact { semlib, witnesses, stats, service, diagnostics })
     }
 
     /// Decodes an artifact from a JSON string.

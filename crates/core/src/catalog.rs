@@ -66,8 +66,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use apiphany_analysis::DiagnosticSummary;
 use apiphany_mining::{AnalyzeStats, MiningConfig};
-use apiphany_spec::{Library, Witness};
+use apiphany_spec::{CancelToken, Library, Witness};
 use apiphany_ttn::BuildOptions;
 
 use crate::job::{Job, JobId, JobKind, JobOutcome, JobRuntime, JobState};
@@ -136,6 +137,10 @@ pub struct ServiceInfo {
     pub analyze_time: Option<Duration>,
     /// The in-flight analysis job, while one is queued or running.
     pub job: Option<JobInfo>,
+    /// Lint error/warning counts, once diagnostics exist (analyzed
+    /// engines always have them; artifact registrations carry the counts
+    /// persisted at analysis time).
+    pub lints: Option<DiagnosticSummary>,
 }
 
 /// The result of a non-blocking [`ServiceCatalog::lookup`].
@@ -317,7 +322,12 @@ impl ServiceCatalog {
         match removed {
             None => false,
             Some(Entry::Analyzing { job, .. }) => {
-                job.cancel();
+                // Only a still-queued job is cancelled: a running one
+                // keeps an untouched token (an unconditional cancel
+                // would now abort its mining mid-flight) and completes
+                // for its subscribers; job-id-keyed publication keeps
+                // it from resurrecting the evicted name.
+                job.cancel_if_queued();
                 true
             }
             Some(_) => true,
@@ -491,9 +501,10 @@ fn run_analysis_job(
         // A panic (malformed inputs) settles the job `Failed` instead of
         // leaving subscribers blocked forever; the pool worker survives
         // regardless.
+        let cancel = job.cancel_token();
         let work = std::panic::catch_unwind(AssertUnwindSafe(|| match inputs {
             Entry::Spec { library, witnesses } => {
-                analyze_spec(name, library, witnesses, cache_dir, mining, build)
+                analyze_spec(name, library, witnesses, cache_dir, mining, build, &cancel)
             }
             Entry::Artifact(artifact) => {
                 Engine::builder().build_options(build.clone()).from_artifact(*artifact)
@@ -503,6 +514,9 @@ fn run_analysis_job(
             }
         }));
         match work {
+            // A cancel that landed mid-mining produced a fallback engine;
+            // settle `Cancelled` so waiters never observe it as real.
+            Ok(_) if cancel.is_cancelled() => JobOutcome::Cancelled,
             Ok(engine) => JobOutcome::Done(engine),
             Err(payload) => JobOutcome::Failed(panic_message(payload.as_ref())),
         }
@@ -560,6 +574,7 @@ fn analyze_spec(
     cache_dir: Option<&Path>,
     mining: &MiningConfig,
     build: &BuildOptions,
+    cancel: &CancelToken,
 ) -> Engine {
     if let Some(artifact) = load_cached(cache_dir, name) {
         return Engine::builder().build_options(build.clone()).from_artifact(artifact);
@@ -567,8 +582,12 @@ fn analyze_spec(
     let engine = Engine::builder()
         .mining(mining.clone())
         .build_options(build.clone())
+        .cancel_token(cancel.clone())
         .from_witnesses(library, witnesses);
-    store_cached(cache_dir, name, &engine);
+    // Never persist a partially mined (cancelled) analysis.
+    if !cancel.is_cancelled() {
+        store_cached(cache_dir, name, &engine);
+    }
     engine
 }
 
@@ -606,6 +625,7 @@ fn describe(name: &str, entry: &Entry) -> ServiceInfo {
             analysis: None,
             analyze_time: None,
             job: None,
+            lints: None,
         },
         Entry::Artifact(artifact) => ServiceInfo {
             name: name.to_string(),
@@ -616,6 +636,7 @@ fn describe(name: &str, entry: &Entry) -> ServiceInfo {
             analysis: artifact.stats.clone(),
             analyze_time: None,
             job: None,
+            lints: Some(DiagnosticSummary::of(&artifact.diagnostics)),
         },
         Entry::Analyzing { job, n_methods, n_witnesses, .. } => ServiceInfo {
             name: name.to_string(),
@@ -626,6 +647,7 @@ fn describe(name: &str, entry: &Entry) -> ServiceInfo {
             analysis: None,
             analyze_time: None,
             job: Some(JobInfo::of(job)),
+            lints: None,
         },
         Entry::Ready { engine, analyze_time } => ServiceInfo {
             name: name.to_string(),
@@ -636,6 +658,7 @@ fn describe(name: &str, entry: &Entry) -> ServiceInfo {
             analysis: engine.analysis_stats().cloned(),
             analyze_time: Some(*analyze_time),
             job: None,
+            lints: Some(DiagnosticSummary::of(engine.diagnostics())),
         },
     }
 }

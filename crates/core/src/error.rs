@@ -42,6 +42,15 @@ pub enum EngineError {
         /// Why (the job's failure message, or "analysis cancelled").
         reason: String,
     },
+    /// The static pre-check proved the query's output can never be
+    /// produced from its inputs, so no search was started. Both lists are
+    /// sorted and may be empty (but never both at once).
+    Unreachable {
+        /// Types the query needs but nothing in the service produces.
+        missing_types: Vec<String>,
+        /// Operations that could produce the output but can never fire.
+        blocked_ops: Vec<String>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -67,6 +76,16 @@ impl fmt::Display for EngineError {
             EngineError::Analysis { service, reason } => {
                 write!(f, "analysis of service '{service}': {reason}")
             }
+            EngineError::Unreachable { missing_types, blocked_ops } => {
+                write!(f, "query output is statically unreachable")?;
+                if !missing_types.is_empty() {
+                    write!(f, "; missing types: {}", missing_types.join(", "))?;
+                }
+                if !blocked_ops.is_empty() {
+                    write!(f, "; blocked operations: {}", blocked_ops.join(", "))?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -82,7 +101,8 @@ impl std::error::Error for EngineError {
             | EngineError::DuplicateService(_)
             | EngineError::InvalidServiceName(_)
             | EngineError::Spec(_)
-            | EngineError::Analysis { .. } => None,
+            | EngineError::Analysis { .. }
+            | EngineError::Unreachable { .. } => None,
         }
     }
 }

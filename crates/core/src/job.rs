@@ -218,10 +218,27 @@ impl<T> Job<T> {
 
     /// Requests cooperative cancellation. A queued job settles
     /// `Cancelled` without running; a running search job stops at its
-    /// next poll; a running analysis job completes (mining has no safe
-    /// midpoint) and its product still reaches subscribers.
+    /// next poll; a running analysis job aborts its mining at the next
+    /// cancellation check and settles `Cancelled` (its partial product
+    /// is discarded, never published or persisted).
     pub fn cancel(&self) {
         self.inner.cancel.cancel();
+    }
+
+    /// Cancels the job only if it has not started running yet; returns
+    /// whether the cancel was issued. The check-and-cancel is atomic
+    /// with respect to the pool worker's queued→running transition, so a
+    /// job this method declines to cancel runs with an untouched token —
+    /// `evict` uses this to free a name without destroying work in
+    /// flight.
+    pub fn cancel_if_queued(&self) -> bool {
+        let phase = self.inner.phase.lock().expect("job lock");
+        if matches!(&*phase, Phase::Queued(_)) {
+            self.inner.cancel.cancel();
+            true
+        } else {
+            false
+        }
     }
 
     /// The job's cancellation token (shared with the work it runs; for a

@@ -61,6 +61,7 @@
 //! assert!(serving.query("{ } → [Channel]").is_ok());
 //! ```
 
+pub use apiphany_analysis as analysis;
 pub use apiphany_json as json;
 pub use apiphany_lang as lang;
 pub use apiphany_mining as mining;
@@ -90,10 +91,12 @@ pub use session::{Event, Session};
 use std::sync::Arc;
 use std::time::Duration;
 
+use apiphany_analysis::{lint_service, precheck_query, Diagnostic, Precheck};
 use apiphany_lang::anf::AnfProgram;
 use apiphany_lang::Program;
 use apiphany_mining::{
-    analyze_api, mine_types, parse_query, AnalyzeConfig, AnalyzeStats, MiningConfig, Query, SemLib,
+    analyze_api, mine_types, mine_types_cancellable, parse_query, AnalyzeConfig, AnalyzeStats,
+    MiningConfig, Query, SemLib,
 };
 use apiphany_re::CostParams;
 use apiphany_spec::{Library, Service, Witness};
@@ -180,6 +183,7 @@ pub(crate) struct EngineInner {
     pub(crate) synthesizer: Synthesizer,
     pub(crate) witnesses: Vec<Witness>,
     pub(crate) analysis_stats: Option<AnalyzeStats>,
+    pub(crate) diagnostics: Vec<Diagnostic>,
 }
 
 /// The APIphany engine: a mined semantic library, its TTN, and the witness
@@ -216,6 +220,7 @@ pub type Apiphany = Engine;
 pub struct EngineBuilder {
     mining: MiningConfig,
     build: BuildOptions,
+    cancel: CancelToken,
 }
 
 impl EngineBuilder {
@@ -232,6 +237,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the cancellation token the analysis phase polls. A cancelled
+    /// token makes [`EngineBuilder::from_witnesses`] /
+    /// [`EngineBuilder::analyze`] stop mining early and return a
+    /// structurally complete engine mined from whatever was finished —
+    /// callers that cancel (the job runtime) discard the result anyway.
+    pub fn cancel_token(mut self, cancel: CancelToken) -> EngineBuilder {
+        self.cancel = cancel;
+        self
+    }
+
     /// Builds an engine by mining semantic types from a pre-recorded
     /// witness set (no live service). The engine's
     /// [`Engine::analysis_stats`] report the witness/coverage counts of
@@ -239,7 +254,8 @@ impl EngineBuilder {
     /// serving layers can surface per-service mining cost uniformly.
     pub fn from_witnesses(self, lib: Library, witnesses: Vec<Witness>) -> Engine {
         let stats = AnalyzeStats::of_witnesses(&witnesses, 0);
-        let semlib = mine_types(&lib, &witnesses, &self.mining);
+        let semlib = mine_types_cancellable(&lib, &witnesses, &self.mining, &self.cancel)
+            .unwrap_or_else(|| mine_types(&lib, &[], &self.mining));
         Engine::from_parts(Synthesizer::new(semlib, &self.build), witnesses, Some(stats))
     }
 
@@ -262,7 +278,7 @@ impl EngineBuilder {
         initial_witnesses: &[Witness],
         analyze: &AnalyzeConfig,
     ) -> Engine {
-        let result = analyze_api(service, initial_witnesses, &self.mining, analyze);
+        let result = analyze_api(service, initial_witnesses, &self.mining, analyze, &self.cancel);
         Engine::from_parts(
             Synthesizer::new(result.semlib, &self.build),
             result.witnesses,
@@ -282,7 +298,12 @@ impl Engine {
         witnesses: Vec<Witness>,
         analysis_stats: Option<AnalyzeStats>,
     ) -> Engine {
-        Engine { inner: Arc::new(EngineInner { synthesizer, witnesses, analysis_stats }) }
+        // Lint once at construction: every consumer (catalog inspect,
+        // synthd `lint`, saved artifacts) reads the same diagnostics.
+        let diagnostics = lint_service(synthesizer.semlib(), synthesizer.net());
+        Engine {
+            inner: Arc::new(EngineInner { synthesizer, witnesses, analysis_stats, diagnostics }),
+        }
     }
 
     /// Analysis phase against a live (sandboxed) service with explicit
@@ -328,6 +349,7 @@ impl Engine {
             witnesses: self.inner.witnesses.clone(),
             stats: self.inner.analysis_stats.clone(),
             service: None,
+            diagnostics: self.inner.diagnostics.clone(),
         }
     }
 
@@ -366,6 +388,20 @@ impl Engine {
         &self.inner.synthesizer
     }
 
+    /// The spec/TTN lint diagnostics, computed once at engine
+    /// construction (see [`apiphany_analysis::lint_service`]).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.inner.diagnostics
+    }
+
+    /// Statically decides whether `query` is solvable, without searching:
+    /// the reachability pre-check of [`apiphany_analysis::precheck_query`]
+    /// on this engine's TTN. [`Engine::open`] runs it automatically;
+    /// this surface lets callers ask ahead of time.
+    pub fn precheck(&self, query: &Query) -> Precheck {
+        precheck_query(self.inner.synthesizer.net(), self.semlib(), query)
+    }
+
     /// Parses a type query against the mined library.
     ///
     /// # Errors
@@ -400,12 +436,18 @@ impl Engine {
     /// # Errors
     ///
     /// Returns [`EngineError::Query`] when one of the spec's types does
-    /// not resolve (the message names the failing part) and
-    /// [`EngineError::Budget`] for an invalid budget.
+    /// not resolve (the message names the failing part),
+    /// [`EngineError::Budget`] for an invalid budget, and
+    /// [`EngineError::Unreachable`] when the static pre-check proves the
+    /// output can never be produced from the inputs — in microseconds,
+    /// without spawning a search.
     pub fn open(&self, spec: &QuerySpec) -> Result<Session, EngineError> {
         let query = spec.resolve(self.semlib())?;
         let cfg = spec.run_config();
         cfg.synthesis.budget.validate()?;
+        if let Precheck::Unreachable { missing_types, blocked_ops } = self.precheck(&query) {
+            return Err(EngineError::Unreachable { missing_types, blocked_ops });
+        }
         Ok(Session::spawn(Arc::clone(&self.inner), query, cfg))
     }
 

@@ -5,12 +5,12 @@
 use std::collections::HashSet;
 
 use apiphany_json::Value;
-use apiphany_spec::{Service, Witness};
+use apiphany_spec::{CancelToken, Service, Witness};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use crate::mine::{mine_types, MiningConfig};
+use crate::mine::{mine_types, mine_types_cancellable, MiningConfig};
 use crate::sample::sample_value;
 use crate::semlib::SemLib;
 
@@ -80,6 +80,7 @@ impl AnalyzeStats {
 }
 
 /// Output of [`analyze_api`].
+#[derive(Debug)]
 pub struct AnalysisResult {
     /// The final mined semantic library.
     pub semlib: SemLib,
@@ -92,11 +93,19 @@ pub struct AnalysisResult {
 /// `AnalyzeAPI(Λ, W0)` (paper Fig. 20): alternates between mining the best
 /// semantic library from the current witnesses and generating new witnesses
 /// by type-directed random testing against the (sandboxed) service.
+///
+/// Cancellation is cooperative: `cancel` is polled inside every mining
+/// pass and between testing rounds. A cancelled run returns early with
+/// the progress made so far — the semantic library mined from the
+/// witnesses collected up to that point — rather than an error, so
+/// callers that want partial results can still use them (the job layer
+/// discards them when the whole job was cancelled).
 pub fn analyze_api(
     service: &mut dyn Service,
     initial: &[Witness],
     mining: &MiningConfig,
     cfg: &AnalyzeConfig,
+    cancel: &CancelToken,
 ) -> AnalysisResult {
     let lib = service.library().clone();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -106,9 +115,22 @@ pub fn analyze_api(
         push_witness(&mut witnesses, &mut seen, w.clone());
     }
 
+    // On cancellation mid-mining, fall back to a cheap unwitnessed mine so
+    // the partial result is still a structurally complete library.
+    let finish = |witnesses: Vec<Witness>, rounds: usize| {
+        let semlib = mine_types(&lib, &[], mining);
+        let stats = AnalyzeStats::of_witnesses(&witnesses, rounds);
+        AnalysisResult { semlib, witnesses, stats }
+    };
+
     let mut rounds = 0;
-    let mut semlib = mine_types(&lib, &witnesses, mining);
+    let Some(mut semlib) = mine_types_cancellable(&lib, &witnesses, mining, cancel) else {
+        return finish(witnesses, rounds);
+    };
     for _ in 0..cfg.max_rounds {
+        if cancel.is_cancelled() {
+            break;
+        }
         rounds += 1;
         let new = generate_tests(service, &semlib, cfg, &mut rng);
         let mut added = 0;
@@ -120,7 +142,10 @@ pub fn analyze_api(
                 added += 1;
             }
         }
-        semlib = mine_types(&lib, &witnesses, mining);
+        semlib = match mine_types_cancellable(&lib, &witnesses, mining, cancel) {
+            Some(semlib) => semlib,
+            None => return finish(witnesses, rounds),
+        };
         if added == 0 {
             break;
         }
@@ -312,7 +337,7 @@ mod tests {
         ];
         let mut svc = MiniSlack::new();
         let cfg = AnalyzeConfig { max_rounds: 6, attempts_per_subset: 12, ..AnalyzeConfig::default() };
-        let result = analyze_api(&mut svc, &seed, &MiningConfig::default(), &cfg);
+        let result = analyze_api(&mut svc, &seed, &MiningConfig::default(), &cfg, &CancelToken::new());
         assert!(result.stats.n_witnesses > 3);
         assert_eq!(result.stats.n_covered_methods, 3);
         // After analysis, u_info.in.user must have merged with User.id —
@@ -331,7 +356,7 @@ mod tests {
             let mut svc = MiniSlack::new();
             let cfg =
                 AnalyzeConfig { max_rounds: 6, attempts_per_subset: 12, ..AnalyzeConfig::default() };
-            let r = analyze_api(&mut svc, &seed, &MiningConfig::default(), &cfg);
+            let r = analyze_api(&mut svc, &seed, &MiningConfig::default(), &cfg, &CancelToken::new());
             (r.stats.n_witnesses, r.stats.n_covered_methods)
         };
         assert_eq!(run(), run());
@@ -353,7 +378,7 @@ mod tests {
     fn empty_witness_start_still_terminates() {
         let mut svc = MiniSlack::new();
         let cfg = AnalyzeConfig { max_rounds: 6, attempts_per_subset: 12, ..AnalyzeConfig::default() };
-        let result = analyze_api(&mut svc, &[], &MiningConfig::default(), &cfg);
+        let result = analyze_api(&mut svc, &[], &MiningConfig::default(), &cfg, &CancelToken::new());
         // c_list takes no arguments, so random testing covers it from
         // nothing; parameterized methods stay uncovered without witnesses
         // linking their parameter types (type-directed sampling only).

@@ -41,7 +41,7 @@ mod semlib;
 pub use analyze::{analyze_api, generate_tests, AnalysisResult, AnalyzeConfig, AnalyzeStats};
 pub use dsu::{PairDsu, ScalarKey};
 pub use infer::{canonical_scalar_loc, fold, lookup_ctx, lookup_step, Folded};
-pub use mine::{mine_types, Granularity, MiningConfig};
+pub use mine::{mine_types, mine_types_cancellable, Granularity, MiningConfig};
 pub use query::{parse_query, parse_sem_ty, Query, QueryParseError};
 pub use sample::sample_value;
 pub use semlib::{GroupData, SemLib, SemMethodSig};

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use apiphany_json::Value;
 use apiphany_spec::{
-    GroupId, Label, Library, Loc, SemFieldTy, SemRecordTy, SemTy, SynTy, Witness,
+    CancelToken, GroupId, Label, Library, Loc, SemFieldTy, SemRecordTy, SemTy, SynTy, Witness,
 };
 
 use crate::dsu::{PairDsu, ScalarKey};
@@ -75,6 +75,20 @@ fn syn_type_key(ty: &SynTy) -> ScalarKey {
 /// location-based types (paper §4, "annotated with the unmerged
 /// location-based type").
 pub fn mine_types(lib: &Library, witnesses: &[Witness], cfg: &MiningConfig) -> SemLib {
+    mine_types_cancellable(lib, witnesses, cfg, &CancelToken::new())
+        .expect("a fresh token is never cancelled")
+}
+
+/// [`mine_types`] with cooperative cancellation: polls `cancel` once per
+/// witness during registration and between phases, returning `None` as
+/// soon as cancellation is observed. Large-spec analysis jobs spend most
+/// of their time here, so this is what lets them abort promptly.
+pub fn mine_types_cancellable(
+    lib: &Library,
+    witnesses: &[Witness],
+    cfg: &MiningConfig,
+    cancel: &CancelToken,
+) -> Option<SemLib> {
     let mut ds = PairDsu::new();
     let mut bank: HashMap<Loc, Vec<Value>> = HashMap::new();
     let mut bank_seen: HashMap<Loc, HashSet<String>> = HashMap::new();
@@ -83,6 +97,9 @@ pub fn mine_types(lib: &Library, witnesses: &[Witness], cfg: &MiningConfig) -> S
 
     // Phase 1 (lines 2-5 of Fig. 8): register all witnesses.
     for w in witnesses {
+        if cancel.is_cancelled() {
+            return None;
+        }
         let in_loc = Loc::method(w.method.clone()).child(Label::In);
         let out_loc = Loc::method(w.method.clone()).child(Label::Out);
         add_value(lib, cfg, &mut ds, &mut bank, &mut bank_seen, &mut object_bank,
@@ -100,6 +117,9 @@ pub fn mine_types(lib: &Library, witnesses: &[Witness], cfg: &MiningConfig) -> S
     });
 
     // Phase 2 (line 6): extract groups and rebuild definitions over them.
+    if cancel.is_cancelled() {
+        return None;
+    }
     let group_locs = ds.groups();
     let mut loc_to_group: HashMap<Loc, GroupId> = HashMap::new();
     let mut groups: Vec<GroupData> = Vec::with_capacity(group_locs.len());
@@ -159,7 +179,7 @@ pub fn mine_types(lib: &Library, witnesses: &[Witness], cfg: &MiningConfig) -> S
         semlib.loc_to_group.insert(loc, id);
         semlib.groups.push(data);
     }
-    semlib
+    Some(semlib)
 }
 
 /// Builds semantic definitions, allocating fresh singleton groups for any

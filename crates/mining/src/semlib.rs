@@ -158,6 +158,6 @@ pub(crate) fn pick_display(locs: &[Loc]) -> String {
                 l.to_string(),
             )
         })
-        .map(|l| l.to_string())
+        .map(ToString::to_string)
         .unwrap_or_else(|| "<empty>".to_string())
 }

@@ -42,6 +42,7 @@ fn fail<T>(reason: impl Into<String>) -> Result<T, ReFailure> {
 
 /// Witness indices for fast exact / approximate matching, plus the value
 /// banks used for lazy input sampling. Built once per API.
+#[derive(Debug)]
 pub struct ReContext<'a> {
     semlib: &'a SemLib,
     /// Exact: `(method, canonical args)` → outputs.
@@ -58,7 +59,7 @@ impl<'a> ReContext<'a> {
         for w in witnesses {
             let key = (w.method.clone(), canonical_args(&w.args));
             exact.entry(key).or_default().push(w.output.clone());
-            let names = w.arg_names().iter().map(|s| s.to_string()).collect();
+            let names = w.arg_names().iter().map(ToString::to_string).collect();
             by_names.entry((w.method.clone(), names)).or_default().push(w.output.clone());
         }
         ReContext { semlib, exact, by_names }

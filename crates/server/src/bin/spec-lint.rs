@@ -1,0 +1,158 @@
+//! The `spec-lint` binary: run the static spec/TTN lints over the
+//! builtin services and/or arbitrary OpenAPI documents.
+//!
+//! ```sh
+//! # Lint every builtin service.
+//! cargo run --release --bin spec-lint
+//! # Lint two builtins and an OpenAPI file.
+//! cargo run --release --bin spec-lint -- slack path/to/openapi.json
+//! # Machine-readable report (one JSON object).
+//! cargo run --release --bin spec-lint -- --json
+//! ```
+//!
+//! Exits nonzero when any **error**-severity diagnostic is found;
+//! warnings alone exit zero (CI fails on errors, tolerates warnings).
+
+use std::process::ExitCode;
+
+use apiphany_core::analysis::{lint_openapi, lint_service, Diagnostic, DiagnosticSummary};
+use apiphany_core::mining::{mine_types, MiningConfig};
+use apiphany_core::ttn::{build_ttn, BuildOptions};
+use apiphany_json::Value;
+use apiphany_server::{builtin, BUILTIN_NAMES};
+use apiphany_spec::library_from_openapi;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut targets: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag '{other}'"));
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets = BUILTIN_NAMES.iter().map(|&n| n.to_string()).collect();
+    }
+
+    let mut reports: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+    for target in &targets {
+        match lint_target(target) {
+            Ok(diags) => reports.push((target.clone(), diags)),
+            Err(message) => {
+                eprintln!("spec-lint: {target}: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (_, diags) in &reports {
+        let summary = DiagnosticSummary::of(diags);
+        errors += summary.errors;
+        warnings += summary.warnings;
+    }
+
+    if json {
+        let services: Vec<Value> = reports
+            .iter()
+            .map(|(name, diags)| {
+                let summary = DiagnosticSummary::of(diags);
+                Value::obj([
+                    ("target", Value::from(name.as_str())),
+                    ("errors", Value::Int(summary.errors as i64)),
+                    ("warnings", Value::Int(summary.warnings as i64)),
+                    (
+                        "diagnostics",
+                        Value::Array(diags.iter().map(Diagnostic::to_value).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let report = Value::obj([
+            ("errors", Value::Int(errors as i64)),
+            ("warnings", Value::Int(warnings as i64)),
+            ("targets", Value::Array(services)),
+        ]);
+        println!("{}", report.to_json());
+    } else {
+        for (name, diags) in &reports {
+            if diags.is_empty() {
+                println!("{name}: clean");
+                continue;
+            }
+            println!("{name}:");
+            for d in diags {
+                println!("  {d}");
+            }
+        }
+        println!(
+            "spec-lint: {} target(s), {errors} error(s), {warnings} warning(s)",
+            reports.len()
+        );
+    }
+
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Lints one target: a builtin service name, or a path to an OpenAPI
+/// JSON document.
+fn lint_target(target: &str) -> Result<Vec<Diagnostic>, String> {
+    if let Some((library, witnesses)) = builtin(target) {
+        // Builtins come with scripted witnesses: run the full service
+        // lint (OpenAPI + semantic passes) over the mined result.
+        let semlib = mine_types(&library, &witnesses, &MiningConfig::default());
+        let net = build_ttn(&semlib, &BuildOptions::default());
+        return Ok(lint_service(&semlib, &net));
+    }
+    let text = std::fs::read_to_string(target).map_err(|e| {
+        format!("not a builtin ({}) and not a readable file: {e}", BUILTIN_NAMES.join(", "))
+    })?;
+    let doc = apiphany_json::parse(&text).map_err(|e| format!("not JSON: {e}"))?;
+    // The document pass runs on the raw JSON (so loader-tolerated defects
+    // surface); the semantic passes need the loaded library, with no
+    // witnesses — value-bank lints (AP203) fire for every method there,
+    // so they are meaningful only for witnessed targets and skipped here.
+    let mut diags = lint_openapi(&doc);
+    let name = target.rsplit('/').next().unwrap_or(target);
+    let library = library_from_openapi(name, &doc).map_err(|e| e.to_string())?;
+    let semlib = mine_types(&library, &[], &MiningConfig::default());
+    let net = build_ttn(&semlib, &BuildOptions::default());
+    diags.extend(
+        apiphany_core::analysis::lint_semantics(&semlib, &net)
+            .into_iter()
+            .filter(|d| d.code != apiphany_core::analysis::codes::OP_NEVER_FIRES),
+    );
+    Ok(diags)
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("spec-lint: {error}");
+    }
+    eprintln!(
+        "usage: spec-lint [--json] [TARGET ...]\n\
+         \n\
+         TARGET is a builtin service name ({}) or a path to an OpenAPI\n\
+         JSON document. With no targets, lints every builtin.\n\
+         \n\
+         --json    emit one JSON report object instead of text\n\
+         \n\
+         Exits nonzero when any error-severity diagnostic is present.",
+        BUILTIN_NAMES.join(", "),
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

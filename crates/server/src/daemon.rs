@@ -20,14 +20,14 @@ use std::time::Duration;
 
 use apiphany_core::{
     CatalogSubmission, Engine, EngineError, Event, Job, JobState, Multiplexer, Scheduler,
-    ServiceCatalog, Session,
+    ServiceCatalog, ServiceLookup, Session,
 };
 use apiphany_json::Value;
 
 use crate::proto::{
     analysis_failed_value, analysis_ready_value, analysis_started_value, cancelled_finished_value,
-    error_event, error_response, event_value, job_value, ok_response, service_info_value, Request,
-    RegisterSource,
+    error_event, error_response, event_value, job_value, lint_fields, ok_response,
+    service_info_value, Request, RegisterSource,
 };
 
 /// Configuration of one daemon run.
@@ -355,6 +355,29 @@ impl Daemon {
                 )],
                 Some(info) => {
                     vec![ok_response(op, [("service", service_info_value(&info))])]
+                }
+            },
+            Request::Lint { service } => match self.catalog.lookup(&service) {
+                Err(e) => vec![error_response(Some(op), None, &e.to_string())],
+                // Warm: the engine computed its diagnostics at analysis
+                // time — answer inline, nothing blocks.
+                Ok(ServiceLookup::Ready(engine)) => {
+                    vec![ok_response(op, lint_fields(&service, engine.diagnostics()))]
+                }
+                // Cold: the lookup claimed the entry and started (or
+                // joined) the analysis job. Report it as pending — the
+                // client re-asks after the `analysis_ready` event.
+                Ok(ServiceLookup::Pending(job)) => {
+                    let ack = ok_response(
+                        op,
+                        [
+                            ("service", Value::from(service.as_str())),
+                            ("pending", Value::Bool(true)),
+                            ("job", job_value(job.id(), job.kind(), &job.state())),
+                        ],
+                    );
+                    self.watch(&service, job);
+                    vec![ack]
                 }
             },
             Request::Evict { service } => {

@@ -33,6 +33,8 @@ pub enum Request {
     List,
     /// Describe one registered service.
     Inspect { service: String },
+    /// Report a service's spec/TTN lint diagnostics.
+    Lint { service: String },
     /// Remove a service from the catalog.
     Evict { service: String },
     /// Report runtime occupancy, per-service job state, and live queries.
@@ -122,6 +124,7 @@ impl Request {
             "cancel" => Ok(Request::Cancel { id: require_str(&v, "id")? }),
             "list" => Ok(Request::List),
             "inspect" => Ok(Request::Inspect { service: require_str(&v, "service")? }),
+            "lint" => Ok(Request::Lint { service: require_str(&v, "service")? }),
             "evict" => Ok(Request::Evict { service: require_str(&v, "service")? }),
             "status" => Ok(Request::Status),
             "shutdown" => Ok(Request::Shutdown),
@@ -137,6 +140,7 @@ impl Request {
             Request::Cancel { .. } => "cancel",
             Request::List => "list",
             Request::Inspect { .. } => "inspect",
+            Request::Lint { .. } => "lint",
             Request::Evict { .. } => "evict",
             Request::Status => "status",
             Request::Shutdown => "shutdown",
@@ -226,7 +230,41 @@ pub fn service_info_value(info: &ServiceInfo) -> Value {
                 Some(job) => job_value(job.id, job.kind, &job.state),
             },
         ),
+        (
+            "lints",
+            match &info.lints {
+                None => Value::Null,
+                Some(summary) => Value::obj([
+                    ("errors", Value::Int(summary.errors as i64)),
+                    ("warnings", Value::Int(summary.warnings as i64)),
+                ]),
+            },
+        ),
     ])
+}
+
+/// The `lint` response body: the full diagnostic list plus its summary
+/// counts, as `{"service", "errors", "warnings", "diagnostics": [...]}`
+/// fields for [`ok_response`].
+pub fn lint_fields(
+    service: &str,
+    diagnostics: &[apiphany_core::analysis::Diagnostic],
+) -> Vec<(&'static str, Value)> {
+    let summary = apiphany_core::analysis::DiagnosticSummary::of(diagnostics);
+    vec![
+        ("service", Value::from(service)),
+        ("errors", Value::Int(summary.errors as i64)),
+        ("warnings", Value::Int(summary.warnings as i64)),
+        (
+            "diagnostics",
+            Value::Array(
+                diagnostics
+                    .iter()
+                    .map(apiphany_core::analysis::Diagnostic::to_value)
+                    .collect(),
+            ),
+        ),
+    ]
 }
 
 /// [`AnalyzeStats`] as a JSON object (the mining-cost block of `inspect`

@@ -73,6 +73,7 @@ struct Entity {
 }
 
 /// The generated long tail: spec fragments plus a stateful handler.
+#[derive(Debug)]
 pub struct Filler {
     entities: Vec<Entity>,
     /// entity noun → rows.

@@ -37,7 +37,3 @@ pub use square::Square;
 pub use stripe::Stripe;
 pub use util::{script, ServiceState};
 
-/// Compatibility alias for [`Square`]: the module and type used to carry
-/// the paper's anonymized spelling.
-#[deprecated(note = "renamed to `Square`; the paper's anonymization was \"Sqare\"")]
-pub type Sqare = Square;

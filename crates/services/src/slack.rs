@@ -22,6 +22,7 @@ const TARGET_METHODS: usize = 174;
 const TARGET_OBJECTS: usize = 79;
 
 /// The simulated Slack service.
+#[derive(Debug)]
 pub struct Slack {
     lib: Library,
     filler: Filler,

@@ -19,6 +19,7 @@ const TARGET_METHODS: usize = 175;
 const TARGET_OBJECTS: usize = 716;
 
 /// The simulated Square service.
+#[derive(Debug)]
 pub struct Square {
     lib: Library,
     filler: Filler,

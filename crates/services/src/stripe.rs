@@ -19,6 +19,7 @@ const TARGET_METHODS: usize = 300;
 const TARGET_OBJECTS: usize = 399;
 
 /// The simulated Stripe service.
+#[derive(Debug)]
 pub struct Stripe {
     lib: Library,
     filler: Filler,

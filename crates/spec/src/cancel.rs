@@ -1,0 +1,51 @@
+//! Cooperative cancellation.
+//!
+//! The token lives in the spec crate — the bottom of the dependency
+//! stack — so every long-running phase can poll the same flag: type
+//! mining, the analysis loop, and the TTN search all accept a
+//! [`CancelToken`] (the higher crates re-export this type).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation flag shared between a search and its
+/// controller.
+///
+/// Cloning the token clones the *handle*, not the flag: all clones observe
+/// the same cancellation. The search loops poll [`CancelToken::is_cancelled`]
+/// at every node, so cancellation takes effect promptly without unwinding.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+}

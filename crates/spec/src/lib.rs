@@ -23,6 +23,7 @@
 //! assert_eq!(lib.methods.len(), 1);
 //! ```
 
+mod cancel;
 pub mod codec;
 pub mod fixtures;
 mod library;
@@ -32,6 +33,7 @@ mod service;
 mod ty;
 mod witness;
 
+pub use cancel::CancelToken;
 pub use codec::DecodeError;
 pub use library::{Library, LibraryBuilder, LibraryStats, MethodBuilder, MethodSig, ObjectBuilder};
 pub use loc::{Label, Loc, ParseLocError, Root};

@@ -179,9 +179,15 @@ pub fn library_to_openapi(lib: &Library) -> Value {
             .fields
             .iter()
             .map(|f| {
+                // A parameter whose name appears as a `{var}` in the
+                // method's path template is a path parameter; everything
+                // else rides in the query string. (The loader flattens
+                // both into one record, so this only affects fidelity of
+                // the emitted document — and the AP101 lint.)
+                let in_path = name.contains(&format!("{{{}}}", f.name));
                 Value::obj([
                     ("name", Value::from(f.name.as_str())),
-                    ("in", Value::from("query")),
+                    ("in", Value::from(if in_path { "path" } else { "query" })),
                     ("required", Value::from(!f.optional)),
                     ("schema", ty_to_schema(&f.ty)),
                 ])

@@ -4,6 +4,7 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
+use apiphany_analysis::Reachability;
 use apiphany_lang::anf::{canonicalize, AnfProgram};
 use apiphany_lang::Program;
 use apiphany_mining::{Query, SemLib};
@@ -35,6 +36,16 @@ pub struct SynthesisConfig {
     /// Dead-state memo capacity forwarded to
     /// [`SearchConfig::dead_set_cap`] (`0` disables memoization).
     pub dead_set_cap: usize,
+    /// Static pruning (default `true`): before the search starts, a
+    /// reachability fixpoint seeded with the query's inputs removes
+    /// transitions that can never fire and starts iterative deepening at
+    /// the distance lower bound of the output type. Pruning never changes
+    /// the emitted event stream — dead transitions appear on no valid
+    /// path and skipped levels are provably path-free — it only removes
+    /// wasted work; a statically unreachable output short-circuits the
+    /// whole search. `false` runs the search on the full net (the
+    /// property tests compare the two streams).
+    pub prune: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -46,6 +57,7 @@ impl Default for SynthesisConfig {
             backend: Backend::Dfs,
             threads: 1,
             dead_set_cap: search.dead_set_cap,
+            prune: true,
         }
     }
 }
@@ -169,11 +181,44 @@ impl Synthesizer {
             None => return stats,
         };
 
+        // Static analysis before any search: prune transitions that can
+        // never fire from this query's inputs and start deepening at the
+        // output's distance lower bound. Both are stream-preserving (see
+        // `apiphany_analysis::Reachability`); an unreachable output
+        // short-circuits the whole run in microseconds.
+        let mut start_len = 1;
+        let mut pruned: Option<Ttn> = None;
+        if cfg.prune {
+            let seeds = params.iter().map(|&(_, p)| p);
+            let reach = Reachability::compute(&self.net, seeds);
+            let out_place = self.net.place_of(&query.output).expect("query_markings resolved it");
+            match reach.distance(out_place) {
+                None => {
+                    // Statically unreachable: report the exact event
+                    // stream an exhausted search would have produced.
+                    for depth in 1..=cfg.budget.max_depth {
+                        if !on_event(SynthEvent::DepthExhausted { depth }) {
+                            stats.outcome = Outcome::Stopped;
+                            return stats;
+                        }
+                    }
+                    stats.outcome = Outcome::Exhausted;
+                    return stats;
+                }
+                Some(d) => start_len = (d as usize).max(1),
+            }
+            if reach.n_dead() > 0 {
+                pruned = Some(reach.prune(&self.net));
+            }
+        }
+        let net = pruned.as_ref().unwrap_or(&self.net);
+
         let mut seen: HashSet<AnfProgram> = HashSet::new();
         let deadline = cfg.budget.deadline_from(start);
         let max_candidates = cfg.budget.max_candidates.unwrap_or(usize::MAX);
         let search = SearchConfig {
             max_len: cfg.budget.max_depth,
+            start_len,
             max_paths: usize::MAX,
             deadline,
             backend: cfg.backend,
@@ -181,7 +226,7 @@ impl Synthesizer {
             dead_set_cap: cfg.dead_set_cap,
         };
         let mut stopped = false;
-        let report = enumerate_search(&self.net, &init, &fin, &search, cancel, &mut |event| {
+        let report = enumerate_search(net, &init, &fin, &search, cancel, &mut |event| {
             let path = match event {
                 SearchEvent::Path(path) => path,
                 SearchEvent::DepthExhausted { depth } => {
@@ -190,7 +235,7 @@ impl Synthesizer {
             };
             stats.paths += 1;
             let cont = enumerate_programs(
-                &self.net,
+                net,
                 path,
                 &params,
                 cfg.programs_per_path,
@@ -202,12 +247,9 @@ impl Synthesizer {
                     if deadline.is_some_and(|d| Instant::now() >= d) {
                         return false;
                     }
-                    let lifted = match lift(&self.semlib, query, &anf) {
-                        Ok(p) => p,
-                        Err(_) => {
-                            stats.lift_failures += 1;
-                            return true;
-                        }
+                    let Ok(lifted) = lift(&self.semlib, query, &anf) else {
+                        stats.lift_failures += 1;
+                        return true;
                     };
                     if type_check(&self.semlib, &lifted, query).is_err() {
                         stats.ill_typed += 1;

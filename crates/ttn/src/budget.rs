@@ -4,13 +4,12 @@
 //! synthesis stack: the TTN path enumerator ([`crate::enumerate_search`]),
 //! the synthesizer, and the engine's session API all consume the same three
 //! dimensions — wall-clock time, candidate count, and path depth. A
-//! [`CancelToken`] adds out-of-band cooperative cancellation: the search
-//! loops poll it at every node, so a long-running session can be stopped
-//! from another thread within microseconds.
+//! [`CancelToken`](apiphany_spec::CancelToken) (defined in the spec
+//! crate, re-exported here) adds out-of-band cooperative cancellation:
+//! the search loops poll it at every node, so a long-running session can
+//! be stopped from another thread within microseconds.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A unified search budget: wall-clock, candidate-count, and path-depth
@@ -90,34 +89,6 @@ impl fmt::Display for InvalidBudget {
 
 impl std::error::Error for InvalidBudget {}
 
-/// A cooperative cancellation flag shared between a search and its
-/// controller.
-///
-/// Cloning the token clones the *handle*, not the flag: all clones observe
-/// the same cancellation. The search loops poll [`CancelToken::is_cancelled`]
-/// at every node, so cancellation takes effect promptly without unwinding.
-#[derive(Debug, Clone, Default)]
-pub struct CancelToken {
-    flag: Arc<AtomicBool>,
-}
-
-impl CancelToken {
-    /// A fresh, un-cancelled token.
-    pub fn new() -> CancelToken {
-        CancelToken::default()
-    }
-
-    /// Requests cancellation. Idempotent; visible to all clones.
-    pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
-    }
-
-    /// True once [`CancelToken::cancel`] has been called on any clone.
-    pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,15 +106,6 @@ mod tests {
         // Zero wall-clock is a valid "give up immediately" budget.
         let b = Budget { wall_clock: Some(Duration::ZERO), ..Budget::default() };
         assert_eq!(b.validate(), Ok(()));
-    }
-
-    #[test]
-    fn cancel_is_shared_across_clones() {
-        let a = CancelToken::new();
-        let b = a.clone();
-        assert!(!b.is_cancelled());
-        a.cancel();
-        assert!(b.is_cancelled());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use std::time::Instant;
 
-use crate::budget::CancelToken;
+use apiphany_spec::CancelToken;
 use crate::marking::{apply, can_fire, Firing, Marking};
 use crate::net::{PlaceId, TransId, Ttn};
 use crate::search::{SearchConfig, StepOutcome};

@@ -33,7 +33,8 @@ mod net;
 pub mod pool;
 mod search;
 
-pub use budget::{Budget, CancelToken, InvalidBudget};
+pub use apiphany_spec::CancelToken;
+pub use budget::{Budget, InvalidBudget};
 pub use build::{build_ttn, query_markings, BuildOptions};
 pub use marking::{apply, can_fire, replay, Firing, Marking};
 pub use net::{ParamSpec, PlaceId, TransId, TransKind, Transition, Ttn};

@@ -42,7 +42,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::budget::CancelToken;
+use apiphany_spec::CancelToken;
 use crate::ilp::enumerate_ilp_paths;
 use crate::marking::{apply, can_fire, unapply, Firing, Marking};
 use crate::net::{PlaceId, TransId, Ttn};
@@ -63,6 +63,12 @@ pub enum Backend {
 pub struct SearchConfig {
     /// Maximum path length for iterative deepening.
     pub max_len: usize,
+    /// First level actually searched. Levels below it are *reported* (a
+    /// [`SearchEvent::DepthExhausted`] per level, preserving the event
+    /// stream shape) but not explored — the caller asserts, typically via
+    /// a reachability distance bound, that they cannot contain a path.
+    /// `1` (the default) searches every level.
+    pub start_len: usize,
     /// Stop after this many paths.
     pub max_paths: usize,
     /// Wall-clock deadline.
@@ -86,6 +92,7 @@ impl Default for SearchConfig {
     fn default() -> SearchConfig {
         SearchConfig {
             max_len: 8,
+            start_len: 1,
             max_paths: usize::MAX,
             deadline: None,
             backend: Backend::Dfs,
@@ -202,6 +209,15 @@ pub fn enumerate_search(
     let worker_dead: Vec<Mutex<DeadSet>> =
         (0..cfg.threads).map(|_| Mutex::new(DeadSet::new(cfg.dead_set_cap))).collect();
     for len in 1..=cfg.max_len {
+        if len < cfg.start_len {
+            // Provably path-free level (the caller's distance bound):
+            // emit the depth marker without searching, so consumers see
+            // the exact same event stream as a full run.
+            if !on_event(SearchEvent::DepthExhausted { depth: len }) {
+                return SearchReport { outcome: SearchOutcome::Stopped, stats };
+            }
+            continue;
+        }
         let outcome = match cfg.backend {
             Backend::Dfs => {
                 let mut on_path = |path: &[Firing]| {

@@ -5,6 +5,7 @@
 //! single dependency. The real library lives in [`apiphany_core`] and the
 //! substrate crates it re-exports.
 
+pub use apiphany_analysis as analysis;
 pub use apiphany_benchmarks as benchmarks;
 pub use apiphany_core as core;
 pub use apiphany_server as server;
