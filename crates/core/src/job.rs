@@ -355,6 +355,10 @@ pub struct RuntimeStats {
     pub running: usize,
     /// Analysis jobs currently executing (capped at `max(1, slots - 1)`).
     pub analysis_running: usize,
+    /// The analysis lane's concurrency cap (`max(1, slots - 1)`): at most
+    /// this many analysis jobs run at once, so mining backlogs can never
+    /// occupy every slot.
+    pub analysis_cap: usize,
 }
 
 /// A [`SharedPool`] plus job bookkeeping: the execution substrate shared
@@ -420,6 +424,7 @@ impl JobRuntime {
             queued_analysis: self.pool.queued_lane(Lane::Analysis),
             running: self.pool.in_flight(),
             analysis_running: self.pool.analysis_in_flight(),
+            analysis_cap: self.pool.slots().saturating_sub(1).max(1),
         }
     }
 }

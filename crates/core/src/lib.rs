@@ -76,6 +76,7 @@ mod error;
 mod job;
 mod queryspec;
 mod sched;
+mod scope;
 mod session;
 
 pub use apiphany_ttn::pool::SharedPool;
@@ -86,6 +87,7 @@ pub use error::EngineError;
 pub use job::{Job, JobId, JobKind, JobOutcome, JobRuntime, JobState, RuntimeStats};
 pub use queryspec::QuerySpec;
 pub use sched::{CatalogSubmission, Multiplexer, Scheduler};
+pub use scope::{CancelScopes, ScopeTicket};
 pub use session::{Event, Session};
 
 use std::sync::Arc;

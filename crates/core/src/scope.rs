@@ -1,0 +1,147 @@
+//! Client-scoped cancellation: group the cancel tokens of everything one
+//! client owns, so "the connection dropped" becomes one call that stops
+//! exactly that client's work — and nobody else's.
+//!
+//! A multi-client daemon runs many jobs and sessions on behalf of many
+//! connections. Each unit of work already carries its own
+//! [`CancelToken`]; [`CancelScopes`] is the registry that remembers
+//! *whose* token each one is. Registering returns a [`ScopeTicket`] the
+//! owner uses to deregister when the work settles normally, keeping a
+//! long-lived client's scope from accumulating dead tokens.
+//!
+//! The registry never executes anything: cancelling a scope only trips
+//! tokens, and the cancelled work settles through its normal path (a
+//! queued job becomes a prompt no-op, a running search stops at its next
+//! poll). That keeps the scope registry safe to call from any thread,
+//! including a connection-teardown path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use apiphany_ttn::CancelToken;
+
+/// A receipt for one registered token: pass it to
+/// [`CancelScopes::release`] when the work settles so the scope forgets
+/// the token without cancelling it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeTicket {
+    scope: u64,
+    slot: u64,
+}
+
+/// A registry of cancel tokens grouped by an owner id (a daemon uses the
+/// client/connection id). Clones share state. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct CancelScopes {
+    slots: Arc<AtomicU64>,
+    by_scope: Arc<Mutex<HashMap<u64, HashMap<u64, CancelToken>>>>,
+}
+
+impl CancelScopes {
+    /// An empty registry.
+    pub fn new() -> CancelScopes {
+        CancelScopes::default()
+    }
+
+    /// Files `token` under `scope`; the returned ticket releases it.
+    pub fn register(&self, scope: u64, token: CancelToken) -> ScopeTicket {
+        let slot = self.slots.fetch_add(1, Ordering::Relaxed);
+        self.by_scope
+            .lock()
+            .expect("scopes lock")
+            .entry(scope)
+            .or_default()
+            .insert(slot, token);
+        ScopeTicket { scope, slot }
+    }
+
+    /// Forgets one token without cancelling it (the work settled on its
+    /// own). Idempotent; releasing after [`CancelScopes::cancel_scope`]
+    /// is a no-op.
+    pub fn release(&self, ticket: ScopeTicket) {
+        let mut scopes = self.by_scope.lock().expect("scopes lock");
+        if let Some(tokens) = scopes.get_mut(&ticket.scope) {
+            tokens.remove(&ticket.slot);
+            if tokens.is_empty() {
+                scopes.remove(&ticket.scope);
+            }
+        }
+    }
+
+    /// Cancels every token registered under `scope` and empties the
+    /// scope; returns how many tokens were tripped. Work owned by other
+    /// scopes is untouched.
+    pub fn cancel_scope(&self, scope: u64) -> usize {
+        let tokens = self.by_scope.lock().expect("scopes lock").remove(&scope);
+        let Some(tokens) = tokens else {
+            return 0;
+        };
+        let n = tokens.len();
+        for token in tokens.values() {
+            token.cancel();
+        }
+        n
+    }
+
+    /// Registered tokens under `scope` (released and cancelled ones are
+    /// gone).
+    pub fn live(&self, scope: u64) -> usize {
+        self.by_scope
+            .lock()
+            .expect("scopes lock")
+            .get(&scope)
+            .map_or(0, HashMap::len)
+    }
+
+    /// Scopes with at least one registered token.
+    pub fn scopes(&self) -> usize {
+        self.by_scope.lock().expect("scopes lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_scope_trips_only_its_own_tokens() {
+        let scopes = CancelScopes::new();
+        let (a1, a2, b1) = (CancelToken::new(), CancelToken::new(), CancelToken::new());
+        scopes.register(1, a1.clone());
+        scopes.register(1, a2.clone());
+        scopes.register(2, b1.clone());
+        assert_eq!(scopes.live(1), 2);
+        assert_eq!(scopes.cancel_scope(1), 2);
+        assert!(a1.is_cancelled() && a2.is_cancelled());
+        assert!(!b1.is_cancelled(), "other scopes are untouched");
+        assert_eq!(scopes.live(1), 0);
+        assert_eq!(scopes.scopes(), 1);
+    }
+
+    #[test]
+    fn release_forgets_without_cancelling() {
+        let scopes = CancelScopes::new();
+        let settled = CancelToken::new();
+        let pending = CancelToken::new();
+        let ticket = scopes.register(7, settled.clone());
+        scopes.register(7, pending.clone());
+        scopes.release(ticket);
+        scopes.release(ticket); // idempotent
+        assert_eq!(scopes.live(7), 1);
+        assert_eq!(scopes.cancel_scope(7), 1);
+        assert!(!settled.is_cancelled(), "released tokens never get cancelled");
+        assert!(pending.is_cancelled());
+        assert_eq!(scopes.cancel_scope(7), 0, "cancelling an empty scope is a no-op");
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let scopes = CancelScopes::new();
+        let other = scopes.clone();
+        let token = CancelToken::new();
+        scopes.register(3, token.clone());
+        assert_eq!(other.cancel_scope(3), 1);
+        assert!(token.is_cancelled());
+    }
+}

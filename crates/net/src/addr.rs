@@ -1,0 +1,93 @@
+//! Listen-address syntax: `unix:<path>` and `tcp:<host>:<port>`.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Where a server listens (or a client connects): a Unix-domain socket
+/// path or a TCP host/port pair.
+///
+/// The textual form is `unix:/some/path` or `tcp:127.0.0.1:7788` — the
+/// scheme prefix is mandatory so a bare path can never be mistaken for a
+/// host name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A Unix-domain socket at this filesystem path.
+    Unix(PathBuf),
+    /// A TCP endpoint, as a `host:port` string accepted by
+    /// [`std::net::ToSocketAddrs`].
+    Tcp(String),
+}
+
+impl ListenAddr {
+    /// Parses `unix:<path>` / `tcp:<host>:<port>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown schemes, empty
+    /// paths, and TCP endpoints missing a port.
+    pub fn parse(text: &str) -> Result<ListenAddr, String> {
+        if let Some(path) = text.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix: address needs a socket path".to_string());
+            }
+            return Ok(ListenAddr::Unix(PathBuf::from(path)));
+        }
+        if let Some(endpoint) = text.strip_prefix("tcp:") {
+            // `host:port`, with the port mandatory: binding an unnamed
+            // port silently would hide the actual endpoint from the user
+            // (tests that want an ephemeral port pass `:0` explicitly).
+            match endpoint.rsplit_once(':') {
+                Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+                    Ok(ListenAddr::Tcp(endpoint.to_string()))
+                }
+                _ => Err(format!(
+                    "tcp: address must be host:port (with a numeric port), got '{endpoint}'"
+                )),
+            }
+        } else {
+            Err(format!(
+                "address '{text}' must start with 'unix:' or 'tcp:' \
+                 (e.g. unix:/run/synthd.sock, tcp:127.0.0.1:7788)"
+            ))
+        }
+    }
+}
+
+impl fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ListenAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+            ListenAddr::Tcp(endpoint) => write!(f, "tcp:{endpoint}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_displays_both_schemes() {
+        let unix = ListenAddr::parse("unix:/tmp/synthd.sock").unwrap();
+        assert_eq!(unix, ListenAddr::Unix(PathBuf::from("/tmp/synthd.sock")));
+        assert_eq!(unix.to_string(), "unix:/tmp/synthd.sock");
+        let tcp = ListenAddr::parse("tcp:127.0.0.1:0").unwrap();
+        assert_eq!(tcp, ListenAddr::Tcp("127.0.0.1:0".to_string()));
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:0");
+    }
+
+    #[test]
+    fn rejects_malformed_addresses_with_messages() {
+        for (text, needle) in [
+            ("/tmp/synthd.sock", "must start with"),
+            ("unix:", "needs a socket path"),
+            ("tcp:nohost", "host:port"),
+            ("tcp::0", "host:port"),
+            ("tcp:localhost:http", "host:port"),
+            ("udp:127.0.0.1:1", "must start with"),
+        ] {
+            let err = ListenAddr::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+}

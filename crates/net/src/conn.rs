@@ -1,0 +1,276 @@
+//! The byte transports behind a [`ListenAddr`]: TCP everywhere, Unix
+//! domain sockets on Unix.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::addr::ListenAddr;
+
+/// One accepted (or dialed) connection: a bidirectional byte stream.
+#[derive(Debug)]
+pub enum Stream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Connects to a listening server at `addr` (the client side).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error; `unix:` addresses on non-Unix
+    /// platforms return `Unsupported`.
+    pub fn connect(addr: &ListenAddr) -> io::Result<Stream> {
+        match addr {
+            ListenAddr::Tcp(endpoint) => Ok(Stream::Tcp(TcpStream::connect(endpoint)?)),
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            ListenAddr::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not available on this platform",
+            )),
+        }
+    }
+
+    /// An independently-owned handle on the same connection (so one side
+    /// can read while another writes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS duplication error.
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
+            #[cfg(unix)]
+            Stream::Unix(s) => Ok(Stream::Unix(s.try_clone()?)),
+        }
+    }
+
+    /// Shuts the connection down in both directions: a reader blocked in
+    /// `read` observes EOF promptly. Errors are ignored (the peer may
+    /// already be gone).
+    pub fn shutdown(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Bounds how long a blocking `read` may park (used by client-side
+    /// helpers that poll for frames).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, accepting socket. Accept is non-blocking ([`Listener::poll_accept`])
+/// so a serving loop can interleave accepting with drain checks; Unix
+/// listeners unlink a stale socket file on bind and remove their file on
+/// drop.
+#[derive(Debug)]
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain listener (owns its socket file).
+    #[cfg(unix)]
+    Unix {
+        /// The accepting socket.
+        listener: UnixListener,
+        /// The bound path, unlinked on drop.
+        path: PathBuf,
+    },
+}
+
+impl Listener {
+    /// Binds `addr` and switches the socket to non-blocking accepts.
+    ///
+    /// A Unix bind first unlinks an existing socket file at the path —
+    /// the common leftover of an unclean shutdown. (A *live* server on
+    /// the same path loses its listener; supervise socket paths like pid
+    /// files.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error; `unix:` on non-Unix platforms returns
+    /// `Unsupported`.
+    pub fn bind(addr: &ListenAddr) -> io::Result<Listener> {
+        match addr {
+            ListenAddr::Tcp(endpoint) => {
+                let listener = TcpListener::bind(endpoint)?;
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Tcp(listener))
+            }
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Unix { listener, path: path.clone() })
+            }
+            #[cfg(not(unix))]
+            ListenAddr::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not available on this platform",
+            )),
+        }
+    }
+
+    /// The bound address, with TCP ports resolved (`tcp:127.0.0.1:0`
+    /// binds an ephemeral port; this reports the real one).
+    pub fn local_addr(&self) -> ListenAddr {
+        match self {
+            Listener::Tcp(l) => ListenAddr::Tcp(
+                l.local_addr()
+                    .map_or_else(|_| "?:?".to_string(), |a| a.to_string()),
+            ),
+            #[cfg(unix)]
+            Listener::Unix { path, .. } => ListenAddr::Unix(path.clone()),
+        }
+    }
+
+    /// One non-blocking accept attempt: `Ok(Some(stream))` for a new
+    /// connection (switched back to blocking mode), `Ok(None)` when
+    /// nobody is waiting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal accept errors (`WouldBlock` and `Interrupted`
+    /// are the `Ok(None)` case).
+    pub fn poll_accept(&self) -> io::Result<Option<Stream>> {
+        let accepted = match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    Ok(Some(Stream::Tcp(stream)))
+                }
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            Listener::Unix { listener, .. } => match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    Ok(Some(Stream::Unix(stream)))
+                }
+                Err(e) => Err(e),
+            },
+        };
+        match accepted {
+            Ok(stream) => Ok(stream),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix { path, .. } = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_bind_accept_connect_roundtrip() {
+        let listener = Listener::bind(&ListenAddr::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+        let addr = listener.local_addr();
+        assert!(listener.poll_accept().unwrap().is_none(), "nobody connected yet");
+        let mut client = Stream::connect(&addr).unwrap();
+        let mut server = loop {
+            if let Some(s) = listener.poll_accept().unwrap() {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        client.write_all(b"ping").unwrap();
+        client.shutdown();
+        let mut got = Vec::new();
+        server.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"ping");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_listener_owns_and_cleans_its_socket_file() {
+        let path = std::env::temp_dir().join(format!("apiphany-net-test-{}.sock", std::process::id()));
+        let addr = ListenAddr::Unix(path.clone());
+        // A stale file is unlinked on bind.
+        std::fs::write(&path, b"stale").unwrap();
+        let listener = Listener::bind(&addr).unwrap();
+        let mut client = Stream::connect(&addr).unwrap();
+        let mut server = loop {
+            if let Some(s) = listener.poll_accept().unwrap() {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        client.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        drop(listener);
+        assert!(!path.exists(), "socket file removed on drop");
+    }
+}

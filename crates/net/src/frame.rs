@@ -1,0 +1,211 @@
+//! The wire framing: length-prefixed JSON messages.
+//!
+//! Every message in both directions is one frame: a 4-byte big-endian
+//! payload length followed by that many bytes of UTF-8 JSON encoding one
+//! object. Framing (not line-splitting) is what makes the transport safe
+//! for arbitrary payloads — an inline [`AnalysisArtifact`] is megabytes
+//! of JSON — and what makes per-frame decode errors *recoverable*: the
+//! prefix always tells the reader where the next frame starts, so a
+//! malformed or oversized payload costs one error reply, never the
+//! connection.
+//!
+//! Requests additionally carry a `"v"` protocol-version field (see
+//! [`PROTOCOL_VERSION`] and [`check_version`]); the server announces its
+//! version in the `hello` frame it sends on connect.
+//!
+//! [`AnalysisArtifact`]: https://docs.rs/apiphany_core
+
+use std::io::{self, Read, Write};
+
+use apiphany_json::Value;
+
+/// The frame protocol version this crate speaks. Announced by the
+/// server's `hello` frame; required (as the `"v"` field) on every
+/// request so incompatible clients fail with a structured error instead
+/// of op-level confusion.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// Default cap on one frame's payload size (16 MiB): large enough for an
+/// inline analysis artifact, small enough that a corrupt length prefix
+/// cannot make the server buffer gigabytes.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// A recoverable per-frame decode failure: the frame was skipped in
+/// full, the connection's framing is intact, and the next
+/// [`read_frame`] call reads the next frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeded the reader's cap; the payload was
+    /// drained and discarded without buffering it.
+    Oversize {
+        /// The declared payload length.
+        len: usize,
+        /// The reader's cap.
+        max: usize,
+    },
+    /// The payload was not a valid UTF-8 JSON value.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Malformed(msg) => write!(f, "frame payload is not JSON: {msg}"),
+        }
+    }
+}
+
+/// Writes `msg` as one frame.
+///
+/// # Errors
+///
+/// Returns the sink's I/O error, or `InvalidInput` when the encoded
+/// message exceeds `u32::MAX` bytes (unrepresentable in the prefix).
+pub fn write_frame(w: &mut impl Write, msg: &Value) -> io::Result<()> {
+    let payload = msg.to_json();
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32::MAX bytes")
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames), `Ok(Some(Ok(value)))` for a decoded message, and
+/// `Ok(Some(Err(error)))` for a *recoverable* per-frame failure
+/// ([`FrameError`]) — the stream is positioned at the next frame either
+/// way.
+///
+/// # Errors
+///
+/// Only connection-fatal conditions: transport I/O errors, and an
+/// end-of-stream in the middle of a frame (`UnexpectedEof`).
+pub fn read_frame(
+    r: &mut impl Read,
+    max_frame: usize,
+) -> io::Result<Option<Result<Value, FrameError>>> {
+    let mut prefix = [0u8; 4];
+    // A clean EOF is only clean at a frame boundary.
+    match r.read(&mut prefix) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut prefix[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => r.read_exact(&mut prefix)?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max_frame {
+        // Drain without buffering, so the connection survives the bad
+        // frame but an adversarial prefix cannot exhaust memory.
+        io::copy(&mut r.take(len as u64), &mut io::sink())?;
+        return Ok(Some(Err(FrameError::Oversize { len, max: max_frame })));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let decoded = String::from_utf8(payload)
+        .map_err(|e| FrameError::Malformed(format!("invalid UTF-8: {e}")))
+        .and_then(|text| {
+            apiphany_json::parse(&text).map_err(|e| FrameError::Malformed(e.to_string()))
+        });
+    Ok(Some(decoded))
+}
+
+/// Validates a request's `"v"` protocol-version field against
+/// [`PROTOCOL_VERSION`].
+///
+/// # Errors
+///
+/// Returns a human-readable message when the field is missing,
+/// non-numeric, or names a version this server does not speak.
+pub fn check_version(msg: &Value) -> Result<(), String> {
+    match msg.get("v") {
+        None => Err(format!(
+            "request is missing the 'v' protocol-version field (this server speaks v{PROTOCOL_VERSION})"
+        )),
+        Some(v) => match v.as_int() {
+            Some(n) if n == PROTOCOL_VERSION => Ok(()),
+            Some(n) => Err(format!(
+                "unsupported protocol version {n} (this server speaks v{PROTOCOL_VERSION})"
+            )),
+            None => Err("'v' must be an integer protocol version".to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn msg(tag: &str) -> Value {
+        Value::obj([("op", Value::from(tag)), ("v", Value::Int(PROTOCOL_VERSION))])
+    }
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg("a")).unwrap();
+        write_frame(&mut wire, &msg("b")).unwrap();
+        let mut r = Cursor::new(wire);
+        let a = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap().unwrap();
+        assert_eq!(a.get("op").and_then(Value::as_str), Some("a"));
+        let b = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap().unwrap();
+        assert_eq!(b.get("op").and_then(Value::as_str), Some("b"));
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversize_and_malformed_frames_are_recoverable() {
+        let mut wire = Vec::new();
+        // An oversized frame, then a malformed one, then a good one: the
+        // reader must report each error and still decode the last.
+        let big = "x".repeat(64);
+        wire.extend_from_slice(&(big.len() as u32).to_be_bytes());
+        wire.extend_from_slice(big.as_bytes());
+        let bad = b"not json";
+        wire.extend_from_slice(&(bad.len() as u32).to_be_bytes());
+        wire.extend_from_slice(bad);
+        write_frame(&mut wire, &msg("ok")).unwrap();
+        let mut r = Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut r, 32).unwrap().unwrap(),
+            Err(FrameError::Oversize { len: 64, max: 32 })
+        ));
+        assert!(matches!(
+            read_frame(&mut r, 32).unwrap().unwrap(),
+            Err(FrameError::Malformed(_))
+        ));
+        let ok = read_frame(&mut r, 32).unwrap().unwrap().unwrap();
+        assert_eq!(ok.get("op").and_then(Value::as_str), Some("ok"));
+    }
+
+    #[test]
+    fn truncated_frames_are_connection_fatal() {
+        // A prefix announcing 10 bytes followed by 3: UnexpectedEof.
+        let mut wire = 10u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(b"abc");
+        let mut r = Cursor::new(wire);
+        let err = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // A torn prefix is fatal too.
+        let mut r = Cursor::new(vec![0u8, 0]);
+        let err = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn version_check_wants_exactly_the_spoken_version() {
+        assert!(check_version(&msg("q")).is_ok());
+        let missing = Value::obj([("op", Value::from("q"))]);
+        assert!(check_version(&missing).unwrap_err().contains("missing the 'v'"));
+        let wrong = Value::obj([("v", Value::Int(99))]);
+        assert!(check_version(&wrong).unwrap_err().contains("unsupported protocol version 99"));
+        let bad = Value::obj([("v", Value::from("one"))]);
+        assert!(check_version(&bad).unwrap_err().contains("must be an integer"));
+    }
+}

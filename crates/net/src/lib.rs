@@ -1,0 +1,65 @@
+//! `apiphany_net` — the socket transport under the `synthd` daemon.
+//!
+//! This crate is the *generic* serving substrate, deliberately free of
+//! any protocol knowledge beyond "frames carry JSON objects": the
+//! synthesis daemon's ops, admission control, and drain policy live in
+//! `apiphany_server`, layered on top. What lives here:
+//!
+//! * [`ListenAddr`] — the `unix:<path>` / `tcp:<host>:<port>` address
+//!   syntax shared by the server's `--listen` flag and client dialers;
+//! * [`frame`] — length-prefixed JSON framing with a protocol-version
+//!   field, a max-frame cap, and *recoverable* per-frame decode errors
+//!   ([`FrameError`]): a malformed payload costs one error reply, never
+//!   the connection;
+//! * [`conn`] — [`Listener`]/[`Stream`] over TCP and Unix-domain
+//!   sockets, with non-blocking accepts (so a serving loop can
+//!   interleave accepting with drain checks) and socket-file hygiene;
+//! * [`NetServer`] — the multi-client connection server: accept threads
+//!   plus one reader thread per connection, all funneled into a single
+//!   [`NetEvent`] channel keyed by [`ClientId`];
+//! * [`signal`] — a SIGTERM/SIGINT latch ([`TermFlag`]) for graceful
+//!   drain, installed without a libc dependency.
+//!
+//! Everything is std-only: no async runtime, no external crates beyond
+//! the workspace's own JSON library.
+//!
+//! ## A tiny echo server
+//!
+//! ```
+//! use apiphany_json::Value;
+//! use apiphany_net::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+//! use apiphany_net::{Listener, ListenAddr, NetEvent, NetServer, Stream};
+//!
+//! let listener = Listener::bind(&ListenAddr::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+//! let addr = listener.local_addr();
+//! let server = NetServer::start(vec![listener], DEFAULT_MAX_FRAME);
+//!
+//! let mut client = Stream::connect(&addr).unwrap();
+//! write_frame(&mut client, &Value::obj([("hi", Value::Bool(true))])).unwrap();
+//!
+//! loop {
+//!     match server.try_recv() {
+//!         Some(NetEvent::Request(from, msg)) => {
+//!             server.send(from, &msg); // echo
+//!             break;
+//!         }
+//!         _ => std::thread::sleep(std::time::Duration::from_millis(1)),
+//!     }
+//! }
+//! let echoed = read_frame(&mut client, DEFAULT_MAX_FRAME).unwrap().unwrap().unwrap();
+//! assert_eq!(echoed.get("hi").and_then(Value::as_bool), Some(true));
+//! ```
+
+pub mod addr;
+pub mod conn;
+pub mod frame;
+pub mod server;
+pub mod signal;
+
+pub use addr::ListenAddr;
+pub use conn::{Listener, Stream};
+pub use frame::{
+    check_version, read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+pub use server::{ClientId, NetEvent, NetServer};
+pub use signal::{install_term_flag, TermFlag};

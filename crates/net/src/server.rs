@@ -1,0 +1,294 @@
+//! The multi-client connection server: accept threads + per-connection
+//! reader threads funneling decoded frames into one event channel.
+//!
+//! [`NetServer`] owns the accepting sockets and every live connection.
+//! The serving application drives it from a single loop:
+//!
+//! * pull [`NetEvent`]s with [`NetServer::try_recv`] — connects,
+//!   decoded request frames, recoverable per-frame decode errors, and
+//!   disconnects, each tagged with the connection's [`ClientId`];
+//! * reply with [`NetServer::send`] (frames are written by the loop
+//!   thread; a failed write counts as a disconnect);
+//! * for graceful drain, [`NetServer::stop_accepting`] closes the
+//!   listeners (new connects are refused) while existing connections
+//!   keep streaming.
+//!
+//! Per-client event order is guaranteed (`Connected` → requests/errors
+//! in wire order → `Disconnected`, exactly once); events of different
+//! clients interleave arbitrarily.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use apiphany_json::Value;
+
+use crate::conn::{Listener, Stream};
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::ListenAddr;
+
+/// The stable identity of one accepted connection, unique within its
+/// [`NetServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u64);
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "client-{}", self.0)
+    }
+}
+
+/// One notification from the connection server.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A connection was accepted (send the `hello` frame now).
+    Connected(ClientId),
+    /// One decoded request frame, in wire order.
+    Request(ClientId, Value),
+    /// A recoverable per-frame decode failure (the connection lives on;
+    /// reply with a structured error).
+    BadFrame(ClientId, FrameError),
+    /// The connection is gone (EOF, I/O error, or a failed send).
+    /// Delivered exactly once per client; cancel its work.
+    Disconnected(ClientId),
+}
+
+struct Shared {
+    writers: Mutex<HashMap<u64, Stream>>,
+    accepting: AtomicBool,
+    next_id: AtomicU64,
+    max_frame: usize,
+}
+
+/// The multi-client connection server. See the module docs.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    events: Receiver<NetEvent>,
+    accept_threads: Vec<JoinHandle<()>>,
+    addrs: Vec<ListenAddr>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addrs", &self.addrs)
+            .field("connections", &self.connections())
+            .finish()
+    }
+}
+
+impl NetServer {
+    /// Starts serving on `listeners` (at least one; unix and tcp mix
+    /// freely — every accepted connection feeds the same event channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `listeners` is empty.
+    pub fn start(listeners: Vec<Listener>, max_frame: usize) -> NetServer {
+        assert!(!listeners.is_empty(), "NetServer::start needs at least one listener");
+        let shared = Arc::new(Shared {
+            writers: Mutex::new(HashMap::new()),
+            accepting: AtomicBool::new(true),
+            next_id: AtomicU64::new(1),
+            max_frame,
+        });
+        let (tx, rx) = mpsc::channel();
+        let addrs = listeners.iter().map(Listener::local_addr).collect();
+        let accept_threads = listeners
+            .into_iter()
+            .map(|listener| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::spawn(move || accept_loop(&listener, &shared, &tx))
+            })
+            .collect();
+        NetServer { shared, events: rx, accept_threads, addrs }
+    }
+
+    /// The bound addresses (TCP ports resolved).
+    pub fn addrs(&self) -> &[ListenAddr] {
+        &self.addrs
+    }
+
+    /// Live connections.
+    pub fn connections(&self) -> usize {
+        self.shared.writers.lock().expect("writers lock").len()
+    }
+
+    /// The ids of every live connection (for broadcasts), in id order.
+    pub fn client_ids(&self) -> Vec<ClientId> {
+        let mut ids: Vec<ClientId> = self
+            .shared
+            .writers
+            .lock()
+            .expect("writers lock")
+            .keys()
+            .map(|&id| ClientId(id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The next pending [`NetEvent`], if any (non-blocking).
+    pub fn try_recv(&self) -> Option<NetEvent> {
+        self.events.try_recv().ok()
+    }
+
+    /// Writes one frame to a client. Returns `false` when the client is
+    /// gone (unknown id, or the write failed — in which case the
+    /// connection is closed and its `Disconnected` event follows).
+    pub fn send(&self, client: ClientId, msg: &Value) -> bool {
+        let mut writers = self.shared.writers.lock().expect("writers lock");
+        let Some(stream) = writers.get_mut(&client.0) else {
+            return false;
+        };
+        if let Err(_e) = write_frame(stream, msg) {
+            // A dead peer: shut the stream so the reader thread observes
+            // EOF and delivers the Disconnected event.
+            stream.shutdown();
+            writers.remove(&client.0);
+            return false;
+        }
+        true
+    }
+
+    /// Closes one client's connection (its reader delivers the
+    /// `Disconnected` event).
+    pub fn close(&self, client: ClientId) {
+        let writers = self.shared.writers.lock().expect("writers lock");
+        if let Some(stream) = writers.get(&client.0) {
+            stream.shutdown();
+        }
+    }
+
+    /// Stops accepting: the listeners close (a Unix socket file is
+    /// unlinked), new connects are refused, existing connections keep
+    /// streaming. The first step of a graceful drain.
+    pub fn stop_accepting(&mut self) {
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        for handle in self.accept_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Shuts every connection down (readers deliver their
+    /// `Disconnected` events as they exit).
+    pub fn close_all(&self) {
+        let writers = self.shared.writers.lock().expect("writers lock");
+        for stream in writers.values() {
+            stream.shutdown();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_accepting();
+        self.close_all();
+    }
+}
+
+fn accept_loop(listener: &Listener, shared: &Shared, tx: &Sender<NetEvent>) {
+    while shared.accepting.load(Ordering::SeqCst) {
+        match listener.poll_accept() {
+            Ok(Some(stream)) => {
+                let id = ClientId(shared.next_id.fetch_add(1, Ordering::Relaxed));
+                let Ok(reader) = stream.try_clone() else {
+                    // Could not split the connection; drop it silently —
+                    // the client sees a close before any hello.
+                    continue;
+                };
+                shared.writers.lock().expect("writers lock").insert(id.0, stream);
+                if tx.send(NetEvent::Connected(id)).is_err() {
+                    return; // server dropped
+                }
+                spawn_reader(id, reader, shared.max_frame, tx.clone());
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => {
+                // A fatal listener error (descriptor exhaustion, socket
+                // removed underneath us): stop accepting on this
+                // listener; live connections are unaffected.
+                return;
+            }
+        }
+    }
+}
+
+fn spawn_reader(id: ClientId, mut stream: Stream, max_frame: usize, tx: Sender<NetEvent>) {
+    std::thread::spawn(move || {
+        loop {
+            match read_frame(&mut stream, max_frame) {
+                Ok(Some(Ok(msg))) => {
+                    if tx.send(NetEvent::Request(id, msg)).is_err() {
+                        break;
+                    }
+                }
+                Ok(Some(Err(err))) => {
+                    if tx.send(NetEvent::BadFrame(id, err)).is_err() {
+                        break;
+                    }
+                }
+                // Clean EOF or torn frame / transport error: either way
+                // the connection is over.
+                Ok(None) | Err(_) => break,
+            }
+        }
+        stream.shutdown();
+        let _ = tx.send(NetEvent::Disconnected(id));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::DEFAULT_MAX_FRAME;
+
+    fn recv_event(server: &NetServer) -> NetEvent {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(event) = server.try_recv() {
+                return event;
+            }
+            assert!(std::time::Instant::now() < deadline, "no event within 5s");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn accepts_decodes_replies_and_reports_disconnect() {
+        let listener = Listener::bind(&ListenAddr::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+        let addr = listener.local_addr();
+        let mut server = NetServer::start(vec![listener], DEFAULT_MAX_FRAME);
+        let mut client = Stream::connect(&addr).unwrap();
+        let NetEvent::Connected(id) = recv_event(&server) else {
+            panic!("first event is Connected");
+        };
+        write_frame(&mut client, &Value::obj([("op", Value::from("ping"))])).unwrap();
+        let NetEvent::Request(from, msg) = recv_event(&server) else {
+            panic!("request frame");
+        };
+        assert_eq!(from, id);
+        assert_eq!(msg.get("op").and_then(Value::as_str), Some("ping"));
+        assert!(server.send(id, &Value::obj([("ok", Value::Bool(true))])));
+        let reply = read_frame(&mut client, DEFAULT_MAX_FRAME).unwrap().unwrap().unwrap();
+        assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+        // A malformed frame is reported, and the connection survives it.
+        client.write_all(&3u32.to_be_bytes()).unwrap();
+        client.write_all(b":-(").unwrap();
+        client.flush().unwrap();
+        assert!(matches!(recv_event(&server), NetEvent::BadFrame(f, FrameError::Malformed(_)) if f == id));
+        write_frame(&mut client, &Value::obj([("op", Value::from("after"))])).unwrap();
+        assert!(matches!(recv_event(&server), NetEvent::Request(f, _) if f == id));
+        client.shutdown();
+        assert!(matches!(recv_event(&server), NetEvent::Disconnected(f) if f == id));
+        assert!(!server.send(id, &Value::Null), "sends to a gone client fail");
+        server.stop_accepting();
+        assert!(Stream::connect(&addr).is_err(), "listener closed after stop_accepting");
+    }
+
+    use std::io::Write as _;
+}

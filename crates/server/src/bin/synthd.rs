@@ -1,48 +1,138 @@
-//! The `synthd` binary: the JSON-lines serving daemon over stdin/stdout.
+//! The `synthd` binary: the serving daemon, over stdin/stdout or sockets.
 //!
 //! ```sh
+//! # stdio (the default): one JSON object per line, both directions.
 //! cargo run --release --bin synthd -- --slots 4 --cache-dir .synthd-cache
+//!
+//! # sockets: length-prefixed JSON frames, many concurrent clients.
+//! cargo run --release --bin synthd -- --listen unix:/tmp/synthd.sock
 //! ```
 //!
 //! See the `apiphany_server` crate docs for the protocol.
 
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use apiphany_server::{run_daemon, DaemonOptions};
+use apiphany_net::{install_term_flag, ListenAddr, Listener, NetServer, DEFAULT_MAX_FRAME};
+use apiphany_server::{run_daemon, run_net_daemon, NetOptions};
 
 fn main() -> ExitCode {
-    let mut opts = DaemonOptions::default();
+    let mut opts = NetOptions::default();
+    let mut listen: Vec<ListenAddr> = Vec::new();
+    let mut stdio = false;
+    let mut max_frame = DEFAULT_MAX_FRAME;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--slots" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
                 Some(n) if n > 0 => {
-                    opts.slots = n;
+                    opts.daemon.slots = n;
                     i += 1;
                 }
                 _ => return usage("--slots needs a positive count"),
             },
             "--cache-dir" => match args.get(i + 1) {
                 Some(dir) => {
-                    opts.cache_dir = Some(dir.into());
+                    opts.daemon.cache_dir = Some(dir.into());
                     i += 1;
                 }
                 None => return usage("--cache-dir needs a path"),
+            },
+            "--listen" => match args.get(i + 1).map(|s| ListenAddr::parse(s)) {
+                Some(Ok(addr)) => {
+                    listen.push(addr);
+                    i += 1;
+                }
+                Some(Err(message)) => return usage(&message),
+                None => return usage("--listen needs unix:<path> or tcp:<host>:<port>"),
+            },
+            "--stdio" => stdio = true,
+            "--max-frame" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => {
+                    max_frame = n;
+                    i += 1;
+                }
+                _ => return usage("--max-frame needs a positive byte count"),
+            },
+            "--max-client-live" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => {
+                    opts.max_client_live = n;
+                    i += 1;
+                }
+                _ => return usage("--max-client-live needs a positive count"),
+            },
+            "--max-client-waiting" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => {
+                    opts.max_client_waiting = n;
+                    i += 1;
+                }
+                _ => return usage("--max-client-waiting needs a positive count"),
+            },
+            "--high-water" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => {
+                    opts.search_high_water = n;
+                    i += 1;
+                }
+                _ => return usage("--high-water needs a positive count"),
+            },
+            "--drain-secs" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => {
+                    opts.drain_grace = Duration::from_secs(n);
+                    i += 1;
+                }
+                _ => return usage("--drain-secs needs a number of seconds"),
             },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument '{other}'")),
         }
         i += 1;
     }
-    let stdin = BufReader::new(std::io::stdin());
-    let mut stdout = std::io::stdout().lock();
-    match run_daemon(stdin, &mut stdout, &opts) {
+    if stdio && !listen.is_empty() {
+        return usage("--stdio and --listen are mutually exclusive");
+    }
+
+    if listen.is_empty() {
+        let stdin = BufReader::new(std::io::stdin());
+        let mut stdout = std::io::stdout().lock();
+        return match run_daemon(stdin, &mut stdout, &opts.daemon) {
+            Ok(summary) => {
+                eprintln!(
+                    "synthd: served {} requests, streamed {} events",
+                    summary.requests, summary.events
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("synthd: i/o error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Socket mode: bind every listener before serving so a bad address
+    // fails fast, then drain gracefully on SIGTERM/SIGINT or `shutdown`.
+    let term = install_term_flag();
+    let mut listeners = Vec::with_capacity(listen.len());
+    for addr in &listen {
+        match Listener::bind(addr) {
+            Ok(listener) => {
+                eprintln!("synthd: listening on {}", listener.local_addr());
+                listeners.push(listener);
+            }
+            Err(e) => {
+                eprintln!("synthd: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let server = NetServer::start(listeners, max_frame);
+    match run_net_daemon(server, &opts, &term) {
         Ok(summary) => {
             eprintln!(
-                "synthd: served {} requests, streamed {} events",
-                summary.requests, summary.events
+                "synthd: served {} clients, {} requests, {} events, shed {}",
+                summary.clients, summary.daemon.requests, summary.daemon.events, summary.shed
             );
             ExitCode::SUCCESS
         }
@@ -58,11 +148,17 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("synthd: {error}");
     }
     eprintln!(
-        "usage: synthd [--slots N] [--cache-dir PATH]\n\
-         Speaks the JSON-lines protocol on stdin/stdout: register (with\n\
-         optional prewarm), query, cancel, list, inspect, evict, status,\n\
-         shutdown. See the apiphany_server crate docs (README \"Serving\"\n\
-         section) for the ops and the analysis_* event stream."
+        "usage: synthd [--slots N] [--cache-dir PATH] [--stdio]\n\
+         \x20             [--listen unix:<path>|tcp:<host>:<port>]...\n\
+         \x20             [--max-frame BYTES] [--max-client-live N]\n\
+         \x20             [--max-client-waiting N] [--high-water N] [--drain-secs S]\n\
+         Default mode speaks the JSON-lines protocol on stdin/stdout:\n\
+         register (with optional prewarm), query, cancel, list, inspect,\n\
+         evict, status, shutdown. With --listen (repeatable), serves the\n\
+         same ops to many concurrent clients over length-prefixed JSON\n\
+         frames, with per-client quotas and a graceful drain on SIGTERM.\n\
+         See the apiphany_server crate docs (README \"Serving\" and\n\
+         \"Network serving\" sections) for the ops and event streams."
     );
     if error.is_empty() {
         ExitCode::SUCCESS

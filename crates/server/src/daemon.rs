@@ -1,7 +1,7 @@
-//! The daemon loop: one thread reading request lines, a shared
-//! [`JobRuntime`] executing every unit of work — synthesis sessions as
-//! `Search` jobs, analyze-once phases as `Analysis` jobs — and the main
-//! loop interleaving request handling with round-robin event pumping.
+//! The daemon core: client-keyed serving state over one shared
+//! [`JobRuntime`](apiphany_core::JobRuntime) — synthesis sessions as
+//! `Search` jobs, analyze-once phases as `Analysis` jobs — plus the
+//! stdio front end ([`run_daemon`]) that drives it for a single client.
 //!
 //! **No analysis (and no other blocking work) ever runs on the loop
 //! thread.** A cold service's first query enqueues behind that service's
@@ -9,25 +9,33 @@
 //! session (on the settling worker, before the pool picks its next job),
 //! so warm queries keep streaming — by construction, not by luck — while
 //! a large service mines. The loop observes analysis jobs and reports
-//! their transitions to the client as `analysis_started` /
-//! `analysis_ready` / `analysis_failed` events.
+//! their transitions as `analysis_started` / `analysis_ready` /
+//! `analysis_failed` events.
+//!
+//! Every piece of per-query state is keyed by [`QKey`] — a client id
+//! plus the client's own query id — so many connections can serve
+//! overlapping id namespaces from one daemon, and a dropped connection
+//! cancels exactly its own work ([`Daemon::drop_client`], backed by the
+//! core's [`CancelScopes`]). The stdio front end is the one-client
+//! special case (client 0); the socket front end in [`crate::netd`]
+//! drives the same core for many.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
-use std::sync::mpsc::{self, TryRecvError};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::time::Duration;
 
 use apiphany_core::{
-    CatalogSubmission, Engine, EngineError, Event, Job, JobState, Multiplexer, Scheduler,
-    ServiceCatalog, ServiceLookup, Session,
+    CancelScopes, CatalogSubmission, Engine, EngineError, Event, Job, JobState, Multiplexer,
+    Scheduler, ScopeTicket, ServiceCatalog, ServiceLookup, Session,
 };
 use apiphany_json::Value;
 
 use crate::proto::{
     analysis_failed_value, analysis_ready_value, analysis_started_value, cancelled_finished_value,
-    error_event, error_response, event_value, job_value, lint_fields, ok_response,
-    service_info_value, Request, RegisterSource,
+    coded_error_response, error_event, error_response, event_value, job_value, lint_fields,
+    ok_response, service_info_value, Request, RegisterSource, CODE_PARSE_ERROR,
 };
 
 /// Configuration of one daemon run.
@@ -50,38 +58,97 @@ impl Default for DaemonOptions {
 /// What a finished daemon run processed (returned for tests and logs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DaemonSummary {
-    /// Request lines handled (including malformed ones).
+    /// Request lines/frames handled (including malformed ones).
     pub requests: usize,
     /// Session and analysis events streamed out.
     pub events: usize,
 }
 
-/// An analysis job the loop reports transitions for.
+/// The identity of one in-flight query: which connection asked, and the
+/// id that connection chose. Clients own independent id namespaces — two
+/// connections can both run a query called `q1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct QKey {
+    pub(crate) client: u64,
+    pub(crate) id: String,
+}
+
+impl QKey {
+    pub(crate) fn new(client: u64, id: impl Into<String>) -> QKey {
+        QKey { client, id: id.into() }
+    }
+}
+
+/// Where protocol lines go: the stdio loop writes every client-0 line to
+/// its one output; the socket loop routes each line to its client's
+/// connection (and drops lines addressed to a client that is gone).
+pub(crate) trait Sink {
+    /// Writes one protocol line for `client`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error only for conditions fatal to the
+    /// whole serving loop (stdio output gone); a single client's dead
+    /// connection is not one.
+    fn emit(&mut self, client: u64, value: &Value) -> std::io::Result<()>;
+}
+
+/// The stdio sink: one output stream, one implicit client.
+pub(crate) struct LineSink<'a, W: Write>(pub(crate) &'a mut W);
+
+impl<W: Write> Sink for LineSink<'_, W> {
+    fn emit(&mut self, _client: u64, value: &Value) -> std::io::Result<()> {
+        write_line(self.0, value)
+    }
+}
+
+/// An analysis job the loop reports transitions for, with the clients
+/// subscribed to its lifecycle events.
 struct Watch {
     service: String,
     job: Job<Engine>,
     last: JobState,
+    subscribers: Vec<u64>,
 }
 
-/// Everything the daemon loop owns. The catalog and the scheduler share
-/// one [`JobRuntime`](apiphany_core::JobRuntime), so analysis and search
-/// schedule through the same two-lane pool.
-struct Daemon {
+/// Per-client occupancy: how much of the daemon a client is using (the
+/// admission-control input, and the `status` reply's `clients` block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct Occupancy {
+    /// Live (session-backed) queries.
+    pub(crate) live: usize,
+    /// Queries still queued behind their service's analysis.
+    pub(crate) waiting: usize,
+}
+
+/// The daemon core: the catalog and the scheduler share one
+/// [`JobRuntime`](apiphany_core::JobRuntime), so analysis and search
+/// schedule through the same two-lane pool; every per-query map is keyed
+/// by [`QKey`].
+pub(crate) struct Daemon {
     catalog: ServiceCatalog,
     scheduler: Scheduler,
-    mux: Multiplexer<String>,
-    /// Reporting caps of *live* (session-backed) queries, keyed by id;
-    /// together with `pending` this is the in-use id set.
-    top_k: HashMap<String, Option<usize>>,
+    mux: Multiplexer<QKey>,
+    /// Reporting caps of *live* (session-backed) queries; together with
+    /// `pending` this is the in-use key set.
+    top_k: HashMap<QKey, Option<usize>>,
     /// Queries queued behind their service's analysis job (value = the
     /// spec's reporting cap, installed once the session arrives).
-    pending: HashMap<String, Option<usize>>,
-    /// Analysis jobs being reported to the client.
+    pending: HashMap<QKey, Option<usize>>,
+    /// Analysis jobs being reported to clients.
     watchers: Vec<Watch>,
+    /// Client-scoped cancellation: every live session's token, filed
+    /// under its client id, so a dropped connection cancels exactly that
+    /// client's work.
+    scopes: CancelScopes,
+    tickets: HashMap<QKey, ScopeTicket>,
     /// Hands sessions from analysis-job continuations to the loop.
-    done_tx: mpsc::Sender<(String, Result<Session, EngineError>)>,
-    summary: DaemonSummary,
+    done_tx: Sender<(QKey, Result<Session, EngineError>)>,
+    pub(crate) summary: DaemonSummary,
 }
+
+/// What an analysis-job continuation delivers back to the loop.
+pub(crate) type Delivery = (QKey, Result<Session, EngineError>);
 
 /// Runs the daemon over a request stream and a response sink until the
 /// input is exhausted (or a `shutdown` request arrives) *and* every open
@@ -96,6 +163,10 @@ struct Daemon {
 /// query id receives exactly one terminal line: a `finished` event, an
 /// `error` event, or (for a query cancelled while still queued behind an
 /// analysis) an empty cancelled `finished`.
+///
+/// A line that is not valid JSON (including invalid UTF-8 bytes) costs a
+/// structured `parse_error` response, never the loop: the reader
+/// re-synchronizes at the next newline.
 ///
 /// `shutdown` cancels queued jobs promptly, drains running ones, and
 /// emits terminal events for every in-flight id before the loop exits.
@@ -113,34 +184,28 @@ where
     R: BufRead + Send + 'static,
     W: Write,
 {
-    let scheduler = Scheduler::new(opts.slots);
-    let catalog = {
-        let mut catalog = ServiceCatalog::new().with_runtime(scheduler.runtime().clone());
-        if let Some(dir) = &opts.cache_dir {
-            catalog = catalog.with_cache_dir(dir);
-        }
-        catalog
-    };
-    let (done_tx, done_rx) = mpsc::channel::<(String, Result<Session, EngineError>)>();
-    let mut daemon = Daemon {
-        catalog,
-        scheduler,
-        mux: Multiplexer::new(),
-        top_k: HashMap::new(),
-        pending: HashMap::new(),
-        watchers: Vec::new(),
-        done_tx,
-        summary: DaemonSummary { requests: 0, events: 0 },
-    };
+    const CLIENT: u64 = 0;
+    let (mut daemon, done_rx) = Daemon::new(opts);
+    let mut sink = LineSink(output);
 
     // The reader thread turns the blocking input into a pollable channel,
-    // so one slow/absent request line never stalls event pumping.
+    // so one slow/absent request line never stalls event pumping. It
+    // reads raw bytes per line: a line of invalid UTF-8 must reach the
+    // parser (to earn its parse_error reply), not kill the reader.
     let (req_tx, req_rx) = mpsc::channel::<String>();
     let reader = std::thread::spawn(move || {
-        for line in input.lines() {
-            let Ok(line) = line else { break };
-            if req_tx.send(line).is_err() {
-                break;
+        let mut input = input;
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            match input.read_until(b'\n', &mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    let line = String::from_utf8_lossy(&buf).trim_end().to_string();
+                    if req_tx.send(line).is_err() {
+                        break;
+                    }
+                }
             }
         }
     });
@@ -158,16 +223,25 @@ where
                         daemon.summary.requests += 1;
                         let responses = match Request::parse(&line) {
                             Err(message) => {
-                                vec![error_response(None, None, &message)]
+                                vec![coded_error_response(
+                                    None,
+                                    None,
+                                    CODE_PARSE_ERROR,
+                                    &message,
+                                )]
                             }
                             Ok(Request::Shutdown) => {
                                 closing = true;
-                                daemon.shutdown()
+                                let mut lines = vec![ok_response("shutdown", [])];
+                                lines.extend(
+                                    daemon.cancel_all().into_iter().map(|(_, v)| v),
+                                );
+                                lines
                             }
-                            Ok(request) => daemon.handle(request),
+                            Ok(request) => daemon.handle(CLIENT, request),
                         };
                         for response in responses {
-                            write_line(output, &response)?;
+                            sink.emit(CLIENT, &response)?;
                         }
                     }
                 }
@@ -176,19 +250,15 @@ where
             }
         }
         // Sessions delivered by analysis-job continuations.
-        if let Ok((id, submitted)) = done_rx.try_recv() {
+        if let Ok((key, submitted)) = done_rx.try_recv() {
             progressed = true;
-            daemon.install_submission(output, id, submitted)?;
+            daemon.install_submission(&mut sink, key, submitted)?;
         }
         // Analysis job transitions → analysis_* events.
-        progressed |= daemon.pump_watchers(output)?;
+        progressed |= daemon.pump_watchers(&mut sink)?;
         // Session events, round-robin across live queries.
-        progressed |= daemon.pump_sessions(output)?;
-        if closing
-            && daemon.mux.is_empty()
-            && daemon.pending.is_empty()
-            && daemon.watchers.is_empty()
-        {
+        progressed |= daemon.pump_sessions(&mut sink)?;
+        if closing && daemon.is_idle() {
             break;
         }
         if !progressed {
@@ -203,16 +273,64 @@ where
     // input left open) is detached: it exits on the next line or EOF,
     // and its send fails harmlessly. Joining it here would hang the
     // documented `shutdown` op until the client closed its pipe.
-    output.flush()?;
+    sink.0.flush()?;
     Ok(daemon.summary)
 }
 
 impl Daemon {
-    /// Handles one well-formed, non-shutdown request, returning the
-    /// response lines to write. Nothing here blocks: cold-service queries
-    /// are chained onto their analysis job, registrations with `prewarm`
-    /// start the job and return.
-    fn handle(&mut self, request: Request) -> Vec<Value> {
+    /// A fresh daemon core plus the receiving end of its analysis-job
+    /// continuation channel (the serving loop polls it).
+    pub(crate) fn new(opts: &DaemonOptions) -> (Daemon, Receiver<Delivery>) {
+        let scheduler = Scheduler::new(opts.slots);
+        let catalog = {
+            let mut catalog = ServiceCatalog::new().with_runtime(scheduler.runtime().clone());
+            if let Some(dir) = &opts.cache_dir {
+                catalog = catalog.with_cache_dir(dir);
+            }
+            catalog
+        };
+        let (done_tx, done_rx) = mpsc::channel::<Delivery>();
+        let daemon = Daemon {
+            catalog,
+            scheduler,
+            mux: Multiplexer::new(),
+            top_k: HashMap::new(),
+            pending: HashMap::new(),
+            watchers: Vec::new(),
+            scopes: CancelScopes::new(),
+            tickets: HashMap::new(),
+            done_tx,
+            summary: DaemonSummary { requests: 0, events: 0 },
+        };
+        (daemon, done_rx)
+    }
+
+    /// Whether every stream has drained: no live sessions, no queries
+    /// waiting on analysis, no watched analysis jobs. The exit condition
+    /// of every serving loop.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.mux.is_empty() && self.pending.is_empty() && self.watchers.is_empty()
+    }
+
+    /// The global queued-search backlog (the socket loop's high-water
+    /// admission input).
+    pub(crate) fn queued_search(&self) -> usize {
+        self.scheduler.runtime().stats().queued_search
+    }
+
+    /// How much of the daemon one client is using.
+    pub(crate) fn occupancy(&self, client: u64) -> Occupancy {
+        Occupancy {
+            live: self.top_k.keys().filter(|k| k.client == client).count(),
+            waiting: self.pending.keys().filter(|k| k.client == client).count(),
+        }
+    }
+
+    /// Handles one well-formed, non-shutdown request from `client`,
+    /// returning the response lines to write to that client. Nothing here
+    /// blocks: cold-service queries are chained onto their analysis job,
+    /// registrations with `prewarm` start the job and return.
+    pub(crate) fn handle(&mut self, client: u64, request: Request) -> Vec<Value> {
         let op = request.op();
         match request {
             Request::Register { service, source, prewarm } => {
@@ -262,7 +380,7 @@ impl Daemon {
                                         "job",
                                         job_value(job.id(), job.kind(), &job.state()),
                                     ));
-                                    self.watch(&service, job);
+                                    self.watch(client, &service, job);
                                 }
                             }
                         }
@@ -273,7 +391,8 @@ impl Daemon {
                 }
             }
             Request::Query { id, spec } => {
-                if self.top_k.contains_key(&id) || self.pending.contains_key(&id) {
+                let key = QKey::new(client, id.clone());
+                if self.top_k.contains_key(&key) || self.pending.contains_key(&key) {
                     return vec![error_response(
                         Some(op),
                         Some(&id),
@@ -281,25 +400,23 @@ impl Daemon {
                     )];
                 }
                 let done_tx = self.done_tx.clone();
-                let deliver_id = id.clone();
+                let deliver_key = key.clone();
                 let submission = self.scheduler.submit_catalog_async(
                     &self.catalog,
                     &spec,
                     move |result| {
-                        let _ = done_tx.send((deliver_id, result));
+                        let _ = done_tx.send((deliver_key, result));
                     },
                 );
                 match submission {
                     Err(e) => vec![error_response(Some(op), Some(&id), &e.to_string())],
                     Ok(CatalogSubmission::Started(session)) => {
-                        self.top_k.insert(id.clone(), spec.top_k);
-                        let ack =
-                            ok_response(op, [("id", Value::from(id.as_str()))]);
-                        self.mux.push(id, session);
+                        let ack = ok_response(op, [("id", Value::from(id.as_str()))]);
+                        self.install_session(key, spec.top_k, session);
                         vec![ack]
                     }
                     Ok(CatalogSubmission::Pending(job)) => {
-                        self.pending.insert(id.clone(), spec.top_k);
+                        self.pending.insert(key, spec.top_k);
                         let service = job.label().to_string();
                         let ack = ok_response(
                             op,
@@ -308,21 +425,22 @@ impl Daemon {
                                 ("analysis", Value::from(service.as_str())),
                             ],
                         );
-                        self.watch(&service, job);
+                        self.watch(client, &service, job);
                         vec![ack]
                     }
                 }
             }
             Request::Cancel { id } => {
+                let key = QKey::new(client, id.clone());
                 let mut found = false;
                 self.mux.for_each_session(|tag, session| {
-                    if *tag == id {
+                    if *tag == key {
                         session.cancel();
                         found = true;
                     }
                 });
                 let mut lines = Vec::new();
-                if self.pending.remove(&id).is_some() {
+                if self.pending.remove(&key).is_some() {
                     // Still queued behind an analysis: terminate promptly
                     // with an empty cancelled finish; the continuation's
                     // late delivery is discarded on arrival.
@@ -376,7 +494,7 @@ impl Daemon {
                             ("job", job_value(job.id(), job.kind(), &job.state())),
                         ],
                     );
-                    self.watch(&service, job);
+                    self.watch(client, &service, job);
                     vec![ack]
                 }
             },
@@ -390,15 +508,18 @@ impl Daemon {
                     ],
                 )]
             }
-            Request::Status => vec![self.status()],
-            Request::Shutdown => unreachable!("handled by the main loop"),
+            Request::Status => vec![self.status(client)],
+            Request::Shutdown => unreachable!("handled by the serving loop"),
         }
     }
 
-    /// The `status` reply: runtime occupancy, per-service state (with any
-    /// live analysis job), and every in-flight query id with its state.
-    fn status(&self) -> Value {
+    /// The `status` reply for `client`: runtime occupancy with a
+    /// per-lane breakdown, per-service state (with any live analysis
+    /// job), the *requesting client's* in-flight query ids with their
+    /// states, and every client's occupancy.
+    fn status(&self, client: u64) -> Value {
         let stats = self.scheduler.runtime().stats();
+        let search_running = stats.running - stats.analysis_running;
         let runtime = Value::obj([
             ("slots", Value::Int(stats.slots as i64)),
             ("queued_search", Value::Int(stats.queued_search as i64)),
@@ -406,10 +527,31 @@ impl Daemon {
             ("running", Value::Int(stats.running as i64)),
             ("analysis_running", Value::Int(stats.analysis_running as i64)),
         ]);
+        let lanes = Value::obj([
+            (
+                "search",
+                Value::obj([
+                    ("queued", Value::Int(stats.queued_search as i64)),
+                    ("running", Value::Int(search_running as i64)),
+                    ("cap", Value::Int(stats.slots as i64)),
+                ]),
+            ),
+            (
+                "analysis",
+                Value::obj([
+                    ("queued", Value::Int(stats.queued_analysis as i64)),
+                    ("running", Value::Int(stats.analysis_running as i64)),
+                    ("cap", Value::Int(stats.analysis_cap as i64)),
+                ]),
+            ),
+        ]);
         let services: Vec<Value> =
             self.catalog.list().iter().map(service_info_value).collect();
         let mut queries: Vec<(String, Value)> = Vec::new();
         self.mux.for_each_session(|tag, session| {
+            if tag.client != client {
+                return;
+            }
             let state = session
                 .job_state()
                 .map_or("running", |s| match s {
@@ -419,61 +561,102 @@ impl Daemon {
                     _ => "draining",
                 });
             queries.push((
-                tag.clone(),
+                tag.id.clone(),
                 Value::obj([
-                    ("id", Value::from(tag.as_str())),
+                    ("id", Value::from(tag.id.as_str())),
                     ("state", Value::from(state)),
                 ]),
             ));
         });
-        for id in self.pending.keys() {
+        for key in self.pending.keys().filter(|k| k.client == client) {
             queries.push((
-                id.clone(),
+                key.id.clone(),
                 Value::obj([
-                    ("id", Value::from(id.as_str())),
+                    ("id", Value::from(key.id.as_str())),
                     ("state", Value::from("waiting_analysis")),
                 ]),
             ));
         }
         queries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut by_client: HashMap<u64, Occupancy> = HashMap::new();
+        for key in self.top_k.keys() {
+            by_client.entry(key.client).or_default().live += 1;
+        }
+        for key in self.pending.keys() {
+            by_client.entry(key.client).or_default().waiting += 1;
+        }
+        let mut clients: Vec<(u64, Occupancy)> = by_client.into_iter().collect();
+        clients.sort_unstable_by_key(|(id, _)| *id);
+        let clients: Vec<Value> = clients
+            .into_iter()
+            .map(|(id, occ)| {
+                Value::obj([
+                    ("client", Value::Int(id as i64)),
+                    ("live", Value::Int(occ.live as i64)),
+                    ("waiting", Value::Int(occ.waiting as i64)),
+                ])
+            })
+            .collect();
         ok_response(
             "status",
             [
                 ("runtime", runtime),
+                ("lanes", lanes),
                 ("services", Value::Array(services)),
                 (
                     "queries",
                     Value::Array(queries.into_iter().map(|(_, v)| v).collect()),
                 ),
+                ("clients", Value::Array(clients)),
             ],
         )
     }
 
-    /// Starts reporting an analysis job (deduplicated by job id — many
-    /// queries can queue behind one job).
-    fn watch(&mut self, service: &str, job: Job<Engine>) {
-        if self.watchers.iter().any(|w| w.job.id() == job.id()) {
+    /// Starts reporting an analysis job to `client` (deduplicated by job
+    /// id — many queries, and many clients, can queue behind one job).
+    fn watch(&mut self, client: u64, service: &str, job: Job<Engine>) {
+        if let Some(watch) = self.watchers.iter_mut().find(|w| w.job.id() == job.id()) {
+            if !watch.subscribers.contains(&client) {
+                watch.subscribers.push(client);
+            }
             return;
         }
         self.watchers.push(Watch {
             service: service.to_string(),
             job,
             last: JobState::Queued,
+            subscribers: vec![client],
         });
+    }
+
+    /// Installs a live session under `key`: registers its cancel token in
+    /// the client's cancellation scope and starts pumping its events.
+    fn install_session(&mut self, key: QKey, cap: Option<usize>, session: Session) {
+        let ticket = self.scopes.register(key.client, session.cancel_token());
+        self.tickets.insert(key.clone(), ticket);
+        self.top_k.insert(key.clone(), cap);
+        self.mux.push(key, session);
+    }
+
+    /// Forgets a settled query's client-scope registration.
+    fn release_ticket(&mut self, key: &QKey) {
+        if let Some(ticket) = self.tickets.remove(key) {
+            self.scopes.release(ticket);
+        }
     }
 
     /// A session (or submission error) delivered by an analysis-job
     /// continuation: install it, or report the terminal error. Deliveries
-    /// for ids cancelled in the meantime are discarded.
-    fn install_submission(
+    /// for keys cancelled in the meantime are discarded.
+    pub(crate) fn install_submission(
         &mut self,
-        output: &mut impl Write,
-        id: String,
+        sink: &mut impl Sink,
+        key: QKey,
         submitted: Result<Session, EngineError>,
     ) -> std::io::Result<()> {
-        let Some(cap) = self.pending.remove(&id) else {
-            // Cancelled (or shut down) while waiting: the terminal event
-            // was already written; reap the unwanted session.
+        let Some(cap) = self.pending.remove(&key) else {
+            // Cancelled (or shut down / disconnected) while waiting: the
+            // terminal event was already handled; reap the session.
             if let Ok(session) = submitted {
                 session.cancel();
             }
@@ -482,21 +665,20 @@ impl Daemon {
         match submitted {
             Err(e) => {
                 self.summary.events += 1;
-                write_line(output, &error_event(&id, &e.to_string()))
+                sink.emit(key.client, &error_event(&key.id, &e.to_string()))
             }
             Ok(session) => {
-                self.top_k.insert(id.clone(), cap);
-                self.mux.push(id, session);
+                self.install_session(key, cap, session);
                 Ok(())
             }
         }
     }
 
-    /// Reports analysis-job transitions as `analysis_*` events; settles
-    /// and drops watchers whose job reached a terminal state. Returns
-    /// whether anything was written.
-    fn pump_watchers(&mut self, output: &mut impl Write) -> std::io::Result<bool> {
-        let mut lines: Vec<Value> = Vec::new();
+    /// Reports analysis-job transitions as `analysis_*` events to every
+    /// subscribed client; settles and drops watchers whose job reached a
+    /// terminal state. Returns whether anything was written.
+    pub(crate) fn pump_watchers(&mut self, sink: &mut impl Sink) -> std::io::Result<bool> {
+        let mut lines: Vec<(Vec<u64>, Value)> = Vec::new();
         let Daemon { watchers, catalog, .. } = self;
         watchers.retain_mut(|w| {
             let state = w.job.state();
@@ -504,7 +686,10 @@ impl Daemon {
                 return true;
             }
             if state == JobState::Running {
-                lines.push(analysis_started_value(&w.service, w.job.id()));
+                lines.push((
+                    w.subscribers.clone(),
+                    analysis_started_value(&w.service, w.job.id()),
+                ));
                 w.last = state;
                 return true;
             }
@@ -512,21 +697,29 @@ impl Daemon {
             // the loop seeing it start; emit the start first so clients
             // always see a consistent pair.
             if w.last == JobState::Queued && !matches!(state, JobState::Cancelled) {
-                lines.push(analysis_started_value(&w.service, w.job.id()));
+                lines.push((
+                    w.subscribers.clone(),
+                    analysis_started_value(&w.service, w.job.id()),
+                ));
             }
             match &state {
                 JobState::Done => {
                     let info = catalog.inspect(&w.service);
-                    lines.push(analysis_ready_value(&w.service, w.job.id(), info.as_ref()));
+                    lines.push((
+                        w.subscribers.clone(),
+                        analysis_ready_value(&w.service, w.job.id(), info.as_ref()),
+                    ));
                 }
                 JobState::Failed(msg) => {
-                    lines.push(analysis_failed_value(&w.service, w.job.id(), msg));
+                    lines.push((
+                        w.subscribers.clone(),
+                        analysis_failed_value(&w.service, w.job.id(), msg),
+                    ));
                 }
                 JobState::Cancelled => {
-                    lines.push(analysis_failed_value(
-                        &w.service,
-                        w.job.id(),
-                        "analysis cancelled",
+                    lines.push((
+                        w.subscribers.clone(),
+                        analysis_failed_value(&w.service, w.job.id(), "analysis cancelled"),
                     ));
                 }
                 JobState::Queued | JobState::Running => unreachable!("terminal state"),
@@ -534,9 +727,11 @@ impl Daemon {
             false
         });
         let progressed = !lines.is_empty();
-        for line in lines {
+        for (subscribers, line) in lines {
             self.summary.events += 1;
-            write_line(output, &line)?;
+            for client in subscribers {
+                sink.emit(client, &line)?;
+            }
         }
         Ok(progressed)
     }
@@ -544,13 +739,14 @@ impl Daemon {
     /// One round-robin sweep over live sessions; also closes out queries
     /// whose worker died without a `Finished` event. Returns whether
     /// anything was written.
-    fn pump_sessions(&mut self, output: &mut impl Write) -> std::io::Result<bool> {
-        if let Some((id, event)) = self.mux.poll() {
+    pub(crate) fn pump_sessions(&mut self, sink: &mut impl Sink) -> std::io::Result<bool> {
+        if let Some((key, event)) = self.mux.poll() {
             self.summary.events += 1;
-            let cap = self.top_k.get(&id).copied().flatten();
-            write_line(output, &event_value(&id, &event, cap))?;
+            let cap = self.top_k.get(&key).copied().flatten();
+            sink.emit(key.client, &event_value(&key.id, &event, cap))?;
             if matches!(event, Event::Finished(_)) {
-                self.top_k.remove(&id);
+                self.top_k.remove(&key);
+                self.release_ticket(&key);
             }
             return Ok(true);
         }
@@ -558,18 +754,19 @@ impl Daemon {
             // A session died without a Finished event (worker panic) and
             // the multiplexer pruned it: close the query out with a
             // terminal error event so the client stops waiting and the
-            // id frees up.
-            let mut live: Vec<String> = Vec::new();
+            // key frees up.
+            let mut live: Vec<QKey> = Vec::new();
             self.mux.for_each_session(|tag, _| live.push(tag.clone()));
-            let dead: Vec<String> =
-                self.top_k.keys().filter(|id| !live.contains(id)).cloned().collect();
+            let dead: Vec<QKey> =
+                self.top_k.keys().filter(|key| !live.contains(key)).cloned().collect();
             let progressed = !dead.is_empty();
-            for id in dead {
+            for key in dead {
                 self.summary.events += 1;
-                self.top_k.remove(&id);
-                write_line(
-                    output,
-                    &error_event(&id, "session worker terminated unexpectedly"),
+                self.top_k.remove(&key);
+                self.release_ticket(&key);
+                sink.emit(
+                    key.client,
+                    &error_event(&key.id, "session worker terminated unexpectedly"),
                 )?;
             }
             return Ok(progressed);
@@ -577,29 +774,52 @@ impl Daemon {
         Ok(false)
     }
 
-    /// `shutdown`: cancel every running session and every watched
-    /// analysis job (queued ones settle as prompt no-ops), and terminate
-    /// every analysis-queued query with an empty cancelled finish. The
-    /// loop then drains: running sessions stream out their cancelled
-    /// `Finished`, running analyses complete and report, and the process
-    /// exits only when every in-flight id has had its terminal event.
-    fn shutdown(&mut self) -> Vec<Value> {
+    /// Cancels everything: every running session, every watched analysis
+    /// job (queued ones settle as prompt no-ops), and every
+    /// analysis-queued query — the latter terminate immediately with the
+    /// returned client-tagged empty cancelled finishes. The loop then
+    /// drains: running sessions stream out their cancelled `Finished`,
+    /// running analyses complete and report, and the process exits only
+    /// when every in-flight key has had its terminal event.
+    pub(crate) fn cancel_all(&mut self) -> Vec<(u64, Value)> {
         self.mux.for_each_session(|_, session| session.cancel());
         for w in &self.watchers {
             w.job.cancel();
         }
-        let mut lines = vec![ok_response("shutdown", [])];
-        let mut waiting: Vec<String> = self.pending.drain().map(|(id, _)| id).collect();
-        waiting.sort();
-        for id in waiting {
+        let mut waiting: Vec<QKey> = self.pending.drain().map(|(key, _)| key).collect();
+        waiting.sort_by(|a, b| (a.client, &a.id).cmp(&(b.client, &b.id)));
+        let mut lines = Vec::new();
+        for key in waiting {
             self.summary.events += 1;
-            lines.push(cancelled_finished_value(&id));
+            lines.push((key.client, cancelled_finished_value(&key.id)));
         }
         lines
     }
+
+    /// A client's connection is gone: cancel exactly that client's
+    /// running sessions (through its cancellation scope), discard its
+    /// analysis-queued queries, and unsubscribe it from analysis watches.
+    /// Other clients' work — including shared analysis jobs — is
+    /// untouched. Returns how many queries were cancelled or discarded.
+    pub(crate) fn drop_client(&mut self, client: u64) -> usize {
+        let cancelled = self.scopes.cancel_scope(client);
+        self.tickets.retain(|key, _| key.client != client);
+        let before = self.pending.len();
+        self.pending.retain(|key, _| key.client != client);
+        let discarded = before - self.pending.len();
+        for w in &mut self.watchers {
+            w.subscribers.retain(|&c| c != client);
+        }
+        // A watch every subscriber abandoned still has to settle before
+        // the daemon can exit, but nobody needs its events; keep it so
+        // `is_idle` stays honest. The cancelled sessions drain through
+        // `pump_sessions` (their events go to a gone client — the socket
+        // sink drops them) and free their keys on `Finished`.
+        cancelled + discarded
+    }
 }
 
-fn write_line(output: &mut impl Write, value: &Value) -> std::io::Result<()> {
+pub(crate) fn write_line(output: &mut impl Write, value: &Value) -> std::io::Result<()> {
     let mut line = value.to_json();
     debug_assert!(!line.contains('\n'), "response must be a single line");
     line.push('\n');

@@ -62,15 +62,27 @@
 //! `shutdown` cancels queued jobs, drains running ones, and emits a
 //! terminal event for every in-flight id before the process exits.
 //!
+//! # Network serving
+//!
+//! The same ops are served to many concurrent connections over Unix or
+//! TCP sockets by [`run_net_daemon`]: length-prefixed JSON frames (see
+//! [`apiphany_net`]), a `hello` frame on connect, per-client query-id
+//! namespaces, admission control with structured `overloaded` errors,
+//! and a graceful drain on SIGTERM or `shutdown` — see the
+//! [`netd`](run_net_daemon) docs.
+//!
 //! The binary lives in `src/bin/synthd.rs`
-//! (`cargo run --release --bin synthd -- --slots 4 --cache-dir .cache`);
-//! [`run_daemon`] is the embeddable core, driven by integration tests
-//! over in-memory conversations.
+//! (`cargo run --release --bin synthd -- --slots 4 --cache-dir .cache`,
+//! add `--listen unix:/tmp/synthd.sock` for socket serving);
+//! [`run_daemon`] is the embeddable stdio core, driven by integration
+//! tests over in-memory conversations.
 
 mod daemon;
+mod netd;
 pub mod proto;
 
 pub use daemon::{run_daemon, DaemonOptions, DaemonSummary};
+pub use netd::{run_net_daemon, NetOptions, NetSummary};
 
 use apiphany_spec::fixtures::{fig4_witnesses, fig7_library};
 use apiphany_spec::{Library, Service, Witness};

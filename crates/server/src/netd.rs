@@ -1,0 +1,318 @@
+//! The socket front end: many framed connections over one daemon core.
+//!
+//! [`run_net_daemon`] turns the [`Daemon`](crate::daemon) core into a
+//! multi-client network daemon on an [`apiphany_net::NetServer`]:
+//!
+//! * every accepted connection gets a `hello` frame announcing the
+//!   protocol version and this server's limits, then speaks the same ops
+//!   as the stdio protocol (each request additionally carries a `"v"`
+//!   protocol-version field);
+//! * per-query state is keyed by (client, id), so clients own
+//!   independent id namespaces and each one's event stream is exactly
+//!   the stream a dedicated daemon would produce;
+//! * a dropped connection promptly cancels exactly that client's pending
+//!   and running queries — everyone else's work is untouched;
+//! * **admission control**: per-client quotas (max live queries, max
+//!   queries queued behind analyses) and a global high-water mark on the
+//!   search lane's backlog shed new queries with structured
+//!   `overloaded` errors instead of letting one client bury the daemon;
+//! * **graceful drain**: SIGTERM (via [`apiphany_net::TermFlag`]) or the
+//!   `shutdown` op stops accepting, announces `draining` to every
+//!   client, lets in-flight work finish until the deadline, then cancels
+//!   the rest — every acked query id still receives exactly one terminal
+//!   event before the loop returns.
+
+use std::time::{Duration, Instant};
+
+use apiphany_json::Value;
+use apiphany_net::{check_version, FrameError, NetEvent, NetServer, TermFlag, PROTOCOL_VERSION};
+
+use crate::daemon::{Daemon, DaemonOptions, DaemonSummary, Sink};
+use crate::proto::{
+    coded_error_response, ok_response, Request, CODE_BAD_VERSION, CODE_DRAINING, CODE_OVERLOADED,
+    CODE_PARSE_ERROR,
+};
+
+/// Configuration of the socket front end.
+#[derive(Debug, Clone)]
+pub struct NetOptions {
+    /// The daemon core's options (slots, cache dir).
+    pub daemon: DaemonOptions,
+    /// Per-client cap on live (session-backed) queries.
+    pub max_client_live: usize,
+    /// Per-client cap on queries queued behind a service's analysis.
+    pub max_client_waiting: usize,
+    /// Global high-water mark on the search lane's queued backlog; at or
+    /// above it, *every* new query is shed with `overloaded`.
+    pub search_high_water: usize,
+    /// How long a drain lets in-flight work keep running before
+    /// cancelling the remainder.
+    pub drain_grace: Duration,
+}
+
+impl Default for NetOptions {
+    fn default() -> NetOptions {
+        NetOptions {
+            daemon: DaemonOptions::default(),
+            max_client_live: 8,
+            max_client_waiting: 16,
+            search_high_water: 64,
+            drain_grace: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a finished network daemon run processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetSummary {
+    /// The daemon core's request/event counts.
+    pub daemon: DaemonSummary,
+    /// Connections accepted over the run's lifetime.
+    pub clients: usize,
+    /// Queries shed by admission control (`overloaded` / `draining`).
+    pub shed: usize,
+}
+
+/// Routes each protocol line to its client's connection. A send to a
+/// client that disconnected mid-stream is dropped silently — the
+/// disconnect event (which cancels that client's work) is already in
+/// flight.
+struct NetSink<'a> {
+    server: &'a NetServer,
+}
+
+impl Sink for NetSink<'_> {
+    fn emit(&mut self, client: u64, value: &Value) -> std::io::Result<()> {
+        let _ = self.server.send(apiphany_net::ClientId(client), value);
+        Ok(())
+    }
+}
+
+/// The `hello` frame sent on connect: protocol version, server identity,
+/// and the limits admission control will hold this client to.
+fn hello_value(opts: &NetOptions) -> Value {
+    Value::obj([
+        ("event", Value::from("hello")),
+        ("v", Value::Int(PROTOCOL_VERSION)),
+        ("server", Value::from("synthd")),
+        (
+            "limits",
+            Value::obj([
+                ("max_live", Value::Int(opts.max_client_live as i64)),
+                ("max_waiting", Value::Int(opts.max_client_waiting as i64)),
+            ]),
+        ),
+    ])
+}
+
+/// The `draining` notice broadcast when a drain starts.
+fn draining_value(grace: Duration) -> Value {
+    Value::obj([
+        ("event", Value::from("draining")),
+        ("grace_ms", Value::Int(grace.as_millis().min(i64::MAX as u128) as i64)),
+    ])
+}
+
+/// Runs the network daemon over an already-started [`NetServer`] until a
+/// drain (SIGTERM through `term`, or a `shutdown` op) completes. See the
+/// module docs for the serving semantics.
+///
+/// # Errors
+///
+/// Returns the first fatal I/O error of the serving loop (individual
+/// client connections failing is not one).
+pub fn run_net_daemon(
+    mut server: NetServer,
+    opts: &NetOptions,
+    term: &TermFlag,
+) -> std::io::Result<NetSummary> {
+    let (mut daemon, done_rx) = Daemon::new(&opts.daemon);
+    let mut clients = 0usize;
+    let mut shed = 0usize;
+    let mut draining = false;
+    let mut drain_deadline: Option<Instant> = None;
+    let mut cancelled_rest = false;
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Transport events: connects, frames, decode errors, drops.
+        while let Some(event) = server.try_recv() {
+            progressed = true;
+            match event {
+                NetEvent::Connected(client) => {
+                    clients += 1;
+                    server.send(client, &hello_value(opts));
+                    if draining {
+                        server.send(client, &draining_value(opts.drain_grace));
+                    }
+                }
+                NetEvent::BadFrame(client, err) => {
+                    daemon.summary.requests += 1;
+                    let code = match err {
+                        FrameError::Oversize { .. } => CODE_PARSE_ERROR,
+                        FrameError::Malformed(_) => CODE_PARSE_ERROR,
+                    };
+                    server.send(
+                        client,
+                        &coded_error_response(None, None, code, &err.to_string()),
+                    );
+                }
+                NetEvent::Disconnected(client) => {
+                    daemon.drop_client(client.0);
+                }
+                NetEvent::Request(client, msg) => {
+                    daemon.summary.requests += 1;
+                    let replies = handle_frame(
+                        &mut daemon,
+                        opts,
+                        client.0,
+                        &msg,
+                        &mut draining,
+                        &mut shed,
+                    );
+                    for reply in replies {
+                        server.send(client, &reply);
+                    }
+                    if draining && drain_deadline.is_none() {
+                        // The shutdown op just started the drain.
+                        start_drain(&mut server, opts, &mut drain_deadline);
+                    }
+                }
+            }
+        }
+
+        // 2. A delivered SIGTERM/SIGINT starts the drain.
+        if term.is_raised() && !draining {
+            draining = true;
+            start_drain(&mut server, opts, &mut drain_deadline);
+            progressed = true;
+        }
+
+        let mut sink = NetSink { server: &server };
+        // 3. Sessions delivered by analysis-job continuations.
+        if let Ok((key, submitted)) = done_rx.try_recv() {
+            progressed = true;
+            daemon.install_submission(&mut sink, key, submitted)?;
+        }
+        // 4. Analysis transitions and session events.
+        progressed |= daemon.pump_watchers(&mut sink)?;
+        progressed |= daemon.pump_sessions(&mut sink)?;
+
+        // 5. Drain bookkeeping: past the grace deadline, cancel whatever
+        // is still in flight (each key gets its terminal event); exit
+        // once every stream has drained.
+        if draining {
+            if !cancelled_rest
+                && drain_deadline.is_some_and(|deadline| Instant::now() >= deadline)
+            {
+                cancelled_rest = true;
+                progressed = true;
+                for (client, line) in daemon.cancel_all() {
+                    sink.emit(client, &line)?;
+                }
+            }
+            if daemon.is_idle() {
+                break;
+            }
+        }
+
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    // Streams are drained; drop every remaining connection and return.
+    server.close_all();
+    Ok(NetSummary { daemon: daemon.summary, clients, shed })
+}
+
+/// Stops accepting and announces the drain to every connected client.
+fn start_drain(server: &mut NetServer, opts: &NetOptions, deadline: &mut Option<Instant>) {
+    server.stop_accepting();
+    *deadline = Some(Instant::now() + opts.drain_grace);
+    let notice = draining_value(opts.drain_grace);
+    for client in server.client_ids() {
+        server.send(client, &notice);
+    }
+}
+
+/// Decodes and executes one framed request: version check, parse,
+/// admission control, then the shared daemon core. Returns the reply
+/// lines for this client.
+fn handle_frame(
+    daemon: &mut Daemon,
+    opts: &NetOptions,
+    client: u64,
+    msg: &Value,
+    draining: &mut bool,
+    shed: &mut usize,
+) -> Vec<Value> {
+    if let Err(message) = check_version(msg) {
+        return vec![coded_error_response(None, None, CODE_BAD_VERSION, &message)];
+    }
+    let request = match Request::from_value(msg) {
+        Err(message) => {
+            return vec![coded_error_response(None, None, CODE_PARSE_ERROR, &message)];
+        }
+        Ok(request) => request,
+    };
+    match request {
+        Request::Shutdown => {
+            *draining = true;
+            vec![ok_response("shutdown", [])]
+        }
+        Request::Query { id, spec } => {
+            if *draining {
+                *shed += 1;
+                return vec![coded_error_response(
+                    Some("query"),
+                    Some(&id),
+                    CODE_DRAINING,
+                    "daemon is draining for shutdown; no new queries",
+                )];
+            }
+            let occupancy = daemon.occupancy(client);
+            if occupancy.live >= opts.max_client_live {
+                *shed += 1;
+                return vec![coded_error_response(
+                    Some("query"),
+                    Some(&id),
+                    CODE_OVERLOADED,
+                    &format!(
+                        "client has {} live queries (limit {}); retry after one finishes",
+                        occupancy.live, opts.max_client_live
+                    ),
+                )];
+            }
+            if occupancy.waiting >= opts.max_client_waiting {
+                *shed += 1;
+                return vec![coded_error_response(
+                    Some("query"),
+                    Some(&id),
+                    CODE_OVERLOADED,
+                    &format!(
+                        "client has {} queries waiting on analyses (limit {})",
+                        occupancy.waiting, opts.max_client_waiting
+                    ),
+                )];
+            }
+            let backlog = daemon.queued_search();
+            if backlog >= opts.search_high_water {
+                *shed += 1;
+                return vec![coded_error_response(
+                    Some("query"),
+                    Some(&id),
+                    CODE_OVERLOADED,
+                    &format!(
+                        "search backlog at high water ({backlog} queued, limit {}); \
+                         retry after the backlog drains",
+                        opts.search_high_water
+                    ),
+                )];
+            }
+            daemon.handle(client, Request::Query { id, spec })
+        }
+        other => daemon.handle(client, other),
+    }
+}

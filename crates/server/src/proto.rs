@@ -66,13 +66,23 @@ impl Request {
     /// Returns a human-readable message for the error response.
     pub fn parse(line: &str) -> Result<Request, String> {
         let v = apiphany_json::parse(line).map_err(|e| format!("not a JSON object: {e}"))?;
+        Request::from_value(&v)
+    }
+
+    /// Parses one already-decoded request object (the framed transport
+    /// hands these over directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for the error response.
+    pub fn from_value(v: &Value) -> Result<Request, String> {
         let op = v
             .get("op")
             .and_then(Value::as_str)
             .ok_or_else(|| "missing 'op' field".to_string())?;
         match op {
             "register" => {
-                let service = require_str(&v, "service")?;
+                let service = require_str(v, "service")?;
                 let source = if let Some(builtin) = v.get("builtin") {
                     RegisterSource::Builtin(
                         builtin
@@ -113,19 +123,19 @@ impl Request {
                 Ok(Request::Register { service, source, prewarm })
             }
             "query" => {
-                let id = require_str(&v, "id")?;
+                let id = require_str(v, "id")?;
                 let spec =
-                    QuerySpec::from_value(&v).map_err(|e| format!("query spec: {e}"))?;
+                    QuerySpec::from_value(v).map_err(|e| format!("query spec: {e}"))?;
                 if spec.service.is_none() {
                     return Err("query must name a 'service'".to_string());
                 }
                 Ok(Request::Query { id, spec })
             }
-            "cancel" => Ok(Request::Cancel { id: require_str(&v, "id")? }),
+            "cancel" => Ok(Request::Cancel { id: require_str(v, "id")? }),
             "list" => Ok(Request::List),
-            "inspect" => Ok(Request::Inspect { service: require_str(&v, "service")? }),
-            "lint" => Ok(Request::Lint { service: require_str(&v, "service")? }),
-            "evict" => Ok(Request::Evict { service: require_str(&v, "service")? }),
+            "inspect" => Ok(Request::Inspect { service: require_str(v, "service")? }),
+            "lint" => Ok(Request::Lint { service: require_str(v, "service")? }),
+            "evict" => Ok(Request::Evict { service: require_str(v, "service")? }),
             "status" => Ok(Request::Status),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op '{other}'")),
@@ -180,6 +190,35 @@ pub fn error_response(op: Option<&str>, id: Option<&str>, message: &str) -> Valu
     }
     pairs.push(("error".to_string(), Value::from(message)));
     Value::Object(pairs)
+}
+
+/// The machine-readable `code` of a request that was not valid JSON (or
+/// not a valid frame): recoverable — the connection lives on.
+pub const CODE_PARSE_ERROR: &str = "parse_error";
+/// The `code` of a request shed by admission control (per-client quota
+/// or global backlog high-water): retry after the backlog drains.
+pub const CODE_OVERLOADED: &str = "overloaded";
+/// The `code` of a query rejected because the daemon is draining for
+/// shutdown: no retry will succeed on this instance.
+pub const CODE_DRAINING: &str = "draining";
+/// The `code` of a request whose `"v"` protocol-version field is
+/// missing, malformed, or names a version this server does not speak.
+pub const CODE_BAD_VERSION: &str = "bad_version";
+
+/// [`error_response`] plus a machine-readable `"code"` field (one of the
+/// `CODE_*` constants), for errors clients are expected to branch on —
+/// shedding, draining, and frame/JSON decode failures.
+pub fn coded_error_response(
+    op: Option<&str>,
+    id: Option<&str>,
+    code: &str,
+    message: &str,
+) -> Value {
+    let mut v = error_response(op, id, message);
+    if let Value::Object(pairs) = &mut v {
+        pairs.push(("code".to_string(), Value::from(code)));
+    }
+    v
 }
 
 /// `{"event": "error", "id": id, "error": message}` — a terminal event

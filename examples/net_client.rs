@@ -1,0 +1,153 @@
+//! A minimal framed client for a socket-serving `synthd`: connects,
+//! optionally registers the `fig7` demo service, opens one query, and
+//! prints every frame the server sends — the same wire conversation the
+//! CI socket smoke test drives with two of these at once.
+//!
+//! Start a server, then run the client:
+//!
+//! ```sh
+//! cargo run --release --bin synthd -- --listen unix:/tmp/synthd.sock &
+//! cargo run --release --example net_client -- unix:/tmp/synthd.sock --register
+//! ```
+//!
+//! Flags: `--register` (register `demo` from the `fig7` builtin first),
+//! `--id <query id>` (default `q1`), `--depth <n>` (default 7), and
+//! `--disconnect-after <n>` (drop the connection without goodbye after
+//! receiving `n` candidate events — for exercising the server's
+//! disconnect-cancels-my-work path).
+
+use std::process::ExitCode;
+
+use apiphany_repro::json::{parse, Value};
+use apiphany_repro::net::{
+    read_frame, write_frame, ListenAddr, Stream, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut addr = None;
+    let mut register = false;
+    let mut id = "q1".to_string();
+    let mut depth = 7usize;
+    let mut disconnect_after: Option<usize> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--register" => register = true,
+            "--id" => match args.get(i + 1) {
+                Some(v) => {
+                    id = v.clone();
+                    i += 1;
+                }
+                None => return usage("--id needs a value"),
+            },
+            "--depth" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) => {
+                    depth = n;
+                    i += 1;
+                }
+                None => return usage("--depth needs a number"),
+            },
+            "--disconnect-after" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) => {
+                    disconnect_after = Some(n);
+                    i += 1;
+                }
+                None => return usage("--disconnect-after needs a count"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if addr.is_none() => match ListenAddr::parse(other) {
+                Ok(parsed) => addr = Some(parsed),
+                Err(e) => return usage(&e),
+            },
+            other => return usage(&format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        return usage("an address (unix:<path> or tcp:<host>:<port>) is required");
+    };
+
+    let mut stream = match Stream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("net_client: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Every request carries the protocol version the hello frame will
+    // also announce.
+    let send = |stream: &mut Stream, text: &str| {
+        let mut msg = parse(text).expect("request literal is valid JSON");
+        msg.set("v", Value::Int(PROTOCOL_VERSION));
+        write_frame(stream, &msg).expect("send frame");
+    };
+    if register {
+        send(
+            &mut stream,
+            r#"{"op":"register","service":"demo","builtin":"fig7","prewarm":true}"#,
+        );
+    }
+    send(
+        &mut stream,
+        &format!(
+            r#"{{"op":"query","id":"{id}","service":"demo","inputs":{{"channel_name":"Channel.name"}},"output":"[Profile.email]","depth":{depth},"top_k":3}}"#
+        ),
+    );
+
+    // Print frames until our query's terminal event (or the configured
+    // early disconnect).
+    let mut candidates = 0usize;
+    loop {
+        let frame = match read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+            Ok(Some(Ok(frame))) => frame,
+            Ok(Some(Err(e))) => {
+                eprintln!("net_client: undecodable frame: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(None) => {
+                eprintln!("net_client: server closed the connection");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("net_client: i/o error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", frame.to_json());
+        let event = frame.get("event").and_then(Value::as_str).unwrap_or("");
+        let for_us = frame.get("id").and_then(Value::as_str) == Some(id.as_str());
+        if event == "candidate" && for_us {
+            candidates += 1;
+            if disconnect_after.is_some_and(|n| candidates >= n) {
+                eprintln!("net_client: disconnecting after {candidates} candidates");
+                stream.shutdown();
+                return ExitCode::SUCCESS;
+            }
+        }
+        if for_us && (event == "finished" || event == "error") {
+            return ExitCode::SUCCESS;
+        }
+        // A rejected query (unknown service, shed by admission control,
+        // draining) gets an error reply instead of an event stream.
+        if for_us && frame.get("error").is_some() {
+            return ExitCode::FAILURE;
+        }
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("net_client: {error}");
+    }
+    eprintln!(
+        "usage: net_client <unix:PATH|tcp:HOST:PORT> [--register] [--id ID]\n\
+         \x20                 [--depth N] [--disconnect-after N]"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -12,6 +12,7 @@ pub use apiphany_server as server;
 pub use apiphany_json as json;
 pub use apiphany_lang as lang;
 pub use apiphany_mining as mining;
+pub use apiphany_net as net;
 pub use apiphany_re as re;
 pub use apiphany_services as services;
 pub use apiphany_spec as spec;
