@@ -55,8 +55,20 @@ impl AnalysisArtifact {
         self
     }
 
-    /// Encodes the artifact to a JSON value.
+    /// Encodes the artifact to a JSON value, stamped with its identity
+    /// [`AnalysisArtifact::digest`] so a torn or bit-rotted file is
+    /// detected on load instead of silently decoded.
     pub fn to_value(&self) -> Value {
+        let mut v = self.body_value();
+        if let Value::Object(pairs) = &mut v {
+            pairs.push(("digest".into(), Value::from(self.digest().as_str())));
+        }
+        v
+    }
+
+    /// The serialized body *without* the digest pair — the bytes the
+    /// digest is computed over.
+    fn body_value(&self) -> Value {
         let stats = match &self.stats {
             None => Value::Null,
             Some(s) => Value::obj([
@@ -84,6 +96,14 @@ impl AnalysisArtifact {
         ])
     }
 
+    /// The artifact's identity digest: FNV-1a 64 over the canonical JSON
+    /// of the body (everything but the digest pair itself), as 16 hex
+    /// digits. Two artifacts with the same digest decode identically, so
+    /// replicas sharing a cache directory can use it as a version tag.
+    pub fn digest(&self) -> String {
+        format!("{:016x}", fnv1a64(self.body_value().to_json().as_bytes()))
+    }
+
     /// Encodes the artifact to a JSON string.
     pub fn to_json(&self) -> String {
         self.to_value().to_json()
@@ -106,6 +126,22 @@ impl AnalysisArtifact {
                 "artifact: unsupported format '{format}' (expected '{FORMAT}')"
             ))
             .into());
+        }
+        // `digest` is a v1 extension: artifacts written before it exist
+        // decode without verification, but a *present* digest must match
+        // — a mismatch means the file was torn mid-write or bit-rotted.
+        if let Some(stored) = v.get("digest").and_then(Value::as_str) {
+            let mut body = v.clone();
+            if let Value::Object(pairs) = &mut body {
+                pairs.retain(|(k, _)| k != "digest");
+            }
+            let computed = format!("{:016x}", fnv1a64(body.to_json().as_bytes()));
+            if computed != stored {
+                return Err(DecodeError(format!(
+                    "artifact: digest mismatch (stored {stored}, computed {computed})"
+                ))
+                .into());
+            }
         }
         let semlib = SemLib::from_value(
             v.get("semlib").ok_or_else(|| DecodeError("artifact: missing semlib".into()))?,
@@ -148,6 +184,17 @@ impl AnalysisArtifact {
     pub fn from_json(text: &str) -> Result<AnalysisArtifact, EngineError> {
         AnalysisArtifact::from_value(&parse(text)?)
     }
+}
+
+/// FNV-1a, 64-bit — the artifact identity hash. Not cryptographic; it
+/// guards against torn writes and bit rot, not adversaries.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 fn decode_count(v: &Value, key: &str) -> Result<usize, EngineError> {

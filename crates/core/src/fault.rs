@@ -1,0 +1,464 @@
+//! Deterministic fault injection for the serving plane.
+//!
+//! Every robustness claim this crate makes — "a torn cache write never
+//! corrupts the artifact store", "a transient analysis failure is
+//! retried", "a panicking worker settles its job" — is backed by a test
+//! that *makes the failure happen*. The [`FaultPlane`] is the switch
+//! those tests flip: a set of named **injection points**
+//! ([`FaultPoint`]) threaded through the artifact store, the analysis
+//! job body, the search workers, and (via a hook installed by the
+//! serving layer) the network frame writer. At each point a seeded,
+//! per-point pseudo-random schedule decides whether to fire a fault and
+//! which [`FaultKind`] it is.
+//!
+//! Determinism: each injection point draws from its **own** xorshift
+//! stream, seeded from the plane's seed and the point's index — so the
+//! decision sequence at a point is a pure function of `(seed, call
+//! index)`, independent of how calls at *other* points interleave with
+//! it. Re-running a single-threaded call site with the same seed
+//! replays the same faults.
+//!
+//! Cost: a disabled plane (the default) is one `Option` check per
+//! injection point — no locks, no drawing, no allocation. Production
+//! binaries pay nothing for carrying the hooks.
+//!
+//! ```
+//! use apiphany_core::fault::{FaultKind, FaultPlane, FaultPoint};
+//!
+//! // Disabled (the default): every point always says "no fault".
+//! let off = FaultPlane::default();
+//! assert_eq!(off.hit(FaultPoint::ArtifactWrite), None);
+//!
+//! // Seeded: `artifact_write` tears every write, `analysis` errors one
+//! // call in four.
+//! let plane = FaultPlane::parse(7, "artifact_write=torn,analysis=io:1/4").unwrap();
+//! assert_eq!(plane.hit(FaultPoint::ArtifactWrite), Some(FaultKind::TornWrite));
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A named place in the serving stack where faults can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// Reading an analysis artifact from the on-disk cache.
+    ArtifactRead,
+    /// Persisting an analysis artifact to the on-disk cache.
+    ArtifactWrite,
+    /// Writing one frame to a network client (fired through the hook the
+    /// serving layer installs into its connection server).
+    FrameWrite,
+    /// Inside the analyze-once job body, after mining inputs are in hand
+    /// (the "service connection flaked mid-analysis" stand-in).
+    AnalysisBody,
+    /// At the top of a search worker's guarded body, before the session
+    /// streams anything.
+    WorkerStart,
+}
+
+/// Every injection point, in stream-index order.
+pub const ALL_POINTS: [FaultPoint; 5] = [
+    FaultPoint::ArtifactRead,
+    FaultPoint::ArtifactWrite,
+    FaultPoint::FrameWrite,
+    FaultPoint::AnalysisBody,
+    FaultPoint::WorkerStart,
+];
+
+impl FaultPoint {
+    /// The spec/display name (`artifact_read`, `artifact_write`,
+    /// `frame_write`, `analysis`, `worker_start`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::ArtifactRead => "artifact_read",
+            FaultPoint::ArtifactWrite => "artifact_write",
+            FaultPoint::FrameWrite => "frame_write",
+            FaultPoint::AnalysisBody => "analysis",
+            FaultPoint::WorkerStart => "worker_start",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultPoint> {
+        ALL_POINTS.iter().copied().find(|p| p.name() == s)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::ArtifactRead => 0,
+            FaultPoint::ArtifactWrite => 1,
+            FaultPoint::FrameWrite => 2,
+            FaultPoint::AnalysisBody => 3,
+            FaultPoint::WorkerStart => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What kind of failure fires at an injection point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// An I/O error (`ErrorKind::Other`, message tagged `injected
+    /// fault`). At the analysis body this models a transient service
+    /// failure and is retried; at the artifact store it models a flaky
+    /// cache volume.
+    IoError,
+    /// A write that stops partway through — the mid-write crash. The
+    /// artifact store leaves a truncated *temp* file (never the
+    /// published path); the frame writer emits a truncated frame
+    /// (connection-fatal for that client by protocol).
+    TornWrite,
+    /// A panic (`injected fault: ... panic`), executed by
+    /// [`FaultPlane::trip`]. Classified as a permanent failure.
+    Panic,
+    /// A stall: the calling thread sleeps for the plane's stall
+    /// duration, executed by [`FaultPlane::trip`]. Models a wedged
+    /// disk/peer without failing the operation.
+    Stall,
+}
+
+impl FaultKind {
+    /// The spec/display name (`io`, `torn`, `panic`, `stall`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::IoError => "io",
+            FaultKind::TornWrite => "torn",
+            FaultKind::Panic => "panic",
+            FaultKind::Stall => "stall",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "io" => Some(FaultKind::IoError),
+            "torn" => Some(FaultKind::TornWrite),
+            "panic" => Some(FaultKind::Panic),
+            "stall" => Some(FaultKind::Stall),
+            _ => None,
+        }
+    }
+}
+
+/// One injection rule: at `point`, fire `kind` on `num` of every `den`
+/// draws (deterministically, from the point's seeded stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Where the rule applies.
+    pub point: FaultPoint,
+    /// What fires.
+    pub kind: FaultKind,
+    /// Numerator of the firing rate (`num == den` fires always).
+    pub num: u32,
+    /// Denominator of the firing rate (never zero).
+    pub den: u32,
+}
+
+/// The per-point deterministic pseudo-random stream (xorshift64*, the
+/// same generator the workspace's property tests use).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+struct Inner {
+    rules: Vec<FaultRule>,
+    streams: Vec<Mutex<XorShift>>,
+    stall: Duration,
+    fired: AtomicU64,
+}
+
+/// A seeded schedule of injected faults, shared (cheaply, by `Arc`) by
+/// every component it is threaded into. The default plane is disabled
+/// and costs one branch per check. See the module docs.
+#[derive(Clone, Default)]
+pub struct FaultPlane {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for FaultPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("FaultPlane(disabled)"),
+            Some(inner) => f
+                .debug_struct("FaultPlane")
+                .field("rules", &inner.rules)
+                .field("fired", &inner.fired.load(Ordering::Relaxed))
+                .finish(),
+        }
+    }
+}
+
+impl FaultPlane {
+    /// The no-op plane: every point always answers "no fault".
+    pub fn disabled() -> FaultPlane {
+        FaultPlane { inner: None }
+    }
+
+    /// A plane firing `rules` from per-point streams derived from
+    /// `seed`. An empty rule set still counts as enabled (useful to
+    /// assert zero faults fired).
+    pub fn new(seed: u64, rules: Vec<FaultRule>) -> FaultPlane {
+        let streams = ALL_POINTS
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                // Distinct non-zero stream seeds; splitmix-style spread so
+                // nearby plane seeds do not correlate across points.
+                let s = seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
+                    | 1;
+                Mutex::new(XorShift(s))
+            })
+            .collect();
+        FaultPlane {
+            inner: Some(Arc::new(Inner {
+                rules,
+                streams,
+                stall: Duration::from_millis(50),
+                fired: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// The same plane with a different stall duration (default 50 ms).
+    #[must_use]
+    pub fn with_stall(self, stall: Duration) -> FaultPlane {
+        match self.inner {
+            None => FaultPlane { inner: None },
+            Some(inner) => FaultPlane {
+                inner: Some(Arc::new(Inner {
+                    rules: inner.rules.clone(),
+                    streams: ALL_POINTS
+                        .iter()
+                        .map(|p| {
+                            let seed = inner.streams[p.index()]
+                                .lock()
+                                .expect("fault stream lock")
+                                .0;
+                            Mutex::new(XorShift(seed))
+                        })
+                        .collect(),
+                    stall,
+                    fired: AtomicU64::new(inner.fired.load(Ordering::Relaxed)),
+                })),
+            },
+        }
+    }
+
+    /// Parses the `--fault` spec grammar:
+    /// `point=kind[:num/den]` entries separated by commas, e.g.
+    /// `artifact_write=torn,analysis=io:1/4,frame_write=stall:1/2`.
+    /// Omitting the rate means "fire every time". Points:
+    /// `artifact_read`, `artifact_write`, `frame_write`, `analysis`,
+    /// `worker_start`. Kinds: `io`, `torn`, `panic`, `stall`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending entry.
+    pub fn parse(seed: u64, spec: &str) -> Result<FaultPlane, String> {
+        let mut rules = Vec::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (point, rest) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault entry '{entry}' needs point=kind"))?;
+            let point = FaultPoint::parse(point.trim())
+                .ok_or_else(|| format!("unknown fault point '{point}'"))?;
+            let (kind, rate) = match rest.split_once(':') {
+                None => (rest.trim(), None),
+                Some((kind, rate)) => (kind.trim(), Some(rate.trim())),
+            };
+            let kind = FaultKind::parse(kind)
+                .ok_or_else(|| format!("unknown fault kind '{kind}'"))?;
+            let (num, den) = match rate {
+                None => (1, 1),
+                Some(rate) => {
+                    let (num, den) = rate
+                        .split_once('/')
+                        .ok_or_else(|| format!("fault rate '{rate}' needs num/den"))?;
+                    let num: u32 = num
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad fault rate numerator '{num}'"))?;
+                    let den: u32 = den
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad fault rate denominator '{den}'"))?;
+                    if den == 0 || num > den {
+                        return Err(format!("fault rate '{rate}' must be 0 <= num/den <= 1"));
+                    }
+                    (num, den)
+                }
+            };
+            rules.push(FaultRule { point, kind, num, den });
+        }
+        Ok(FaultPlane::new(seed, rules))
+    }
+
+    /// Whether any schedule is installed (a disabled plane never fires).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// How many faults have fired so far, across all points.
+    pub fn fired(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.fired.load(Ordering::Relaxed))
+    }
+
+    /// The stall duration [`FaultKind::Stall`] faults sleep for.
+    pub fn stall(&self) -> Duration {
+        self.inner
+            .as_ref()
+            .map_or(Duration::ZERO, |inner| inner.stall)
+    }
+
+    /// The decision primitive: does a fault fire at `point` on this
+    /// call, and which kind? Draws one value from the point's stream per
+    /// matching rule (first firing rule wins); executes nothing.
+    pub fn hit(&self, point: FaultPoint) -> Option<FaultKind> {
+        let inner = self.inner.as_ref()?;
+        let mut fired = None;
+        for rule in inner.rules.iter().filter(|r| r.point == point) {
+            let draw = inner.streams[point.index()]
+                .lock()
+                .expect("fault stream lock")
+                .next();
+            if fired.is_none() && (draw % u64::from(rule.den)) < u64::from(rule.num) {
+                fired = Some(rule.kind);
+            }
+        }
+        if fired.is_some() {
+            inner.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Like [`FaultPlane::hit`], but *executes* the faults that are the
+    /// caller's thread's to execute: a [`FaultKind::Panic`] panics here
+    /// (call inside a `catch_unwind` scope that settles the job), a
+    /// [`FaultKind::Stall`] sleeps and returns `None`. I/O and
+    /// torn-write faults are returned for the caller to act on, since
+    /// only it knows what "failing" means at its point.
+    pub fn trip(&self, point: FaultPoint) -> Option<FaultKind> {
+        match self.hit(point) {
+            Some(FaultKind::Panic) => panic!("injected fault: {point} panic"),
+            Some(FaultKind::Stall) => {
+                std::thread::sleep(self.stall());
+                None
+            }
+            other => other,
+        }
+    }
+
+    /// [`FaultPlane::trip`] specialized for plain I/O call sites: both
+    /// `io` and `torn` faults surface as an injected
+    /// [`std::io::Error`].
+    ///
+    /// # Errors
+    ///
+    /// The injected error, when the schedule fires one.
+    pub fn io(&self, point: FaultPoint) -> std::io::Result<()> {
+        match self.trip(point) {
+            None => Ok(()),
+            Some(_) => Err(injected_io_error(point)),
+        }
+    }
+}
+
+/// The error an injected I/O fault surfaces as (message tagged so retry
+/// classification and logs can recognize it).
+pub fn injected_io_error(point: FaultPoint) -> std::io::Error {
+    std::io::Error::other(format!("injected fault: {point} i/o error"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plane_never_fires_and_costs_nothing_to_ask() {
+        let plane = FaultPlane::disabled();
+        assert!(!plane.is_enabled());
+        for point in ALL_POINTS {
+            assert_eq!(plane.hit(point), None);
+            assert_eq!(plane.trip(point), None);
+            assert!(plane.io(point).is_ok());
+        }
+        assert_eq!(plane.fired(), 0);
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic_and_per_point() {
+        let spec = "analysis=io:1/3,artifact_write=torn:1/2";
+        let a = FaultPlane::parse(42, spec).unwrap();
+        let b = FaultPlane::parse(42, spec).unwrap();
+        let draws_a: Vec<_> = (0..64).map(|_| a.hit(FaultPoint::AnalysisBody)).collect();
+        // Interleave a different point's draws on `b`: the analysis
+        // stream must not shift.
+        let draws_b: Vec<_> = (0..64)
+            .map(|_| {
+                let _ = b.hit(FaultPoint::ArtifactWrite);
+                b.hit(FaultPoint::AnalysisBody)
+            })
+            .collect();
+        assert_eq!(draws_a, draws_b);
+        assert!(draws_a.iter().any(Option::is_some), "1/3 fires within 64 draws");
+        assert!(draws_a.iter().any(Option::is_none), "1/3 skips within 64 draws");
+        assert!(a.fired() > 0);
+    }
+
+    #[test]
+    fn always_rules_fire_every_time() {
+        let plane = FaultPlane::parse(1, "artifact_write=torn").unwrap();
+        for _ in 0..8 {
+            assert_eq!(plane.hit(FaultPoint::ArtifactWrite), Some(FaultKind::TornWrite));
+            assert_eq!(plane.hit(FaultPoint::ArtifactRead), None, "other points untouched");
+        }
+    }
+
+    #[test]
+    fn trip_executes_panics_and_io_wraps_them_as_errors() {
+        let plane = FaultPlane::parse(3, "analysis=panic").unwrap();
+        let caught = std::panic::catch_unwind(|| plane.trip(FaultPoint::AnalysisBody));
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("injected fault"), "{msg}");
+
+        let io = FaultPlane::parse(3, "artifact_read=io").unwrap();
+        let err = io.io(FaultPoint::ArtifactRead).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+    }
+
+    #[test]
+    fn spec_parser_rejects_nonsense_with_messages() {
+        for (spec, needle) in [
+            ("analysis", "needs point=kind"),
+            ("nowhere=io", "unknown fault point"),
+            ("analysis=melt", "unknown fault kind"),
+            ("analysis=io:half", "needs num/den"),
+            ("analysis=io:1/0", "must be 0 <= num/den <= 1"),
+            ("analysis=io:3/2", "must be 0 <= num/den <= 1"),
+        ] {
+            let err = FaultPlane::parse(0, spec).unwrap_err();
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
+        // The empty spec is an enabled plane with no rules.
+        let plane = FaultPlane::parse(0, "").unwrap();
+        assert!(plane.is_enabled());
+        assert_eq!(plane.hit(FaultPoint::AnalysisBody), None);
+    }
+}

@@ -34,6 +34,17 @@ use std::sync::{Arc, Condvar, Mutex};
 use apiphany_ttn::pool::{Lane, SharedPool};
 use apiphany_ttn::CancelToken;
 
+/// Renders a caught panic payload as the job's failure reason.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
 /// The stable identity of one job, unique within its [`JobRuntime`] (or
 /// within a runtime-less catalog's local allocator).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -359,6 +370,9 @@ pub struct RuntimeStats {
     /// this many analysis jobs run at once, so mining backlogs can never
     /// occupy every slot.
     pub analysis_cap: usize,
+    /// Transient analysis failures retried so far (the supervised-retry
+    /// counter the catalog bumps once per re-attempt).
+    pub analysis_retries: u64,
 }
 
 /// A [`SharedPool`] plus job bookkeeping: the execution substrate shared
@@ -370,6 +384,7 @@ pub struct RuntimeStats {
 pub struct JobRuntime {
     pool: SharedPool,
     ids: Arc<AtomicU64>,
+    retries: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for JobRuntime {
@@ -387,7 +402,18 @@ impl JobRuntime {
     /// A runtime over an existing pool (to share slots with other pool
     /// users).
     pub fn with_pool(pool: SharedPool) -> JobRuntime {
-        JobRuntime { pool, ids: Arc::new(AtomicU64::new(1)) }
+        JobRuntime {
+            pool,
+            ids: Arc::new(AtomicU64::new(1)),
+            retries: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The shared supervised-retry counter: bumped by the
+    /// [`crate::ServiceCatalog`] each time a transient analysis failure
+    /// is re-attempted, surfaced in [`RuntimeStats::analysis_retries`].
+    pub(crate) fn retry_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.retries)
     }
 
     /// The underlying pool handle.
@@ -425,6 +451,7 @@ impl JobRuntime {
             running: self.pool.in_flight(),
             analysis_running: self.pool.analysis_in_flight(),
             analysis_cap: self.pool.slots().saturating_sub(1).max(1),
+            analysis_retries: self.retries.load(Ordering::Relaxed),
         }
     }
 }

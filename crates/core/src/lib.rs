@@ -73,6 +73,7 @@ pub use apiphany_ttn as ttn;
 mod artifact;
 mod catalog;
 mod error;
+pub mod fault;
 mod job;
 mod queryspec;
 mod sched;
@@ -82,8 +83,11 @@ mod session;
 pub use apiphany_ttn::pool::SharedPool;
 pub use apiphany_ttn::{Budget, CancelToken, InvalidBudget};
 pub use artifact::AnalysisArtifact;
-pub use catalog::{JobInfo, ServiceCatalog, ServiceInfo, ServiceLookup};
+pub use catalog::{
+    AnalysisSource, JobInfo, RetryPolicy, ServiceCatalog, ServiceInfo, ServiceLookup,
+};
 pub use error::EngineError;
+pub use fault::{FaultKind, FaultPlane, FaultPoint, FaultRule};
 pub use job::{Job, JobId, JobKind, JobOutcome, JobRuntime, JobState, RuntimeStats};
 pub use queryspec::QuerySpec;
 pub use sched::{CatalogSubmission, Multiplexer, Scheduler};

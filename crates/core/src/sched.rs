@@ -55,6 +55,7 @@ use std::time::Duration;
 
 use apiphany_ttn::pool::SharedPool;
 
+use crate::fault::FaultPlane;
 use crate::job::{Job, JobKind, JobOutcome, JobRuntime};
 use crate::{
     Engine, EngineError, Event, QuerySpec, RunConfig, ServiceCatalog, ServiceLookup, Session,
@@ -76,18 +77,19 @@ pub enum CatalogSubmission {
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     runtime: JobRuntime,
+    fault: FaultPlane,
 }
 
 impl Scheduler {
     /// A scheduler with its own runtime of `slots` worker threads.
     pub fn new(slots: usize) -> Scheduler {
-        Scheduler { runtime: JobRuntime::new(slots) }
+        Scheduler { runtime: JobRuntime::new(slots), fault: FaultPlane::disabled() }
     }
 
     /// A scheduler over an existing pool (to share slots with other
     /// schedulers or pool users).
     pub fn with_pool(pool: SharedPool) -> Scheduler {
-        Scheduler { runtime: JobRuntime::with_pool(pool) }
+        Scheduler { runtime: JobRuntime::with_pool(pool), fault: FaultPlane::disabled() }
     }
 
     /// A scheduler over an existing [`JobRuntime`] — the way to share one
@@ -95,7 +97,16 @@ impl Scheduler {
     /// [`ServiceCatalog::with_runtime`] catalog, so search and analysis
     /// jobs schedule through the same two-lane pool.
     pub fn with_runtime(runtime: JobRuntime) -> Scheduler {
-        Scheduler { runtime }
+        Scheduler { runtime, fault: FaultPlane::disabled() }
+    }
+
+    /// Installs a fault-injection plane: search workers trip the
+    /// `worker_start` point as they begin (testing/chaos only; the
+    /// default disabled plane costs one branch per worker start).
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultPlane) -> Scheduler {
+        self.fault = fault;
+        self
     }
 
     /// The number of sessions that can run concurrently.
@@ -134,7 +145,14 @@ impl Scheduler {
         cfg.synthesis.budget.validate()?;
         let label = spec.service.clone().unwrap_or_default();
         let job = self.runtime.new_job(JobKind::Search, label);
-        Ok(Session::spawn_job(&self.runtime, job, Arc::clone(&engine.inner), query, cfg))
+        Ok(Session::spawn_job(
+            &self.runtime,
+            job,
+            Arc::clone(&engine.inner),
+            query,
+            cfg,
+            self.fault.clone(),
+        ))
     }
 
     /// Submits a catalog-routed spec: looks the service up (**blocking**
@@ -234,6 +252,7 @@ impl Scheduler {
             Arc::clone(&engine.inner),
             query.clone(),
             cfg.clone(),
+            self.fault.clone(),
         ))
     }
 }
@@ -481,6 +500,28 @@ mod tests {
         deep.cancel();
         let _ = deep.drain();
         assert_eq!(deep_job.wait(), JobState::Cancelled);
+    }
+
+    /// An injected worker-start panic settles the session's job `Failed`
+    /// with a structured reason — subscribers observe why the stream
+    /// stopped instead of hanging on a worker that died silently.
+    #[test]
+    fn panicking_search_worker_settles_its_job_failed() {
+        use crate::job::JobState;
+        let engine = engine();
+        let scheduler = Scheduler::new(1)
+            .with_fault(crate::FaultPlane::parse(1, "worker_start=panic").unwrap());
+        let session = scheduler.submit(&engine, &email_spec()).unwrap();
+        let job = session.job().unwrap().clone();
+        let events: Vec<Event> = session.collect();
+        assert!(
+            events.iter().all(|e| !matches!(e, Event::Finished(_))),
+            "a dead worker delivers no Finished"
+        );
+        match job.wait() {
+            JobState::Failed(reason) => assert!(reason.contains("injected fault"), "{reason}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
     }
 
     /// A warm service submits synchronously; a cold one enqueues behind

@@ -27,7 +27,8 @@ use apiphany_mining::Query;
 use apiphany_re::{cost_of, cost_of_par, ReContext, Ranker};
 use apiphany_synth::{CancelToken, Outcome, SynthEvent};
 
-use crate::job::{Job, JobOutcome, JobRuntime, JobState};
+use crate::fault::{FaultPlane, FaultPoint};
+use crate::job::{panic_message, Job, JobOutcome, JobRuntime, JobState};
 use crate::{EngineInner, RankedProgram, RunConfig, RunResult};
 
 /// One notification from a [`Session`].
@@ -102,13 +103,16 @@ impl Session {
     ///
     /// The job and the session share one cancellation token, and the job
     /// settles when the worker body returns: `Cancelled` if the token was
-    /// raised, `Done` otherwise.
+    /// raised, `Done` otherwise — and `Failed` (with the panic's message)
+    /// if the body panicked, so subscribers observe a structured reason
+    /// instead of a stream that just stops.
     pub(crate) fn spawn_job(
         runtime: &JobRuntime,
         job: Job<()>,
         inner: Arc<EngineInner>,
         query: Query,
         cfg: RunConfig,
+        fault: FaultPlane,
     ) -> Session {
         let (tx, rx) = sync_channel(0);
         let cancel = job.cancel_token();
@@ -119,12 +123,20 @@ impl Session {
             // search observes the token immediately and the consumer gets
             // its final `Finished` event (outcome `Cancelled`).
             worker_job.mark_running();
-            let outcome = run_worker(&inner, &query, &cfg, &worker_cancel, &tx);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // The worker-start injection point: a panic here is a
+                // worker dying before it streams anything.
+                fault.trip(FaultPoint::WorkerStart);
+                run_worker(&inner, &query, &cfg, &worker_cancel, &tx)
+            }));
             worker_job.settle(match outcome {
                 // An abandoned stream (consumer dropped mid-run) counts
                 // as cancelled: the run did not complete.
-                Some(Outcome::Cancelled) | None => JobOutcome::Cancelled,
-                Some(_) => JobOutcome::Done(()),
+                Ok(Some(Outcome::Cancelled) | None) => JobOutcome::Cancelled,
+                Ok(Some(_)) => JobOutcome::Done(()),
+                Err(payload) => {
+                    JobOutcome::Failed(panic_message(payload.as_ref()))
+                }
             });
         });
         // No JoinHandle: the pool owns the thread. Dropping the session

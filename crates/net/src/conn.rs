@@ -134,14 +134,17 @@ pub enum Listener {
 impl Listener {
     /// Binds `addr` and switches the socket to non-blocking accepts.
     ///
-    /// A Unix bind first unlinks an existing socket file at the path —
-    /// the common leftover of an unclean shutdown. (A *live* server on
-    /// the same path loses its listener; supervise socket paths like pid
-    /// files.)
+    /// A Unix bind *probe-connects* an existing file at the path first:
+    /// when something accepts the probe, a live server owns the path and
+    /// bind fails with `AddrInUse` instead of stealing its listener.
+    /// Only a *dead* socket — the leftover of a SIGKILL'd server, which
+    /// refuses connects — (or a non-socket file) is unlinked and
+    /// rebound.
     ///
     /// # Errors
     ///
-    /// Propagates the bind error; `unix:` on non-Unix platforms returns
+    /// Propagates the bind error; a live server on a `unix:` path
+    /// returns `AddrInUse`; `unix:` on non-Unix platforms returns
     /// `Unsupported`.
     pub fn bind(addr: &ListenAddr) -> io::Result<Listener> {
         match addr {
@@ -153,6 +156,16 @@ impl Listener {
             #[cfg(unix)]
             ListenAddr::Unix(path) => {
                 if path.exists() {
+                    if let Ok(probe) = UnixStream::connect(path) {
+                        // A live server answered: do not steal its socket.
+                        let _ = probe.shutdown(std::net::Shutdown::Both);
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!("a live server is accepting on '{}'", path.display()),
+                        ));
+                    }
+                    // Nobody answered: a dead socket (or stray file) left
+                    // by an unclean shutdown. Reclaim the path.
                     std::fs::remove_file(path)?;
                 }
                 let listener = UnixListener::bind(path)?;
@@ -272,5 +285,27 @@ mod tests {
         assert_eq!(&buf, b"hi");
         drop(listener);
         assert!(!path.exists(), "socket file removed on drop");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_bind_refuses_a_live_socket_but_reclaims_a_dead_one() {
+        let path =
+            std::env::temp_dir().join(format!("apiphany-net-probe-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let addr = ListenAddr::Unix(path.clone());
+        // A live server on the path: the probe connects, bind refuses.
+        let live = Listener::bind(&addr).unwrap();
+        let err = Listener::bind(&addr).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        drop(live);
+        // A dead socket — the file a SIGKILL'd server leaves behind:
+        // nothing accepts, so bind reclaims the path.
+        let abandoned = std::os::unix::net::UnixListener::bind(&path).unwrap();
+        drop(abandoned); // dropping a raw UnixListener leaves the file
+        assert!(path.exists(), "the dead socket file is still on disk");
+        let reclaimed = Listener::bind(&addr).unwrap();
+        assert!(Stream::connect(&addr).is_ok(), "the reclaimed path accepts");
+        drop(reclaimed);
     }
 }

@@ -115,6 +115,26 @@ pub fn read_frame(
     Ok(Some(decoded))
 }
 
+/// Writes a deliberately *torn* frame: the full length prefix but only
+/// half the payload. A fault-injection helper — the peer's next
+/// [`read_frame`] hits `UnexpectedEof` mid-frame (connection-fatal by
+/// design), which is exactly the wire state a server crash mid-write
+/// leaves behind.
+///
+/// # Errors
+///
+/// Returns the sink's I/O error, or `InvalidInput` when the encoded
+/// message exceeds `u32::MAX` bytes.
+pub fn write_torn_frame(w: &mut impl Write, msg: &Value) -> io::Result<()> {
+    let payload = msg.to_json();
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32::MAX bytes")
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&payload.as_bytes()[..payload.len() / 2])?;
+    w.flush()
+}
+
 /// Validates a request's `"v"` protocol-version field against
 /// [`PROTOCOL_VERSION`].
 ///
@@ -194,6 +214,15 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
         // A torn prefix is fatal too.
         let mut r = Cursor::new(vec![0u8, 0]);
+        let err = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn torn_frames_read_as_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_torn_frame(&mut wire, &msg("half")).unwrap();
+        let mut r = Cursor::new(wire);
         let err = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }

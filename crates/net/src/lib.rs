@@ -15,8 +15,11 @@
 //!   sockets, with non-blocking accepts (so a serving loop can
 //!   interleave accepting with drain checks) and socket-file hygiene;
 //! * [`NetServer`] — the multi-client connection server: accept threads
-//!   plus one reader thread per connection, all funneled into a single
-//!   [`NetEvent`] channel keyed by [`ClientId`];
+//!   plus one reader and one writer thread per connection, all funneled
+//!   into a single [`NetEvent`] channel keyed by [`ClientId`]. Sends are
+//!   non-blocking (bounded per-client outbound queues), and a sweeper
+//!   disconnects clients that stop reading ([`DisconnectReason`]) — one
+//!   slow peer can never wedge the serving loop;
 //! * [`signal`] — a SIGTERM/SIGINT latch ([`TermFlag`]) for graceful
 //!   drain, installed without a libc dependency.
 //!
@@ -59,7 +62,10 @@ pub mod signal;
 pub use addr::ListenAddr;
 pub use conn::{Listener, Stream};
 pub use frame::{
-    check_version, read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    check_version, read_frame, write_frame, write_torn_frame, FrameError, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
 };
-pub use server::{ClientId, NetEvent, NetServer};
+pub use server::{
+    ClientId, DisconnectReason, NetConfig, NetEvent, NetServer, WriteFault, WriteFaultHook,
+};
 pub use signal::{install_term_flag, TermFlag};

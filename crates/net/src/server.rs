@@ -1,5 +1,5 @@
 //! The multi-client connection server: accept threads + per-connection
-//! reader threads funneling decoded frames into one event channel.
+//! reader/writer threads funneling decoded frames into one event channel.
 //!
 //! [`NetServer`] owns the accepting sockets and every live connection.
 //! The serving application drives it from a single loop:
@@ -7,28 +7,45 @@
 //! * pull [`NetEvent`]s with [`NetServer::try_recv`] — connects,
 //!   decoded request frames, recoverable per-frame decode errors, and
 //!   disconnects, each tagged with the connection's [`ClientId`];
-//! * reply with [`NetServer::send`] (frames are written by the loop
-//!   thread; a failed write counts as a disconnect);
+//! * reply with [`NetServer::send`] — *non-blocking*: the frame lands on
+//!   the client's bounded outbound queue and a dedicated writer thread
+//!   drains it, so one stalled peer can never wedge the serving loop;
 //! * for graceful drain, [`NetServer::stop_accepting`] closes the
 //!   listeners (new connects are refused) while existing connections
 //!   keep streaming.
+//!
+//! ## Slow-client isolation
+//!
+//! A peer that stops reading eventually fills its socket buffers and
+//! blocks whatever thread writes to it. With one writer thread *per
+//! connection* that blockage is contained — but not unbounded: a sweeper
+//! thread disconnects any client whose oldest undrained frame has waited
+//! longer than [`NetConfig::write_deadline`]
+//! ([`DisconnectReason::WriteStalled`]), and a client whose queue
+//! overflows [`NetConfig::queue_cap`] is cut immediately
+//! ([`DisconnectReason::QueueOverflow`]). Healthy clients never notice:
+//! their queues drain as fast as they read.
 //!
 //! Per-client event order is guaranteed (`Connected` → requests/errors
 //! in wire order → `Disconnected`, exactly once); events of different
 //! clients interleave arbitrarily.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use apiphany_json::Value;
 
 use crate::conn::{Listener, Stream};
-use crate::frame::{read_frame, write_frame, FrameError};
+use crate::frame::{read_frame, write_frame, write_torn_frame, FrameError, DEFAULT_MAX_FRAME};
 use crate::ListenAddr;
+
+/// How often the sweeper checks for stalled writers.
+const SWEEP_TICK: Duration = Duration::from_millis(25);
 
 /// The stable identity of one accepted connection, unique within its
 /// [`NetServer`].
@@ -38,6 +55,42 @@ pub struct ClientId(pub u64);
 impl std::fmt::Display for ClientId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "client-{}", self.0)
+    }
+}
+
+/// Why a connection ended (carried by [`NetEvent::Disconnected`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectReason {
+    /// The peer closed cleanly (EOF at a frame boundary), or the server
+    /// closed the connection itself.
+    Eof,
+    /// A transport read error or a torn inbound frame.
+    Error,
+    /// The client's oldest undrained outbound frame waited past
+    /// [`NetConfig::write_deadline`]: the peer stopped reading.
+    WriteStalled,
+    /// The client's outbound queue hit [`NetConfig::queue_cap`].
+    QueueOverflow,
+    /// Writing a frame to the client failed.
+    WriteError,
+}
+
+impl DisconnectReason {
+    /// The stable lower-case name (for logs and wire transcripts).
+    pub fn name(self) -> &'static str {
+        match self {
+            DisconnectReason::Eof => "eof",
+            DisconnectReason::Error => "error",
+            DisconnectReason::WriteStalled => "write-stalled",
+            DisconnectReason::QueueOverflow => "queue-overflow",
+            DisconnectReason::WriteError => "write-error",
+        }
+    }
+}
+
+impl std::fmt::Display for DisconnectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -51,16 +104,104 @@ pub enum NetEvent {
     /// A recoverable per-frame decode failure (the connection lives on;
     /// reply with a structured error).
     BadFrame(ClientId, FrameError),
-    /// The connection is gone (EOF, I/O error, or a failed send).
-    /// Delivered exactly once per client; cancel its work.
-    Disconnected(ClientId),
+    /// The connection is gone, and why. Delivered exactly once per
+    /// client; cancel its work.
+    Disconnected(ClientId, DisconnectReason),
+}
+
+/// An injected outbound-write fault, produced by a
+/// [`WriteFaultHook`] and applied by the writer thread before (or
+/// instead of) the real frame write.
+#[derive(Debug)]
+pub enum WriteFault {
+    /// Fail the write outright with this error (the connection closes
+    /// with [`DisconnectReason::WriteError`]).
+    Error(io::Error),
+    /// Write a torn frame — length prefix plus half the payload — then
+    /// close. Simulates a crash mid-write.
+    Torn,
+    /// Sleep this long before writing (simulates a saturated peer; long
+    /// enough stalls trip the [`NetConfig::write_deadline`]).
+    Stall(Duration),
+}
+
+/// A hook consulted once per outbound frame; `Some(fault)` injects that
+/// fault. This is a closure (not a concrete fault-plane type) so this
+/// crate stays free of higher-layer dependencies — `synthd` adapts its
+/// seeded fault plane into one of these.
+pub type WriteFaultHook = Arc<dyn Fn() -> Option<WriteFault> + Send + Sync>;
+
+/// Tuning for [`NetServer::start_with`].
+#[derive(Clone)]
+pub struct NetConfig {
+    /// Per-frame payload cap (see [`DEFAULT_MAX_FRAME`]).
+    pub max_frame: usize,
+    /// How long a client's oldest undrained outbound frame may wait
+    /// before the client is disconnected as stalled. Default 5s.
+    pub write_deadline: Duration,
+    /// Outbound frames buffered per client before the connection is cut
+    /// as overflowed. Default 256.
+    pub queue_cap: usize,
+    /// Optional outbound-write fault injection.
+    pub write_fault: Option<WriteFaultHook>,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            write_deadline: Duration::from_secs(5),
+            queue_cap: 256,
+            write_fault: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for NetConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetConfig")
+            .field("max_frame", &self.max_frame)
+            .field("write_deadline", &self.write_deadline)
+            .field("queue_cap", &self.queue_cap)
+            .field("write_fault", &self.write_fault.is_some())
+            .finish()
+    }
+}
+
+/// One client's bounded outbound queue, shared between the serving loop
+/// (producer), the writer thread (consumer), and the sweeper.
+struct Outbox {
+    state: Mutex<OutboxState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+#[derive(Default)]
+struct OutboxState {
+    queue: VecDeque<Value>,
+    /// Set exactly once; the writer thread exits when it observes it.
+    closed: bool,
+    /// When the oldest still-undrained frame was enqueued; `None` when
+    /// everything enqueued so far has reached the socket.
+    pending_since: Option<Instant>,
+    /// The first recorded close reason wins (overflow/stall/write-error
+    /// beat the reader's generic EOF).
+    reason: Option<DisconnectReason>,
+}
+
+struct Client {
+    /// A shutdown handle (the reader and writer threads own their own
+    /// clones of the same connection).
+    stream: Stream,
+    outbox: Arc<Outbox>,
 }
 
 struct Shared {
-    writers: Mutex<HashMap<u64, Stream>>,
+    clients: Mutex<HashMap<u64, Client>>,
     accepting: AtomicBool,
+    shutdown: AtomicBool,
     next_id: AtomicU64,
-    max_frame: usize,
+    cfg: NetConfig,
 }
 
 /// The multi-client connection server. See the module docs.
@@ -68,6 +209,7 @@ pub struct NetServer {
     shared: Arc<Shared>,
     events: Receiver<NetEvent>,
     accept_threads: Vec<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
     addrs: Vec<ListenAddr>,
 }
 
@@ -81,19 +223,30 @@ impl std::fmt::Debug for NetServer {
 }
 
 impl NetServer {
+    /// Starts serving on `listeners` with default tuning and the given
+    /// frame cap. See [`NetServer::start_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `listeners` is empty.
+    pub fn start(listeners: Vec<Listener>, max_frame: usize) -> NetServer {
+        NetServer::start_with(listeners, NetConfig { max_frame, ..NetConfig::default() })
+    }
+
     /// Starts serving on `listeners` (at least one; unix and tcp mix
     /// freely — every accepted connection feeds the same event channel).
     ///
     /// # Panics
     ///
     /// Panics when `listeners` is empty.
-    pub fn start(listeners: Vec<Listener>, max_frame: usize) -> NetServer {
+    pub fn start_with(listeners: Vec<Listener>, cfg: NetConfig) -> NetServer {
         assert!(!listeners.is_empty(), "NetServer::start needs at least one listener");
         let shared = Arc::new(Shared {
-            writers: Mutex::new(HashMap::new()),
+            clients: Mutex::new(HashMap::new()),
             accepting: AtomicBool::new(true),
+            shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
-            max_frame,
+            cfg,
         });
         let (tx, rx) = mpsc::channel();
         let addrs = listeners.iter().map(Listener::local_addr).collect();
@@ -105,7 +258,11 @@ impl NetServer {
                 std::thread::spawn(move || accept_loop(&listener, &shared, &tx))
             })
             .collect();
-        NetServer { shared, events: rx, accept_threads, addrs }
+        let sweeper = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || sweep_loop(&shared))
+        };
+        NetServer { shared, events: rx, accept_threads, sweeper: Some(sweeper), addrs }
     }
 
     /// The bound addresses (TCP ports resolved).
@@ -115,16 +272,16 @@ impl NetServer {
 
     /// Live connections.
     pub fn connections(&self) -> usize {
-        self.shared.writers.lock().expect("writers lock").len()
+        self.shared.clients.lock().expect("clients lock").len()
     }
 
     /// The ids of every live connection (for broadcasts), in id order.
     pub fn client_ids(&self) -> Vec<ClientId> {
         let mut ids: Vec<ClientId> = self
             .shared
-            .writers
+            .clients
             .lock()
-            .expect("writers lock")
+            .expect("clients lock")
             .keys()
             .map(|&id| ClientId(id))
             .collect();
@@ -137,30 +294,42 @@ impl NetServer {
         self.events.try_recv().ok()
     }
 
-    /// Writes one frame to a client. Returns `false` when the client is
-    /// gone (unknown id, or the write failed — in which case the
-    /// connection is closed and its `Disconnected` event follows).
+    /// Enqueues one frame for a client; its writer thread delivers it.
+    /// Never blocks on the client's socket. Returns `false` when the
+    /// client is gone, or when this frame overflowed its queue — in
+    /// which case the connection is closed
+    /// ([`DisconnectReason::QueueOverflow`]) and its `Disconnected`
+    /// event follows.
     pub fn send(&self, client: ClientId, msg: &Value) -> bool {
-        let mut writers = self.shared.writers.lock().expect("writers lock");
-        let Some(stream) = writers.get_mut(&client.0) else {
+        let clients = self.shared.clients.lock().expect("clients lock");
+        let Some(conn) = clients.get(&client.0) else {
             return false;
         };
-        if let Err(_e) = write_frame(stream, msg) {
-            // A dead peer: shut the stream so the reader thread observes
-            // EOF and delivers the Disconnected event.
-            stream.shutdown();
-            writers.remove(&client.0);
+        let mut st = conn.outbox.state.lock().expect("outbox lock");
+        if st.closed {
             return false;
         }
+        if st.queue.len() >= conn.outbox.cap {
+            st.closed = true;
+            st.reason.get_or_insert(DisconnectReason::QueueOverflow);
+            conn.outbox.ready.notify_all();
+            conn.stream.shutdown();
+            return false;
+        }
+        st.queue.push_back(msg.clone());
+        if st.pending_since.is_none() {
+            st.pending_since = Some(Instant::now());
+        }
+        conn.outbox.ready.notify_one();
         true
     }
 
     /// Closes one client's connection (its reader delivers the
     /// `Disconnected` event).
     pub fn close(&self, client: ClientId) {
-        let writers = self.shared.writers.lock().expect("writers lock");
-        if let Some(stream) = writers.get(&client.0) {
-            stream.shutdown();
+        let clients = self.shared.clients.lock().expect("clients lock");
+        if let Some(conn) = clients.get(&client.0) {
+            conn.stream.shutdown();
         }
     }
 
@@ -177,9 +346,9 @@ impl NetServer {
     /// Shuts every connection down (readers deliver their
     /// `Disconnected` events as they exit).
     pub fn close_all(&self) {
-        let writers = self.shared.writers.lock().expect("writers lock");
-        for stream in writers.values() {
-            stream.shutdown();
+        let clients = self.shared.clients.lock().expect("clients lock");
+        for conn in clients.values() {
+            conn.stream.shutdown();
         }
     }
 }
@@ -188,24 +357,38 @@ impl Drop for NetServer {
     fn drop(&mut self) {
         self.stop_accepting();
         self.close_all();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(sweeper) = self.sweeper.take() {
+            let _ = sweeper.join();
+        }
     }
 }
 
-fn accept_loop(listener: &Listener, shared: &Shared, tx: &Sender<NetEvent>) {
+fn accept_loop(listener: &Listener, shared: &Arc<Shared>, tx: &Sender<NetEvent>) {
     while shared.accepting.load(Ordering::SeqCst) {
         match listener.poll_accept() {
             Ok(Some(stream)) => {
                 let id = ClientId(shared.next_id.fetch_add(1, Ordering::Relaxed));
-                let Ok(reader) = stream.try_clone() else {
+                let (Ok(reader), Ok(writer)) = (stream.try_clone(), stream.try_clone()) else {
                     // Could not split the connection; drop it silently —
                     // the client sees a close before any hello.
                     continue;
                 };
-                shared.writers.lock().expect("writers lock").insert(id.0, stream);
+                let outbox = Arc::new(Outbox {
+                    state: Mutex::new(OutboxState::default()),
+                    ready: Condvar::new(),
+                    cap: shared.cfg.queue_cap,
+                });
+                shared
+                    .clients
+                    .lock()
+                    .expect("clients lock")
+                    .insert(id.0, Client { stream, outbox: Arc::clone(&outbox) });
                 if tx.send(NetEvent::Connected(id)).is_err() {
                     return; // server dropped
                 }
-                spawn_reader(id, reader, shared.max_frame, tx.clone());
+                spawn_writer(writer, outbox, shared.cfg.write_fault.clone());
+                spawn_reader(id, reader, Arc::clone(shared), tx.clone());
             }
             Ok(None) => std::thread::sleep(Duration::from_millis(2)),
             Err(_) => {
@@ -218,8 +401,84 @@ fn accept_loop(listener: &Listener, shared: &Shared, tx: &Sender<NetEvent>) {
     }
 }
 
-fn spawn_reader(id: ClientId, mut stream: Stream, max_frame: usize, tx: Sender<NetEvent>) {
+/// Disconnects every client whose oldest undrained frame has waited past
+/// the write deadline. The socket shutdown doubles as the unblocking
+/// mechanism: a writer thread parked inside `write_frame` on a full
+/// socket buffer fails out immediately.
+fn sweep_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        {
+            let clients = shared.clients.lock().expect("clients lock");
+            for conn in clients.values() {
+                let mut st = conn.outbox.state.lock().expect("outbox lock");
+                let stalled = !st.closed
+                    && st
+                        .pending_since
+                        .is_some_and(|since| since.elapsed() >= shared.cfg.write_deadline);
+                if stalled {
+                    st.closed = true;
+                    st.reason.get_or_insert(DisconnectReason::WriteStalled);
+                    conn.outbox.ready.notify_all();
+                    conn.stream.shutdown();
+                }
+            }
+        }
+        std::thread::sleep(SWEEP_TICK);
+    }
+}
+
+fn spawn_writer(mut stream: Stream, outbox: Arc<Outbox>, fault: Option<WriteFaultHook>) {
     std::thread::spawn(move || {
+        loop {
+            let msg = {
+                let mut st = outbox.state.lock().expect("outbox lock");
+                loop {
+                    if st.closed {
+                        return;
+                    }
+                    if let Some(msg) = st.queue.pop_front() {
+                        break msg;
+                    }
+                    st = outbox.ready.wait(st).expect("outbox lock");
+                }
+            };
+            let result = match fault.as_ref().and_then(|hook| hook()) {
+                Some(WriteFault::Stall(pause)) => {
+                    std::thread::sleep(pause);
+                    write_frame(&mut stream, &msg)
+                }
+                Some(WriteFault::Torn) => {
+                    let _ = write_torn_frame(&mut stream, &msg);
+                    Err(io::Error::other("injected torn frame write"))
+                }
+                Some(WriteFault::Error(e)) => Err(e),
+                None => write_frame(&mut stream, &msg),
+            };
+            let mut st = outbox.state.lock().expect("outbox lock");
+            match result {
+                Ok(()) => {
+                    if st.queue.is_empty() {
+                        st.pending_since = None;
+                    }
+                }
+                Err(_) => {
+                    st.closed = true;
+                    st.reason.get_or_insert(DisconnectReason::WriteError);
+                    drop(st);
+                    // Shut the connection so the reader observes EOF and
+                    // delivers the Disconnected event.
+                    stream.shutdown();
+                    return;
+                }
+            }
+        }
+    });
+}
+
+fn spawn_reader(id: ClientId, mut stream: Stream, shared: Arc<Shared>, tx: Sender<NetEvent>) {
+    std::thread::spawn(move || {
+        let max_frame = shared.cfg.max_frame;
+        let mut end = DisconnectReason::Eof;
         loop {
             match read_frame(&mut stream, max_frame) {
                 Ok(Some(Ok(msg))) => {
@@ -232,13 +491,34 @@ fn spawn_reader(id: ClientId, mut stream: Stream, max_frame: usize, tx: Sender<N
                         break;
                     }
                 }
-                // Clean EOF or torn frame / transport error: either way
-                // the connection is over.
-                Ok(None) | Err(_) => break,
+                // A clean EOF, or a torn frame / transport error: either
+                // way the connection is over.
+                Ok(None) => break,
+                Err(_) => {
+                    end = DisconnectReason::Error;
+                    break;
+                }
             }
         }
         stream.shutdown();
-        let _ = tx.send(NetEvent::Disconnected(id));
+        // Retire the client and settle the close reason: a reason the
+        // writer/sweeper recorded (stall, overflow, write error) beats
+        // what this reader observed, which is merely the echo of the
+        // shutdown they issued.
+        let reason = {
+            let mut clients = shared.clients.lock().expect("clients lock");
+            match clients.remove(&id.0) {
+                Some(conn) => {
+                    let mut st = conn.outbox.state.lock().expect("outbox lock");
+                    st.closed = true;
+                    let reason = *st.reason.get_or_insert(end);
+                    conn.outbox.ready.notify_all();
+                    reason
+                }
+                None => end,
+            }
+        };
+        let _ = tx.send(NetEvent::Disconnected(id, reason));
     });
 }
 
@@ -258,11 +538,15 @@ mod tests {
         }
     }
 
-    #[test]
-    fn accepts_decodes_replies_and_reports_disconnect() {
+    fn tcp_server(cfg: NetConfig) -> (NetServer, ListenAddr) {
         let listener = Listener::bind(&ListenAddr::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
         let addr = listener.local_addr();
-        let mut server = NetServer::start(vec![listener], DEFAULT_MAX_FRAME);
+        (NetServer::start_with(vec![listener], cfg), addr)
+    }
+
+    #[test]
+    fn accepts_decodes_replies_and_reports_disconnect() {
+        let (mut server, addr) = tcp_server(NetConfig::default());
         let mut client = Stream::connect(&addr).unwrap();
         let NetEvent::Connected(id) = recv_event(&server) else {
             panic!("first event is Connected");
@@ -284,10 +568,83 @@ mod tests {
         write_frame(&mut client, &Value::obj([("op", Value::from("after"))])).unwrap();
         assert!(matches!(recv_event(&server), NetEvent::Request(f, _) if f == id));
         client.shutdown();
-        assert!(matches!(recv_event(&server), NetEvent::Disconnected(f) if f == id));
+        assert!(matches!(
+            recv_event(&server),
+            NetEvent::Disconnected(f, DisconnectReason::Eof) if f == id
+        ));
         assert!(!server.send(id, &Value::Null), "sends to a gone client fail");
         server.stop_accepting();
         assert!(Stream::connect(&addr).is_err(), "listener closed after stop_accepting");
+    }
+
+    #[test]
+    fn stalled_clients_are_disconnected_at_the_write_deadline() {
+        // Every outbound write stalls far past the deadline: the sweeper
+        // must cut the client, and the healthy client must be untouched.
+        let cfg = NetConfig {
+            write_deadline: Duration::from_millis(50),
+            write_fault: Some(Arc::new(|| Some(WriteFault::Stall(Duration::from_millis(400))))),
+            ..NetConfig::default()
+        };
+        let (server, addr) = tcp_server(cfg);
+        let _client = Stream::connect(&addr).unwrap();
+        let NetEvent::Connected(id) = recv_event(&server) else {
+            panic!("Connected first");
+        };
+        assert!(server.send(id, &Value::obj([("seq", Value::Int(1))])));
+        assert!(matches!(
+            recv_event(&server),
+            NetEvent::Disconnected(f, DisconnectReason::WriteStalled) if f == id
+        ));
+        assert!(!server.send(id, &Value::Null), "the stalled client is gone");
+    }
+
+    #[test]
+    fn overflowing_a_clients_queue_disconnects_it() {
+        // The hook reports (then stalls) so the test can wait for the
+        // writer thread to be mid-write, making queue depth deterministic.
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let cfg = NetConfig {
+            queue_cap: 2,
+            write_deadline: Duration::from_secs(30),
+            write_fault: Some(Arc::new(move || {
+                let _ = entered_tx.send(());
+                Some(WriteFault::Stall(Duration::from_secs(5)))
+            })),
+            ..NetConfig::default()
+        };
+        let (server, addr) = tcp_server(cfg);
+        let _client = Stream::connect(&addr).unwrap();
+        let NetEvent::Connected(id) = recv_event(&server) else {
+            panic!("Connected first");
+        };
+        assert!(server.send(id, &Value::Int(1)));
+        entered_rx.recv_timeout(Duration::from_secs(5)).expect("writer picked up frame 1");
+        assert!(server.send(id, &Value::Int(2)));
+        assert!(server.send(id, &Value::Int(3)));
+        assert!(!server.send(id, &Value::Int(4)), "the third queued frame overflows cap 2");
+        assert!(matches!(
+            recv_event(&server),
+            NetEvent::Disconnected(f, DisconnectReason::QueueOverflow) if f == id
+        ));
+    }
+
+    #[test]
+    fn injected_write_errors_close_the_connection_structurally() {
+        let cfg = NetConfig {
+            write_fault: Some(Arc::new(|| Some(WriteFault::Error(io::Error::other("injected"))))),
+            ..NetConfig::default()
+        };
+        let (server, addr) = tcp_server(cfg);
+        let _client = Stream::connect(&addr).unwrap();
+        let NetEvent::Connected(id) = recv_event(&server) else {
+            panic!("Connected first");
+        };
+        assert!(server.send(id, &Value::obj([("ok", Value::Bool(true))])), "the enqueue succeeds");
+        assert!(matches!(
+            recv_event(&server),
+            NetEvent::Disconnected(f, DisconnectReason::WriteError) if f == id
+        ));
     }
 
     use std::io::Write as _;

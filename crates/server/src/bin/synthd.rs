@@ -12,16 +12,41 @@
 
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-use apiphany_net::{install_term_flag, ListenAddr, Listener, NetServer, DEFAULT_MAX_FRAME};
+use apiphany_core::{FaultKind, FaultPlane, FaultPoint};
+use apiphany_net::{
+    install_term_flag, ListenAddr, Listener, NetConfig, NetServer, WriteFault, WriteFaultHook,
+    DEFAULT_MAX_FRAME,
+};
 use apiphany_server::{run_daemon, run_net_daemon, NetOptions};
+
+/// Adapts the seeded fault plane into the transport's write-fault hook.
+/// `panic` has no meaning for a writer thread, so it degrades to an
+/// injected I/O error (a structured disconnect, not a dead thread).
+fn write_fault_hook(plane: &FaultPlane) -> Option<WriteFaultHook> {
+    if !plane.is_enabled() {
+        return None;
+    }
+    let plane = plane.clone();
+    Some(Arc::new(move || match plane.hit(FaultPoint::FrameWrite) {
+        None => None,
+        Some(FaultKind::Stall) => Some(WriteFault::Stall(plane.stall())),
+        Some(FaultKind::TornWrite) => Some(WriteFault::Torn),
+        Some(FaultKind::IoError | FaultKind::Panic) => Some(WriteFault::Error(
+            apiphany_core::fault::injected_io_error(FaultPoint::FrameWrite),
+        )),
+    }))
+}
 
 fn main() -> ExitCode {
     let mut opts = NetOptions::default();
     let mut listen: Vec<ListenAddr> = Vec::new();
     let mut stdio = false;
     let mut max_frame = DEFAULT_MAX_FRAME;
+    let mut fault_seed = 0u64;
+    let mut fault_spec: Option<String> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -84,6 +109,45 @@ fn main() -> ExitCode {
                 }
                 _ => return usage("--drain-secs needs a number of seconds"),
             },
+            "--retries" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) => {
+                    opts.daemon.retry.retries = n;
+                    i += 1;
+                }
+                _ => return usage("--retries needs a non-negative count"),
+            },
+            "--backoff-ms" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => {
+                    opts.daemon.retry.backoff = Duration::from_millis(n);
+                    i += 1;
+                }
+                _ => return usage("--backoff-ms needs a number of milliseconds"),
+            },
+            "--write-deadline-ms" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    opts.write_deadline = Duration::from_millis(n);
+                    i += 1;
+                }
+                _ => return usage("--write-deadline-ms needs a positive number of milliseconds"),
+            },
+            "--fault-seed" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => {
+                    fault_seed = n;
+                    i += 1;
+                }
+                _ => return usage("--fault-seed needs an integer seed"),
+            },
+            "--fault" => match args.get(i + 1) {
+                Some(spec) => {
+                    fault_spec = Some(spec.clone());
+                    i += 1;
+                }
+                None => {
+                    return usage(
+                        "--fault needs a schedule like 'artifact_write=torn,frame_write=stall:1/4'",
+                    )
+                }
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument '{other}'")),
         }
@@ -91,6 +155,15 @@ fn main() -> ExitCode {
     }
     if stdio && !listen.is_empty() {
         return usage("--stdio and --listen are mutually exclusive");
+    }
+    if let Some(spec) = &fault_spec {
+        match FaultPlane::parse(fault_seed, spec) {
+            Ok(plane) => {
+                eprintln!("synthd: fault injection enabled (seed {fault_seed}, '{spec}')");
+                opts.daemon.fault = plane;
+            }
+            Err(message) => return usage(&message),
+        }
     }
 
     if listen.is_empty() {
@@ -127,12 +200,22 @@ fn main() -> ExitCode {
             }
         }
     }
-    let server = NetServer::start(listeners, max_frame);
+    let cfg = NetConfig {
+        max_frame,
+        write_deadline: opts.write_deadline,
+        write_fault: write_fault_hook(&opts.daemon.fault),
+        ..NetConfig::default()
+    };
+    let server = NetServer::start_with(listeners, cfg);
     match run_net_daemon(server, &opts, &term) {
         Ok(summary) => {
             eprintln!(
-                "synthd: served {} clients, {} requests, {} events, shed {}",
-                summary.clients, summary.daemon.requests, summary.daemon.events, summary.shed
+                "synthd: served {} clients, {} requests, {} events, shed {}, stalled {}",
+                summary.clients,
+                summary.daemon.requests,
+                summary.daemon.events,
+                summary.shed,
+                summary.stalled
             );
             ExitCode::SUCCESS
         }
@@ -152,6 +235,15 @@ fn usage(error: &str) -> ExitCode {
          \x20             [--listen unix:<path>|tcp:<host>:<port>]...\n\
          \x20             [--max-frame BYTES] [--max-client-live N]\n\
          \x20             [--max-client-waiting N] [--high-water N] [--drain-secs S]\n\
+         \x20             [--retries N] [--backoff-ms MS] [--write-deadline-ms MS]\n\
+         \x20             [--fault-seed N] [--fault SPEC]\n\
+         Robustness: transient analysis failures are retried N times with\n\
+         exponential backoff; clients that stop reading are disconnected\n\
+         after the write deadline. --fault enables deterministic fault\n\
+         injection from a seeded schedule, e.g.\n\
+         \x20 --fault-seed 7 --fault 'artifact_write=torn:1/4,frame_write=stall'\n\
+         (points: artifact_read, artifact_write, frame_write, analysis,\n\
+         worker_start; kinds: io, torn, panic, stall).\n\
          Default mode speaks the JSON-lines protocol on stdin/stdout:\n\
          register (with optional prewarm), query, cancel, list, inspect,\n\
          evict, status, shutdown. With --listen (repeatable), serves the\n\

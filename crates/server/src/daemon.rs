@@ -27,8 +27,8 @@ use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::time::Duration;
 
 use apiphany_core::{
-    CancelScopes, CatalogSubmission, Engine, EngineError, Event, Job, JobState, Multiplexer,
-    Scheduler, ScopeTicket, ServiceCatalog, ServiceLookup, Session,
+    CancelScopes, CatalogSubmission, Engine, EngineError, Event, FaultPlane, Job, JobState,
+    Multiplexer, RetryPolicy, Scheduler, ScopeTicket, ServiceCatalog, ServiceLookup, Session,
 };
 use apiphany_json::Value;
 
@@ -47,11 +47,23 @@ pub struct DaemonOptions {
     /// Artifact cache directory for the catalog (analyses persist across
     /// daemon restarts).
     pub cache_dir: Option<PathBuf>,
+    /// How transient analysis failures are retried (attempt count and
+    /// backoff base).
+    pub retry: RetryPolicy,
+    /// The fault-injection plane wired into the catalog's analysis jobs
+    /// and the scheduler's search workers. Disabled by default (a no-op
+    /// in production).
+    pub fault: FaultPlane,
 }
 
 impl Default for DaemonOptions {
     fn default() -> DaemonOptions {
-        DaemonOptions { slots: 2, cache_dir: None }
+        DaemonOptions {
+            slots: 2,
+            cache_dir: None,
+            retry: RetryPolicy::default(),
+            fault: FaultPlane::disabled(),
+        }
     }
 }
 
@@ -135,6 +147,10 @@ pub(crate) struct Daemon {
     /// Queries queued behind their service's analysis job (value = the
     /// spec's reporting cap, installed once the session arrives).
     pending: HashMap<QKey, Option<usize>>,
+    /// Live queries' search-job handles, kept so a worker that dies
+    /// without a `Finished` event can be closed out with the job's
+    /// structured failure reason instead of a generic message.
+    jobs: HashMap<QKey, Job<()>>,
     /// Analysis jobs being reported to clients.
     watchers: Vec<Watch>,
     /// Client-scoped cancellation: every live session's token, filed
@@ -281,9 +297,12 @@ impl Daemon {
     /// A fresh daemon core plus the receiving end of its analysis-job
     /// continuation channel (the serving loop polls it).
     pub(crate) fn new(opts: &DaemonOptions) -> (Daemon, Receiver<Delivery>) {
-        let scheduler = Scheduler::new(opts.slots);
+        let scheduler = Scheduler::new(opts.slots).with_fault(opts.fault.clone());
         let catalog = {
-            let mut catalog = ServiceCatalog::new().with_runtime(scheduler.runtime().clone());
+            let mut catalog = ServiceCatalog::new()
+                .with_runtime(scheduler.runtime().clone())
+                .with_retry(opts.retry)
+                .with_fault(opts.fault.clone());
             if let Some(dir) = &opts.cache_dir {
                 catalog = catalog.with_cache_dir(dir);
             }
@@ -296,6 +315,7 @@ impl Daemon {
             mux: Multiplexer::new(),
             top_k: HashMap::new(),
             pending: HashMap::new(),
+            jobs: HashMap::new(),
             watchers: Vec::new(),
             scopes: CancelScopes::new(),
             tickets: HashMap::new(),
@@ -526,6 +546,7 @@ impl Daemon {
             ("queued_analysis", Value::Int(stats.queued_analysis as i64)),
             ("running", Value::Int(stats.running as i64)),
             ("analysis_running", Value::Int(stats.analysis_running as i64)),
+            ("analysis_retries", Value::Int(stats.analysis_retries.min(i64::MAX as u64) as i64)),
         ]);
         let lanes = Value::obj([
             (
@@ -635,6 +656,9 @@ impl Daemon {
         let ticket = self.scopes.register(key.client, session.cancel_token());
         self.tickets.insert(key.clone(), ticket);
         self.top_k.insert(key.clone(), cap);
+        if let Some(job) = session.job() {
+            self.jobs.insert(key.clone(), job.clone());
+        }
         self.mux.push(key, session);
     }
 
@@ -746,6 +770,7 @@ impl Daemon {
             sink.emit(key.client, &event_value(&key.id, &event, cap))?;
             if matches!(event, Event::Finished(_)) {
                 self.top_k.remove(&key);
+                self.jobs.remove(&key);
                 self.release_ticket(&key);
             }
             return Ok(true);
@@ -764,10 +789,15 @@ impl Daemon {
                 self.summary.events += 1;
                 self.top_k.remove(&key);
                 self.release_ticket(&key);
-                sink.emit(
-                    key.client,
-                    &error_event(&key.id, "session worker terminated unexpectedly"),
-                )?;
+                // The settled job carries the panic's message: close the
+                // query out with the structured reason.
+                let message = match self.jobs.remove(&key).map(|job| job.state()) {
+                    Some(JobState::Failed(reason)) => {
+                        format!("search worker panicked: {reason}")
+                    }
+                    _ => "session worker terminated unexpectedly".to_string(),
+                };
+                sink.emit(key.client, &error_event(&key.id, &message))?;
             }
             return Ok(progressed);
         }

@@ -25,7 +25,9 @@
 use std::time::{Duration, Instant};
 
 use apiphany_json::Value;
-use apiphany_net::{check_version, FrameError, NetEvent, NetServer, TermFlag, PROTOCOL_VERSION};
+use apiphany_net::{
+    check_version, DisconnectReason, FrameError, NetEvent, NetServer, TermFlag, PROTOCOL_VERSION,
+};
 
 use crate::daemon::{Daemon, DaemonOptions, DaemonSummary, Sink};
 use crate::proto::{
@@ -48,6 +50,11 @@ pub struct NetOptions {
     /// How long a drain lets in-flight work keep running before
     /// cancelling the remainder.
     pub drain_grace: Duration,
+    /// How long a client's oldest undrained outbound frame may wait
+    /// before the transport disconnects it as stalled (the
+    /// [`apiphany_net::NetConfig::write_deadline`] the binary passes to
+    /// the transport).
+    pub write_deadline: Duration,
 }
 
 impl Default for NetOptions {
@@ -58,6 +65,7 @@ impl Default for NetOptions {
             max_client_waiting: 16,
             search_high_water: 64,
             drain_grace: Duration::from_secs(10),
+            write_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -71,6 +79,9 @@ pub struct NetSummary {
     pub clients: usize,
     /// Queries shed by admission control (`overloaded` / `draining`).
     pub shed: usize,
+    /// Connections the transport cut for not keeping up (write deadline
+    /// exceeded, or outbound queue overflow).
+    pub stalled: usize,
 }
 
 /// Routes each protocol line to its client's connection. A send to a
@@ -129,6 +140,7 @@ pub fn run_net_daemon(
     let (mut daemon, done_rx) = Daemon::new(&opts.daemon);
     let mut clients = 0usize;
     let mut shed = 0usize;
+    let mut stalled = 0usize;
     let mut draining = false;
     let mut drain_deadline: Option<Instant> = None;
     let mut cancelled_rest = false;
@@ -158,7 +170,13 @@ pub fn run_net_daemon(
                         &coded_error_response(None, None, code, &err.to_string()),
                     );
                 }
-                NetEvent::Disconnected(client) => {
+                NetEvent::Disconnected(client, reason) => {
+                    if matches!(
+                        reason,
+                        DisconnectReason::WriteStalled | DisconnectReason::QueueOverflow
+                    ) {
+                        stalled += 1;
+                    }
                     daemon.drop_client(client.0);
                 }
                 NetEvent::Request(client, msg) => {
@@ -224,7 +242,7 @@ pub fn run_net_daemon(
 
     // Streams are drained; drop every remaining connection and return.
     server.close_all();
-    Ok(NetSummary { daemon: daemon.summary, clients, shed })
+    Ok(NetSummary { daemon: daemon.summary, clients, shed, stalled })
 }
 
 /// Stops accepting and announces the drain to every connected client.

@@ -263,6 +263,20 @@ pub fn service_info_value(info: &ServiceInfo) -> Value {
             },
         ),
         (
+            "source",
+            match info.source {
+                None => Value::Null,
+                Some(source) => Value::from(source.name()),
+            },
+        ),
+        (
+            "cache_warning",
+            match &info.cache_warning {
+                None => Value::Null,
+                Some(warning) => Value::from(warning.as_str()),
+            },
+        ),
+        (
             "job",
             match &info.job {
                 None => Value::Null,

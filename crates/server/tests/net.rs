@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use apiphany_json::{parse, Value};
 use apiphany_net::{
-    read_frame, write_frame, ListenAddr, Listener, NetServer, Stream, TermFlag,
+    read_frame, write_frame, ListenAddr, Listener, NetConfig, NetServer, Stream, TermFlag,
     DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use apiphany_server::{run_daemon, run_net_daemon, DaemonOptions, NetOptions, NetSummary};
@@ -93,7 +93,16 @@ impl TestServer {
     fn start(addr: &ListenAddr, opts: NetOptions) -> TestServer {
         let listener = Listener::bind(addr).expect("bind test listener");
         let addr = listener.local_addr();
-        let server = NetServer::start(vec![listener], DEFAULT_MAX_FRAME);
+        // The transport config the synthd binary derives from the same
+        // options; a roomy queue cap so a cut non-reading client is
+        // always a write-deadline stall, never an overflow.
+        let cfg = NetConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            write_deadline: opts.write_deadline,
+            queue_cap: 16_384,
+            ..NetConfig::default()
+        };
+        let server = NetServer::start_with(vec![listener], cfg);
         let term = TermFlag::new();
         let term_server = term.clone();
         let handle = thread::spawn(move || run_net_daemon(server, &opts, &term_server));
@@ -447,7 +456,9 @@ proptest! {
     /// Two clients interleaving over one socket — deliberately reusing
     /// the *same* query id — each see exactly the event stream a
     /// dedicated single-client stdio run produces, for every slot count
-    /// and either send order.
+    /// and either send order. A third client that stops reading and
+    /// floods requests is cut at the write deadline without perturbing
+    /// either stream.
     #[test]
     fn interleaved_client_streams_match_dedicated_runs(
         slots in 1usize..4,
@@ -472,6 +483,7 @@ proptest! {
 
         let opts = NetOptions {
             daemon: DaemonOptions { slots, ..DaemonOptions::default() },
+            write_deadline: Duration::from_millis(150),
             ..NetOptions::default()
         };
         let server = TestServer::start_unix(opts);
@@ -480,6 +492,20 @@ proptest! {
         register_warm(&mut a);
         let mut b = Client::connect(&server.addr);
         b.expect_hello();
+
+        // A misbehaving third client: never reads (not even the hello),
+        // floods requests until the replies fill its socket buffers and
+        // the server's writer blocks. The sweeper must cut it at the
+        // write deadline; a cut mid-flood fails the remaining writes.
+        let mut staller = Stream::connect(&server.addr).expect("connect staller");
+        let mut status = parse(r#"{"op":"status"}"#).unwrap();
+        status.set("v", Value::Int(PROTOCOL_VERSION));
+        for _ in 0..3000 {
+            if write_frame(&mut staller, &status).is_err() {
+                break;
+            }
+        }
+        thread::sleep(Duration::from_millis(600)); // past deadline + sweep tick
 
         // Both clients issue id "q" concurrently: ids are per-client.
         a.send(&specs[0]("q", depths[0]));
@@ -494,7 +520,9 @@ proptest! {
         prop_assert_eq!(&got_b, &references[1]);
 
         let summary = server.drain();
-        prop_assert_eq!(summary.clients, 2);
+        prop_assert_eq!(summary.clients, 3);
         prop_assert_eq!(summary.shed, 0);
+        // Exactly the non-reading client was cut as stalled.
+        prop_assert_eq!(summary.stalled, 1);
     }
 }

@@ -11,12 +11,17 @@
 //! ```
 //!
 //! Flags: `--register` (register `demo` from the `fig7` builtin first),
-//! `--id <query id>` (default `q1`), `--depth <n>` (default 7), and
+//! `--id <query id>` (default `q1`), `--depth <n>` (default 7),
 //! `--disconnect-after <n>` (drop the connection without goodbye after
 //! receiving `n` candidate events — for exercising the server's
-//! disconnect-cancels-my-work path).
+//! disconnect-cancels-my-work path), and `--stall <secs>` (misbehave:
+//! flood requests without reading any reply, hold for that long, and
+//! expect the server to cut the connection at its write deadline — for
+//! exercising slow-client isolation).
 
+use std::io::Read;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use apiphany_repro::json::{parse, Value};
 use apiphany_repro::net::{
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
     let mut id = "q1".to_string();
     let mut depth = 7usize;
     let mut disconnect_after: Option<usize> = None;
+    let mut stall: Option<Duration> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -54,6 +60,13 @@ fn main() -> ExitCode {
                     i += 1;
                 }
                 None => return usage("--disconnect-after needs a count"),
+            },
+            "--stall" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => {
+                    stall = Some(Duration::from_secs(n));
+                    i += 1;
+                }
+                None => return usage("--stall needs a number of seconds"),
             },
             "--help" | "-h" => return usage(""),
             other if addr.is_none() => match ListenAddr::parse(other) {
@@ -88,6 +101,11 @@ fn main() -> ExitCode {
             &mut stream,
             r#"{"op":"register","service":"demo","builtin":"fig7","prewarm":true}"#,
         );
+    }
+
+    // Stall mode: flood requests, never read, and wait to be cut.
+    if let Some(hold) = stall {
+        return run_stall(&mut stream, hold);
     }
     send(
         &mut stream,
@@ -137,13 +155,63 @@ fn main() -> ExitCode {
     }
 }
 
+/// The deliberately misbehaving client: floods `status` requests without
+/// reading a single reply (so the server's writer to us backs up and
+/// blocks), holds for `hold`, then drains what is left and expects the
+/// connection to be *closed* — the server's slow-client isolation cut us
+/// at its write deadline. Exits 0 when cut, 1 when the server let a
+/// non-reading client linger.
+fn run_stall(stream: &mut Stream, hold: Duration) -> ExitCode {
+    let mut msg = parse(r#"{"op":"status"}"#).expect("request literal is valid JSON");
+    msg.set("v", Value::Int(PROTOCOL_VERSION));
+    let mut sent = 0usize;
+    for _ in 0..5000 {
+        // A cut mid-flood (broken pipe) is the expected success path.
+        if write_frame(stream, &msg).is_err() {
+            break;
+        }
+        sent += 1;
+    }
+    eprintln!("net_client: stalling for {}s after {sent} unread requests", hold.as_secs());
+    std::thread::sleep(hold);
+    // Drain the backlog the server wrote before cutting us; EOF (or a
+    // reset) proves the disconnect.
+    if stream.set_read_timeout(Some(Duration::from_millis(500))).is_err() {
+        eprintln!("net_client: server cut the stalled connection");
+        return ExitCode::SUCCESS;
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut buf = [0u8; 65536];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                eprintln!("net_client: server cut the stalled connection");
+                return ExitCode::SUCCESS;
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    eprintln!("net_client: still connected after stalling; giving up");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(_) => {
+                eprintln!("net_client: server cut the stalled connection");
+                return ExitCode::SUCCESS;
+            }
+        }
+    }
+}
+
 fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("net_client: {error}");
     }
     eprintln!(
         "usage: net_client <unix:PATH|tcp:HOST:PORT> [--register] [--id ID]\n\
-         \x20                 [--depth N] [--disconnect-after N]"
+         \x20                 [--depth N] [--disconnect-after N] [--stall SECS]"
     );
     if error.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,145 @@
+//! Seeded chaos: the serving plane under deterministic fault injection.
+//!
+//! Each case runs a full daemon conversation — register, overlapping
+//! queries, a cancel, shutdown — with a [`FaultPlane`] firing I/O
+//! errors, torn artifact writes, stalls, and worker panics from a seeded
+//! schedule, then runs the *same* conversation again over the same
+//! artifact cache directory (so read-side faults chew on real cached
+//! artifacts, including ones a torn write tried to corrupt). The
+//! invariants, per run:
+//!
+//! * the serving loop never wedges: it returns within the watchdog
+//!   deadline no matter which faults fired;
+//! * every *acked* query id receives exactly one terminal event — a
+//!   `finished` or an `error` — never zero, never two;
+//! * every output line is well-formed JSON (structured failure, not
+//!   garbage, is the contract under faults).
+//!
+//! Failures reproduce exactly from the printed seed: the fault schedule
+//! is a pure function of (seed, injection-point call index).
+
+use std::io::Cursor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use apiphany_repro::core::{FaultPlane, RetryPolicy};
+use apiphany_repro::json::{parse, Value};
+use apiphany_repro::server::{run_daemon, DaemonOptions};
+use proptest::prelude::*;
+
+/// The fault schedules the chaos sweep draws from: every injection point
+/// gets exercised across the set, with rates high enough to fire in a
+/// short conversation but low enough that some work usually succeeds.
+const SCHEDULES: [&str; 4] = [
+    "analysis=io:1/3,artifact_write=torn:1/2",
+    "worker_start=panic:1/2",
+    "artifact_read=io:1/2,analysis=stall:1/4",
+    "analysis=panic:1/5,artifact_write=io:1/2",
+];
+
+const SCRIPT: &str = concat!(
+    r#"{"op":"register","service":"demo","builtin":"fig7","prewarm":true}"#,
+    "\n",
+    r#"{"op":"query","id":"q1","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":7}"#,
+    "\n",
+    r#"{"op":"query","id":"q2","service":"demo","output":"[Channel]","depth":5}"#,
+    "\n",
+    r#"{"op":"cancel","id":"q1"}"#,
+    "\n",
+    r#"{"op":"query","id":"q3","service":"demo","output":"[Channel]","depth":4}"#,
+    "\n",
+    r#"{"op":"shutdown"}"#,
+    "\n",
+);
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_cache_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "apiphany-chaos-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> &'a str {
+    v.get(key).and_then(Value::as_str).unwrap_or("")
+}
+
+/// Runs one scripted daemon conversation under `opts`, with a watchdog:
+/// a wedged serving loop fails the test instead of hanging it. Returns
+/// the parsed output lines.
+fn chaos_run(opts: DaemonOptions, context: &str) -> Vec<Value> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let input = Cursor::new(SCRIPT.as_bytes().to_vec());
+        let mut output = Vec::new();
+        let result = run_daemon(input, &mut output, &opts).map(|_| output);
+        let _ = tx.send(result);
+    });
+    let output = rx
+        .recv_timeout(Duration::from_secs(120))
+        .unwrap_or_else(|_| panic!("daemon wedged under faults ({context})"))
+        .unwrap_or_else(|e| panic!("daemon i/o error ({context}): {e}"));
+    String::from_utf8(output)
+        .unwrap_or_else(|e| panic!("non-UTF-8 output ({context}): {e}"))
+        .lines()
+        .map(|line| {
+            parse(line).unwrap_or_else(|e| panic!("bad output line ({context}) {line:?}: {e}"))
+        })
+        .collect()
+}
+
+/// The invariant: every acked query id gets exactly one terminal event.
+fn assert_exactly_one_terminal(lines: &[Value], context: &str) {
+    let acked: Vec<&str> = lines
+        .iter()
+        .filter(|l| {
+            l.get("ok").and_then(Value::as_bool) == Some(true) && str_field(l, "op") == "query"
+        })
+        .map(|l| str_field(l, "id"))
+        .collect();
+    assert!(!acked.is_empty(), "no query was acked ({context})");
+    for id in acked {
+        let terminals = lines
+            .iter()
+            .filter(|l| {
+                str_field(l, "id") == id
+                    && matches!(str_field(l, "event"), "finished" | "error")
+            })
+            .count();
+        assert_eq!(
+            terminals, 1,
+            "acked id '{id}' got {terminals} terminal events ({context}): {lines:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn acked_queries_always_terminate_under_fault_schedules(
+        seed in 0u64..1024,
+        which in 0usize..SCHEDULES.len(),
+    ) {
+        let spec = SCHEDULES[which];
+        let cache_dir = temp_cache_dir();
+        // Two runs over one cache dir: the first mostly mines (write-side
+        // faults), the second mostly loads artifacts (read-side faults,
+        // quarantine of anything the first run's torn writes left).
+        for round in 0..2 {
+            let context = format!("seed {seed}, spec '{spec}', round {round}");
+            let opts = DaemonOptions {
+                slots: 2,
+                cache_dir: Some(cache_dir.clone()),
+                retry: RetryPolicy { retries: 2, backoff: Duration::from_millis(5) },
+                fault: FaultPlane::parse(seed.wrapping_add(round), spec)
+                    .expect("chaos schedule parses"),
+            };
+            let lines = chaos_run(opts, &context);
+            assert_exactly_one_terminal(&lines, &context);
+        }
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+}
