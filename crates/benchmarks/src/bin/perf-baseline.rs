@@ -15,7 +15,12 @@
 //!
 //! A counting global allocator reports real heap allocations per search
 //! node (the "allocation-lean DFS" claim, measured rather than asserted).
-//! Results are written as JSON (default `BENCH_pr3.json`).
+//! The measured runs report through the `apiphany_telemetry` registry
+//! (the final snapshot is attached to the report), and a micro-bench
+//! quantifies the registry's overhead: the same serial search with the
+//! registry disabled vs. enabled. Results are written as JSON (default
+//! `BENCH_pr9.json`, the `BENCH_pr3.json` schema plus `metrics` and
+//! `telemetry_overhead` blocks).
 //!
 //! Flags: `--smoke` (tiny configuration for CI), `--max-len N`,
 //! `--threads 2,4,8`, `--out PATH`.
@@ -29,7 +34,7 @@ use apiphany_benchmarks::{
     BenchOutcome,
 };
 use apiphany_core::json::Value;
-use apiphany_core::Apiphany;
+use apiphany_core::{Apiphany, Telemetry};
 use apiphany_ttn::{
     enumerate_search, query_markings, CancelToken, SearchConfig, SearchEvent, SearchStats,
 };
@@ -70,13 +75,19 @@ struct SearchRun {
     allocs: u64,
 }
 
-fn run_search(engine: &Apiphany, max_len: usize, threads: usize) -> SearchRun {
+fn run_search(
+    engine: &Apiphany,
+    max_len: usize,
+    threads: usize,
+    telemetry: &Telemetry,
+) -> SearchRun {
     let query = engine
         .query("{ channel_name: objs_conversation.name } → [objs_user_profile.email]")
         .expect("benchmark 1.1 query parses");
     let net = engine.synthesizer().net();
     let (init, fin) = query_markings(net, &query).expect("query has places");
-    let cfg = SearchConfig { max_len, threads, ..SearchConfig::default() };
+    let cfg =
+        SearchConfig { max_len, threads, telemetry: telemetry.clone(), ..SearchConfig::default() };
     let mut stream_hash: u64 = 0xcbf2_9ce4_8422_2325;
     let mut paths = 0u64;
     let allocs_before = ALLOCS.load(Ordering::Relaxed);
@@ -165,15 +176,19 @@ fn main() {
     let thread_counts: Vec<usize> = opt("--threads")
         .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
         .unwrap_or_else(|| if smoke { vec![2] } else { vec![2, 4, 8] });
-    let out_path = opt("--out").unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_pr9.json".to_string());
 
     eprintln!("preparing slack engine (analysis phase)...");
     let prepared = prepare_api(Api::Slack, &default_analyze_config());
     let engine = prepared.engine;
 
+    // Every measured run reports through one enabled registry; its final
+    // snapshot goes into the report.
+    let telemetry = Telemetry::enabled();
+
     // Phase 1: path search, serial then parallel.
     eprintln!("path search: emails_of_channel, depth {max_len}, serial...");
-    let serial = run_search(&engine, max_len, 1);
+    let serial = run_search(&engine, max_len, 1, &telemetry);
     eprintln!(
         "  serial: {:.3}s, {} paths, {} nodes, {:.4} allocs/node",
         serial.wall.as_secs_f64(),
@@ -184,7 +199,7 @@ fn main() {
     let mut parallel_runs = Vec::new();
     for &threads in &thread_counts {
         eprintln!("path search: {threads} threads...");
-        let run = run_search(&engine, max_len, threads);
+        let run = run_search(&engine, max_len, threads, &telemetry);
         eprintln!(
             "  {} threads: {:.3}s, bit-identical: {}",
             threads,
@@ -193,6 +208,36 @@ fn main() {
         );
         parallel_runs.push(run);
     }
+
+    // Micro-bench: the registry's cost on the serial search. The
+    // disabled run exercises the exact same instrumented code with the
+    // no-op handles. Runs are interleaved disabled/enabled and the best
+    // wall per mode is compared, so a background load spike hits both
+    // modes instead of masquerading as (negative) overhead. Tier-1
+    // acceptance wants the disabled path within 2% of free — which we
+    // can only bound from the enabled side: if even the *enabled*
+    // registry is within noise of the disabled one, the disabled path
+    // is too.
+    eprintln!("telemetry micro-bench: serial search, registry disabled vs enabled...");
+    let pairs = if smoke { 1 } else { 2 };
+    let mut disabled_secs = f64::INFINITY;
+    let mut enabled_secs = serial.wall.as_secs_f64();
+    for _ in 0..pairs {
+        let disabled_run = run_search(&engine, max_len, 1, &Telemetry::default());
+        if disabled_run.stream_hash != serial.stream_hash || disabled_run.paths != serial.paths
+        {
+            eprintln!("ERROR: telemetry changed the emitted path stream");
+            std::process::exit(1);
+        }
+        disabled_secs = disabled_secs.min(disabled_run.wall.as_secs_f64());
+        let enabled_run = run_search(&engine, max_len, 1, &telemetry);
+        enabled_secs = enabled_secs.min(enabled_run.wall.as_secs_f64());
+    }
+    let overhead_pct = (enabled_secs - disabled_secs) / disabled_secs.max(1e-9) * 100.0;
+    eprintln!(
+        "  disabled {disabled_secs:.3}s vs enabled {enabled_secs:.3}s \
+         ({overhead_pct:+.2}% with the registry on; best of {pairs} interleaved pairs)"
+    );
 
     // Phase 2: end-to-end synthesis over the Slack suite.
     let e2e_len = max_len.min(6);
@@ -246,7 +291,7 @@ fn main() {
         .min(serial.wall.as_secs_f64());
 
     let report = Value::obj(vec![
-        ("bench", Value::Str("perf-baseline (PR 3)".into())),
+        ("bench", Value::Str("perf-baseline (PR 9)".into())),
         ("workload", Value::Str(format!(
             "emails_of_channel (Table 2 benchmark 1.1, slack): full TTN level \
              enumeration depths 1..={max_len} + 8-benchmark slack easy suite at depth {e2e_len}"
@@ -294,6 +339,16 @@ fn main() {
             ("rows_compared", Value::Int(rows_compared as i64)),
             ("rows_deadline_limited", Value::Int(rows_deadline_limited as i64)),
         ])),
+        ("telemetry_overhead", Value::obj(vec![
+            ("workload", Value::Str(format!(
+                "serial emails_of_channel search, depths 1..={max_len}"
+            ))),
+            ("disabled_wall_secs", Value::Float(disabled_secs)),
+            ("enabled_wall_secs", Value::Float(enabled_secs)),
+            ("enabled_overhead_pct", Value::Float(overhead_pct)),
+            ("bit_identical", Value::Bool(true)),
+        ])),
+        ("metrics", telemetry.snapshot_value()),
     ]);
     std::fs::write(&out_path, report.to_json()).expect("write bench report");
     eprintln!("wrote {out_path}");

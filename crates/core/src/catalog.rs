@@ -84,6 +84,7 @@ use std::time::{Duration, Instant};
 use apiphany_analysis::DiagnosticSummary;
 use apiphany_mining::{AnalyzeStats, MiningConfig};
 use apiphany_spec::{CancelToken, Library, Witness};
+use apiphany_telemetry::Telemetry;
 use apiphany_ttn::BuildOptions;
 
 use crate::fault::{FaultKind, FaultPlane, FaultPoint};
@@ -209,6 +210,9 @@ struct JobConfig {
     fault: FaultPlane,
     /// The runtime's shared retry counter, when the catalog has one.
     retry_counter: Option<Arc<AtomicU64>>,
+    /// The observability plane analysis jobs report into (disabled by
+    /// default; free when disabled).
+    telemetry: Telemetry,
 }
 
 impl Default for JobConfig {
@@ -221,6 +225,7 @@ impl Default for JobConfig {
             lock: LockConfig::default(),
             fault: FaultPlane::disabled(),
             retry_counter: None,
+            telemetry: Telemetry::default(),
         }
     }
 }
@@ -372,6 +377,19 @@ impl ServiceCatalog {
         self
     }
 
+    /// Installs an observability plane: analysis jobs record their
+    /// duration (`catalog.analyze_us`), their provenance
+    /// (`catalog.source.{mined,cache,peer,artifact}` counters), and any
+    /// artifact-store warning (a `cache.warning` flight-recorder event).
+    /// [`ServiceCatalog::with_runtime`] adopts the runtime's telemetry
+    /// automatically; this sets it explicitly (e.g. for runtime-less
+    /// catalogs).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ServiceCatalog {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
     #[cfg(test)]
     fn with_lock_config(mut self, lock: LockConfig) -> ServiceCatalog {
         self.cfg.lock = lock;
@@ -385,6 +403,9 @@ impl ServiceCatalog {
     /// search jobs of any [`crate::Scheduler`] on the same runtime.
     pub fn with_runtime(mut self, runtime: JobRuntime) -> ServiceCatalog {
         self.cfg.retry_counter = Some(runtime.retry_counter());
+        if !self.cfg.telemetry.is_enabled() {
+            self.cfg.telemetry = runtime.telemetry().clone();
+        }
         self.runtime = Some(runtime);
         self
     }
@@ -524,7 +545,8 @@ impl ServiceCatalog {
         // Claim the analysis: move the inputs into the job and publish
         // the job handle in their place, so every concurrent lookup
         // subscribes to this job.
-        let job: Job<Engine> = Job::new(self.next_job_id(), JobKind::Analysis, name);
+        let job: Job<Engine> =
+            Job::new(self.next_job_id(), JobKind::Analysis, name, self.cfg.telemetry.clone());
         let (n_methods, n_witnesses) = match entries.get(name) {
             Some(Entry::Spec { library, witnesses }) => {
                 (library.stats().n_methods, witnesses.len())
@@ -574,6 +596,7 @@ impl ServiceCatalog {
                 JobKind::Analysis,
                 name,
                 JobOutcome::Done(engine),
+                self.cfg.telemetry.clone(),
             )),
         }
     }
@@ -711,6 +734,17 @@ fn run_analysis_job(
             }
         }
     };
+    if cfg.telemetry.is_enabled() {
+        if let Some(source) = source {
+            cfg.telemetry.histogram("catalog.analyze_us").record_duration(start.elapsed());
+            cfg.telemetry.counter(&format!("catalog.source.{source}")).inc();
+        }
+        if let Some(w) = &cache_warning {
+            cfg.telemetry.counter("catalog.cache_warnings").inc();
+            cfg.telemetry
+                .record("cache.warning", [("service", name), ("warning", w.as_str())]);
+        }
+    }
     publish(entries, name, job, &outcome, start.elapsed(), source, cache_warning);
     job.settle(outcome);
 }
@@ -1528,6 +1562,38 @@ mod tests {
         assert!(std::sync::Arc::ptr_eq(&engine.inner, &direct.inner));
     }
 
+    /// Analysis jobs report their duration, provenance, and store
+    /// warnings through the catalog's telemetry plane.
+    #[test]
+    fn analysis_telemetry_reports_duration_provenance_and_warnings() {
+        let telemetry = Telemetry::enabled();
+        let runtime = JobRuntime::new(1).with_telemetry(telemetry.clone());
+        let catalog = demo_catalog().with_runtime(runtime);
+        catalog.engine("demo").unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("catalog.source.mined"), Some(1));
+        let analyze = snap.histogram("catalog.analyze_us").expect("duration recorded");
+        assert_eq!(analyze.count(), 1);
+        assert_eq!(snap.counter("jobs.completed"), Some(1));
+
+        // A quarantined corrupt artifact surfaces as a counter plus a
+        // flight-recorder event (explicit install, runtime-less catalog).
+        let dir = temp_dir("telemetry-warn");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("demo.analysis.json"), "{ bad").unwrap();
+        let catalog =
+            ServiceCatalog::new().with_cache_dir(&dir).with_telemetry(telemetry.clone());
+        catalog.register_spec("demo", fig7_library(), fig4_witnesses()).unwrap();
+        catalog.engine("demo").unwrap();
+        assert_eq!(telemetry.snapshot().counter("catalog.cache_warnings"), Some(1));
+        let events = telemetry.recorder_dump();
+        let warn =
+            events.iter().find(|e| e.kind == "cache.warning").expect("warning recorded");
+        assert_eq!(warn.field("service"), Some("demo"));
+        assert!(warn.field("warning").unwrap().contains("quarantined"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// A panicking analysis body settles the job `Failed` (instead of
     /// leaving subscribers blocked), unregisters the name, and frees it
     /// for re-registration. Driven through the real job body with a
@@ -1535,7 +1601,7 @@ mod tests {
     #[test]
     fn panicking_analysis_settles_failed_and_unregisters() {
         let catalog = demo_catalog();
-        let job: Job<Engine> = Job::new(JobId(77), JobKind::Analysis, "demo");
+        let job: Job<Engine> = Job::new(JobId(77), JobKind::Analysis, "demo", Telemetry::default());
         // Claim the entry by hand, exactly as `lookup` would.
         catalog
             .entries

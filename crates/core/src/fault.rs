@@ -39,6 +39,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use apiphany_telemetry::Telemetry;
+
 /// A named place in the serving stack where faults can be injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultPoint {
@@ -178,6 +180,12 @@ struct Inner {
     streams: Vec<Mutex<XorShift>>,
     stall: Duration,
     fired: AtomicU64,
+    /// Observer installed by the serving layer: every fired fault is
+    /// mirrored into its flight recorder (`fault.trip` events) and the
+    /// `fault.trips` counter. Behind a mutex because it is installed
+    /// after construction; the lock is only taken when a fault actually
+    /// fires (or at install), never on the no-fault path.
+    telemetry: Mutex<Option<Telemetry>>,
 }
 
 /// A seeded schedule of injected faults, shared (cheaply, by `Arc`) by
@@ -229,6 +237,7 @@ impl FaultPlane {
                 streams,
                 stall: Duration::from_millis(50),
                 fired: AtomicU64::new(0),
+                telemetry: Mutex::new(None),
             })),
         }
     }
@@ -253,8 +262,21 @@ impl FaultPlane {
                         .collect(),
                     stall,
                     fired: AtomicU64::new(inner.fired.load(Ordering::Relaxed)),
+                    telemetry: Mutex::new(
+                        inner.telemetry.lock().expect("fault telemetry lock").clone(),
+                    ),
                 })),
             },
+        }
+    }
+
+    /// Installs (or replaces) the observability plane fired faults are
+    /// mirrored into: each trip appends a `fault.trip` flight-recorder
+    /// event naming the point and kind, and bumps the `fault.trips`
+    /// counter. A no-op on a disabled plane.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        if let Some(inner) = &self.inner {
+            *inner.telemetry.lock().expect("fault telemetry lock") = Some(telemetry);
         }
     }
 
@@ -341,8 +363,13 @@ impl FaultPlane {
                 fired = Some(rule.kind);
             }
         }
-        if fired.is_some() {
+        if let Some(kind) = fired {
             inner.fired.fetch_add(1, Ordering::Relaxed);
+            if let Some(telemetry) = &*inner.telemetry.lock().expect("fault telemetry lock") {
+                telemetry.counter("fault.trips").inc();
+                telemetry
+                    .record("fault.trip", [("point", point.name()), ("kind", kind.name())]);
+            }
         }
         fired
     }
@@ -441,6 +468,30 @@ mod tests {
         let io = FaultPlane::parse(3, "artifact_read=io").unwrap();
         let err = io.io(FaultPoint::ArtifactRead).unwrap_err();
         assert!(err.to_string().contains("injected fault"), "{err}");
+    }
+
+    /// Every fired fault is mirrored into the installed telemetry plane:
+    /// the recorder's `fault.trip` event count equals [`FaultPlane::fired`].
+    #[test]
+    fn fired_faults_land_in_the_flight_recorder() {
+        let plane = FaultPlane::parse(11, "analysis=io:1/2,artifact_write=torn").unwrap();
+        let telemetry = Telemetry::enabled();
+        plane.set_telemetry(telemetry.clone());
+        for _ in 0..16 {
+            let _ = plane.hit(FaultPoint::AnalysisBody);
+            let _ = plane.hit(FaultPoint::ArtifactWrite);
+        }
+        let trips: Vec<_> =
+            telemetry.recorder_dump().into_iter().filter(|e| e.kind == "fault.trip").collect();
+        assert_eq!(trips.len() as u64, plane.fired());
+        assert!(trips.iter().any(|e| e.field("point") == Some("artifact_write")
+            && e.field("kind") == Some("torn")));
+        assert_eq!(telemetry.snapshot().counter("fault.trips"), Some(plane.fired()));
+        // `with_stall` keeps the observer.
+        let stalled = plane.with_stall(Duration::ZERO);
+        let before = telemetry.snapshot().counter("fault.trips").unwrap();
+        let _ = stalled.hit(FaultPoint::ArtifactWrite);
+        assert_eq!(telemetry.snapshot().counter("fault.trips"), Some(before + 1));
     }
 
     #[test]

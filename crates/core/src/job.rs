@@ -30,7 +30,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
+use apiphany_telemetry::Telemetry;
 use apiphany_ttn::pool::{Lane, SharedPool};
 use apiphany_ttn::CancelToken;
 
@@ -164,6 +166,14 @@ struct JobInner<T> {
     cancel: CancelToken,
     phase: Mutex<Phase<T>>,
     changed: Condvar,
+    /// When the job was created (queue latency = created → running).
+    created: Instant,
+    /// When the job entered `Running` (run time = running → settled).
+    started: Mutex<Option<Instant>>,
+    /// Observability plane: queue/run latency histograms, terminal-state
+    /// counters, and one flight-recorder event per state transition
+    /// (which is how a post-mortem dump names the affected job ids).
+    telemetry: Telemetry,
 }
 
 /// A clonable handle on one scheduled unit of work. See the module docs.
@@ -190,7 +200,12 @@ impl<T> std::fmt::Debug for Job<T> {
 
 impl<T> Job<T> {
     /// A fresh job in `Queued` with its own cancellation token.
-    pub(crate) fn new(id: JobId, kind: JobKind, label: impl Into<String>) -> Job<T> {
+    pub(crate) fn new(
+        id: JobId,
+        kind: JobKind,
+        label: impl Into<String>,
+        telemetry: Telemetry,
+    ) -> Job<T> {
         Job {
             inner: Arc::new(JobInner {
                 id,
@@ -199,6 +214,9 @@ impl<T> Job<T> {
                 cancel: CancelToken::new(),
                 phase: Mutex::new(Phase::Queued(Vec::new())),
                 changed: Condvar::new(),
+                created: Instant::now(),
+                started: Mutex::new(None),
+                telemetry,
             }),
         }
     }
@@ -277,6 +295,23 @@ impl<T> Job<T> {
             *phase = Phase::Running(std::mem::take(subs));
             drop(phase);
             self.inner.changed.notify_all();
+            let telemetry = &self.inner.telemetry;
+            if telemetry.is_enabled() {
+                let now = Instant::now();
+                *self.inner.started.lock().expect("job started lock") = Some(now);
+                telemetry
+                    .histogram("jobs.queue_us")
+                    .record_duration(now.duration_since(self.inner.created));
+                telemetry.record(
+                    "job",
+                    [
+                        ("id", self.inner.id.to_string()),
+                        ("kind", self.inner.kind.name().to_string()),
+                        ("label", self.inner.label.clone()),
+                        ("state", "running".to_string()),
+                    ],
+                );
+            }
         }
     }
 }
@@ -289,8 +324,9 @@ impl<T: Clone> Job<T> {
         kind: JobKind,
         label: impl Into<String>,
         outcome: JobOutcome<T>,
+        telemetry: Telemetry,
     ) -> Job<T> {
-        let job = Job::new(id, kind, label);
+        let job = Job::new(id, kind, label, telemetry);
         job.settle(outcome);
         job
     }
@@ -339,6 +375,10 @@ impl<T: Clone> Job<T> {
             match &mut *phase {
                 Phase::Terminal(_) => return,
                 Phase::Queued(subs) | Phase::Running(subs) => {
+                    // Count the settle *before* the phase flips: a waiter
+                    // released by the flip may snapshot the registry
+                    // immediately, and must find this job already counted.
+                    self.record_settle(&outcome);
                     let subs = std::mem::take(subs);
                     *phase = Phase::Terminal(outcome.clone());
                     subs
@@ -349,6 +389,38 @@ impl<T: Clone> Job<T> {
         for cb in callbacks {
             cb(&outcome);
         }
+    }
+
+    /// The settle-side telemetry: run duration, the terminal counter, and
+    /// the flight-recorder `job` event. Called exactly once, under the
+    /// phase lock (the telemetry plane takes no job locks, so the nesting
+    /// cannot invert).
+    fn record_settle(&self, outcome: &JobOutcome<T>) {
+        let telemetry = &self.inner.telemetry;
+        if !telemetry.is_enabled() {
+            return;
+        }
+        let state = outcome.state();
+        if let Some(started) = *self.inner.started.lock().expect("job started lock") {
+            telemetry.histogram("jobs.run_us").record_duration(started.elapsed());
+        }
+        telemetry
+            .counter(match state {
+                JobState::Failed(_) => "jobs.failed",
+                JobState::Cancelled => "jobs.cancelled",
+                _ => "jobs.completed",
+            })
+            .inc();
+        let mut fields = vec![
+            ("id", self.inner.id.to_string()),
+            ("kind", self.inner.kind.name().to_string()),
+            ("label", self.inner.label.clone()),
+            ("state", state.name().to_string()),
+        ];
+        if let JobState::Failed(reason) = &state {
+            fields.push(("reason", reason.clone()));
+        }
+        telemetry.record("job", fields);
     }
 }
 
@@ -385,6 +457,7 @@ pub struct JobRuntime {
     pool: SharedPool,
     ids: Arc<AtomicU64>,
     retries: Arc<AtomicU64>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for JobRuntime {
@@ -406,7 +479,23 @@ impl JobRuntime {
             pool,
             ids: Arc::new(AtomicU64::new(1)),
             retries: Arc::new(AtomicU64::new(0)),
+            telemetry: Telemetry::default(),
         }
+    }
+
+    /// The same runtime reporting into `telemetry`: every job it creates
+    /// records its queue/run latency and state transitions there, and
+    /// [`JobRuntime::stats`] publishes the lane-occupancy gauges.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> JobRuntime {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The observability plane this runtime reports into (the disabled
+    /// plane unless [`JobRuntime::with_telemetry`] installed one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The shared supervised-retry counter: bumped by the
@@ -433,7 +522,7 @@ impl JobRuntime {
 
     /// Creates a fresh `Queued` job tracked by this runtime's id space.
     pub(crate) fn new_job<T: Clone>(&self, kind: JobKind, label: impl Into<String>) -> Job<T> {
-        Job::new(self.next_id(), kind, label)
+        Job::new(self.next_id(), kind, label, self.telemetry.clone())
     }
 
     /// Submits a job body to the pool lane matching `kind`. The body owns
@@ -442,9 +531,14 @@ impl JobRuntime {
         self.pool.spawn_lane(kind.lane(), body);
     }
 
-    /// A snapshot of queue and slot occupancy.
+    /// A snapshot of queue and slot occupancy. When a telemetry plane is
+    /// installed the per-lane occupancy gauges (`pool.queued_search`,
+    /// `pool.queued_analysis`, `pool.running`, `pool.analysis_running`)
+    /// and the `jobs.retries` counter-gauge are refreshed from the same
+    /// numbers, so a metrics snapshot taken right after agrees with the
+    /// report.
     pub fn stats(&self) -> RuntimeStats {
-        RuntimeStats {
+        let stats = RuntimeStats {
             slots: self.pool.slots(),
             queued_search: self.pool.queued_lane(Lane::Search),
             queued_analysis: self.pool.queued_lane(Lane::Analysis),
@@ -452,7 +546,19 @@ impl JobRuntime {
             analysis_running: self.pool.analysis_in_flight(),
             analysis_cap: self.pool.slots().saturating_sub(1).max(1),
             analysis_retries: self.retries.load(Ordering::Relaxed),
+        };
+        if self.telemetry.is_enabled() {
+            let as_i64 = |v: usize| i64::try_from(v).unwrap_or(i64::MAX);
+            self.telemetry.gauge("pool.slots").set(as_i64(stats.slots));
+            self.telemetry.gauge("pool.queued_search").set(as_i64(stats.queued_search));
+            self.telemetry.gauge("pool.queued_analysis").set(as_i64(stats.queued_analysis));
+            self.telemetry.gauge("pool.running").set(as_i64(stats.running));
+            self.telemetry.gauge("pool.analysis_running").set(as_i64(stats.analysis_running));
+            self.telemetry
+                .gauge("jobs.retries")
+                .set(i64::try_from(stats.analysis_retries).unwrap_or(i64::MAX));
         }
+        stats
     }
 }
 
@@ -462,7 +568,7 @@ mod tests {
 
     #[test]
     fn state_machine_walks_queued_running_done() {
-        let job: Job<u32> = Job::new(JobId(1), JobKind::Search, "t");
+        let job: Job<u32> = Job::new(JobId(1), JobKind::Search, "t", Telemetry::default());
         assert_eq!(job.state(), JobState::Queued);
         assert!(!job.state().is_terminal());
         job.mark_running();
@@ -479,7 +585,7 @@ mod tests {
     #[test]
     fn subscribers_run_exactly_once_in_flight_or_late() {
         use std::sync::atomic::AtomicUsize;
-        let job: Job<u32> = Job::new(JobId(2), JobKind::Analysis, "svc");
+        let job: Job<u32> = Job::new(JobId(2), JobKind::Analysis, "svc", Telemetry::default());
         let early = Arc::new(AtomicUsize::new(0));
         let e = Arc::clone(&early);
         job.on_terminal(move |outcome| {
@@ -500,7 +606,8 @@ mod tests {
 
     #[test]
     fn wait_blocks_until_settled_across_threads() {
-        let job: Job<&'static str> = Job::new(JobId(3), JobKind::Analysis, "svc");
+        let job: Job<&'static str> =
+            Job::new(JobId(3), JobKind::Analysis, "svc", Telemetry::default());
         let waiter = job.clone();
         let handle = std::thread::spawn(move || waiter.wait_outcome());
         std::thread::sleep(std::time::Duration::from_millis(5));
@@ -511,7 +618,7 @@ mod tests {
 
     #[test]
     fn cancel_is_a_shared_token() {
-        let job: Job<()> = Job::new(JobId(4), JobKind::Search, "q");
+        let job: Job<()> = Job::new(JobId(4), JobKind::Search, "q", Telemetry::default());
         let token = job.cancel_token();
         assert!(!token.is_cancelled());
         job.cancel();
@@ -520,6 +627,55 @@ mod tests {
         assert_eq!(job.state(), JobState::Queued);
         job.settle(JobOutcome::Cancelled);
         assert_eq!(job.wait(), JobState::Cancelled);
+    }
+
+    /// Every state transition of an instrumented job lands in the flight
+    /// recorder with the job's id, and the latency histograms and
+    /// terminal counters fill in.
+    #[test]
+    fn instrumented_jobs_record_transitions_latencies_and_counters() {
+        let telemetry = Telemetry::enabled();
+        let done: Job<u32> = Job::new(JobId(9), JobKind::Search, "q1", telemetry.clone());
+        done.mark_running();
+        done.settle(JobOutcome::Done(1));
+        let failed: Job<u32> = Job::new(JobId(10), JobKind::Analysis, "svc", telemetry.clone());
+        failed.mark_running();
+        failed.settle(JobOutcome::Failed("boom".into()));
+        let cancelled: Job<u32> = Job::new(JobId(11), JobKind::Search, "q2", telemetry.clone());
+        cancelled.settle(JobOutcome::Cancelled); // cancelled while queued
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("jobs.completed"), Some(1));
+        assert_eq!(snap.counter("jobs.failed"), Some(1));
+        assert_eq!(snap.counter("jobs.cancelled"), Some(1));
+        // Two jobs ran; the queued-cancelled one has no run-time sample.
+        assert_eq!(snap.histogram("jobs.queue_us").unwrap().count(), 2);
+        assert_eq!(snap.histogram("jobs.run_us").unwrap().count(), 2);
+        let dump = telemetry.recorder_dump();
+        let of = |id: &str, state: &str| {
+            dump.iter().any(|e| {
+                e.kind == "job" && e.field("id") == Some(id) && e.field("state") == Some(state)
+            })
+        };
+        assert!(of("job-9", "running") && of("job-9", "done"), "{dump:?}");
+        assert!(of("job-10", "failed"));
+        assert!(
+            dump.iter().any(|e| e.field("id") == Some("job-10")
+                && e.field("reason") == Some("boom")),
+            "failure reason must be recorded"
+        );
+        assert!(of("job-11", "cancelled") && !of("job-11", "running"));
+    }
+
+    #[test]
+    fn runtime_stats_publish_occupancy_gauges() {
+        let telemetry = Telemetry::enabled();
+        let runtime = JobRuntime::new(2).with_telemetry(telemetry.clone());
+        let _ = runtime.stats();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.gauge("pool.slots"), Some(2));
+        assert_eq!(snap.gauge("pool.running"), Some(0));
+        assert_eq!(snap.gauge("pool.queued_search"), Some(0));
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub use apiphany_mining as mining;
 pub use apiphany_re as re;
 pub use apiphany_spec as spec;
 pub use apiphany_synth as synth;
+pub use apiphany_telemetry as telemetry;
 pub use apiphany_ttn as ttn;
 
 mod artifact;
@@ -80,6 +81,7 @@ mod sched;
 mod scope;
 mod session;
 
+pub use apiphany_telemetry::Telemetry;
 pub use apiphany_ttn::pool::SharedPool;
 pub use apiphany_ttn::{Budget, CancelToken, InvalidBudget};
 pub use artifact::AnalysisArtifact;

@@ -141,8 +141,9 @@ impl Scheduler {
     /// [`EngineError::Budget`] when the spec's budget is invalid.
     pub fn submit(&self, engine: &Engine, spec: &QuerySpec) -> Result<Session, EngineError> {
         let query = spec.resolve(engine.semlib())?;
-        let cfg = spec.run_config();
+        let mut cfg = spec.run_config();
         cfg.synthesis.budget.validate()?;
+        cfg.synthesis.telemetry = self.runtime.telemetry().clone();
         let label = spec.service.clone().unwrap_or_default();
         let job = self.runtime.new_job(JobKind::Search, label);
         Ok(Session::spawn_job(
@@ -245,13 +246,17 @@ impl Scheduler {
         cfg: &RunConfig,
     ) -> Result<Session, EngineError> {
         cfg.synthesis.budget.validate()?;
+        let mut cfg = cfg.clone();
+        if !cfg.synthesis.telemetry.is_enabled() {
+            cfg.synthesis.telemetry = self.runtime.telemetry().clone();
+        }
         let job = self.runtime.new_job(JobKind::Search, String::new());
         Ok(Session::spawn_job(
             &self.runtime,
             job,
             Arc::clone(&engine.inner),
             query.clone(),
-            cfg.clone(),
+            cfg,
             self.fault.clone(),
         ))
     }

@@ -32,7 +32,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -181,6 +181,9 @@ struct OutboxState {
     queue: VecDeque<Value>,
     /// Set exactly once; the writer thread exits when it observes it.
     closed: bool,
+    /// A polite goodbye is pending: no new frames are accepted, and the
+    /// writer shuts the connection down once the queue is drained.
+    close_after_flush: bool,
     /// When the oldest still-undrained frame was enqueued; `None` when
     /// everything enqueued so far has reached the socket.
     pending_since: Option<Instant>,
@@ -201,6 +204,9 @@ struct Shared {
     accepting: AtomicBool,
     shutdown: AtomicBool,
     next_id: AtomicU64,
+    /// The deepest any client's outbound queue has ever been (a
+    /// backpressure gauge for the observability plane).
+    outbox_high_water: AtomicUsize,
     cfg: NetConfig,
 }
 
@@ -246,6 +252,7 @@ impl NetServer {
             accepting: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
+            outbox_high_water: AtomicUsize::new(0),
             cfg,
         });
         let (tx, rx) = mpsc::channel();
@@ -306,7 +313,7 @@ impl NetServer {
             return false;
         };
         let mut st = conn.outbox.state.lock().expect("outbox lock");
-        if st.closed {
+        if st.closed || st.close_after_flush {
             return false;
         }
         if st.queue.len() >= conn.outbox.cap {
@@ -317,11 +324,19 @@ impl NetServer {
             return false;
         }
         st.queue.push_back(msg.clone());
+        self.shared.outbox_high_water.fetch_max(st.queue.len(), Ordering::Relaxed);
         if st.pending_since.is_none() {
             st.pending_since = Some(Instant::now());
         }
         conn.outbox.ready.notify_one();
         true
+    }
+
+    /// The deepest any client's outbound queue has ever been — the
+    /// backpressure high-water mark (0 when every frame was drained
+    /// before the next was enqueued).
+    pub fn outbox_high_water(&self) -> usize {
+        self.shared.outbox_high_water.load(Ordering::Relaxed)
     }
 
     /// Closes one client's connection (its reader delivers the
@@ -330,6 +345,21 @@ impl NetServer {
         let clients = self.shared.clients.lock().expect("clients lock");
         if let Some(conn) = clients.get(&client.0) {
             conn.stream.shutdown();
+        }
+    }
+
+    /// Closes one client's connection after its already-queued outbound
+    /// frames have reached the socket — the polite cut for protocol
+    /// refusals (e.g. an auth failure whose structured error must still
+    /// be delivered). New sends are refused immediately; the reader
+    /// delivers the `Disconnected` event once the writer shuts the
+    /// stream down.
+    pub fn close_after_flush(&self, client: ClientId) {
+        let clients = self.shared.clients.lock().expect("clients lock");
+        if let Some(conn) = clients.get(&client.0) {
+            let mut st = conn.outbox.state.lock().expect("outbox lock");
+            st.close_after_flush = true;
+            conn.outbox.ready.notify_all();
         }
     }
 
@@ -438,6 +468,15 @@ fn spawn_writer(mut stream: Stream, outbox: Arc<Outbox>, fault: Option<WriteFaul
                     }
                     if let Some(msg) = st.queue.pop_front() {
                         break msg;
+                    }
+                    if st.close_after_flush {
+                        // The goodbye is fully written; now cut the
+                        // connection (the reader reports a clean EOF).
+                        st.closed = true;
+                        st.reason.get_or_insert(DisconnectReason::Eof);
+                        drop(st);
+                        stream.shutdown();
+                        return;
                     }
                     st = outbox.ready.wait(st).expect("outbox lock");
                 }
@@ -578,6 +617,26 @@ mod tests {
     }
 
     #[test]
+    fn close_after_flush_delivers_queued_frames_then_eof() {
+        let (server, addr) = tcp_server(NetConfig::default());
+        let mut client = Stream::connect(&addr).unwrap();
+        let NetEvent::Connected(id) = recv_event(&server) else {
+            panic!("Connected first");
+        };
+        assert!(server.send(id, &Value::obj([("goodbye", Value::Bool(true))])));
+        server.close_after_flush(id);
+        assert!(!server.send(id, &Value::Null), "post-goodbye sends are refused");
+        // The queued frame still arrives, then the stream ends cleanly.
+        let frame = read_frame(&mut client, DEFAULT_MAX_FRAME).unwrap().unwrap().unwrap();
+        assert_eq!(frame.get("goodbye").and_then(Value::as_bool), Some(true));
+        assert!(read_frame(&mut client, DEFAULT_MAX_FRAME).unwrap().is_none(), "clean EOF");
+        assert!(matches!(
+            recv_event(&server),
+            NetEvent::Disconnected(f, DisconnectReason::Eof) if f == id
+        ));
+    }
+
+    #[test]
     fn stalled_clients_are_disconnected_at_the_write_deadline() {
         // Every outbound write stalls far past the deadline: the sweeper
         // must cut the client, and the healthy client must be untouched.
@@ -627,6 +686,7 @@ mod tests {
             recv_event(&server),
             NetEvent::Disconnected(f, DisconnectReason::QueueOverflow) if f == id
         ));
+        assert_eq!(server.outbox_high_water(), 2, "the backpressure high-water mark sticks");
     }
 
     #[test]

@@ -47,6 +47,8 @@ fn main() -> ExitCode {
     let mut max_frame = DEFAULT_MAX_FRAME;
     let mut fault_seed = 0u64;
     let mut fault_spec: Option<String> = None;
+    let mut metrics_every: Option<Duration> = None;
+    opts.auth_token = std::env::var("APIPHANY_AUTH_TOKEN").ok().filter(|t| !t.is_empty());
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -130,6 +132,20 @@ fn main() -> ExitCode {
                 }
                 _ => return usage("--write-deadline-ms needs a positive number of milliseconds"),
             },
+            "--auth-token" => match args.get(i + 1) {
+                Some(token) if !token.is_empty() => {
+                    opts.auth_token = Some(token.clone());
+                    i += 1;
+                }
+                _ => return usage("--auth-token needs a non-empty secret"),
+            },
+            "--metrics-every" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    metrics_every = Some(Duration::from_secs(n));
+                    i += 1;
+                }
+                _ => return usage("--metrics-every needs a positive number of seconds"),
+            },
             "--fault-seed" => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
                 Some(n) => {
                     fault_seed = n;
@@ -164,6 +180,16 @@ fn main() -> ExitCode {
             }
             Err(message) => return usage(&message),
         }
+    }
+    if let Some(every) = metrics_every {
+        // Detached reporter: one JSON metrics line on stderr per period.
+        // The registry handles are lock-cheap, so reading concurrently
+        // with the serving loop never blocks it.
+        let telemetry = opts.daemon.telemetry.clone();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(every);
+            eprintln!("synthd: metrics {}", telemetry.snapshot_value().to_json());
+        });
     }
 
     if listen.is_empty() {
@@ -236,7 +262,15 @@ fn usage(error: &str) -> ExitCode {
          \x20             [--max-frame BYTES] [--max-client-live N]\n\
          \x20             [--max-client-waiting N] [--high-water N] [--drain-secs S]\n\
          \x20             [--retries N] [--backoff-ms MS] [--write-deadline-ms MS]\n\
+         \x20             [--auth-token SECRET] [--metrics-every SECS]\n\
          \x20             [--fault-seed N] [--fault SPEC]\n\
+         Observability: every mode serves the `metrics` op (a JSON\n\
+         snapshot of the counters/gauges/histograms) and `dump-recorder`\n\
+         (the flight recorder's recent structured events); with\n\
+         --metrics-every a snapshot line is also printed to stderr each\n\
+         period. --auth-token (or APIPHANY_AUTH_TOKEN) requires socket\n\
+         clients to present the shared secret in their first frame's\n\
+         \"auth\" field; stdio is unaffected.\n\
          Robustness: transient analysis failures are retried N times with\n\
          exponential backoff; clients that stop reading are disconnected\n\
          after the write deadline. --fault enables deterministic fault\n\

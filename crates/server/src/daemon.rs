@@ -27,15 +27,17 @@ use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::time::Duration;
 
 use apiphany_core::{
-    CancelScopes, CatalogSubmission, Engine, EngineError, Event, FaultPlane, Job, JobState,
-    Multiplexer, RetryPolicy, Scheduler, ScopeTicket, ServiceCatalog, ServiceLookup, Session,
+    CancelScopes, CatalogSubmission, Engine, EngineError, Event, FaultPlane, Job, JobRuntime,
+    JobState, Multiplexer, RetryPolicy, Scheduler, ScopeTicket, ServiceCatalog, ServiceLookup,
+    Session, Telemetry,
 };
 use apiphany_json::Value;
 
 use crate::proto::{
     analysis_failed_value, analysis_ready_value, analysis_started_value, cancelled_finished_value,
     coded_error_response, error_event, error_response, event_value, job_value, lint_fields,
-    ok_response, service_info_value, Request, RegisterSource, CODE_PARSE_ERROR,
+    ok_response, service_info_value, Request, RegisterSource,
+    CODE_PARSE_ERROR,
 };
 
 /// Configuration of one daemon run.
@@ -54,6 +56,11 @@ pub struct DaemonOptions {
     /// and the scheduler's search workers. Disabled by default (a no-op
     /// in production).
     pub fault: FaultPlane,
+    /// The observability plane (metrics registry + flight recorder)
+    /// every subsystem reports into; the `metrics` and `dump-recorder`
+    /// ops read it back. Enabled by default — its hot-path cost is a few
+    /// relaxed atomics per job transition.
+    pub telemetry: Telemetry,
 }
 
 impl Default for DaemonOptions {
@@ -63,6 +70,7 @@ impl Default for DaemonOptions {
             cache_dir: None,
             retry: RetryPolicy::default(),
             fault: FaultPlane::disabled(),
+            telemetry: Telemetry::enabled(),
         }
     }
 }
@@ -123,6 +131,18 @@ struct Watch {
     subscribers: Vec<u64>,
 }
 
+/// Per-service accumulated search cost across finished queries (the
+/// `inspect` reply's `search` block — the dead-set counters the paper's
+/// §5.2 pruning ablation reads).
+#[derive(Debug, Clone, Copy, Default)]
+struct SearchTotals {
+    queries: u64,
+    nodes: u64,
+    dead_hits: u64,
+    dead_misses: u64,
+    dead_evicted: u64,
+}
+
 /// Per-client occupancy: how much of the daemon a client is using (the
 /// admission-control input, and the `status` reply's `clients` block).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -160,6 +180,11 @@ pub(crate) struct Daemon {
     tickets: HashMap<QKey, ScopeTicket>,
     /// Hands sessions from analysis-job continuations to the loop.
     done_tx: Sender<(QKey, Result<Session, EngineError>)>,
+    /// The observability plane (shared with the runtime, catalog, and
+    /// fault plane); the `metrics`/`dump-recorder` ops read it.
+    telemetry: Telemetry,
+    /// Accumulated search cost per service, from finished queries.
+    search_totals: HashMap<String, SearchTotals>,
     pub(crate) summary: DaemonSummary,
 }
 
@@ -297,7 +322,9 @@ impl Daemon {
     /// A fresh daemon core plus the receiving end of its analysis-job
     /// continuation channel (the serving loop polls it).
     pub(crate) fn new(opts: &DaemonOptions) -> (Daemon, Receiver<Delivery>) {
-        let scheduler = Scheduler::new(opts.slots).with_fault(opts.fault.clone());
+        let runtime = JobRuntime::new(opts.slots).with_telemetry(opts.telemetry.clone());
+        opts.fault.set_telemetry(opts.telemetry.clone());
+        let scheduler = Scheduler::with_runtime(runtime).with_fault(opts.fault.clone());
         let catalog = {
             let mut catalog = ServiceCatalog::new()
                 .with_runtime(scheduler.runtime().clone())
@@ -320,6 +347,8 @@ impl Daemon {
             scopes: CancelScopes::new(),
             tickets: HashMap::new(),
             done_tx,
+            telemetry: opts.telemetry.clone(),
+            search_totals: HashMap::new(),
             summary: DaemonSummary { requests: 0, events: 0 },
         };
         (daemon, done_rx)
@@ -336,6 +365,12 @@ impl Daemon {
     /// admission input).
     pub(crate) fn queued_search(&self) -> usize {
         self.scheduler.runtime().stats().queued_search
+    }
+
+    /// The daemon's observability plane (the socket front end records
+    /// transport counters and admission decisions into it).
+    pub(crate) fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// How much of the daemon one client is using.
@@ -492,7 +527,29 @@ impl Daemon {
                     &format!("unknown service '{service}'"),
                 )],
                 Some(info) => {
-                    vec![ok_response(op, [("service", service_info_value(&info))])]
+                    let mut fields = vec![("service", service_info_value(&info))];
+                    if let Some(t) = self.search_totals.get(&service) {
+                        fields.push((
+                            "search",
+                            Value::obj([
+                                ("queries", Value::Int(t.queries.min(i64::MAX as u64) as i64)),
+                                ("nodes", Value::Int(t.nodes.min(i64::MAX as u64) as i64)),
+                                (
+                                    "dead_hits",
+                                    Value::Int(t.dead_hits.min(i64::MAX as u64) as i64),
+                                ),
+                                (
+                                    "dead_misses",
+                                    Value::Int(t.dead_misses.min(i64::MAX as u64) as i64),
+                                ),
+                                (
+                                    "dead_evicted",
+                                    Value::Int(t.dead_evicted.min(i64::MAX as u64) as i64),
+                                ),
+                            ]),
+                        ));
+                    }
+                    vec![ok_response(op, fields)]
                 }
             },
             Request::Lint { service } => match self.catalog.lookup(&service) {
@@ -529,6 +586,12 @@ impl Daemon {
                 )]
             }
             Request::Status => vec![self.status(client)],
+            Request::Metrics => {
+                vec![ok_response(op, [("metrics", self.telemetry.snapshot_value())])]
+            }
+            Request::DumpRecorder => {
+                vec![ok_response(op, [("events", self.telemetry.recorder_dump_value())])]
+            }
             Request::Shutdown => unreachable!("handled by the serving loop"),
         }
     }
@@ -768,9 +831,22 @@ impl Daemon {
             self.summary.events += 1;
             let cap = self.top_k.get(&key).copied().flatten();
             sink.emit(key.client, &event_value(&key.id, &event, cap))?;
-            if matches!(event, Event::Finished(_)) {
+            if let Event::Finished(result) = &event {
+                // Fold the query's search cost into its service's
+                // `inspect` accumulation (the search job's label is the
+                // service name; catalog-less submissions have none).
+                if let Some(job) = self.jobs.remove(&key) {
+                    let service = job.label();
+                    if !service.is_empty() {
+                        let t = self.search_totals.entry(service.to_string()).or_default();
+                        t.queries += 1;
+                        t.nodes += result.stats.search.nodes;
+                        t.dead_hits += result.stats.search.dead_hits;
+                        t.dead_misses += result.stats.search.dead_misses;
+                        t.dead_evicted += result.stats.search.dead_evicted;
+                    }
+                }
                 self.top_k.remove(&key);
-                self.jobs.remove(&key);
                 self.release_ticket(&key);
             }
             return Ok(true);

@@ -22,17 +22,21 @@
 //!   the rest — every acked query id still receives exactly one terminal
 //!   event before the loop returns.
 
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
+use apiphany_core::telemetry::Counter;
+use apiphany_core::Telemetry;
 use apiphany_json::Value;
 use apiphany_net::{
-    check_version, DisconnectReason, FrameError, NetEvent, NetServer, TermFlag, PROTOCOL_VERSION,
+    check_version, ClientId, DisconnectReason, FrameError, NetEvent, NetServer, TermFlag,
+    PROTOCOL_VERSION,
 };
 
 use crate::daemon::{Daemon, DaemonOptions, DaemonSummary, Sink};
 use crate::proto::{
     coded_error_response, ok_response, Request, CODE_BAD_VERSION, CODE_DRAINING, CODE_OVERLOADED,
-    CODE_PARSE_ERROR,
+    CODE_PARSE_ERROR, CODE_UNAUTHORIZED,
 };
 
 /// Configuration of the socket front end.
@@ -55,6 +59,14 @@ pub struct NetOptions {
     /// [`apiphany_net::NetConfig::write_deadline`] the binary passes to
     /// the transport).
     pub write_deadline: Duration,
+    /// Shared secret required from every connection before any request
+    /// is served. `None` (the default) disables authentication. When
+    /// set, the `hello` frame announces `"auth": true` and a client's
+    /// first frame must carry a matching `"auth"` field — anything else
+    /// gets a structured `unauthorized` error and is disconnected. The
+    /// stdio front end is unaffected (it is already inside the trust
+    /// boundary).
+    pub auth_token: Option<String>,
 }
 
 impl Default for NetOptions {
@@ -66,6 +78,7 @@ impl Default for NetOptions {
             search_high_water: 64,
             drain_grace: Duration::from_secs(10),
             write_deadline: Duration::from_secs(5),
+            auth_token: None,
         }
     }
 }
@@ -90,10 +103,12 @@ pub struct NetSummary {
 /// flight.
 struct NetSink<'a> {
     server: &'a NetServer,
+    frames_out: Counter,
 }
 
 impl Sink for NetSink<'_> {
     fn emit(&mut self, client: u64, value: &Value) -> std::io::Result<()> {
+        self.frames_out.inc();
         let _ = self.server.send(apiphany_net::ClientId(client), value);
         Ok(())
     }
@@ -106,6 +121,7 @@ fn hello_value(opts: &NetOptions) -> Value {
         ("event", Value::from("hello")),
         ("v", Value::Int(PROTOCOL_VERSION)),
         ("server", Value::from("synthd")),
+        ("auth", Value::Bool(opts.auth_token.is_some())),
         (
             "limits",
             Value::obj([
@@ -138,9 +154,15 @@ pub fn run_net_daemon(
     term: &TermFlag,
 ) -> std::io::Result<NetSummary> {
     let (mut daemon, done_rx) = Daemon::new(&opts.daemon);
+    let telemetry = daemon.telemetry().clone();
+    let frames_in = telemetry.counter("net.frames_in");
+    let frames_out = telemetry.counter("net.frames_out");
+    let stalled_counter = telemetry.counter("net.stalled");
+    let outbox_gauge = telemetry.gauge("net.outbox_high_water");
     let mut clients = 0usize;
     let mut shed = 0usize;
     let mut stalled = 0usize;
+    let mut authed: HashSet<u64> = HashSet::new();
     let mut draining = false;
     let mut drain_deadline: Option<Instant> = None;
     let mut cancelled_rest = false;
@@ -154,17 +176,25 @@ pub fn run_net_daemon(
             match event {
                 NetEvent::Connected(client) => {
                     clients += 1;
+                    frames_out.inc();
                     server.send(client, &hello_value(opts));
                     if draining {
+                        frames_out.inc();
                         server.send(client, &draining_value(opts.drain_grace));
                     }
                 }
                 NetEvent::BadFrame(client, err) => {
                     daemon.summary.requests += 1;
+                    frames_in.inc();
+                    if reject_unauthorized(&server, opts, &telemetry, &frames_out, &authed, client)
+                    {
+                        continue;
+                    }
                     let code = match err {
                         FrameError::Oversize { .. } => CODE_PARSE_ERROR,
                         FrameError::Malformed(_) => CODE_PARSE_ERROR,
                     };
+                    frames_out.inc();
                     server.send(
                         client,
                         &coded_error_response(None, None, code, &err.to_string()),
@@ -176,25 +206,51 @@ pub fn run_net_daemon(
                         DisconnectReason::WriteStalled | DisconnectReason::QueueOverflow
                     ) {
                         stalled += 1;
+                        stalled_counter.inc();
                     }
+                    telemetry.record(
+                        "net.disconnect",
+                        [("client", client.0.to_string()), ("reason", reason.name().to_string())],
+                    );
+                    authed.remove(&client.0);
                     daemon.drop_client(client.0);
                 }
                 NetEvent::Request(client, msg) => {
                     daemon.summary.requests += 1;
+                    frames_in.inc();
+                    if let Some(token) = &opts.auth_token {
+                        if !authed.contains(&client.0) {
+                            if msg.get("auth").and_then(Value::as_str) == Some(token.as_str()) {
+                                authed.insert(client.0);
+                            } else {
+                                reject_unauthorized(
+                                    &server,
+                                    opts,
+                                    &telemetry,
+                                    &frames_out,
+                                    &authed,
+                                    client,
+                                );
+                                continue;
+                            }
+                        }
+                    }
                     let replies = handle_frame(
                         &mut daemon,
                         opts,
+                        &telemetry,
                         client.0,
                         &msg,
                         &mut draining,
                         &mut shed,
                     );
                     for reply in replies {
+                        frames_out.inc();
                         server.send(client, &reply);
                     }
                     if draining && drain_deadline.is_none() {
                         // The shutdown op just started the drain.
-                        start_drain(&mut server, opts, &mut drain_deadline);
+                        start_drain(&mut server, opts, &frames_out, &mut drain_deadline);
                     }
                 }
             }
@@ -203,11 +259,11 @@ pub fn run_net_daemon(
         // 2. A delivered SIGTERM/SIGINT starts the drain.
         if term.is_raised() && !draining {
             draining = true;
-            start_drain(&mut server, opts, &mut drain_deadline);
+            start_drain(&mut server, opts, &frames_out, &mut drain_deadline);
             progressed = true;
         }
 
-        let mut sink = NetSink { server: &server };
+        let mut sink = NetSink { server: &server, frames_out: frames_out.clone() };
         // 3. Sessions delivered by analysis-job continuations.
         if let Ok((key, submitted)) = done_rx.try_recv() {
             progressed = true;
@@ -235,6 +291,8 @@ pub fn run_net_daemon(
             }
         }
 
+        outbox_gauge.set(server.outbox_high_water().min(i64::MAX as usize) as i64);
+
         if !progressed {
             std::thread::sleep(Duration::from_micros(500));
         }
@@ -242,15 +300,59 @@ pub fn run_net_daemon(
 
     // Streams are drained; drop every remaining connection and return.
     server.close_all();
+    // A run that tripped injected faults dumps the flight recorder so the
+    // post-mortem (which jobs were affected, in what order) is on stderr
+    // even when the process is about to exit.
+    if opts.daemon.fault.fired() > 0 {
+        telemetry.dump_to_stderr("drain");
+    }
     Ok(NetSummary { daemon: daemon.summary, clients, shed, stalled })
 }
 
+/// Sends `unauthorized` and drops the connection if `client` has not
+/// presented the shared secret; returns whether it did so. A no-op
+/// (returning `false`) when authentication is disabled.
+fn reject_unauthorized(
+    server: &NetServer,
+    opts: &NetOptions,
+    telemetry: &Telemetry,
+    frames_out: &Counter,
+    authed: &HashSet<u64>,
+    client: ClientId,
+) -> bool {
+    if opts.auth_token.is_none() || authed.contains(&client.0) {
+        return false;
+    }
+    telemetry.record(
+        "net.admission",
+        [("client", client.0.to_string()), ("decision", CODE_UNAUTHORIZED.to_string())],
+    );
+    frames_out.inc();
+    server.send(
+        client,
+        &coded_error_response(
+            None,
+            None,
+            CODE_UNAUTHORIZED,
+            "authentication required: first frame must carry a valid \"auth\" token",
+        ),
+    );
+    server.close_after_flush(client);
+    true
+}
+
 /// Stops accepting and announces the drain to every connected client.
-fn start_drain(server: &mut NetServer, opts: &NetOptions, deadline: &mut Option<Instant>) {
+fn start_drain(
+    server: &mut NetServer,
+    opts: &NetOptions,
+    frames_out: &Counter,
+    deadline: &mut Option<Instant>,
+) {
     server.stop_accepting();
     *deadline = Some(Instant::now() + opts.drain_grace);
     let notice = draining_value(opts.drain_grace);
     for client in server.client_ids() {
+        frames_out.inc();
         server.send(client, &notice);
     }
 }
@@ -261,11 +363,27 @@ fn start_drain(server: &mut NetServer, opts: &NetOptions, deadline: &mut Option<
 fn handle_frame(
     daemon: &mut Daemon,
     opts: &NetOptions,
+    telemetry: &Telemetry,
     client: u64,
     msg: &Value,
     draining: &mut bool,
     shed: &mut usize,
 ) -> Vec<Value> {
+    // One shed query: bump the counters, log the admission decision in
+    // the flight recorder, and build the structured refusal.
+    let shed_query = |shed: &mut usize, id: &str, code: &str, message: String| {
+        *shed += 1;
+        telemetry.counter("net.shed").inc();
+        telemetry.record(
+            "net.admission",
+            [
+                ("client", client.to_string()),
+                ("id", id.to_string()),
+                ("decision", code.to_string()),
+            ],
+        );
+        vec![coded_error_response(Some("query"), Some(id), code, &message)]
+    };
     if let Err(message) = check_version(msg) {
         return vec![coded_error_response(None, None, CODE_BAD_VERSION, &message)];
     }
@@ -282,52 +400,48 @@ fn handle_frame(
         }
         Request::Query { id, spec } => {
             if *draining {
-                *shed += 1;
-                return vec![coded_error_response(
-                    Some("query"),
-                    Some(&id),
+                return shed_query(
+                    shed,
+                    &id,
                     CODE_DRAINING,
-                    "daemon is draining for shutdown; no new queries",
-                )];
+                    "daemon is draining for shutdown; no new queries".to_string(),
+                );
             }
             let occupancy = daemon.occupancy(client);
             if occupancy.live >= opts.max_client_live {
-                *shed += 1;
-                return vec![coded_error_response(
-                    Some("query"),
-                    Some(&id),
+                return shed_query(
+                    shed,
+                    &id,
                     CODE_OVERLOADED,
-                    &format!(
+                    format!(
                         "client has {} live queries (limit {}); retry after one finishes",
                         occupancy.live, opts.max_client_live
                     ),
-                )];
+                );
             }
             if occupancy.waiting >= opts.max_client_waiting {
-                *shed += 1;
-                return vec![coded_error_response(
-                    Some("query"),
-                    Some(&id),
+                return shed_query(
+                    shed,
+                    &id,
                     CODE_OVERLOADED,
-                    &format!(
+                    format!(
                         "client has {} queries waiting on analyses (limit {})",
                         occupancy.waiting, opts.max_client_waiting
                     ),
-                )];
+                );
             }
             let backlog = daemon.queued_search();
             if backlog >= opts.search_high_water {
-                *shed += 1;
-                return vec![coded_error_response(
-                    Some("query"),
-                    Some(&id),
+                return shed_query(
+                    shed,
+                    &id,
                     CODE_OVERLOADED,
-                    &format!(
+                    format!(
                         "search backlog at high water ({backlog} queued, limit {}); \
                          retry after the backlog drains",
                         opts.search_high_water
                     ),
-                )];
+                );
             }
             daemon.handle(client, Request::Query { id, spec })
         }

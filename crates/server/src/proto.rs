@@ -39,6 +39,11 @@ pub enum Request {
     Evict { service: String },
     /// Report runtime occupancy, per-service job state, and live queries.
     Status,
+    /// Report the observability plane's metrics snapshot (counters,
+    /// gauges, histograms) as one JSON object.
+    Metrics,
+    /// Dump the flight recorder's buffered structured events (debugging).
+    DumpRecorder,
     /// Cancel everything and exit once the streams have drained.
     Shutdown,
 }
@@ -137,6 +142,8 @@ impl Request {
             "lint" => Ok(Request::Lint { service: require_str(v, "service")? }),
             "evict" => Ok(Request::Evict { service: require_str(v, "service")? }),
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
+            "dump-recorder" => Ok(Request::DumpRecorder),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op '{other}'")),
         }
@@ -153,6 +160,8 @@ impl Request {
             Request::Lint { .. } => "lint",
             Request::Evict { .. } => "evict",
             Request::Status => "status",
+            Request::Metrics => "metrics",
+            Request::DumpRecorder => "dump-recorder",
             Request::Shutdown => "shutdown",
         }
     }
@@ -204,6 +213,9 @@ pub const CODE_DRAINING: &str = "draining";
 /// The `code` of a request whose `"v"` protocol-version field is
 /// missing, malformed, or names a version this server does not speak.
 pub const CODE_BAD_VERSION: &str = "bad_version";
+/// The `code` of a request on a connection that has not presented the
+/// server's shared auth token: the error is followed by a disconnect.
+pub const CODE_UNAUTHORIZED: &str = "unauthorized";
 
 /// [`error_response`] plus a machine-readable `"code"` field (one of the
 /// `CODE_*` constants), for errors clients are expected to branch on —
@@ -391,7 +403,7 @@ pub fn analysis_failed_value(service: &str, job: JobId, error: &str) -> Value {
 /// outcome `cancelled`, field-for-field the shape of a real `finished`
 /// (both go through the same `finished_event` encoder).
 pub fn cancelled_finished_value(id: &str) -> Value {
-    finished_event(id, "cancelled", 0, Duration::ZERO, Duration::ZERO, Vec::new())
+    finished_event(id, "cancelled", 0, Duration::ZERO, Duration::ZERO, Vec::new(), None)
 }
 
 /// A session [`Event`] as the JSON line streamed to the client. `top_k`
@@ -441,7 +453,20 @@ fn finished_value(id: &str, result: &RunResult, top_k: Option<usize>) -> Value {
         result.total_time,
         result.re_time,
         ranked,
+        Some(search_stats_value(&result.stats.search)),
     )
+}
+
+/// The dead-set/search-cost block of a `finished` event and of
+/// `inspect`'s per-service accumulation: node count plus the dead-set
+/// memo's hit/miss/evict counters.
+pub fn search_stats_value(stats: &apiphany_core::ttn::SearchStats) -> Value {
+    Value::obj([
+        ("nodes", Value::Int(stats.nodes.min(i64::MAX as u64) as i64)),
+        ("dead_hits", Value::Int(stats.dead_hits.min(i64::MAX as u64) as i64)),
+        ("dead_misses", Value::Int(stats.dead_misses.min(i64::MAX as u64) as i64)),
+        ("dead_evicted", Value::Int(stats.dead_evicted.min(i64::MAX as u64) as i64)),
+    ])
 }
 
 /// The one definition of the `finished` wire shape, shared by real run
@@ -454,16 +479,21 @@ fn finished_event(
     total: Duration,
     re: Duration,
     ranked: Vec<Value>,
+    search: Option<Value>,
 ) -> Value {
-    Value::obj([
-        ("event", Value::from("finished")),
-        ("id", Value::from(id)),
-        ("outcome", Value::from(outcome)),
-        ("n_candidates", Value::Int(n_candidates)),
-        ("total_ms", millis(total)),
-        ("re_ms", millis(re)),
-        ("ranked", Value::Array(ranked)),
-    ])
+    let mut pairs = vec![
+        ("event".to_string(), Value::from("finished")),
+        ("id".to_string(), Value::from(id)),
+        ("outcome".to_string(), Value::from(outcome)),
+        ("n_candidates".to_string(), Value::Int(n_candidates)),
+        ("total_ms".to_string(), millis(total)),
+        ("re_ms".to_string(), millis(re)),
+    ];
+    if let Some(search) = search {
+        pairs.push(("search".to_string(), search));
+    }
+    pairs.push(("ranked".to_string(), Value::Array(ranked)));
+    Value::Object(pairs)
 }
 
 /// The wire name of a synthesis outcome.

@@ -437,3 +437,70 @@ fn artifact_registration_roundtrips_through_the_wire() {
         .expect("query finishes");
     assert_eq!(finished.get("n_candidates").and_then(Value::as_int), Some(2));
 }
+
+/// The `metrics` and `dump-recorder` ops over stdio, and the
+/// deterministic post-drain view: once `run_daemon` returns every job
+/// has settled, so the options' shared telemetry handle must hold the
+/// run's full counts.
+#[test]
+fn metrics_ops_respond_and_the_registry_holds_the_run() {
+    let opts = DaemonOptions::default();
+    let telemetry = opts.telemetry.clone();
+    let lines = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"query","id":"q1","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":7}
+{"op":"metrics"}
+{"op":"dump-recorder"}
+"#,
+        &opts,
+    );
+    // The in-flight snapshot has the right shape (its counts race the
+    // query, so only the shape is asserted here).
+    let metrics = lines
+        .iter()
+        .find(|l| str_field(l, "op") == "metrics")
+        .expect("metrics reply");
+    assert_eq!(metrics.get("ok").and_then(Value::as_bool), Some(true));
+    let snap = metrics.get("metrics").expect("snapshot object");
+    assert!(snap.get("uptime_ms").and_then(Value::as_int).is_some());
+    assert!(snap.get("counters").is_some());
+    let dump = lines
+        .iter()
+        .find(|l| str_field(l, "op") == "dump-recorder")
+        .expect("dump-recorder reply");
+    assert!(dump.get("events").and_then(Value::as_array).is_some());
+    // Post-drain, deterministically: the search ran and its jobs
+    // settled, all visible through the shared registry.
+    let snap = telemetry.snapshot();
+    assert!(snap.counter("search.nodes").unwrap_or(0) > 0, "search counted nodes");
+    assert!(snap.counter("jobs.completed").unwrap_or(0) >= 2, "analysis + search settled");
+    let events = telemetry.recorder_dump();
+    assert!(
+        events.iter().any(|e| e.kind == "job"
+            && e.field("kind") == Some("search")
+            && e.field("state") == Some("done")),
+        "recorder holds the search job's terminal transition: {events:?}"
+    );
+}
+
+/// The per-query `finished` event surfaces the dead-set counters: the
+/// second identical query on the warm engine must report the same node
+/// count (the dead-end cache is per-run, so streams stay deterministic).
+#[test]
+fn finished_events_carry_search_stats() {
+    let lines = converse(
+        r#"{"op":"register","service":"demo","builtin":"fig7"}
+{"op":"query","id":"q1","service":"demo","inputs":{"channel_name":"Channel.name"},"output":"[Profile.email]","depth":7}
+"#,
+        &DaemonOptions::default(),
+    );
+    let finished = lines
+        .iter()
+        .find(|l| str_field(l, "event") == "finished")
+        .expect("finished event");
+    let search = finished.get("search").expect("search stats block");
+    assert!(search.get("nodes").and_then(Value::as_int).unwrap_or(0) > 0);
+    for key in ["dead_hits", "dead_misses", "dead_evicted"] {
+        assert!(search.get(key).and_then(Value::as_int).is_some(), "missing {key}");
+    }
+}

@@ -526,3 +526,107 @@ proptest! {
         prop_assert_eq!(summary.stalled, 1);
     }
 }
+
+/// With `--auth-token`, the hello announces auth, a first frame without
+/// the shared secret (or with the wrong one) gets a structured
+/// `unauthorized` error and the connection is cut, and a correct token
+/// on the first frame admits the whole connection — later frames need
+/// no token.
+#[test]
+fn auth_token_gates_clients_and_admits_the_shared_secret() {
+    let server = TestServer::start_unix(NetOptions {
+        auth_token: Some("sesame".to_string()),
+        ..NetOptions::default()
+    });
+
+    // Missing token: refused and disconnected.
+    let anon = Client::connect(&server.addr);
+    let hello = anon.recv();
+    assert_eq!(str_field(&hello, "event"), "hello");
+    assert_eq!(hello.get("auth").and_then(Value::as_bool), Some(true));
+    let mut anon = anon;
+    anon.send(REGISTER);
+    let refusal = anon.recv();
+    assert_eq!(str_field(&refusal, "code"), "unauthorized");
+    assert!(
+        anon.rx.recv_timeout(Duration::from_secs(10)).is_err(),
+        "unauthorized client is disconnected"
+    );
+
+    // Wrong token: same refusal.
+    let mut wrong = Client::connect(&server.addr);
+    wrong.expect_hello();
+    let mut msg = parse(REGISTER).unwrap();
+    msg.set("v", Value::Int(PROTOCOL_VERSION));
+    msg.set("auth", Value::from("open says me"));
+    wrong.send_value(&msg);
+    assert_eq!(str_field(&wrong.recv(), "code"), "unauthorized");
+
+    // Correct token on the first frame: the whole connection is
+    // admitted, and later frames are served without re-presenting it.
+    let mut good = Client::connect(&server.addr);
+    good.expect_hello();
+    let mut msg = parse(REGISTER).unwrap();
+    msg.set("v", Value::Int(PROTOCOL_VERSION));
+    msg.set("auth", Value::from("sesame"));
+    good.send_value(&msg);
+    good.recv_until(|l| str_field(l, "event") == "analysis_ready");
+    good.send(&email_query("q", 7));
+    let lines = good.recv_until(finished("q"));
+    assert_eq!(event_stream(&lines, "q"), event_stream(&dedicated_run(
+        &format!("{REGISTER}\n{}\n", email_query("q", 7)), 2), "q"),
+        "an authed stream is still bit-identical to a dedicated run");
+
+    server.drain();
+}
+
+/// The `metrics` and `dump-recorder` ops over the socket: after a warm
+/// analysis and one finished query, the snapshot reports nonzero search,
+/// job, and transport counters, and the flight recorder holds the job's
+/// transitions.
+#[test]
+fn metrics_op_reports_search_job_and_transport_activity() {
+    let server = TestServer::start_unix(NetOptions::default());
+    let mut client = Client::connect(&server.addr);
+    client.expect_hello();
+    register_warm(&mut client);
+    client.send(&email_query("q", 7));
+    client.recv_until(finished("q"));
+
+    // `analysis_ready` and `finished` are emitted only after their jobs
+    // settle, so the counters below are deterministically nonzero.
+    client.send(r#"{"op":"metrics"}"#);
+    let reply = client.recv();
+    assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+    let metrics = reply.get("metrics").expect("metrics snapshot");
+    assert!(metrics.get("uptime_ms").and_then(Value::as_int).is_some());
+    for counter in ["search.nodes", "jobs.completed", "net.frames_in", "net.frames_out"] {
+        let n = metrics.path(&["counters", counter]).and_then(Value::as_int).unwrap_or(0);
+        assert!(n > 0, "counter {counter} should be nonzero: {metrics:?}");
+    }
+    assert!(
+        metrics.path(&["histograms", "search.depth_us"]).is_some(),
+        "depth histogram is registered: {metrics:?}"
+    );
+
+    // The finished query's search stats are folded into its service's
+    // inspect view.
+    client.send(r#"{"op":"inspect","service":"demo"}"#);
+    let reply = client.recv();
+    let search = reply.get("search").expect("inspect search totals");
+    assert_eq!(search.get("queries").and_then(Value::as_int), Some(1));
+    assert!(search.get("nodes").and_then(Value::as_int).unwrap_or(0) > 0);
+    assert!(search.get("dead_misses").and_then(Value::as_int).is_some());
+
+    client.send(r#"{"op":"dump-recorder"}"#);
+    let reply = client.recv();
+    assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+    let events = reply.get("events").and_then(Value::as_array).expect("events array");
+    assert!(
+        events.iter().any(|e| str_field(e, "kind") == "job"
+            && str_field(e, "state") == "done"),
+        "recorder holds settled job transitions: {events:?}"
+    );
+
+    server.drain();
+}

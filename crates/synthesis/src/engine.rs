@@ -8,6 +8,7 @@ use apiphany_analysis::Reachability;
 use apiphany_lang::anf::{canonicalize, AnfProgram};
 use apiphany_lang::Program;
 use apiphany_mining::{Query, SemLib};
+use apiphany_telemetry::Telemetry;
 use apiphany_ttn::{
     build_ttn, enumerate_search, query_markings, Backend, Budget, BuildOptions, CancelToken,
     PlaceId, SearchConfig, SearchEvent, SearchOutcome, SearchStats, Ttn,
@@ -46,6 +47,11 @@ pub struct SynthesisConfig {
     /// whole search. `false` runs the search on the full net (the
     /// property tests compare the two streams).
     pub prune: bool,
+    /// Observability plane, forwarded to [`SearchConfig::telemetry`] so
+    /// the TTN search reports its counters and per-level wall times.
+    /// Telemetry observes, never steers: candidates and their order are
+    /// unchanged by enabling it. The default is the disabled plane.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SynthesisConfig {
@@ -58,6 +64,7 @@ impl Default for SynthesisConfig {
             threads: 1,
             dead_set_cap: search.dead_set_cap,
             prune: true,
+            telemetry: Telemetry::default(),
         }
     }
 }
@@ -224,6 +231,7 @@ impl Synthesizer {
             backend: cfg.backend,
             threads: cfg.threads,
             dead_set_cap: cfg.dead_set_cap,
+            telemetry: cfg.telemetry.clone(),
         };
         let mut stopped = false;
         let report = enumerate_search(net, &init, &fin, &search, cancel, &mut |event| {

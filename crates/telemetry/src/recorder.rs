@@ -1,0 +1,156 @@
+//! The flight recorder: a bounded ring of recent structured events.
+//!
+//! Every noteworthy discrete occurrence in the serving stack — a job
+//! transition, an admission decision, a client disconnect, a fault-plane
+//! trip, a cache quarantine — is appended here as a small key/value
+//! event. The ring keeps the most recent [`Recorder::capacity`] events
+//! (older ones fall off the front), so a post-mortem dump is a causal
+//! timeline of "what just happened", not an unbounded log.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use apiphany_json::Value;
+
+/// The default ring capacity.
+pub const DEFAULT_RECORDER_CAP: usize = 1024;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Monotonic sequence number (never reused; gaps mean the ring
+    /// wrapped and older events were dropped).
+    pub seq: u64,
+    /// Milliseconds since the owning telemetry handle was created.
+    pub at_ms: u64,
+    /// The event kind (e.g. `job`, `fault.trip`, `net.disconnect`).
+    pub kind: String,
+    /// Structured payload, in insertion order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl RecordedEvent {
+    /// The value of a payload field, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The event as a JSON object (`seq`/`ms`/`kind` plus the payload).
+    pub fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("seq".into(), Value::Int(i64::try_from(self.seq).unwrap_or(i64::MAX))),
+            ("ms".into(), Value::Int(i64::try_from(self.at_ms).unwrap_or(i64::MAX))),
+            ("kind".into(), Value::from(self.kind.as_str())),
+        ];
+        for (k, v) in &self.fields {
+            fields.push((k.clone(), Value::from(v.as_str())));
+        }
+        Value::Object(fields)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecorderState {
+    next_seq: u64,
+    ring: VecDeque<RecordedEvent>,
+}
+
+/// The bounded event ring. One mutex-guarded deque: recording is a
+/// lock + push (event paths are orders of magnitude colder than the
+/// search loop), dumping clones the ring oldest-first.
+#[derive(Debug)]
+pub struct Recorder {
+    state: Mutex<RecorderState>,
+    cap: usize,
+    start: Instant,
+}
+
+impl Recorder {
+    pub(crate) fn new(cap: usize, start: Instant) -> Recorder {
+        Recorder { state: Mutex::new(RecorderState::default()), cap: cap.max(1), start }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends one event, evicting the oldest when full.
+    pub fn record<I, K, V>(&self, kind: &str, fields: I)
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        let at_ms = u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let fields: Vec<(String, String)> =
+            fields.into_iter().map(|(k, v)| (k.into(), v.into())).collect();
+        let mut state = self.state.lock().expect("recorder lock");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.ring.len() == self.cap {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(RecordedEvent { seq, at_ms, kind: kind.to_string(), fields });
+    }
+
+    /// Total events ever recorded (including ones the ring has dropped).
+    pub fn recorded(&self) -> u64 {
+        self.state.lock().expect("recorder lock").next_seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn dump(&self) -> Vec<RecordedEvent> {
+        self.state.lock().expect("recorder lock").ring.iter().cloned().collect()
+    }
+
+    /// The retained events as a JSON array, oldest first.
+    pub fn dump_value(&self) -> Value {
+        Value::Array(self.dump().iter().map(RecordedEvent::to_value).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_keeping_the_newest_events() {
+        let recorder = Recorder::new(3, Instant::now());
+        for i in 0..7 {
+            recorder.record("tick", [("i", i.to_string())]);
+        }
+        assert_eq!(recorder.recorded(), 7);
+        let dump = recorder.dump();
+        assert_eq!(dump.len(), 3, "ring holds exactly its capacity");
+        // The newest three, oldest first, with their original seqs.
+        assert_eq!(
+            dump.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+        assert_eq!(dump[0].field("i"), Some("4"));
+        assert_eq!(dump[2].field("i"), Some("6"));
+    }
+
+    #[test]
+    fn events_serialize_with_seq_ms_kind_and_payload() {
+        let recorder = Recorder::new(8, Instant::now());
+        recorder.record("fault.trip", [("point", "analysis"), ("fault", "io")]);
+        let value = recorder.dump_value();
+        let text = value.to_json();
+        assert!(text.contains("\"kind\":\"fault.trip\""), "{text}");
+        assert!(text.contains("\"point\":\"analysis\""), "{text}");
+        assert!(text.contains("\"seq\":0"), "{text}");
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let recorder = Recorder::new(0, Instant::now());
+        recorder.record("a", std::iter::empty::<(String, String)>());
+        recorder.record("b", std::iter::empty::<(String, String)>());
+        let dump = recorder.dump();
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump[0].kind, "b");
+    }
+}

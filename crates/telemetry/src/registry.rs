@@ -1,0 +1,476 @@
+//! The metrics registry: counters, gauges, and log-scale histograms.
+//!
+//! Hot-path cost discipline:
+//!
+//! * a handle obtained from a **disabled** [`Telemetry`](crate::Telemetry)
+//!   carries no backing storage — every operation is one `Option` branch;
+//! * an **enabled** counter/histogram update is one relaxed atomic add
+//!   into a per-worker shard (threads are spread across
+//!   [`SHARDS`] cache-line-padded slots, so concurrent writers do not
+//!   bounce one cache line);
+//! * aggregation happens only at snapshot time
+//!   ([`Telemetry::snapshot`](crate::Telemetry::snapshot)), off the hot
+//!   path.
+//!
+//! Histogram counts live *only* in the buckets (the total is derived by
+//! summing them), so a concurrent snapshot can never observe a "torn"
+//! state where the total and the bucket sum disagree — the consistency
+//! property `tests` pin down under a concurrent hammer.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use apiphany_json::Value;
+
+/// Write shards per metric. Threads are assigned round-robin; more
+/// threads than shards simply share (still correct, slightly more
+/// contended).
+pub const SHARDS: usize = 8;
+
+/// Log₂ buckets per histogram: bucket `i` counts values `v` with
+/// `ceil(log2(v)) == i` (bucket 0 holds `v <= 1`), so bucket `i` has
+/// upper bound `2^i`. 40 buckets cover up to ~2^39 (about 6 days in
+/// microseconds).
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// The global round-robin thread → shard assignment.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+fn my_shard() -> usize {
+    MY_SHARD.with(|s| *s)
+}
+
+/// One cache-line-padded atomic cell, so two shards never share a line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// The backing storage of one counter.
+#[derive(Debug, Default)]
+pub(crate) struct CounterCore {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl CounterCore {
+    fn add(&self, n: u64) {
+        self.shards[my_shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A monotonically increasing counter handle. Cheap to clone; a handle
+/// from a disabled registry is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<CounterCore>>);
+
+impl Counter {
+    /// Adds `n` (one relaxed atomic add when enabled, one branch when not).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(core) = &self.0 {
+            core.add(n);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The summed value (0 for a disabled handle).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |core| core.value())
+    }
+}
+
+/// The backing storage of one gauge (a point-in-time signed value; a
+/// single atomic — gauges are set from bookkeeping paths, not the DFS
+/// hot loop).
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCore {
+    value: AtomicI64,
+}
+
+/// A last-value-wins gauge handle (queue depths, occupancy, high-water
+/// marks). Cheap to clone; disabled handles are no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<GaugeCore>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(core) = &self.0 {
+            core.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(core) = &self.0 {
+            core.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` is higher (high-water marks).
+    #[inline]
+    pub fn raise(&self, v: i64) {
+        if let Some(core) = &self.0 {
+            core.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (0 for a disabled handle).
+    pub fn value(&self) -> i64 {
+        self.0.as_ref().map_or(0, |core| core.value.load(Ordering::Relaxed))
+    }
+}
+
+/// One shard of a histogram: a bucket array plus a value-sum, all
+/// relaxed atomics.
+#[derive(Debug)]
+struct HistogramShard {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: PaddedU64,
+}
+
+impl Default for HistogramShard {
+    fn default() -> HistogramShard {
+        HistogramShard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: PaddedU64::default(),
+        }
+    }
+}
+
+/// The bucket a value lands in: `ceil(log2(v))`, clamped.
+pub fn bucket_of(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    // ceil(log2(v)) = 64 - (v-1).leading_zeros()
+    ((64 - (v - 1).leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// The backing storage of one histogram.
+#[derive(Debug, Default)]
+pub(crate) struct HistogramCore {
+    shards: [HistogramShard; SHARDS],
+}
+
+impl HistogramCore {
+    fn record(&self, v: u64) {
+        let shard = &self.shards[my_shard()];
+        shard.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        let mut sum = 0u64;
+        for shard in &self.shards {
+            for (acc, b) in buckets.iter_mut().zip(&shard.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            sum += shard.sum.0.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { sum, buckets }
+    }
+}
+
+/// A fixed-log-scale histogram handle. Values are dimensionless `u64`s —
+/// by convention this codebase records **microseconds** for durations.
+/// Cheap to clone; disabled handles are no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Records one observation (two relaxed atomic adds when enabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.record(v);
+        }
+    }
+
+    /// Records a duration, in microseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        if self.0.is_some() {
+            self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// An aggregated view (empty for a disabled handle).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.as_ref().map_or_else(HistogramSnapshot::default, |core| core.snapshot())
+    }
+}
+
+/// The aggregated state of one histogram. The observation count is
+/// **derived** from the buckets (never stored separately), so it can
+/// never disagree with them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Per-bucket observation counts; bucket `i` holds values with
+    /// `ceil(log2(v)) == i` (upper bound `2^i`).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations (the bucket sum).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// An upper bound on the `q`-quantile (0.0..=1.0): the upper edge of
+    /// the bucket the quantile falls in, or 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The mean value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+}
+
+/// The metric store behind one enabled [`Telemetry`](crate::Telemetry):
+/// named counters, gauges, and histograms, created on first use.
+/// Registration takes a lock; the returned handles never do.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<CounterCore>>>,
+    gauges: Mutex<BTreeMap<String, Arc<GaugeCore>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+impl Registry {
+    pub(crate) fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("registry lock");
+        Counter(Some(Arc::clone(
+            map.entry(name.to_string()).or_default(),
+        )))
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("registry lock");
+        Gauge(Some(Arc::clone(map.entry(name.to_string()).or_default())))
+    }
+
+    pub(crate) fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("registry lock");
+        Histogram(Some(Arc::clone(
+            map.entry(name.to_string()).or_default(),
+        )))
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, core)| (name.clone(), core.value()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, core)| (name.clone(), core.value.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, core)| (name.clone(), core.snapshot()))
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+}
+
+/// A point-in-time aggregation of every registered series, sorted by
+/// name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram aggregates.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The value of a counter, or `None` if it was never registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The value of a gauge, or `None` if it was never registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A histogram's aggregate, or `None` if it was never registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// The snapshot as a JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,p50,p99}}}`.
+    pub fn to_value(&self) -> Value {
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), Value::Int(i64::try_from(*v).unwrap_or(i64::MAX))))
+                .collect(),
+        );
+        let gauges = Value::Object(
+            self.gauges.iter().map(|(n, v)| (n.clone(), Value::Int(*v))).collect(),
+        );
+        let histograms = Value::Object(
+            self.histograms
+                .iter()
+                .map(|(n, h)| {
+                    (
+                        n.clone(),
+                        Value::obj([
+                            ("count", Value::Int(i64::try_from(h.count()).unwrap_or(i64::MAX))),
+                            ("sum", Value::Int(i64::try_from(h.sum).unwrap_or(i64::MAX))),
+                            ("mean", Value::Int(i64::try_from(h.mean()).unwrap_or(i64::MAX))),
+                            (
+                                "p50",
+                                Value::Int(i64::try_from(h.quantile(0.5)).unwrap_or(i64::MAX)),
+                            ),
+                            (
+                                "p99",
+                                Value::Int(i64::try_from(h.quantile(0.99)).unwrap_or(i64::MAX)),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_threads_and_shards() {
+        let registry = Registry::default();
+        let counter = registry.counter("c");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), 8000);
+        // The same name returns the same underlying series.
+        assert_eq!(registry.counter("c").value(), 8000);
+        assert_eq!(registry.snapshot().counter("c"), Some(8000));
+    }
+
+    #[test]
+    fn gauges_set_add_and_raise() {
+        let registry = Registry::default();
+        let g = registry.gauge("g");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.value(), 3);
+        g.raise(10);
+        g.raise(7); // lower: no effect
+        assert_eq!(g.value(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let registry = Registry::default();
+        let h = registry.histogram("h");
+        for v in [0, 1, 2, 3, 4, 1000, 1024] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 7);
+        assert_eq!(snap.sum, 2034);
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[10], 2);
+        // The p100 upper bound covers the max recorded value.
+        assert!(snap.quantile(1.0) >= 1024);
+        assert!(snap.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::default();
+        c.add(5);
+        assert_eq!(c.value(), 0);
+        let g = Gauge::default();
+        g.set(9);
+        g.raise(12);
+        assert_eq!(g.value(), 0);
+        let h = Histogram::default();
+        h.record(9);
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let registry = Registry::default();
+        registry.counter("search.nodes").add(42);
+        registry.gauge("pool.queued").set(3);
+        registry.histogram("depth_us").record(100);
+        let value = registry.snapshot().to_value();
+        let text = value.to_json();
+        assert!(text.contains("\"search.nodes\":42"), "{text}");
+        assert!(text.contains("\"pool.queued\":3"), "{text}");
+        assert!(text.contains("\"count\":1"), "{text}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Tracing spans: scoped wall-clock timers with parent ids.
+//!
+//! A [`Span`] measures the lifetime of a scope. Spans opened while
+//! another span is live *on the same thread* record that span as their
+//! parent, so a dump reconstructs the call tree. Completed spans land in
+//! a **per-thread buffer** and are flushed into the shared bounded log
+//! when the thread's outermost span closes (or when the buffer fills) —
+//! the hot path never takes the shared lock per span.
+//!
+//! Every span also feeds the `span.<name>` histogram in the metrics
+//! registry, so aggregate latencies survive even after the bounded span
+//! log has rotated the individual records out.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use apiphany_json::Value;
+
+use crate::registry::Histogram;
+
+/// The default shared span-log capacity.
+pub const DEFAULT_SPAN_CAP: usize = 1024;
+
+/// Per-thread completed spans buffered before a forced flush.
+const FLUSH_AT: usize = 64;
+
+thread_local! {
+    /// The ids of this thread's live spans, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Completed spans awaiting a flush into their shared log.
+    static BUFFER: RefCell<Vec<(Arc<SpanLog>, SpanRecord)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id.
+    pub id: u64,
+    /// The id of the span that was live on this thread when this one
+    /// opened, if any.
+    pub parent: Option<u64>,
+    /// The span name.
+    pub name: String,
+    /// Milliseconds since the owning telemetry handle was created when
+    /// the span opened.
+    pub start_ms: u64,
+    /// The span's duration, in microseconds.
+    pub dur_us: u64,
+}
+
+impl SpanRecord {
+    /// The record as a JSON object.
+    pub fn to_value(&self) -> Value {
+        Value::obj([
+            ("id", Value::Int(i64::try_from(self.id).unwrap_or(i64::MAX))),
+            (
+                "parent",
+                match self.parent {
+                    Some(p) => Value::Int(i64::try_from(p).unwrap_or(i64::MAX)),
+                    None => Value::Null,
+                },
+            ),
+            ("name", Value::from(self.name.as_str())),
+            ("start_ms", Value::Int(i64::try_from(self.start_ms).unwrap_or(i64::MAX))),
+            ("dur_us", Value::Int(i64::try_from(self.dur_us).unwrap_or(i64::MAX))),
+        ])
+    }
+}
+
+/// The shared bounded log completed spans flush into.
+#[derive(Debug)]
+pub struct SpanLog {
+    ids: AtomicU64,
+    ring: Mutex<VecDeque<SpanRecord>>,
+    cap: usize,
+    start: Instant,
+}
+
+impl SpanLog {
+    pub(crate) fn new(cap: usize, start: Instant) -> SpanLog {
+        SpanLog { ids: AtomicU64::new(1), ring: Mutex::new(VecDeque::new()), cap: cap.max(1), start }
+    }
+
+    /// Opens a span. Dropping the returned handle completes it.
+    pub(crate) fn begin(self: &Arc<SpanLog>, name: &str, histogram: Histogram) -> Span {
+        let id = self.ids.fetch_add(1, Ordering::Relaxed);
+        let parent = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        Span {
+            active: Some(ActiveSpan {
+                log: Arc::clone(self),
+                histogram,
+                id,
+                parent,
+                name: name.to_string(),
+                start_ms: u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX),
+                opened: Instant::now(),
+            }),
+        }
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut ring = self.ring.lock().expect("span log lock");
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// The retained completed spans, oldest first. Spans still sitting
+    /// in another thread's buffer (its outermost span has not closed
+    /// yet) are not visible.
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.ring.lock().expect("span log lock").iter().cloned().collect()
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    log: Arc<SpanLog>,
+    histogram: Histogram,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_ms: u64,
+    opened: Instant,
+}
+
+/// A live scoped timer (see the module docs). A span from a disabled
+/// telemetry handle is inert and costs one branch to drop.
+#[derive(Debug, Default)]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// This span's id, or `None` for an inert span.
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+
+    /// This span's parent id, when it has one.
+    pub fn parent(&self) -> Option<u64> {
+        self.active.as_ref().and_then(|a| a.parent)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else { return };
+        let dur = active.opened.elapsed();
+        active.histogram.record_duration(dur);
+        let record = SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            start_ms: active.start_ms,
+            dur_us: u64::try_from(dur.as_micros()).unwrap_or(u64::MAX),
+        };
+        let outermost = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Spans normally close innermost-first; an out-of-order drop
+            // (a span moved into an outliving struct) just retires its id
+            // from wherever it sits.
+            if let Some(pos) = stack.iter().rposition(|&id| id == record.id) {
+                stack.remove(pos);
+            }
+            stack.is_empty()
+        });
+        BUFFER.with(|buffer| {
+            let mut buffer = buffer.borrow_mut();
+            buffer.push((active.log, record));
+            if outermost || buffer.len() >= FLUSH_AT {
+                for (log, record) in buffer.drain(..) {
+                    log.push(record);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_log() -> Arc<SpanLog> {
+        Arc::new(SpanLog::new(16, Instant::now()))
+    }
+
+    #[test]
+    fn nested_spans_record_parent_ids_and_flush_on_outermost_close() {
+        let log = test_log();
+        {
+            let outer = log.begin("outer", Histogram::default());
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = log.begin("inner", Histogram::default());
+                assert_eq!(inner.parent(), Some(outer_id));
+            }
+            // The inner span is complete but buffered: the outermost
+            // span has not closed yet.
+            assert!(log.recent().is_empty());
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].name, "inner");
+        assert_eq!(recent[1].name, "outer");
+        assert_eq!(recent[0].parent, Some(recent[1].id));
+        assert_eq!(recent[1].parent, None);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let log = test_log();
+        {
+            let outer = log.begin("outer", Histogram::default());
+            let a = log.begin("a", Histogram::default());
+            drop(a);
+            let b = log.begin("b", Histogram::default());
+            assert_eq!(b.parent(), outer.id());
+        }
+        let recent = log.recent();
+        let outer_id = recent.iter().find(|r| r.name == "outer").unwrap().id;
+        for name in ["a", "b"] {
+            let r = recent.iter().find(|r| r.name == name).unwrap();
+            assert_eq!(r.parent, Some(outer_id), "{name}");
+        }
+    }
+
+    #[test]
+    fn span_log_is_bounded() {
+        let log = Arc::new(SpanLog::new(2, Instant::now()));
+        for i in 0..5 {
+            let _span = log.begin(&format!("s{i}"), Histogram::default());
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[1].name, "s4");
+    }
+
+    #[test]
+    fn inert_spans_are_free_standing() {
+        let span = Span::default();
+        assert_eq!(span.id(), None);
+        drop(span); // no panic, no TLS interaction
+    }
+
+    #[test]
+    fn spans_feed_their_histogram() {
+        let registry = crate::registry::Registry::default();
+        let log = test_log();
+        {
+            let _span = log.begin("work", registry.histogram("span.work"));
+        }
+        assert_eq!(registry.histogram("span.work").snapshot().count(), 1);
+    }
+}

@@ -34,6 +34,7 @@ pub mod pool;
 mod search;
 
 pub use apiphany_spec::CancelToken;
+pub use apiphany_telemetry::Telemetry;
 pub use budget::{Budget, InvalidBudget};
 pub use build::{build_ttn, query_markings, BuildOptions};
 pub use marking::{apply, can_fire, replay, Firing, Marking};

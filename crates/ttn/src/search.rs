@@ -43,6 +43,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use apiphany_spec::CancelToken;
+use apiphany_telemetry::{Counter, Histogram, Telemetry};
 use crate::ilp::enumerate_ilp_paths;
 use crate::marking::{apply, can_fire, unapply, Firing, Marking};
 use crate::net::{PlaceId, TransId, Ttn};
@@ -86,6 +87,16 @@ pub struct SearchConfig {
     /// search owns an independent dead-set with this cap.
     /// Hit/miss/evicted counts are reported through [`SearchStats`].
     pub dead_set_cap: usize,
+    /// Observability plane the search reports into: counters
+    /// `search.nodes` / `search.paths` / `search.dead_hits` /
+    /// `search.dead_misses` / `search.dead_evicted`, plus the per-level
+    /// `search.depth_us` wall-time histogram. Flushed once per
+    /// iterative-deepening level, so the hot DFS loop keeps its plain
+    /// non-atomic counters. Telemetry **observes, never steers** — no
+    /// search decision branches on it, which preserves the bit-identical
+    /// stream guarantee with telemetry enabled. The default is the
+    /// disabled plane (every flush is a handful of no-op branches).
+    pub telemetry: Telemetry,
 }
 
 impl Default for SearchConfig {
@@ -98,6 +109,7 @@ impl Default for SearchConfig {
             backend: Backend::Dfs,
             threads: 1,
             dead_set_cap: 2_000_000,
+            telemetry: Telemetry::default(),
         }
     }
 }
@@ -157,6 +169,44 @@ impl SearchStats {
     }
 }
 
+/// Cached telemetry handles for the search series. Flushed with
+/// per-level [`SearchStats`] deltas so instrumentation costs a handful
+/// of relaxed adds per *level*, not per node — the DFS hot path keeps
+/// its plain non-atomic counters.
+struct LevelMetrics {
+    nodes: Counter,
+    paths: Counter,
+    dead_hits: Counter,
+    dead_misses: Counter,
+    dead_evicted: Counter,
+    depth_us: Histogram,
+    /// Totals already published, so each flush adds only the growth.
+    reported: SearchStats,
+}
+
+impl LevelMetrics {
+    fn new(telemetry: &Telemetry) -> LevelMetrics {
+        LevelMetrics {
+            nodes: telemetry.counter("search.nodes"),
+            paths: telemetry.counter("search.paths"),
+            dead_hits: telemetry.counter("search.dead_hits"),
+            dead_misses: telemetry.counter("search.dead_misses"),
+            dead_evicted: telemetry.counter("search.dead_evicted"),
+            depth_us: telemetry.histogram("search.depth_us"),
+            reported: SearchStats::default(),
+        }
+    }
+
+    fn flush(&mut self, stats: &SearchStats) {
+        self.nodes.add(stats.nodes - self.reported.nodes);
+        self.paths.add(stats.paths - self.reported.paths);
+        self.dead_hits.add(stats.dead_hits - self.reported.dead_hits);
+        self.dead_misses.add(stats.dead_misses - self.reported.dead_misses);
+        self.dead_evicted.add(stats.dead_evicted - self.reported.dead_evicted);
+        self.reported = *stats;
+    }
+}
+
 /// The result of [`enumerate_search`]: how the search ended plus the DFS
 /// counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,6 +249,7 @@ pub fn enumerate_search(
 ) -> SearchReport {
     let mut emitted = 0usize;
     let mut stats = SearchStats::default();
+    let mut metrics = LevelMetrics::new(&cfg.telemetry);
     let index = NetIndex::new(net, fin);
     // Dead facts are keyed by `(marking, remaining)` and hold for the
     // whole search regardless of path prefix or deepening level, so both
@@ -218,6 +269,7 @@ pub fn enumerate_search(
             }
             continue;
         }
+        let level_started = Instant::now();
         let outcome = match cfg.backend {
             Backend::Dfs => {
                 let mut on_path = |path: &[Firing]| {
@@ -242,6 +294,8 @@ pub fn enumerate_search(
                 on_event(SearchEvent::Path(path)) && emitted < cfg.max_paths
             }),
         };
+        metrics.depth_us.record_duration(level_started.elapsed());
+        metrics.flush(&stats);
         match outcome {
             StepOutcome::Done => {
                 if !on_event(SearchEvent::DepthExhausted { depth: len }) {
@@ -1332,6 +1386,47 @@ mod tests {
             true
         });
         assert!(seen_any);
+    }
+
+    /// The telemetry counters published at level boundaries must agree
+    /// exactly with the [`SearchReport`] the caller gets back.
+    #[test]
+    fn telemetry_counters_match_the_search_report() {
+        let (net, init, fin) = setup();
+        let telemetry = Telemetry::enabled();
+        let cfg =
+            SearchConfig { max_len: 7, telemetry: telemetry.clone(), ..SearchConfig::default() };
+        let report = enumerate_search(&net, &init, &fin, &cfg, &CancelToken::new(), &mut |_| true);
+        assert_eq!(report.outcome, SearchOutcome::Exhausted);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("search.nodes"), Some(report.stats.nodes));
+        assert_eq!(snap.counter("search.paths"), Some(report.stats.paths));
+        assert_eq!(snap.counter("search.dead_hits"), Some(report.stats.dead_hits));
+        assert_eq!(snap.counter("search.dead_misses"), Some(report.stats.dead_misses));
+        assert_eq!(snap.counter("search.dead_evicted"), Some(report.stats.dead_evicted));
+        // One wall-time sample per searched level.
+        assert_eq!(snap.histogram("search.depth_us").unwrap().count(), 7);
+    }
+
+    /// Telemetry observes, never steers: the emitted stream with an
+    /// enabled plane is bit-identical to the uninstrumented parallel run.
+    #[test]
+    fn enabled_telemetry_preserves_the_bit_identical_stream() {
+        let (net, init, fin) = setup();
+        let (plain, plain_outcome) = collect_with_threads(&net, &init, &fin, 7, 4);
+        let cfg = SearchConfig {
+            max_len: 7,
+            threads: 4,
+            telemetry: Telemetry::enabled(),
+            ..SearchConfig::default()
+        };
+        let mut paths: Vec<Vec<Firing>> = Vec::new();
+        let outcome = enumerate_paths(&net, &init, &fin, &cfg, &mut |p| {
+            paths.push(p.to_vec());
+            true
+        });
+        assert_eq!(paths, plain);
+        assert_eq!(outcome, plain_outcome);
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //! `--id <query id>` (default `q1`), `--depth <n>` (default 7),
 //! `--disconnect-after <n>` (drop the connection without goodbye after
 //! receiving `n` candidate events — for exercising the server's
-//! disconnect-cancels-my-work path), and `--stall <secs>` (misbehave:
+//! disconnect-cancels-my-work path), `--stall <secs>` (misbehave:
 //! flood requests without reading any reply, hold for that long, and
 //! expect the server to cut the connection at its write deadline — for
-//! exercising slow-client isolation).
+//! exercising slow-client isolation), `--metrics` (skip the query; ask
+//! for the server's telemetry snapshot and print that one reply — what
+//! the CI observability scrape runs), and `--auth <token>` (present the
+//! shared secret an `--auth-token` server demands).
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -36,6 +39,8 @@ fn main() -> ExitCode {
     let mut depth = 7usize;
     let mut disconnect_after: Option<usize> = None;
     let mut stall: Option<Duration> = None;
+    let mut metrics = false;
+    let mut auth: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -68,6 +73,14 @@ fn main() -> ExitCode {
                 }
                 None => return usage("--stall needs a number of seconds"),
             },
+            "--metrics" => metrics = true,
+            "--auth" => match args.get(i + 1) {
+                Some(token) => {
+                    auth = Some(token.clone());
+                    i += 1;
+                }
+                None => return usage("--auth needs a token"),
+            },
             "--help" | "-h" => return usage(""),
             other if addr.is_none() => match ListenAddr::parse(other) {
                 Ok(parsed) => addr = Some(parsed),
@@ -94,6 +107,9 @@ fn main() -> ExitCode {
     let send = |stream: &mut Stream, text: &str| {
         let mut msg = parse(text).expect("request literal is valid JSON");
         msg.set("v", Value::Int(PROTOCOL_VERSION));
+        if let Some(token) = &auth {
+            msg.set("auth", Value::from(token.as_str()));
+        }
         write_frame(stream, &msg).expect("send frame");
     };
     if register {
@@ -106,6 +122,37 @@ fn main() -> ExitCode {
     // Stall mode: flood requests, never read, and wait to be cut.
     if let Some(hold) = stall {
         return run_stall(&mut stream, hold);
+    }
+
+    // Metrics mode: one snapshot request, one printed reply.
+    if metrics {
+        send(&mut stream, r#"{"op":"metrics"}"#);
+        loop {
+            match read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+                Ok(Some(Ok(frame))) => {
+                    if frame.get("op").and_then(Value::as_str) == Some("metrics") {
+                        println!("{}", frame.to_json());
+                        return if frame.get("ok").and_then(Value::as_bool) == Some(true) {
+                            ExitCode::SUCCESS
+                        } else {
+                            ExitCode::FAILURE
+                        };
+                    }
+                }
+                Ok(Some(Err(e))) => {
+                    eprintln!("net_client: undecodable frame: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(None) => {
+                    eprintln!("net_client: server closed the connection");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("net_client: i/o error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     }
     send(
         &mut stream,
@@ -211,7 +258,8 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!(
         "usage: net_client <unix:PATH|tcp:HOST:PORT> [--register] [--id ID]\n\
-         \x20                 [--depth N] [--disconnect-after N] [--stall SECS]"
+         \x20                 [--depth N] [--disconnect-after N] [--stall SECS]\n\
+         \x20                 [--metrics] [--auth TOKEN]"
     );
     if error.is_empty() {
         ExitCode::SUCCESS

@@ -22,7 +22,7 @@ use std::io::Cursor;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use apiphany_repro::core::{FaultPlane, RetryPolicy};
+use apiphany_repro::core::{FaultPlane, RetryPolicy, Telemetry};
 use apiphany_repro::json::{parse, Value};
 use apiphany_repro::server::{run_daemon, DaemonOptions};
 use proptest::prelude::*;
@@ -115,6 +115,45 @@ fn assert_exactly_one_terminal(lines: &[Value], context: &str) {
     }
 }
 
+/// The observability invariant: every fault the plane fired left a
+/// `fault.trip` event in the flight recorder (naming its injection
+/// point), alongside the transitions of the jobs the run processed — the
+/// post-mortem a drain dump prints is never missing the trigger.
+fn assert_faults_are_on_the_flight_record(
+    fault: &FaultPlane,
+    telemetry: &Telemetry,
+    context: &str,
+) {
+    let fired = fault.fired();
+    let dump = telemetry.recorder_dump();
+    let trips: Vec<_> = dump.iter().filter(|e| e.kind == "fault.trip").collect();
+    let retained = u64::try_from(trips.len()).expect("trip count fits");
+    if telemetry.recorded_events() == u64::try_from(dump.len()).expect("dump fits") {
+        // Nothing fell off the ring: the record is exact.
+        assert_eq!(
+            retained, fired,
+            "{fired} faults fired but {retained} trips recorded ({context}): {dump:?}"
+        );
+    } else {
+        assert!(
+            retained > 0 || fired == 0,
+            "{fired} faults fired but every trip fell off the ring ({context})"
+        );
+    }
+    for trip in &trips {
+        assert!(
+            trip.field("point").is_some_and(|p| !p.is_empty()),
+            "trip without an injection point ({context}): {trip:?}"
+        );
+    }
+    if fired > 0 {
+        assert!(
+            dump.iter().any(|e| e.kind == "job" && e.field("id").is_some()),
+            "faults fired but no job transitions on the record ({context}): {dump:?}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -130,15 +169,19 @@ proptest! {
         // quarantine of anything the first run's torn writes left).
         for round in 0..2 {
             let context = format!("seed {seed}, spec '{spec}', round {round}");
+            let fault = FaultPlane::parse(seed.wrapping_add(round), spec)
+                .expect("chaos schedule parses");
+            let telemetry = Telemetry::enabled();
             let opts = DaemonOptions {
                 slots: 2,
                 cache_dir: Some(cache_dir.clone()),
                 retry: RetryPolicy { retries: 2, backoff: Duration::from_millis(5) },
-                fault: FaultPlane::parse(seed.wrapping_add(round), spec)
-                    .expect("chaos schedule parses"),
+                fault: fault.clone(),
+                telemetry: telemetry.clone(),
             };
             let lines = chaos_run(opts, &context);
             assert_exactly_one_terminal(&lines, &context);
+            assert_faults_are_on_the_flight_record(&fault, &telemetry, &context);
         }
         let _ = std::fs::remove_dir_all(&cache_dir);
     }
