@@ -18,9 +18,12 @@
 //! The measured runs report through the `apiphany_telemetry` registry
 //! (the final snapshot is attached to the report), and a micro-bench
 //! quantifies the registry's overhead: the same serial search with the
-//! registry disabled vs. enabled. Results are written as JSON (default
-//! `BENCH_pr9.json`, the `BENCH_pr3.json` schema plus `metrics` and
-//! `telemetry_overhead` blocks).
+//! registry disabled vs. enabled. Each parallel run is also held to
+//! *node parity*: with the shared dead-set, a parallel run must explore
+//! about the same number of nodes as the serial one (the `node_parity`
+//! block; the run fails if any thread count exceeds serial by >10%).
+//! Results are written as JSON (default `BENCH_pr10.json`, the
+//! `BENCH_pr9.json` schema plus `node_parity` and `dead_shared_hits`).
 //!
 //! Flags: `--smoke` (tiny configuration for CI), `--max-len N`,
 //! `--threads 2,4,8`, `--out PATH`.
@@ -118,6 +121,7 @@ fn search_run_json(run: &SearchRun, serial: Option<&SearchRun>) -> Value {
         ("paths".to_string(), Value::Int(run.paths as i64)),
         ("nodes".to_string(), Value::Int(run.stats.nodes as i64)),
         ("dead_hits".to_string(), Value::Int(run.stats.dead_hits as i64)),
+        ("dead_shared_hits".to_string(), Value::Int(run.stats.dead_shared_hits as i64)),
         ("dead_misses".to_string(), Value::Int(run.stats.dead_misses as i64)),
         ("dead_evicted".to_string(), Value::Int(run.stats.dead_evicted as i64)),
         ("allocs".to_string(), Value::Int(run.allocs as i64)),
@@ -176,7 +180,7 @@ fn main() {
     let thread_counts: Vec<usize> = opt("--threads")
         .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
         .unwrap_or_else(|| if smoke { vec![2] } else { vec![2, 4, 8] });
-    let out_path = opt("--out").unwrap_or_else(|| "BENCH_pr9.json".to_string());
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_pr10.json".to_string());
 
     eprintln!("preparing slack engine (analysis phase)...");
     let prepared = prepare_api(Api::Slack, &default_analyze_config());
@@ -207,6 +211,37 @@ fn main() {
             run.stream_hash == serial.stream_hash && run.paths == serial.paths
         );
         parallel_runs.push(run);
+    }
+
+    // Node parity: the shared dead-set exists so a parallel run prunes
+    // (almost) everything the serial memo prunes. Re-exploration from
+    // racing inserts and frontier stitching is allowed a 10% budget;
+    // beyond that the sharing is broken and the run fails.
+    let node_parity: Vec<Value> = parallel_runs
+        .iter()
+        .map(|r| {
+            Value::obj(vec![
+                ("threads", Value::Int(r.threads as i64)),
+                ("parallel_nodes", Value::Int(r.stats.nodes as i64)),
+                ("serial_nodes", Value::Int(serial.stats.nodes as i64)),
+                (
+                    "ratio",
+                    Value::Float(r.stats.nodes as f64 / serial.stats.nodes.max(1) as f64),
+                ),
+            ])
+        })
+        .collect();
+    let parity_broken = parallel_runs
+        .iter()
+        .any(|r| r.stats.nodes as f64 > serial.stats.nodes as f64 * 1.10);
+    for r in &parallel_runs {
+        eprintln!(
+            "  node parity {} threads: {} vs serial {} ({:.3}x)",
+            r.threads,
+            r.stats.nodes,
+            serial.stats.nodes,
+            r.stats.nodes as f64 / serial.stats.nodes.max(1) as f64
+        );
     }
 
     // Micro-bench: the registry's cost on the serial search. The
@@ -291,7 +326,7 @@ fn main() {
         .min(serial.wall.as_secs_f64());
 
     let report = Value::obj(vec![
-        ("bench", Value::Str("perf-baseline (PR 9)".into())),
+        ("bench", Value::Str("perf-baseline (PR 10)".into())),
         ("workload", Value::Str(format!(
             "emails_of_channel (Table 2 benchmark 1.1, slack): full TTN level \
              enumeration depths 1..={max_len} + 8-benchmark slack easy suite at depth {e2e_len}"
@@ -329,6 +364,7 @@ fn main() {
                 },
             ),
         ])),
+        ("node_parity", Value::Array(node_parity)),
         ("easy_suite", Value::obj(vec![
             ("serial_wall_secs", Value::Float(e2e_serial_wall.as_secs_f64())),
             ("parallel_wall_secs", Value::Float(e2e_par_wall.as_secs_f64())),
@@ -362,6 +398,13 @@ fn main() {
     }
     if !ranks_agree {
         eprintln!("ERROR: parallel easy-suite ranks diverged from serial");
+        std::process::exit(1);
+    }
+    if parity_broken {
+        eprintln!(
+            "ERROR: a parallel run explored >10% more nodes than serial \
+             (shared dead-set not pruning)"
+        );
         std::process::exit(1);
     }
 }

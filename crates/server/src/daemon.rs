@@ -139,6 +139,7 @@ struct SearchTotals {
     queries: u64,
     nodes: u64,
     dead_hits: u64,
+    dead_shared_hits: u64,
     dead_misses: u64,
     dead_evicted: u64,
 }
@@ -539,6 +540,10 @@ impl Daemon {
                                     Value::Int(t.dead_hits.min(i64::MAX as u64) as i64),
                                 ),
                                 (
+                                    "dead_shared_hits",
+                                    Value::Int(t.dead_shared_hits.min(i64::MAX as u64) as i64),
+                                ),
+                                (
                                     "dead_misses",
                                     Value::Int(t.dead_misses.min(i64::MAX as u64) as i64),
                                 ),
@@ -842,6 +847,7 @@ impl Daemon {
                         t.queries += 1;
                         t.nodes += result.stats.search.nodes;
                         t.dead_hits += result.stats.search.dead_hits;
+                        t.dead_shared_hits += result.stats.search.dead_shared_hits;
                         t.dead_misses += result.stats.search.dead_misses;
                         t.dead_evicted += result.stats.search.dead_evicted;
                     }

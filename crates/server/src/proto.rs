@@ -464,6 +464,7 @@ pub fn search_stats_value(stats: &apiphany_core::ttn::SearchStats) -> Value {
     Value::obj([
         ("nodes", Value::Int(stats.nodes.min(i64::MAX as u64) as i64)),
         ("dead_hits", Value::Int(stats.dead_hits.min(i64::MAX as u64) as i64)),
+        ("dead_shared_hits", Value::Int(stats.dead_shared_hits.min(i64::MAX as u64) as i64)),
         ("dead_misses", Value::Int(stats.dead_misses.min(i64::MAX as u64) as i64)),
         ("dead_evicted", Value::Int(stats.dead_evicted.min(i64::MAX as u64) as i64)),
     ])

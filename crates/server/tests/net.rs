@@ -617,6 +617,7 @@ fn metrics_op_reports_search_job_and_transport_activity() {
     assert_eq!(search.get("queries").and_then(Value::as_int), Some(1));
     assert!(search.get("nodes").and_then(Value::as_int).unwrap_or(0) > 0);
     assert!(search.get("dead_misses").and_then(Value::as_int).is_some());
+    assert!(search.get("dead_shared_hits").and_then(Value::as_int).is_some());
 
     client.send(r#"{"op":"dump-recorder"}"#);
     let reply = client.recv();

@@ -27,6 +27,7 @@
 
 mod budget;
 mod build;
+mod dead;
 pub mod ilp;
 mod marking;
 mod net;

@@ -121,6 +121,20 @@ impl Marking {
         }
         (u128::from(h1) << 64) | u128::from(h2)
     }
+
+    /// The dead-set memo key for this marking with `remaining` firings
+    /// left: [`Marking::fingerprint128`] with the remaining length mixed
+    /// into both 64-bit lanes (splitmix-style), so one `u128` keys the
+    /// sharded concurrent dead-set — the shard index comes from the high
+    /// bits and the in-shard slot from the low bits, which is why the
+    /// length must be diffused across the whole word rather than stored
+    /// alongside it.
+    pub fn dead_key(&self, remaining: usize) -> u128 {
+        let r = remaining as u64;
+        let m1 = (r ^ 0x9e37_79b9_7f4a_7c15).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        let m2 = (r ^ 0x94d0_49bb_1331_11eb).wrapping_mul(0x2545_f491_4f6c_dd1d);
+        self.fingerprint128() ^ ((u128::from(m1) << 64) | u128::from(m2))
+    }
 }
 
 /// One transition firing in a path: the transition plus the number of

@@ -16,12 +16,14 @@
 //!
 //! # Parallel search
 //!
-//! With [`SearchConfig::threads`] > 1 the DFS backend runs each
-//! iterative-deepening level on a scoped worker pool ([`crate::pool`]):
-//! the level is split at a shallow *frontier* (every distinct firing
+//! With [`SearchConfig::threads`] > 1 the DFS backend runs each deep
+//! iterative-deepening level on a streaming worker team
+//! ([`crate::pool::team_scope`], spawned once per query): the
+//! coordinator expands a shallow *frontier* (every distinct firing
 //! prefix of a small depth, enumerated in exactly the serial visit
-//! order), the branches are searched independently — each worker owns its
-//! own dead-set — and the per-branch path lists are stitched back
+//! order) and pushes each branch to the team the moment expansion
+//! reaches it, so branch search overlaps expansion instead of
+//! barrier-syncing; the per-branch path lists are then stitched back
 //! together in frontier order. Because the frontier order equals the
 //! serial DFS prefix order, branch-local sub-enumeration is serial, and
 //! dead-set memoization only ever prunes subtrees that contain *no*
@@ -29,7 +31,20 @@
 //! enumeration for every thread count** — parallelism is a pure
 //! wall-clock optimization, never a semantic knob. Cancellation and
 //! deadlines stay cooperative: every worker polls the [`CancelToken`],
-//! the deadline, and the pool's stop flag at every node.
+//! the deadline, and the team's stop flag at every node.
+//!
+//! Every participant — the coordinator's expansion pass included —
+//! probes and populates **one shared concurrent dead-set**
+//! ([`crate::dead`]): dead verdicts are monotone truths of the search,
+//! so a verdict proven by any worker prunes the same subtree for all of
+//! them, for the whole query. This is what keeps the parallel node count
+//! at parity with serial — with per-worker memos (PR 3–9), every worker
+//! re-proved subtrees its siblings had already killed, and the explored
+//! node count *grew* with the thread count faster than the threads could
+//! absorb it. Stale reads are safe (a missed fact only re-explores a
+//! path-free subtree), so probes are lock-free. Each worker also keeps
+//! one persistent [`DfsScratch`] across branches and levels, so steady-
+//! state search allocates nothing per branch.
 //!
 //! Tradeoff: a parallel level buffers each branch's path list until its
 //! in-order turn, so peak memory grows with the level's path count
@@ -37,17 +52,18 @@
 //! serial enumerator's O(depth) — on path-dense nets with an unbounded
 //! `max_paths`, prefer serial search or set a cap.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use apiphany_spec::CancelToken;
-use apiphany_telemetry::{Counter, Histogram, Telemetry};
+use apiphany_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use crate::dead::{Probe, SharedDeadSet};
 use crate::ilp::enumerate_ilp_paths;
 use crate::marking::{apply, can_fire, unapply, Firing, Marking};
 use crate::net::{PlaceId, TransId, Ttn};
-use crate::pool::for_each_ordered;
+use crate::pool::{team_scope, Team};
 
 /// Which path enumerator to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,15 +97,21 @@ pub struct SearchConfig {
     /// value; see the module docs for why. The ILP backend ignores this.
     pub threads: usize,
     /// Capacity of the dead-state memo (entries); `0` disables
-    /// memoization entirely. When full, the memo evicts its oldest epoch
-    /// (half the entries) instead of rejecting inserts, so deep searches
-    /// keep memoizing their current frontier. Each worker of a parallel
-    /// search owns an independent dead-set with this cap.
-    /// Hit/miss/evicted counts are reported through [`SearchStats`].
+    /// memoization entirely. The memo is **one shared concurrent set**
+    /// (`crates/ttn/src/dead.rs`) probed and populated by the serial enumerator,
+    /// the frontier expansion, and every pool worker alike — a verdict
+    /// proven anywhere prunes everywhere. The cap is split across the
+    /// set's shards; when a shard fills, it evicts its oldest epoch
+    /// (half its entries) instead of rejecting inserts, so deep searches
+    /// keep memoizing their current frontier.
+    /// Hit/miss/shared-hit/evicted counts are reported through
+    /// [`SearchStats`].
     pub dead_set_cap: usize,
     /// Observability plane the search reports into: counters
     /// `search.nodes` / `search.paths` / `search.dead_hits` /
-    /// `search.dead_misses` / `search.dead_evicted`, plus the per-level
+    /// `search.dead_shared_hits` / `search.dead_misses` /
+    /// `search.dead_evicted`, the `search.dead_set_entries` occupancy
+    /// gauge, plus the per-level
     /// `search.depth_us` wall-time histogram. Flushed once per
     /// iterative-deepening level, so the hot DFS loop keeps its plain
     /// non-atomic counters. Telemetry **observes, never steers** — no
@@ -148,6 +170,11 @@ pub struct SearchStats {
     pub paths: u64,
     /// Dead-set lookups that pruned a subtree.
     pub dead_hits: u64,
+    /// The subset of [`SearchStats::dead_hits`] whose verdict was
+    /// inserted by a *different* worker — the measure of how much
+    /// pruning knowledge actually amortizes across the pool (always `0`
+    /// in a serial search).
+    pub dead_shared_hits: u64,
     /// Dead-set lookups that missed.
     pub dead_misses: u64,
     /// Dead facts discarded by epoch eviction: when the memo reaches
@@ -164,6 +191,7 @@ impl SearchStats {
         self.nodes += other.nodes;
         self.paths += other.paths;
         self.dead_hits += other.dead_hits;
+        self.dead_shared_hits += other.dead_shared_hits;
         self.dead_misses += other.dead_misses;
         self.dead_evicted += other.dead_evicted;
     }
@@ -177,8 +205,13 @@ struct LevelMetrics {
     nodes: Counter,
     paths: Counter,
     dead_hits: Counter,
+    dead_shared_hits: Counter,
     dead_misses: Counter,
     dead_evicted: Counter,
+    /// Live entries across the shared dead-set's shards, sampled at each
+    /// level boundary (occupancy is summed under the shard locks, so it
+    /// is never read on the probe path).
+    dead_entries: Gauge,
     depth_us: Histogram,
     /// Totals already published, so each flush adds only the growth.
     reported: SearchStats,
@@ -190,19 +223,24 @@ impl LevelMetrics {
             nodes: telemetry.counter("search.nodes"),
             paths: telemetry.counter("search.paths"),
             dead_hits: telemetry.counter("search.dead_hits"),
+            dead_shared_hits: telemetry.counter("search.dead_shared_hits"),
             dead_misses: telemetry.counter("search.dead_misses"),
             dead_evicted: telemetry.counter("search.dead_evicted"),
+            dead_entries: telemetry.gauge("search.dead_set_entries"),
             depth_us: telemetry.histogram("search.depth_us"),
             reported: SearchStats::default(),
         }
     }
 
-    fn flush(&mut self, stats: &SearchStats) {
+    fn flush(&mut self, stats: &SearchStats, dead: &SharedDeadSet) {
         self.nodes.add(stats.nodes - self.reported.nodes);
         self.paths.add(stats.paths - self.reported.paths);
         self.dead_hits.add(stats.dead_hits - self.reported.dead_hits);
+        self.dead_shared_hits
+            .add(stats.dead_shared_hits - self.reported.dead_shared_hits);
         self.dead_misses.add(stats.dead_misses - self.reported.dead_misses);
         self.dead_evicted.add(stats.dead_evicted - self.reported.dead_evicted);
+        self.dead_entries.set(dead.occupancy() as i64);
         self.reported = *stats;
     }
 }
@@ -247,18 +285,103 @@ pub fn enumerate_search(
     cancel: &CancelToken,
     on_event: &mut dyn FnMut(SearchEvent<'_>) -> bool,
 ) -> SearchReport {
+    let index = NetIndex::new(net, fin);
+    // One shared dead-set for the whole query: dead facts are keyed by
+    // `(marking, remaining)` and hold for the whole search regardless of
+    // path prefix, deepening level, or which worker proved them, so the
+    // serial enumerator, the frontier expansion, and every pool worker
+    // probe and populate the same set — iterative deepening re-explores
+    // shallow prefixes, and the memo is what keeps that from going
+    // exponential.
+    let dead = SharedDeadSet::new(cfg.dead_set_cap);
+    // Deep levels split at length >= 4; a search that never reaches one
+    // runs serially without spawning the team at all.
+    let parallel =
+        cfg.backend == Backend::Dfs && cfg.threads > 1 && cfg.max_len >= 4;
+    // Persistent per-participant scratch (path buffer + DFS frames),
+    // index 0 the coordinator, 1..=threads the team workers. Pinning the
+    // scratch to the worker keeps steady-state search allocation-free —
+    // the locks are per-participant and therefore uncontended.
+    let scratches: Vec<Mutex<DfsScratch>> = (0..if parallel { cfg.threads + 1 } else { 1 })
+        .map(|_| Mutex::new(DfsScratch::with_capacity(cfg.max_len)))
+        .collect();
+    let ctx = LevelCtx {
+        net,
+        init,
+        fin,
+        cfg,
+        cancel,
+        index: &index,
+        dead: &dead,
+        scratches: &scratches,
+    };
+    if parallel {
+        // The branch producer shared by the team workers and the
+        // coordinator's inline steals: search one frontier branch to the
+        // level's full length, buffering its paths for in-order
+        // delivery. `who` doubles as the scratch index and the dead-set
+        // owner id.
+        let produce = |branch: Branch, who: usize, stop: &AtomicBool| {
+            let mut scratch = ctx.scratches[who].lock().expect("scratch lock");
+            let mut dfs = Dfs::new(
+                ctx.net,
+                ctx.fin,
+                ctx.index,
+                ctx.cfg,
+                ctx.cancel,
+                Some(stop),
+                ctx.dead,
+                who as u8,
+                &mut scratch,
+            );
+            let mut paths: Vec<Vec<Firing>> = Vec::new();
+            let outcome = dfs.run_seeded(
+                &branch.prefix,
+                branch.marking,
+                branch.remaining,
+                &mut |p| {
+                    paths.push(p.to_vec());
+                    // At most `max_paths` paths of any single branch can
+                    // ever be emitted (the global cap), so a worker can
+                    // stop buffering there without changing the stream —
+                    // bounds memory and work for small-cap searches.
+                    paths.len() < ctx.cfg.max_paths
+                },
+            );
+            BranchOut { paths, outcome, stats: dfs.stats }
+        };
+        team_scope(cfg.threads, produce, |team| run_levels(&ctx, Some(team), on_event))
+    } else {
+        run_levels(&ctx, None, on_event)
+    }
+}
+
+/// Everything a level run borrows from [`enumerate_search`], bundled so
+/// the level loop can be one function whether or not a worker team is
+/// attached.
+struct LevelCtx<'a> {
+    net: &'a Ttn,
+    init: &'a Marking,
+    fin: &'a Marking,
+    cfg: &'a SearchConfig,
+    cancel: &'a CancelToken,
+    index: &'a NetIndex,
+    dead: &'a SharedDeadSet,
+    /// Per-participant scratch; index 0 is the coordinator's.
+    scratches: &'a [Mutex<DfsScratch>],
+}
+
+/// The iterative-deepening level loop (both backends). With a team
+/// attached, levels deep enough to split run pipelined on it.
+fn run_levels(
+    ctx: &LevelCtx<'_>,
+    team: Option<&Team<'_, Branch, BranchOut>>,
+    on_event: &mut dyn FnMut(SearchEvent<'_>) -> bool,
+) -> SearchReport {
+    let cfg = ctx.cfg;
     let mut emitted = 0usize;
     let mut stats = SearchStats::default();
     let mut metrics = LevelMetrics::new(&cfg.telemetry);
-    let index = NetIndex::new(net, fin);
-    // Dead facts are keyed by `(marking, remaining)` and hold for the
-    // whole search regardless of path prefix or deepening level, so both
-    // the serial enumerator and each pool worker keep their dead-sets
-    // across levels — iterative deepening re-explores shallow prefixes,
-    // and the memo is what keeps that from going exponential.
-    let mut serial_dfs = Dfs::new(net, fin, &index, cfg, cancel, None);
-    let worker_dead: Vec<Mutex<DeadSet>> =
-        (0..cfg.threads).map(|_| Mutex::new(DeadSet::new(cfg.dead_set_cap))).collect();
     for len in 1..=cfg.max_len {
         if len < cfg.start_len {
             // Provably path-free level (the caller's distance bound):
@@ -276,26 +399,46 @@ pub fn enumerate_search(
                     emitted += 1;
                     on_event(SearchEvent::Path(path)) && emitted < cfg.max_paths
                 };
-                // Shallow levels finish in microseconds; the pool only
+                // Shallow levels finish in microseconds; the team only
                 // pays off once a level is deep enough to split.
-                if cfg.threads > 1 && len >= 4 {
-                    run_level_parallel(
-                        net, &index, init, fin, len, cfg, cancel, &worker_dead, &mut on_path,
-                        &mut stats,
-                    )
-                } else {
-                    let outcome = serial_dfs.run(init.clone(), len, &mut on_path);
-                    stats.absorb(&std::mem::take(&mut serial_dfs.stats));
-                    outcome
+                match team {
+                    Some(team) if len >= 4 => {
+                        run_level_pipelined(ctx, team, len, &mut on_path, &mut stats)
+                    }
+                    _ => {
+                        let mut scratch = ctx.scratches[0].lock().expect("scratch lock");
+                        let mut dfs = Dfs::new(
+                            ctx.net,
+                            ctx.fin,
+                            ctx.index,
+                            cfg,
+                            ctx.cancel,
+                            None,
+                            ctx.dead,
+                            0,
+                            &mut scratch,
+                        );
+                        let outcome = dfs.run(ctx.init.clone(), len, &mut on_path);
+                        stats.absorb(&dfs.stats);
+                        outcome
+                    }
                 }
             }
-            Backend::Ilp => enumerate_ilp_paths(net, init, fin, len, cfg, cancel, &mut |path| {
-                emitted += 1;
-                on_event(SearchEvent::Path(path)) && emitted < cfg.max_paths
-            }),
+            Backend::Ilp => enumerate_ilp_paths(
+                ctx.net,
+                ctx.init,
+                ctx.fin,
+                len,
+                cfg,
+                ctx.cancel,
+                &mut |path| {
+                    emitted += 1;
+                    on_event(SearchEvent::Path(path)) && emitted < cfg.max_paths
+                },
+            ),
         };
         metrics.depth_us.record_duration(level_started.elapsed());
-        metrics.flush(&stats);
+        metrics.flush(&stats, ctx.dead);
         match outcome {
             StepOutcome::Done => {
                 if !on_event(SearchEvent::DepthExhausted { depth: len }) {
@@ -426,60 +569,6 @@ impl NetIndex {
     }
 }
 
-/// Dead-state memo keys: 128-bit marking fingerprint + remaining length.
-type DeadKey = (u128, usize);
-
-/// The dead-state memo: a capped set of `(marking, remaining)` keys proven
-/// to admit no completion, with **epoch-based eviction**.
-///
-/// Only verdicts from *unrestricted* nodes are stored (see `Dfs::step`):
-/// the symmetry-breaking restriction makes restricted nodes' verdicts
-/// prefix-dependent, and restricted→restricted reuse measured too rare to
-/// pay for a context-qualified key.
-///
-/// Entries live in two epochs of at most `cap / 2` entries each. Inserts
-/// go to the young epoch; when it fills, the old epoch is cleared and the
-/// young one takes its place. Deep searches therefore keep memoizing
-/// their *current* frontier — under the seed's insert-rejection scheme a
-/// full memo froze on the earliest states and rejected everything the
-/// search was actually revisiting. Eviction is deterministic (driven
-/// purely by insertion order) and sound: forgetting a dead fact can only
-/// re-explore a provably path-free subtree, never change what is emitted.
-pub(crate) struct DeadSet {
-    young: HashSet<DeadKey>,
-    old: HashSet<DeadKey>,
-    /// Per-epoch capacity (`cap.div_ceil(2)`); `0` disables the memo.
-    epoch_cap: usize,
-}
-
-impl DeadSet {
-    pub(crate) fn new(cap: usize) -> DeadSet {
-        DeadSet { young: HashSet::new(), old: HashSet::new(), epoch_cap: cap.div_ceil(2) }
-    }
-
-    /// Whether memoization is enabled (`dead_set_cap > 0`).
-    fn enabled(&self) -> bool {
-        self.epoch_cap > 0
-    }
-
-    fn contains(&self, key: &DeadKey) -> bool {
-        self.young.contains(key) || self.old.contains(key)
-    }
-
-    /// Inserts a dead fact, rotating epochs when the young epoch is full.
-    /// Returns the number of entries evicted by the rotation (for the
-    /// [`SearchStats::dead_evicted`] counter).
-    fn insert(&mut self, key: DeadKey) -> u64 {
-        self.young.insert(key);
-        if self.young.len() < self.epoch_cap {
-            return 0;
-        }
-        let evicted = self.old.len() as u64;
-        self.old = std::mem::take(&mut self.young);
-        evicted
-    }
-}
-
 /// Reusable per-depth scratch: the candidate list, the optional
 /// availability bounds, and the odometer digits. One frame per recursion
 /// depth, so the hot loop never allocates after the first descent.
@@ -491,10 +580,50 @@ struct Frame {
 }
 
 /// One frontier branch of a parallel level: the firing prefix (in serial
-/// visit order) plus the marking it leads to.
+/// visit order), the marking it leads to, and how many firings remain
+/// below it. Branches are the jobs pushed to the worker team.
 struct Branch {
     prefix: Vec<Firing>,
     marking: Marking,
+    remaining: usize,
+}
+
+/// A searched branch's buffered output, delivered in frontier order.
+struct BranchOut {
+    paths: Vec<Vec<Firing>>,
+    outcome: StepOutcome,
+    stats: SearchStats,
+}
+
+/// The allocation-heavy state of a [`Dfs`], split out so each search
+/// participant keeps one instance alive across branches *and* levels —
+/// `Dfs` construction is then free of allocation, which is what took the
+/// parallel search from ~86× the serial allocations per node back to
+/// parity (a fresh `Dfs` per branch re-grew the path buffer and every
+/// per-depth frame, tens of thousands of times per level).
+struct DfsScratch {
+    /// Firing stack; the live prefix length lives in [`Dfs::plen`].
+    /// Slots above the live prefix keep their `optional_taken`
+    /// allocations for reuse.
+    path: Vec<Firing>,
+    frames: Vec<Frame>,
+}
+
+impl DfsScratch {
+    /// Scratch pre-sized for paths up to `max_len` firings, so steady-
+    /// state search never grows either buffer.
+    fn with_capacity(max_len: usize) -> DfsScratch {
+        let mut frames = Vec::new();
+        frames.resize_with(max_len + 1, Frame::default);
+        DfsScratch { path: Vec::with_capacity(max_len), frames }
+    }
+}
+
+/// The callbacks a traversal reports into: every completed path, and —
+/// in frontier mode — every captured branch.
+struct Sink<'s> {
+    on_path: &'s mut dyn FnMut(&[Firing]) -> bool,
+    on_branch: &'s mut dyn FnMut(&[Firing], &Marking),
 }
 
 struct Dfs<'a> {
@@ -503,22 +632,25 @@ struct Dfs<'a> {
     index: &'a NetIndex,
     deadline: Option<Instant>,
     cancel: &'a CancelToken,
-    /// Stop flag shared with the worker pool (parallel workers only).
+    /// Stop flag shared with the worker team (parallel workers only).
     stop: Option<&'a AtomicBool>,
-    /// Exact sparse-marking keys (128-bit fingerprint + remaining length)
-    /// of states proven to admit no completion. 64 bits is not enough
-    /// here: at millions of memoized states a birthday collision would
-    /// unsoundly prune a live state and silently drop a valid program.
-    dead: DeadSet,
-    /// Firing stack; `plen` is the live prefix length. Slots above the
-    /// live prefix keep their `optional_taken` allocations for reuse.
-    path: Vec<Firing>,
+    /// The query's shared dead-state memo. Keys are exact 128-bit
+    /// fingerprints of `(marking, remaining)` ([`Marking::dead_key`]):
+    /// 64 bits is not enough here — at millions of memoized states a
+    /// birthday collision would unsoundly prune a live state and
+    /// silently drop a valid program.
+    dead: &'a SharedDeadSet,
+    /// This participant's dead-set owner id (coordinator 0, team workers
+    /// 1..): hits on other owners' verdicts count as
+    /// [`SearchStats::dead_shared_hits`].
+    me: u8,
+    /// Worker-pinned reusable buffers (see [`DfsScratch`]).
+    scratch: &'a mut DfsScratch,
+    /// Live prefix length within `scratch.path`.
     plen: usize,
-    frames: Vec<Frame>,
     /// When non-zero: capture `(prefix, marking)` branches at this
     /// `remaining` value instead of recursing further (frontier mode).
     capture_remaining: usize,
-    branches: Vec<Branch>,
     stats: SearchStats,
     /// Set when the deadline fires mid-search.
     timed_out: bool,
@@ -527,6 +659,7 @@ struct Dfs<'a> {
 }
 
 impl<'a> Dfs<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         net: &'a Ttn,
         fin: &'a Marking,
@@ -534,6 +667,9 @@ impl<'a> Dfs<'a> {
         cfg: &SearchConfig,
         cancel: &'a CancelToken,
         stop: Option<&'a AtomicBool>,
+        dead: &'a SharedDeadSet,
+        me: u8,
+        scratch: &'a mut DfsScratch,
     ) -> Dfs<'a> {
         Dfs {
             net,
@@ -542,12 +678,11 @@ impl<'a> Dfs<'a> {
             deadline: cfg.deadline,
             cancel,
             stop,
-            dead: DeadSet::new(cfg.dead_set_cap),
-            path: Vec::new(),
+            dead,
+            me,
+            scratch,
             plen: 0,
-            frames: Vec::new(),
             capture_remaining: 0,
-            branches: Vec::new(),
             stats: SearchStats::default(),
             timed_out: false,
             cancelled: false,
@@ -563,7 +698,8 @@ impl<'a> Dfs<'a> {
         let mut m = init;
         self.plen = 0;
         self.reserve_frames(len);
-        let flow = self.step(&mut m, len, on_path);
+        let mut sink = Sink { on_path, on_branch: &mut |_: &[Firing], _: &Marking| {} };
+        let flow = self.step(&mut m, len, &mut sink);
         self.finish(flow)
     }
 
@@ -577,34 +713,42 @@ impl<'a> Dfs<'a> {
         remaining: usize,
         on_path: &mut dyn FnMut(&[Firing]) -> bool,
     ) -> StepOutcome {
-        self.path.clear();
-        self.path.extend_from_slice(prefix);
+        self.scratch.path.clear();
+        self.scratch.path.extend_from_slice(prefix);
         self.plen = prefix.len();
         self.reserve_frames(remaining);
         let mut m = seed;
-        let flow = self.step(&mut m, remaining, on_path);
+        let mut sink = Sink { on_path, on_branch: &mut |_: &[Firing], _: &Marking| {} };
+        let flow = self.step(&mut m, remaining, &mut sink);
         self.finish(flow)
     }
 
     /// Frontier expansion: traverses the first `len - capture_remaining`
-    /// levels exactly like the full search and records every reached
-    /// `(prefix, marking)` into `self.branches`, in serial visit order.
-    fn collect_frontier(
+    /// levels exactly like the full search and hands every reached
+    /// `(prefix, marking)` to `on_branch`, in serial visit order — the
+    /// caller streams them straight to the worker team, so branch search
+    /// overlaps the rest of the expansion.
+    fn expand_frontier(
         &mut self,
         init: Marking,
         len: usize,
         capture_remaining: usize,
+        on_branch: &mut dyn FnMut(&[Firing], &Marking),
     ) -> StepOutcome {
         debug_assert!(capture_remaining >= 1 && capture_remaining < len);
         self.capture_remaining = capture_remaining;
-        let outcome = self.run(init, len, &mut |_| true);
+        let mut m = init;
+        self.plen = 0;
+        self.reserve_frames(len);
+        let mut sink = Sink { on_path: &mut |_: &[Firing]| true, on_branch };
+        let flow = self.step(&mut m, len, &mut sink);
         self.capture_remaining = 0;
-        outcome
+        self.finish(flow)
     }
 
     fn reserve_frames(&mut self, len: usize) {
-        if self.frames.len() <= len {
-            self.frames.resize_with(len + 1, Frame::default);
+        if self.scratch.frames.len() <= len {
+            self.scratch.frames.resize_with(len + 1, Frame::default);
         }
     }
 
@@ -617,16 +761,11 @@ impl<'a> Dfs<'a> {
         }
     }
 
-    fn step(
-        &mut self,
-        m: &mut Marking,
-        remaining: usize,
-        on_path: &mut dyn FnMut(&[Firing]) -> bool,
-    ) -> Flow {
+    fn step(&mut self, m: &mut Marking, remaining: usize, sink: &mut Sink<'_>) -> Flow {
         if remaining == 0 {
             if m == self.fin {
                 self.stats.paths += 1;
-                if !on_path(&self.path[..self.plen]) {
+                if !(sink.on_path)(&self.scratch.path[..self.plen]) {
                     return Flow::Stop;
                 }
                 return Flow::Continue;
@@ -639,10 +778,7 @@ impl<'a> Dfs<'a> {
             return Flow::Pruned;
         }
         if self.capture_remaining != 0 && remaining == self.capture_remaining {
-            self.branches.push(Branch {
-                prefix: self.path[..self.plen].to_vec(),
-                marking: m.clone(),
-            });
+            (sink.on_branch)(&self.scratch.path[..self.plen], m);
             // Treated as "may emit": keeps ancestors out of the dead-set,
             // whose verdicts expansion cannot know.
             return Flow::Continue;
@@ -674,13 +810,18 @@ impl<'a> Dfs<'a> {
         {
             return Flow::Pruned;
         }
-        let key = (m.fingerprint128(), remaining);
+        let key = m.dead_key(remaining);
         if self.dead.enabled() {
-            if self.dead.contains(&key) {
-                self.stats.dead_hits += 1;
-                return Flow::Pruned;
+            match self.dead.probe(key, self.me) {
+                Probe::Hit { shared } => {
+                    self.stats.dead_hits += 1;
+                    if shared {
+                        self.stats.dead_shared_hits += 1;
+                    }
+                    return Flow::Pruned;
+                }
+                Probe::Miss => self.stats.dead_misses += 1,
             }
-            self.stats.dead_misses += 1;
         }
         // The symmetry-breaking restriction (see `expand`) depends on the
         // *prefix*, not just the state: a node entered right after a
@@ -695,11 +836,11 @@ impl<'a> Dfs<'a> {
         // any context ("truly dead" implies dead under every
         // restriction).
         let prev_zero_required = self.prev_zero_required();
-        let flow = self.expand(m, remaining, prev_zero_required, on_path);
+        let flow = self.expand(m, remaining, prev_zero_required, sink);
         if flow == Flow::Pruned && self.dead.enabled() && prev_zero_required.is_none() {
             // Fully explored, unrestricted, no success: remember as dead
             // (epoch rotation makes room by forgetting the oldest facts).
-            self.stats.dead_evicted += self.dead.insert(key);
+            self.stats.dead_evicted += self.dead.insert(key, self.me);
         }
         flow
     }
@@ -711,7 +852,7 @@ impl<'a> Dfs<'a> {
         if self.plen == 0 {
             return None;
         }
-        let f = &self.path[self.plen - 1];
+        let f = &self.scratch.path[self.plen - 1];
         let t = self.net.transition(f.trans);
         (t.inputs.is_empty() && f.optional_taken.iter().all(|&c| c == 0)).then_some(f.trans)
     }
@@ -732,7 +873,7 @@ impl<'a> Dfs<'a> {
         // without losing any distinct program. Computed by the caller
         // because it also gates dead-set storage.
         prev_zero_required: Option<TransId>,
-        on_path: &mut dyn FnMut(&[Firing]) -> bool,
+        sink: &mut Sink<'_>,
     ) -> Flow {
         let net = self.net;
         let total = i64::from(m.total());
@@ -740,7 +881,7 @@ impl<'a> Dfs<'a> {
         let mut any_emitted = false;
         // Candidate transitions for the marking: the zero-required set
         // plus those whose first required place is marked, in id order.
-        let mut frame = std::mem::take(&mut self.frames[remaining]);
+        let mut frame = std::mem::take(&mut self.scratch.frames[remaining]);
         frame.cands.clear();
         frame.cands.extend_from_slice(&self.index.zero_required);
         for (place, _) in m.nonzero() {
@@ -792,20 +933,20 @@ impl<'a> Dfs<'a> {
                 // Install the firing in the path slot, reusing the slot's
                 // buffer; all-zero optional vectors canonicalize to empty
                 // (see [`Firing::with_optionals`]).
-                if self.path.len() == self.plen {
-                    self.path.push(Firing::plain(tid));
+                if self.scratch.path.len() == self.plen {
+                    self.scratch.path.push(Firing::plain(tid));
                 }
-                let slot = &mut self.path[self.plen];
+                let slot = &mut self.scratch.path[self.plen];
                 slot.trans = tid;
                 slot.optional_taken.clear();
                 if frame.choice.iter().any(|&c| c != 0) {
                     slot.optional_taken.extend_from_slice(&frame.choice);
                 }
-                apply(m, net, &self.path[self.plen]);
+                apply(m, net, &self.scratch.path[self.plen]);
                 self.plen += 1;
-                let flow = self.step(m, remaining - 1, on_path);
+                let flow = self.step(m, remaining - 1, sink);
                 self.plen -= 1;
-                unapply(m, net, &self.path[self.plen]);
+                unapply(m, net, &self.scratch.path[self.plen]);
                 match flow {
                     Flow::Stop => {
                         stopped = true;
@@ -820,7 +961,7 @@ impl<'a> Dfs<'a> {
                 }
             }
         }
-        self.frames[remaining] = frame;
+        self.scratch.frames[remaining] = frame;
         if stopped {
             Flow::Stop
         } else if any_emitted {
@@ -831,125 +972,82 @@ impl<'a> Dfs<'a> {
     }
 }
 
-/// Runs one iterative-deepening level on the worker pool: expand a
-/// frontier, search the branches concurrently, and stitch the results
-/// back together in frontier order so the emitted stream is bit-identical
-/// to the serial level.
-#[allow(clippy::too_many_arguments)]
-fn run_level_parallel(
-    net: &Ttn,
-    index: &NetIndex,
-    init: &Marking,
-    fin: &Marking,
+/// Runs one iterative-deepening level pipelined on the worker team: the
+/// coordinator expands the frontier and pushes each branch to the team
+/// the moment expansion reaches it — workers search early branches while
+/// later ones are still being discovered — then delivers the buffered
+/// branch outputs in frontier order, stealing queued branches itself
+/// whenever the next delivery is still running elsewhere. Because the
+/// frontier is walked exactly once at a fixed depth and everyone shares
+/// the dead-set, the level's total explored nodes equal the serial
+/// level's (modulo in-flight verdict timing), instead of growing with
+/// the thread count.
+fn run_level_pipelined(
+    ctx: &LevelCtx<'_>,
+    team: &Team<'_, Branch, BranchOut>,
     len: usize,
-    cfg: &SearchConfig,
-    cancel: &CancelToken,
-    worker_dead: &[Mutex<DeadSet>],
     on_path: &mut dyn FnMut(&[Firing]) -> bool,
     stats: &mut SearchStats,
 ) -> StepOutcome {
-    // Expand the frontier until there is enough work to balance across
-    // the pool (skewed branch sizes are handled by work stealing, but
-    // only if branches outnumber workers comfortably).
-    let max_depth = 3.min(len - 1);
-    let target = cfg.threads.saturating_mul(8).max(16);
-    let mut depth = 1;
-    let branches = loop {
-        let mut dfs = Dfs::new(net, fin, index, cfg, cancel, None);
-        let outcome = dfs.collect_frontier(init.clone(), len, len - depth);
-        // Every expansion attempt is real traversal work, so its
-        // counters are absorbed even when the frontier is re-expanded
-        // one level deeper.
+    // Deep levels split two firings down — thousands of branches on a
+    // realistic net, plenty for work stealing to balance, while keeping
+    // the per-branch overhead (prefix + marking allocation, queue and
+    // reorder-buffer traffic) far below the per-node work. Depth 3 was
+    // measured to cost ~40× more allocations for <1% better parity.
+    let depth = (len - 3).clamp(1, 2);
+    let remaining = len - depth;
+    let expansion = {
+        let mut scratch = ctx.scratches[0].lock().expect("scratch lock");
+        let mut dfs = Dfs::new(
+            ctx.net, ctx.fin, ctx.index, ctx.cfg, ctx.cancel, None, ctx.dead, 0, &mut scratch,
+        );
+        let outcome = dfs.expand_frontier(ctx.init.clone(), len, remaining, &mut |prefix, m| {
+            team.push(Branch { prefix: prefix.to_vec(), marking: m.clone(), remaining });
+        });
         stats.absorb(&dfs.stats);
-        if outcome != StepOutcome::Done {
-            return outcome;
-        }
-        if dfs.branches.len() >= target || depth >= max_depth {
-            break std::mem::take(&mut dfs.branches);
-        }
-        depth += 1;
+        outcome
     };
-    if branches.is_empty() {
-        return StepOutcome::Done;
+    if expansion != StepOutcome::Done {
+        // Cancelled or timed out mid-expansion: the level is over for
+        // every branch already pushed too.
+        team.stop_and_drain();
+        return expansion;
     }
-    let sub_remaining = len - depth;
-    if branches.len() == 1 {
-        let mut dfs = Dfs::new(net, fin, index, cfg, cancel, None);
-        std::mem::swap(&mut dfs.dead, &mut worker_dead[0].lock().expect("dead set lock"));
-        let outcome =
-            dfs.run_seeded(&branches[0].prefix, branches[0].marking.clone(), sub_remaining, on_path);
-        std::mem::swap(&mut dfs.dead, &mut worker_dead[0].lock().expect("dead set lock"));
-        stats.absorb(&dfs.stats);
-        return outcome;
-    }
-
-    struct WorkerOut {
-        paths: Vec<Vec<Firing>>,
-        outcome: StepOutcome,
-        stats: SearchStats,
-    }
-    let branches = &branches;
     let mut level_outcome = StepOutcome::Done;
     let mut consumer_stopped = false;
-    for_each_ordered(
-        cfg.threads,
-        branches.len(),
-        |job, worker, stop| {
-            let branch = &branches[job];
-            let mut dfs = Dfs::new(net, fin, index, cfg, cancel, Some(stop));
-            // Each worker carries its dead-set across the branches (and
-            // levels) it processes: dead facts are global truths of the
-            // search, so reusing them avoids re-exploring subtrees other
-            // branches already proved empty. The lock is per-worker and
-            // therefore uncontended.
-            std::mem::swap(
-                &mut dfs.dead,
-                &mut worker_dead[worker].lock().expect("dead set lock"),
-            );
-            let mut paths: Vec<Vec<Firing>> = Vec::new();
-            let outcome =
-                dfs.run_seeded(&branch.prefix, branch.marking.clone(), sub_remaining, &mut |p| {
-                    paths.push(p.to_vec());
-                    // At most `max_paths` paths of any single branch can
-                    // ever be emitted (the global cap), so a worker can
-                    // stop buffering there without changing the stream —
-                    // bounds memory and work for small-cap searches.
-                    paths.len() < cfg.max_paths
-                });
-            std::mem::swap(
-                &mut dfs.dead,
-                &mut worker_dead[worker].lock().expect("dead set lock"),
-            );
-            WorkerOut { paths, outcome, stats: dfs.stats }
-        },
-        |_, out| {
-            // `paths` counts *emitted* paths (serial semantics: one per
-            // `on_path` invocation); the worker counted at buffering
-            // time, so zero it out and re-count at delivery — a stopped
-            // delivery must not count the undelivered tail.
-            let mut worker_stats = out.stats;
-            worker_stats.paths = 0;
-            stats.absorb(&worker_stats);
-            for path in &out.paths {
-                stats.paths += 1;
-                if !on_path(path) {
-                    consumer_stopped = true;
-                    break;
+    while let Some(out) = team.next() {
+        // `paths` counts *emitted* paths (serial semantics: one per
+        // `on_path` invocation); the worker counted at buffering time,
+        // so zero it out and re-count at delivery — a stopped delivery
+        // must not count the undelivered tail.
+        let mut branch_stats = out.stats;
+        branch_stats.paths = 0;
+        stats.absorb(&branch_stats);
+        for path in &out.paths {
+            stats.paths += 1;
+            if !on_path(path) {
+                consumer_stopped = true;
+                break;
+            }
+        }
+        match out.outcome {
+            StepOutcome::Cancelled => level_outcome = StepOutcome::Cancelled,
+            StepOutcome::TimedOut => {
+                if level_outcome == StepOutcome::Done {
+                    level_outcome = StepOutcome::TimedOut;
                 }
             }
-            match out.outcome {
-                StepOutcome::Cancelled => level_outcome = StepOutcome::Cancelled,
-                StepOutcome::TimedOut => {
-                    if level_outcome == StepOutcome::Done {
-                        level_outcome = StepOutcome::TimedOut;
-                    }
-                }
-                // `Stopped` from a worker only echoes the pool stop flag.
-                StepOutcome::Stopped | StepOutcome::Done => {}
-            }
-            !consumer_stopped && level_outcome == StepOutcome::Done
-        },
-    );
+            // `Stopped` from a branch only echoes the team's stop flag.
+            StepOutcome::Stopped | StepOutcome::Done => {}
+        }
+        if consumer_stopped || level_outcome != StepOutcome::Done {
+            // Undelivered branches are moot; counters from them are not
+            // absorbed (the documented lower-bound caveat on
+            // [`SearchStats`]).
+            team.stop_and_drain();
+            break;
+        }
+    }
     if consumer_stopped {
         StepOutcome::Stopped
     } else {
@@ -1305,8 +1403,13 @@ mod tests {
         let mut fin = Marking::empty(net.n_places());
         fin.add(out, 1);
 
-        let collect = |cap: usize| {
-            let cfg = SearchConfig { max_len: 4, dead_set_cap: cap, ..SearchConfig::default() };
+        let collect = |cap: usize, threads: usize| {
+            let cfg = SearchConfig {
+                max_len: 4,
+                dead_set_cap: cap,
+                threads,
+                ..SearchConfig::default()
+            };
             let mut paths: Vec<Vec<Firing>> = Vec::new();
             enumerate_paths(&net, &init, &fin, &cfg, &mut |p| {
                 paths.push(p.to_vec());
@@ -1314,8 +1417,8 @@ mod tests {
             });
             paths
         };
-        let with_memo = collect(2_000_000);
-        let without_memo = collect(0);
+        let with_memo = collect(2_000_000, 1);
+        let without_memo = collect(0, 1);
         assert_eq!(with_memo, without_memo);
         // The canonical [t0, t3, t0, t2] path must be present.
         let canonical: Vec<u32> = vec![0, 3, 0, 2];
@@ -1325,6 +1428,63 @@ mod tests {
             }),
             "canonical path dropped: {with_memo:?}"
         );
+        // The shared concurrent set must uphold the same rule: no worker
+        // may store a verdict proven under the symmetry restriction, or
+        // a sibling reaching the state canonically would lose the path.
+        for threads in [2, 4, 8] {
+            assert_eq!(collect(2_000_000, threads), with_memo, "threads = {threads}");
+        }
+    }
+
+    /// The shared dead-set actually shares: a parallel search reports
+    /// verdict reuse across workers (`dead_shared_hits > 0` — e.g. the
+    /// coordinator's shallow levels prove facts the pool workers then
+    /// hit), while a serial search by definition reports none.
+    #[test]
+    fn parallel_search_shares_dead_verdicts_across_workers() {
+        let (net, init, fin) = setup();
+        let run = |threads: usize| {
+            let cfg = SearchConfig { max_len: 7, threads, ..SearchConfig::default() };
+            enumerate_search(&net, &init, &fin, &cfg, &CancelToken::new(), &mut |_| true)
+        };
+        let serial = run(1);
+        assert_eq!(serial.stats.dead_shared_hits, 0, "{:?}", serial.stats);
+        let parallel = run(4);
+        assert!(parallel.stats.dead_shared_hits > 0, "{:?}", parallel.stats);
+        // Shared hits are a subset of all hits.
+        assert!(parallel.stats.dead_shared_hits <= parallel.stats.dead_hits);
+    }
+
+    /// Epoch eviction under concurrency: a tiny cap keeps every shard
+    /// rotating while several workers insert and probe at once, and the
+    /// emitted stream still matches an uncapped serial run exactly.
+    #[test]
+    fn dead_set_cap_eviction_under_concurrency_keeps_the_stream() {
+        let (net, init, fin) = setup();
+        let collect = |cap: usize, threads: usize| {
+            let cfg = SearchConfig {
+                max_len: 7,
+                dead_set_cap: cap,
+                threads,
+                ..SearchConfig::default()
+            };
+            let mut paths: Vec<Vec<Firing>> = Vec::new();
+            let report =
+                enumerate_search(&net, &init, &fin, &cfg, &CancelToken::new(), &mut |e| {
+                    if let SearchEvent::Path(p) = e {
+                        paths.push(p.to_vec());
+                    }
+                    true
+                });
+            (paths, report)
+        };
+        let (reference, _) = collect(2_000_000, 1);
+        for threads in [2, 4, 8] {
+            let (paths, report) = collect(16, threads);
+            assert_eq!(report.outcome, SearchOutcome::Exhausted, "threads = {threads}");
+            assert_eq!(paths, reference, "threads = {threads}");
+            assert!(report.stats.dead_evicted > 0, "threads = {threads}: {:?}", report.stats);
+        }
     }
 
     #[test]
@@ -1402,8 +1562,14 @@ mod tests {
         assert_eq!(snap.counter("search.nodes"), Some(report.stats.nodes));
         assert_eq!(snap.counter("search.paths"), Some(report.stats.paths));
         assert_eq!(snap.counter("search.dead_hits"), Some(report.stats.dead_hits));
+        assert_eq!(
+            snap.counter("search.dead_shared_hits"),
+            Some(report.stats.dead_shared_hits)
+        );
         assert_eq!(snap.counter("search.dead_misses"), Some(report.stats.dead_misses));
         assert_eq!(snap.counter("search.dead_evicted"), Some(report.stats.dead_evicted));
+        // The occupancy gauge carries the shared set's final fill level.
+        assert!(snap.gauge("search.dead_set_entries").unwrap() > 0);
         // One wall-time sample per searched level.
         assert_eq!(snap.histogram("search.depth_us").unwrap().count(), 7);
     }

@@ -167,6 +167,54 @@ proptest! {
         }
     }
 
+    /// The shared concurrent dead-set under pressure: with a cap tiny
+    /// enough that every shard keeps rotating epochs while several
+    /// workers insert and probe concurrently, the emitted sequence is
+    /// still bit-identical to an *uncapped serial* run — eviction and
+    /// races may only forget dead facts (re-exploring path-free
+    /// subtrees), never invent one.
+    #[test]
+    fn tiny_shared_dead_set_is_bit_identical_under_threads(
+        net in arb_net(4, 6),
+        init_tokens in prop::collection::vec(0..4usize, 0..=3),
+        fin_place in 0..4usize,
+        cap in 0usize..32,
+    ) {
+        use apiphany_ttn::{enumerate_search, CancelToken, SearchEvent};
+
+        let mut init = Marking::empty(net.n_places());
+        for p in init_tokens {
+            init.add(PlaceId(p as u32), 1);
+        }
+        let mut fin = Marking::empty(net.n_places());
+        fin.add(PlaceId(fin_place as u32), 1);
+
+        let enumerate = |threads: usize, cap: usize| {
+            let cfg = SearchConfig {
+                max_len: 5,
+                max_paths: 3000,
+                threads,
+                dead_set_cap: cap,
+                ..SearchConfig::default()
+            };
+            let mut paths: Vec<Vec<Firing>> = Vec::new();
+            let report =
+                enumerate_search(&net, &init, &fin, &cfg, &CancelToken::new(), &mut |e| {
+                    if let SearchEvent::Path(p) = e {
+                        paths.push(p.to_vec());
+                    }
+                    true
+                });
+            (paths, report.outcome)
+        };
+        let (reference_paths, reference_outcome) = enumerate(1, 2_000_000);
+        for threads in [2usize, 4] {
+            let (paths, outcome) = enumerate(threads, cap);
+            prop_assert_eq!(&paths, &reference_paths);
+            prop_assert_eq!(outcome, reference_outcome);
+        }
+    }
+
     /// Every DFS path replays to exactly the final marking.
     #[test]
     fn dfs_paths_are_valid_firing_sequences(
